@@ -1,0 +1,101 @@
+// Ablation of the design choices DESIGN.md calls out, on the Twitter
+// preset with PageRank: each row disables one mechanism of the trainer
+// and reports the resulting transfer time (normalized to the full
+// configuration), budget adherence and overhead.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "common/table_writer.h"
+#include "rlcut/rlcut_partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace rlcut;
+  using bench::MakeProblem;
+
+  FlagParser flags;
+  flags.DefineInt("scale", 0, "dataset down-scale factor (0 = default)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  const uint64_t scale =
+      flags.GetInt("scale") > 0
+          ? static_cast<uint64_t>(flags.GetInt("scale"))
+          : bench::DefaultScale(Dataset::kTwitter);
+
+  const Topology topology = MakeEc2Topology();
+  auto problem = MakeProblem(Dataset::kTwitter, scale, topology,
+                             Workload::PageRank());
+
+  auto base_options = [&] {
+    return bench::BenchRLCutOptionsDeterministic(
+        problem->ctx.budget, problem->graph.num_vertices());
+  };
+
+  struct Variant {
+    const char* name;
+    RLCutOptions options;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full (default)", base_options()});
+  {
+    RLCutOptions o = base_options();
+    o.smooth_weight = 0;
+    variants.push_back({"no smooth surrogate", o});
+  }
+  {
+    RLCutOptions o = base_options();
+    o.hub_slot_fraction = 0;
+    variants.push_back({"no hub slots (paper sampling)", o});
+  }
+  {
+    RLCutOptions o = base_options();
+    o.budget_pressure = false;
+    variants.push_back({"no budget pressure (Eq.10 cost)", o});
+  }
+  {
+    RLCutOptions o = base_options();
+    o.smooth_weight = 0;
+    o.hub_slot_fraction = 0;
+    o.budget_pressure = false;
+    variants.push_back({"paper-exact Eq.10", o});
+  }
+  {
+    RLCutOptions o = base_options();
+    o.use_penalty = true;
+    variants.push_back({"penalty updates (Eq.8+9)", o});
+  }
+  {
+    RLCutOptions o = base_options();
+    o.selection = ActionSelection::kGreedy;
+    variants.push_back({"greedy selection (no UCB)", o});
+  }
+  {
+    RLCutOptions o = base_options();
+    o.straggler_mitigation = false;
+    variants.push_back({"no straggler mitigation", o});
+  }
+
+  double baseline_transfer = 0;
+  std::cout << "=== Design ablation (TW preset, PR, deterministic "
+               "work budget) ===\n";
+  TableWriter table({"Variant", "Transfer(norm)", "Cost/B", "Overhead(s)",
+                     "Migrations"});
+  for (const Variant& variant : variants) {
+    RLCutRunOutput out = RunRLCut(problem->ctx, variant.options);
+    const Objective obj = out.state.CurrentObjective();
+    if (baseline_transfer == 0) baseline_transfer = obj.transfer_seconds;
+    uint64_t migrations = 0;
+    for (const StepStats& s : out.train.steps) migrations += s.migrations;
+    table.AddRow({variant.name,
+                  Fmt(obj.transfer_seconds / baseline_transfer, 3),
+                  Fmt(obj.cost_dollars / problem->ctx.budget, 3),
+                  Fmt(out.train.overhead_seconds, 3), Fmt(migrations)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n>1 in Transfer(norm) means the ablated variant is worse "
+               "than the full configuration.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+
+namespace rlcut {
+namespace bench {
+
+double CentralizedMoveCost(const Graph& graph,
+                           const std::vector<DcId>& locations,
+                           const std::vector<double>& input_sizes,
+                           const Topology& topology) {
+  const DcId hub = topology.CheapestUploadDc();
+  double cost = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (locations[v] != hub) {
+      cost += topology.UploadCost(locations[v], input_sizes[v]);
+    }
+  }
+  return cost;
+}
+
+std::unique_ptr<Problem> MakeProblem(Graph graph, const Topology& topology,
+                                     const Workload& workload,
+                                     double budget_fraction, uint64_t seed) {
+  auto p = std::make_unique<Problem>();
+  p->graph = std::move(graph);
+  p->topology = topology;
+  GeoLocatorOptions geo;
+  geo.num_dcs = topology.num_dcs();
+  geo.seed = seed;
+  p->locations = AssignGeoLocations(p->graph, geo);
+  p->input_sizes = AssignInputSizes(p->graph);
+  p->centralized_move_cost = CentralizedMoveCost(
+      p->graph, p->locations, p->input_sizes, p->topology);
+
+  p->ctx.graph = &p->graph;
+  p->ctx.topology = &p->topology;
+  p->ctx.locations = &p->locations;
+  p->ctx.input_sizes = &p->input_sizes;
+  p->ctx.workload = workload;
+  p->ctx.theta = PartitionState::AutoTheta(p->graph);
+  p->ctx.budget = budget_fraction * p->centralized_move_cost;
+  p->ctx.seed = seed;
+  return p;
+}
+
+std::unique_ptr<Problem> MakeProblem(Dataset dataset, uint64_t scale,
+                                     const Topology& topology,
+                                     const Workload& workload,
+                                     double budget_fraction, uint64_t seed) {
+  return MakeProblem(LoadDataset(dataset, scale, seed), topology, workload,
+                     budget_fraction, seed);
+}
+
+RLCutOptions BenchRLCutOptions(double budget, double ginger_overhead,
+                               double t_opt_floor, double multiplier) {
+  RLCutOptions opt;
+  opt.budget = budget;
+  opt.t_opt_seconds =
+      std::max(t_opt_floor, multiplier * ginger_overhead);
+  opt.max_steps = 10;
+  opt.batch_size = 48;
+  return opt;
+}
+
+RLCutOptions BenchRLCutOptionsDeterministic(double budget,
+                                            uint64_t num_eligible,
+                                            double visits_per_vertex) {
+  RLCutOptions opt;
+  opt.budget = budget;
+  opt.agent_visit_budget = static_cast<int64_t>(
+      visits_per_vertex * static_cast<double>(num_eligible));
+  opt.max_steps = 10;
+  opt.batch_size = 48;
+  return opt;
+}
+
+uint64_t DefaultScale(Dataset dataset) {
+  switch (dataset) {
+    case Dataset::kLiveJournal:
+    case Dataset::kOrkut:
+      return 2000;
+    case Dataset::kUk2005:
+    case Dataset::kIt2004:
+    case Dataset::kTwitter:
+      return 8000;
+  }
+  return 4000;
+}
+
+}  // namespace bench
+}  // namespace rlcut

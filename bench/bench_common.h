@@ -1,0 +1,80 @@
+#ifndef RLCUT_BENCH_BENCH_COMMON_H_
+#define RLCUT_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/partitioner.h"
+#include "cloud/topology.h"
+#include "graph/datasets.h"
+#include "graph/geo.h"
+#include "partition/workload.h"
+#include "rlcut/options.h"
+
+namespace rlcut {
+namespace bench {
+
+/// A fully materialized problem instance: graph + topology + locations +
+/// sizes + budget, owning all storage the PartitionerContext points to.
+struct Problem {
+  Graph graph;
+  Topology topology;
+  std::vector<DcId> locations;
+  std::vector<double> input_sizes;
+  double centralized_move_cost = 0;
+  PartitionerContext ctx;
+
+  Problem(const Problem&) = delete;
+  Problem& operator=(const Problem&) = delete;
+  Problem(Problem&&) = delete;
+  Problem& operator=(Problem&&) = delete;
+  Problem() = default;
+};
+
+/// Builds a problem over a dataset preset. `budget_fraction` is relative
+/// to the centralized-move cost (Sec. VI-A4; default 40%).
+std::unique_ptr<Problem> MakeProblem(Dataset dataset, uint64_t scale,
+                                     const Topology& topology,
+                                     const Workload& workload,
+                                     double budget_fraction = 0.4,
+                                     uint64_t seed = 42);
+
+/// Builds a problem over an arbitrary graph.
+std::unique_ptr<Problem> MakeProblem(Graph graph, const Topology& topology,
+                                     const Workload& workload,
+                                     double budget_fraction = 0.4,
+                                     uint64_t seed = 42);
+
+/// Cost of moving every vertex's input data to the cheapest-upload DC —
+/// the paper's anchor for the budget parameter.
+double CentralizedMoveCost(const Graph& graph,
+                           const std::vector<DcId>& locations,
+                           const std::vector<double>& input_sizes,
+                           const Topology& topology);
+
+/// RLCut options used across benches: paper defaults plus a T_opt floor.
+/// On scaled-down graphs the heuristic baselines finish in milliseconds,
+/// so T_opt = Ginger's overhead alone would starve the trainer; benches
+/// therefore use max(t_opt_floor, multiplier * ginger_overhead), both
+/// reported in the output.
+RLCutOptions BenchRLCutOptions(double budget, double ginger_overhead,
+                               double t_opt_floor = 0.25,
+                               double multiplier = 1.0);
+
+/// Deterministic variant: a fixed agent-visit budget of
+/// visits_per_vertex * num_eligible spread over the training steps.
+/// Exactly reproducible across machines (unlike wall-clock T_opt), used
+/// by the comparison benches so that tables are stable run to run.
+RLCutOptions BenchRLCutOptionsDeterministic(double budget,
+                                            uint64_t num_eligible,
+                                            double visits_per_vertex = 10.0);
+
+/// Default per-dataset scale factor used when the --scale flag is 0:
+/// keeps every bench binary in the tens-of-seconds range.
+uint64_t DefaultScale(Dataset dataset);
+
+}  // namespace bench
+}  // namespace rlcut
+
+#endif  // RLCUT_BENCH_BENCH_COMMON_H_

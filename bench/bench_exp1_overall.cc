@@ -1,0 +1,172 @@
+// Exp#1 (Figs. 10, 11 and Table III): overall comparison of RLCut with
+// the six baselines over five graphs x three workloads on the 8-region
+// EC2 topology.
+//
+//  * Fig. 10: inter-DC transfer time, normalized to RandPG.
+//  * Fig. 11: total monetary cost, normalized to the budget.
+//  * Table III: optimization overhead in seconds (PageRank).
+//
+// Like the paper, Geo-Cut and Revolver run only on the two smaller
+// graphs (LJ, OT) because their overhead is disproportionate.
+
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "common/table_writer.h"
+#include "rlcut/rlcut_partitioner.h"
+
+namespace {
+
+using namespace rlcut;
+
+struct CellResult {
+  double transfer = 0;
+  double cost = 0;
+  double overhead = 0;
+  bool ran = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bench::MakeProblem;
+
+  FlagParser flags;
+  flags.DefineInt("scale", 0, "dataset down-scale factor (0 = default)");
+  flags.DefineDouble("t_opt_floor", 0.25,
+                     "minimum RLCut time budget, seconds (unused in the "
+                     "deterministic mode)");
+  flags.DefineDouble("visits_per_vertex", 10.0,
+                     "RLCut agent-visit budget per vertex");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  const Topology topology = MakeEc2Topology();
+  const std::vector<Workload> workloads = Workload::AllPaperWorkloads();
+  const std::vector<std::string> methods = {
+      "RandPG", "Geo-Cut", "HashPL", "Ginger", "Revolver", "Spinner",
+      "RLCut"};
+
+  // results[workload][dataset][method]
+  std::map<std::string, std::map<std::string, std::map<std::string, CellResult>>>
+      results;
+  std::map<std::string, double> budgets;
+
+  for (Dataset dataset : AllDatasets()) {
+    const std::string graph_name = DatasetName(dataset);
+    const bool small_graph = dataset == Dataset::kLiveJournal ||
+                             dataset == Dataset::kOrkut;
+    const uint64_t scale = flags.GetInt("scale") > 0
+                               ? static_cast<uint64_t>(flags.GetInt("scale"))
+                               : bench::DefaultScale(dataset);
+    for (const Workload& workload : workloads) {
+      auto problem = MakeProblem(dataset, scale, topology, workload);
+      budgets[graph_name] = problem->ctx.budget;
+      double ginger_overhead = 0;
+
+      for (auto& baseline : MakePaperBaselines()) {
+        const std::string name = baseline->name();
+        if (!small_graph && (name == "Geo-Cut" || name == "Revolver")) {
+          continue;  // paper: overhead too large for the big graphs
+        }
+        PartitionOutput out = baseline->Run(problem->ctx);
+        const Objective obj = out.state.CurrentObjective();
+        results[workload.name][graph_name][name] = {
+            obj.transfer_seconds, obj.cost_dollars, out.overhead_seconds,
+            true};
+        if (name == "Ginger") ginger_overhead = out.overhead_seconds;
+      }
+
+      // Deterministic work budget so the tables are stable run to run;
+      // the measured seconds still land in Table III. The paper instead
+      // ties T_opt to Ginger's (wall-clock) overhead; see EXPERIMENTS.md.
+      (void)ginger_overhead;
+      (void)flags.GetDouble("t_opt_floor");
+      RLCutOptions opt = bench::BenchRLCutOptionsDeterministic(
+          problem->ctx.budget, problem->graph.num_vertices(),
+          flags.GetDouble("visits_per_vertex"));
+      RLCutRunOutput ours = RunRLCut(problem->ctx, opt);
+      const Objective obj = ours.state.CurrentObjective();
+      results[workload.name][graph_name]["RLCut"] = {
+          obj.transfer_seconds, obj.cost_dollars,
+          ours.train.overhead_seconds, true};
+    }
+  }
+
+  // ---- Fig. 10 -----------------------------------------------------------
+  for (const Workload& workload : workloads) {
+    std::cout << "=== Fig. 10 (" << workload.name
+              << "): inter-DC transfer time normalized to RandPG ===\n";
+    std::vector<std::string> header = {"Graph"};
+    header.insert(header.end(), methods.begin(), methods.end());
+    TableWriter table(header);
+    for (Dataset dataset : AllDatasets()) {
+      const std::string graph_name = DatasetName(dataset);
+      const auto& row_data = results[workload.name][graph_name];
+      const double base = row_data.at("RandPG").transfer;
+      std::vector<std::string> row = {graph_name};
+      for (const std::string& m : methods) {
+        auto it = row_data.find(m);
+        row.push_back(it == row_data.end() || !it->second.ran
+                          ? "-"
+                          : Fmt(it->second.transfer / base, 3));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  // ---- Fig. 11 -----------------------------------------------------------
+  for (const Workload& workload : workloads) {
+    std::cout << "=== Fig. 11 (" << workload.name
+              << "): total cost normalized to the budget (<=1 means "
+                 "within budget) ===\n";
+    std::vector<std::string> header = {"Graph"};
+    header.insert(header.end(), methods.begin(), methods.end());
+    TableWriter table(header);
+    for (Dataset dataset : AllDatasets()) {
+      const std::string graph_name = DatasetName(dataset);
+      const auto& row_data = results[workload.name][graph_name];
+      std::vector<std::string> row = {graph_name};
+      for (const std::string& m : methods) {
+        auto it = row_data.find(m);
+        row.push_back(it == row_data.end() || !it->second.ran
+                          ? "-"
+                          : Fmt(it->second.cost / budgets[graph_name], 3));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  // ---- Table III -----------------------------------------------------------
+  std::cout << "=== Table III: optimization overhead (s), PageRank ===\n";
+  std::vector<std::string> header = {"Graph"};
+  header.insert(header.end(), methods.begin(), methods.end());
+  TableWriter table(header);
+  for (Dataset dataset : AllDatasets()) {
+    const std::string graph_name = DatasetName(dataset);
+    const auto& row_data = results["PR"][graph_name];
+    std::vector<std::string> row = {graph_name};
+    for (const std::string& m : methods) {
+      auto it = row_data.find(m);
+      row.push_back(it == row_data.end() || !it->second.ran
+                        ? "-"
+                        : Fmt(it->second.overhead, 3));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape: RLCut lowest transfer time everywhere, "
+               "within budget; hash/greedy hybrid methods cheap but "
+               "costly on WAN; Geo-Cut/Revolver order-of-magnitude "
+               "slower to partition.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Exp#3 (Table IV): optimization overhead of RLCut vs batch size
+// (Twitter preset, PageRank, SR fixed at 10% as in the paper), plus the
+// quality variance check and the straggler-mitigation ablation.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table_writer.h"
+#include "rlcut/rlcut_partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace rlcut;
+  using bench::MakeProblem;
+
+  FlagParser flags;
+  flags.DefineInt("scale", 2000, "dataset down-scale factor");
+  flags.DefineInt("repeats", 3, "repetitions per configuration");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  const uint64_t scale =
+      flags.GetInt("scale") > 0
+          ? static_cast<uint64_t>(flags.GetInt("scale"))
+          : bench::DefaultScale(Dataset::kTwitter);
+  const int repeats = static_cast<int>(flags.GetInt("repeats"));
+
+  const Topology topology = MakeEc2Topology();
+  auto problem = MakeProblem(Dataset::kTwitter, scale, topology,
+                             Workload::PageRank());
+
+  auto run = [&](int batch, bool straggler, uint64_t seed) {
+    RLCutOptions opt;
+    opt.budget = problem->ctx.budget;
+    opt.max_steps = 3;
+    opt.fixed_sample_rate = 0.10;  // paper fixes SR=10% for this study
+    opt.batch_size = batch;
+    opt.straggler_mitigation = straggler;
+    opt.convergence_epsilon = 0;
+    opt.seed = seed;
+    return RunRLCut(problem->ctx, opt);
+  };
+
+  std::cout << "=== Table IV: overhead vs batch size (TW preset, SR=10%) "
+               "===\n";
+  TableWriter table({"BatchSize", "Overhead(s)", "Transfer(s)",
+                     "TransferCV(%)"});
+  for (int batch : {1, 2, 4, 8, 16, 32, 48}) {
+    RunningStats overhead;
+    RunningStats transfer;
+    for (int rep = 0; rep < repeats; ++rep) {
+      RLCutRunOutput out = run(batch, true, 1 + rep);
+      overhead.Add(out.train.overhead_seconds);
+      transfer.Add(out.state.CurrentObjective().transfer_seconds);
+    }
+    table.AddRow({Fmt(static_cast<int64_t>(batch)),
+                  Fmt(overhead.mean(), 3), Fmt(transfer.mean(), 6),
+                  Fmt(100 * transfer.cv(), 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape: overhead falls as the batch grows toward "
+               "the core count while the optimized transfer time barely "
+               "moves (variance ~1%).\n";
+
+  std::cout << "\n=== Ablation: straggler mitigation (batch=48) ===\n";
+  TableWriter ab({"StragglerMitigation", "Overhead(s)"});
+  for (bool on : {true, false}) {
+    RunningStats overhead;
+    for (int rep = 0; rep < repeats; ++rep) {
+      overhead.Add(run(48, on, 10 + rep).train.overhead_seconds);
+    }
+    ab.AddRow({on ? "on" : "off", Fmt(overhead.mean(), 3)});
+  }
+  ab.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 3: inter-DC data transfer time of PageRank optimized by Ginger,
+// normalized to RLCut, under Low/Medium/High network heterogeneity.
+// The paper's point: the more heterogeneous the network (and the larger
+// the graph), the further the load-balancing heuristic falls behind.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "common/table_writer.h"
+#include "rlcut/rlcut_partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace rlcut;
+  using bench::MakeProblem;
+
+  FlagParser flags;
+  flags.DefineInt("scale", 0, "dataset down-scale factor (0 = default)");
+
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "=== Fig. 3: Ginger transfer time normalized to RLCut ===\n";
+  TableWriter table({"Graph", "Low", "Medium", "High"});
+  for (Dataset dataset : AllDatasets()) {
+    const uint64_t scale = flags.GetInt("scale") > 0
+                               ? static_cast<uint64_t>(flags.GetInt("scale"))
+                               : bench::DefaultScale(dataset);
+    std::vector<std::string> row = {DatasetName(dataset)};
+    for (Heterogeneity level :
+         {Heterogeneity::kLow, Heterogeneity::kMedium, Heterogeneity::kHigh}) {
+      const Topology topology = MakeEc2Topology(level);
+      auto problem =
+          MakeProblem(dataset, scale, topology, Workload::PageRank());
+      PartitionOutput ginger = MakeGinger()->Run(problem->ctx);
+      // Deterministic work budget: stable tables run to run.
+      RLCutOptions opt = bench::BenchRLCutOptionsDeterministic(
+          problem->ctx.budget, problem->graph.num_vertices());
+      RLCutRunOutput ours = RunRLCut(problem->ctx, opt);
+      const double ratio =
+          ginger.state.CurrentObjective().transfer_seconds /
+          std::max(1e-12,
+                   ours.state.CurrentObjective().transfer_seconds);
+      row.push_back(Fmt(ratio, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nValues > 1 mean Ginger is slower than RLCut; the paper "
+               "shows the gap widening with heterogeneity and graph "
+               "size.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 6: convergence of the penalty-update variant (Eq. 8+9) vs the
+// reward-only update (Eq. 12). The paper shows the penalty variant
+// needing ~30x more iterations to reach the same transfer time, which
+// justifies dropping penalty updates. Also sweeps the action-selection
+// strategies as the ablation DESIGN.md calls out.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "common/table_writer.h"
+#include "rlcut/rlcut_partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace rlcut;
+  using bench::MakeProblem;
+
+  FlagParser flags;
+  flags.DefineInt("scale", 2000, "dataset down-scale factor");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  const Topology topology = MakeEc2Topology();
+  auto problem = MakeProblem(Dataset::kLiveJournal,
+                             static_cast<uint64_t>(flags.GetInt("scale")),
+                             topology, Workload::PageRank());
+
+  auto run = [&](bool use_penalty, int steps,
+                 ActionSelection sel) -> double {
+    RLCutOptions opt;
+    opt.budget = problem->ctx.budget;
+    opt.max_steps = steps;
+    opt.use_penalty = use_penalty;
+    opt.selection = sel;
+    opt.convergence_epsilon = 0;  // run all steps
+    RLCutRunOutput out = RunRLCut(problem->ctx, opt);
+    return out.state.CurrentObjective().transfer_seconds;
+  };
+
+  const double baseline =
+      run(false, 10, ActionSelection::kUcbBlend);
+
+  // The penalty's convergence drag acts through the probability vector,
+  // so this comparison samples actions from it directly (probability
+  // selection); UCB would mask the difference.
+  std::cout << "=== Fig. 6: penalty-update convergence (transfer time "
+               "normalized to reward-only @10 steps) ===\n";
+  TableWriter table({"Steps", "WithPenalty", "WithoutPenalty"});
+  for (int steps : {1, 2, 5, 10, 20, 40}) {
+    table.AddRow(
+        {Fmt(static_cast<int64_t>(steps)),
+         Fmt(run(true, steps, ActionSelection::kProbability) / baseline, 3),
+         Fmt(run(false, steps, ActionSelection::kProbability) / baseline,
+             3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape: the penalty variant needs many more "
+               "iterations to match the reward-only result.\n";
+
+  std::cout << "\n=== Ablation: action-selection strategy @10 steps "
+               "(normalized) ===\n";
+  TableWriter sel_table({"Selection", "NormalizedTransfer"});
+  for (auto [name, sel] :
+       {std::pair{"ucb_blend", ActionSelection::kUcbBlend},
+        std::pair{"ucb_score", ActionSelection::kUcbScore},
+        std::pair{"probability", ActionSelection::kProbability},
+        std::pair{"greedy", ActionSelection::kGreedy}}) {
+    sel_table.AddRow({name, Fmt(run(false, 10, sel) / baseline, 3)});
+  }
+  sel_table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 8: RLCut training overhead vs the number of agents participating
+// in training (Twitter preset, PageRank). The paper finds overhead
+// almost linear in the agent count, which motivates the sampling
+// technique.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "common/table_writer.h"
+#include "rlcut/rlcut_partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace rlcut;
+  using bench::MakeProblem;
+
+  FlagParser flags;
+  flags.DefineInt("scale", 0, "dataset down-scale factor (0 = default)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  const uint64_t scale =
+      flags.GetInt("scale") > 0
+          ? static_cast<uint64_t>(flags.GetInt("scale"))
+          : bench::DefaultScale(Dataset::kTwitter);
+
+  const Topology topology = MakeEc2Topology();
+  auto problem = MakeProblem(Dataset::kTwitter, scale, topology,
+                             Workload::PageRank());
+
+  std::cout << "=== Fig. 8: training overhead vs participating agents "
+               "(TW preset, " << problem->graph.num_vertices()
+            << " vertices) ===\n";
+  TableWriter table({"AgentFraction(%)", "Agents", "Overhead(s)",
+                     "Overhead/agent(us)"});
+  for (double fraction : {0.01, 0.05, 0.10, 0.25, 0.50, 1.00}) {
+    RLCutOptions opt;
+    opt.budget = problem->ctx.budget;
+    opt.max_steps = 3;
+    opt.fixed_sample_rate = fraction;
+    opt.convergence_epsilon = 0;
+    RLCutRunOutput out = RunRLCut(problem->ctx, opt);
+    uint64_t agents = 0;
+    for (const StepStats& s : out.train.steps) agents += s.num_agents;
+    table.AddRow({Fmt(100 * fraction, 0), Fmt(agents),
+                  Fmt(out.train.overhead_seconds, 3),
+                  Fmt(1e6 * out.train.overhead_seconds /
+                          std::max<uint64_t>(1, agents),
+                      2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape: overhead grows ~linearly with the number of "
+               "agents (flat overhead-per-agent column).\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 9: data transfer time and training overhead when only the k%
+// lowest-degree agents participate. The paper finds the transfer time
+// drops sharply up to k=10 and flattens after — high-degree agents
+// contribute little. A highest-degree-first ablation shows the contrast.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/flags.h"
+#include "common/table_writer.h"
+#include "rlcut/rlcut_partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace rlcut;
+  using bench::MakeProblem;
+
+  FlagParser flags;
+  flags.DefineInt("scale", 0, "dataset down-scale factor (0 = default)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  const uint64_t scale =
+      flags.GetInt("scale") > 0
+          ? static_cast<uint64_t>(flags.GetInt("scale"))
+          : bench::DefaultScale(Dataset::kTwitter);
+
+  const Topology topology = MakeEc2Topology();
+  auto problem = MakeProblem(Dataset::kTwitter, scale, topology,
+                             Workload::PageRank());
+
+  auto run = [&](double fraction, bool highest_first) {
+    RLCutOptions opt;
+    opt.budget = problem->ctx.budget;
+    opt.max_steps = 5;
+    opt.fixed_sample_rate = fraction;
+    opt.sample_highest_degree_first = highest_first;
+    opt.convergence_epsilon = 0;
+    return RunRLCut(problem->ctx, opt);
+  };
+
+  std::cout << "=== Fig. 9: lowest-k% degree sampling (TW preset) ===\n";
+  TableWriter table({"k(%)", "Transfer(s)", "Overhead(s)",
+                     "Transfer(high-deg-first)"});
+  for (double k : {0.01, 0.05, 0.10, 0.20, 0.50, 1.00}) {
+    RLCutRunOutput low = run(k, false);
+    RLCutRunOutput high = run(k, true);
+    table.AddRow(
+        {Fmt(100 * k, 0),
+         Fmt(low.state.CurrentObjective().transfer_seconds, 6),
+         Fmt(low.train.overhead_seconds, 3),
+         Fmt(high.state.CurrentObjective().transfer_seconds, 6)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape: transfer time flattens beyond k~10-20% while "
+               "overhead keeps growing; sampling high-degree agents first "
+               "helps less per agent.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Budget planner: sweeps the inter-DC cost budget B and shows the
+// performance/cost trade-off RLCut negotiates (the Exp#2 mechanism) —
+// useful for choosing a budget before a large production run.
+//
+//   ./budget_planner [--graph=OT] [--scale=4000]
+
+#include <iostream>
+
+#include "cloud/topology.h"
+#include "common/flags.h"
+#include "common/table_writer.h"
+#include "graph/datasets.h"
+#include "graph/geo.h"
+#include "rlcut/rlcut_partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace rlcut;
+
+  FlagParser flags;
+  flags.DefineString("graph", "OT", "dataset preset (LJ/OT/UK/IT/TW)");
+  flags.DefineInt("scale", 4000, "dataset down-scale factor");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Usage(argv[0]);
+    return 0;
+  }
+
+  Result<Dataset> dataset = ParseDataset(flags.GetString("graph"));
+  if (!dataset.ok()) {
+    std::cerr << dataset.status().ToString() << "\n";
+    return 1;
+  }
+  Graph graph = LoadDataset(*dataset,
+                            static_cast<uint64_t>(flags.GetInt("scale")));
+  Topology topology = MakeEc2Topology();
+  std::vector<DcId> locations =
+      AssignGeoLocations(graph, GeoLocatorOptions{});
+  std::vector<double> input_sizes = AssignInputSizes(graph);
+
+  // Centralized-move cost anchor.
+  const DcId hub = topology.CheapestUploadDc();
+  double centralized = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (locations[v] != hub) {
+      centralized += topology.UploadCost(locations[v], input_sizes[v]);
+    }
+  }
+
+  PartitionerContext ctx;
+  ctx.graph = &graph;
+  ctx.topology = &topology;
+  ctx.locations = &locations;
+  ctx.input_sizes = &input_sizes;
+  ctx.workload = Workload::PageRank();
+  ctx.theta = PartitionState::AutoTheta(graph);
+
+  std::cout << "Dataset " << DatasetName(*dataset) << ": "
+            << graph.num_vertices() << " vertices, " << graph.num_edges()
+            << " edges. Centralized move cost: $" << centralized << "\n\n";
+
+  TableWriter table({"Budget(%centralized)", "Budget($)", "Transfer(s)",
+                     "Cost($)", "WithinBudget"});
+  for (double fraction : {0.01, 0.10, 0.40, 0.50, 1.00}) {
+    ctx.budget = fraction * centralized;
+    RLCutOptions options;
+    options.max_steps = 10;
+    RLCutRunOutput out = RunRLCut(ctx, options);
+    const Objective obj = out.state.CurrentObjective();
+    table.AddRow({Fmt(fraction * 100, 0), Fmt(ctx.budget, 4),
+                  Fmt(obj.transfer_seconds, 6), Fmt(obj.cost_dollars, 4),
+                  obj.cost_dollars <= ctx.budget * 1.001 ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nLooser budgets let RLCut search a larger placement space "
+               "and find faster plans (Exp#2).\n";
+  return 0;
+}

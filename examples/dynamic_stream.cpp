@@ -1,0 +1,97 @@
+// Dynamic repartitioning demo: a diurnal edge stream (Stack-Overflow-like,
+// Fig. 4) arrives in fixed windows; RLCut adapts the partitioning within
+// a per-window time budget while Spinner adapts best-effort. Prints the
+// per-window overhead and resulting transfer time of both.
+//
+//   ./dynamic_stream [--windows=6] [--window_budget=0.5]
+
+#include <iostream>
+#include <memory>
+
+#include "cloud/topology.h"
+#include "common/flags.h"
+#include "common/table_writer.h"
+#include "graph/geo.h"
+#include "graph/temporal.h"
+#include "rlcut/dynamic.h"
+
+int main(int argc, char** argv) {
+  using namespace rlcut;
+
+  FlagParser flags;
+  flags.DefineInt("windows", 6, "number of insertion windows to replay");
+  flags.DefineDouble("window_budget", 0.5,
+                     "per-window adaptation budget, seconds");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Usage(argv[0]);
+    return 0;
+  }
+  const int num_windows = static_cast<int>(flags.GetInt("windows"));
+  const double window_budget = flags.GetDouble("window_budget");
+
+  // A 24h diurnal stream; the first 60% of edges form the initial graph
+  // and the rest arrive in equal-duration windows.
+  TemporalStreamOptions stream_opt;
+  stream_opt.num_vertices = 4096;
+  stream_opt.num_edges = 1 << 16;
+  TemporalGraph stream = GenerateDiurnalStream(stream_opt);
+
+  const double split_time = stream_opt.horizon_seconds * 0.6;
+  const double window_len =
+      (stream_opt.horizon_seconds - split_time) / num_windows;
+
+  std::vector<Edge> initial;
+  for (uint64_t i = 0; i < stream.CountBefore(split_time); ++i) {
+    initial.push_back(stream.edges()[i].edge);
+  }
+
+  Topology topology = MakeEc2Topology();
+  Graph full = stream.Prefix(stream.edges().size());
+  std::vector<DcId> locations =
+      AssignGeoLocations(full, GeoLocatorOptions{});
+
+  RLCutOptions initial_opt;
+  initial_opt.max_steps = 8;
+  RLCutOptions window_opt;
+  window_opt.max_steps = 10;
+  window_opt.t_opt_seconds = window_budget;
+
+  RLCutDynamicDriver rlcut_driver(&topology, Workload::PageRank(),
+                                  PartitionState::AutoTheta(full), 3,
+                                  initial_opt, window_opt);
+  SpinnerDynamicDriver spinner_driver(&topology, Workload::PageRank(),
+                                      PartitionState::AutoTheta(full), 3,
+                                      SpinnerOptions{});
+
+  std::cout << "Initial graph: " << initial.size()
+            << " edges; replaying " << num_windows << " windows of "
+            << window_len / 3600 << " h each (budget " << window_budget
+            << " s/window)\n\n";
+
+  rlcut_driver.Initialize(stream_opt.num_vertices, initial, locations);
+  spinner_driver.Initialize(stream_opt.num_vertices, initial, locations);
+
+  TableWriter table({"Window", "NewEdges", "RLCut-ovh(s)", "RLCut-T(s)",
+                     "Spinner-ovh(s)", "Spinner-T(s)"});
+  for (int w = 0; w < num_windows; ++w) {
+    const double t0 = split_time + w * window_len;
+    const std::vector<Edge> window = stream.EdgesInWindow(t0, t0 + window_len);
+    if (window.empty()) continue;
+    const WindowResult ours = rlcut_driver.InsertWindow(window);
+    const WindowResult theirs = spinner_driver.InsertWindow(window);
+    table.AddRow({Fmt(static_cast<int64_t>(w)),
+                  Fmt(static_cast<uint64_t>(window.size())),
+                  Fmt(ours.overhead_seconds, 4),
+                  Fmt(ours.transfer_seconds, 6),
+                  Fmt(theirs.overhead_seconds, 4),
+                  Fmt(theirs.transfer_seconds, 6)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nRLCut sizes its per-window training to the budget; "
+               "Spinner runs to convergence regardless (Sec. VI, Exp#5).\n";
+  return 0;
+}

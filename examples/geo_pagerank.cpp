@@ -1,0 +1,100 @@
+// End-to-end geo-distributed PageRank: partition one of the paper's
+// dataset presets with several methods, execute PageRank on the
+// simulated PowerLyra runtime, and compare the *realized* inter-DC
+// transfer time and upload cost of each plan. Also cross-checks the
+// computed ranks against a single-machine reference.
+//
+//   ./geo_pagerank [--graph=LJ] [--scale=2000] [--iterations=10]
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "baselines/partitioner.h"
+#include "cloud/topology.h"
+#include "common/flags.h"
+#include "common/table_writer.h"
+#include "engine/gas_engine.h"
+#include "engine/reference.h"
+#include "engine/vertex_program.h"
+#include "graph/datasets.h"
+#include "graph/geo.h"
+#include "rlcut/rlcut_partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace rlcut;
+
+  FlagParser flags;
+  flags.DefineString("graph", "LJ", "dataset preset (LJ/OT/UK/IT/TW)");
+  flags.DefineInt("scale", 2000, "dataset down-scale factor");
+  flags.DefineInt("iterations", 10, "PageRank iterations");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Usage(argv[0]);
+    return 0;
+  }
+
+  Result<Dataset> dataset = ParseDataset(flags.GetString("graph"));
+  if (!dataset.ok()) {
+    std::cerr << dataset.status().ToString() << "\n";
+    return 1;
+  }
+  const int iterations = static_cast<int>(flags.GetInt("iterations"));
+
+  Graph graph = LoadDataset(*dataset,
+                            static_cast<uint64_t>(flags.GetInt("scale")));
+  Topology topology = MakeEc2Topology();
+  std::vector<DcId> locations =
+      AssignGeoLocations(graph, GeoLocatorOptions{});
+  std::vector<double> input_sizes = AssignInputSizes(graph);
+
+  PartitionerContext ctx;
+  ctx.graph = &graph;
+  ctx.topology = &topology;
+  ctx.locations = &locations;
+  ctx.input_sizes = &input_sizes;
+  ctx.workload = Workload::PageRank(iterations);
+  ctx.theta = PartitionState::AutoTheta(graph);
+  ctx.budget = 1e9;  // loose: this example compares performance only
+
+  std::cout << "Dataset " << DatasetName(*dataset) << " @1/"
+            << flags.GetInt("scale") << ": " << graph.num_vertices()
+            << " vertices, " << graph.num_edges() << " edges\n\n";
+
+  const std::vector<double> reference =
+      ReferencePageRank(graph, iterations);
+
+  std::vector<std::unique_ptr<Partitioner>> methods;
+  methods.push_back(MakeRandPg());
+  methods.push_back(MakeHashPl());
+  methods.push_back(MakeGinger());
+  methods.push_back(MakeRLCut());
+
+  TableWriter table({"Method", "PartitionOverhead(s)", "RealizedTransfer(s)",
+                     "UploadCost($)", "WAN(MB)", "lambda", "MaxRankErr"});
+  for (auto& method : methods) {
+    PartitionOutput out = method->Run(ctx);
+    auto program = MakePageRank(iterations);
+    GasEngine engine(&out.state);
+    const RunResult run = engine.Run(program.get());
+
+    double max_err = 0;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      max_err = std::max(max_err, std::fabs(run.values[v] - reference[v]));
+    }
+    table.AddRow({method->name(), Fmt(out.overhead_seconds, 4),
+                  Fmt(run.total_transfer_seconds, 6),
+                  Fmt(run.total_upload_cost, 4),
+                  Fmt(run.total_wan_bytes / 1e6, 2),
+                  Fmt(out.state.ReplicationFactor(), 2),
+                  Fmt(max_err, 12)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nMaxRankErr is the largest deviation from a single-machine "
+               "PageRank: the distributed execution is exact regardless of "
+               "the partitioning.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include <cmath>
+#include <vector>
+
+#include "baselines/extra_partitioners.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace rlcut {
+namespace {
+
+/// Simulated annealing over hybrid-cut master placements: the classic
+/// single-solution metaheuristic RLCut's multi-agent search can be
+/// compared against at an equal evaluation budget. The energy is the
+/// Eq. 1 transfer time plus a soft budget-violation penalty.
+class AnnealingPartitioner : public Partitioner {
+ public:
+  explicit AnnealingPartitioner(AnnealingOptions options)
+      : options_(options) {}
+
+  std::string name() const override { return "Annealing"; }
+  ComputeModel model() const override { return ComputeModel::kHybridCut; }
+
+  PartitionOutput Run(const PartitionerContext& ctx) override {
+    WallTimer timer;
+    const Graph& graph = *ctx.graph;
+    const int num_dcs = ctx.topology->num_dcs();
+    Rng rng(ctx.seed);
+
+    PartitionConfig config;
+    config.model = ComputeModel::kHybridCut;
+    config.theta = ctx.theta;
+    config.workload = ctx.workload;
+    PartitionState state(ctx.graph, ctx.topology, ctx.locations,
+                         ctx.input_sizes, config);
+    state.ResetDerived(*ctx.locations);  // natural start, like RLCut
+
+    auto energy = [&](const Objective& obj) {
+      double penalty = 0;
+      if (ctx.budget > 0 && obj.cost_dollars > ctx.budget) {
+        penalty = options_.budget_penalty *
+                  (obj.cost_dollars - ctx.budget) / ctx.budget;
+      }
+      // Smooth term keeps acceptance informative on the bottleneck
+      // plateau, mirroring the trainer's surrogate.
+      return obj.transfer_seconds + 0.2 * obj.smooth_seconds +
+             penalty * std::max(obj.transfer_seconds, 1e-12);
+    };
+
+    EvalScratch scratch;
+    Objective current = state.CurrentObjective();
+    double current_energy = energy(current);
+    const int64_t iterations =
+        options_.moves_per_vertex *
+        static_cast<int64_t>(graph.num_vertices());
+    double temperature = options_.initial_temperature * current_energy;
+    const double cooling =
+        iterations > 1
+            ? std::pow(options_.final_temperature_fraction,
+                       1.0 / static_cast<double>(iterations))
+            : 1.0;
+
+    for (int64_t i = 0; i < iterations; ++i) {
+      const VertexId v =
+          static_cast<VertexId>(rng.UniformInt(graph.num_vertices()));
+      const DcId to = static_cast<DcId>(rng.UniformInt(num_dcs));
+      const DcId from = state.master(v);
+      if (to == from) {
+        temperature *= cooling;
+        continue;
+      }
+      const Objective proposed = state.EvaluateMove(v, to, &scratch);
+      // Hard feasibility: never accept a move that lands above budget
+      // while increasing cost (same rule as the trainer).
+      const bool breaks_budget =
+          ctx.budget > 0 && proposed.cost_dollars > ctx.budget &&
+          proposed.cost_dollars > current.cost_dollars;
+      const double proposed_energy = energy(proposed);
+      const double delta = proposed_energy - current_energy;
+      const bool accept =
+          !breaks_budget &&
+          (delta <= 0 ||
+           rng.UniformDouble() <
+               std::exp(-delta / std::max(temperature, 1e-30)));
+      if (accept) {
+        state.MoveMaster(v, to);
+        current = proposed;
+        current_energy = proposed_energy;
+      }
+      temperature *= cooling;
+    }
+
+    return PartitionOutput(std::move(state), timer.ElapsedSeconds());
+  }
+
+ private:
+  AnnealingOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeAnnealing(AnnealingOptions options) {
+  return std::make_unique<AnnealingPartitioner>(options);
+}
+
+}  // namespace rlcut

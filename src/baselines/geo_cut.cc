@@ -1,0 +1,107 @@
+#include <numeric>
+#include <vector>
+
+#include "baselines/partitioner.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace rlcut {
+namespace {
+
+/// Geo-Cut (Zhou et al., ICDCS'17): network-aware streaming vertex-cut.
+/// Edges are streamed in random order; each is placed on the DC that
+/// minimizes the resulting inter-DC transfer time among placements that
+/// keep the total cost within budget (falling back to the cheapest DC
+/// when none is feasible). Optional refinement sweeps re-place every
+/// edge against the finished layout, which is where most of Geo-Cut's
+/// (large) overhead goes.
+class GeoCutPartitioner : public Partitioner {
+ public:
+  explicit GeoCutPartitioner(GeoCutOptions options) : options_(options) {}
+
+  std::string name() const override { return "Geo-Cut"; }
+  ComputeModel model() const override { return ComputeModel::kVertexCut; }
+
+  PartitionOutput Run(const PartitionerContext& ctx) override {
+    WallTimer timer;
+    const Graph& graph = *ctx.graph;
+    const int num_dcs = ctx.topology->num_dcs();
+    Rng rng(ctx.seed);
+
+    PartitionConfig config;
+    config.model = ComputeModel::kVertexCut;
+    config.theta = ctx.theta;
+    config.workload = ctx.workload;
+    PartitionState state(ctx.graph, ctx.topology, ctx.locations,
+                         ctx.input_sizes, config);
+    state.ResetUnplaced(*ctx.locations);
+
+    std::vector<EdgeId> order(graph.num_edges());
+    std::iota(order.begin(), order.end(), EdgeId{0});
+    rng.Shuffle(order);
+
+    EvalScratch scratch;
+    auto place_best = [&](EdgeId e) {
+      DcId best = kNoDc;
+      double best_time = 0;
+      DcId cheapest = kNoDc;
+      double cheapest_cost = 0;
+      for (DcId r = 0; r < num_dcs; ++r) {
+        const Objective obj = state.EvaluatePlaceEdge(e, r, &scratch);
+        if (cheapest == kNoDc || obj.cost_dollars < cheapest_cost) {
+          cheapest_cost = obj.cost_dollars;
+          cheapest = r;
+        }
+        const bool feasible = ctx.budget <= 0 || obj.cost_dollars <= ctx.budget;
+        if (feasible && (best == kNoDc || obj.transfer_seconds < best_time)) {
+          best_time = obj.transfer_seconds;
+          best = r;
+        }
+      }
+      state.PlaceEdge(e, best == kNoDc ? cheapest : best);
+    };
+
+    for (EdgeId e : order) place_best(e);
+    for (int round = 0; round < options_.refinement_rounds; ++round) {
+      rng.Shuffle(order);
+      for (EdgeId e : order) place_best(e);
+    }
+
+    // Master-selection pass (Zhou et al. optimize masters as well as
+    // edges): move each vertex's master to the replica DC that
+    // minimizes transfer time among budget-feasible choices. SetMaster
+    // does not move edges, so this is pure win-or-keep.
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      const uint64_t replicas = state.ReplicaMask(v);
+      DcId best = state.master(v);
+      Objective best_obj = state.CurrentObjective();
+      for (DcId r = 0; r < num_dcs; ++r) {
+        if (r == best || !((replicas >> r) & 1)) continue;
+        const DcId previous = state.master(v);
+        state.SetMaster(v, r);
+        const Objective obj = state.CurrentObjective();
+        const bool feasible =
+            ctx.budget <= 0 || obj.cost_dollars <= ctx.budget;
+        if (feasible && obj.transfer_seconds < best_obj.transfer_seconds) {
+          best = r;
+          best_obj = obj;
+        } else {
+          state.SetMaster(v, previous);
+        }
+      }
+    }
+
+    return PartitionOutput(std::move(state), timer.ElapsedSeconds());
+  }
+
+ private:
+  GeoCutOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeGeoCut(GeoCutOptions options) {
+  return std::make_unique<GeoCutPartitioner>(options);
+}
+
+}  // namespace rlcut

@@ -1,0 +1,95 @@
+#include <numeric>
+#include <vector>
+
+#include "baselines/partitioner.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace rlcut {
+namespace {
+
+/// PowerLyra's Ginger heuristic: high-degree vertices are hashed;
+/// low-degree vertices are streamed in random order and greedily placed
+/// on the partition maximizing the Fennel-style score
+///
+///   c(v, S_i) = |N_in(v) ∩ S_i| - b(S_i),
+///   b(S_i)    = 0.5 * (|V_i| + |V|/|E| * |E_i|),
+///
+/// where |E_i| counts in-edges already attracted to partition i.
+class GingerPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "Ginger"; }
+  ComputeModel model() const override { return ComputeModel::kHybridCut; }
+
+  PartitionOutput Run(const PartitionerContext& ctx) override {
+    WallTimer timer;
+    const Graph& graph = *ctx.graph;
+    const int num_dcs = ctx.topology->num_dcs();
+    const VertexId n = graph.num_vertices();
+    Rng rng(ctx.seed);
+
+    std::vector<DcId> masters(n, kNoDc);
+    std::vector<double> vertex_load(num_dcs, 0);
+    std::vector<double> edge_load(num_dcs, 0);
+    const double edge_weight =
+        graph.num_edges() == 0
+            ? 0.0
+            : static_cast<double>(n) / static_cast<double>(graph.num_edges());
+
+    // High-degree vertices by hash (their in-edges scatter to source
+    // masters anyway, so locality-driven placement buys little).
+    std::vector<VertexId> low_degree;
+    low_degree.reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+      if (graph.InDegree(v) >= ctx.theta) {
+        const DcId dc = static_cast<DcId>(HashU64(v ^ ctx.seed) % num_dcs);
+        masters[v] = dc;
+        vertex_load[dc] += 1;
+        edge_load[dc] += graph.InDegree(v);
+      } else {
+        low_degree.push_back(v);
+      }
+    }
+
+    // Stream low-degree vertices in random order.
+    rng.Shuffle(low_degree);
+    std::vector<double> neighbor_count(num_dcs, 0);
+    for (VertexId v : low_degree) {
+      std::fill(neighbor_count.begin(), neighbor_count.end(), 0.0);
+      for (VertexId u : graph.InNeighbors(v)) {
+        if (masters[u] != kNoDc) neighbor_count[masters[u]] += 1;
+      }
+      DcId best = 0;
+      double best_score = -1e300;
+      for (DcId r = 0; r < num_dcs; ++r) {
+        const double balance =
+            0.5 * (vertex_load[r] + edge_weight * edge_load[r]);
+        const double score = neighbor_count[r] - balance;
+        if (score > best_score) {
+          best_score = score;
+          best = r;
+        }
+      }
+      masters[v] = best;
+      vertex_load[best] += 1;
+      edge_load[best] += graph.InDegree(v);
+    }
+
+    PartitionConfig config;
+    config.model = ComputeModel::kHybridCut;
+    config.theta = ctx.theta;
+    config.workload = ctx.workload;
+    PartitionState state(ctx.graph, ctx.topology, ctx.locations,
+                         ctx.input_sizes, config);
+    state.ResetDerived(masters);
+    return PartitionOutput(std::move(state), timer.ElapsedSeconds());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeGinger() {
+  return std::make_unique<GingerPartitioner>();
+}
+
+}  // namespace rlcut

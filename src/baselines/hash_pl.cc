@@ -1,0 +1,42 @@
+#include <vector>
+
+#include "baselines/partitioner.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace rlcut {
+namespace {
+
+/// PowerLyra's hash-based hybrid-cut: every vertex's master is
+/// hash(v) % M; edges follow the low-cut/high-cut placement rules.
+class HashPlPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "HashPL"; }
+  ComputeModel model() const override { return ComputeModel::kHybridCut; }
+
+  PartitionOutput Run(const PartitionerContext& ctx) override {
+    WallTimer timer;
+    const int num_dcs = ctx.topology->num_dcs();
+    std::vector<DcId> masters(ctx.graph->num_vertices());
+    for (VertexId v = 0; v < ctx.graph->num_vertices(); ++v) {
+      masters[v] = static_cast<DcId>(HashU64(v ^ ctx.seed) % num_dcs);
+    }
+
+    PartitionConfig config;
+    config.model = ComputeModel::kHybridCut;
+    config.theta = ctx.theta;
+    config.workload = ctx.workload;
+    PartitionState state(ctx.graph, ctx.topology, ctx.locations,
+                         ctx.input_sizes, config);
+    state.ResetDerived(masters);
+    return PartitionOutput(std::move(state), timer.ElapsedSeconds());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeHashPl() {
+  return std::make_unique<HashPlPartitioner>();
+}
+
+}  // namespace rlcut

@@ -1,0 +1,116 @@
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "baselines/extra_partitioners.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace rlcut {
+namespace {
+
+/// HDRF (Petroni et al., CIKM'15): streaming vertex-cut that prefers to
+/// replicate high-degree endpoints. For edge (u, v) and partition p:
+///
+///   C_rep(p) = g(u, p) + g(v, p)
+///   g(w, p)  = (1 + norm_other_degree(w)) if w has a replica on p else 0
+///   C_bal(p) = lambda * (maxload - load_p) / (1 + maxload - minload)
+///
+/// and the edge goes to argmax C_rep + C_bal.
+class HdrfPartitioner : public Partitioner {
+ public:
+  explicit HdrfPartitioner(HdrfOptions options) : options_(options) {}
+
+  std::string name() const override { return "HDRF"; }
+  ComputeModel model() const override { return ComputeModel::kVertexCut; }
+
+  PartitionOutput Run(const PartitionerContext& ctx) override {
+    WallTimer timer;
+    const Graph& graph = *ctx.graph;
+    const int num_dcs = ctx.topology->num_dcs();
+    Rng rng(ctx.seed);
+
+    std::vector<uint64_t> replicas(graph.num_vertices(), 0);
+    std::vector<uint64_t> partial_degree(graph.num_vertices(), 0);
+    std::vector<double> load(num_dcs, 0);
+    std::vector<DcId> edge_dc(graph.num_edges(), kNoDc);
+    std::vector<uint32_t> incident(
+        static_cast<size_t>(graph.num_vertices()) * num_dcs, 0);
+
+    std::vector<EdgeId> order(graph.num_edges());
+    std::iota(order.begin(), order.end(), EdgeId{0});
+    rng.Shuffle(order);
+
+    for (EdgeId e : order) {
+      const VertexId src = graph.EdgeSource(e);
+      const VertexId dst = graph.EdgeTarget(e);
+      ++partial_degree[src];
+      ++partial_degree[dst];
+      const double total = static_cast<double>(partial_degree[src]) +
+                           static_cast<double>(partial_degree[dst]);
+      const double theta_src =
+          static_cast<double>(partial_degree[src]) / total;
+      const double theta_dst = 1.0 - theta_src;
+
+      const double max_load = *std::max_element(load.begin(), load.end());
+      const double min_load = *std::min_element(load.begin(), load.end());
+
+      DcId best = 0;
+      double best_score = -1e300;
+      for (DcId r = 0; r < num_dcs; ++r) {
+        double rep = 0;
+        // Degree-normalized replica affinity: the *lower*-degree
+        // endpoint pulls harder, so hubs get replicated (the H in HDRF).
+        if ((replicas[src] >> r) & 1) rep += 1.0 + (1.0 - theta_src);
+        if ((replicas[dst] >> r) & 1) rep += 1.0 + (1.0 - theta_dst);
+        const double bal = options_.lambda * (max_load - load[r]) /
+                           (1.0 + max_load - min_load);
+        const double score = rep + bal;
+        if (score > best_score) {
+          best_score = score;
+          best = r;
+        }
+      }
+      edge_dc[e] = best;
+      replicas[src] |= 1ull << best;
+      replicas[dst] |= 1ull << best;
+      load[best] += 1;
+      ++incident[static_cast<size_t>(src) * num_dcs + best];
+      ++incident[static_cast<size_t>(dst) * num_dcs + best];
+    }
+
+    std::vector<DcId> masters(graph.num_vertices());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      const uint32_t* row = &incident[static_cast<size_t>(v) * num_dcs];
+      DcId best = kNoDc;
+      uint32_t best_count = 0;
+      for (DcId r = 0; r < num_dcs; ++r) {
+        if (row[r] > best_count) {
+          best_count = row[r];
+          best = r;
+        }
+      }
+      masters[v] = best == kNoDc ? (*ctx.locations)[v] : best;
+    }
+
+    PartitionConfig config;
+    config.model = ComputeModel::kVertexCut;
+    config.theta = ctx.theta;
+    config.workload = ctx.workload;
+    PartitionState state(ctx.graph, ctx.topology, ctx.locations,
+                         ctx.input_sizes, config);
+    state.ResetWithPlacement(masters, edge_dc);
+    return PartitionOutput(std::move(state), timer.ElapsedSeconds());
+  }
+
+ private:
+  HdrfOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeHdrf(HdrfOptions options) {
+  return std::make_unique<HdrfPartitioner>(options);
+}
+
+}  // namespace rlcut

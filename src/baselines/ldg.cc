@@ -1,0 +1,93 @@
+#include <numeric>
+#include <vector>
+
+#include "baselines/extra_partitioners.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace rlcut {
+namespace {
+
+/// LDG (Stanton & Kliot, KDD'12): one-pass streaming edge-cut. Vertex v
+/// goes to argmax over partitions of
+///   |N(v) ∩ V_i| * (1 - |V_i| / C),   C = |V| / M * slack.
+class LdgPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "LDG"; }
+  ComputeModel model() const override { return ComputeModel::kEdgeCut; }
+
+  PartitionOutput Run(const PartitionerContext& ctx) override {
+    WallTimer timer;
+    const Graph& graph = *ctx.graph;
+    const int num_dcs = ctx.topology->num_dcs();
+    const VertexId n = graph.num_vertices();
+    Rng rng(ctx.seed);
+
+    const double capacity =
+        1.05 * static_cast<double>(n) / static_cast<double>(num_dcs);
+
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    rng.Shuffle(order);
+
+    std::vector<DcId> masters(n, kNoDc);
+    std::vector<double> load(num_dcs, 0);
+    std::vector<double> neighbor_count(num_dcs, 0);
+    for (VertexId v : order) {
+      std::fill(neighbor_count.begin(), neighbor_count.end(), 0.0);
+      for (VertexId u : graph.OutNeighbors(v)) {
+        if (masters[u] != kNoDc) neighbor_count[masters[u]] += 1;
+      }
+      for (VertexId u : graph.InNeighbors(v)) {
+        if (masters[u] != kNoDc) neighbor_count[masters[u]] += 1;
+      }
+      DcId best = 0;
+      double best_score = -1e300;
+      for (DcId r = 0; r < num_dcs; ++r) {
+        const double score =
+            (neighbor_count[r] + 1.0) * (1.0 - load[r] / capacity);
+        if (score > best_score) {
+          best_score = score;
+          best = r;
+        }
+      }
+      masters[v] = best;
+      load[best] += 1;
+    }
+
+    PartitionConfig config;
+    config.model = ComputeModel::kEdgeCut;
+    config.theta = ctx.theta;
+    config.workload = ctx.workload;
+    PartitionState state(ctx.graph, ctx.topology, ctx.locations,
+                         ctx.input_sizes, config);
+    state.ResetDerived(masters);
+    return PartitionOutput(std::move(state), timer.ElapsedSeconds());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeLdg() {
+  return std::make_unique<LdgPartitioner>();
+}
+
+std::unique_ptr<Partitioner> MakePartitionerByName(const std::string& name) {
+  if (name == "RandPG") return MakeRandPg();
+  if (name == "Geo-Cut" || name == "GeoCut") return MakeGeoCut();
+  if (name == "HashPL") return MakeHashPl();
+  if (name == "Ginger") return MakeGinger();
+  if (name == "Revolver") return MakeRevolver();
+  if (name == "Spinner") return MakeSpinner();
+  if (name == "Fennel") return MakeFennel();
+  if (name == "Oblivious") return MakeOblivious();
+  if (name == "HDRF" || name == "Hdrf") return MakeHdrf();
+  if (name == "LDG" || name == "Ldg") return MakeLdg();
+  if (name == "Multilevel") return MakeMultilevel();
+  if (name == "Annealing") return MakeAnnealing();
+  if (name == "SingleAgentRL") return MakeSingleAgentRl();
+  if (name == "GrapH") return MakeGrapH();
+  return nullptr;
+}
+
+}  // namespace rlcut

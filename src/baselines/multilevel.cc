@@ -1,0 +1,284 @@
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "baselines/extra_partitioners.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace rlcut {
+namespace {
+
+/// One level of the coarsening hierarchy: an undirected weighted graph
+/// in adjacency-list form plus the mapping to the finer level.
+struct CoarseLevel {
+  // CSR-ish adjacency: per vertex, (neighbor, edge weight) pairs.
+  std::vector<std::vector<std::pair<VertexId, double>>> adjacency;
+  std::vector<double> vertex_weight;
+  // fine_to_coarse[v] = coarse vertex that fine vertex v merged into.
+  std::vector<VertexId> fine_to_coarse;
+};
+
+/// Builds the base level from the (directed, possibly multi-) graph:
+/// symmetrized, parallel edges merged into weights.
+CoarseLevel BuildBaseLevel(const Graph& graph) {
+  CoarseLevel level;
+  const VertexId n = graph.num_vertices();
+  level.adjacency.resize(n);
+  level.vertex_weight.assign(n, 1.0);
+  // Accumulate undirected weights.
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge edge = graph.GetEdge(e);
+    if (edge.src == edge.dst) continue;
+    level.adjacency[edge.src].push_back({edge.dst, 1.0});
+    level.adjacency[edge.dst].push_back({edge.src, 1.0});
+  }
+  // Merge parallel entries.
+  for (auto& neighbors : level.adjacency) {
+    std::sort(neighbors.begin(), neighbors.end());
+    size_t out = 0;
+    for (size_t i = 0; i < neighbors.size();) {
+      size_t j = i;
+      double weight = 0;
+      while (j < neighbors.size() &&
+             neighbors[j].first == neighbors[i].first) {
+        weight += neighbors[j].second;
+        ++j;
+      }
+      neighbors[out++] = {neighbors[i].first, weight};
+      i = j;
+    }
+    neighbors.resize(out);
+  }
+  return level;
+}
+
+/// Heavy-edge matching coarsening: each unmatched vertex merges with its
+/// heaviest unmatched neighbor. Returns the coarser level.
+CoarseLevel Coarsen(const CoarseLevel& fine, Rng& rng) {
+  const VertexId n = static_cast<VertexId>(fine.adjacency.size());
+  std::vector<VertexId> match(n, static_cast<VertexId>(-1));
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.Shuffle(order);
+
+  for (VertexId v : order) {
+    if (match[v] != static_cast<VertexId>(-1)) continue;
+    VertexId best = v;  // self-match = stays single
+    double best_weight = -1;
+    for (const auto& [u, w] : fine.adjacency[v]) {
+      if (u != v && match[u] == static_cast<VertexId>(-1) &&
+          w > best_weight) {
+        best_weight = w;
+        best = u;
+      }
+    }
+    match[v] = best;
+    match[best] = v;
+  }
+
+  // Assign coarse ids.
+  CoarseLevel coarse;
+  coarse.fine_to_coarse.assign(n, static_cast<VertexId>(-1));
+  VertexId next_id = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (coarse.fine_to_coarse[v] != static_cast<VertexId>(-1)) continue;
+    const VertexId partner = match[v];
+    coarse.fine_to_coarse[v] = next_id;
+    coarse.fine_to_coarse[partner] = next_id;  // may be v itself
+    ++next_id;
+  }
+  coarse.adjacency.resize(next_id);
+  coarse.vertex_weight.assign(next_id, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    coarse.vertex_weight[coarse.fine_to_coarse[v]] +=
+        fine.vertex_weight[v];
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId cv = coarse.fine_to_coarse[v];
+    for (const auto& [u, w] : fine.adjacency[v]) {
+      const VertexId cu = coarse.fine_to_coarse[u];
+      if (cu != cv) coarse.adjacency[cv].push_back({cu, w});
+    }
+  }
+  for (auto& neighbors : coarse.adjacency) {
+    std::sort(neighbors.begin(), neighbors.end());
+    size_t out = 0;
+    for (size_t i = 0; i < neighbors.size();) {
+      size_t j = i;
+      double weight = 0;
+      while (j < neighbors.size() &&
+             neighbors[j].first == neighbors[i].first) {
+        weight += neighbors[j].second;
+        ++j;
+      }
+      neighbors[out++] = {neighbors[i].first, weight};
+      i = j;
+    }
+    neighbors.resize(out);
+  }
+  return coarse;
+}
+
+/// Greedy balanced initial assignment of the coarsest level.
+std::vector<DcId> InitialAssignment(const CoarseLevel& level,
+                                    int num_dcs) {
+  const VertexId n = static_cast<VertexId>(level.adjacency.size());
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  // Heaviest first, then greedy least-loaded with locality preference.
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return level.vertex_weight[a] > level.vertex_weight[b];
+  });
+  double total_weight = 0;
+  for (double w : level.vertex_weight) total_weight += w;
+  // Hard capacity: without it, locality gains funnel everything into
+  // one partition and refinement cannot recover balance.
+  const double capacity =
+      1.05 * total_weight / static_cast<double>(num_dcs);
+
+  std::vector<DcId> assign(n, kNoDc);
+  std::vector<double> load(num_dcs, 0);
+  std::vector<double> gain(num_dcs, 0);
+  for (VertexId v : order) {
+    std::fill(gain.begin(), gain.end(), 0.0);
+    for (const auto& [u, w] : level.adjacency[v]) {
+      if (assign[u] != kNoDc) gain[assign[u]] += w;
+    }
+    DcId best = kNoDc;
+    double best_score = -1e300;
+    for (DcId r = 0; r < num_dcs; ++r) {
+      if (load[r] + level.vertex_weight[v] > capacity) continue;
+      // Locality first; break ties toward the least-loaded partition.
+      const double score = gain[r] - 1e-6 * load[r];
+      if (score > best_score) {
+        best_score = score;
+        best = r;
+      }
+    }
+    if (best == kNoDc) {
+      // Every partition at capacity (possible when one coarse vertex
+      // outweighs the capacity): fall back to least-loaded.
+      best = 0;
+      for (DcId r = 1; r < num_dcs; ++r) {
+        if (load[r] < load[best]) best = r;
+      }
+    }
+    assign[v] = best;
+    load[best] += level.vertex_weight[v];
+  }
+  return assign;
+}
+
+/// Boundary refinement: move vertices to the neighboring partition with
+/// the largest edge-weight gain, subject to a balance cap.
+void Refine(const CoarseLevel& level, std::vector<DcId>& assign,
+            int num_dcs, int passes, Rng& rng) {
+  const VertexId n = static_cast<VertexId>(level.adjacency.size());
+  std::vector<double> load(num_dcs, 0);
+  double total_weight = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    load[assign[v]] += level.vertex_weight[v];
+    total_weight += level.vertex_weight[v];
+  }
+  const double capacity =
+      1.05 * total_weight / static_cast<double>(num_dcs);
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<double> gain(num_dcs, 0);
+  for (int pass = 0; pass < passes; ++pass) {
+    rng.Shuffle(order);
+    uint64_t moves = 0;
+    for (VertexId v : order) {
+      std::fill(gain.begin(), gain.end(), 0.0);
+      for (const auto& [u, w] : level.adjacency[v]) gain[assign[u]] += w;
+      const DcId current = assign[v];
+      DcId best = current;
+      for (DcId r = 0; r < num_dcs; ++r) {
+        if (r == current) continue;
+        if (load[r] + level.vertex_weight[v] > capacity) continue;
+        if (gain[r] > gain[best]) best = r;
+      }
+      if (best != current && gain[best] > gain[current]) {
+        load[current] -= level.vertex_weight[v];
+        load[best] += level.vertex_weight[v];
+        assign[v] = best;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+}
+
+/// Multilevel edge-cut partitioner (METIS-style: heavy-edge-matching
+/// coarsening, greedy initial partitioning, per-level boundary
+/// refinement). Offline-quality edge-cut baseline; network-oblivious
+/// like the partitioners it stands next to.
+class MultilevelPartitioner : public Partitioner {
+ public:
+  explicit MultilevelPartitioner(MultilevelOptions options)
+      : options_(options) {}
+
+  std::string name() const override { return "Multilevel"; }
+  ComputeModel model() const override { return ComputeModel::kEdgeCut; }
+
+  PartitionOutput Run(const PartitionerContext& ctx) override {
+    WallTimer timer;
+    const Graph& graph = *ctx.graph;
+    const int num_dcs = ctx.topology->num_dcs();
+    Rng rng(ctx.seed);
+
+    // Coarsening hierarchy.
+    std::vector<CoarseLevel> levels;
+    levels.push_back(BuildBaseLevel(graph));
+    const VertexId coarse_target = std::max<VertexId>(
+        static_cast<VertexId>(num_dcs) * options_.coarse_vertices_per_dc,
+        16);
+    while (levels.back().adjacency.size() > coarse_target &&
+           static_cast<int>(levels.size()) <= options_.max_levels) {
+      CoarseLevel next = Coarsen(levels.back(), rng);
+      // Matching failed to shrink (e.g. isolated vertices only): stop.
+      if (next.adjacency.size() >= levels.back().adjacency.size()) break;
+      levels.push_back(std::move(next));
+    }
+
+    // Initial partition at the coarsest level, then project + refine.
+    std::vector<DcId> assign = InitialAssignment(levels.back(), num_dcs);
+    Refine(levels.back(), assign, num_dcs, options_.refinement_passes,
+           rng);
+    for (size_t li = levels.size() - 1; li > 0; --li) {
+      // Project to the finer level (levels[li].fine_to_coarse maps
+      // level li-1 vertices into level li).
+      const CoarseLevel& finer = levels[li - 1];
+      const std::vector<VertexId>& map = levels[li].fine_to_coarse;
+      std::vector<DcId> finer_assign(finer.adjacency.size());
+      for (VertexId v = 0; v < finer.adjacency.size(); ++v) {
+        finer_assign[v] = assign[map[v]];
+      }
+      assign = std::move(finer_assign);
+      Refine(finer, assign, num_dcs, options_.refinement_passes, rng);
+    }
+
+    PartitionConfig config;
+    config.model = ComputeModel::kEdgeCut;
+    config.theta = ctx.theta;
+    config.workload = ctx.workload;
+    PartitionState state(ctx.graph, ctx.topology, ctx.locations,
+                         ctx.input_sizes, config);
+    state.ResetDerived(assign);
+    return PartitionOutput(std::move(state), timer.ElapsedSeconds());
+  }
+
+ private:
+  MultilevelOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeMultilevel(MultilevelOptions options) {
+  return std::make_unique<MultilevelPartitioner>(options);
+}
+
+}  // namespace rlcut

@@ -1,0 +1,114 @@
+#include <numeric>
+#include <vector>
+
+#include "baselines/extra_partitioners.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace rlcut {
+namespace {
+
+/// PowerGraph's greedy "Oblivious" vertex-cut (Gonzalez et al.,
+/// OSDI'12): edges are streamed and each is placed by the classic
+/// case analysis on where its endpoints already have replicas:
+///   1. both endpoints share replica DCs  -> least-loaded shared DC;
+///   2. only one endpoint has replicas    -> its least-loaded DC;
+///   3. both have replicas, none shared   -> least-loaded DC of the
+///      endpoint with the higher remaining degree;
+///   4. neither has replicas              -> least-loaded DC overall.
+class ObliviousPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "Oblivious"; }
+  ComputeModel model() const override { return ComputeModel::kVertexCut; }
+
+  PartitionOutput Run(const PartitionerContext& ctx) override {
+    WallTimer timer;
+    const Graph& graph = *ctx.graph;
+    const int num_dcs = ctx.topology->num_dcs();
+    Rng rng(ctx.seed);
+
+    std::vector<uint64_t> replicas(graph.num_vertices(), 0);  // bitmask
+    std::vector<uint64_t> load(num_dcs, 0);
+    std::vector<DcId> edge_dc(graph.num_edges(), kNoDc);
+    std::vector<uint32_t> incident(
+        static_cast<size_t>(graph.num_vertices()) * num_dcs, 0);
+    std::vector<uint32_t> remaining_degree(graph.num_vertices());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      remaining_degree[v] = graph.Degree(v);
+    }
+
+    std::vector<EdgeId> order(graph.num_edges());
+    std::iota(order.begin(), order.end(), EdgeId{0});
+    rng.Shuffle(order);
+
+    auto least_loaded_of = [&](uint64_t mask) {
+      DcId best = kNoDc;
+      for (DcId r = 0; r < num_dcs; ++r) {
+        if ((mask >> r) & 1) {
+          if (best == kNoDc || load[r] < load[best]) best = r;
+        }
+      }
+      return best;
+    };
+
+    for (EdgeId e : order) {
+      const VertexId src = graph.EdgeSource(e);
+      const VertexId dst = graph.EdgeTarget(e);
+      const uint64_t shared = replicas[src] & replicas[dst];
+      DcId target;
+      if (shared != 0) {
+        target = least_loaded_of(shared);
+      } else if (replicas[src] != 0 && replicas[dst] != 0) {
+        const VertexId heavier =
+            remaining_degree[src] >= remaining_degree[dst] ? src : dst;
+        target = least_loaded_of(replicas[heavier]);
+      } else if (replicas[src] != 0) {
+        target = least_loaded_of(replicas[src]);
+      } else if (replicas[dst] != 0) {
+        target = least_loaded_of(replicas[dst]);
+      } else {
+        target = least_loaded_of(~0ull >> (64 - num_dcs));
+      }
+      edge_dc[e] = target;
+      replicas[src] |= 1ull << target;
+      replicas[dst] |= 1ull << target;
+      ++load[target];
+      ++incident[static_cast<size_t>(src) * num_dcs + target];
+      ++incident[static_cast<size_t>(dst) * num_dcs + target];
+      if (remaining_degree[src] > 0) --remaining_degree[src];
+      if (remaining_degree[dst] > 0) --remaining_degree[dst];
+    }
+
+    // Master = replica DC holding most incident edges (home if none).
+    std::vector<DcId> masters(graph.num_vertices());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      const uint32_t* row = &incident[static_cast<size_t>(v) * num_dcs];
+      DcId best = kNoDc;
+      uint32_t best_count = 0;
+      for (DcId r = 0; r < num_dcs; ++r) {
+        if (row[r] > best_count) {
+          best_count = row[r];
+          best = r;
+        }
+      }
+      masters[v] = best == kNoDc ? (*ctx.locations)[v] : best;
+    }
+
+    PartitionConfig config;
+    config.model = ComputeModel::kVertexCut;
+    config.theta = ctx.theta;
+    config.workload = ctx.workload;
+    PartitionState state(ctx.graph, ctx.topology, ctx.locations,
+                         ctx.input_sizes, config);
+    state.ResetWithPlacement(masters, edge_dc);
+    return PartitionOutput(std::move(state), timer.ElapsedSeconds());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeOblivious() {
+  return std::make_unique<ObliviousPartitioner>();
+}
+
+}  // namespace rlcut

@@ -1,0 +1,118 @@
+#ifndef RLCUT_BASELINES_PARTITIONER_H_
+#define RLCUT_BASELINES_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/topology.h"
+#include "graph/graph.h"
+#include "partition/partition_state.h"
+#include "partition/workload.h"
+
+namespace rlcut {
+
+/// Everything a partitioner needs to run: the problem instance of
+/// Sec. III plus method-wide knobs.
+struct PartitionerContext {
+  const Graph* graph = nullptr;
+  const Topology* topology = nullptr;
+  /// Initial vertex locations L_v.
+  const std::vector<DcId>* locations = nullptr;
+  /// Input data sizes d_v (bytes).
+  const std::vector<double>* input_sizes = nullptr;
+  /// Workload whose traffic the partitioning is optimized for.
+  Workload workload = Workload::PageRank();
+  /// Hybrid-cut high-degree threshold.
+  uint32_t theta = 100;
+  /// Budget B on total inter-DC communication cost (Eq. 7), dollars.
+  /// Only budget-aware methods (Geo-Cut, RLCut) consult it.
+  double budget = 0;
+  uint64_t seed = 1;
+};
+
+/// A produced partitioning plus the measured optimization overhead
+/// (Table III's metric).
+struct PartitionOutput {
+  PartitionOutput(PartitionState state_in, double overhead)
+      : state(std::move(state_in)), overhead_seconds(overhead) {}
+
+  PartitionState state;
+  double overhead_seconds = 0;
+};
+
+/// Common interface for all static partitioning methods (Sec. VI-A3).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Paper name, e.g. "Ginger".
+  virtual std::string name() const = 0;
+
+  /// Which computation model the produced partitioning targets.
+  virtual ComputeModel model() const = 0;
+
+  /// Computes a partitioning. Self-times: the returned overhead is the
+  /// wall-clock optimization time.
+  virtual PartitionOutput Run(const PartitionerContext& ctx) = 0;
+};
+
+// ---- Factory functions for the paper's six comparisons ----------------
+
+/// RandPG: balanced p-way vertex-cut by random edge assignment
+/// (PowerGraph's random placement).
+std::unique_ptr<Partitioner> MakeRandPg();
+
+/// HashPL: hybrid-cut with hash-based master assignment (PowerLyra).
+std::unique_ptr<Partitioner> MakeHashPl();
+
+/// Ginger: hybrid-cut with Fennel-style greedy assignment of low-degree
+/// vertices (PowerLyra's Ginger heuristic); high-degree by hash.
+std::unique_ptr<Partitioner> MakeGinger();
+
+/// Geo-Cut: heuristic network-aware vertex-cut that streams edges to the
+/// DC minimizing the transfer-time increase subject to the cost budget
+/// (Zhou et al., ICDCS'17), plus a refinement pass.
+struct GeoCutOptions {
+  /// Number of greedy refinement sweeps after the streaming pass.
+  int refinement_rounds = 1;
+};
+std::unique_ptr<Partitioner> MakeGeoCut(GeoCutOptions options = {});
+
+/// Revolver: learning-automata edge-cut (Mofrad et al., IEEE CLOUD'18):
+/// one automaton per vertex, reward when the chosen partition is the
+/// locally dominant one under a balance penalty.
+struct RevolverOptions {
+  int iterations = 20;
+  double alpha = 0.1;  // LA reward parameter
+  double beta = 0.1;   // LA penalty parameter
+  double balance_weight = 1.0;
+};
+std::unique_ptr<Partitioner> MakeRevolver(RevolverOptions options = {});
+
+/// Spinner: label-propagation edge-cut (Martella et al., ICDE'17) with
+/// capacity-constrained moves; also provides the incremental interface
+/// used in the dynamic experiments.
+struct SpinnerOptions {
+  int max_iterations = 30;
+  /// Loosened capacity: a partition accepts up to
+  /// balance_slack * |E| / M edge-endpoints.
+  double balance_slack = 1.05;
+  /// Convergence: stop when fewer than this fraction of vertices moved.
+  double convergence_fraction = 0.002;
+};
+std::unique_ptr<Partitioner> MakeSpinner(SpinnerOptions options = {});
+
+/// Fennel: single-pass streaming edge-cut (Tsourakakis et al., WSDM'14).
+/// Not one of the paper's six comparisons; kept as an extra baseline.
+struct FennelOptions {
+  double gamma = 1.5;
+};
+std::unique_ptr<Partitioner> MakeFennel(FennelOptions options = {});
+
+/// All six paper comparisons, in Fig. 10 order.
+std::vector<std::unique_ptr<Partitioner>> MakePaperBaselines();
+
+}  // namespace rlcut
+
+#endif  // RLCUT_BASELINES_PARTITIONER_H_

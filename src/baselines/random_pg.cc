@@ -1,0 +1,66 @@
+#include <vector>
+
+#include "baselines/partitioner.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace rlcut {
+namespace {
+
+/// PowerGraph's random balanced p-way vertex-cut: each edge lands on a
+/// uniformly random DC; each vertex's master is the replica DC holding
+/// most of its edges (vertices without edges stay home).
+class RandPgPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "RandPG"; }
+  ComputeModel model() const override { return ComputeModel::kVertexCut; }
+
+  PartitionOutput Run(const PartitionerContext& ctx) override {
+    WallTimer timer;
+    const Graph& graph = *ctx.graph;
+    const int num_dcs = ctx.topology->num_dcs();
+    Rng rng(ctx.seed);
+
+    std::vector<DcId> edge_dc(graph.num_edges());
+    std::vector<uint32_t> incident(
+        static_cast<size_t>(graph.num_vertices()) * num_dcs, 0);
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const DcId dc = static_cast<DcId>(rng.UniformInt(num_dcs));
+      edge_dc[e] = dc;
+      ++incident[static_cast<size_t>(graph.EdgeSource(e)) * num_dcs + dc];
+      ++incident[static_cast<size_t>(graph.EdgeTarget(e)) * num_dcs + dc];
+    }
+
+    std::vector<DcId> masters(graph.num_vertices());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      const uint32_t* row = &incident[static_cast<size_t>(v) * num_dcs];
+      DcId best = kNoDc;
+      uint32_t best_count = 0;
+      for (DcId r = 0; r < num_dcs; ++r) {
+        if (row[r] > best_count) {
+          best_count = row[r];
+          best = r;
+        }
+      }
+      masters[v] = best == kNoDc ? (*ctx.locations)[v] : best;
+    }
+
+    PartitionConfig config;
+    config.model = ComputeModel::kVertexCut;
+    config.theta = ctx.theta;
+    config.workload = ctx.workload;
+    PartitionState state(ctx.graph, ctx.topology, ctx.locations,
+                         ctx.input_sizes, config);
+    state.ResetWithPlacement(masters, edge_dc);
+    return PartitionOutput(std::move(state), timer.ElapsedSeconds());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeRandPg() {
+  return std::make_unique<RandPgPartitioner>();
+}
+
+}  // namespace rlcut

@@ -1,0 +1,129 @@
+#include <vector>
+
+#include "baselines/partitioner.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace rlcut {
+namespace {
+
+// Exploration probability of the epsilon-greedy action selection.
+constexpr double kExploreRate = 0.15;
+
+/// Revolver (Mofrad et al., IEEE CLOUD'18): edge-cut partitioning with
+/// one learning automaton per vertex. Each iteration, a vertex scores
+/// partitions by neighbor locality discounted by load, receives a reward
+/// when its current partition is the top-scoring one (LRP update
+/// otherwise), then re-samples its assignment from the updated
+/// probability vector.
+class RevolverPartitioner : public Partitioner {
+ public:
+  explicit RevolverPartitioner(RevolverOptions options) : options_(options) {}
+
+  std::string name() const override { return "Revolver"; }
+  ComputeModel model() const override { return ComputeModel::kEdgeCut; }
+
+  PartitionOutput Run(const PartitionerContext& ctx) override {
+    WallTimer timer;
+    const Graph& graph = *ctx.graph;
+    const int num_dcs = ctx.topology->num_dcs();
+    const VertexId n = graph.num_vertices();
+    Rng rng(ctx.seed);
+
+    // Probability vectors, initialized uniform.
+    std::vector<double> prob(static_cast<size_t>(n) * num_dcs,
+                             1.0 / num_dcs);
+    std::vector<DcId> assignment(n);
+    std::vector<double> load(num_dcs, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      assignment[v] = static_cast<DcId>(rng.UniformInt(num_dcs));
+      load[assignment[v]] += 1;
+    }
+    const double capacity = static_cast<double>(n) / num_dcs;
+
+    std::vector<double> neighbor_count(num_dcs, 0);
+    std::vector<double> pick(num_dcs, 0);
+    for (int iter = 0; iter < options_.iterations; ++iter) {
+      for (VertexId v = 0; v < n; ++v) {
+        std::fill(neighbor_count.begin(), neighbor_count.end(), 0.0);
+        double degree = 0;
+        for (VertexId u : graph.OutNeighbors(v)) {
+          neighbor_count[assignment[u]] += 1;
+          degree += 1;
+        }
+        for (VertexId u : graph.InNeighbors(v)) {
+          neighbor_count[assignment[u]] += 1;
+          degree += 1;
+        }
+        DcId best = 0;
+        double best_score = -1e300;
+        for (DcId r = 0; r < num_dcs; ++r) {
+          const double locality =
+              degree > 0 ? neighbor_count[r] / degree : 0.0;
+          const double score =
+              locality - options_.balance_weight * (load[r] / capacity - 1.0);
+          if (score > best_score) {
+            best_score = score;
+            best = r;
+          }
+        }
+        double* p = &prob[static_cast<size_t>(v) * num_dcs];
+        const DcId current = assignment[v];
+        // Environment response: the locally dominant partition receives
+        // the reward (Eq. 8 shape); if the current assignment is not
+        // dominant it additionally receives a penalty (Eq. 9 shape), so
+        // mass flows from the current choice toward the dominant one.
+        for (DcId r = 0; r < num_dcs; ++r) {
+          p[r] = (r == best) ? p[r] + options_.alpha * (1.0 - p[r])
+                             : p[r] * (1.0 - options_.alpha);
+        }
+        if (current != best && num_dcs > 1) {
+          const double share =
+              options_.beta * p[current] / (num_dcs - 1);
+          for (DcId r = 0; r < num_dcs; ++r) {
+            p[r] = (r == current) ? p[r] * (1.0 - options_.beta)
+                                  : p[r] + share;
+          }
+        }
+        // Epsilon-greedy over the automaton: mostly exploit the mode of
+        // the probability vector (pure sampling thrashes and never
+        // consolidates locality), explore occasionally.
+        DcId next;
+        if (rng.Bernoulli(kExploreRate)) {
+          pick.assign(p, p + num_dcs);
+          next = static_cast<DcId>(rng.SampleDiscrete(pick));
+        } else {
+          next = 0;
+          for (DcId r = 1; r < num_dcs; ++r) {
+            if (p[r] > p[next]) next = r;
+          }
+        }
+        if (next != current) {
+          load[current] -= 1;
+          load[next] += 1;
+          assignment[v] = next;
+        }
+      }
+    }
+
+    PartitionConfig config;
+    config.model = ComputeModel::kEdgeCut;
+    config.theta = ctx.theta;
+    config.workload = ctx.workload;
+    PartitionState state(ctx.graph, ctx.topology, ctx.locations,
+                         ctx.input_sizes, config);
+    state.ResetDerived(assignment);
+    return PartitionOutput(std::move(state), timer.ElapsedSeconds());
+  }
+
+ private:
+  RevolverOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeRevolver(RevolverOptions options) {
+  return std::make_unique<RevolverPartitioner>(options);
+}
+
+}  // namespace rlcut

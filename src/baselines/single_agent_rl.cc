@@ -1,0 +1,118 @@
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/extra_partitioners.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace rlcut {
+namespace {
+
+/// Single-agent reinforcement learning over the joint action space
+/// (vertex, target DC) — the strawman Sec. IV argues against: one
+/// automaton must learn a probability distribution over |V| x M actions,
+/// so per-action signal accumulates |V| times slower than in the
+/// multi-agent decomposition. Included to make that comparison
+/// measurable (see bench_extras_comparison / EXPERIMENTS.md).
+///
+/// The probability vector is stored sparsely (entries that still carry
+/// the uniform initial mass are implicit), otherwise sampling a
+/// 40M-entry distribution would dominate the runtime and hide the
+/// learning behaviour the comparison is about.
+class SingleAgentRlPartitioner : public Partitioner {
+ public:
+  explicit SingleAgentRlPartitioner(SingleAgentRlOptions options)
+      : options_(options) {}
+
+  std::string name() const override { return "SingleAgentRL"; }
+  ComputeModel model() const override { return ComputeModel::kHybridCut; }
+
+  PartitionOutput Run(const PartitionerContext& ctx) override {
+    WallTimer timer;
+    const Graph& graph = *ctx.graph;
+    const int num_dcs = ctx.topology->num_dcs();
+    Rng rng(ctx.seed);
+
+    PartitionConfig config;
+    config.model = ComputeModel::kHybridCut;
+    config.theta = ctx.theta;
+    config.workload = ctx.workload;
+    PartitionState state(ctx.graph, ctx.topology, ctx.locations,
+                         ctx.input_sizes, config);
+    state.ResetDerived(*ctx.locations);
+
+    const uint64_t num_actions =
+        static_cast<uint64_t>(graph.num_vertices()) * num_dcs;
+    // Sparse automaton: actions not in the map still hold the uniform
+    // initial mass. With |V| x M actions the distribution stays
+    // near-uniform for any realistic training length (each action is
+    // visited ~iterations/num_actions times — the whole point of the
+    // comparison), so selection is approximated O(1) as: exploit the
+    // current best-learned action with the probability mass it has
+    // accumulated relative to uniform, otherwise draw uniformly.
+    std::unordered_map<uint64_t, double> learned;
+    const double uniform_mass = 1.0 / static_cast<double>(num_actions);
+    uint64_t best_action = 0;
+    double best_mass = uniform_mass;
+
+    auto sample_action = [&]() -> uint64_t {
+      const double exploit_probability =
+          best_mass / (best_mass + 1.0);  // tiny until mass accumulates
+      if (!learned.empty() && rng.Bernoulli(exploit_probability)) {
+        return best_action;
+      }
+      return rng.UniformInt(num_actions);
+    };
+
+    auto boost = [&](uint64_t action, double factor) {
+      auto [it, inserted] = learned.try_emplace(action, uniform_mass);
+      (void)inserted;
+      it->second = std::min(it->second * factor, 1.0);
+      if (it->second > best_mass) {
+        best_mass = it->second;
+        best_action = action;
+      }
+    };
+
+    EvalScratch scratch;
+    Objective current = state.CurrentObjective();
+    const int64_t iterations =
+        options_.moves_per_vertex *
+        static_cast<int64_t>(graph.num_vertices());
+    for (int64_t i = 0; i < iterations; ++i) {
+      const uint64_t action = sample_action();
+      const VertexId v = static_cast<VertexId>(action / num_dcs);
+      const DcId to = static_cast<DcId>(action % num_dcs);
+      if (to == state.master(v)) continue;
+      const Objective proposed = state.EvaluateMove(v, to, &scratch);
+      const bool breaks_budget =
+          ctx.budget > 0 && proposed.cost_dollars > ctx.budget &&
+          proposed.cost_dollars > current.cost_dollars;
+      const double gain =
+          (current.transfer_seconds - proposed.transfer_seconds) +
+          0.2 * (current.smooth_seconds - proposed.smooth_seconds);
+      if (!breaks_budget && gain > 0) {
+        state.MoveMaster(v, to);
+        current = proposed;
+        boost(action, 1.0 + options_.alpha);  // reward
+      } else {
+        boost(action, 1.0 - options_.alpha);  // penalty
+      }
+    }
+
+    return PartitionOutput(std::move(state), timer.ElapsedSeconds());
+  }
+
+ private:
+  SingleAgentRlOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeSingleAgentRl(
+    SingleAgentRlOptions options) {
+  return std::make_unique<SingleAgentRlPartitioner>(options);
+}
+
+}  // namespace rlcut

@@ -1,0 +1,37 @@
+#ifndef RLCUT_BASELINES_SPINNER_H_
+#define RLCUT_BASELINES_SPINNER_H_
+
+#include <vector>
+
+#include "baselines/partitioner.h"
+#include "common/random.h"
+#include "partition/partition_state.h"
+
+namespace rlcut {
+
+/// Concrete Spinner core (Martella et al., ICDE'17): capacity-aware
+/// label propagation over an edge-cut PartitionState. Exposed directly
+/// (in addition to the Partitioner adapter) because the dynamic
+/// experiments (Exp#5) drive the incremental path explicitly.
+///
+/// Spinner is a best-effort method: Refine runs to convergence and is
+/// *not* bounded by a time budget — the very property RLCut's adaptive
+/// sampling improves upon (Fig. 15b).
+class SpinnerCore {
+ public:
+  explicit SpinnerCore(SpinnerOptions options) : options_(options) {}
+
+  /// Runs label propagation starting from the masters already in
+  /// `state` (edge-cut, derived placement), sweeping from `seeds` and
+  /// expanding to neighbors of moved vertices. Pass all vertices for a
+  /// full partitioning; pass the endpoints of newly inserted edges for
+  /// incremental adaptation. Returns the number of LP iterations run.
+  int Refine(PartitionState* state, std::vector<VertexId> seeds, Rng* rng);
+
+ private:
+  SpinnerOptions options_;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_BASELINES_SPINNER_H_

@@ -1,0 +1,131 @@
+#include "cloud/flow_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace rlcut {
+namespace {
+
+constexpr double kEpsilonBytes = 1e-9;
+
+// Link ids: uplink of DC r = r, downlink of DC r = num_dcs + r.
+struct ActiveFlow {
+  DcId src;
+  DcId dst;
+  double remaining;
+  double rate = 0;
+};
+
+// Max-min fair rate allocation by progressive filling: repeatedly find
+// the link whose equal share among its unfixed flows is smallest, fix
+// those flows at that share, and subtract their usage everywhere.
+void AllocateRates(std::vector<ActiveFlow>& flows, int num_dcs,
+                   const std::vector<double>& capacity) {
+  const int num_links = 2 * num_dcs;
+  std::vector<double> residual = capacity;
+  std::vector<int> unfixed_count(num_links, 0);
+  std::vector<uint8_t> fixed(flows.size(), 0);
+  for (const ActiveFlow& f : flows) {
+    ++unfixed_count[f.src];
+    ++unfixed_count[num_dcs + f.dst];
+  }
+  size_t remaining_flows = flows.size();
+  while (remaining_flows > 0) {
+    // Find the tightest link.
+    double min_share = std::numeric_limits<double>::infinity();
+    int bottleneck = -1;
+    for (int link = 0; link < num_links; ++link) {
+      if (unfixed_count[link] == 0) continue;
+      const double share = residual[link] / unfixed_count[link];
+      if (share < min_share) {
+        min_share = share;
+        bottleneck = link;
+      }
+    }
+    RLCUT_CHECK_GE(bottleneck, 0);
+    // Fix every unfixed flow on the bottleneck at min_share.
+    for (size_t i = 0; i < flows.size(); ++i) {
+      if (fixed[i]) continue;
+      const int up = flows[i].src;
+      const int down = num_dcs + flows[i].dst;
+      if (up != bottleneck && down != bottleneck) continue;
+      flows[i].rate = min_share;
+      fixed[i] = 1;
+      --remaining_flows;
+      residual[up] -= min_share;
+      residual[down] -= min_share;
+      --unfixed_count[up];
+      --unfixed_count[down];
+    }
+    // Numeric guard: residuals can go slightly negative.
+    for (double& r : residual) r = std::max(r, 0.0);
+  }
+}
+
+}  // namespace
+
+FlowSimulator::FlowSimulator(const Topology* topology)
+    : topology_(topology) {
+  RLCUT_CHECK(topology_ != nullptr);
+}
+
+double FlowSimulator::ClosedFormBound(
+    const std::vector<FlowTransfer>& flows) const {
+  const int num_dcs = topology_->num_dcs();
+  std::vector<double> up(num_dcs, 0);
+  std::vector<double> down(num_dcs, 0);
+  for (const FlowTransfer& f : flows) {
+    if (f.src == f.dst || f.bytes <= 0) continue;
+    up[f.src] += f.bytes;
+    down[f.dst] += f.bytes;
+  }
+  double bound = 0;
+  for (DcId r = 0; r < num_dcs; ++r) {
+    bound = std::max(bound, up[r] / (topology_->Uplink(r) * 1e9));
+    bound = std::max(bound, down[r] / (topology_->Downlink(r) * 1e9));
+  }
+  return bound;
+}
+
+double FlowSimulator::SimulateMakespan(
+    std::vector<FlowTransfer> transfers) const {
+  const int num_dcs = topology_->num_dcs();
+  std::vector<double> capacity(2 * num_dcs);
+  for (DcId r = 0; r < num_dcs; ++r) {
+    capacity[r] = topology_->Uplink(r) * 1e9;
+    capacity[num_dcs + r] = topology_->Downlink(r) * 1e9;
+  }
+
+  std::vector<ActiveFlow> flows;
+  flows.reserve(transfers.size());
+  for (const FlowTransfer& t : transfers) {
+    if (t.src == t.dst || t.bytes <= kEpsilonBytes) continue;
+    RLCUT_DCHECK(t.src >= 0 && t.src < num_dcs);
+    RLCUT_DCHECK(t.dst >= 0 && t.dst < num_dcs);
+    flows.push_back({t.src, t.dst, t.bytes});
+  }
+
+  double now = 0;
+  while (!flows.empty()) {
+    AllocateRates(flows, num_dcs, capacity);
+    // Advance to the next flow completion.
+    double dt = std::numeric_limits<double>::infinity();
+    for (const ActiveFlow& f : flows) {
+      if (f.rate > 0) dt = std::min(dt, f.remaining / f.rate);
+    }
+    RLCUT_CHECK(std::isfinite(dt)) << "no flow is making progress";
+    now += dt;
+    for (ActiveFlow& f : flows) f.remaining -= f.rate * dt;
+    flows.erase(std::remove_if(flows.begin(), flows.end(),
+                               [](const ActiveFlow& f) {
+                                 return f.remaining <= kEpsilonBytes;
+                               }),
+                flows.end());
+  }
+  return now;
+}
+
+}  // namespace rlcut

@@ -1,0 +1,111 @@
+#include "cloud/topology.h"
+
+#include "common/logging.h"
+
+namespace rlcut {
+namespace {
+
+// Measured values (Table I) for USE, SIN, SYD; the other five regions are
+// extrapolated inside the measured envelope with mild variation so the
+// medium profile stays "EC2-like": uplinks ~0.45-0.58 GB/s, downlinks
+// ~2.4-3.6 GB/s, upload prices $0.09-$0.14 per GB.
+const DataCenter kEc2Regions[] = {
+    {"US-East", 0.52, 2.8, 0.09},        // measured (Table I)
+    {"US-West-OR", 0.50, 3.0, 0.09},     // extrapolated
+    {"US-West-NC", 0.46, 2.6, 0.11},     // extrapolated
+    {"EU-Ireland", 0.54, 3.2, 0.09},     // extrapolated
+    {"AP-Singapore", 0.55, 3.5, 0.12},   // measured (Table I)
+    {"AP-Tokyo", 0.53, 3.1, 0.11},       // extrapolated
+    {"AP-Sydney", 0.48, 2.5, 0.14},      // measured (Table I)
+    {"South-America", 0.45, 2.4, 0.13},  // extrapolated
+};
+constexpr int kNumEc2Regions =
+    static_cast<int>(sizeof(kEc2Regions) / sizeof(kEc2Regions[0]));
+
+}  // namespace
+
+DcId Topology::CheapestUploadDc() const {
+  RLCUT_CHECK(!dcs_.empty());
+  DcId best = 0;
+  for (DcId r = 1; r < num_dcs(); ++r) {
+    if (dcs_[r].upload_price < dcs_[best].upload_price) best = r;
+  }
+  return best;
+}
+
+Status Topology::Validate() const {
+  if (dcs_.empty()) {
+    return Status::InvalidArgument("topology has no data centers");
+  }
+  if (num_dcs() > kMaxDataCenters) {
+    return Status::InvalidArgument("more than kMaxDataCenters data centers");
+  }
+  for (const DataCenter& dc : dcs_) {
+    if (dc.uplink_gbps <= 0 || dc.downlink_gbps <= 0) {
+      return Status::InvalidArgument("non-positive bandwidth for " + dc.name);
+    }
+    if (dc.upload_price < 0) {
+      return Status::InvalidArgument("negative upload price for " + dc.name);
+    }
+  }
+  return Status::Ok();
+}
+
+Topology MakeEc2Topology(Heterogeneity level) {
+  return MakeEc2Topology(kNumEc2Regions, level);
+}
+
+Topology MakeEc2Topology(int num_dcs, Heterogeneity level) {
+  RLCUT_CHECK_GE(num_dcs, 2);
+  RLCUT_CHECK_LE(num_dcs, kNumEc2Regions);
+  std::vector<DataCenter> dcs(kEc2Regions, kEc2Regions + num_dcs);
+
+  switch (level) {
+    case Heterogeneity::kMedium:
+      break;
+    case Heterogeneity::kLow: {
+      // All DCs get the profile's mean bandwidths (prices keep their
+      // per-region values: Fig. 3 varies only network heterogeneity).
+      double up = 0;
+      double down = 0;
+      for (const DataCenter& dc : dcs) {
+        up += dc.uplink_gbps;
+        down += dc.downlink_gbps;
+      }
+      up /= dcs.size();
+      down /= dcs.size();
+      for (DataCenter& dc : dcs) {
+        dc.uplink_gbps = up;
+        dc.downlink_gbps = down;
+      }
+      break;
+    }
+    case Heterogeneity::kHigh:
+      // Half the DCs throttled to 50% of their original bandwidths
+      // (paper Sec. II-C).
+      for (size_t i = 0; i < dcs.size(); i += 2) {
+        dcs[i].uplink_gbps *= 0.5;
+        dcs[i].downlink_gbps *= 0.5;
+      }
+      break;
+  }
+  Topology topo(std::move(dcs));
+  RLCUT_CHECK(topo.Validate().ok());
+  return topo;
+}
+
+Topology MakeUniformTopology(int num_dcs, double uplink_gbps,
+                             double downlink_gbps, double upload_price) {
+  RLCUT_CHECK_GE(num_dcs, 1);
+  std::vector<DataCenter> dcs;
+  dcs.reserve(num_dcs);
+  for (int i = 0; i < num_dcs; ++i) {
+    dcs.push_back({"DC-" + std::to_string(i), uplink_gbps, downlink_gbps,
+                   upload_price});
+  }
+  Topology topo(std::move(dcs));
+  RLCUT_CHECK(topo.Validate().ok());
+  return topo;
+}
+
+}  // namespace rlcut

@@ -1,0 +1,84 @@
+#ifndef RLCUT_CLOUD_TOPOLOGY_H_
+#define RLCUT_CLOUD_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace rlcut {
+
+/// One geo-distributed data center: the paper's congestion-free network
+/// model (Sec. III-A) characterizes a DC entirely by its WAN uplink and
+/// downlink bandwidth plus the price of uploading to the Internet
+/// (Table I). Intra-DC traffic is free and unmodeled.
+struct DataCenter {
+  std::string name;
+  double uplink_gbps;     // GB/s out of the DC onto the WAN (U_r).
+  double downlink_gbps;   // GB/s from the WAN into the DC (D_r).
+  double upload_price;    // $/GB uploaded (P_r). Downloads are free.
+};
+
+/// The set of DCs an experiment runs over.
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::vector<DataCenter> dcs) : dcs_(std::move(dcs)) {}
+
+  int num_dcs() const { return static_cast<int>(dcs_.size()); }
+  const DataCenter& dc(DcId r) const { return dcs_[r]; }
+  const std::vector<DataCenter>& dcs() const { return dcs_; }
+
+  double Uplink(DcId r) const { return dcs_[r].uplink_gbps; }
+  double Downlink(DcId r) const { return dcs_[r].downlink_gbps; }
+  double Price(DcId r) const { return dcs_[r].upload_price; }
+
+  /// Seconds to push `bytes` out of DC r (uplink-bound).
+  double UploadSeconds(DcId r, double bytes) const {
+    return bytes / (dcs_[r].uplink_gbps * 1e9);
+  }
+  /// Seconds to pull `bytes` into DC r (downlink-bound).
+  double DownloadSeconds(DcId r, double bytes) const {
+    return bytes / (dcs_[r].downlink_gbps * 1e9);
+  }
+  /// Dollars to upload `bytes` out of DC r.
+  double UploadCost(DcId r, double bytes) const {
+    return (bytes / 1e9) * dcs_[r].upload_price;
+  }
+
+  /// Cheapest DC to upload from (used for the centralized-move budget
+  /// baseline of Sec. VI-A4).
+  DcId CheapestUploadDc() const;
+
+  /// Validates bandwidths/prices are positive and size <= kMaxDataCenters.
+  Status Validate() const;
+
+ private:
+  std::vector<DataCenter> dcs_;
+};
+
+/// Network heterogeneity levels of the Fig. 3 motivation study.
+enum class Heterogeneity {
+  kLow,     // all DCs share the same (mean) bandwidths
+  kMedium,  // the measured EC2 profile
+  kHigh,    // half the DCs throttled to 50% bandwidth
+};
+
+/// The eight EC2 regions of Exp#1: USE, OR, NC, EU, SIN, TKY, SYD, SA.
+/// USE/SIN/SYD use the measured Table I values; the remaining five are
+/// extrapolated within the measured range (documented in topology.cc).
+Topology MakeEc2Topology(Heterogeneity level = Heterogeneity::kMedium);
+
+/// First `num_dcs` regions of the EC2 profile (2 <= num_dcs <= 8).
+Topology MakeEc2Topology(int num_dcs, Heterogeneity level);
+
+/// Uniform topology: `num_dcs` identical DCs. The "traditional cluster"
+/// control case where load-balanced partitioning is optimal.
+Topology MakeUniformTopology(int num_dcs, double uplink_gbps = 0.5,
+                             double downlink_gbps = 3.0,
+                             double upload_price = 0.10);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_CLOUD_TOPOLOGY_H_

@@ -1,0 +1,178 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace rlcut {
+
+void FlagParser::DefineInt(const std::string& name, int64_t default_value,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::DefineDouble(const std::string& name, double default_value,
+                              const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::DefineBool(const std::string& name, bool default_value,
+                            const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::DefineString(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.string_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    if (!has_value) {
+      if (it->second.type == Type::kBool) {
+        it->second.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      value = argv[++i];
+    }
+    RLCUT_RETURN_IF_ERROR(SetFromString(name, value));
+  }
+  return Status::Ok();
+}
+
+Status FlagParser::SetFromString(const std::string& name,
+                                 const std::string& value) {
+  Flag& f = flags_.at(name);
+  switch (f.type) {
+    case Type::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": not an integer: " + value);
+      }
+      f.int_value = v;
+      return Status::Ok();
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": not a number: " + value);
+      }
+      f.double_value = v;
+      return Status::Ok();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        f.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        f.bool_value = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": not a bool: " + value);
+      }
+      return Status::Ok();
+    }
+    case Type::kString:
+      f.string_value = value;
+      return Status::Ok();
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+const FlagParser::Flag& FlagParser::GetFlagOrDie(const std::string& name,
+                                                 Type type) const {
+  auto it = flags_.find(name);
+  RLCUT_CHECK(it != flags_.end()) << "undefined flag: " << name;
+  RLCUT_CHECK(it->second.type == type) << "flag type mismatch: " << name;
+  return it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return GetFlagOrDie(name, Type::kInt).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return GetFlagOrDie(name, Type::kDouble).double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetFlagOrDie(name, Type::kBool).bool_value;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return GetFlagOrDie(name, Type::kString).string_value;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::ostringstream ss;
+  ss << "usage: " << program << " [flags]\n";
+  for (const auto& [name, f] : flags_) {
+    ss << "  --" << name << "  (";
+    switch (f.type) {
+      case Type::kInt:
+        ss << "int, default " << f.int_value;
+        break;
+      case Type::kDouble:
+        ss << "double, default " << f.double_value;
+        break;
+      case Type::kBool:
+        ss << "bool, default " << (f.bool_value ? "true" : "false");
+        break;
+      case Type::kString:
+        ss << "string, default \"" << f.string_value << "\"";
+        break;
+    }
+    ss << ")\n      " << f.help << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace rlcut

@@ -1,0 +1,70 @@
+#ifndef RLCUT_COMMON_FLAGS_H_
+#define RLCUT_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rlcut {
+
+/// Minimal command-line flag parser for the example and bench binaries.
+/// Accepts `--name=value` and `--name value`; bare `--name` sets a bool
+/// flag to true. Unknown flags are an error so typos do not silently run
+/// the default experiment.
+///
+///   FlagParser flags;
+///   flags.DefineInt("scale", 1000, "dataset down-scale factor");
+///   flags.DefineString("graph", "LJ", "dataset preset");
+///   Status s = flags.Parse(argc, argv);
+///   int64_t scale = flags.GetInt("scale");
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  void DefineInt(const std::string& name, int64_t default_value,
+                 const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+
+  /// Parses argv; on error (unknown flag / bad value) returns a status
+  /// describing the problem. `--help` sets help_requested().
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Usage text listing every defined flag with its default and help.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  const Flag& GetFlagOrDie(const std::string& name, Type type) const;
+  Status SetFromString(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_COMMON_FLAGS_H_

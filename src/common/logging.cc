@@ -1,0 +1,69 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace rlcut {
+namespace internal_logging {
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+// Serializes whole log lines across threads.
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+void EmitLine(LogLevel level, const std::string& body) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::cerr << "[" << LevelTag(level) << "] " << body << "\n";
+}
+
+}  // namespace
+
+LogLevel GetMinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetMinLogLevel()) {
+    EmitLine(level_, stream_.str());
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << file << ":" << line << "] CHECK failed: " << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  EmitLine(LogLevel::kError, stream_.str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace rlcut

@@ -1,0 +1,45 @@
+#ifndef RLCUT_COMMON_TABLE_WRITER_H_
+#define RLCUT_COMMON_TABLE_WRITER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rlcut {
+
+/// Renders benchmark results as aligned ASCII tables (and optionally CSV)
+/// so each bench binary prints the same rows/series the paper reports.
+///
+///   TableWriter t({"Graph", "RandPG", "RLCut"});
+///   t.AddRow({"LJ", Fmt(1.0), Fmt(0.07)});
+///   t.Print(std::cout);
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the aligned table.
+  void Print(std::ostream& os) const;
+
+  /// Writes comma-separated values (header + rows).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` significant decimals (fixed).
+std::string Fmt(double value, int precision = 3);
+
+/// Formats an integer count with no decoration.
+std::string Fmt(int64_t value);
+std::string Fmt(uint64_t value);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_COMMON_TABLE_WRITER_H_

@@ -1,0 +1,65 @@
+#ifndef RLCUT_COMMON_THREAD_POOL_H_
+#define RLCUT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rlcut {
+
+/// Fixed-size worker pool used by the multi-agent trainer (batched score
+/// computation) and by graph generators. Tasks are arbitrary closures;
+/// Wait() blocks until the queue drains and all workers are idle.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins all workers. Pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n), split into contiguous chunks across the
+  /// pool, and waits for completion. fn must be safe to call concurrently
+  /// on disjoint indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs fn(chunk_begin, chunk_end, worker_slot) over contiguous ranges;
+  /// worker_slot in [0, num_threads) identifies the chunk, enabling
+  /// per-thread accumulators without locking.
+  void ParallelForChunked(
+      size_t n,
+      const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Number of hardware threads, never less than 1.
+size_t DefaultThreadCount();
+
+}  // namespace rlcut
+
+#endif  // RLCUT_COMMON_THREAD_POOL_H_

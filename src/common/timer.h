@@ -1,0 +1,31 @@
+#ifndef RLCUT_COMMON_TIMER_H_
+#define RLCUT_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace rlcut {
+
+/// Monotonic wall-clock stopwatch used to measure partitioning overhead
+/// (Table III/IV, Fig. 8, Eq. 14 feedback loop).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_COMMON_TIMER_H_

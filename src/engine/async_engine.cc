@@ -1,0 +1,189 @@
+#include "engine/async_engine.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace rlcut {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// Safety valve against runaway event storms (far above any test load).
+constexpr uint64_t kMaxEvents = 200'000'000;
+
+template <typename Fn>
+inline void ForEachDc(uint64_t mask, Fn&& fn) {
+  while (mask != 0) {
+    const int r = std::countr_zero(mask);
+    fn(static_cast<DcId>(r));
+    mask &= mask - 1;
+  }
+}
+
+enum class MessageKind : uint8_t {
+  /// master(v) -> mirror DC: v's new value (apply-stage sync).
+  kSyncToMirror,
+  /// mirror DC -> master(w): a relaxed candidate for w (gather).
+  kGatherToMaster,
+};
+
+struct Event {
+  double time;
+  uint64_t sequence;  // FIFO tie-break for equal timestamps
+  MessageKind kind;
+  VertexId vertex;
+  DcId dc;  // destination DC
+  double value;
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return sequence > other.sequence;
+  }
+};
+
+// (vertex, dc) -> 64-bit key; dc < 64 by kMaxDataCenters.
+inline uint64_t ReplicaKey(VertexId v, DcId r) {
+  return (static_cast<uint64_t>(v) << 6) | static_cast<uint64_t>(r);
+}
+
+}  // namespace
+
+AsyncGasEngine::AsyncGasEngine(const PartitionState* state)
+    : state_(state) {
+  RLCUT_CHECK(state_ != nullptr);
+}
+
+AsyncRunResult AsyncGasEngine::Run(VertexProgram* program) const {
+  RLCUT_CHECK(program != nullptr);
+  RLCUT_CHECK(program->GatherIdentity() == kInfinity)
+      << "AsyncGasEngine requires a monotone (min-combining) program";
+
+  const Graph& graph = state_->graph();
+  const Topology& topo = state_->topology();
+  const VertexId n = graph.num_vertices();
+  const int num_dcs = state_->num_dcs();
+  const Workload traffic = program->TrafficModel();
+
+  AsyncRunResult result;
+  result.values.resize(n);
+
+  // Per-link FIFO serialization clocks.
+  std::vector<double> uplink_free(num_dcs, 0);
+  std::vector<double> downlink_free(num_dcs, 0);
+
+  // Best value each (vertex, dc) pair has seen/forwarded, to suppress
+  // redundant messages. Masters use result.values directly.
+  std::unordered_map<uint64_t, double> mirror_value;
+  std::unordered_map<uint64_t, double> forwarded;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      events;
+  uint64_t sequence = 0;
+
+  auto send = [&](MessageKind kind, VertexId v, DcId from, DcId to,
+                  double value, double now, double bytes) {
+    double arrival = now;
+    if (from != to) {
+      const double up_start = std::max(now, uplink_free[from]);
+      const double up_end = up_start + bytes / (topo.Uplink(from) * 1e9);
+      uplink_free[from] = up_end;
+      const double down_start = std::max(up_end, downlink_free[to]);
+      arrival = down_start + bytes / (topo.Downlink(to) * 1e9);
+      downlink_free[to] = arrival;
+      result.total_bytes += bytes;
+    } else {
+      ++result.local_messages;
+    }
+    ++result.messages;
+    events.push({arrival, sequence++, kind, v, to, value});
+  };
+
+  auto apply_bytes = [&](VertexId v) {
+    return traffic.apply_base_bytes +
+           traffic.apply_bytes_per_out_edge * graph.OutDegree(v);
+  };
+
+  // Relaxes w with `candidate` at DC `at`: forwards a gather message to
+  // w's master unless this DC already forwarded something at least as
+  // good. A local master is updated through the same event path with
+  // zero latency, keeping the control flow single-shaped.
+  auto relax = [&](VertexId w, double candidate, DcId at, double now) {
+    if (!std::isfinite(candidate)) return;
+    const uint64_t key = ReplicaKey(w, at);
+    auto [it, inserted] = forwarded.try_emplace(key, kInfinity);
+    if (candidate >= it->second) return;
+    it->second = candidate;
+    send(MessageKind::kGatherToMaster, w, at, state_->master(w), candidate,
+         now, traffic.gather_base_bytes);
+  };
+
+  // Processes v's out-edges located in DC `at` against value `value`.
+  auto scatter_local_edges = [&](VertexId v, double value, DcId at,
+                                 double now) {
+    const EdgeId begin = graph.OutEdgeBegin(v);
+    const EdgeId end = graph.OutEdgeEnd(v);
+    auto neighbors = graph.OutNeighbors(v);
+    for (EdgeId e = begin; e < end; ++e) {
+      if (state_->edge_dc(e) != at) continue;
+      const VertexId w = neighbors[e - begin];
+      relax(w, program->Gather(v, value, w, graph), at, now);
+    }
+  };
+
+  // Initialization: master values; initially-changed vertices scatter.
+  for (VertexId v = 0; v < n; ++v) {
+    result.values[v] = program->Init(v, graph);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (!program->InitiallyChanged(v, graph)) continue;
+    const DcId master = state_->master(v);
+    scatter_local_edges(v, result.values[v], master, 0.0);
+    ForEachDc(state_->MirrorMask(v), [&](DcId r) {
+      send(MessageKind::kSyncToMirror, v, master, r, result.values[v], 0.0,
+           apply_bytes(v));
+    });
+  }
+
+  uint64_t processed = 0;
+  while (!events.empty()) {
+    RLCUT_CHECK_LT(++processed, kMaxEvents) << "async event storm";
+    const Event event = events.top();
+    events.pop();
+    result.completion_seconds =
+        std::max(result.completion_seconds, event.time);
+
+    switch (event.kind) {
+      case MessageKind::kSyncToMirror: {
+        const uint64_t key = ReplicaKey(event.vertex, event.dc);
+        auto [it, inserted] = mirror_value.try_emplace(key, kInfinity);
+        if (event.value >= it->second) break;  // stale update
+        it->second = event.value;
+        scatter_local_edges(event.vertex, event.value, event.dc,
+                            event.time);
+        break;
+      }
+      case MessageKind::kGatherToMaster: {
+        const VertexId w = event.vertex;
+        const double applied =
+            program->Apply(w, result.values[w], event.value, graph);
+        if (!program->Changed(result.values[w], applied)) break;
+        result.values[w] = applied;
+        const DcId master = state_->master(w);
+        scatter_local_edges(w, applied, master, event.time);
+        ForEachDc(state_->MirrorMask(w), [&](DcId r) {
+          send(MessageKind::kSyncToMirror, w, master, r, applied,
+               event.time, apply_bytes(w));
+        });
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rlcut

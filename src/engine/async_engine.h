@@ -1,0 +1,56 @@
+#ifndef RLCUT_ENGINE_ASYNC_ENGINE_H_
+#define RLCUT_ENGINE_ASYNC_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/vertex_program.h"
+#include "partition/partition_state.h"
+
+namespace rlcut {
+
+/// Result of an asynchronous run.
+struct AsyncRunResult {
+  /// Final master values (identical to the synchronous fixpoint for
+  /// monotone programs).
+  std::vector<double> values;
+  /// Simulated completion time: delivery of the last message, seconds.
+  double completion_seconds = 0;
+  uint64_t messages = 0;
+  double total_bytes = 0;
+  /// Messages that stayed within one DC (free, latency-less).
+  uint64_t local_messages = 0;
+};
+
+/// Asynchronous GAS execution (PowerLyra's async mode): no global
+/// barriers — every value improvement propagates as soon as the links
+/// deliver it, and each DC computes independently.
+///
+/// Supported programs are the *monotone* ones (min-combiner with
+/// Apply = min(old, gathered): SSSP, weighted SSSP, connected
+/// components), for which asynchronous execution provably reaches the
+/// same fixpoint as the synchronous schedule. The engine checks the
+/// gate via GatherIdentity() == +infinity.
+///
+/// Timing: an event-driven simulation with per-DC uplink/downlink FIFO
+/// serialization — a message occupies its source uplink for
+/// bytes/U_src, then the destination downlink for bytes/D_dst, queued
+/// behind earlier messages on each. Intra-DC messages are free. This is
+/// the barrier-free counterpart of the synchronous engine's Eq. 1
+/// stage times: comparing the two quantifies what BSP barriers cost on
+/// heterogeneous WANs (see bench_async_vs_sync).
+class AsyncGasEngine {
+ public:
+  explicit AsyncGasEngine(const PartitionState* state);
+
+  /// Runs the program to quiescence. CHECK-fails on non-monotone
+  /// programs (PageRank, SI).
+  AsyncRunResult Run(VertexProgram* program) const;
+
+ private:
+  const PartitionState* state_;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_ENGINE_ASYNC_ENGINE_H_

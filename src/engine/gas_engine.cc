@@ -1,0 +1,193 @@
+#include "engine/gas_engine.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "cloud/flow_simulator.h"
+#include "common/logging.h"
+
+namespace rlcut {
+namespace {
+
+template <typename Fn>
+inline void ForEachDc(uint64_t mask, Fn&& fn) {
+  while (mask != 0) {
+    const int r = std::countr_zero(mask);
+    fn(static_cast<DcId>(r));
+    mask &= mask - 1;
+  }
+}
+
+}  // namespace
+
+GasEngine::GasEngine(const PartitionState* state, GasEngineOptions options)
+    : state_(state), options_(options) {
+  RLCUT_CHECK(state_ != nullptr);
+}
+
+RunResult GasEngine::Run(VertexProgram* program) const {
+  RLCUT_CHECK(program != nullptr);
+  const Graph& graph = state_->graph();
+  const Topology& topo = state_->topology();
+  const VertexId n = graph.num_vertices();
+  const int num_dcs = state_->num_dcs();
+  const Workload traffic = program->TrafficModel();
+
+  RunResult result;
+  result.values.resize(n);
+  std::vector<VertexId> changed_list;
+  for (VertexId v = 0; v < n; ++v) {
+    result.values[v] = program->Init(v, graph);
+    if (program->InitiallyChanged(v, graph)) changed_list.push_back(v);
+  }
+
+  std::vector<uint8_t> is_candidate(n, 0);
+  std::vector<VertexId> candidates;
+  std::vector<std::pair<VertexId, double>> updates;
+
+  // Per-(src,dst) byte matrices, used only by the flow-level timing.
+  const bool flow_level = options_.timing == TimingModel::kFlowLevel;
+  std::vector<double> gather_pair;
+  std::vector<double> apply_pair;
+  FlowSimulator flow_simulator(&topo);
+  auto pair_index = [num_dcs](DcId src, DcId dst) {
+    return static_cast<size_t>(src) * num_dcs + dst;
+  };
+
+  auto apply_bytes = [&](VertexId v) {
+    return traffic.apply_base_bytes +
+           traffic.apply_bytes_per_out_edge * graph.OutDegree(v);
+  };
+
+  for (int iter = 0; iter < program->MaxIterations(); ++iter) {
+    // Early termination is only sound for frontier-driven programs: a
+    // round-dependent Apply (SI) can produce changes after a quiet round.
+    if (!program->RecomputeAllEachIteration() && changed_list.empty()) break;
+    program->OnIterationStart(iter);
+
+    // Scatter: changed vertices activate their out-neighbors. Programs
+    // whose apply result can change without an in-neighbor change
+    // (PageRank's damping re-mix, SI's per-round label window) recompute
+    // every vertex each super-step instead.
+    candidates.clear();
+    if (program->RecomputeAllEachIteration()) {
+      candidates.resize(n);
+      for (VertexId v = 0; v < n; ++v) candidates[v] = v;
+    } else {
+      for (VertexId v : changed_list) {
+        for (VertexId u : graph.OutNeighbors(v)) {
+          if (!is_candidate[u]) {
+            is_candidate[u] = 1;
+            candidates.push_back(u);
+          }
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    IterationTraffic t;
+    t.gather_up.assign(num_dcs, 0);
+    t.gather_down.assign(num_dcs, 0);
+    t.apply_up.assign(num_dcs, 0);
+    t.apply_down.assign(num_dcs, 0);
+    if (flow_level) {
+      gather_pair.assign(static_cast<size_t>(num_dcs) * num_dcs, 0.0);
+      apply_pair.assign(static_cast<size_t>(num_dcs) * num_dcs, 0.0);
+    }
+
+    // Gather stage: high-degree candidates pull one aggregated message
+    // per mirror DC holding in-edges.
+    for (VertexId v : candidates) {
+      if (!state_->is_high_degree(v)) continue;
+      const uint64_t gather_mirrors = state_->GatherMirrorMask(v);
+      if (gather_mirrors == 0) continue;
+      const DcId master = state_->master(v);
+      ForEachDc(gather_mirrors, [&](DcId r) {
+        t.gather_up[r] += traffic.gather_base_bytes;
+        t.gather_down[master] += traffic.gather_base_bytes;
+        if (flow_level) {
+          gather_pair[pair_index(r, master)] += traffic.gather_base_bytes;
+        }
+      });
+    }
+
+    // Compute new values synchronously (against pre-update values).
+    updates.clear();
+    for (VertexId v : candidates) {
+      double gathered = program->GatherIdentity();
+      for (VertexId u : graph.InNeighbors(v)) {
+        gathered = program->Combine(
+            gathered, program->Gather(u, result.values[u], v, graph));
+      }
+      const double new_value =
+          program->Apply(v, result.values[v], gathered, graph);
+      if (program->Changed(result.values[v], new_value)) {
+        updates.emplace_back(v, new_value);
+      }
+      is_candidate[v] = 0;
+    }
+
+    // Apply stage: commit and broadcast to mirrors.
+    changed_list.clear();
+    for (const auto& [v, new_value] : updates) {
+      result.values[v] = new_value;
+      changed_list.push_back(v);
+      const uint64_t mirrors = state_->MirrorMask(v);
+      if (mirrors == 0) continue;
+      const DcId master = state_->master(v);
+      const double bytes = apply_bytes(v);
+      ForEachDc(mirrors, [&](DcId r) {
+        t.apply_up[master] += bytes;
+        t.apply_down[r] += bytes;
+        if (flow_level) {
+          apply_pair[pair_index(master, r)] += bytes;
+        }
+      });
+    }
+    t.vertices_updated = updates.size();
+
+    // Eq. 1-3 for this super-step.
+    double t_gather = 0;
+    double t_apply = 0;
+    double upload_bytes_cost = 0;
+    double wan_bytes = 0;
+    for (DcId r = 0; r < num_dcs; ++r) {
+      const double up = topo.Uplink(r) * 1e9;
+      const double down = topo.Downlink(r) * 1e9;
+      t_gather = std::max(
+          t_gather, std::max(t.gather_down[r] / down, t.gather_up[r] / up));
+      t_apply = std::max(
+          t_apply, std::max(t.apply_up[r] / up, t.apply_down[r] / down));
+      upload_bytes_cost +=
+          topo.Price(r) * (t.gather_up[r] + t.apply_up[r]) / 1e9;
+      wan_bytes += t.gather_up[r] + t.apply_up[r];
+    }
+    if (flow_level) {
+      auto to_flows = [&](const std::vector<double>& pair_bytes) {
+        std::vector<FlowTransfer> flows;
+        for (DcId src = 0; src < num_dcs; ++src) {
+          for (DcId dst = 0; dst < num_dcs; ++dst) {
+            const double bytes = pair_bytes[pair_index(src, dst)];
+            if (bytes > 0) flows.push_back({src, dst, bytes});
+          }
+        }
+        return flows;
+      };
+      t.transfer_seconds =
+          flow_simulator.SimulateMakespan(to_flows(gather_pair)) +
+          flow_simulator.SimulateMakespan(to_flows(apply_pair));
+    } else {
+      t.transfer_seconds = t_gather + t_apply;
+    }
+    t.upload_cost = upload_bytes_cost;
+
+    result.total_transfer_seconds += t.transfer_seconds;
+    result.total_upload_cost += t.upload_cost;
+    result.total_wan_bytes += wan_bytes;
+    result.iterations.push_back(std::move(t));
+    ++result.iterations_executed;
+  }
+  return result;
+}
+
+}  // namespace rlcut

@@ -1,0 +1,135 @@
+#include "engine/reference.h"
+
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.h"
+#include "engine/vertex_program.h"
+
+namespace rlcut {
+
+std::vector<double> ReferencePageRank(const Graph& graph, int iterations,
+                                      double damping) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> rank(n, n > 0 ? 1.0 / n : 0.0);
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0;
+      for (VertexId u : graph.InNeighbors(v)) {
+        const uint32_t out_deg = graph.OutDegree(u);
+        if (out_deg > 0) sum += rank[u] / out_deg;
+      }
+      next[v] = (1.0 - damping) / n + damping * sum;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<double> ReferenceSssp(const Graph& graph, VertexId source) {
+  const VertexId n = graph.num_vertices();
+  RLCUT_CHECK_LT(source, n);
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  dist[source] = 0;
+  std::deque<VertexId> queue{source};
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (dist[v] + 1.0 < dist[u]) {
+        dist[u] = dist[v] + 1.0;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+double ReferencePathMatchCount(const Graph& graph,
+                               const std::vector<int>& pattern,
+                               int num_labels) {
+  RLCUT_CHECK_GE(pattern.size(), 1u);
+  const VertexId n = graph.num_vertices();
+  std::vector<double> count(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (static_cast<int>(v % num_labels) == pattern[0]) count[v] = 1.0;
+  }
+  std::vector<double> next(n, 0.0);
+  for (size_t k = 1; k < pattern.size(); ++k) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (static_cast<int>(v % num_labels) != pattern[k]) {
+        next[v] = 0;
+        continue;
+      }
+      double sum = 0;
+      for (VertexId u : graph.InNeighbors(v)) sum += count[u];
+      next[v] = sum;
+    }
+    count.swap(next);
+  }
+  double total = 0;
+  for (double c : count) total += c;
+  return total;
+}
+
+}  // namespace rlcut
+
+namespace rlcut {
+namespace {
+
+VertexId Find(std::vector<VertexId>& parent, VertexId x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<double> ReferenceConnectedComponents(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge edge = graph.GetEdge(e);
+    const VertexId a = Find(parent, edge.src);
+    const VertexId b = Find(parent, edge.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  std::vector<double> labels(n);
+  for (VertexId v = 0; v < n; ++v) {
+    labels[v] = static_cast<double>(Find(parent, v));
+  }
+  return labels;
+}
+
+std::vector<double> ReferenceWeightedSssp(const Graph& graph,
+                                          VertexId source,
+                                          uint32_t max_weight) {
+  const VertexId n = graph.num_vertices();
+  RLCUT_CHECK_LT(source, n);
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  dist[source] = 0;
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const auto [d, v] = queue.top();
+    queue.pop();
+    if (d > dist[v]) continue;
+    for (VertexId u : graph.OutNeighbors(v)) {
+      const double nd = d + WeightedSsspEdgeWeight(v, u, max_weight);
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        queue.push({nd, u});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace rlcut

@@ -1,0 +1,42 @@
+#ifndef RLCUT_ENGINE_REFERENCE_H_
+#define RLCUT_ENGINE_REFERENCE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace rlcut {
+
+/// Single-machine reference implementations used to verify the GAS
+/// engine's results regardless of partitioning (tests + examples).
+
+/// Power-iteration PageRank over in-edges with dangling mass dropped,
+/// matching MakePageRank's semantics.
+std::vector<double> ReferencePageRank(const Graph& graph, int iterations,
+                                      double damping = 0.85);
+
+/// BFS distances with unit weights (infinity for unreachable), matching
+/// MakeSssp's semantics.
+std::vector<double> ReferenceSssp(const Graph& graph, VertexId source);
+
+/// Number of directed paths whose vertex labels (id % num_labels) match
+/// `pattern`, matching MakeSubgraphIsomorphism's final aggregate.
+double ReferencePathMatchCount(const Graph& graph,
+                               const std::vector<int>& pattern,
+                               int num_labels);
+
+/// Connected-component labels (min vertex id per component) via
+/// union-find over the graph's edges treated as undirected; matches
+/// MakeConnectedComponents run on Symmetrize(graph).
+std::vector<double> ReferenceConnectedComponents(const Graph& graph);
+
+/// Dijkstra with the WeightedSsspEdgeWeight function, matching
+/// MakeWeightedSssp.
+std::vector<double> ReferenceWeightedSssp(const Graph& graph,
+                                          VertexId source,
+                                          uint32_t max_weight);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_ENGINE_REFERENCE_H_

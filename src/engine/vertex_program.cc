@@ -1,0 +1,328 @@
+#include "engine/vertex_program.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace rlcut {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+class PageRankProgram : public VertexProgram {
+ public:
+  PageRankProgram(int iterations, double damping)
+      : iterations_(iterations), damping_(damping) {
+    RLCUT_CHECK_GT(iterations, 0);
+    RLCUT_CHECK_GT(damping, 0.0);
+    RLCUT_CHECK_LT(damping, 1.0);
+  }
+
+  std::string name() const override { return "PR"; }
+
+  double Init(VertexId, const Graph& graph) const override {
+    return 1.0 / std::max<VertexId>(1, graph.num_vertices());
+  }
+
+  bool InitiallyChanged(VertexId, const Graph&) const override {
+    return true;
+  }
+
+  double GatherIdentity() const override { return 0.0; }
+
+  double Gather(VertexId u, double value_u, VertexId,
+                const Graph& graph) const override {
+    const uint32_t out_deg = graph.OutDegree(u);
+    // Dangling vertices contribute no rank mass (standard simplification;
+    // the residual mass is not redistributed).
+    return out_deg == 0 ? 0.0 : value_u / out_deg;
+  }
+
+  double Combine(double a, double b) const override { return a + b; }
+
+  double Apply(VertexId, double, double gathered,
+               const Graph& graph) const override {
+    return (1.0 - damping_) / std::max<VertexId>(1, graph.num_vertices()) +
+           damping_ * gathered;
+  }
+
+  bool Changed(double old_value, double new_value) const override {
+    return std::fabs(old_value - new_value) > 1e-12;
+  }
+
+  bool RecomputeAllEachIteration() const override { return true; }
+
+  Workload TrafficModel() const override {
+    return Workload::PageRank(iterations_);
+  }
+
+  int MaxIterations() const override { return iterations_; }
+
+ private:
+  int iterations_;
+  double damping_;
+};
+
+class SsspProgram : public VertexProgram {
+ public:
+  SsspProgram(VertexId source, int max_rounds)
+      : source_(source), max_rounds_(max_rounds) {
+    RLCUT_CHECK_GT(max_rounds, 0);
+  }
+
+  std::string name() const override { return "SSSP"; }
+
+  double Init(VertexId v, const Graph&) const override {
+    return v == source_ ? 0.0 : kInfinity;
+  }
+
+  bool InitiallyChanged(VertexId v, const Graph&) const override {
+    return v == source_;
+  }
+
+  double GatherIdentity() const override { return kInfinity; }
+
+  double Gather(VertexId, double value_u, VertexId,
+                const Graph&) const override {
+    return value_u + 1.0;  // unit edge weights
+  }
+
+  double Combine(double a, double b) const override {
+    return std::min(a, b);
+  }
+
+  double Apply(VertexId, double old_value, double gathered,
+               const Graph&) const override {
+    return std::min(old_value, gathered);
+  }
+
+  bool Changed(double old_value, double new_value) const override {
+    return new_value < old_value;
+  }
+
+  bool RecomputeAllEachIteration() const override { return false; }
+
+  Workload TrafficModel() const override {
+    return Workload::Sssp(max_rounds_);
+  }
+
+  int MaxIterations() const override { return max_rounds_; }
+
+ private:
+  VertexId source_;
+  int max_rounds_;
+};
+
+class SubgraphIsomorphismProgram : public VertexProgram {
+ public:
+  SubgraphIsomorphismProgram(std::vector<int> pattern, int num_labels)
+      : pattern_(std::move(pattern)), num_labels_(num_labels) {
+    RLCUT_CHECK_GE(pattern_.size(), 2u);
+    RLCUT_CHECK_GT(num_labels_, 0);
+    for (int label : pattern_) {
+      RLCUT_CHECK_GE(label, 0);
+      RLCUT_CHECK_LT(label, num_labels_);
+    }
+  }
+
+  std::string name() const override { return "SI"; }
+
+  int Label(VertexId v) const { return static_cast<int>(v % num_labels_); }
+
+  double Init(VertexId v, const Graph&) const override {
+    // Partial matches of length 0 ending at v.
+    return Label(v) == pattern_[0] ? 1.0 : 0.0;
+  }
+
+  bool InitiallyChanged(VertexId v, const Graph&) const override {
+    return Label(v) == pattern_[0];
+  }
+
+  double GatherIdentity() const override { return 0.0; }
+
+  double Gather(VertexId, double value_u, VertexId,
+                const Graph&) const override {
+    return value_u;
+  }
+
+  double Combine(double a, double b) const override { return a + b; }
+
+  void OnIterationStart(int iteration) override {
+    // Engine iteration i performs pattern extension to position i+1.
+    position_ = iteration + 1;
+  }
+
+  double Apply(VertexId v, double, double gathered,
+               const Graph&) const override {
+    if (position_ >= static_cast<int>(pattern_.size())) return 0.0;
+    return Label(v) == pattern_[position_] ? gathered : 0.0;
+  }
+
+  bool Changed(double old_value, double new_value) const override {
+    return old_value != new_value;
+  }
+
+  bool RecomputeAllEachIteration() const override { return true; }
+
+  Workload TrafficModel() const override {
+    return Workload::SubgraphIsomorphism(
+        static_cast<int>(pattern_.size()) - 1);
+  }
+
+  int MaxIterations() const override {
+    return static_cast<int>(pattern_.size()) - 1;
+  }
+
+ private:
+  std::vector<int> pattern_;
+  int num_labels_;
+  int position_ = 1;
+};
+
+class ConnectedComponentsProgram : public VertexProgram {
+ public:
+  explicit ConnectedComponentsProgram(int max_rounds)
+      : max_rounds_(max_rounds) {
+    RLCUT_CHECK_GT(max_rounds, 0);
+  }
+
+  std::string name() const override { return "CC"; }
+
+  double Init(VertexId v, const Graph&) const override {
+    return static_cast<double>(v);
+  }
+
+  bool InitiallyChanged(VertexId, const Graph&) const override {
+    return true;  // every vertex starts by broadcasting its own label
+  }
+
+  double GatherIdentity() const override { return kInfinity; }
+
+  double Gather(VertexId, double value_u, VertexId,
+                const Graph&) const override {
+    return value_u;
+  }
+
+  double Combine(double a, double b) const override {
+    return std::min(a, b);
+  }
+
+  double Apply(VertexId, double old_value, double gathered,
+               const Graph&) const override {
+    return std::min(old_value, gathered);
+  }
+
+  bool Changed(double old_value, double new_value) const override {
+    return new_value < old_value;
+  }
+
+  bool RecomputeAllEachIteration() const override { return false; }
+
+  Workload TrafficModel() const override {
+    Workload w;
+    w.name = "CC";
+    w.apply_base_bytes = 8;   // component label
+    w.gather_base_bytes = 8;  // min-label aggregate
+    // Label propagation activity decays geometrically after the first
+    // few rounds on small-diameter graphs.
+    w.activity.resize(max_rounds_);
+    for (int i = 0; i < max_rounds_; ++i) {
+      w.activity[i] = std::pow(0.7, i);
+    }
+    return w;
+  }
+
+  int MaxIterations() const override { return max_rounds_; }
+
+ private:
+  int max_rounds_;
+};
+
+class WeightedSsspProgram : public VertexProgram {
+ public:
+  WeightedSsspProgram(VertexId source, uint32_t max_weight, int max_rounds)
+      : source_(source), max_weight_(max_weight), max_rounds_(max_rounds) {
+    RLCUT_CHECK_GT(max_weight, 0u);
+    RLCUT_CHECK_GT(max_rounds, 0);
+  }
+
+  std::string name() const override { return "WSSSP"; }
+
+  double Init(VertexId v, const Graph&) const override {
+    return v == source_ ? 0.0 : kInfinity;
+  }
+
+  bool InitiallyChanged(VertexId v, const Graph&) const override {
+    return v == source_;
+  }
+
+  double GatherIdentity() const override { return kInfinity; }
+
+  double Gather(VertexId u, double value_u, VertexId v,
+                const Graph&) const override {
+    return value_u + WeightedSsspEdgeWeight(u, v, max_weight_);
+  }
+
+  double Combine(double a, double b) const override {
+    return std::min(a, b);
+  }
+
+  double Apply(VertexId, double old_value, double gathered,
+               const Graph&) const override {
+    return std::min(old_value, gathered);
+  }
+
+  bool Changed(double old_value, double new_value) const override {
+    return new_value < old_value;
+  }
+
+  bool RecomputeAllEachIteration() const override { return false; }
+
+  Workload TrafficModel() const override {
+    return Workload::Sssp(max_rounds_);
+  }
+
+  int MaxIterations() const override { return max_rounds_; }
+
+ private:
+  VertexId source_;
+  uint32_t max_weight_;
+  int max_rounds_;
+};
+
+}  // namespace
+
+double WeightedSsspEdgeWeight(VertexId u, VertexId v, uint32_t max_weight) {
+  const uint64_t h = HashU64((static_cast<uint64_t>(u) << 32) | v);
+  return 1.0 + static_cast<double>(h % max_weight);
+}
+
+std::unique_ptr<VertexProgram> MakeConnectedComponents(int max_rounds) {
+  return std::make_unique<ConnectedComponentsProgram>(max_rounds);
+}
+
+std::unique_ptr<VertexProgram> MakeWeightedSssp(VertexId source,
+                                                uint32_t max_weight,
+                                                int max_rounds) {
+  return std::make_unique<WeightedSsspProgram>(source, max_weight,
+                                               max_rounds);
+}
+
+std::unique_ptr<VertexProgram> MakePageRank(int iterations, double damping) {
+  return std::make_unique<PageRankProgram>(iterations, damping);
+}
+
+std::unique_ptr<VertexProgram> MakeSssp(VertexId source, int max_rounds) {
+  return std::make_unique<SsspProgram>(source, max_rounds);
+}
+
+std::unique_ptr<VertexProgram> MakeSubgraphIsomorphism(
+    std::vector<int> pattern, int num_labels) {
+  return std::make_unique<SubgraphIsomorphismProgram>(std::move(pattern),
+                                                      num_labels);
+}
+
+}  // namespace rlcut

@@ -1,0 +1,99 @@
+#ifndef RLCUT_ENGINE_VERTEX_PROGRAM_H_
+#define RLCUT_ENGINE_VERTEX_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "partition/workload.h"
+
+namespace rlcut {
+
+/// A PowerLyra-style vertex program executed by GasEngine. Vertex values
+/// are doubles: ranks (PageRank), distances (SSSP), or partial-match
+/// counts (subgraph isomorphism). The engine runs synchronous pull-based
+/// GAS super-steps with change-driven activation.
+class VertexProgram {
+ public:
+  virtual ~VertexProgram() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Initial value of v.
+  virtual double Init(VertexId v, const Graph& graph) const = 0;
+
+  /// True if v starts in the changed set (drives iteration 0's traffic):
+  /// every vertex for PageRank, only the source for SSSP.
+  virtual bool InitiallyChanged(VertexId v, const Graph& graph) const = 0;
+
+  /// Identity of the gather combiner (0 for sums, +inf for mins).
+  virtual double GatherIdentity() const = 0;
+
+  /// Contribution of in-neighbor u (current value `value_u`) to v.
+  virtual double Gather(VertexId u, double value_u, VertexId v,
+                        const Graph& graph) const = 0;
+
+  /// Combines two gather contributions (sum or min).
+  virtual double Combine(double a, double b) const = 0;
+
+  /// Hook invoked by the engine at the start of iteration `iteration`
+  /// (0-based); round-dependent programs (subgraph isomorphism) use it.
+  virtual void OnIterationStart(int iteration) { (void)iteration; }
+
+  /// New value of v given its old value and the combined gather result.
+  virtual double Apply(VertexId v, double old_value, double gathered,
+                       const Graph& graph) const = 0;
+
+  /// Whether a value update is significant enough to propagate.
+  virtual bool Changed(double old_value, double new_value) const = 0;
+
+  /// True if every vertex must be recomputed every super-step (PageRank,
+  /// subgraph isomorphism: a vertex's new value can differ even when no
+  /// in-neighbor changed, e.g. the damping re-mix or a label window).
+  /// False enables frontier-driven activation (SSSP).
+  virtual bool RecomputeAllEachIteration() const = 0;
+
+  /// Traffic profile consistent with what the engine emits; this is what
+  /// partitioners optimize against (see Workload).
+  virtual Workload TrafficModel() const = 0;
+
+  /// Hard iteration cap for the engine (e.g., PageRank's fixed rounds).
+  virtual int MaxIterations() const = 0;
+};
+
+/// PageRank with damping 0.85 over in-edges.
+std::unique_ptr<VertexProgram> MakePageRank(int iterations = 10,
+                                            double damping = 0.85);
+
+/// Single-source shortest paths with unit edge weights.
+std::unique_ptr<VertexProgram> MakeSssp(VertexId source, int max_rounds = 64);
+
+/// Subgraph isomorphism as labeled-path embedding counting: vertices are
+/// labeled id % num_labels and the program counts directed paths whose
+/// label sequence matches `pattern` (one extension round per pattern
+/// position). Exact counts are verifiable against a single-machine
+/// reference (see tests).
+std::unique_ptr<VertexProgram> MakeSubgraphIsomorphism(
+    std::vector<int> pattern = {0, 1, 2, 1}, int num_labels = 4);
+
+/// Connected components by min-label propagation. Labels propagate along
+/// in-edges (pull), so for undirected/weak components run it on
+/// Symmetrize(graph); on a directed graph it computes in-reachability
+/// minima.
+std::unique_ptr<VertexProgram> MakeConnectedComponents(int max_rounds = 128);
+
+/// SSSP with deterministic pseudo-random integer edge weights
+/// w(u,v) = 1 + Hash(u, v) % max_weight (label-correcting, exact).
+std::unique_ptr<VertexProgram> MakeWeightedSssp(VertexId source,
+                                                uint32_t max_weight = 8,
+                                                int max_rounds = 256);
+
+/// The weight function used by MakeWeightedSssp, exposed so reference
+/// implementations and tests agree with the program.
+double WeightedSsspEdgeWeight(VertexId u, VertexId v, uint32_t max_weight);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_ENGINE_VERTEX_PROGRAM_H_

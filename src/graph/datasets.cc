@@ -1,0 +1,90 @@
+#include "graph/datasets.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.h"
+#include "graph/generators.h"
+
+namespace rlcut {
+
+std::vector<Dataset> AllDatasets() {
+  return {Dataset::kLiveJournal, Dataset::kOrkut, Dataset::kUk2005,
+          Dataset::kIt2004, Dataset::kTwitter};
+}
+
+std::string DatasetName(Dataset dataset) {
+  switch (dataset) {
+    case Dataset::kLiveJournal:
+      return "LJ";
+    case Dataset::kOrkut:
+      return "OT";
+    case Dataset::kUk2005:
+      return "UK";
+    case Dataset::kIt2004:
+      return "IT";
+    case Dataset::kTwitter:
+      return "TW";
+  }
+  return "?";
+}
+
+Result<Dataset> ParseDataset(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "lj" || lower == "livejournal") return Dataset::kLiveJournal;
+  if (lower == "ot" || lower == "orkut") return Dataset::kOrkut;
+  if (lower == "uk" || lower == "uk-2005") return Dataset::kUk2005;
+  if (lower == "it" || lower == "it-2004") return Dataset::kIt2004;
+  if (lower == "tw" || lower == "twitter") return Dataset::kTwitter;
+  return Status::InvalidArgument("unknown dataset: " + name);
+}
+
+DatasetShape GetDatasetShape(Dataset dataset) {
+  // |V| and |E| are Table II values. Skew exponents approximate published
+  // degree-distribution fits: social networks ~2.0-2.3, web graphs ~1.9
+  // with stronger hubs, Twitter the most skewed.
+  switch (dataset) {
+    case Dataset::kLiveJournal:
+      return {4847571, 68993773, 2.25, /*web_like=*/false};
+    case Dataset::kOrkut:
+      return {3072441, 117185083, 2.30, /*web_like=*/false};
+    case Dataset::kUk2005:
+      return {39454746, 936364282, 1.95, /*web_like=*/true};
+    case Dataset::kIt2004:
+      return {41290682, 1150725436, 1.92, /*web_like=*/true};
+    case Dataset::kTwitter:
+      return {41652230, 1468365182, 1.80, /*web_like=*/false};
+  }
+  RLCUT_CHECK(false) << "unhandled dataset";
+  return {};
+}
+
+Graph LoadDataset(Dataset dataset, uint64_t scale, uint64_t seed) {
+  RLCUT_CHECK_GE(scale, 1u);
+  const DatasetShape shape = GetDatasetShape(dataset);
+  const uint64_t n64 = std::max<uint64_t>(64, shape.num_vertices / scale);
+  const uint64_t m = std::max<uint64_t>(256, shape.num_edges / scale);
+  const VertexId n = static_cast<VertexId>(n64);
+
+  if (shape.web_like) {
+    RmatOptions opt;
+    opt.num_vertices = n;
+    opt.num_edges = m;
+    // Stronger diagonal (a) concentration for web-graph-like hub pages.
+    opt.a = 0.60;
+    opt.b = 0.18;
+    opt.c = 0.18;
+    opt.seed = seed + static_cast<uint64_t>(dataset);
+    return GenerateRmat(opt);
+  }
+  PowerLawOptions opt;
+  opt.num_vertices = n;
+  opt.num_edges = m;
+  opt.exponent = shape.skew_exponent;
+  opt.seed = seed + static_cast<uint64_t>(dataset);
+  return GeneratePowerLaw(opt);
+}
+
+}  // namespace rlcut

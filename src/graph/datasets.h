@@ -1,0 +1,53 @@
+#ifndef RLCUT_GRAPH_DATASETS_H_
+#define RLCUT_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace rlcut {
+
+/// Named stand-ins for the paper's five real-world graphs (Table II).
+/// Each preset reproduces the original's |V|:|E| ratio and degree skew at
+/// 1/scale of the original size (see DESIGN.md, substitutions).
+enum class Dataset {
+  kLiveJournal,  // LJ: 4.85M vertices, 69.0M edges, social, moderate skew
+  kOrkut,        // OT: 3.07M vertices, 117.2M edges, social, dense
+  kUk2005,       // UK: 39.5M vertices, 936.4M edges, web, high skew
+  kIt2004,       // IT: 41.3M vertices, 1150.7M edges, web, high skew
+  kTwitter,      // TW: 41.7M vertices, 1468.4M edges, social, extreme skew
+};
+
+/// All five presets in the paper's Table II order.
+std::vector<Dataset> AllDatasets();
+
+/// Paper notation ("LJ", "OT", "UK", "IT", "TW").
+std::string DatasetName(Dataset dataset);
+
+/// Parses the paper notation; case-insensitive. Also accepts long names
+/// ("livejournal", "orkut", "uk-2005", "it-2004", "twitter").
+Result<Dataset> ParseDataset(const std::string& name);
+
+/// Original sizes from Table II.
+struct DatasetShape {
+  uint64_t num_vertices;
+  uint64_t num_edges;
+  /// Power-law exponent used to match the original degree skew.
+  double skew_exponent;
+  /// True for web graphs (R-MAT community structure), false for social
+  /// (Chung-Lu popularity model).
+  bool web_like;
+};
+
+DatasetShape GetDatasetShape(Dataset dataset);
+
+/// Instantiates the preset at 1/scale of the original size (scale >= 1).
+/// scale=1000 yields, e.g., LJ with ~4.8k vertices and ~69k edges.
+Graph LoadDataset(Dataset dataset, uint64_t scale = 1000, uint64_t seed = 42);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_GRAPH_DATASETS_H_

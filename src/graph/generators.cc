@@ -1,0 +1,153 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace rlcut {
+namespace {
+
+VertexId RoundUpToPowerOfTwo(VertexId n) {
+  VertexId p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Applies a random permutation to all endpoints in-place.
+void PermuteVertexIds(std::vector<Edge>& edges, VertexId n, Rng& rng) {
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  rng.Shuffle(perm);
+  for (Edge& e : edges) {
+    e.src = perm[e.src];
+    e.dst = perm[e.dst];
+  }
+}
+
+}  // namespace
+
+std::vector<Edge> GenerateRmatEdges(const RmatOptions& options) {
+  RLCUT_CHECK_GT(options.num_vertices, 1u);
+  RLCUT_CHECK_GE(options.a + options.b + options.c, 0.0);
+  RLCUT_CHECK_LE(options.a + options.b + options.c, 1.0);
+  const VertexId n = RoundUpToPowerOfTwo(options.num_vertices);
+  int levels = 0;
+  while ((1u << levels) < n) ++levels;
+
+  Rng rng(options.seed);
+  std::vector<Edge> edges;
+  edges.reserve(options.num_edges);
+  for (uint64_t i = 0; i < options.num_edges; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (int level = 0; level < levels; ++level) {
+      // Per-level multiplicative noise keeps expected quadrant mass while
+      // de-correlating levels.
+      const double na =
+          options.a * (1 + options.noise * (rng.UniformDouble() - 0.5));
+      const double nb =
+          options.b * (1 + options.noise * (rng.UniformDouble() - 0.5));
+      const double nc =
+          options.c * (1 + options.noise * (rng.UniformDouble() - 0.5));
+      const double nd = 1.0 - na - nb - nc;
+      const double total = na + nb + nc + std::max(nd, 0.0);
+      double x = rng.UniformDouble() * total;
+      src <<= 1;
+      dst <<= 1;
+      if (x < na) {
+        // top-left: no bits set.
+      } else if (x < na + nb) {
+        dst |= 1;
+      } else if (x < na + nb + nc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    edges.push_back({src, dst});
+  }
+  PermuteVertexIds(edges, n, rng);
+  return edges;
+}
+
+Graph GenerateRmat(const RmatOptions& options) {
+  const VertexId n = RoundUpToPowerOfTwo(options.num_vertices);
+  std::vector<Edge> edges = GenerateRmatEdges(options);
+  GraphBuilder builder(n);
+  builder.AddEdges(edges);
+  if (options.remove_duplicates) builder.DeduplicateAndDropSelfLoops();
+  return std::move(builder).Build();
+}
+
+std::vector<Edge> GeneratePowerLawEdges(const PowerLawOptions& options) {
+  RLCUT_CHECK_GT(options.num_vertices, 1u);
+  RLCUT_CHECK_GT(options.exponent, 1.05);
+  Rng rng(options.seed);
+  const VertexId n = options.num_vertices;
+  std::vector<Edge> edges;
+  edges.reserve(options.num_edges);
+  // Destination drawn by Zipf rank weight, source uniform. `exponent` is
+  // the degree-distribution exponent gamma (P[deg=k] ~ k^-gamma); the
+  // corresponding rank-weight exponent is s = 1/(gamma-1), so a larger
+  // gamma means a lighter tail. A random relabeling decouples vertex id
+  // from popularity rank.
+  const double rank_exponent = 1.0 / (options.exponent - 1.0);
+  for (uint64_t i = 0; i < options.num_edges; ++i) {
+    const VertexId dst =
+        static_cast<VertexId>(rng.Zipf(n, rank_exponent));
+    const VertexId src = static_cast<VertexId>(rng.UniformInt(n));
+    edges.push_back({src, dst});
+  }
+  PermuteVertexIds(edges, n, rng);
+  return edges;
+}
+
+Graph GeneratePowerLaw(const PowerLawOptions& options) {
+  std::vector<Edge> edges = GeneratePowerLawEdges(options);
+  GraphBuilder builder(options.num_vertices);
+  builder.AddEdges(edges);
+  return std::move(builder).Build();
+}
+
+Graph GenerateErdosRenyi(VertexId num_vertices, uint64_t num_edges,
+                         uint64_t seed) {
+  RLCUT_CHECK_GT(num_vertices, 1u);
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    VertexId src = static_cast<VertexId>(rng.UniformInt(num_vertices));
+    VertexId dst = static_cast<VertexId>(rng.UniformInt(num_vertices));
+    builder.AddEdge(src, dst);
+  }
+  return std::move(builder).Build();
+}
+
+Graph GenerateRing(VertexId num_vertices, uint32_t hops) {
+  RLCUT_CHECK_GT(num_vertices, 1u);
+  GraphBuilder builder(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    for (uint32_t h = 1; h <= hops; ++h) {
+      builder.AddEdge(v, (v + h) % num_vertices);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph GenerateGrid(VertexId rows, VertexId cols) {
+  RLCUT_CHECK_GT(rows, 0u);
+  RLCUT_CHECK_GT(cols, 0u);
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace rlcut

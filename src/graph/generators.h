@@ -1,0 +1,66 @@
+#ifndef RLCUT_GRAPH_GENERATORS_H_
+#define RLCUT_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace rlcut {
+
+/// Parameters for the recursive-matrix (R-MAT) generator used to stand in
+/// for skewed social/web graphs (Twitter, uk-2005, it-2004, ...).
+/// Defaults are the canonical Graph500-ish skew (a=0.57,b=0.19,c=0.19).
+struct RmatOptions {
+  VertexId num_vertices = 1 << 14;  // Rounded up to a power of two.
+  uint64_t num_edges = 1 << 18;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  /// Perturbation of quadrant probabilities per level; breaks the strict
+  /// self-similarity that makes pure R-MAT degree sequences lumpy.
+  double noise = 0.05;
+  bool remove_duplicates = false;
+  uint64_t seed = 1;
+};
+
+/// Generates an R-MAT graph. Vertex ids are randomly permuted so that id
+/// order carries no degree information (degree-ordered ids would make
+/// hash partitioners look artificially good or bad).
+Graph GenerateRmat(const RmatOptions& options);
+
+/// Chung-Lu power-law graph: expected in-degrees follow a Zipf(exponent)
+/// law; out-degrees are near-uniform. This matches the paper's setting
+/// where *in*-degree skew drives the hybrid-cut high/low split.
+struct PowerLawOptions {
+  VertexId num_vertices = 1 << 14;
+  uint64_t num_edges = 1 << 18;
+  /// Degree-distribution exponent gamma (P[deg=k] ~ k^-gamma), > 1.05.
+  /// Smaller gamma = heavier tail (Twitter ~1.8, social nets ~2.2-2.3).
+  double exponent = 2.0;
+  uint64_t seed = 1;
+};
+
+Graph GeneratePowerLaw(const PowerLawOptions& options);
+
+/// Erdős–Rényi G(n, m): m uniform random edges. The "no skew" control.
+Graph GenerateErdosRenyi(VertexId num_vertices, uint64_t num_edges,
+                         uint64_t seed);
+
+/// Deterministic ring with `hops` forward edges per vertex; handy in unit
+/// tests where exact structure matters.
+Graph GenerateRing(VertexId num_vertices, uint32_t hops = 1);
+
+/// Two-dimensional grid (rows x cols) with right/down edges.
+Graph GenerateGrid(VertexId rows, VertexId cols);
+
+/// Raw edge-list variants used by the temporal-stream machinery, which
+/// needs the edge sequence before CSR construction.
+std::vector<Edge> GenerateRmatEdges(const RmatOptions& options);
+std::vector<Edge> GeneratePowerLawEdges(const PowerLawOptions& options);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_GRAPH_GENERATORS_H_

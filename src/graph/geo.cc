@@ -1,0 +1,95 @@
+#include "graph/geo.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace rlcut {
+namespace {
+
+// Default relative populations for the paper's eight regions (Sec. II):
+// South America, USA West, USA East, Africa, Oceania, North America,
+// Asia, Europe. Values approximate the Twitter-user clustering skew.
+const double kDefaultPopularity[] = {0.08, 0.12, 0.22, 0.05,
+                                     0.04, 0.09, 0.18, 0.22};
+
+}  // namespace
+
+std::vector<DcId> AssignGeoLocations(const Graph& graph,
+                                     const GeoLocatorOptions& options) {
+  RLCUT_CHECK_GE(options.num_dcs, 1);
+  RLCUT_CHECK_LE(options.num_dcs, kMaxDataCenters);
+  RLCUT_CHECK_GE(options.homophily, 0.0);
+  RLCUT_CHECK_LE(options.homophily, 1.0);
+
+  std::vector<double> popularity = options.region_popularity;
+  if (popularity.empty()) {
+    for (int i = 0; i < options.num_dcs; ++i) {
+      popularity.push_back(
+          kDefaultPopularity[i % (sizeof(kDefaultPopularity) /
+                                  sizeof(kDefaultPopularity[0]))]);
+    }
+  }
+  RLCUT_CHECK_EQ(popularity.size(), static_cast<size_t>(options.num_dcs));
+
+  Rng rng(options.seed);
+  const VertexId n = graph.num_vertices();
+  std::vector<DcId> locations(n, kNoDc);
+
+  // First pass: independent popularity draws.
+  for (VertexId v = 0; v < n; ++v) {
+    locations[v] = static_cast<DcId>(rng.SampleDiscrete(popularity));
+  }
+  // Homophily pass: with probability `homophily`, align a vertex with
+  // the majority region of its in-neighbors (followers cluster around
+  // where the followee's audience lives). Aligning hubs to their
+  // audience majority is what moves the inter-DC edge fraction, since
+  // hubs carry most edges in skewed graphs.
+  if (options.homophily > 0) {
+    std::vector<uint32_t> region_count(options.num_dcs);
+    for (VertexId v = 0; v < n; ++v) {
+      auto in = graph.InNeighbors(v);
+      if (in.empty()) continue;
+      if (!rng.Bernoulli(options.homophily)) continue;
+      std::fill(region_count.begin(), region_count.end(), 0u);
+      for (VertexId w : in) ++region_count[locations[w]];
+      DcId mode = 0;
+      for (DcId r = 1; r < options.num_dcs; ++r) {
+        if (region_count[r] > region_count[mode]) mode = r;
+      }
+      locations[v] = mode;
+    }
+  }
+  return locations;
+}
+
+std::vector<double> AssignInputSizes(const Graph& graph, double base_bytes,
+                                     double bytes_per_edge) {
+  std::vector<double> sizes(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    sizes[v] = base_bytes + bytes_per_edge * graph.Degree(v);
+  }
+  return sizes;
+}
+
+GeoEdgeStats ComputeGeoEdgeStats(const Graph& graph,
+                                 const std::vector<DcId>& locations,
+                                 int num_dcs) {
+  RLCUT_CHECK_EQ(locations.size(), graph.num_vertices());
+  GeoEdgeStats stats;
+  stats.counts.assign(num_dcs, std::vector<uint64_t>(num_dcs, 0));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const DcId src_dc = locations[v];
+    for (VertexId u : graph.OutNeighbors(v)) {
+      const DcId dst_dc = locations[u];
+      ++stats.counts[src_dc][dst_dc];
+      if (src_dc == dst_dc) {
+        ++stats.intra_dc_edges;
+      } else {
+        ++stats.inter_dc_edges;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace rlcut

@@ -1,0 +1,64 @@
+#ifndef RLCUT_GRAPH_GEO_H_
+#define RLCUT_GRAPH_GEO_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace rlcut {
+
+/// Assigns each vertex an initial data-center location L_v, standing in
+/// for the real user geo-locations of Section II (Fig. 1).
+///
+/// Model: regions have a popularity distribution (how many users live
+/// there) and edges exhibit homophily (a follower is more likely to be in
+/// the follower's own region than global popularity alone would predict).
+/// homophily=0 places neighbors independently; 1 forces same-region.
+struct GeoLocatorOptions {
+  int num_dcs = 8;
+  /// Relative region populations; empty = the default 8-region profile
+  /// (USA East/West, Europe, Asia, ... with realistic imbalance).
+  std::vector<double> region_popularity;
+  /// Probability mass moved toward "same region as a random in-neighbor".
+  double homophily = 0.3;
+  uint64_t seed = 7;
+};
+
+/// Per-vertex initial locations L_v. The graph is consulted for
+/// homophily; with homophily=0 it is ignored.
+std::vector<DcId> AssignGeoLocations(const Graph& graph,
+                                     const GeoLocatorOptions& options);
+
+/// Per-vertex input data sizes d_v (bytes). Sizes grow with degree (a
+/// vertex's adjacency plus per-edge payload dominates its stored
+/// footprint): d_v = base_bytes + bytes_per_edge * degree(v). Defaults
+/// are KB-scale so that input movement cost (Eq. 4) is a first-class
+/// term next to runtime transfer cost, as in the paper's setting.
+std::vector<double> AssignInputSizes(const Graph& graph,
+                                     double base_bytes = 16384.0,
+                                     double bytes_per_edge = 1024.0);
+
+/// Counts edges whose endpoints' locations differ; Fig. 1's ">75%
+/// inter-DC edges" observation.
+struct GeoEdgeStats {
+  uint64_t intra_dc_edges = 0;
+  uint64_t inter_dc_edges = 0;
+  /// counts[i][j] = edges from a vertex in DC i to a vertex in DC j.
+  std::vector<std::vector<uint64_t>> counts;
+
+  double InterDcFraction() const {
+    const uint64_t total = intra_dc_edges + inter_dc_edges;
+    return total == 0 ? 0.0
+                      : static_cast<double>(inter_dc_edges) /
+                            static_cast<double>(total);
+  }
+};
+
+GeoEdgeStats ComputeGeoEdgeStats(const Graph& graph,
+                                 const std::vector<DcId>& locations,
+                                 int num_dcs);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_GRAPH_GEO_H_

@@ -1,0 +1,127 @@
+#ifndef RLCUT_GRAPH_GRAPH_H_
+#define RLCUT_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rlcut {
+
+/// Immutable directed graph in dual-CSR form (both out- and in-adjacency).
+///
+/// Every directed edge has a stable EdgeId equal to its position in the
+/// out-edge CSR; the in-adjacency carries the same EdgeIds so partition
+/// state (which places *edges* onto data centers) can be updated from
+/// either endpoint. Build via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  // Copyable (tests clone small graphs) and movable.
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(out_offsets_.empty()
+                                     ? 0
+                                     : out_offsets_.size() - 1);
+  }
+  uint64_t num_edges() const { return out_targets_.size(); }
+
+  uint32_t OutDegree(VertexId v) const {
+    return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  uint32_t InDegree(VertexId v) const {
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+  uint32_t Degree(VertexId v) const { return OutDegree(v) + InDegree(v); }
+
+  /// Targets of v's out-edges.
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Sources of v's in-edges.
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  /// EdgeIds of v's out-edges: the k-th out-edge of v has EdgeId
+  /// OutEdgeBegin(v) + k and target OutNeighbors(v)[k].
+  EdgeId OutEdgeBegin(VertexId v) const { return out_offsets_[v]; }
+  EdgeId OutEdgeEnd(VertexId v) const { return out_offsets_[v + 1]; }
+
+  /// EdgeIds of v's in-edges, parallel to InNeighbors(v).
+  std::span<const EdgeId> InEdgeIds(VertexId v) const {
+    return {in_edge_ids_.data() + in_offsets_[v],
+            in_edge_ids_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Endpoints of edge `e`.
+  VertexId EdgeSource(EdgeId e) const { return edge_sources_[e]; }
+  VertexId EdgeTarget(EdgeId e) const { return out_targets_[e]; }
+
+  /// All edges in EdgeId order (src computed from the CSR).
+  Edge GetEdge(EdgeId e) const { return {EdgeSource(e), EdgeTarget(e)}; }
+
+  /// Maximum in-degree over all vertices (0 for an empty graph).
+  uint32_t MaxInDegree() const;
+
+ private:
+  friend class GraphBuilder;
+
+  // CSR over out-edges; EdgeId == index into out_targets_.
+  std::vector<uint64_t> out_offsets_;  // |V|+1
+  std::vector<VertexId> out_targets_;  // |E|
+  // Reverse map EdgeId -> source vertex (kept explicit: O(1) lookups in
+  // partition-state updates beat binary-searching out_offsets_).
+  std::vector<VertexId> edge_sources_;  // |E|
+
+  // CSR over in-edges, mirroring EdgeIds of the out-CSR.
+  std::vector<uint64_t> in_offsets_;  // |V|+1
+  std::vector<VertexId> in_sources_;  // |E|
+  std::vector<EdgeId> in_edge_ids_;   // |E|
+};
+
+/// Accumulates edges then builds the dual-CSR Graph.
+///
+///   GraphBuilder b(num_vertices);
+///   b.AddEdge(0, 1);
+///   Graph g = std::move(b).Build();
+class GraphBuilder {
+ public:
+  /// `num_vertices` fixes the vertex id space [0, num_vertices).
+  explicit GraphBuilder(VertexId num_vertices);
+
+  /// Appends a directed edge; endpoints must be < num_vertices.
+  void AddEdge(VertexId src, VertexId dst);
+  void AddEdge(const Edge& e) { AddEdge(e.src, e.dst); }
+
+  /// Appends all edges from a list.
+  void AddEdges(const std::vector<Edge>& edges);
+
+  uint64_t num_edges() const { return edges_.size(); }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Removes exact duplicate (src,dst) pairs and self-loops. Optional:
+  /// generators may legitimately produce multigraphs.
+  void DeduplicateAndDropSelfLoops();
+
+  /// Builds the graph. Consumes the builder.
+  Graph Build() &&;
+
+ private:
+  VertexId num_vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_GRAPH_GRAPH_H_

@@ -1,0 +1,60 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace rlcut {
+
+Result<Graph> LoadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::vector<Edge> edges;
+  VertexId max_id = 0;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    if (!(ss >> src >> dst)) {
+      return Status::IoError(path + ":" + std::to_string(line_number) +
+                             ": malformed edge line: " + line);
+    }
+    if (src > 0xFFFFFFFFull || dst > 0xFFFFFFFFull) {
+      return Status::OutOfRange(path + ":" + std::to_string(line_number) +
+                                ": vertex id exceeds 32 bits");
+    }
+    edges.push_back(
+        {static_cast<VertexId>(src), static_cast<VertexId>(dst)});
+    max_id = std::max(max_id, static_cast<VertexId>(std::max(src, dst)));
+  }
+  const VertexId n = edges.empty() ? 0 : max_id + 1;
+  GraphBuilder builder(n == 0 ? 1 : n);
+  builder.AddEdges(edges);
+  return std::move(builder).Build();
+}
+
+Status SaveEdgeListFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << "# rlcut edge list: " << graph.num_vertices() << " vertices, "
+      << graph.num_edges() << " edges\n";
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge edge = graph.GetEdge(e);
+    out << edge.src << " " << edge.dst << "\n";
+  }
+  if (!out) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace rlcut

@@ -1,0 +1,21 @@
+#ifndef RLCUT_GRAPH_IO_H_
+#define RLCUT_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace rlcut {
+
+/// Loads a whitespace-separated edge-list file ("src dst" per line;
+/// '#'-prefixed lines are comments — the SNAP dataset format). Vertex ids
+/// are used as-is; the vertex count is max id + 1.
+Result<Graph> LoadEdgeListFile(const std::string& path);
+
+/// Writes a graph as a SNAP-style edge list (one "src dst" per line).
+Status SaveEdgeListFile(const Graph& graph, const std::string& path);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_GRAPH_IO_H_

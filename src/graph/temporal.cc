@@ -1,0 +1,118 @@
+#include "graph/temporal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace rlcut {
+
+TemporalGraph::TemporalGraph(VertexId num_vertices,
+                             std::vector<TimedEdge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  for (size_t i = 1; i < edges_.size(); ++i) {
+    RLCUT_CHECK_GE(edges_[i].timestamp_seconds,
+                   edges_[i - 1].timestamp_seconds)
+        << "temporal edges must be sorted by timestamp";
+  }
+}
+
+uint64_t TemporalGraph::CountBefore(double t) const {
+  auto it = std::lower_bound(
+      edges_.begin(), edges_.end(), t,
+      [](const TimedEdge& e, double ts) { return e.timestamp_seconds < ts; });
+  return static_cast<uint64_t>(it - edges_.begin());
+}
+
+Graph TemporalGraph::SnapshotBefore(double t) const {
+  return Prefix(CountBefore(t));
+}
+
+Graph TemporalGraph::Prefix(uint64_t count) const {
+  RLCUT_CHECK_LE(count, edges_.size());
+  GraphBuilder builder(num_vertices_);
+  for (uint64_t i = 0; i < count; ++i) builder.AddEdge(edges_[i].edge);
+  return std::move(builder).Build();
+}
+
+std::vector<Edge> TemporalGraph::EdgesInWindow(double t0, double t1) const {
+  std::vector<Edge> out;
+  const uint64_t begin = CountBefore(t0);
+  const uint64_t end = CountBefore(t1);
+  out.reserve(end - begin);
+  for (uint64_t i = begin; i < end; ++i) out.push_back(edges_[i].edge);
+  return out;
+}
+
+std::vector<uint64_t> TemporalGraph::WindowCounts(
+    double horizon, double window_seconds) const {
+  RLCUT_CHECK_GT(window_seconds, 0.0);
+  const size_t num_windows =
+      static_cast<size_t>(std::ceil(horizon / window_seconds));
+  std::vector<uint64_t> counts(num_windows, 0);
+  for (const TimedEdge& e : edges_) {
+    if (e.timestamp_seconds >= horizon) break;
+    const size_t w =
+        static_cast<size_t>(e.timestamp_seconds / window_seconds);
+    ++counts[w];
+  }
+  return counts;
+}
+
+TemporalGraph GenerateDiurnalStream(const TemporalStreamOptions& options) {
+  RLCUT_CHECK_GT(options.peak_to_trough, 1.0);
+  Rng rng(options.seed);
+
+  // Rate envelope r(t) = 1 + A*cos(2*pi*(h - peak)/24) scaled so that
+  // max/min = peak_to_trough.
+  const double ratio = options.peak_to_trough;
+  const double amplitude = (ratio - 1.0) / (ratio + 1.0);
+  auto rate = [&](double t) {
+    const double hour = std::fmod(t / 3600.0, 24.0);
+    return 1.0 +
+           amplitude * std::cos(2 * M_PI * (hour - options.peak_hour) / 24.0);
+  };
+
+  // Sample timestamps by thinning against the max rate, then sort.
+  std::vector<double> stamps;
+  stamps.reserve(options.num_edges);
+  const double max_rate = 1.0 + amplitude;
+  while (stamps.size() < options.num_edges) {
+    const double t = rng.UniformDouble() * options.horizon_seconds;
+    if (rng.UniformDouble() * max_rate <= rate(t)) stamps.push_back(t);
+  }
+  std::sort(stamps.begin(), stamps.end());
+
+  std::vector<TimedEdge> edges;
+  edges.reserve(options.num_edges);
+  for (double t : stamps) {
+    const VertexId dst = static_cast<VertexId>(
+        rng.Zipf(options.num_vertices, options.skew_exponent));
+    const VertexId src =
+        static_cast<VertexId>(rng.UniformInt(options.num_vertices));
+    edges.push_back({{src, dst}, t});
+  }
+  return TemporalGraph(options.num_vertices, std::move(edges));
+}
+
+GraphSplit SplitEdges(const Graph& graph, double initial_fraction,
+                      uint64_t seed) {
+  RLCUT_CHECK_GE(initial_fraction, 0.0);
+  RLCUT_CHECK_LE(initial_fraction, 1.0);
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    edges.push_back(graph.GetEdge(e));
+  }
+  Rng rng(seed);
+  rng.Shuffle(edges);
+  const uint64_t cut =
+      static_cast<uint64_t>(initial_fraction * static_cast<double>(edges.size()));
+  GraphSplit split;
+  split.initial_edges.assign(edges.begin(), edges.begin() + cut);
+  split.remaining_edges.assign(edges.begin() + cut, edges.end());
+  return split;
+}
+
+}  // namespace rlcut

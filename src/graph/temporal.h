@@ -1,0 +1,81 @@
+#ifndef RLCUT_GRAPH_TEMPORAL_H_
+#define RLCUT_GRAPH_TEMPORAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace rlcut {
+
+/// A timestamped edge insertion.
+struct TimedEdge {
+  Edge edge;
+  double timestamp_seconds;
+};
+
+/// A dynamic graph as the paper defines it (Sec. III-B): a base graph
+/// plus a stream of edge insertions. Vertex ids are stable: the full
+/// vertex set is fixed up front and edges arrive over time.
+class TemporalGraph {
+ public:
+  /// `edges` must be sorted by timestamp (ValidateSorted checks).
+  TemporalGraph(VertexId num_vertices, std::vector<TimedEdge> edges);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  const std::vector<TimedEdge>& edges() const { return edges_; }
+
+  /// Builds the graph containing edges with timestamp < t.
+  Graph SnapshotBefore(double t) const;
+
+  /// Builds the graph over the first `count` edges.
+  Graph Prefix(uint64_t count) const;
+
+  /// Edges with timestamp in [t0, t1).
+  std::vector<Edge> EdgesInWindow(double t0, double t1) const;
+
+  /// Number of edges with timestamp < t.
+  uint64_t CountBefore(double t) const;
+
+  /// Per-window insertion counts over [0, horizon) with the given window
+  /// length — the Fig. 4 "added edges per hour" series.
+  std::vector<uint64_t> WindowCounts(double horizon,
+                                     double window_seconds) const;
+
+ private:
+  VertexId num_vertices_;
+  std::vector<TimedEdge> edges_;
+};
+
+/// Diurnal-rate stream generator standing in for the Stack Overflow
+/// temporal network (Fig. 4): the hourly insertion rate follows a
+/// day/night sinusoid with a burst factor, so max/min hourly rate is
+/// roughly `peak_to_trough` (the paper observes 5-10x).
+struct TemporalStreamOptions {
+  VertexId num_vertices = 1 << 13;
+  uint64_t num_edges = 1 << 17;
+  double horizon_seconds = 24 * 3600;
+  double peak_to_trough = 8.0;
+  /// Hour (0-24) of peak activity.
+  double peak_hour = 14.0;
+  double skew_exponent = 2.0;  // Degree skew of the underlying graph.
+  uint64_t seed = 11;
+};
+
+TemporalGraph GenerateDiurnalStream(const TemporalStreamOptions& options);
+
+/// Splits a static graph's edges into an initial fraction and the rest
+/// (Exp#5 setup: 70% initial LiveJournal + inserted remainder). Edge
+/// order is randomized with `seed`.
+struct GraphSplit {
+  std::vector<Edge> initial_edges;
+  std::vector<Edge> remaining_edges;
+};
+
+GraphSplit SplitEdges(const Graph& graph, double initial_fraction,
+                      uint64_t seed);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_GRAPH_TEMPORAL_H_

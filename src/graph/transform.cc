@@ -1,0 +1,36 @@
+#include "graph/transform.h"
+
+#include "common/logging.h"
+
+namespace rlcut {
+
+Graph Symmetrize(const Graph& graph) {
+  GraphBuilder builder(graph.num_vertices());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge edge = graph.GetEdge(e);
+    builder.AddEdge(edge.src, edge.dst);
+    builder.AddEdge(edge.dst, edge.src);
+  }
+  builder.DeduplicateAndDropSelfLoops();
+  return std::move(builder).Build();
+}
+
+Graph Transpose(const Graph& graph) {
+  GraphBuilder builder(graph.num_vertices());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge edge = graph.GetEdge(e);
+    builder.AddEdge(edge.dst, edge.src);
+  }
+  return std::move(builder).Build();
+}
+
+Graph EdgePrefixSubgraph(const Graph& graph, uint64_t num_edges) {
+  RLCUT_CHECK_LE(num_edges, graph.num_edges());
+  GraphBuilder builder(graph.num_vertices());
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    builder.AddEdge(graph.GetEdge(e));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace rlcut

@@ -1,0 +1,23 @@
+#ifndef RLCUT_GRAPH_TRANSFORM_H_
+#define RLCUT_GRAPH_TRANSFORM_H_
+
+#include "graph/graph.h"
+
+namespace rlcut {
+
+/// Returns the graph with every edge mirrored (u->v plus v->u),
+/// de-duplicated and with self-loops dropped. Pull-based propagation
+/// algorithms that need undirected semantics (connected components) run
+/// on the symmetrized graph.
+Graph Symmetrize(const Graph& graph);
+
+/// Returns the transpose (every edge reversed).
+Graph Transpose(const Graph& graph);
+
+/// Returns the subgraph keeping only the first `num_edges` edges in
+/// EdgeId order (vertex set unchanged).
+Graph EdgePrefixSubgraph(const Graph& graph, uint64_t num_edges);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_GRAPH_TRANSFORM_H_

@@ -1,0 +1,36 @@
+#ifndef RLCUT_GRAPH_TYPES_H_
+#define RLCUT_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace rlcut {
+
+/// Vertex identifier. Scaled-down reproductions stay far below 2^32
+/// vertices; 32 bits halves CSR memory vs 64.
+using VertexId = uint32_t;
+
+/// Directed-edge identifier: index into the out-edge CSR of a Graph.
+using EdgeId = uint64_t;
+
+/// Data-center (partition) identifier. The paper partitions over M <= 8
+/// DCs; we support up to kMaxDataCenters via 64-bit replica bitmasks.
+using DcId = int32_t;
+
+/// Upper bound on the number of data centers, imposed by the 64-bit
+/// replica bitmask in PartitionState.
+inline constexpr int kMaxDataCenters = 64;
+
+/// Sentinel for "no data center assigned".
+inline constexpr DcId kNoDc = -1;
+
+/// A directed edge (src -> dst).
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_GRAPH_TYPES_H_

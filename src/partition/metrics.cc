@@ -1,0 +1,58 @@
+#include "partition/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rlcut {
+namespace {
+
+// max/mean ratio over per-DC counts; 0 when everything is empty.
+double BalanceRatio(const std::vector<uint64_t>& counts) {
+  if (counts.empty()) return 0;
+  uint64_t total = 0;
+  uint64_t max_count = 0;
+  for (uint64_t c : counts) {
+    total += c;
+    max_count = std::max(max_count, c);
+  }
+  if (total == 0) return 0;
+  const double mean = static_cast<double>(total) / counts.size();
+  return static_cast<double>(max_count) / mean;
+}
+
+}  // namespace
+
+PartitionReport MakeReport(const PartitionState& state) {
+  PartitionReport report;
+  const Objective obj = state.CurrentObjective();
+  report.transfer_seconds = obj.transfer_seconds;
+  report.total_cost = obj.cost_dollars;
+  report.move_cost = state.MoveCost();
+  report.runtime_cost = obj.cost_dollars - state.MoveCost();
+  report.wan_bytes_per_iteration = state.WanBytesPerIteration();
+  report.replication_factor = state.ReplicationFactor();
+  report.num_high_degree = state.NumHighDegree();
+
+  std::vector<uint64_t> masters(state.num_dcs());
+  std::vector<uint64_t> edges(state.num_dcs());
+  for (int r = 0; r < state.num_dcs(); ++r) {
+    masters[r] = state.MasterCount(r);
+    edges[r] = state.EdgeCount(r);
+  }
+  report.master_balance = BalanceRatio(masters);
+  report.edge_balance = BalanceRatio(edges);
+  return report;
+}
+
+std::string PartitionReport::ToString() const {
+  std::ostringstream ss;
+  ss << "transfer=" << transfer_seconds << "s cost=$" << total_cost
+     << " (move=$" << move_cost << " runtime=$" << runtime_cost << ")"
+     << " wan=" << wan_bytes_per_iteration / 1e6 << "MB/iter"
+     << " lambda=" << replication_factor
+     << " master_bal=" << master_balance << " edge_bal=" << edge_balance
+     << " high_deg=" << num_high_degree;
+  return ss.str();
+}
+
+}  // namespace rlcut

@@ -1,0 +1,37 @@
+#ifndef RLCUT_PARTITION_METRICS_H_
+#define RLCUT_PARTITION_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "partition/partition_state.h"
+
+namespace rlcut {
+
+/// Summary of a partitioning, for reports and regression tests.
+struct PartitionReport {
+  /// Eq. 1 summed over iterations (activity-scaled), seconds.
+  double transfer_seconds = 0;
+  /// Eq. 4 + Eq. 5 over iterations, dollars.
+  double total_cost = 0;
+  double move_cost = 0;
+  double runtime_cost = 0;
+  /// Uplink bytes per full-activity iteration.
+  double wan_bytes_per_iteration = 0;
+  /// Average replicas per vertex (lambda).
+  double replication_factor = 0;
+  /// max_r masters(r) / mean masters: 1.0 = perfectly balanced.
+  double master_balance = 0;
+  /// max_r edges(r) / mean edges.
+  double edge_balance = 0;
+  uint64_t num_high_degree = 0;
+
+  std::string ToString() const;
+};
+
+/// Extracts the full report from a state.
+PartitionReport MakeReport(const PartitionState& state);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_PARTITION_METRICS_H_

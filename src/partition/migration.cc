@@ -1,0 +1,50 @@
+#include "partition/migration.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rlcut {
+
+MigrationSummary PlanMigration(const std::vector<DcId>& old_masters,
+                               const std::vector<DcId>& new_masters,
+                               const std::vector<double>& sizes,
+                               const Topology& topology) {
+  RLCUT_CHECK_EQ(old_masters.size(), new_masters.size());
+  RLCUT_CHECK_EQ(old_masters.size(), sizes.size());
+  const int num_dcs = topology.num_dcs();
+
+  MigrationSummary summary;
+  summary.bytes_out.assign(num_dcs, 0);
+  summary.bytes_in.assign(num_dcs, 0);
+  for (size_t v = 0; v < old_masters.size(); ++v) {
+    const DcId from = old_masters[v];
+    const DcId to = new_masters[v];
+    if (from == to) continue;
+    RLCUT_CHECK(from >= 0 && from < num_dcs);
+    RLCUT_CHECK(to >= 0 && to < num_dcs);
+    ++summary.vertices_moved;
+    summary.bytes_moved += sizes[v];
+    summary.bytes_out[from] += sizes[v];
+    summary.bytes_in[to] += sizes[v];
+    summary.cost_dollars += topology.UploadCost(from, sizes[v]);
+  }
+  for (DcId r = 0; r < num_dcs; ++r) {
+    summary.transfer_seconds = std::max(
+        summary.transfer_seconds,
+        std::max(topology.UploadSeconds(r, summary.bytes_out[r]),
+                 topology.DownloadSeconds(r, summary.bytes_in[r])));
+  }
+  return summary;
+}
+
+MigrationSummary PlanMigration(const PartitionPlan& old_plan,
+                               const PartitionPlan& new_plan,
+                               const std::vector<double>& sizes,
+                               const Topology& topology) {
+  RLCUT_CHECK_EQ(old_plan.masters.size(), new_plan.masters.size());
+  return PlanMigration(old_plan.masters, new_plan.masters, sizes,
+                       topology);
+}
+
+}  // namespace rlcut

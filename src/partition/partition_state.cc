@@ -1,0 +1,665 @@
+#include "partition/partition_state.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rlcut {
+namespace {
+
+inline uint64_t Bit(DcId r) { return 1ull << r; }
+
+inline int PopCount(uint64_t x) { return std::popcount(x); }
+
+// Iterates the set bits of `mask`, calling fn(DcId).
+template <typename Fn>
+inline void ForEachDc(uint64_t mask, Fn&& fn) {
+  while (mask != 0) {
+    const int r = std::countr_zero(mask);
+    fn(static_cast<DcId>(r));
+    mask &= mask - 1;
+  }
+}
+
+}  // namespace
+
+void EvalScratch::EnsureSized(VertexId num_vertices, int num_dcs) {
+  if (slot_epoch_.size() < num_vertices) {
+    slot_.resize(num_vertices, 0);
+    slot_epoch_.resize(num_vertices, 0);
+  }
+  if (gather_up_.size() < static_cast<size_t>(num_dcs)) {
+    gather_up_.resize(num_dcs);
+    gather_down_.resize(num_dcs);
+    apply_up_.resize(num_dcs);
+    apply_down_.resize(num_dcs);
+  }
+}
+
+PartitionState::PartitionState(const Graph* graph, const Topology* topology,
+                               const std::vector<DcId>* initial_locations,
+                               const std::vector<double>* input_sizes,
+                               PartitionConfig config)
+    : graph_(graph),
+      topology_(topology),
+      initial_locations_(initial_locations),
+      input_sizes_(input_sizes),
+      config_(std::move(config)) {
+  RLCUT_CHECK(graph_ != nullptr);
+  RLCUT_CHECK(topology_ != nullptr);
+  RLCUT_CHECK(initial_locations_ != nullptr);
+  RLCUT_CHECK(input_sizes_ != nullptr);
+  RLCUT_CHECK(topology_->Validate().ok());
+  num_dcs_ = topology_->num_dcs();
+  const VertexId n = graph_->num_vertices();
+  RLCUT_CHECK_EQ(initial_locations_->size(), n);
+  RLCUT_CHECK_EQ(input_sizes_->size(), n);
+
+  is_high_.resize(n);
+  apply_bytes_.resize(n);
+  gather_bytes_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    switch (config_.model) {
+      case ComputeModel::kHybridCut:
+        is_high_[v] = graph_->InDegree(v) >= config_.theta ? 1 : 0;
+        break;
+      case ComputeModel::kVertexCut:
+        is_high_[v] = 1;
+        break;
+      case ComputeModel::kEdgeCut:
+        is_high_[v] = 0;
+        break;
+    }
+    apply_bytes_[v] = config_.workload.apply_base_bytes +
+                      config_.workload.apply_bytes_per_out_edge *
+                          graph_->OutDegree(v);
+    gather_bytes_[v] = config_.workload.gather_base_bytes;
+  }
+
+  masters_.assign(n, 0);
+  edge_dc_.assign(graph_->num_edges(), kNoDc);
+  cnt_.assign(static_cast<size_t>(n) * num_dcs_, 0);
+  in_cnt_.assign(static_cast<size_t>(n) * num_dcs_, 0);
+  edge_mask_.assign(n, 0);
+  in_mask_.assign(n, 0);
+  gather_up_.assign(num_dcs_, 0);
+  gather_down_.assign(num_dcs_, 0);
+  apply_up_.assign(num_dcs_, 0);
+  apply_down_.assign(num_dcs_, 0);
+  masters_in_dc_.assign(num_dcs_, 0);
+  edges_in_dc_.assign(num_dcs_, 0);
+
+  // Start from the natural partitioning: masters at initial locations.
+  if (config_.model == ComputeModel::kVertexCut) {
+    ResetUnplaced(*initial_locations_);
+  } else {
+    ResetDerived(*initial_locations_);
+  }
+}
+
+DcId PartitionState::DerivedEdgeDc(EdgeId e) const {
+  const VertexId src = graph_->EdgeSource(e);
+  const VertexId dst = graph_->EdgeTarget(e);
+  // Hybrid-cut rules (Sec. IV-B): in-edges of a low-degree vertex follow
+  // that vertex's master; in-edges of a high-degree vertex follow the
+  // *source* master. kEdgeCut/kVertexCut degenerate via is_high_.
+  return is_high_[dst] ? masters_[src] : masters_[dst];
+}
+
+bool PartitionState::EdgeFollowsMaster(EdgeId e, VertexId v) const {
+  const VertexId src = graph_->EdgeSource(e);
+  const VertexId dst = graph_->EdgeTarget(e);
+  return (dst == v && !is_high_[dst]) || (src == v && is_high_[dst]);
+}
+
+void PartitionState::ResetDerived(const std::vector<DcId>& masters) {
+  RLCUT_CHECK_EQ(masters.size(), graph_->num_vertices());
+  derived_placement_ = true;
+  masters_ = masters;
+  for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    edge_dc_[e] = DerivedEdgeDc(e);
+  }
+  RebuildFromPlacement();
+}
+
+void PartitionState::ResetWithPlacement(const std::vector<DcId>& masters,
+                                        const std::vector<DcId>& edge_dcs) {
+  RLCUT_CHECK_EQ(masters.size(), graph_->num_vertices());
+  RLCUT_CHECK_EQ(edge_dcs.size(), graph_->num_edges());
+  derived_placement_ = false;
+  masters_ = masters;
+  edge_dc_ = edge_dcs;
+  RebuildFromPlacement();
+}
+
+void PartitionState::ResetUnplaced(const std::vector<DcId>& masters) {
+  RLCUT_CHECK_EQ(masters.size(), graph_->num_vertices());
+  derived_placement_ = false;
+  masters_ = masters;
+  std::fill(edge_dc_.begin(), edge_dc_.end(), kNoDc);
+  RebuildFromPlacement();
+}
+
+void PartitionState::RebuildFromPlacement() {
+  const VertexId n = graph_->num_vertices();
+  std::fill(cnt_.begin(), cnt_.end(), 0u);
+  std::fill(in_cnt_.begin(), in_cnt_.end(), 0u);
+  std::fill(edges_in_dc_.begin(), edges_in_dc_.end(), 0u);
+  for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    const DcId dc = edge_dc_[e];
+    if (dc == kNoDc) continue;
+    const VertexId src = graph_->EdgeSource(e);
+    const VertexId dst = graph_->EdgeTarget(e);
+    ++cnt_[static_cast<size_t>(src) * num_dcs_ + dc];
+    ++cnt_[static_cast<size_t>(dst) * num_dcs_ + dc];
+    ++in_cnt_[static_cast<size_t>(dst) * num_dcs_ + dc];
+    ++edges_in_dc_[dc];
+  }
+  std::fill(gather_up_.begin(), gather_up_.end(), 0.0);
+  std::fill(gather_down_.begin(), gather_down_.end(), 0.0);
+  std::fill(apply_up_.begin(), apply_up_.end(), 0.0);
+  std::fill(apply_down_.begin(), apply_down_.end(), 0.0);
+  std::fill(masters_in_dc_.begin(), masters_in_dc_.end(), 0u);
+  move_cost_ = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t em = 0;
+    uint64_t im = 0;
+    for (DcId r = 0; r < num_dcs_; ++r) {
+      if (CntAt(v, r) > 0) em |= Bit(r);
+      if (InCntAt(v, r) > 0) im |= Bit(r);
+    }
+    edge_mask_[v] = em;
+    in_mask_[v] = im;
+    AccumulateContribution(v, em, im, masters_[v], +1.0, gather_up_.data(),
+                           gather_down_.data(), apply_up_.data(),
+                           apply_down_.data());
+    ++masters_in_dc_[masters_[v]];
+    move_cost_ += MoveCostDelta(v, (*initial_locations_)[v], masters_[v]);
+  }
+}
+
+double PartitionState::MoveCostDelta(VertexId v, DcId old_master,
+                                     DcId new_master) const {
+  const DcId home = (*initial_locations_)[v];
+  const double moved_cost =
+      topology_->UploadCost(home, (*input_sizes_)[v]);
+  const double old_val = (old_master != home) ? moved_cost : 0.0;
+  const double new_val = (new_master != home) ? moved_cost : 0.0;
+  return new_val - old_val;
+}
+
+void PartitionState::AccumulateContribution(
+    VertexId w, uint64_t edge_mask, uint64_t in_mask, DcId master_dc,
+    double sign, double* gather_up, double* gather_down, double* apply_up,
+    double* apply_down) const {
+  const uint64_t master_bit = Bit(master_dc);
+  const uint64_t mirrors = edge_mask & ~master_bit;
+  const int num_mirrors = PopCount(mirrors);
+  if (num_mirrors > 0) {
+    // Apply stage (Eq. 3): master uploads a_v to each mirror; every
+    // mirror downloads a_v. Low-degree sync is unified into apply.
+    const double a = sign * apply_bytes_[w];
+    apply_up[master_dc] += a * num_mirrors;
+    ForEachDc(mirrors, [&](DcId r) { apply_down[r] += a; });
+  }
+  if (is_high_[w]) {
+    // Gather stage (Eq. 2): mirrors that hold in-edges of w upload one
+    // aggregated message; the master downloads all of them.
+    const uint64_t gather_mirrors = in_mask & ~master_bit;
+    const int num_gather = PopCount(gather_mirrors);
+    if (num_gather > 0) {
+      const double g = sign * gather_bytes_[w];
+      gather_down[master_dc] += g * num_gather;
+      ForEachDc(gather_mirrors, [&](DcId r) { gather_up[r] += g; });
+    }
+  }
+}
+
+void PartitionState::CollectMasterMoveDeltas(VertexId v, DcId from, DcId to,
+                                             EvalScratch* scratch) const {
+  EvalScratch& s = *scratch;
+  s.EnsureSized(graph_->num_vertices(), num_dcs_);
+  s.affected_.clear();
+  s.moved_edges_.clear();
+  s.from_dc_ = from;
+  s.to_dc_ = to;
+  if (++s.epoch_ == 0) {
+    std::fill(s.slot_epoch_.begin(), s.slot_epoch_.end(), 0u);
+    s.epoch_ = 1;
+  }
+  auto touch = [&s](VertexId w) -> EvalScratch::AffectedDelta& {
+    if (s.slot_epoch_[w] != s.epoch_) {
+      s.slot_epoch_[w] = s.epoch_;
+      s.slot_[w] = static_cast<uint32_t>(s.affected_.size());
+      s.affected_.push_back({w, 0, 0, 0, 0});
+    }
+    return s.affected_[s.slot_[w]];
+  };
+
+  // v is always affected: its master bit moves even if no edge does.
+  touch(v);
+
+  auto move_edge = [&](EdgeId e) {
+    RLCUT_DCHECK(edge_dc_[e] == from);
+    const VertexId src = graph_->EdgeSource(e);
+    const VertexId dst = graph_->EdgeTarget(e);
+    auto& ds = touch(src);
+    --ds.cnt_from;
+    ++ds.cnt_to;
+    auto& dd = touch(dst);
+    --dd.cnt_from;
+    ++dd.cnt_to;
+    --dd.in_from;
+    ++dd.in_to;
+    s.moved_edges_.push_back(e);
+  };
+
+  if (!is_high_[v]) {
+    // Low-cut: all in-edges of v follow v's master.
+    for (EdgeId e : graph_->InEdgeIds(v)) move_edge(e);
+  }
+  // High-cut: v's out-edges into high-degree targets follow v's master.
+  const EdgeId out_begin = graph_->OutEdgeBegin(v);
+  const EdgeId out_end = graph_->OutEdgeEnd(v);
+  auto out_neighbors = graph_->OutNeighbors(v);
+  for (EdgeId e = out_begin; e < out_end; ++e) {
+    const VertexId u = out_neighbors[e - out_begin];
+    if (is_high_[u]) {
+      // A self-loop (u == v) with is_high_[v] lands here and was not
+      // handled by the low-cut branch; with !is_high_[v] the low-cut
+      // branch already moved it and this condition is false.
+      move_edge(e);
+    }
+  }
+}
+
+void PartitionState::CollectEdgePlaceDeltas(EdgeId e, DcId to,
+                                            EvalScratch* scratch) const {
+  EvalScratch& s = *scratch;
+  s.EnsureSized(graph_->num_vertices(), num_dcs_);
+  s.affected_.clear();
+  s.moved_edges_.clear();
+  s.from_dc_ = edge_dc_[e];
+  s.to_dc_ = to;
+  if (++s.epoch_ == 0) {
+    std::fill(s.slot_epoch_.begin(), s.slot_epoch_.end(), 0u);
+    s.epoch_ = 1;
+  }
+  auto touch = [&s](VertexId w) -> EvalScratch::AffectedDelta& {
+    if (s.slot_epoch_[w] != s.epoch_) {
+      s.slot_epoch_[w] = s.epoch_;
+      s.slot_[w] = static_cast<uint32_t>(s.affected_.size());
+      s.affected_.push_back({w, 0, 0, 0, 0});
+    }
+    return s.affected_[s.slot_[w]];
+  };
+  const VertexId src = graph_->EdgeSource(e);
+  const VertexId dst = graph_->EdgeTarget(e);
+  auto& ds = touch(src);
+  --ds.cnt_from;
+  ++ds.cnt_to;
+  auto& dd = touch(dst);
+  --dd.cnt_from;
+  ++dd.cnt_to;
+  --dd.in_from;
+  ++dd.in_to;
+  s.moved_edges_.push_back(e);
+}
+
+void PartitionState::CommitDeltas(EvalScratch* scratch, VertexId move_vertex,
+                                  DcId new_master_v) {
+  EvalScratch& s = *scratch;
+  const DcId from = s.from_dc_;
+  const DcId to = s.to_dc_;
+
+  // Remove old contributions.
+  for (const auto& d : s.affected_) {
+    AccumulateContribution(d.v, edge_mask_[d.v], in_mask_[d.v],
+                           masters_[d.v], -1.0, gather_up_.data(),
+                           gather_down_.data(), apply_up_.data(),
+                           apply_down_.data());
+  }
+
+  // Apply count deltas and refresh bitmask bits at from/to.
+  for (const auto& d : s.affected_) {
+    const size_t row = static_cast<size_t>(d.v) * num_dcs_;
+    if (from != kNoDc) {
+      cnt_[row + from] = static_cast<uint32_t>(
+          static_cast<int64_t>(cnt_[row + from]) + d.cnt_from);
+      in_cnt_[row + from] = static_cast<uint32_t>(
+          static_cast<int64_t>(in_cnt_[row + from]) + d.in_from);
+    }
+    cnt_[row + to] = static_cast<uint32_t>(
+        static_cast<int64_t>(cnt_[row + to]) + d.cnt_to);
+    in_cnt_[row + to] = static_cast<uint32_t>(
+        static_cast<int64_t>(in_cnt_[row + to]) + d.in_to);
+
+    uint64_t em = edge_mask_[d.v];
+    uint64_t im = in_mask_[d.v];
+    if (from != kNoDc) {
+      em = (em & ~Bit(from)) | (cnt_[row + from] > 0 ? Bit(from) : 0);
+      im = (im & ~Bit(from)) | (in_cnt_[row + from] > 0 ? Bit(from) : 0);
+    }
+    em = (em & ~Bit(to)) | (cnt_[row + to] > 0 ? Bit(to) : 0);
+    im = (im & ~Bit(to)) | (in_cnt_[row + to] > 0 ? Bit(to) : 0);
+    edge_mask_[d.v] = em;
+    in_mask_[d.v] = im;
+  }
+
+  // Master change for the moved vertex.
+  if (move_vertex != static_cast<VertexId>(-1)) {
+    const DcId old_master = masters_[move_vertex];
+    move_cost_ += MoveCostDelta(move_vertex, old_master, new_master_v);
+    --masters_in_dc_[old_master];
+    ++masters_in_dc_[new_master_v];
+    masters_[move_vertex] = new_master_v;
+  }
+
+  // Re-add contributions with the new state.
+  for (const auto& d : s.affected_) {
+    AccumulateContribution(d.v, edge_mask_[d.v], in_mask_[d.v],
+                           masters_[d.v], +1.0, gather_up_.data(),
+                           gather_down_.data(), apply_up_.data(),
+                           apply_down_.data());
+  }
+
+  // Relocate the moved edges.
+  for (EdgeId e : s.moved_edges_) {
+    if (edge_dc_[e] != kNoDc) --edges_in_dc_[edge_dc_[e]];
+    edge_dc_[e] = to;
+    ++edges_in_dc_[to];
+  }
+}
+
+void PartitionState::MoveMaster(VertexId v, DcId to) {
+  RLCUT_CHECK(derived_placement_)
+      << "MoveMaster requires derived placement (hybrid/edge-cut)";
+  RLCUT_DCHECK(to >= 0 && to < num_dcs_);
+  const DcId from = masters_[v];
+  if (from == to) return;
+  CollectMasterMoveDeltas(v, from, to, &mutation_scratch_);
+  CommitDeltas(&mutation_scratch_, v, to);
+}
+
+void PartitionState::PlaceEdge(EdgeId e, DcId to) {
+  RLCUT_CHECK(!derived_placement_)
+      << "PlaceEdge requires explicit placement (vertex-cut)";
+  RLCUT_DCHECK(to >= 0 && to < num_dcs_);
+  if (edge_dc_[e] == to) return;
+  CollectEdgePlaceDeltas(e, to, &mutation_scratch_);
+  CommitDeltas(&mutation_scratch_, static_cast<VertexId>(-1), kNoDc);
+}
+
+void PartitionState::SetMaster(VertexId v, DcId to) {
+  RLCUT_CHECK(!derived_placement_)
+      << "SetMaster requires explicit placement; use MoveMaster otherwise";
+  RLCUT_DCHECK(to >= 0 && to < num_dcs_);
+  const DcId from = masters_[v];
+  if (from == to) return;
+  EvalScratch& s = mutation_scratch_;
+  s.EnsureSized(graph_->num_vertices(), num_dcs_);
+  s.affected_.clear();
+  s.moved_edges_.clear();
+  s.from_dc_ = from;
+  s.to_dc_ = to;
+  if (++s.epoch_ == 0) {
+    std::fill(s.slot_epoch_.begin(), s.slot_epoch_.end(), 0u);
+    s.epoch_ = 1;
+  }
+  s.slot_epoch_[v] = s.epoch_;
+  s.slot_[v] = 0;
+  s.affected_.push_back({v, 0, 0, 0, 0});
+  CommitDeltas(&s, v, to);
+}
+
+Objective PartitionState::EvaluateDeltas(EvalScratch* scratch,
+                                         VertexId move_vertex,
+                                         DcId new_master_v) const {
+  EvalScratch& s = *scratch;
+  const DcId from = s.from_dc_;
+  const DcId to = s.to_dc_;
+  std::fill(s.gather_up_.begin(), s.gather_up_.begin() + num_dcs_, 0.0);
+  std::fill(s.gather_down_.begin(), s.gather_down_.begin() + num_dcs_, 0.0);
+  std::fill(s.apply_up_.begin(), s.apply_up_.begin() + num_dcs_, 0.0);
+  std::fill(s.apply_down_.begin(), s.apply_down_.begin() + num_dcs_, 0.0);
+
+  for (const auto& d : s.affected_) {
+    const size_t row = static_cast<size_t>(d.v) * num_dcs_;
+    // Remove the current contribution.
+    AccumulateContribution(d.v, edge_mask_[d.v], in_mask_[d.v],
+                           masters_[d.v], -1.0, s.gather_up_.data(),
+                           s.gather_down_.data(), s.apply_up_.data(),
+                           s.apply_down_.data());
+    // Compute hypothetical masks.
+    uint64_t em = edge_mask_[d.v];
+    uint64_t im = in_mask_[d.v];
+    if (from != kNoDc) {
+      const int64_t cf = static_cast<int64_t>(cnt_[row + from]) + d.cnt_from;
+      const int64_t inf =
+          static_cast<int64_t>(in_cnt_[row + from]) + d.in_from;
+      em = (em & ~Bit(from)) | (cf > 0 ? Bit(from) : 0);
+      im = (im & ~Bit(from)) | (inf > 0 ? Bit(from) : 0);
+    }
+    const int64_t ct = static_cast<int64_t>(cnt_[row + to]) + d.cnt_to;
+    const int64_t int_ = static_cast<int64_t>(in_cnt_[row + to]) + d.in_to;
+    em = (em & ~Bit(to)) | (ct > 0 ? Bit(to) : 0);
+    im = (im & ~Bit(to)) | (int_ > 0 ? Bit(to) : 0);
+    const DcId master_dc =
+        (d.v == move_vertex) ? new_master_v : masters_[d.v];
+    AccumulateContribution(d.v, em, im, master_dc, +1.0, s.gather_up_.data(),
+                           s.gather_down_.data(), s.apply_up_.data(),
+                           s.apply_down_.data());
+  }
+
+  // Combine deltas with the base aggregates.
+  for (int r = 0; r < num_dcs_; ++r) {
+    s.gather_up_[r] += gather_up_[r];
+    s.gather_down_[r] += gather_down_[r];
+    s.apply_up_[r] += apply_up_[r];
+    s.apply_down_[r] += apply_down_[r];
+  }
+
+  const StageTimes t_static = TransferTimeFromAggregates(
+      s.gather_up_.data(), s.gather_down_.data(), s.apply_up_.data(),
+      s.apply_down_.data());
+  const double c_rt_static =
+      RuntimeCostFromAggregates(s.gather_up_.data(), s.apply_up_.data());
+  double mv_cost = move_cost_;
+  if (move_vertex != static_cast<VertexId>(-1)) {
+    mv_cost += MoveCostDelta(move_vertex, masters_[move_vertex], new_master_v);
+  }
+  const double total_activity = config_.workload.TotalActivity();
+  return {t_static.bottleneck * total_activity,
+          mv_cost + c_rt_static * total_activity,
+          t_static.smooth * total_activity};
+}
+
+Objective PartitionState::EvaluateMove(VertexId v, DcId to,
+                                       EvalScratch* scratch) const {
+  RLCUT_CHECK(derived_placement_);
+  const DcId from = masters_[v];
+  if (from == to) return CurrentObjective();
+  CollectMasterMoveDeltas(v, from, to, scratch);
+  return EvaluateDeltas(scratch, v, to);
+}
+
+Objective PartitionState::EvaluatePlaceEdge(EdgeId e, DcId to,
+                                            EvalScratch* scratch) const {
+  RLCUT_CHECK(!derived_placement_);
+  if (edge_dc_[e] == to) return CurrentObjective();
+  CollectEdgePlaceDeltas(e, to, scratch);
+  return EvaluateDeltas(scratch, static_cast<VertexId>(-1), kNoDc);
+}
+
+PartitionState::StageTimes PartitionState::TransferTimeFromAggregates(
+    const double* gather_up, const double* gather_down,
+    const double* apply_up, const double* apply_down) const {
+  // Eq. 1-3: per stage, per DC, the slower of uplink and downlink; the
+  // stage finishes when its slowest DC finishes; stages are separated by
+  // a global barrier. The smooth surrogate sums all per-link times
+  // instead of taking the max (see Objective::smooth_seconds).
+  double t_gather = 0;
+  double t_apply = 0;
+  double smooth = 0;
+  for (DcId r = 0; r < num_dcs_; ++r) {
+    const double up = topology_->Uplink(r) * 1e9;
+    const double down = topology_->Downlink(r) * 1e9;
+    const double g = std::max(gather_down[r] / down, gather_up[r] / up);
+    const double a = std::max(apply_up[r] / up, apply_down[r] / down);
+    t_gather = std::max(t_gather, g);
+    t_apply = std::max(t_apply, a);
+    smooth += g + a;
+  }
+  return {t_gather + t_apply, smooth};
+}
+
+double PartitionState::RuntimeCostFromAggregates(const double* gather_up,
+                                                 const double* apply_up) const {
+  // Eq. 5: only uploads are charged.
+  double cost = 0;
+  for (DcId r = 0; r < num_dcs_; ++r) {
+    cost += topology_->Price(r) * (gather_up[r] + apply_up[r]) / 1e9;
+  }
+  return cost;
+}
+
+Objective PartitionState::CurrentObjective() const {
+  const double total_activity = config_.workload.TotalActivity();
+  const StageTimes t = TransferTimeFromAggregates(
+      gather_up_.data(), gather_down_.data(), apply_up_.data(),
+      apply_down_.data());
+  return {t.bottleneck * total_activity,
+          move_cost_ + RuntimeCostPerIteration() * total_activity,
+          t.smooth * total_activity};
+}
+
+double PartitionState::TransferSecondsPerIteration() const {
+  return TransferTimeFromAggregates(gather_up_.data(), gather_down_.data(),
+                                    apply_up_.data(), apply_down_.data())
+      .bottleneck;
+}
+
+double PartitionState::RuntimeCostPerIteration() const {
+  return RuntimeCostFromAggregates(gather_up_.data(), apply_up_.data());
+}
+
+double PartitionState::WanBytesPerIteration() const {
+  double bytes = 0;
+  for (DcId r = 0; r < num_dcs_; ++r) {
+    bytes += gather_up_[r] + apply_up_[r];
+  }
+  return bytes;
+}
+
+uint64_t PartitionState::ReplicaMask(VertexId v) const {
+  return edge_mask_[v] | Bit(masters_[v]);
+}
+
+int PartitionState::MirrorCount(VertexId v) const {
+  return PopCount(edge_mask_[v] & ~Bit(masters_[v]));
+}
+
+uint64_t PartitionState::MirrorMask(VertexId v) const {
+  return edge_mask_[v] & ~Bit(masters_[v]);
+}
+
+uint64_t PartitionState::GatherMirrorMask(VertexId v) const {
+  return in_mask_[v] & ~Bit(masters_[v]);
+}
+
+double PartitionState::ReplicationFactor() const {
+  const VertexId n = graph_->num_vertices();
+  if (n == 0) return 0;
+  uint64_t replicas = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    replicas += static_cast<uint64_t>(PopCount(ReplicaMask(v)));
+  }
+  return static_cast<double>(replicas) / n;
+}
+
+uint64_t PartitionState::NumHighDegree() const {
+  uint64_t count = 0;
+  for (uint8_t h : is_high_) count += h;
+  return count;
+}
+
+bool PartitionState::CheckInvariants() const {
+  // Recompute everything from (masters_, edge_dc_) and compare.
+  PartitionState fresh(graph_, topology_, initial_locations_, input_sizes_,
+                       config_);
+  fresh.derived_placement_ = derived_placement_;
+  fresh.masters_ = masters_;
+  fresh.edge_dc_ = edge_dc_;
+  fresh.RebuildFromPlacement();
+
+  bool ok = true;
+  auto expect_near = [&](double a, double b, const char* what) {
+    const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    if (std::fabs(a - b) > 1e-6 * scale) {
+      RLCUT_LOG(kError) << "invariant mismatch in " << what << ": " << a
+                        << " vs " << b;
+      ok = false;
+    }
+  };
+  if (cnt_ != fresh.cnt_) {
+    RLCUT_LOG(kError) << "invariant mismatch in cnt_";
+    ok = false;
+  }
+  if (in_cnt_ != fresh.in_cnt_) {
+    RLCUT_LOG(kError) << "invariant mismatch in in_cnt_";
+    ok = false;
+  }
+  if (edge_mask_ != fresh.edge_mask_) {
+    RLCUT_LOG(kError) << "invariant mismatch in edge_mask_";
+    ok = false;
+  }
+  if (in_mask_ != fresh.in_mask_) {
+    RLCUT_LOG(kError) << "invariant mismatch in in_mask_";
+    ok = false;
+  }
+  if (masters_in_dc_ != fresh.masters_in_dc_) {
+    RLCUT_LOG(kError) << "invariant mismatch in masters_in_dc_";
+    ok = false;
+  }
+  if (edges_in_dc_ != fresh.edges_in_dc_) {
+    RLCUT_LOG(kError) << "invariant mismatch in edges_in_dc_";
+    ok = false;
+  }
+  for (DcId r = 0; r < num_dcs_; ++r) {
+    expect_near(gather_up_[r], fresh.gather_up_[r], "gather_up");
+    expect_near(gather_down_[r], fresh.gather_down_[r], "gather_down");
+    expect_near(apply_up_[r], fresh.apply_up_[r], "apply_up");
+    expect_near(apply_down_[r], fresh.apply_down_[r], "apply_down");
+  }
+  expect_near(move_cost_, fresh.move_cost_, "move_cost");
+
+  if (derived_placement_) {
+    for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+      if (edge_dc_[e] != DerivedEdgeDc(e)) {
+        RLCUT_LOG(kError) << "edge " << e
+                          << " not at its rule-derived DC: " << edge_dc_[e]
+                          << " vs " << DerivedEdgeDc(e);
+        ok = false;
+        break;
+      }
+    }
+  }
+  return ok;
+}
+
+uint32_t PartitionState::AutoTheta(const Graph& graph, double fraction) {
+  RLCUT_CHECK_GT(fraction, 0.0);
+  RLCUT_CHECK_LE(fraction, 1.0);
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return 2;
+  std::vector<uint32_t> in_degrees(n);
+  for (VertexId v = 0; v < n; ++v) in_degrees[v] = graph.InDegree(v);
+  std::sort(in_degrees.begin(), in_degrees.end(), std::greater<uint32_t>());
+  const size_t idx = std::min<size_t>(
+      n - 1, static_cast<size_t>(fraction * static_cast<double>(n)));
+  return std::max<uint32_t>(2, in_degrees[idx] + 1);
+}
+
+}  // namespace rlcut

@@ -1,0 +1,315 @@
+#ifndef RLCUT_PARTITION_PARTITION_STATE_H_
+#define RLCUT_PARTITION_PARTITION_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/topology.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "partition/workload.h"
+
+namespace rlcut {
+
+/// Which differentiated-computation model the runtime uses (Sec. II-B).
+/// It determines both the edge-placement rules and which vertices incur
+/// gather traffic.
+enum class ComputeModel {
+  /// PowerLyra hybrid-cut: vertices with in-degree >= theta are
+  /// high-degree (gather+apply over mirrors); low-degree vertices compute
+  /// at the master and sync mirrors in the apply stage.
+  kHybridCut,
+  /// PowerGraph vertex-cut: every vertex follows gather+apply.
+  kVertexCut,
+  /// Pregel-style edge-cut: every vertex is sync-only (apply stage).
+  kEdgeCut,
+};
+
+/// Static configuration of a PartitionState.
+struct PartitionConfig {
+  ComputeModel model = ComputeModel::kHybridCut;
+  /// High-degree threshold theta (hybrid-cut only).
+  uint32_t theta = 100;
+  /// Traffic profile of the analytics workload being optimized for.
+  Workload workload = Workload::PageRank();
+};
+
+/// The two optimization objectives of Eq. 6-7, plus a smooth surrogate.
+struct Objective {
+  /// Total inter-DC transfer time over all iterations, seconds (Eq. 1
+  /// summed over iterations with per-iteration activity scaling).
+  double transfer_seconds = 0;
+  /// Total inter-DC communication cost: input movement (Eq. 4) plus
+  /// runtime upload cost over all iterations (Eq. 5), dollars.
+  double cost_dollars = 0;
+  /// Sum (rather than max) of per-DC link times over both stages, same
+  /// activity scaling. Eq. 1 is a bottleneck objective, so most
+  /// single-vertex moves leave it unchanged; this smooth surrogate
+  /// gives hill-climbers (RLCut's score function) a gradient on the
+  /// plateau. Not part of the paper's objective; used only as a
+  /// tie-breaker.
+  double smooth_seconds = 0;
+};
+
+/// Thread-local scratch for const what-if evaluation (EvaluateMove).
+/// One instance per worker thread; reusable across calls.
+class EvalScratch {
+ public:
+  EvalScratch() = default;
+
+ private:
+  friend class PartitionState;
+
+  struct AffectedDelta {
+    VertexId v;
+    int32_t cnt_from = 0;  // incident-edge count delta at the from-DC
+    int32_t cnt_to = 0;
+    int32_t in_from = 0;  // in-edge count delta at the from-DC
+    int32_t in_to = 0;
+  };
+
+  void EnsureSized(VertexId num_vertices, int num_dcs);
+
+  std::vector<AffectedDelta> affected_;
+  // Epoch-tagged vertex -> affected_ slot map for O(1) dedup.
+  std::vector<uint32_t> slot_;
+  std::vector<uint32_t> slot_epoch_;
+  uint32_t epoch_ = 0;
+  std::vector<EdgeId> moved_edges_;
+  // Source/destination DCs of the pending move (kNoDc = unplaced).
+  DcId from_dc_ = kNoDc;
+  DcId to_dc_ = kNoDc;
+  // Per-DC aggregate deltas.
+  std::vector<double> gather_up_;
+  std::vector<double> gather_down_;
+  std::vector<double> apply_up_;
+  std::vector<double> apply_down_;
+};
+
+/// Mutable partitioning state plus the incremental Eq. 1-5 evaluator.
+///
+/// This is the single evaluation substrate shared by RLCut and every
+/// baseline: a partitioning is (master DC per vertex, DC per edge). For
+/// hybrid-cut and edge-cut the edge placement is *derived* from masters
+/// by the placement rules; vertex-cut baselines supply explicit edge
+/// placements. The state maintains, incrementally under moves:
+///
+///  * per-vertex per-DC incident/in-edge counts and replica bitmasks;
+///  * per-DC gather/apply upload/download byte aggregates, from which
+///    transfer time (Eq. 1-3), runtime cost (Eq. 5) and WAN usage follow
+///    in O(M);
+///  * the input-movement cost (Eq. 4).
+///
+/// MoveMaster (hybrid/edge-cut) and PlaceEdge (explicit) are O(deg * M)
+/// and exactly reversible, which the RL migration step's rollback relies
+/// on. EvaluateMove is const and thread-safe, enabling parallel
+/// multi-agent score computation against a shared state.
+class PartitionState {
+ public:
+  /// All pointers must outlive the state. `initial_locations` are the
+  /// L_v of the problem definition; `input_sizes` the d_v in bytes.
+  PartitionState(const Graph* graph, const Topology* topology,
+                 const std::vector<DcId>* initial_locations,
+                 const std::vector<double>* input_sizes,
+                 PartitionConfig config);
+
+  // Movable but not copyable (copy via explicit Clone when needed).
+  PartitionState(const PartitionState&) = delete;
+  PartitionState& operator=(const PartitionState&) = delete;
+  PartitionState(PartitionState&&) = default;
+  PartitionState& operator=(PartitionState&&) = default;
+
+  // ---- Initialization -----------------------------------------------
+
+  /// Sets masters and derives every edge's DC from the placement rules
+  /// of the configured model. Usable for kHybridCut and kEdgeCut.
+  void ResetDerived(const std::vector<DcId>& masters);
+
+  /// Sets masters and an explicit per-edge placement (vertex-cut).
+  void ResetWithPlacement(const std::vector<DcId>& masters,
+                          const std::vector<DcId>& edge_dcs);
+
+  /// Sets masters and marks every edge unplaced; used by streaming
+  /// vertex-cut partitioners that call PlaceEdge one edge at a time.
+  void ResetUnplaced(const std::vector<DcId>& masters);
+
+  // ---- Mutation ------------------------------------------------------
+
+  /// Moves the master of v to DC `to`, rederiving the placement of the
+  /// edges the rules tie to v's master. Derived-placement mode only.
+  /// Moving back to the previous DC exactly restores the prior state.
+  void MoveMaster(VertexId v, DcId to);
+
+  /// Places (or re-places) one edge; explicit-placement mode only.
+  void PlaceEdge(EdgeId e, DcId to);
+
+  /// Changes v's master without touching edge placement;
+  /// explicit-placement mode only.
+  void SetMaster(VertexId v, DcId to);
+
+  // ---- What-if evaluation (const, thread-safe) ------------------------
+
+  /// Objective after hypothetically moving v's master to `to`
+  /// (derived-placement mode). Does not modify the state.
+  Objective EvaluateMove(VertexId v, DcId to, EvalScratch* scratch) const;
+
+  /// Objective after hypothetically placing edge e at `to`
+  /// (explicit-placement mode).
+  Objective EvaluatePlaceEdge(EdgeId e, DcId to, EvalScratch* scratch) const;
+
+  // ---- Objectives and metrics ----------------------------------------
+
+  Objective CurrentObjective() const;
+
+  /// Inter-DC transfer time of one full-activity iteration (Eq. 1).
+  double TransferSecondsPerIteration() const;
+  /// Runtime upload cost of one full-activity iteration (Eq. 5).
+  double RuntimeCostPerIteration() const;
+  /// Input data movement cost (Eq. 4).
+  double MoveCost() const { return move_cost_; }
+  /// Bytes crossing DC uplinks in one full-activity iteration.
+  double WanBytesPerIteration() const;
+  /// Average number of replicas (master + mirrors) per vertex.
+  double ReplicationFactor() const;
+
+  // ---- Accessors -------------------------------------------------------
+
+  const Graph& graph() const { return *graph_; }
+  const Topology& topology() const { return *topology_; }
+  const PartitionConfig& config() const { return config_; }
+  int num_dcs() const { return topology_->num_dcs(); }
+
+  DcId master(VertexId v) const { return masters_[v]; }
+  const std::vector<DcId>& masters() const { return masters_; }
+  DcId edge_dc(EdgeId e) const { return edge_dc_[e]; }
+  bool is_high_degree(VertexId v) const { return is_high_[v] != 0; }
+
+  /// Replica DC bitmask of v, including the master bit.
+  uint64_t ReplicaMask(VertexId v) const;
+  /// Number of mirror DCs (replicas excluding the master).
+  int MirrorCount(VertexId v) const;
+  /// Mirror DCs of v (replicas excluding the master), as a bitmask.
+  uint64_t MirrorMask(VertexId v) const;
+  /// Mirror DCs of v holding at least one in-edge of v: the DCs that
+  /// upload gather messages for a high-degree v.
+  uint64_t GatherMirrorMask(VertexId v) const;
+
+  uint64_t MasterCount(DcId r) const { return masters_in_dc_[r]; }
+  uint64_t EdgeCount(DcId r) const { return edges_in_dc_[r]; }
+
+  /// Number of vertices classified high-degree.
+  uint64_t NumHighDegree() const;
+
+  /// Apply-stage message size a_v at full activity (bytes). Grows with
+  /// out-degree for workloads with degree-proportional messages.
+  double ApplyBytes(VertexId v) const { return apply_bytes_[v]; }
+
+  /// Recomputes every counter/aggregate from scratch and compares with
+  /// the incrementally maintained values; false + log on mismatch.
+  /// Intended for tests (O(|E| + |V| M)).
+  bool CheckInvariants() const;
+
+  /// In-degree threshold that classifies roughly `fraction` of vertices
+  /// (the highest in-degree ones) as high-degree. Helper for scaled-down
+  /// datasets where the paper's theta=100 would select nothing.
+  static uint32_t AutoTheta(const Graph& graph, double fraction = 0.02);
+
+ private:
+  // Derived placement rule: which DC does edge e live in, given masters.
+  DcId DerivedEdgeDc(EdgeId e) const;
+
+  // Whether a master move of v re-places edge e (see MoveMaster).
+  // e must be incident to v.
+  bool EdgeFollowsMaster(EdgeId e, VertexId v) const;
+
+  // Adds (sign=+1) or removes (sign=-1) the traffic contribution of w,
+  // described by (edge_mask, in_mask, master), into the four per-DC
+  // aggregate arrays.
+  void AccumulateContribution(VertexId w, uint64_t edge_mask,
+                              uint64_t in_mask, DcId master_dc, double sign,
+                              double* gather_up, double* gather_down,
+                              double* apply_up, double* apply_down) const;
+
+  // Collects the per-vertex count deltas and moved edges for a master
+  // move of v from `from` to `to` into `scratch`.
+  void CollectMasterMoveDeltas(VertexId v, DcId from, DcId to,
+                               EvalScratch* scratch) const;
+
+  // Collects deltas for placing edge e at `to` (from its current DC).
+  void CollectEdgePlaceDeltas(EdgeId e, DcId to, EvalScratch* scratch) const;
+
+  // Applies collected deltas to the live state; `new_master_v` is the
+  // new master for `move_vertex` (or kNoDc for edge placements).
+  void CommitDeltas(EvalScratch* scratch, VertexId move_vertex,
+                    DcId new_master_v);
+
+  // Evaluates the objective under the deltas in `scratch` plus an
+  // optional master change, without mutating the partition state
+  // (scratch's accumulation arrays are used as working memory).
+  Objective EvaluateDeltas(EvalScratch* scratch, VertexId move_vertex,
+                           DcId new_master_v) const;
+
+  // Transfer times for one full-activity iteration given aggregate
+  // arrays: Eq. 1-3 bottleneck time and the smooth per-link sum.
+  struct StageTimes {
+    double bottleneck = 0;
+    double smooth = 0;
+  };
+  StageTimes TransferTimeFromAggregates(const double* gather_up,
+                                        const double* gather_down,
+                                        const double* apply_up,
+                                        const double* apply_down) const;
+  double RuntimeCostFromAggregates(const double* gather_up,
+                                   const double* apply_up) const;
+
+  double MoveCostDelta(VertexId v, DcId old_master, DcId new_master) const;
+
+  void RebuildFromPlacement();
+
+  uint32_t CntAt(VertexId v, DcId r) const {
+    return cnt_[static_cast<size_t>(v) * num_dcs_ + r];
+  }
+  uint32_t InCntAt(VertexId v, DcId r) const {
+    return in_cnt_[static_cast<size_t>(v) * num_dcs_ + r];
+  }
+
+  const Graph* graph_;
+  const Topology* topology_;
+  const std::vector<DcId>* initial_locations_;
+  const std::vector<double>* input_sizes_;
+  PartitionConfig config_;
+  int num_dcs_ = 0;
+
+  // Derived-vs-explicit placement mode (see class comment).
+  bool derived_placement_ = true;
+
+  // Per-vertex classification and message sizes.
+  std::vector<uint8_t> is_high_;
+  std::vector<double> apply_bytes_;   // a_v at full activity
+  std::vector<double> gather_bytes_;  // g_v^r at full activity
+
+  // Mutable partitioning state.
+  std::vector<DcId> masters_;
+  std::vector<DcId> edge_dc_;           // kNoDc when unplaced
+  std::vector<uint32_t> cnt_;           // |V| x M incident-edge counts
+  std::vector<uint32_t> in_cnt_;        // |V| x M in-edge counts
+  std::vector<uint64_t> edge_mask_;     // DCs with >= 1 incident edge
+  std::vector<uint64_t> in_mask_;       // DCs with >= 1 in-edge
+
+  // Aggregates (bytes per full-activity iteration).
+  std::vector<double> gather_up_;
+  std::vector<double> gather_down_;
+  std::vector<double> apply_up_;
+  std::vector<double> apply_down_;
+
+  double move_cost_ = 0;  // Eq. 4, dollars
+  std::vector<uint64_t> masters_in_dc_;
+  std::vector<uint64_t> edges_in_dc_;
+
+  // Scratch reused by the mutating paths.
+  EvalScratch mutation_scratch_;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_PARTITION_PARTITION_STATE_H_

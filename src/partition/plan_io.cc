@@ -1,0 +1,139 @@
+#include "partition/plan_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rlcut {
+namespace {
+
+const char* ModelName(ComputeModel model) {
+  switch (model) {
+    case ComputeModel::kHybridCut:
+      return "hybrid";
+    case ComputeModel::kVertexCut:
+      return "vertex";
+    case ComputeModel::kEdgeCut:
+      return "edge";
+  }
+  return "?";
+}
+
+Result<ComputeModel> ParseModel(const std::string& name) {
+  if (name == "hybrid") return ComputeModel::kHybridCut;
+  if (name == "vertex") return ComputeModel::kVertexCut;
+  if (name == "edge") return ComputeModel::kEdgeCut;
+  return Status::InvalidArgument("unknown compute model: " + name);
+}
+
+}  // namespace
+
+PartitionPlan ExtractPlan(const PartitionState& state) {
+  PartitionPlan plan;
+  plan.model = state.config().model;
+  plan.theta = state.config().theta;
+  plan.masters = state.masters();
+  if (plan.model == ComputeModel::kVertexCut) {
+    plan.edge_dcs.resize(state.graph().num_edges());
+    for (EdgeId e = 0; e < state.graph().num_edges(); ++e) {
+      plan.edge_dcs[e] = state.edge_dc(e);
+    }
+  }
+  return plan;
+}
+
+Status ApplyPlan(const PartitionPlan& plan, PartitionState* state) {
+  if (state == nullptr) {
+    return Status::InvalidArgument("null state");
+  }
+  if (state->config().model != plan.model) {
+    return Status::FailedPrecondition(
+        "state compute model does not match the plan");
+  }
+  if (plan.masters.size() != state->graph().num_vertices()) {
+    return Status::FailedPrecondition(
+        "plan vertex count does not match the graph");
+  }
+  for (DcId dc : plan.masters) {
+    if (dc < 0 || dc >= state->num_dcs()) {
+      return Status::OutOfRange("plan references an unknown DC");
+    }
+  }
+  if (plan.edge_dcs.empty()) {
+    state->ResetDerived(plan.masters);
+    return Status::Ok();
+  }
+  if (plan.edge_dcs.size() != state->graph().num_edges()) {
+    return Status::FailedPrecondition(
+        "plan edge count does not match the graph");
+  }
+  for (DcId dc : plan.edge_dcs) {
+    if (dc != kNoDc && (dc < 0 || dc >= state->num_dcs())) {
+      return Status::OutOfRange("plan references an unknown DC");
+    }
+  }
+  state->ResetWithPlacement(plan.masters, plan.edge_dcs);
+  return Status::Ok();
+}
+
+Status SavePlan(const PartitionPlan& plan, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << "rlcut-plan v1\n";
+  out << "model " << ModelName(plan.model) << " theta " << plan.theta
+      << "\n";
+  out << "masters " << plan.masters.size() << "\n";
+  for (DcId dc : plan.masters) out << dc << "\n";
+  out << "edges " << plan.edge_dcs.size() << "\n";
+  for (DcId dc : plan.edge_dcs) out << dc << "\n";
+  if (!out) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+Result<PartitionPlan> LoadPlan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "rlcut-plan v1") {
+    return Status::IoError(path + ": not an rlcut plan file");
+  }
+  PartitionPlan plan;
+  std::string keyword;
+  std::string model_name;
+  if (!(in >> keyword >> model_name) || keyword != "model") {
+    return Status::IoError(path + ": missing model line");
+  }
+  Result<ComputeModel> model = ParseModel(model_name);
+  if (!model.ok()) return model.status();
+  plan.model = *model;
+  if (!(in >> keyword >> plan.theta) || keyword != "theta") {
+    return Status::IoError(path + ": missing theta");
+  }
+  size_t count = 0;
+  if (!(in >> keyword >> count) || keyword != "masters") {
+    return Status::IoError(path + ": missing masters section");
+  }
+  plan.masters.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(in >> plan.masters[i])) {
+      return Status::IoError(path + ": truncated masters section");
+    }
+  }
+  if (!(in >> keyword >> count) || keyword != "edges") {
+    return Status::IoError(path + ": missing edges section");
+  }
+  plan.edge_dcs.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(in >> plan.edge_dcs[i])) {
+      return Status::IoError(path + ": truncated edges section");
+    }
+  }
+  return plan;
+}
+
+}  // namespace rlcut

@@ -1,0 +1,47 @@
+#ifndef RLCUT_PARTITION_PLAN_IO_H_
+#define RLCUT_PARTITION_PLAN_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/partition_state.h"
+
+namespace rlcut {
+
+/// A serializable partitioning plan: everything needed to reinstate a
+/// PartitionState layout on the same graph (deploying a plan computed
+/// offline is the normal production flow for geo-distributed
+/// partitioning).
+struct PartitionPlan {
+  ComputeModel model = ComputeModel::kHybridCut;
+  uint32_t theta = 100;
+  /// Master DC per vertex.
+  std::vector<DcId> masters;
+  /// Explicit DC per edge; empty for derived-placement plans
+  /// (hybrid-cut / edge-cut), where the placement rules reproduce it.
+  std::vector<DcId> edge_dcs;
+};
+
+/// Extracts the current layout of a state as a plan. Derived-placement
+/// states yield a masters-only plan.
+PartitionPlan ExtractPlan(const PartitionState& state);
+
+/// Applies a plan to a state. The state's graph must have exactly the
+/// plan's vertex (and, for explicit plans, edge) count, and the state's
+/// configured model must match the plan's.
+Status ApplyPlan(const PartitionPlan& plan, PartitionState* state);
+
+/// Text format:
+///   rlcut-plan v1
+///   model <hybrid|vertex|edge> theta <T>
+///   masters <n>
+///   <one DC id per line>
+///   edges <m | 0>
+///   <one DC id per line when m > 0>
+Status SavePlan(const PartitionPlan& plan, const std::string& path);
+Result<PartitionPlan> LoadPlan(const std::string& path);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_PARTITION_PLAN_IO_H_

@@ -1,0 +1,60 @@
+#include "partition/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlcut {
+
+double Workload::TotalActivity() const {
+  double total = 0;
+  for (double a : activity) total += a;
+  return total;
+}
+
+Workload Workload::PageRank(int iterations) {
+  Workload w;
+  w.name = "PR";
+  w.apply_base_bytes = 8;      // one double rank
+  w.gather_base_bytes = 8;     // partial rank sum
+  w.activity.assign(iterations, 1.0);
+  return w;
+}
+
+Workload Workload::Sssp(int rounds) {
+  Workload w;
+  w.name = "SSSP";
+  w.apply_base_bytes = 12;   // distance + parent hint
+  w.gather_base_bytes = 12;  // min-distance aggregate
+  // Frontier profile of label-correcting SSSP on small-diameter skewed
+  // graphs: rapid ramp-up, peak near sqrt of the rounds, exponential
+  // tail. Normalized to peak activity 1.
+  w.activity.resize(rounds);
+  const double peak = std::max(1.0, rounds / 3.0);
+  for (int i = 0; i < rounds; ++i) {
+    const double x = (i + 1) / peak;
+    w.activity[i] = x <= 1 ? x : std::exp(-(x - 1) * 1.2);
+  }
+  return w;
+}
+
+Workload Workload::SubgraphIsomorphism(int rounds) {
+  Workload w;
+  w.name = "SI";
+  // Candidate-set messages carry partial matches; size grows with the
+  // vertex's own adjacency.
+  w.apply_base_bytes = 32;
+  w.apply_bytes_per_out_edge = 4;
+  w.gather_base_bytes = 48;
+  // Each pattern-extension round prunes candidates.
+  w.activity.resize(rounds);
+  for (int i = 0; i < rounds; ++i) {
+    w.activity[i] = std::pow(0.6, i);
+  }
+  return w;
+}
+
+std::vector<Workload> Workload::AllPaperWorkloads() {
+  return {PageRank(), Sssp(), SubgraphIsomorphism()};
+}
+
+}  // namespace rlcut

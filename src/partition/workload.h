@@ -1,0 +1,50 @@
+#ifndef RLCUT_PARTITION_WORKLOAD_H_
+#define RLCUT_PARTITION_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+namespace rlcut {
+
+/// Traffic profile of a graph-analytics workload, as consumed by the
+/// Eq. 1-5 performance/cost model.
+///
+/// Per GAS iteration i and vertex v the model needs the apply-stage
+/// message size a_v(i) (master -> each mirror) and the gather-stage
+/// aggregated message size g_v^r(i) (mirror r -> master, high-degree
+/// vertices only). We factor these as a static per-vertex size times a
+/// per-iteration activity fraction:
+///
+///   a_v(i) = activity[i] * (apply_base_bytes +
+///                           apply_bytes_per_out_edge * out_deg(v))
+///   g_v^r(i) = activity[i] * gather_base_bytes
+///
+/// PageRank: every vertex active every iteration, 8-byte rank values.
+/// SSSP: label-correcting frontier; activity ramps up then decays.
+/// Subgraph isomorphism: few rounds, large candidate-set messages that
+/// grow with degree.
+struct Workload {
+  std::string name;
+  double apply_base_bytes = 8;
+  double apply_bytes_per_out_edge = 0;
+  double gather_base_bytes = 8;
+  /// Per-iteration active-vertex fraction; one entry per iteration.
+  std::vector<double> activity;
+
+  int num_iterations() const { return static_cast<int>(activity.size()); }
+
+  /// Sum of activity fractions: total transfer time and runtime cost are
+  /// the static per-iteration values scaled by this sum.
+  double TotalActivity() const;
+
+  static Workload PageRank(int iterations = 10);
+  static Workload Sssp(int rounds = 12);
+  static Workload SubgraphIsomorphism(int rounds = 4);
+
+  /// All three paper workloads (Sec. VI-A2).
+  static std::vector<Workload> AllPaperWorkloads();
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_PARTITION_WORKLOAD_H_

@@ -1,0 +1,104 @@
+#include "rlcut/automaton.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace rlcut {
+
+AutomatonPool::AutomatonPool(VertexId num_vertices, int num_dcs,
+                             const RLCutOptions& options)
+    : num_dcs_(num_dcs), options_(options) {
+  RLCUT_CHECK_GE(num_dcs, 1);
+  RLCUT_CHECK_GT(options.alpha, 0.0);
+  RLCUT_CHECK_LT(options.alpha, 1.0);
+  const size_t total = static_cast<size_t>(num_vertices) * num_dcs;
+  prob_.assign(total, 1.0 / num_dcs);
+  mean_q_.assign(total, 0.0);
+  count_.assign(total, 0u);
+}
+
+void AutomatonPool::UpdateSignals(VertexId v, DcId rewarded) {
+  double* p = &prob_[Index(v, 0)];
+  const double alpha = options_.alpha;
+  // Eq. 12: boost the rewarded action, shrink the rest.
+  for (DcId r = 0; r < num_dcs_; ++r) {
+    p[r] = (r == rewarded) ? p[r] + alpha * (1.0 - p[r])
+                           : p[r] * (1.0 - alpha);
+  }
+  if (options_.use_penalty && num_dcs_ > 1) {
+    // Eq. 9, applied to each penalized action in turn: shrink it and
+    // spread the mass over the others. (The Fig. 6 ablation only; slower
+    // convergence, same fixed point.)
+    const double beta = options_.beta;
+    for (DcId penalized = 0; penalized < num_dcs_; ++penalized) {
+      if (penalized == rewarded) continue;
+      const double share = beta * p[penalized] / (num_dcs_ - 1);
+      for (DcId r = 0; r < num_dcs_; ++r) {
+        if (r == penalized) {
+          p[r] *= (1.0 - beta);
+        } else {
+          p[r] += share;
+        }
+      }
+    }
+  }
+}
+
+void AutomatonPool::RecordSelection(VertexId v, DcId action, double reward) {
+  const size_t i = Index(v, action);
+  ++count_[i];
+  // Incremental mean.
+  mean_q_[i] += (reward - mean_q_[i]) / count_[i];
+}
+
+DcId AutomatonPool::SelectAction(VertexId v, int64_t step, Rng* rng) const {
+  const double* p = &prob_[Index(v, 0)];
+  switch (options_.selection) {
+    case ActionSelection::kProbability: {
+      std::vector<double> weights(p, p + num_dcs_);
+      return static_cast<DcId>(rng->SampleDiscrete(weights));
+    }
+    case ActionSelection::kGreedy: {
+      DcId best = 0;
+      for (DcId r = 1; r < num_dcs_; ++r) {
+        if (p[r] > p[best]) best = r;
+      }
+      return best;
+    }
+    case ActionSelection::kUcbBlend:
+    case ActionSelection::kUcbScore:
+      break;
+  }
+  // Eq. 13. Untried actions have UCB = inf; break inf-ties by the
+  // automaton probability so signal accumulation still matters early.
+  const double log_n = std::log(static_cast<double>(std::max<int64_t>(2, step)));
+  DcId best = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  bool best_is_untried = false;
+  for (DcId r = 0; r < num_dcs_; ++r) {
+    const uint32_t n_r = count_[Index(v, r)];
+    if (n_r == 0) {
+      if (!best_is_untried || p[r] > p[best]) {
+        best = r;
+        best_is_untried = true;
+        best_value = std::numeric_limits<double>::infinity();
+      }
+      continue;
+    }
+    if (best_is_untried) continue;
+    const double exploit =
+        options_.selection == ActionSelection::kUcbBlend
+            ? 0.5 * mean_q_[Index(v, r)] + 0.5 * p[r]
+            : mean_q_[Index(v, r)];
+    const double value = exploit + options_.ucb_c * std::sqrt(log_n / n_r);
+    if (value > best_value) {
+      best_value = value;
+      best = r;
+    }
+  }
+  return best;
+}
+
+}  // namespace rlcut

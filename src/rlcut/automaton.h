@@ -1,0 +1,67 @@
+#ifndef RLCUT_RLCUT_AUTOMATON_H_
+#define RLCUT_RLCUT_AUTOMATON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/types.h"
+#include "rlcut/options.h"
+
+namespace rlcut {
+
+/// Struct-of-arrays pool of per-vertex learning automata (Sec. IV-A).
+///
+/// Each agent keeps an action-probability vector P over the M DCs
+/// (updated with the L_RI scheme of Eq. 12, optionally the penalty
+/// scheme of Eq. 8/9), plus the UCB statistics of Eq. 13: per-action
+/// selection counts N and mean observed reward Q.
+///
+/// Rows (agents) are independent: concurrent calls on distinct vertex
+/// ids are safe, which the batched trainer relies on.
+class AutomatonPool {
+ public:
+  /// Agents for vertices [0, num_vertices) over `num_dcs` actions.
+  AutomatonPool(VertexId num_vertices, int num_dcs,
+                const RLCutOptions& options);
+
+  int num_dcs() const { return num_dcs_; }
+
+  /// Probability of agent v choosing DC r.
+  double Probability(VertexId v, DcId r) const {
+    return prob_[Index(v, r)];
+  }
+
+  /// Applies the reward update (Eq. 12) for the action `rewarded`; with
+  /// options.use_penalty also applies the penalty update (Eq. 9) to
+  /// every other action.
+  void UpdateSignals(VertexId v, DcId rewarded);
+
+  /// Records an observed reward for the action that was selected
+  /// (normalized migration score in [0,1]); feeds Q/N of Eq. 13.
+  void RecordSelection(VertexId v, DcId action, double reward);
+
+  /// Selects an action per the configured strategy (Eq. 13 for the UCB
+  /// variants). `step` is the global training-step count n.
+  DcId SelectAction(VertexId v, int64_t step, Rng* rng) const;
+
+  /// Number of times an action was selected.
+  uint32_t SelectionCount(VertexId v, DcId r) const {
+    return count_[Index(v, r)];
+  }
+
+ private:
+  size_t Index(VertexId v, DcId r) const {
+    return static_cast<size_t>(v) * num_dcs_ + r;
+  }
+
+  int num_dcs_;
+  RLCutOptions options_;
+  std::vector<double> prob_;      // P_v (Eq. 12)
+  std::vector<double> mean_q_;    // Q_n(a) (Eq. 13)
+  std::vector<uint32_t> count_;   // N_n(a) (Eq. 13)
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_RLCUT_AUTOMATON_H_

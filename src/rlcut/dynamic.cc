@@ -1,0 +1,284 @@
+#include "rlcut/dynamic.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "graph/geo.h"
+#include "partition/migration.h"
+
+namespace rlcut {
+
+DynamicPartitionDriver::DynamicPartitionDriver(const Topology* topology,
+                                               Workload workload,
+                                               uint32_t theta, uint64_t seed)
+    : topology_(topology),
+      workload_(std::move(workload)),
+      theta_(theta),
+      seed_(seed) {
+  RLCUT_CHECK(topology_ != nullptr);
+}
+
+void DynamicPartitionDriver::RebuildState(
+    const std::vector<DcId>* carry_masters) {
+  // Snapshot the outgoing layout while the old graph AND state are
+  // still alive (the state holds a pointer into graph_).
+  if (carry_masters != nullptr && state_ != nullptr) CaptureCarryover();
+  GraphBuilder builder(num_vertices_);
+  builder.AddEdges(edges_);
+  graph_ = std::make_unique<Graph>(std::move(builder).Build());
+  input_sizes_ = AssignInputSizes(*graph_);
+
+  PartitionConfig config;
+  config.model = model();
+  config.theta = theta_;
+  config.workload = workload_;
+  state_ = std::make_unique<PartitionState>(
+      graph_.get(), topology_, &locations_, &input_sizes_, config);
+  ReinstateLayout(carry_masters ? *carry_masters : locations_);
+}
+
+void DynamicPartitionDriver::ReinstateLayout(
+    const std::vector<DcId>& masters) {
+  state_->ResetDerived(masters);
+}
+
+double DynamicPartitionDriver::Initialize(VertexId num_vertices,
+                                          std::vector<Edge> initial_edges,
+                                          std::vector<DcId> locations) {
+  RLCUT_CHECK_EQ(locations.size(), num_vertices);
+  num_vertices_ = num_vertices;
+  edges_ = std::move(initial_edges);
+  locations_ = std::move(locations);
+  RebuildState(nullptr);
+  WallTimer timer;
+  InitialPartition();
+  return timer.ElapsedSeconds();
+}
+
+WindowResult DynamicPartitionDriver::ApplyWindow(
+    const std::vector<Edge>& changed_edges, uint64_t change_count) {
+  RLCUT_CHECK(state_ != nullptr) << "Initialize must be called first";
+  // Carry masters across the rebuild (vertex ids are stable).
+  std::vector<DcId> carried = state_->masters();
+
+  std::vector<VertexId> affected;
+  affected.reserve(changed_edges.size() * 2);
+  for (const Edge& e : changed_edges) {
+    affected.push_back(e.src);
+    affected.push_back(e.dst);
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  WallTimer rebuild_timer;
+  RebuildState(&carried);
+  const double rebuild_seconds = rebuild_timer.ElapsedSeconds();
+
+  WindowResult result;
+  result.inserted_edges = change_count;
+  result.overhead_seconds = rebuild_seconds + AdaptWindow(affected);
+  const Objective obj = state_->CurrentObjective();
+  result.transfer_seconds = obj.transfer_seconds;
+  result.cost_dollars = obj.cost_dollars;
+  result.replication_factor = state_->ReplicationFactor();
+  const MigrationSummary migration =
+      PlanMigration(carried, state_->masters(), input_sizes_, *topology_);
+  result.vertices_migrated = migration.vertices_moved;
+  result.migration_bytes = migration.bytes_moved;
+  result.migration_seconds = migration.transfer_seconds;
+  return result;
+}
+
+WindowResult DynamicPartitionDriver::InsertWindow(
+    const std::vector<Edge>& new_edges) {
+  edges_.insert(edges_.end(), new_edges.begin(), new_edges.end());
+  return ApplyWindow(new_edges, new_edges.size());
+}
+
+WindowResult DynamicPartitionDriver::RemoveWindow(
+    const std::vector<Edge>& removed_edges) {
+  // Multiset removal: each requested edge deletes one occurrence.
+  std::unordered_map<uint64_t, int64_t> to_remove;
+  auto key = [](const Edge& e) {
+    return (static_cast<uint64_t>(e.src) << 32) | e.dst;
+  };
+  for (const Edge& e : removed_edges) ++to_remove[key(e)];
+  uint64_t removed = 0;
+  std::vector<Edge> kept;
+  kept.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    auto it = to_remove.find(key(e));
+    if (it != to_remove.end() && it->second > 0) {
+      --it->second;
+      ++removed;
+      continue;
+    }
+    kept.push_back(e);
+  }
+  edges_ = std::move(kept);
+  return ApplyWindow(removed_edges, removed);
+}
+
+// ---- RLCut driver ------------------------------------------------------
+
+RLCutDynamicDriver::RLCutDynamicDriver(const Topology* topology,
+                                       Workload workload, uint32_t theta,
+                                       uint64_t seed,
+                                       RLCutOptions initial_options,
+                                       RLCutOptions window_options)
+    : DynamicPartitionDriver(topology, std::move(workload), theta, seed),
+      initial_options_(initial_options),
+      window_options_(window_options) {}
+
+void RLCutDynamicDriver::InitialPartition() {
+  pool_ = std::make_unique<AutomatonPool>(
+      graph().num_vertices(), mutable_state()->num_dcs(), window_options_);
+  RLCutTrainer trainer(initial_options_);
+  std::vector<VertexId> all(graph().num_vertices());
+  std::iota(all.begin(), all.end(), 0u);
+  trainer.Train(mutable_state(), std::move(all), pool_.get());
+}
+
+double RLCutDynamicDriver::AdaptWindow(
+    const std::vector<VertexId>& affected) {
+  WallTimer timer;
+  RLCutTrainer trainer(window_options_);
+  trainer.Train(mutable_state(), std::vector<VertexId>(affected),
+                pool_.get());
+  return timer.ElapsedSeconds();
+}
+
+// ---- Leopard driver ------------------------------------------------------
+
+namespace {
+
+uint64_t EdgeKey(VertexId src, VertexId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+}  // namespace
+
+LeopardDynamicDriver::LeopardDynamicDriver(const Topology* topology,
+                                           Workload workload,
+                                           uint32_t theta, uint64_t seed)
+    : DynamicPartitionDriver(topology, std::move(workload), theta, seed) {}
+
+DcId LeopardDynamicDriver::PickDcForEdge(const PartitionState& state,
+                                         VertexId src, VertexId dst) const {
+  const int num_dcs = state.num_dcs();
+  const uint64_t shared = state.ReplicaMask(src) & state.ReplicaMask(dst);
+  const uint64_t any = state.ReplicaMask(src) | state.ReplicaMask(dst);
+  const uint64_t candidates =
+      shared != 0 ? shared : (any != 0 ? any : ~0ull >> (64 - num_dcs));
+  DcId best = kNoDc;
+  for (DcId r = 0; r < num_dcs; ++r) {
+    if (!((candidates >> r) & 1)) continue;
+    if (best == kNoDc || state.EdgeCount(r) < state.EdgeCount(best)) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+void LeopardDynamicDriver::PlaceUnplacedEdges() {
+  PartitionState* state = mutable_state();
+  const Graph& g = graph();
+  std::vector<VertexId> touched;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (state->edge_dc(e) != kNoDc) continue;
+    const VertexId src = g.EdgeSource(e);
+    const VertexId dst = g.EdgeTarget(e);
+    state->PlaceEdge(e, PickDcForEdge(*state, src, dst));
+    touched.push_back(src);
+    touched.push_back(dst);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()),
+                touched.end());
+  // Master refresh: move each touched vertex's master to its
+  // most-incident replica DC (Leopard's replication-aware master rule).
+  std::vector<uint32_t> incident(state->num_dcs());
+  for (VertexId v : touched) {
+    std::fill(incident.begin(), incident.end(), 0u);
+    for (EdgeId e = g.OutEdgeBegin(v); e < g.OutEdgeEnd(v); ++e) {
+      if (state->edge_dc(e) != kNoDc) ++incident[state->edge_dc(e)];
+    }
+    for (EdgeId e : g.InEdgeIds(v)) {
+      if (state->edge_dc(e) != kNoDc) ++incident[state->edge_dc(e)];
+    }
+    DcId best = state->master(v);
+    for (DcId r = 0; r < state->num_dcs(); ++r) {
+      if (incident[r] > incident[best]) best = r;
+    }
+    if (best != state->master(v)) state->SetMaster(v, best);
+  }
+}
+
+void LeopardDynamicDriver::InitialPartition() { PlaceUnplacedEdges(); }
+
+double LeopardDynamicDriver::AdaptWindow(
+    const std::vector<VertexId>& affected) {
+  (void)affected;  // placement itself identifies the new edges
+  WallTimer timer;
+  PlaceUnplacedEdges();
+  return timer.ElapsedSeconds();
+}
+
+void LeopardDynamicDriver::CaptureCarryover() {
+  carried_edges_.clear();
+  const Graph& g = graph();
+  const PartitionState& st = state();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    carried_edges_[EdgeKey(g.EdgeSource(e), g.EdgeTarget(e))].push_back(
+        st.edge_dc(e));
+  }
+}
+
+void LeopardDynamicDriver::ReinstateLayout(
+    const std::vector<DcId>& masters) {
+  PartitionState* state = mutable_state();
+  state->ResetUnplaced(masters);
+  if (carried_edges_.empty()) return;
+  const Graph& g = graph();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    auto it = carried_edges_.find(EdgeKey(g.EdgeSource(e), g.EdgeTarget(e)));
+    if (it == carried_edges_.end() || it->second.empty()) continue;
+    const DcId dc = it->second.back();
+    it->second.pop_back();
+    if (dc != kNoDc) state->PlaceEdge(e, dc);
+  }
+  carried_edges_.clear();
+}
+
+// ---- Spinner driver ----------------------------------------------------
+
+SpinnerDynamicDriver::SpinnerDynamicDriver(const Topology* topology,
+                                           Workload workload, uint32_t theta,
+                                           uint64_t seed,
+                                           SpinnerOptions options)
+    : DynamicPartitionDriver(topology, std::move(workload), theta, seed),
+      options_(options) {}
+
+void SpinnerDynamicDriver::InitialPartition() {
+  Rng rng(seed());
+  std::vector<VertexId> all(graph().num_vertices());
+  std::iota(all.begin(), all.end(), 0u);
+  SpinnerCore core(options_);
+  core.Refine(mutable_state(), std::move(all), &rng);
+}
+
+double SpinnerDynamicDriver::AdaptWindow(
+    const std::vector<VertexId>& affected) {
+  WallTimer timer;
+  Rng rng(seed() + 1);
+  SpinnerCore core(options_);
+  core.Refine(mutable_state(), std::vector<VertexId>(affected), &rng);
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace rlcut

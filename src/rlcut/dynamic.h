@@ -1,0 +1,195 @@
+#ifndef RLCUT_RLCUT_DYNAMIC_H_
+#define RLCUT_RLCUT_DYNAMIC_H_
+
+#include <memory>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "baselines/partitioner.h"
+#include "baselines/spinner.h"
+#include "cloud/topology.h"
+#include "graph/graph.h"
+#include "partition/partition_state.h"
+#include "rlcut/automaton.h"
+#include "rlcut/options.h"
+#include "rlcut/trainer.h"
+
+namespace rlcut {
+
+/// Outcome of adapting the partitioning to one window of edge inserts.
+struct WindowResult {
+  uint64_t inserted_edges = 0;
+  double overhead_seconds = 0;
+  /// Objective after adaptation.
+  double transfer_seconds = 0;
+  double cost_dollars = 0;
+  double replication_factor = 0;
+  /// Deployment delta vs the pre-window plan (see partition/migration.h):
+  /// vertices whose master moved and the data volume that ships.
+  uint64_t vertices_migrated = 0;
+  double migration_bytes = 0;
+  double migration_seconds = 0;
+};
+
+/// Shared plumbing of the dynamic experiments (Exp#5): maintains the
+/// accumulated edge set, rebuilds the CSR graph and PartitionState per
+/// window, carries masters across windows, and delegates the initial
+/// partitioning and per-window adaptation to subclasses.
+///
+/// Vertex ids are stable; initial locations are assigned once (on the
+/// initial graph) and input sizes are refreshed each window since they
+/// grow with degree.
+class DynamicPartitionDriver {
+ public:
+  /// `topology` must outlive the driver.
+  DynamicPartitionDriver(const Topology* topology, Workload workload,
+                         uint32_t theta, uint64_t seed);
+  virtual ~DynamicPartitionDriver() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Builds the initial graph and partitioning; returns the initial
+  /// partitioning overhead (seconds). `locations` fixes L_v for the
+  /// entire run.
+  double Initialize(VertexId num_vertices, std::vector<Edge> initial_edges,
+                    std::vector<DcId> locations);
+
+  /// Appends `new_edges`, rebuilds the state with carried-over masters,
+  /// and runs the method's adaptation.
+  WindowResult InsertWindow(const std::vector<Edge>& new_edges);
+
+  /// Removes `removed_edges` (multiset semantics: each entry removes one
+  /// matching occurrence), rebuilds with carried-over masters, and runs
+  /// the method's adaptation. Edges not present are ignored.
+  WindowResult RemoveWindow(const std::vector<Edge>& removed_edges);
+
+  const PartitionState& state() const { return *state_; }
+  const Graph& graph() const { return *graph_; }
+
+ protected:
+  /// Computation model the subclass's state uses.
+  virtual ComputeModel model() const = 0;
+  /// Full partitioning of the freshly built initial state.
+  virtual void InitialPartition() = 0;
+  /// Adapts after an insert window; `affected` lists the (deduplicated)
+  /// endpoints of the new edges. Returns the adaptation overhead.
+  virtual double AdaptWindow(const std::vector<VertexId>& affected) = 0;
+
+  /// Called before the old graph/state are torn down during a rebuild,
+  /// while both are still valid. Explicit-placement methods snapshot
+  /// their edge layout here.
+  virtual void CaptureCarryover() {}
+
+  /// Reinstates a layout on the freshly rebuilt state. The default
+  /// derives edge placement from the carried masters (hybrid/edge-cut);
+  /// explicit-placement methods override to restore edges too.
+  virtual void ReinstateLayout(const std::vector<DcId>& masters);
+
+  PartitionState* mutable_state() { return state_.get(); }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  // Rebuilds graph_/sizes_/state_ from edges_; masters carried over when
+  // carry_masters is non-null.
+  void RebuildState(const std::vector<DcId>* carry_masters);
+
+  // Shared insert/remove plumbing: rebuild with carried masters and
+  // adapt over the endpoints of `changed_edges`.
+  WindowResult ApplyWindow(const std::vector<Edge>& changed_edges,
+                           uint64_t change_count);
+
+  const Topology* topology_;
+  Workload workload_;
+  uint32_t theta_;
+  uint64_t seed_;
+
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<DcId> locations_;
+  std::vector<double> input_sizes_;
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<PartitionState> state_;
+};
+
+/// RLCut's dynamic mode: initial full training, then per window a
+/// budgeted training pass (T_opt = window budget) over the affected
+/// vertices only. The per-vertex automata persist across windows, so a
+/// vertex touched by multiple windows resumes from its learned policy
+/// rather than a uniform distribution.
+class RLCutDynamicDriver : public DynamicPartitionDriver {
+ public:
+  /// `initial_options` drives the initial partitioning;
+  /// `window_options.t_opt_seconds` is the per-window budget.
+  RLCutDynamicDriver(const Topology* topology, Workload workload,
+                     uint32_t theta, uint64_t seed,
+                     RLCutOptions initial_options,
+                     RLCutOptions window_options);
+
+  std::string name() const override { return "RLCut"; }
+
+ protected:
+  ComputeModel model() const override { return ComputeModel::kHybridCut; }
+  void InitialPartition() override;
+  double AdaptWindow(const std::vector<VertexId>& affected) override;
+
+ private:
+  RLCutOptions initial_options_;
+  RLCutOptions window_options_;
+  // Persistent per-vertex policies (vertex ids are stable for the run).
+  std::unique_ptr<AutomatonPool> pool_;
+};
+
+/// Leopard-style dynamic vertex-cut (Huang & Abadi, VLDB'16, adapted):
+/// carries the explicit edge placement across windows, streams only the
+/// new edges via replica-affinity greedy placement, and re-picks the
+/// masters of affected vertices. Network-oblivious, like the original.
+class LeopardDynamicDriver : public DynamicPartitionDriver {
+ public:
+  LeopardDynamicDriver(const Topology* topology, Workload workload,
+                       uint32_t theta, uint64_t seed);
+
+  std::string name() const override { return "Leopard"; }
+
+ protected:
+  ComputeModel model() const override { return ComputeModel::kVertexCut; }
+  void InitialPartition() override;
+  double AdaptWindow(const std::vector<VertexId>& affected) override;
+  void CaptureCarryover() override;
+  void ReinstateLayout(const std::vector<DcId>& masters) override;
+
+ private:
+  // Greedy replica-affinity placement of one edge (Oblivious-style).
+  DcId PickDcForEdge(const PartitionState& state, VertexId src,
+                     VertexId dst) const;
+  // Streams every currently unplaced edge and refreshes masters of the
+  // vertices it touched.
+  void PlaceUnplacedEdges();
+
+  // Carried layout, keyed by (src, dst) with multiset semantics.
+  std::unordered_map<uint64_t, std::vector<DcId>> carried_edges_;
+};
+
+/// Spinner's dynamic mode: best-effort label propagation from the
+/// affected vertices, run to convergence regardless of any window
+/// budget (the behaviour Fig. 15b contrasts against).
+class SpinnerDynamicDriver : public DynamicPartitionDriver {
+ public:
+  SpinnerDynamicDriver(const Topology* topology, Workload workload,
+                       uint32_t theta, uint64_t seed,
+                       SpinnerOptions options);
+
+  std::string name() const override { return "Spinner"; }
+
+ protected:
+  ComputeModel model() const override { return ComputeModel::kEdgeCut; }
+  void InitialPartition() override;
+  double AdaptWindow(const std::vector<VertexId>& affected) override;
+
+ private:
+  SpinnerOptions options_;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_RLCUT_DYNAMIC_H_

@@ -1,0 +1,49 @@
+#include "rlcut/rlcut_partitioner.h"
+
+#include "common/timer.h"
+
+namespace rlcut {
+
+RLCutRunOutput RunRLCut(const PartitionerContext& ctx, RLCutOptions options) {
+  if (options.budget == 0) options.budget = ctx.budget;
+  if (options.seed == RLCutOptions{}.seed) options.seed = ctx.seed;
+
+  PartitionConfig config;
+  config.model = ComputeModel::kHybridCut;
+  config.theta = ctx.theta;
+  config.workload = ctx.workload;
+  PartitionState state(ctx.graph, ctx.topology, ctx.locations,
+                       ctx.input_sizes, config);
+  state.ResetDerived(*ctx.locations);  // natural partitioning
+
+  RLCutTrainer trainer(options);
+  TrainResult train = trainer.Train(&state);
+  return RLCutRunOutput(std::move(state), std::move(train));
+}
+
+namespace {
+
+class RLCutPartitioner : public Partitioner {
+ public:
+  explicit RLCutPartitioner(RLCutOptions options) : options_(options) {}
+
+  std::string name() const override { return "RLCut"; }
+  ComputeModel model() const override { return ComputeModel::kHybridCut; }
+
+  PartitionOutput Run(const PartitionerContext& ctx) override {
+    RLCutRunOutput out = RunRLCut(ctx, options_);
+    return PartitionOutput(std::move(out.state),
+                           out.train.overhead_seconds);
+  }
+
+ private:
+  RLCutOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeRLCut(RLCutOptions options) {
+  return std::make_unique<RLCutPartitioner>(options);
+}
+
+}  // namespace rlcut

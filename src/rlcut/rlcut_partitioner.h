@@ -1,0 +1,35 @@
+#ifndef RLCUT_RLCUT_RLCUT_PARTITIONER_H_
+#define RLCUT_RLCUT_RLCUT_PARTITIONER_H_
+
+#include <memory>
+
+#include "baselines/partitioner.h"
+#include "rlcut/options.h"
+#include "rlcut/trainer.h"
+
+namespace rlcut {
+
+/// RLCut behind the common Partitioner interface, so the benches treat
+/// it uniformly with the six baselines. The returned output's state is
+/// hybrid-cut; training starts from the natural partitioning (masters at
+/// initial locations).
+///
+/// If options.budget == 0, the context's budget is used; likewise the
+/// context workload/theta always apply.
+std::unique_ptr<Partitioner> MakeRLCut(RLCutOptions options = {});
+
+/// Convenience wrapper: trains on an already-built context and also
+/// returns the TrainResult telemetry (step stats).
+struct RLCutRunOutput {
+  RLCutRunOutput(PartitionState state_in, TrainResult train_in)
+      : state(std::move(state_in)), train(std::move(train_in)) {}
+
+  PartitionState state;
+  TrainResult train;
+};
+
+RLCutRunOutput RunRLCut(const PartitionerContext& ctx, RLCutOptions options);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_RLCUT_RLCUT_PARTITIONER_H_

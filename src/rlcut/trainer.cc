@@ -1,0 +1,374 @@
+#include "rlcut/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace rlcut {
+namespace {
+
+// delta(x) of Eq. 10: 1 if x > 0 else 0.
+inline double Delta(double x) { return x > 0 ? 1.0 : 0.0; }
+
+// Score of moving from objective `before` to `after` (Eq. 10 with the
+// last-iteration values replaced by `before`), used both for per-DC
+// scores and for the migration rollback check. `smooth_weight` and
+// `cost_pressure` are the extension weights (0 = paper-exact Eq. 10).
+double ObjectiveScore(const Objective& before, const Objective& after,
+                      double tw, double cw, double budget_delta,
+                      double smooth_weight, double cost_pressure,
+                      double budget) {
+  double score = 0;
+  if (before.transfer_seconds > 0) {
+    score += tw * (before.transfer_seconds - after.transfer_seconds) /
+             before.transfer_seconds;
+  }
+  if (smooth_weight > 0 && before.smooth_seconds > 0) {
+    score += smooth_weight * tw *
+             (before.smooth_seconds - after.smooth_seconds) /
+             before.smooth_seconds;
+  }
+  if (before.cost_dollars > 0) {
+    score += cw * (before.cost_dollars - after.cost_dollars) /
+             before.cost_dollars * budget_delta;
+  }
+  if (cost_pressure > 0 && budget > 0) {
+    score -= cost_pressure *
+             (after.cost_dollars - before.cost_dollars) / budget;
+  }
+  return score;
+}
+
+}  // namespace
+
+RLCutTrainer::RLCutTrainer(const RLCutOptions& options) : options_(options) {
+  RLCUT_CHECK_GT(options_.max_steps, 0);
+  RLCUT_CHECK_GT(options_.batch_size, 0);
+  num_threads_ = options_.num_threads > 0
+                     ? static_cast<size_t>(options_.num_threads)
+                     : DefaultThreadCount();
+  pool_ = std::make_unique<ThreadPool>(num_threads_);
+}
+
+RLCutTrainer::~RLCutTrainer() = default;
+
+TrainResult RLCutTrainer::Train(PartitionState* state) {
+  std::vector<VertexId> all(state->graph().num_vertices());
+  std::iota(all.begin(), all.end(), 0u);
+  return Train(state, std::move(all));
+}
+
+double RLCutTrainer::SampleRateForStep(
+    int step, const std::vector<StepStats>& history) const {
+  if (options_.fixed_sample_rate > 0) {
+    return std::min(1.0, options_.fixed_sample_rate);
+  }
+  if (options_.t_opt_seconds <= 0) return 1.0;
+  if (step == 0) return options_.initial_sample_rate;
+
+
+  // Eq. 14: remaining time per remaining step, times the mean observed
+  // sampling-rate-per-second of past steps.
+  double spent = 0;
+  double rate_per_second = 0;
+  for (const StepStats& s : history) {
+    spent += s.seconds;
+    rate_per_second += s.sample_rate / std::max(1e-9, s.seconds);
+  }
+  rate_per_second /= history.size();
+  const double remaining = options_.t_opt_seconds - spent;
+  if (remaining <= 0) return 0;  // out of time
+  const double per_step = remaining / (options_.max_steps - step);
+  const double sr = per_step * rate_per_second;
+  return std::clamp(sr, options_.min_sample_rate, 1.0);
+}
+
+TrainResult RLCutTrainer::Train(PartitionState* state,
+                                std::vector<VertexId> eligible) {
+  return Train(state, std::move(eligible), nullptr);
+}
+
+TrainResult RLCutTrainer::Train(PartitionState* state,
+                                std::vector<VertexId> eligible,
+                                AutomatonPool* pool) {
+  RLCUT_CHECK(state != nullptr);
+  TrainResult result;
+  WallTimer total_timer;
+  const Graph& graph = state->graph();
+  const int num_dcs = state->num_dcs();
+  if (eligible.empty() || num_dcs < 2) {
+    result.final_objective = state->CurrentObjective();
+    result.converged = true;
+    return result;
+  }
+
+  // Sampling order: ascending degree (Sec. V-C: low-degree agents
+  // contribute most per unit of training time). The descending order is
+  // kept only for the Fig. 9 ablation.
+  const bool descending = options_.sample_highest_degree_first;
+  std::sort(eligible.begin(), eligible.end(),
+            [&graph, descending](VertexId a, VertexId b) {
+              const uint32_t da = graph.Degree(a);
+              const uint32_t db = graph.Degree(b);
+              if (da != db) return descending ? da > db : da < db;
+              return a < b;
+            });
+
+  // Hub ordering for the importance-sampling extension: agents with the
+  // largest apply-message volume first (see RLCutOptions).
+  std::vector<VertexId> hub_order;
+  if (options_.hub_slot_fraction > 0) {
+    hub_order = eligible;
+    std::stable_sort(hub_order.begin(), hub_order.end(),
+                     [&](VertexId a, VertexId b) {
+                       const double va = state->ApplyBytes(a);
+                       const double vb = state->ApplyBytes(b);
+                       if (va != vb) return va > vb;
+                       return graph.Degree(a) > graph.Degree(b);
+                     });
+  }
+
+  std::unique_ptr<AutomatonPool> local_pool;
+  if (pool == nullptr) {
+    local_pool = std::make_unique<AutomatonPool>(graph.num_vertices(),
+                                                 num_dcs, options_);
+    pool = local_pool.get();
+  }
+  AutomatonPool& automata = *pool;
+
+  // Per-thread resources.
+  std::vector<EvalScratch> scratch(num_threads_);
+  std::vector<Rng> rngs;
+  rngs.reserve(num_threads_);
+  for (size_t t = 0; t < num_threads_; ++t) {
+    rngs.emplace_back(options_.seed + 0x9e37 * (t + 1));
+  }
+
+  // Per-batch decision buffers, indexed by position within the batch.
+  const size_t batch_size = static_cast<size_t>(options_.batch_size);
+  std::vector<DcId> chosen(batch_size, kNoDc);
+  std::vector<uint8_t> taken(graph.num_vertices(), 0);
+  std::vector<VertexId> agents;
+
+  Objective last_objective = state->CurrentObjective();
+  int64_t visits_remaining = options_.agent_visit_budget;
+
+  for (int step = 0; step < options_.max_steps; ++step) {
+    double sr = SampleRateForStep(step, result.steps);
+    if (options_.agent_visit_budget > 0) {
+      if (visits_remaining <= 0) {
+        result.hit_time_budget = true;
+        break;
+      }
+      // Deterministic analog of Eq. 14: spread the remaining visit
+      // budget evenly over the remaining steps.
+      const double per_step = static_cast<double>(visits_remaining) /
+                              (options_.max_steps - step);
+      sr = std::min(sr, std::clamp(per_step /
+                                       static_cast<double>(eligible.size()),
+                                   options_.min_sample_rate, 1.0));
+    }
+    if (sr <= 0) {
+      result.hit_time_budget = true;
+      break;
+    }
+    const uint64_t num_agents = std::max<uint64_t>(
+        1, static_cast<uint64_t>(sr * static_cast<double>(eligible.size())));
+    WallTimer step_timer;
+
+    // Sampled agent set: a reserved share of hub agents plus the
+    // lowest-degree prefix (Sec. V-C + the hub-slot extension).
+    agents.clear();
+    const size_t hub_count = std::min<size_t>(
+        static_cast<size_t>(options_.hub_slot_fraction *
+                            static_cast<double>(num_agents)),
+        hub_order.size());
+    for (size_t i = 0; i < hub_count; ++i) {
+      agents.push_back(hub_order[i]);
+      taken[hub_order[i]] = 1;
+    }
+    for (VertexId v : eligible) {
+      if (agents.size() >= num_agents) break;
+      if (!taken[v]) agents.push_back(v);
+    }
+    for (size_t i = 0; i < hub_count; ++i) taken[hub_order[i]] = 0;
+
+    // Eq. 10 weights for this step. The cost term engages only while
+    // the budget is violated; tw shifts toward cost as training ages.
+    const Objective step_objective = state->CurrentObjective();
+    const double over_budget =
+        options_.budget > 0
+            ? Delta(step_objective.cost_dollars - options_.budget)
+            : 0.0;
+    const double cw =
+        static_cast<double>(step) / static_cast<double>(options_.max_steps);
+    const double tw = 1.0 - cw * over_budget;
+    const double c_l = step_objective.cost_dollars;
+    // Budget-pressure extension: quadratic ramp as cost approaches B.
+    const double cost_pressure =
+        (options_.budget_pressure && options_.budget > 0)
+            ? std::pow(std::min(1.0, c_l / options_.budget), 2.0)
+            : 0.0;
+
+    StepStats stats;
+    stats.step = step;
+    stats.sample_rate = sr;
+    stats.num_agents = agents.size();
+
+    for (uint64_t batch_begin = 0; batch_begin < agents.size();
+         batch_begin += batch_size) {
+      const uint64_t batch_end =
+          std::min<uint64_t>(agents.size(), batch_begin + batch_size);
+      const size_t this_batch = batch_end - batch_begin;
+
+      // Batch-start snapshot: agents in this batch score moves against
+      // it (the batching semantics of Sec. V-A).
+      const Objective batch_objective = state->CurrentObjective();
+
+      // ---- Parallel stage: steps 1-4 for every agent in the batch. ---
+      // Agents decide against the same (batch-start) state; distinct
+      // agents touch distinct automaton rows and chosen[] slots.
+      auto run_agent = [&](size_t slot, size_t worker) {
+        const VertexId v = agents[batch_begin + slot];
+        EvalScratch& es = scratch[worker];
+        Rng& rng = rngs[worker];
+
+        // Step 1: score every DC (Eq. 10).
+        // Seed rho at the current master (whose score is exactly 0) so
+        // that ties on a plateau mean "don't move".
+        DcId rho = state->master(v);
+        double best_score = 0;
+        double min_score = 0;
+        double scores[kMaxDataCenters];
+        const Objective& current = batch_objective;
+        for (DcId r = 0; r < num_dcs; ++r) {
+          const Objective moved = (r == state->master(v))
+                                      ? current
+                                      : state->EvaluateMove(v, r, &es);
+          const double s = ObjectiveScore(current, moved, tw, cw,
+                                          over_budget,
+                                          options_.smooth_weight,
+                                          cost_pressure, options_.budget);
+          scores[r] = s;
+          if (s > best_score) {
+            best_score = s;
+            rho = r;
+          }
+          min_score = std::min(min_score, s);
+        }
+        // Steps 2+3: reinforcement signal for rho, probability update.
+        automata.UpdateSignals(v, rho);
+        // Step 4: UCB action selection; record the normalized score of
+        // the selected action as its observed reward.
+        const DcId action = automata.SelectAction(v, step + 1, &rng);
+        const double span = best_score - min_score;
+        const double normalized =
+            span > 0 ? (scores[action] - min_score) / span : 1.0;
+        automata.RecordSelection(v, action, normalized);
+        chosen[slot] = action;
+      };
+
+      if (options_.straggler_mitigation && this_batch > 1) {
+        // Greedy least-loaded assignment, heaviest agents first, to
+        // minimize Var over threads of the summed degree (Sec. V-B).
+        std::vector<size_t> slots(this_batch);
+        std::iota(slots.begin(), slots.end(), size_t{0});
+        std::sort(slots.begin(), slots.end(), [&](size_t a, size_t b) {
+          return graph.Degree(agents[batch_begin + a]) >
+                 graph.Degree(agents[batch_begin + b]);
+        });
+        const size_t workers = std::min(num_threads_, this_batch);
+        std::vector<std::vector<size_t>> plan(workers);
+        std::vector<uint64_t> loads(workers, 0);
+        for (size_t slot : slots) {
+          const size_t t = static_cast<size_t>(
+              std::min_element(loads.begin(), loads.end()) - loads.begin());
+          plan[t].push_back(slot);
+          loads[t] += graph.Degree(agents[batch_begin + slot]) + 1;
+        }
+        for (size_t t = 0; t < workers; ++t) {
+          if (plan[t].empty()) continue;
+          pool_->Submit([&, t] {
+            for (size_t slot : plan[t]) run_agent(slot, t);
+          });
+        }
+        pool_->Wait();
+      } else {
+        pool_->ParallelForChunked(
+            this_batch, [&](size_t begin, size_t end, size_t worker) {
+              for (size_t slot = begin; slot < end; ++slot) {
+                run_agent(slot, worker);
+              }
+            });
+      }
+
+      // ---- Sequential stage: step 5, migration with rollback. --------
+      for (size_t slot = 0; slot < this_batch; ++slot) {
+        const VertexId v = agents[batch_begin + slot];
+        const DcId action = chosen[slot];
+        const DcId from = state->master(v);
+        if (action == from) continue;
+        const Objective before = state->CurrentObjective();
+        state->MoveMaster(v, action);
+        const Objective after = state->CurrentObjective();
+        const double budget_delta =
+            options_.budget > 0
+                ? Delta(before.cost_dollars - options_.budget)
+                : 0.0;
+        // Hard feasibility filter (Eq. 7): never accept a move that
+        // lands above budget while increasing cost. Starting from a
+        // feasible state this keeps every intermediate state feasible.
+        const bool breaks_budget =
+            options_.budget > 0 && after.cost_dollars > options_.budget &&
+            after.cost_dollars > before.cost_dollars;
+        if (breaks_budget ||
+            ObjectiveScore(before, after, tw, cw, budget_delta,
+                           options_.smooth_weight, cost_pressure,
+                           options_.budget) < 0) {
+          state->MoveMaster(v, from);  // exact rollback
+          ++stats.rollbacks;
+        } else {
+          ++stats.migrations;
+        }
+      }
+    }
+
+    visits_remaining -= static_cast<int64_t>(agents.size());
+
+    const Objective objective = state->CurrentObjective();
+    stats.seconds = step_timer.ElapsedSeconds();
+    stats.transfer_seconds = objective.transfer_seconds;
+    stats.cost_dollars = objective.cost_dollars;
+    result.steps.push_back(stats);
+
+    // Convergence: negligible relative improvement while feasible.
+    const bool feasible = options_.budget <= 0 ||
+                          objective.cost_dollars <= options_.budget;
+    const double rel_improvement =
+        last_objective.transfer_seconds > 0
+            ? (last_objective.transfer_seconds - objective.transfer_seconds) /
+                  last_objective.transfer_seconds
+            : 0.0;
+    last_objective = objective;
+    if (feasible && step > 0 &&
+        std::fabs(rel_improvement) < options_.convergence_epsilon) {
+      result.converged = true;
+      break;
+    }
+    if (options_.t_opt_seconds > 0 &&
+        total_timer.ElapsedSeconds() >= options_.t_opt_seconds) {
+      result.hit_time_budget = true;
+      break;
+    }
+  }
+
+  result.final_objective = state->CurrentObjective();
+  result.overhead_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rlcut

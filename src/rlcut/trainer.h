@@ -1,0 +1,87 @@
+#ifndef RLCUT_RLCUT_TRAINER_H_
+#define RLCUT_RLCUT_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "partition/partition_state.h"
+#include "rlcut/automaton.h"
+#include "rlcut/options.h"
+
+namespace rlcut {
+
+/// Per-training-step telemetry (drives Fig. 13/14 and Table IV).
+struct StepStats {
+  int step = 0;
+  double sample_rate = 0;
+  uint64_t num_agents = 0;
+  double seconds = 0;
+  double transfer_seconds = 0;  // objective after the step
+  double cost_dollars = 0;
+  uint64_t migrations = 0;
+  uint64_t rollbacks = 0;
+};
+
+/// Outcome of a training run.
+struct TrainResult {
+  std::vector<StepStats> steps;
+  double overhead_seconds = 0;
+  Objective final_objective;
+  bool converged = false;
+  /// True if training stopped because T_opt was reached.
+  bool hit_time_budget = false;
+};
+
+/// The RLCut multi-agent trainer (Sec. IV-V).
+///
+/// Each training step runs the five per-agent stages — score function
+/// (Eq. 10), reinforcement signal (Eq. 11), probability update (Eq. 12),
+/// UCB action selection (Eq. 13) and globally sequential vertex
+/// migration with rollback — with three overhead optimizations:
+///
+///  * batching: agents within a batch decide against the batch-start
+///    state and are scored in parallel (Sec. V-A);
+///  * straggler mitigation: degree-balanced greedy agent-to-thread
+///    assignment (Sec. V-B);
+///  * adaptive sampling: the lowest-degree SR_i fraction of agents
+///    trains in step i, SR_i sized by Eq. 14 to meet T_opt (Sec. V-C).
+class RLCutTrainer {
+ public:
+  explicit RLCutTrainer(const RLCutOptions& options);
+  ~RLCutTrainer();
+
+  RLCutTrainer(const RLCutTrainer&) = delete;
+  RLCutTrainer& operator=(const RLCutTrainer&) = delete;
+
+  /// Trains over all vertices of the state's graph. The state must use
+  /// derived placement (hybrid-cut or edge-cut).
+  TrainResult Train(PartitionState* state);
+
+  /// Trains over the given eligible agents only (dynamic adaptation:
+  /// the vertices touched by newly inserted edges).
+  TrainResult Train(PartitionState* state, std::vector<VertexId> eligible);
+
+  /// Same, but using (and updating) an externally owned automaton pool.
+  /// Dynamic drivers pass a persistent pool so per-vertex policies carry
+  /// across adaptation windows instead of restarting from uniform.
+  /// `pool` must cover the state's vertex and DC counts; nullptr falls
+  /// back to a fresh local pool.
+  TrainResult Train(PartitionState* state, std::vector<VertexId> eligible,
+                    AutomatonPool* pool);
+
+  const RLCutOptions& options() const { return options_; }
+
+ private:
+  // Sampling rate for step `step` per Eq. 14, from the history so far.
+  double SampleRateForStep(int step,
+                           const std::vector<StepStats>& history) const;
+
+  RLCutOptions options_;
+  size_t num_threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_RLCUT_TRAINER_H_

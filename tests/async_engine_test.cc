@@ -1,0 +1,150 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cloud/topology.h"
+#include "common/random.h"
+#include "engine/async_engine.h"
+#include "engine/gas_engine.h"
+#include "engine/reference.h"
+#include "engine/vertex_program.h"
+#include "graph/generators.h"
+#include "graph/transform.h"
+
+namespace rlcut {
+namespace {
+
+struct AsyncFixture {
+  explicit AsyncFixture(Graph graph_in, int num_dcs = 4)
+      : graph(std::move(graph_in)),
+        topology(MakeEc2Topology(num_dcs, Heterogeneity::kMedium)) {
+    locations.resize(graph.num_vertices());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      locations[v] = static_cast<DcId>(HashU64(v) % num_dcs);
+    }
+    sizes.assign(graph.num_vertices(), 1e6);
+    PartitionConfig config;
+    config.model = ComputeModel::kHybridCut;
+    config.theta = PartitionState::AutoTheta(graph);
+    state = std::make_unique<PartitionState>(&graph, &topology, &locations,
+                                             &sizes, config);
+    state->ResetDerived(locations);
+  }
+
+  Graph graph;
+  Topology topology;
+  std::vector<DcId> locations;
+  std::vector<double> sizes;
+  std::unique_ptr<PartitionState> state;
+};
+
+TEST(AsyncEngineTest, SsspMatchesBfsReference) {
+  PowerLawOptions opt;
+  opt.num_vertices = 512;
+  opt.num_edges = 4096;
+  AsyncFixture fix(GeneratePowerLaw(opt));
+  const std::vector<double> expected = ReferenceSssp(fix.graph, 3);
+
+  auto program = MakeSssp(3);
+  AsyncGasEngine engine(fix.state.get());
+  const AsyncRunResult result = engine.Run(program.get());
+  for (VertexId v = 0; v < fix.graph.num_vertices(); ++v) {
+    if (std::isinf(expected[v])) {
+      EXPECT_TRUE(std::isinf(result.values[v])) << "vertex " << v;
+    } else {
+      EXPECT_DOUBLE_EQ(result.values[v], expected[v]) << "vertex " << v;
+    }
+  }
+  EXPECT_GT(result.messages, 0u);
+}
+
+TEST(AsyncEngineTest, WeightedSsspMatchesDijkstra) {
+  PowerLawOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 2048;
+  AsyncFixture fix(GeneratePowerLaw(opt));
+  const std::vector<double> expected =
+      ReferenceWeightedSssp(fix.graph, 1, 8);
+  auto program = MakeWeightedSssp(1, 8);
+  AsyncGasEngine engine(fix.state.get());
+  const AsyncRunResult result = engine.Run(program.get());
+  for (VertexId v = 0; v < fix.graph.num_vertices(); ++v) {
+    if (std::isinf(expected[v])) {
+      EXPECT_TRUE(std::isinf(result.values[v]));
+    } else {
+      EXPECT_DOUBLE_EQ(result.values[v], expected[v]);
+    }
+  }
+}
+
+TEST(AsyncEngineTest, ConnectedComponentsMatchUnionFind) {
+  PowerLawOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 512;  // sparse: several components
+  Graph sym = Symmetrize(GeneratePowerLaw(opt));
+  const std::vector<double> expected = ReferenceConnectedComponents(sym);
+  AsyncFixture fix(std::move(sym));
+  auto program = MakeConnectedComponents();
+  AsyncGasEngine engine(fix.state.get());
+  const AsyncRunResult result = engine.Run(program.get());
+  for (VertexId v = 0; v < fix.graph.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(result.values[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(AsyncEngineDeathTest, RejectsNonMonotonePrograms) {
+  AsyncFixture fix(GenerateRing(16, 1));
+  AsyncGasEngine engine(fix.state.get());
+  auto pagerank = MakePageRank(5);
+  EXPECT_DEATH(engine.Run(pagerank.get()), "monotone");
+}
+
+TEST(AsyncEngineTest, SingleDcRunIsInstantaneous) {
+  AsyncFixture fix(GenerateRing(32, 1));
+  // All masters in one DC: no WAN messages, zero completion time.
+  std::vector<DcId> all_zero(fix.graph.num_vertices(), 0);
+  fix.state->ResetDerived(all_zero);
+  auto program = MakeSssp(0);
+  AsyncGasEngine engine(fix.state.get());
+  const AsyncRunResult result = engine.Run(program.get());
+  EXPECT_DOUBLE_EQ(result.completion_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.total_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(result.values[16], 16.0);
+}
+
+TEST(AsyncEngineTest, AsyncStaysWithinAnOrderOfMagnitudeOfSync) {
+  // Async trades barrier stalls for unaggregated per-relaxation
+  // messages; on WAN-sized messages the latter usually costs more (see
+  // bench_async_vs_sync), but the two must stay comparable.
+  PowerLawOptions opt;
+  opt.num_vertices = 1024;
+  opt.num_edges = 8192;
+  AsyncFixture fix(GeneratePowerLaw(opt), /*num_dcs=*/8);
+
+  auto sync_program = MakeSssp(3);
+  GasEngine sync_engine(fix.state.get());
+  const double sync_time =
+      sync_engine.Run(sync_program.get()).total_transfer_seconds;
+
+  auto async_program = MakeSssp(3);
+  AsyncGasEngine async_engine(fix.state.get());
+  const double async_time =
+      async_engine.Run(async_program.get()).completion_seconds;
+
+  EXPECT_GT(async_time, 0.0);
+  EXPECT_LT(async_time, sync_time * 10.0);
+  EXPECT_GT(async_time, sync_time * 0.05);
+}
+
+TEST(AsyncEngineTest, MessageCountsAreSane) {
+  AsyncFixture fix(GenerateRing(64, 1));
+  auto program = MakeSssp(0);
+  AsyncGasEngine engine(fix.state.get());
+  const AsyncRunResult result = engine.Run(program.get());
+  // Ring SSSP: each vertex improves exactly once; messages stay linear.
+  EXPECT_LT(result.messages, 64u * 16u);
+  EXPECT_LE(result.local_messages, result.messages);
+}
+
+}  // namespace
+}  // namespace rlcut

@@ -1,0 +1,150 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "rlcut/automaton.h"
+
+namespace rlcut {
+namespace {
+
+RLCutOptions DefaultOptions() {
+  RLCutOptions opt;
+  opt.alpha = 0.1;
+  opt.beta = 0.1;
+  return opt;
+}
+
+double ProbSum(const AutomatonPool& pool, VertexId v, int num_dcs) {
+  double sum = 0;
+  for (DcId r = 0; r < num_dcs; ++r) sum += pool.Probability(v, r);
+  return sum;
+}
+
+TEST(AutomatonTest, InitialDistributionUniform) {
+  AutomatonPool pool(4, 5, DefaultOptions());
+  for (VertexId v = 0; v < 4; ++v) {
+    for (DcId r = 0; r < 5; ++r) {
+      EXPECT_DOUBLE_EQ(pool.Probability(v, r), 0.2);
+    }
+  }
+}
+
+TEST(AutomatonTest, RewardUpdateMatchesEq12) {
+  AutomatonPool pool(1, 4, DefaultOptions());
+  pool.UpdateSignals(0, 2);
+  // Eq. 12 with alpha=0.1 from uniform 0.25:
+  // rewarded: 0.25 + 0.1*(1-0.25) = 0.325; others: 0.25*0.9 = 0.225.
+  EXPECT_NEAR(pool.Probability(0, 2), 0.325, 1e-12);
+  EXPECT_NEAR(pool.Probability(0, 0), 0.225, 1e-12);
+  EXPECT_NEAR(pool.Probability(0, 1), 0.225, 1e-12);
+  EXPECT_NEAR(pool.Probability(0, 3), 0.225, 1e-12);
+  EXPECT_NEAR(ProbSum(pool, 0, 4), 1.0, 1e-12);
+}
+
+TEST(AutomatonTest, RepeatedRewardsConvergeToAction) {
+  AutomatonPool pool(1, 4, DefaultOptions());
+  for (int i = 0; i < 200; ++i) pool.UpdateSignals(0, 1);
+  EXPECT_GT(pool.Probability(0, 1), 0.999);
+  EXPECT_NEAR(ProbSum(pool, 0, 4), 1.0, 1e-9);
+}
+
+TEST(AutomatonTest, PenaltyUpdateKeepsDistributionNormalized) {
+  RLCutOptions opt = DefaultOptions();
+  opt.use_penalty = true;
+  AutomatonPool pool(1, 4, opt);
+  for (int i = 0; i < 50; ++i) pool.UpdateSignals(0, i % 4);
+  EXPECT_NEAR(ProbSum(pool, 0, 4), 1.0, 1e-9);
+  for (DcId r = 0; r < 4; ++r) {
+    EXPECT_GT(pool.Probability(0, r), 0.0);
+    EXPECT_LT(pool.Probability(0, r), 1.0);
+  }
+}
+
+TEST(AutomatonTest, UcbTriesEveryActionFirst) {
+  RLCutOptions opt = DefaultOptions();
+  opt.selection = ActionSelection::kUcbScore;
+  AutomatonPool pool(1, 4, opt);
+  Rng rng(1);
+  std::set<DcId> tried;
+  for (int n = 1; n <= 4; ++n) {
+    const DcId a = pool.SelectAction(0, n, &rng);
+    EXPECT_EQ(tried.count(a), 0u) << "action tried twice before others";
+    tried.insert(a);
+    pool.RecordSelection(0, a, 0.5);
+  }
+  EXPECT_EQ(tried.size(), 4u);
+}
+
+TEST(AutomatonTest, UcbExploitsHighRewardAction) {
+  RLCutOptions opt = DefaultOptions();
+  opt.selection = ActionSelection::kUcbScore;
+  opt.ucb_c = 0.1;  // weak exploration
+  AutomatonPool pool(1, 3, opt);
+  Rng rng(2);
+  // Prime: action 1 pays 1.0, others pay 0.
+  for (DcId r = 0; r < 3; ++r) {
+    pool.RecordSelection(0, r, r == 1 ? 1.0 : 0.0);
+  }
+  int picked_1 = 0;
+  for (int n = 4; n < 40; ++n) {
+    const DcId a = pool.SelectAction(0, n, &rng);
+    if (a == 1) ++picked_1;
+    pool.RecordSelection(0, a, a == 1 ? 1.0 : 0.0);
+  }
+  EXPECT_GT(picked_1, 30);
+}
+
+TEST(AutomatonTest, BlendSelectionUsesProbabilities) {
+  RLCutOptions opt = DefaultOptions();
+  opt.selection = ActionSelection::kUcbBlend;
+  opt.ucb_c = 0.01;
+  AutomatonPool pool(1, 3, opt);
+  Rng rng(3);
+  // Equal observed rewards, but strong probability mass on action 2.
+  for (DcId r = 0; r < 3; ++r) pool.RecordSelection(0, r, 0.5);
+  for (int i = 0; i < 100; ++i) pool.UpdateSignals(0, 2);
+  EXPECT_EQ(pool.SelectAction(0, 10, &rng), 2);
+}
+
+TEST(AutomatonTest, GreedySelectionFollowsProbability) {
+  RLCutOptions opt = DefaultOptions();
+  opt.selection = ActionSelection::kGreedy;
+  AutomatonPool pool(1, 4, opt);
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) pool.UpdateSignals(0, 3);
+  EXPECT_EQ(pool.SelectAction(0, 1, &rng), 3);
+}
+
+TEST(AutomatonTest, ProbabilitySelectionSamples) {
+  RLCutOptions opt = DefaultOptions();
+  opt.selection = ActionSelection::kProbability;
+  AutomatonPool pool(1, 2, opt);
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) pool.UpdateSignals(0, 0);
+  int zero = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (pool.SelectAction(0, 1, &rng) == 0) ++zero;
+  }
+  EXPECT_GT(zero, 95);
+}
+
+TEST(AutomatonTest, RecordSelectionTracksMean) {
+  AutomatonPool pool(1, 2, DefaultOptions());
+  pool.RecordSelection(0, 0, 1.0);
+  pool.RecordSelection(0, 0, 0.0);
+  pool.RecordSelection(0, 0, 0.5);
+  EXPECT_EQ(pool.SelectionCount(0, 0), 3u);
+  EXPECT_EQ(pool.SelectionCount(0, 1), 0u);
+}
+
+TEST(AutomatonTest, AgentsAreIndependent) {
+  AutomatonPool pool(3, 2, DefaultOptions());
+  pool.UpdateSignals(1, 0);
+  EXPECT_DOUBLE_EQ(pool.Probability(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(pool.Probability(2, 0), 0.5);
+  EXPECT_GT(pool.Probability(1, 0), 0.5);
+}
+
+}  // namespace
+}  // namespace rlcut

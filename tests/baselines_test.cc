@@ -1,0 +1,207 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/partitioner.h"
+#include "baselines/spinner.h"
+#include "cloud/topology.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/geo.h"
+#include "partition/metrics.h"
+
+namespace rlcut {
+namespace {
+
+// Shared small problem instance.
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() : topology_(MakeEc2Topology(8, Heterogeneity::kMedium)) {
+    PowerLawOptions opt;
+    opt.num_vertices = 1024;
+    opt.num_edges = 8192;
+    graph_ = GeneratePowerLaw(opt);
+    GeoLocatorOptions geo;
+    locations_ = AssignGeoLocations(graph_, geo);
+    sizes_ = AssignInputSizes(graph_);
+
+    ctx_.graph = &graph_;
+    ctx_.topology = &topology_;
+    ctx_.locations = &locations_;
+    ctx_.input_sizes = &sizes_;
+    ctx_.workload = Workload::PageRank();
+    ctx_.theta = PartitionState::AutoTheta(graph_);
+    ctx_.budget = 100.0;
+    ctx_.seed = 5;
+  }
+
+  Graph graph_;
+  Topology topology_;
+  std::vector<DcId> locations_;
+  std::vector<double> sizes_;
+  PartitionerContext ctx_;
+};
+
+TEST_F(BaselinesTest, AllPaperBaselinesProduceValidStates) {
+  for (auto& p : MakePaperBaselines()) {
+    SCOPED_TRACE(p->name());
+    PartitionOutput out = p->Run(ctx_);
+    EXPECT_TRUE(out.state.CheckInvariants());
+    EXPECT_GE(out.overhead_seconds, 0.0);
+    const PartitionReport report = MakeReport(out.state);
+    EXPECT_GE(report.replication_factor, 1.0);
+    EXPECT_LE(report.replication_factor, 8.0);
+  }
+}
+
+TEST_F(BaselinesTest, PaperBaselineNamesAndOrder) {
+  auto baselines = MakePaperBaselines();
+  ASSERT_EQ(baselines.size(), 6u);
+  EXPECT_EQ(baselines[0]->name(), "RandPG");
+  EXPECT_EQ(baselines[1]->name(), "Geo-Cut");
+  EXPECT_EQ(baselines[2]->name(), "HashPL");
+  EXPECT_EQ(baselines[3]->name(), "Ginger");
+  EXPECT_EQ(baselines[4]->name(), "Revolver");
+  EXPECT_EQ(baselines[5]->name(), "Spinner");
+}
+
+TEST_F(BaselinesTest, RandPgBalancesEdges) {
+  PartitionOutput out = MakeRandPg()->Run(ctx_);
+  const PartitionReport report = MakeReport(out.state);
+  // Uniform random placement: max/mean edge load close to 1.
+  EXPECT_LT(report.edge_balance, 1.2);
+}
+
+TEST_F(BaselinesTest, HashPlBalancesMasters) {
+  PartitionOutput out = MakeHashPl()->Run(ctx_);
+  const PartitionReport report = MakeReport(out.state);
+  EXPECT_LT(report.master_balance, 1.2);
+}
+
+TEST_F(BaselinesTest, HybridHashBeatsVertexCutRandomOnWan) {
+  // The Fig. 2 comparison: HashPL (hybrid) should use less WAN and have
+  // lower replication than RandPG (vertex-cut) on a skewed graph.
+  PartitionOutput rand_pg = MakeRandPg()->Run(ctx_);
+  PartitionOutput hash_pl = MakeHashPl()->Run(ctx_);
+  EXPECT_LT(hash_pl.state.ReplicationFactor(),
+            rand_pg.state.ReplicationFactor());
+  EXPECT_LT(hash_pl.state.WanBytesPerIteration(),
+            rand_pg.state.WanBytesPerIteration());
+}
+
+TEST_F(BaselinesTest, GingerImprovesOnHashPl) {
+  PartitionOutput hash_pl = MakeHashPl()->Run(ctx_);
+  PartitionOutput ginger = MakeGinger()->Run(ctx_);
+  // Greedy locality placement cuts replication vs pure hashing.
+  EXPECT_LT(ginger.state.ReplicationFactor(),
+            hash_pl.state.ReplicationFactor());
+}
+
+TEST_F(BaselinesTest, GeoCutRespectsBudgetWhenFeasible) {
+  PartitionerContext ctx = ctx_;
+  ctx.budget = 50.0;
+  PartitionOutput out = MakeGeoCut()->Run(ctx);
+  const Objective obj = out.state.CurrentObjective();
+  EXPECT_LE(obj.cost_dollars, ctx.budget * 1.01);
+}
+
+TEST_F(BaselinesTest, GeoCutBeatsRandomPlacementOnTransferTime) {
+  PartitionOutput rand_pg = MakeRandPg()->Run(ctx_);
+  PartitionOutput geo = MakeGeoCut()->Run(ctx_);
+  EXPECT_LT(geo.state.CurrentObjective().transfer_seconds,
+            rand_pg.state.CurrentObjective().transfer_seconds);
+}
+
+TEST_F(BaselinesTest, SpinnerImprovesLocalityOverHashInit) {
+  // Spinner's LP must reduce WAN traffic relative to the hash start it
+  // refines.
+  PartitionerContext ctx = ctx_;
+  PartitionOutput spinner = MakeSpinner()->Run(ctx);
+
+  // Rebuild the hash starting point for comparison (same seed).
+  PartitionConfig config;
+  config.model = ComputeModel::kEdgeCut;
+  config.theta = ctx.theta;
+  config.workload = ctx.workload;
+  PartitionState hash_state(ctx.graph, ctx.topology, ctx.locations,
+                            ctx.input_sizes, config);
+  std::vector<DcId> masters(graph_.num_vertices());
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    masters[v] = static_cast<DcId>(HashU64(v ^ ctx.seed) % 8);
+  }
+  hash_state.ResetDerived(masters);
+
+  EXPECT_LT(spinner.state.WanBytesPerIteration(),
+            hash_state.WanBytesPerIteration());
+}
+
+TEST_F(BaselinesTest, SpinnerKeepsRoughEdgeBalance) {
+  PartitionOutput out = MakeSpinner()->Run(ctx_);
+  const PartitionReport report = MakeReport(out.state);
+  SpinnerOptions defaults;
+  EXPECT_LT(report.edge_balance, defaults.balance_slack * 8.0);
+}
+
+TEST_F(BaselinesTest, SpinnerIncrementalRefinementOnlyTouchesNeighborhood) {
+  // Refining from a tiny seed set must not rewrite the whole layout.
+  PartitionConfig config;
+  config.model = ComputeModel::kEdgeCut;
+  config.workload = ctx_.workload;
+  PartitionState state(ctx_.graph, ctx_.topology, ctx_.locations,
+                       ctx_.input_sizes, config);
+  std::vector<DcId> masters(graph_.num_vertices());
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    masters[v] = static_cast<DcId>(HashU64(v) % 8);
+  }
+  state.ResetDerived(masters);
+  const std::vector<DcId> before = state.masters();
+
+  Rng rng(9);
+  SpinnerOptions opt;
+  opt.max_iterations = 2;
+  SpinnerCore core(opt);
+  core.Refine(&state, {0, 1, 2, 3}, &rng);
+
+  uint64_t moved = 0;
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    if (state.masters()[v] != before[v]) ++moved;
+  }
+  EXPECT_LT(moved, graph_.num_vertices() / 4);
+  EXPECT_TRUE(state.CheckInvariants());
+}
+
+TEST_F(BaselinesTest, RevolverProducesLocalityAboveRandom) {
+  PartitionOutput revolver = MakeRevolver()->Run(ctx_);
+  // Compare against a random edge-cut assignment via WAN usage.
+  PartitionConfig config;
+  config.model = ComputeModel::kEdgeCut;
+  config.workload = ctx_.workload;
+  PartitionState random_state(ctx_.graph, ctx_.topology, ctx_.locations,
+                              ctx_.input_sizes, config);
+  Rng rng(123);
+  std::vector<DcId> masters(graph_.num_vertices());
+  for (auto& m : masters) m = static_cast<DcId>(rng.UniformInt(8));
+  random_state.ResetDerived(masters);
+
+  EXPECT_LT(revolver.state.WanBytesPerIteration(),
+            random_state.WanBytesPerIteration());
+}
+
+TEST_F(BaselinesTest, FennelBalancesAndLocalizes) {
+  PartitionOutput fennel = MakeFennel()->Run(ctx_);
+  const PartitionReport report = MakeReport(fennel.state);
+  EXPECT_LT(report.master_balance, 2.0);
+  EXPECT_TRUE(fennel.state.CheckInvariants());
+}
+
+TEST_F(BaselinesTest, DeterministicGivenSeed) {
+  for (auto* factory : {+[] { return MakeHashPl(); }, +[] { return MakeGinger(); },
+                        +[] { return MakeRandPg(); }}) {
+    auto a = factory()->Run(ctx_);
+    auto b = factory()->Run(ctx_);
+    EXPECT_EQ(a.state.masters(), b.state.masters());
+  }
+}
+
+}  // namespace
+}  // namespace rlcut

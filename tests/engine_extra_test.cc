@@ -1,0 +1,191 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cloud/topology.h"
+#include "common/random.h"
+#include "engine/gas_engine.h"
+#include "engine/reference.h"
+#include "engine/vertex_program.h"
+#include "graph/generators.h"
+#include "graph/transform.h"
+
+namespace rlcut {
+namespace {
+
+// ---- Graph transforms -----------------------------------------------------
+
+TEST(TransformTest, SymmetrizeDoublesAndDedupes) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // reverse already present
+  b.AddEdge(2, 3);
+  Graph g = std::move(b).Build();
+  Graph sym = Symmetrize(g);
+  // {0<->1} dedupes to 2 directed edges, {2<->3} becomes 2.
+  EXPECT_EQ(sym.num_edges(), 4u);
+  EXPECT_EQ(sym.OutDegree(0), 1u);
+  EXPECT_EQ(sym.InDegree(0), 1u);
+  EXPECT_EQ(sym.OutDegree(3), 1u);
+}
+
+TEST(TransformTest, SymmetrizeDropsSelfLoops) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 0);
+  b.AddEdge(0, 1);
+  Graph sym = Symmetrize(std::move(b).Build());
+  EXPECT_EQ(sym.num_edges(), 2u);  // 0->1 and 1->0
+}
+
+TEST(TransformTest, TransposeReversesEdges) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph t = Transpose(std::move(b).Build());
+  EXPECT_EQ(t.OutDegree(1), 1u);
+  EXPECT_EQ(t.OutNeighbors(1)[0], 0u);
+  EXPECT_EQ(t.OutNeighbors(2)[0], 1u);
+}
+
+TEST(TransformTest, EdgePrefixSubgraph) {
+  Graph g = GenerateRing(8, 1);
+  Graph prefix = EdgePrefixSubgraph(g, 3);
+  EXPECT_EQ(prefix.num_vertices(), 8u);
+  EXPECT_EQ(prefix.num_edges(), 3u);
+}
+
+// ---- CC and weighted SSSP end to end ---------------------------------------
+
+struct ExtraEngineFixture {
+  explicit ExtraEngineFixture(Graph graph_in)
+      : graph(std::move(graph_in)),
+        topology(MakeEc2Topology(4, Heterogeneity::kMedium)) {
+    locations.assign(graph.num_vertices(), 0);
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      locations[v] = static_cast<DcId>(v % 4);
+    }
+    sizes.assign(graph.num_vertices(), 1e6);
+  }
+
+  PartitionState ScatteredState(const Workload& workload) {
+    PartitionConfig config;
+    config.model = ComputeModel::kHybridCut;
+    config.theta = 16;
+    config.workload = workload;
+    PartitionState state(&graph, &topology, &locations, &sizes, config);
+    std::vector<DcId> masters(graph.num_vertices());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      masters[v] = static_cast<DcId>(HashU64(v) % 4);
+    }
+    state.ResetDerived(masters);
+    return state;
+  }
+
+  Graph graph;
+  Topology topology;
+  std::vector<DcId> locations;
+  std::vector<double> sizes;
+};
+
+TEST(ConnectedComponentsTest, MatchesUnionFindOnFragmentedGraph) {
+  // Several disjoint rings plus isolated vertices.
+  GraphBuilder b(32);
+  for (VertexId v = 0; v < 8; ++v) b.AddEdge(v, (v + 1) % 8);
+  for (VertexId v = 10; v < 14; ++v) b.AddEdge(v, v + 1);
+  b.AddEdge(20, 21);
+  Graph directed = std::move(b).Build();
+  Graph sym = Symmetrize(directed);
+  const std::vector<double> expected = ReferenceConnectedComponents(sym);
+
+  ExtraEngineFixture fix(std::move(sym));
+  auto program = MakeConnectedComponents();
+  PartitionState state = fix.ScatteredState(program->TrafficModel());
+  GasEngine engine(&state);
+  const RunResult result = engine.Run(program.get());
+  for (VertexId v = 0; v < fix.graph.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(result.values[v], expected[v]) << "vertex " << v;
+  }
+}
+
+TEST(ConnectedComponentsTest, SingleComponentOnConnectedGraph) {
+  Graph sym = Symmetrize(GenerateRing(64, 1));
+  ExtraEngineFixture fix(std::move(sym));
+  auto program = MakeConnectedComponents();
+  PartitionState state = fix.ScatteredState(program->TrafficModel());
+  GasEngine engine(&state);
+  const RunResult result = engine.Run(program.get());
+  for (double label : result.values) EXPECT_DOUBLE_EQ(label, 0.0);
+}
+
+TEST(ConnectedComponentsTest, CountsComponentsOnRandomGraph) {
+  PowerLawOptions opt;
+  opt.num_vertices = 512;
+  opt.num_edges = 1024;  // sparse: many components
+  Graph sym = Symmetrize(GeneratePowerLaw(opt));
+  const std::vector<double> expected = ReferenceConnectedComponents(sym);
+  std::set<double> expected_components(expected.begin(), expected.end());
+
+  ExtraEngineFixture fix(std::move(sym));
+  auto program = MakeConnectedComponents();
+  PartitionState state = fix.ScatteredState(program->TrafficModel());
+  GasEngine engine(&state);
+  const RunResult result = engine.Run(program.get());
+  std::set<double> got_components(result.values.begin(),
+                                  result.values.end());
+  EXPECT_EQ(got_components, expected_components);
+  EXPECT_GT(got_components.size(), 1u);
+}
+
+TEST(WeightedSsspTest, MatchesDijkstra) {
+  PowerLawOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 2048;
+  Graph g = GeneratePowerLaw(opt);
+  const VertexId source = 5;
+  const uint32_t max_weight = 8;
+  const std::vector<double> expected =
+      ReferenceWeightedSssp(g, source, max_weight);
+
+  ExtraEngineFixture fix(std::move(g));
+  auto program = MakeWeightedSssp(source, max_weight);
+  PartitionState state = fix.ScatteredState(program->TrafficModel());
+  GasEngine engine(&state);
+  const RunResult result = engine.Run(program.get());
+  for (VertexId v = 0; v < fix.graph.num_vertices(); ++v) {
+    if (std::isinf(expected[v])) {
+      EXPECT_TRUE(std::isinf(result.values[v])) << "vertex " << v;
+    } else {
+      EXPECT_DOUBLE_EQ(result.values[v], expected[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(WeightedSsspTest, WeightsDeterministicAndBounded) {
+  for (uint32_t max_weight : {1u, 4u, 16u}) {
+    for (VertexId u = 0; u < 20; ++u) {
+      for (VertexId v = 0; v < 20; ++v) {
+        const double w = WeightedSsspEdgeWeight(u, v, max_weight);
+        EXPECT_EQ(w, WeightedSsspEdgeWeight(u, v, max_weight));
+        EXPECT_GE(w, 1.0);
+        EXPECT_LE(w, static_cast<double>(max_weight));
+      }
+    }
+  }
+}
+
+TEST(WeightedSsspTest, UnitWeightReducesToBfs) {
+  Graph g = GenerateRing(16, 1);
+  const std::vector<double> bfs = ReferenceSssp(g, 0);
+  ExtraEngineFixture fix(std::move(g));
+  auto program = MakeWeightedSssp(0, /*max_weight=*/1);
+  PartitionState state = fix.ScatteredState(program->TrafficModel());
+  GasEngine engine(&state);
+  const RunResult result = engine.Run(program.get());
+  for (VertexId v = 0; v < 16; ++v) {
+    EXPECT_DOUBLE_EQ(result.values[v], bfs[v]);
+  }
+}
+
+}  // namespace
+}  // namespace rlcut

@@ -1,0 +1,154 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace rlcut {
+namespace {
+
+TEST(RmatTest, ProducesRequestedSize) {
+  RmatOptions opt;
+  opt.num_vertices = 1000;  // rounded up to 1024
+  opt.num_edges = 5000;
+  Graph g = GenerateRmat(opt);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_EQ(g.num_edges(), 5000u);
+}
+
+TEST(RmatTest, DeterministicBySeed) {
+  RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 2000;
+  opt.seed = 5;
+  Graph a = GenerateRmat(opt);
+  Graph b = GenerateRmat(opt);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.GetEdge(e), b.GetEdge(e));
+  }
+}
+
+TEST(RmatTest, SeedChangesOutput) {
+  RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 2000;
+  opt.seed = 5;
+  Graph a = GenerateRmat(opt);
+  opt.seed = 6;
+  Graph b = GenerateRmat(opt);
+  int diff = 0;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    if (!(a.GetEdge(e) == b.GetEdge(e))) ++diff;
+  }
+  EXPECT_GT(diff, 100);
+}
+
+TEST(RmatTest, SkewedDegrees) {
+  RmatOptions opt;
+  opt.num_vertices = 4096;
+  opt.num_edges = 1 << 16;
+  Graph g = GenerateRmat(opt);
+  const double avg_in =
+      static_cast<double>(g.num_edges()) / g.num_vertices();
+  // A hub should exist with in-degree far above the mean.
+  EXPECT_GT(g.MaxInDegree(), 10 * avg_in);
+}
+
+TEST(PowerLawTest, SkewedInDegreesNearUniformOutDegrees) {
+  PowerLawOptions opt;
+  opt.num_vertices = 4096;
+  opt.num_edges = 1 << 16;
+  opt.exponent = 2.0;
+  Graph g = GeneratePowerLaw(opt);
+  EXPECT_EQ(g.num_edges(), opt.num_edges);
+  const double avg = static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(g.MaxInDegree(), 20 * avg);
+  uint32_t max_out = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_out = std::max(max_out, g.OutDegree(v));
+  }
+  // Uniform out-degree: max ~ avg + O(sqrt), certainly below 5x mean of
+  // a same-|E| Zipf in-degree hub.
+  EXPECT_LT(max_out, g.MaxInDegree() / 2);
+}
+
+TEST(PowerLawTest, HigherExponentLessSkew) {
+  PowerLawOptions opt;
+  opt.num_vertices = 4096;
+  opt.num_edges = 1 << 16;
+  opt.exponent = 1.6;
+  const uint32_t heavy = GeneratePowerLaw(opt).MaxInDegree();
+  opt.exponent = 3.0;
+  const uint32_t light = GeneratePowerLaw(opt).MaxInDegree();
+  EXPECT_GT(heavy, light);
+}
+
+TEST(ErdosRenyiTest, NoSkew) {
+  Graph g = GenerateErdosRenyi(4096, 1 << 16, 3);
+  const double avg = static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_LT(g.MaxInDegree(), 5 * avg);
+}
+
+TEST(GeneratorEdgeVariants, MatchGraphVariants) {
+  RmatOptions opt;
+  opt.num_vertices = 128;
+  opt.num_edges = 512;
+  const std::vector<Edge> edges = GenerateRmatEdges(opt);
+  EXPECT_EQ(edges.size(), 512u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.src, 128u);
+    EXPECT_LT(e.dst, 128u);
+  }
+}
+
+// ---- Dataset presets ------------------------------------------------------
+
+TEST(DatasetTest, AllFivePresets) {
+  EXPECT_EQ(AllDatasets().size(), 5u);
+}
+
+TEST(DatasetTest, NamesMatchPaperNotation) {
+  EXPECT_EQ(DatasetName(Dataset::kLiveJournal), "LJ");
+  EXPECT_EQ(DatasetName(Dataset::kOrkut), "OT");
+  EXPECT_EQ(DatasetName(Dataset::kUk2005), "UK");
+  EXPECT_EQ(DatasetName(Dataset::kIt2004), "IT");
+  EXPECT_EQ(DatasetName(Dataset::kTwitter), "TW");
+}
+
+TEST(DatasetTest, ParseAcceptsShortAndLongNames) {
+  EXPECT_EQ(ParseDataset("tw").value(), Dataset::kTwitter);
+  EXPECT_EQ(ParseDataset("Twitter").value(), Dataset::kTwitter);
+  EXPECT_EQ(ParseDataset("uk-2005").value(), Dataset::kUk2005);
+  EXPECT_FALSE(ParseDataset("facebook").ok());
+}
+
+TEST(DatasetTest, ShapesMatchTableII) {
+  const DatasetShape lj = GetDatasetShape(Dataset::kLiveJournal);
+  EXPECT_EQ(lj.num_vertices, 4847571u);
+  EXPECT_EQ(lj.num_edges, 68993773u);
+  const DatasetShape tw = GetDatasetShape(Dataset::kTwitter);
+  EXPECT_EQ(tw.num_edges, 1468365182u);
+}
+
+TEST(DatasetTest, ScaledSizePreservesRatio) {
+  const uint64_t scale = 2000;
+  Graph g = LoadDataset(Dataset::kOrkut, scale);
+  const DatasetShape shape = GetDatasetShape(Dataset::kOrkut);
+  EXPECT_EQ(g.num_edges(), shape.num_edges / scale);
+  // Vertex count within 2x of target (R-MAT rounds to powers of two).
+  const double target = static_cast<double>(shape.num_vertices) / scale;
+  EXPECT_GE(g.num_vertices(), target / 2);
+  EXPECT_LE(g.num_vertices(), target * 2.5);
+}
+
+TEST(DatasetTest, TwitterPresetMostSkewed) {
+  Graph tw = LoadDataset(Dataset::kTwitter, 4000);
+  const double avg =
+      static_cast<double>(tw.num_edges()) / tw.num_vertices();
+  EXPECT_GT(tw.MaxInDegree(), 20 * avg);
+}
+
+}  // namespace
+}  // namespace rlcut

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/geo.h"
+
+namespace rlcut {
+namespace {
+
+Graph TestGraph() {
+  PowerLawOptions opt;
+  opt.num_vertices = 2048;
+  opt.num_edges = 16384;
+  return GeneratePowerLaw(opt);
+}
+
+TEST(GeoLocatorTest, LocationsInRange) {
+  Graph g = TestGraph();
+  GeoLocatorOptions opt;
+  opt.num_dcs = 8;
+  std::vector<DcId> loc = AssignGeoLocations(g, opt);
+  ASSERT_EQ(loc.size(), g.num_vertices());
+  for (DcId r : loc) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 8);
+  }
+}
+
+TEST(GeoLocatorTest, PopularitySkewRespected) {
+  Graph g = TestGraph();
+  GeoLocatorOptions opt;
+  opt.num_dcs = 2;
+  opt.region_popularity = {0.9, 0.1};
+  opt.homophily = 0;
+  std::vector<DcId> loc = AssignGeoLocations(g, opt);
+  int in_zero = 0;
+  for (DcId r : loc) in_zero += (r == 0);
+  EXPECT_NEAR(in_zero / static_cast<double>(loc.size()), 0.9, 0.05);
+}
+
+TEST(GeoLocatorTest, HomophilyReducesInterDcEdges) {
+  Graph g = TestGraph();
+  GeoLocatorOptions opt;
+  opt.num_dcs = 8;
+  opt.homophily = 0;
+  const double frac_no =
+      ComputeGeoEdgeStats(g, AssignGeoLocations(g, opt), 8)
+          .InterDcFraction();
+  opt.homophily = 0.8;
+  const double frac_high =
+      ComputeGeoEdgeStats(g, AssignGeoLocations(g, opt), 8)
+          .InterDcFraction();
+  EXPECT_LT(frac_high, frac_no);
+}
+
+TEST(GeoLocatorTest, DefaultProfileMatchesPaperObservation) {
+  // Fig. 1: with realistic homophily, still >75% of edges are inter-DC.
+  Graph g = TestGraph();
+  GeoLocatorOptions opt;  // defaults: 8 DCs, homophily 0.3
+  const GeoEdgeStats stats =
+      ComputeGeoEdgeStats(g, AssignGeoLocations(g, opt), opt.num_dcs);
+  EXPECT_GT(stats.InterDcFraction(), 0.70);
+  EXPECT_LT(stats.InterDcFraction(), 0.95);
+}
+
+TEST(GeoEdgeStatsTest, CountsAreConsistent) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  Graph g = std::move(b).Build();
+  std::vector<DcId> loc = {0, 0, 1, 1};
+  const GeoEdgeStats stats = ComputeGeoEdgeStats(g, loc, 2);
+  EXPECT_EQ(stats.intra_dc_edges, 2u);  // 0->1 and 2->3
+  EXPECT_EQ(stats.inter_dc_edges, 1u);  // 1->2
+  EXPECT_EQ(stats.counts[0][0], 1u);
+  EXPECT_EQ(stats.counts[0][1], 1u);
+  EXPECT_EQ(stats.counts[1][1], 1u);
+  EXPECT_DOUBLE_EQ(stats.InterDcFraction(), 1.0 / 3.0);
+}
+
+TEST(InputSizesTest, GrowWithDegree) {
+  Graph g = TestGraph();
+  std::vector<double> sizes = AssignInputSizes(g, 64, 16);
+  ASSERT_EQ(sizes.size(), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(sizes[v], 64.0 + 16.0 * g.Degree(v));
+  }
+}
+
+TEST(GeoLocatorTest, DeterministicBySeed) {
+  Graph g = TestGraph();
+  GeoLocatorOptions opt;
+  EXPECT_EQ(AssignGeoLocations(g, opt), AssignGeoLocations(g, opt));
+  opt.seed = 99;
+  EXPECT_NE(AssignGeoLocations(g, GeoLocatorOptions{}),
+            AssignGeoLocations(g, opt));
+}
+
+}  // namespace
+}  // namespace rlcut

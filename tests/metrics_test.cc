@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "cloud/topology.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "partition/metrics.h"
+
+namespace rlcut {
+namespace {
+
+TEST(MetricsTest, ReportMatchesStateAccessors) {
+  PowerLawOptions opt;
+  opt.num_vertices = 512;
+  opt.num_edges = 4096;
+  Graph g = GeneratePowerLaw(opt);
+  Topology topo = MakeEc2Topology(8, Heterogeneity::kMedium);
+  Rng rng(1);
+  std::vector<DcId> locations(g.num_vertices());
+  for (auto& l : locations) l = static_cast<DcId>(rng.UniformInt(8));
+  std::vector<double> sizes(g.num_vertices(), 1e6);
+
+  PartitionConfig config;
+  config.model = ComputeModel::kHybridCut;
+  config.theta = PartitionState::AutoTheta(g);
+  PartitionState state(&g, &topo, &locations, &sizes, config);
+  state.ResetDerived(locations);
+
+  const PartitionReport report = MakeReport(state);
+  const Objective obj = state.CurrentObjective();
+  EXPECT_DOUBLE_EQ(report.transfer_seconds, obj.transfer_seconds);
+  EXPECT_DOUBLE_EQ(report.total_cost, obj.cost_dollars);
+  EXPECT_DOUBLE_EQ(report.move_cost, state.MoveCost());
+  EXPECT_DOUBLE_EQ(report.replication_factor, state.ReplicationFactor());
+  EXPECT_GE(report.master_balance, 1.0);
+  EXPECT_GE(report.edge_balance, 1.0);
+  EXPECT_EQ(report.num_high_degree, state.NumHighDegree());
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(MetricsTest, PerfectBalanceIsOne) {
+  // Ring split evenly across 2 DCs by parity has perfectly balanced
+  // masters.
+  Graph g = GenerateRing(16, 1);
+  Topology topo = MakeUniformTopology(2);
+  std::vector<DcId> locations(16, 0);
+  std::vector<double> sizes(16, 1e6);
+  PartitionConfig config;
+  config.model = ComputeModel::kEdgeCut;
+  PartitionState state(&g, &topo, &locations, &sizes, config);
+  std::vector<DcId> masters(16);
+  for (VertexId v = 0; v < 16; ++v) masters[v] = v % 2;
+  state.ResetDerived(masters);
+  const PartitionReport report = MakeReport(state);
+  EXPECT_DOUBLE_EQ(report.master_balance, 1.0);
+}
+
+}  // namespace
+}  // namespace rlcut

@@ -1,0 +1,130 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "cloud/topology.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "partition/plan_io.h"
+
+namespace rlcut {
+namespace {
+
+class PlanIoTest : public ::testing::Test {
+ protected:
+  PlanIoTest() : topology_(MakeEc2Topology(4, Heterogeneity::kMedium)) {
+    PowerLawOptions opt;
+    opt.num_vertices = 256;
+    opt.num_edges = 2048;
+    graph_ = GeneratePowerLaw(opt);
+    locations_.assign(graph_.num_vertices(), 0);
+    Rng rng(3);
+    for (auto& l : locations_) l = static_cast<DcId>(rng.UniformInt(4));
+    sizes_.assign(graph_.num_vertices(), 1e6);
+  }
+
+  PartitionState MakeState(ComputeModel model) {
+    PartitionConfig config;
+    config.model = model;
+    config.theta = 8;
+    PartitionState state(&graph_, &topology_, &locations_, &sizes_, config);
+    return state;
+  }
+
+  std::string TempPath(const std::string& name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+
+  Graph graph_;
+  Topology topology_;
+  std::vector<DcId> locations_;
+  std::vector<double> sizes_;
+};
+
+TEST_F(PlanIoTest, DerivedPlanRoundTripsThroughDisk) {
+  PartitionState state = MakeState(ComputeModel::kHybridCut);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    state.MoveMaster(static_cast<VertexId>(rng.UniformInt(256)),
+                     static_cast<DcId>(rng.UniformInt(4)));
+  }
+  const Objective before = state.CurrentObjective();
+  const PartitionPlan plan = ExtractPlan(state);
+  EXPECT_TRUE(plan.edge_dcs.empty());
+
+  const std::string path = TempPath("rlcut_plan_derived.txt");
+  ASSERT_TRUE(SavePlan(plan, path).ok());
+  Result<PartitionPlan> loaded = LoadPlan(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  PartitionState restored = MakeState(ComputeModel::kHybridCut);
+  ASSERT_TRUE(ApplyPlan(*loaded, &restored).ok());
+  const Objective after = restored.CurrentObjective();
+  EXPECT_DOUBLE_EQ(before.transfer_seconds, after.transfer_seconds);
+  EXPECT_DOUBLE_EQ(before.cost_dollars, after.cost_dollars);
+  EXPECT_EQ(state.masters(), restored.masters());
+  std::remove(path.c_str());
+}
+
+TEST_F(PlanIoTest, ExplicitPlanRoundTripsThroughDisk) {
+  PartitionState state = MakeState(ComputeModel::kVertexCut);
+  state.ResetUnplaced(locations_);
+  Rng rng(11);
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    state.PlaceEdge(e, static_cast<DcId>(rng.UniformInt(4)));
+  }
+  const PartitionPlan plan = ExtractPlan(state);
+  EXPECT_EQ(plan.edge_dcs.size(), graph_.num_edges());
+
+  const std::string path = TempPath("rlcut_plan_explicit.txt");
+  ASSERT_TRUE(SavePlan(plan, path).ok());
+  Result<PartitionPlan> loaded = LoadPlan(path);
+  ASSERT_TRUE(loaded.ok());
+
+  PartitionState restored = MakeState(ComputeModel::kVertexCut);
+  ASSERT_TRUE(ApplyPlan(*loaded, &restored).ok());
+  EXPECT_DOUBLE_EQ(state.CurrentObjective().transfer_seconds,
+                   restored.CurrentObjective().transfer_seconds);
+  EXPECT_TRUE(restored.CheckInvariants());
+  std::remove(path.c_str());
+}
+
+TEST_F(PlanIoTest, ApplyRejectsModelMismatch) {
+  PartitionState hybrid = MakeState(ComputeModel::kHybridCut);
+  PartitionPlan plan = ExtractPlan(hybrid);
+  PartitionState edge_cut = MakeState(ComputeModel::kEdgeCut);
+  EXPECT_EQ(ApplyPlan(plan, &edge_cut).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PlanIoTest, ApplyRejectsWrongVertexCount) {
+  PartitionState state = MakeState(ComputeModel::kHybridCut);
+  PartitionPlan plan = ExtractPlan(state);
+  plan.masters.pop_back();
+  EXPECT_EQ(ApplyPlan(plan, &state).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PlanIoTest, ApplyRejectsUnknownDc) {
+  PartitionState state = MakeState(ComputeModel::kHybridCut);
+  PartitionPlan plan = ExtractPlan(state);
+  plan.masters[0] = 99;
+  EXPECT_EQ(ApplyPlan(plan, &state).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(PlanIoTest, LoadRejectsGarbage) {
+  const std::string path = TempPath("rlcut_plan_bad.txt");
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("not a plan\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadPlan(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadPlan("/nonexistent/plan").ok());
+}
+
+}  // namespace
+}  // namespace rlcut

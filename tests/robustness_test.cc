@@ -1,0 +1,295 @@
+// Edge-case and robustness tests across modules: degenerate graphs,
+// boundary DC counts, degenerate workloads, logging levels.
+
+#include <gtest/gtest.h>
+
+#include "cloud/topology.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "engine/gas_engine.h"
+#include "engine/vertex_program.h"
+#include "graph/generators.h"
+#include "partition/partition_state.h"
+#include "graph/io.h"
+#include "rlcut/trainer.h"
+
+namespace rlcut {
+namespace {
+
+// ---- Degenerate graphs ------------------------------------------------------
+
+TEST(RobustnessTest, EdgelessGraphPartitionState) {
+  GraphBuilder b(16);
+  Graph g = std::move(b).Build();
+  Topology topo = MakeUniformTopology(4);
+  std::vector<DcId> locations(16, 1);
+  std::vector<double> sizes(16, 1e6);
+  PartitionConfig config;
+  PartitionState state(&g, &topo, &locations, &sizes, config);
+  state.ResetDerived(locations);
+  EXPECT_DOUBLE_EQ(state.TransferSecondsPerIteration(), 0.0);
+  EXPECT_DOUBLE_EQ(state.ReplicationFactor(), 1.0);
+  state.MoveMaster(0, 3);
+  EXPECT_GT(state.MoveCost(), 0.0);  // data moved, no traffic
+  EXPECT_DOUBLE_EQ(state.TransferSecondsPerIteration(), 0.0);
+  EXPECT_TRUE(state.CheckInvariants());
+}
+
+TEST(RobustnessTest, SingleVertexGraphEngine) {
+  GraphBuilder b(1);
+  Graph g = std::move(b).Build();
+  Topology topo = MakeUniformTopology(2);
+  std::vector<DcId> locations(1, 0);
+  std::vector<double> sizes(1, 1e6);
+  PartitionConfig config;
+  PartitionState state(&g, &topo, &locations, &sizes, config);
+  state.ResetDerived(locations);
+  auto program = MakePageRank(3);
+  GasEngine engine(&state);
+  const RunResult result = engine.Run(program.get());
+  ASSERT_EQ(result.values.size(), 1u);
+  // Dangling-mass-dropping PageRank: no in-edges, so the rank settles
+  // at the teleport term (1-d)/N = 0.15.
+  EXPECT_NEAR(result.values[0], 0.15, 1e-9);
+  EXPECT_DOUBLE_EQ(result.total_wan_bytes, 0.0);
+}
+
+TEST(RobustnessTest, TrainerOnSingleDcIsNoOp) {
+  Graph g = GenerateRing(32, 1);
+  Topology topo = MakeUniformTopology(1);
+  std::vector<DcId> locations(32, 0);
+  std::vector<double> sizes(32, 1e6);
+  PartitionConfig config;
+  PartitionState state(&g, &topo, &locations, &sizes, config);
+  state.ResetDerived(locations);
+  RLCutOptions opt;
+  opt.max_steps = 3;
+  RLCutTrainer trainer(opt);
+  const TrainResult result = trainer.Train(&state);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.steps.empty());
+}
+
+TEST(RobustnessTest, StarGraphHubMoves) {
+  // Star: hub 0 receives from all leaves; the hub is high-degree.
+  const VertexId n = 64;
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.AddEdge(v, 0);
+  Graph g = std::move(b).Build();
+  Topology topo = MakeEc2Topology(4, Heterogeneity::kMedium);
+  std::vector<DcId> locations(n);
+  for (VertexId v = 0; v < n; ++v) locations[v] = static_cast<DcId>(v % 4);
+  std::vector<double> sizes(n, 1e6);
+  PartitionConfig config;
+  config.theta = 4;
+  PartitionState state(&g, &topo, &locations, &sizes, config);
+  state.ResetDerived(locations);
+  EXPECT_TRUE(state.is_high_degree(0));
+  // Moving the hub around must keep invariants; each in-edge stays with
+  // its source master (high-cut).
+  for (DcId r = 0; r < 4; ++r) {
+    state.MoveMaster(0, r);
+    EXPECT_TRUE(state.CheckInvariants());
+  }
+}
+
+// ---- DC-count boundaries ---------------------------------------------------
+
+TEST(RobustnessTest, SixtyFourDataCenters) {
+  // kMaxDataCenters boundary: bitmask arithmetic at bit 63.
+  std::vector<DataCenter> dcs;
+  for (int i = 0; i < 64; ++i) {
+    dcs.push_back({"dc" + std::to_string(i), 1.0, 2.0, 0.1});
+  }
+  Topology topo(std::move(dcs));
+  ASSERT_TRUE(topo.Validate().ok());
+
+  Graph g = GenerateRing(128, 2);
+  std::vector<DcId> locations(128);
+  Rng rng(3);
+  for (auto& l : locations) l = static_cast<DcId>(rng.UniformInt(64));
+  std::vector<double> sizes(128, 1e6);
+  PartitionConfig config;
+  PartitionState state(&g, &topo, &locations, &sizes, config);
+  state.ResetDerived(locations);
+  for (int i = 0; i < 200; ++i) {
+    state.MoveMaster(static_cast<VertexId>(rng.UniformInt(128)),
+                     static_cast<DcId>(rng.UniformInt(64)));
+  }
+  EXPECT_TRUE(state.CheckInvariants());
+  // Vertex 0's replicas can include DC 63.
+  state.MoveMaster(0, 63);
+  EXPECT_TRUE((state.ReplicaMask(0) >> 63) & 1);
+}
+
+TEST(RobustnessTest, TopologyRejectsTooManyDcs) {
+  std::vector<DataCenter> dcs;
+  for (int i = 0; i < 65; ++i) {
+    dcs.push_back({"dc", 1.0, 2.0, 0.1});
+  }
+  EXPECT_FALSE(Topology(std::move(dcs)).Validate().ok());
+}
+
+// ---- Workload degeneracies ----------------------------------------------
+
+TEST(RobustnessTest, ZeroIterationWorkloadHasZeroObjective) {
+  Workload w;
+  w.name = "empty";
+  w.activity.clear();
+  EXPECT_DOUBLE_EQ(w.TotalActivity(), 0.0);
+
+  Graph g = GenerateRing(16, 1);
+  Topology topo = MakeUniformTopology(2);
+  std::vector<DcId> locations(16);
+  for (VertexId v = 0; v < 16; ++v) locations[v] = v % 2;
+  std::vector<double> sizes(16, 1e6);
+  PartitionConfig config;
+  config.workload = w;
+  PartitionState state(&g, &topo, &locations, &sizes, config);
+  state.ResetDerived(locations);
+  const Objective obj = state.CurrentObjective();
+  EXPECT_DOUBLE_EQ(obj.transfer_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(obj.cost_dollars, state.MoveCost());
+}
+
+// ---- Logging ---------------------------------------------------------------
+
+TEST(RobustnessTest, LogLevelFiltering) {
+  const LogLevel old_level = internal_logging::GetMinLogLevel();
+  internal_logging::SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(internal_logging::GetMinLogLevel(), LogLevel::kError);
+  // These must be no-ops (nothing observable to assert beyond absence
+  // of a crash, but the calls exercise the discard path).
+  RLCUT_LOG(kDebug) << "suppressed";
+  RLCUT_LOG(kInfo) << "suppressed";
+  internal_logging::SetMinLogLevel(old_level);
+}
+
+TEST(RobustnessTest, CheckMacroPassesOnTrue) {
+  RLCUT_CHECK(1 + 1 == 2) << "never printed";
+  RLCUT_CHECK_LE(1, 1);
+  RLCUT_CHECK_NE(1, 2);
+  SUCCEED();
+}
+
+TEST(RobustnessDeathTest, CheckMacroAbortsOnFalse) {
+  EXPECT_DEATH(RLCUT_CHECK(false) << "boom", "CHECK failed");
+  EXPECT_DEATH(RLCUT_CHECK_EQ(1, 2), "CHECK failed");
+}
+
+// ---- Trainer resilience ------------------------------------------------------
+
+TEST(RobustnessTest, TrainerHandlesDisconnectedGraph) {
+  GraphBuilder b(64);
+  for (VertexId v = 0; v < 16; ++v) b.AddEdge(v, (v + 1) % 16);
+  Graph g = std::move(b).Build();  // 48 isolated vertices
+  Topology topo = MakeEc2Topology(4, Heterogeneity::kMedium);
+  std::vector<DcId> locations(64);
+  Rng rng(5);
+  for (auto& l : locations) l = static_cast<DcId>(rng.UniformInt(4));
+  std::vector<double> sizes(64, 1e6);
+  PartitionConfig config;
+  PartitionState state(&g, &topo, &locations, &sizes, config);
+  state.ResetDerived(locations);
+  RLCutOptions opt;
+  opt.max_steps = 3;
+  opt.batch_size = 8;
+  RLCutTrainer trainer(opt);
+  trainer.Train(&state);
+  EXPECT_TRUE(state.CheckInvariants());
+}
+
+TEST(RobustnessTest, TrainerEligibleLargerThanGraphClamped) {
+  Graph g = GenerateRing(16, 1);
+  Topology topo = MakeUniformTopology(2);
+  std::vector<DcId> locations(16, 0);
+  std::vector<double> sizes(16, 1e6);
+  PartitionConfig config;
+  PartitionState state(&g, &topo, &locations, &sizes, config);
+  state.ResetDerived(locations);
+  // Duplicate eligible entries: the trainer must tolerate them.
+  std::vector<VertexId> eligible;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (VertexId v = 0; v < 16; ++v) eligible.push_back(v);
+  }
+  RLCutOptions opt;
+  opt.max_steps = 2;
+  RLCutTrainer trainer(opt);
+  trainer.Train(&state, eligible);
+  EXPECT_TRUE(state.CheckInvariants());
+}
+
+TEST(RobustnessTest, AutoThetaFullFractionSelectsEverything) {
+  Graph g = GenerateRing(32, 2);
+  const uint32_t theta = PartitionState::AutoTheta(g, 1.0);
+  // Every vertex has in-degree 2; theta must still be a valid threshold.
+  EXPECT_GE(theta, 2u);
+}
+
+TEST(RobustnessTest, SaveEdgeListToUnwritablePathFails) {
+  Graph g = GenerateRing(4, 1);
+  const Status s = SaveEdgeListFile(g, "/nonexistent-dir/out.el");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(RobustnessTest, WorkloadActivityScalingIsLinear) {
+  Graph g = GenerateRing(16, 1);
+  Topology topo = MakeUniformTopology(2);
+  std::vector<DcId> locations(16);
+  for (VertexId v = 0; v < 16; ++v) locations[v] = v % 2;
+  std::vector<double> sizes(16, 1e6);
+
+  PartitionConfig five;
+  five.workload = Workload::PageRank(5);
+  PartitionState s5(&g, &topo, &locations, &sizes, five);
+  s5.ResetDerived(locations);
+
+  PartitionConfig ten;
+  ten.workload = Workload::PageRank(10);
+  PartitionState s10(&g, &topo, &locations, &sizes, ten);
+  s10.ResetDerived(locations);
+
+  EXPECT_NEAR(s10.CurrentObjective().transfer_seconds,
+              2 * s5.CurrentObjective().transfer_seconds, 1e-15);
+}
+
+TEST(RobustnessTest, HeterogeneityLevelsPreservePrices) {
+  // Fig. 3 varies only bandwidths; prices must be identical across
+  // profiles.
+  Topology medium = MakeEc2Topology(Heterogeneity::kMedium);
+  for (Heterogeneity level : {Heterogeneity::kLow, Heterogeneity::kHigh}) {
+    Topology topo = MakeEc2Topology(level);
+    for (int r = 0; r < topo.num_dcs(); ++r) {
+      EXPECT_DOUBLE_EQ(topo.Price(r), medium.Price(r));
+    }
+  }
+}
+
+TEST(RobustnessTest, ResetIsRepeatable) {
+  // Re-initializing a state must fully clear previous aggregates.
+  PowerLawOptions opt;
+  opt.num_vertices = 128;
+  opt.num_edges = 1024;
+  Graph g = GeneratePowerLaw(opt);
+  Topology topo = MakeEc2Topology(4, Heterogeneity::kMedium);
+  std::vector<DcId> locations(128);
+  Rng rng(9);
+  for (auto& l : locations) l = static_cast<DcId>(rng.UniformInt(4));
+  std::vector<double> sizes(128, 1e6);
+  PartitionConfig config;
+  PartitionState state(&g, &topo, &locations, &sizes, config);
+  state.ResetDerived(locations);
+  const Objective first = state.CurrentObjective();
+  for (int i = 0; i < 50; ++i) {
+    state.MoveMaster(static_cast<VertexId>(rng.UniformInt(128)),
+                     static_cast<DcId>(rng.UniformInt(4)));
+  }
+  state.ResetDerived(locations);
+  const Objective second = state.CurrentObjective();
+  EXPECT_DOUBLE_EQ(first.transfer_seconds, second.transfer_seconds);
+  EXPECT_DOUBLE_EQ(first.cost_dollars, second.cost_dollars);
+  EXPECT_TRUE(state.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace rlcut

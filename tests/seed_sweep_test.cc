@@ -1,0 +1,74 @@
+// Seed-parameterized property sweep over the core evaluator: for each
+// seed, a fresh graph, topology subset, location assignment and op
+// sequence — so every instantiation explores a different region of the
+// state space. The invariants checked are the ones every other module
+// depends on: incremental bookkeeping == from-scratch rebuild, and
+// what-if == apply-and-measure.
+
+#include <gtest/gtest.h>
+
+#include "cloud/topology.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/geo.h"
+#include "partition/partition_state.h"
+
+namespace rlcut {
+namespace {
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweepTest, MixedOpsPreserveEvaluatorInvariants) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  // Randomized instance shape.
+  const int num_dcs = 2 + static_cast<int>(rng.UniformInt(7));  // 2..8
+  const VertexId n = 128 + static_cast<VertexId>(rng.UniformInt(256));
+  PowerLawOptions opt;
+  opt.num_vertices = n;
+  opt.num_edges = n * (4 + rng.UniformInt(8));
+  opt.exponent = 1.6 + rng.UniformDouble();
+  opt.seed = seed;
+  Graph graph = GeneratePowerLaw(opt);
+  Topology topology = MakeEc2Topology(num_dcs, Heterogeneity::kMedium);
+
+  std::vector<DcId> locations(graph.num_vertices());
+  for (auto& l : locations) l = static_cast<DcId>(rng.UniformInt(num_dcs));
+  std::vector<double> sizes = AssignInputSizes(graph);
+
+  PartitionConfig config;
+  config.model = rng.Bernoulli(0.5) ? ComputeModel::kHybridCut
+                                    : ComputeModel::kEdgeCut;
+  config.theta = 2 + static_cast<uint32_t>(rng.UniformInt(32));
+  config.workload = rng.Bernoulli(0.5) ? Workload::PageRank()
+                                       : Workload::SubgraphIsomorphism();
+  PartitionState state(&graph, &topology, &locations, &sizes, config);
+  state.ResetDerived(locations);
+
+  EvalScratch scratch;
+  for (int op = 0; op < 150; ++op) {
+    const VertexId v =
+        static_cast<VertexId>(rng.UniformInt(graph.num_vertices()));
+    const DcId to = static_cast<DcId>(rng.UniformInt(num_dcs));
+    // What-if must equal apply-and-measure.
+    const Objective predicted = state.EvaluateMove(v, to, &scratch);
+    state.MoveMaster(v, to);
+    const Objective actual = state.CurrentObjective();
+    ASSERT_NEAR(predicted.transfer_seconds, actual.transfer_seconds,
+                1e-12 + 1e-9 * actual.transfer_seconds)
+        << "seed=" << seed << " op=" << op;
+    ASSERT_NEAR(predicted.cost_dollars, actual.cost_dollars,
+                1e-12 + 1e-9 * std::abs(actual.cost_dollars));
+    ASSERT_NEAR(predicted.smooth_seconds, actual.smooth_seconds,
+                1e-12 + 1e-9 * actual.smooth_seconds);
+  }
+  EXPECT_TRUE(state.CheckInvariants()) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u, 707u, 808u));
+
+}  // namespace
+}  // namespace rlcut

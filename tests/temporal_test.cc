@@ -1,0 +1,102 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/temporal.h"
+
+namespace rlcut {
+namespace {
+
+TEST(TemporalGraphTest, PrefixAndSnapshot) {
+  std::vector<TimedEdge> edges = {
+      {{0, 1}, 1.0}, {{1, 2}, 2.0}, {{2, 3}, 3.0}, {{3, 0}, 4.0}};
+  TemporalGraph tg(4, edges);
+  EXPECT_EQ(tg.CountBefore(2.5), 2u);
+  Graph g = tg.SnapshotBefore(2.5);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(tg.Prefix(3).num_edges(), 3u);
+  EXPECT_EQ(tg.Prefix(0).num_edges(), 0u);
+}
+
+TEST(TemporalGraphTest, WindowExtraction) {
+  std::vector<TimedEdge> edges = {
+      {{0, 1}, 0.5}, {{1, 2}, 1.5}, {{2, 3}, 2.5}, {{3, 0}, 3.5}};
+  TemporalGraph tg(4, edges);
+  std::vector<Edge> window = tg.EdgesInWindow(1.0, 3.0);
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_EQ(window[0], (Edge{1, 2}));
+  EXPECT_EQ(window[1], (Edge{2, 3}));
+}
+
+TEST(TemporalGraphTest, WindowCounts) {
+  std::vector<TimedEdge> edges = {
+      {{0, 1}, 0.1}, {{1, 2}, 0.2}, {{2, 3}, 1.1}, {{3, 0}, 2.9}};
+  TemporalGraph tg(4, edges);
+  std::vector<uint64_t> counts = tg.WindowCounts(3.0, 1.0);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(DiurnalStreamTest, RateRatioNearTarget) {
+  TemporalStreamOptions opt;
+  opt.num_vertices = 1024;
+  opt.num_edges = 1 << 16;
+  opt.peak_to_trough = 8.0;
+  TemporalGraph tg = GenerateDiurnalStream(opt);
+  EXPECT_EQ(tg.edges().size(), opt.num_edges);
+  std::vector<uint64_t> hourly =
+      tg.WindowCounts(opt.horizon_seconds, 3600.0);
+  ASSERT_EQ(hourly.size(), 24u);
+  const uint64_t max_rate = *std::max_element(hourly.begin(), hourly.end());
+  const uint64_t min_rate = *std::min_element(hourly.begin(), hourly.end());
+  ASSERT_GT(min_rate, 0u);
+  const double ratio =
+      static_cast<double>(max_rate) / static_cast<double>(min_rate);
+  // The paper observes 5-10x (Fig. 4); the generator targets 8x.
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 14.0);
+}
+
+TEST(DiurnalStreamTest, TimestampsSortedAndInHorizon) {
+  TemporalStreamOptions opt;
+  opt.num_edges = 4096;
+  TemporalGraph tg = GenerateDiurnalStream(opt);
+  double prev = 0;
+  for (const TimedEdge& e : tg.edges()) {
+    EXPECT_GE(e.timestamp_seconds, prev);
+    EXPECT_LT(e.timestamp_seconds, opt.horizon_seconds);
+    prev = e.timestamp_seconds;
+  }
+}
+
+TEST(SplitEdgesTest, FractionRespected) {
+  Graph g = GenerateRing(100, 2);  // 200 edges
+  GraphSplit split = SplitEdges(g, 0.7, 42);
+  EXPECT_EQ(split.initial_edges.size(), 140u);
+  EXPECT_EQ(split.remaining_edges.size(), 60u);
+}
+
+TEST(SplitEdgesTest, UnionIsOriginalEdgeSet) {
+  Graph g = GenerateRing(50, 1);
+  GraphSplit split = SplitEdges(g, 0.5, 7);
+  std::vector<Edge> all = split.initial_edges;
+  all.insert(all.end(), split.remaining_edges.begin(),
+             split.remaining_edges.end());
+  EXPECT_EQ(all.size(), g.num_edges());
+  auto key = [](const Edge& e) {
+    return (static_cast<uint64_t>(e.src) << 32) | e.dst;
+  };
+  std::vector<uint64_t> got;
+  for (const Edge& e : all) got.push_back(key(e));
+  std::vector<uint64_t> want;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) want.push_back(key(g.GetEdge(e)));
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace rlcut

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "cloud/topology.h"
+
+namespace rlcut {
+namespace {
+
+TEST(TopologyTest, Ec2ProfileHasEightRegions) {
+  Topology topo = MakeEc2Topology();
+  EXPECT_EQ(topo.num_dcs(), 8);
+  EXPECT_TRUE(topo.Validate().ok());
+}
+
+TEST(TopologyTest, MeasuredTableIValues) {
+  Topology topo = MakeEc2Topology();
+  // US-East (Table I column 1).
+  EXPECT_DOUBLE_EQ(topo.dc(0).uplink_gbps, 0.52);
+  EXPECT_DOUBLE_EQ(topo.dc(0).downlink_gbps, 2.8);
+  EXPECT_DOUBLE_EQ(topo.dc(0).upload_price, 0.09);
+  // AP-Singapore.
+  EXPECT_DOUBLE_EQ(topo.dc(4).uplink_gbps, 0.55);
+  EXPECT_DOUBLE_EQ(topo.dc(4).downlink_gbps, 3.5);
+  EXPECT_DOUBLE_EQ(topo.dc(4).upload_price, 0.12);
+  // AP-Sydney.
+  EXPECT_DOUBLE_EQ(topo.dc(6).uplink_gbps, 0.48);
+  EXPECT_DOUBLE_EQ(topo.dc(6).downlink_gbps, 2.5);
+  EXPECT_DOUBLE_EQ(topo.dc(6).upload_price, 0.14);
+}
+
+TEST(TopologyTest, DownlinksExceedUplinks) {
+  // Table I observation: downlink is several times the uplink.
+  Topology topo = MakeEc2Topology();
+  for (const DataCenter& dc : topo.dcs()) {
+    EXPECT_GT(dc.downlink_gbps, 3 * dc.uplink_gbps);
+  }
+}
+
+TEST(TopologyTest, LowHeterogeneityIsUniform) {
+  Topology topo = MakeEc2Topology(Heterogeneity::kLow);
+  for (int r = 1; r < topo.num_dcs(); ++r) {
+    EXPECT_DOUBLE_EQ(topo.Uplink(r), topo.Uplink(0));
+    EXPECT_DOUBLE_EQ(topo.Downlink(r), topo.Downlink(0));
+  }
+}
+
+TEST(TopologyTest, HighHeterogeneityThrottlesHalf) {
+  Topology medium = MakeEc2Topology(Heterogeneity::kMedium);
+  Topology high = MakeEc2Topology(Heterogeneity::kHigh);
+  int throttled = 0;
+  for (int r = 0; r < medium.num_dcs(); ++r) {
+    if (high.Uplink(r) < medium.Uplink(r)) {
+      EXPECT_DOUBLE_EQ(high.Uplink(r), 0.5 * medium.Uplink(r));
+      ++throttled;
+    }
+  }
+  EXPECT_EQ(throttled, medium.num_dcs() / 2);
+}
+
+TEST(TopologyTest, SubsetOfRegions) {
+  Topology topo = MakeEc2Topology(3, Heterogeneity::kMedium);
+  EXPECT_EQ(topo.num_dcs(), 3);
+  EXPECT_EQ(topo.dc(0).name, "US-East");
+}
+
+TEST(TopologyTest, UniformTopology) {
+  Topology topo = MakeUniformTopology(4, 1.0, 2.0, 0.05);
+  EXPECT_EQ(topo.num_dcs(), 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(topo.Uplink(r), 1.0);
+    EXPECT_DOUBLE_EQ(topo.Downlink(r), 2.0);
+    EXPECT_DOUBLE_EQ(topo.Price(r), 0.05);
+  }
+}
+
+TEST(TopologyTest, TransferMath) {
+  Topology topo = MakeUniformTopology(2, 0.5, 2.5, 0.10);
+  // 1 GB over a 0.5 GB/s uplink takes 2 s; costs $0.10.
+  EXPECT_DOUBLE_EQ(topo.UploadSeconds(0, 1e9), 2.0);
+  EXPECT_DOUBLE_EQ(topo.DownloadSeconds(0, 1e9), 0.4);
+  EXPECT_DOUBLE_EQ(topo.UploadCost(0, 1e9), 0.10);
+}
+
+TEST(TopologyTest, CheapestUploadDc) {
+  Topology topo = MakeEc2Topology();
+  const DcId cheapest = topo.CheapestUploadDc();
+  for (int r = 0; r < topo.num_dcs(); ++r) {
+    EXPECT_LE(topo.Price(cheapest), topo.Price(r));
+  }
+}
+
+TEST(TopologyTest, ValidationCatchesBadConfigs) {
+  EXPECT_FALSE(Topology(std::vector<DataCenter>{}).Validate().ok());
+  EXPECT_FALSE(
+      Topology({{"bad", 0.0, 1.0, 0.1}}).Validate().ok());
+  EXPECT_FALSE(
+      Topology({{"bad", 1.0, 1.0, -0.1}}).Validate().ok());
+  EXPECT_TRUE(
+      Topology({{"good", 1.0, 1.0, 0.0}}).Validate().ok());
+}
+
+}  // namespace
+}  // namespace rlcut

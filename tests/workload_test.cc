@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "partition/workload.h"
+
+namespace rlcut {
+namespace {
+
+TEST(WorkloadTest, PageRankFullActivity) {
+  Workload w = Workload::PageRank(10);
+  EXPECT_EQ(w.name, "PR");
+  EXPECT_EQ(w.num_iterations(), 10);
+  EXPECT_DOUBLE_EQ(w.TotalActivity(), 10.0);
+  for (double a : w.activity) EXPECT_DOUBLE_EQ(a, 1.0);
+}
+
+TEST(WorkloadTest, SsspRampsUpThenDecays) {
+  Workload w = Workload::Sssp(12);
+  EXPECT_EQ(w.num_iterations(), 12);
+  // Activity peaks somewhere in the middle and is lower at both ends.
+  const double first = w.activity.front();
+  const double last = w.activity.back();
+  double peak = 0;
+  for (double a : w.activity) peak = std::max(peak, a);
+  EXPECT_GT(peak, first);
+  EXPECT_GT(peak, last);
+  EXPECT_LE(peak, 1.0);
+  EXPECT_LT(w.TotalActivity(), 12.0);
+  EXPECT_GT(w.TotalActivity(), 0.0);
+}
+
+TEST(WorkloadTest, SubgraphIsomorphismLargeDecayingMessages) {
+  Workload w = Workload::SubgraphIsomorphism(4);
+  EXPECT_EQ(w.num_iterations(), 4);
+  EXPECT_GT(w.apply_base_bytes, Workload::PageRank().apply_base_bytes);
+  EXPECT_GT(w.apply_bytes_per_out_edge, 0.0);
+  for (size_t i = 1; i < w.activity.size(); ++i) {
+    EXPECT_LT(w.activity[i], w.activity[i - 1]);
+  }
+}
+
+TEST(WorkloadTest, AllPaperWorkloads) {
+  auto all = Workload::AllPaperWorkloads();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "PR");
+  EXPECT_EQ(all[1].name, "SSSP");
+  EXPECT_EQ(all[2].name, "SI");
+}
+
+}  // namespace
+}  // namespace rlcut

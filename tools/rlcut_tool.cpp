@@ -1,0 +1,202 @@
+// rlcut_tool: command-line partitioner. Loads a graph (SNAP edge list or
+// a built-in dataset preset), partitions it across a geo-distributed
+// topology with RLCut or any baseline, reports the Eq. 1-5 quality
+// metrics, and optionally saves/loads the plan.
+//
+// Examples:
+//   rlcut_tool --dataset=TW --scale=2000 --method=RLCut --t_opt=5
+//   rlcut_tool --input=graph.el --method=Ginger --dcs=4
+//   rlcut_tool --dataset=LJ --load_plan=plan.txt        # evaluate a plan
+//   rlcut_tool --dataset=LJ --method=RLCut --save_plan=plan.txt
+
+#include <iostream>
+#include <memory>
+
+#include "baselines/extra_partitioners.h"
+#include "cloud/topology.h"
+#include "common/flags.h"
+#include "common/table_writer.h"
+#include "graph/datasets.h"
+#include "graph/geo.h"
+#include "graph/io.h"
+#include "partition/metrics.h"
+#include "partition/plan_io.h"
+#include "rlcut/rlcut_partitioner.h"
+
+namespace {
+
+using namespace rlcut;
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+Result<Topology> MakeTopologyFromFlags(const FlagParser& flags) {
+  const int dcs = static_cast<int>(flags.GetInt("dcs"));
+  const std::string& het = flags.GetString("heterogeneity");
+  Heterogeneity level;
+  if (het == "low") {
+    level = Heterogeneity::kLow;
+  } else if (het == "medium") {
+    level = Heterogeneity::kMedium;
+  } else if (het == "high") {
+    level = Heterogeneity::kHigh;
+  } else {
+    return Status::InvalidArgument("unknown heterogeneity: " + het);
+  }
+  if (dcs < 2 || dcs > 8) {
+    return Status::InvalidArgument("--dcs must be in [2, 8]");
+  }
+  return MakeEc2Topology(dcs, level);
+}
+
+Result<Workload> MakeWorkloadFromFlags(const FlagParser& flags) {
+  const std::string& name = flags.GetString("workload");
+  if (name == "PR") return Workload::PageRank();
+  if (name == "SSSP") return Workload::Sssp();
+  if (name == "SI") return Workload::SubgraphIsomorphism();
+  return Status::InvalidArgument("unknown workload: " + name +
+                                 " (use PR, SSSP or SI)");
+}
+
+void PrintPerDcTable(const PartitionState& state, std::ostream& os) {
+  TableWriter table({"DC", "Masters", "Edges"});
+  for (int r = 0; r < state.num_dcs(); ++r) {
+    table.AddRow({state.topology().dc(r).name, Fmt(state.MasterCount(r)),
+                  Fmt(state.EdgeCount(r))});
+  }
+  table.Print(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineString("input", "", "SNAP edge-list file (overrides --dataset)");
+  flags.DefineString("dataset", "LJ", "built-in preset: LJ/OT/UK/IT/TW");
+  flags.DefineInt("scale", 2000, "preset down-scale factor");
+  flags.DefineString("method", "RLCut",
+                     "RLCut, RandPG, Geo-Cut, HashPL, Ginger, Revolver, "
+                     "Spinner, Fennel, Oblivious, HDRF or LDG");
+  flags.DefineString("workload", "PR", "traffic profile: PR, SSSP or SI");
+  flags.DefineInt("dcs", 8, "number of EC2-profile DCs (2-8)");
+  flags.DefineString("heterogeneity", "medium", "low, medium or high");
+  flags.DefineDouble("budget_fraction", 0.4,
+                     "budget as a fraction of the centralized-move cost");
+  flags.DefineDouble("t_opt", 0, "RLCut time budget in seconds (0 = off)");
+  flags.DefineInt("theta", 0, "hybrid-cut threshold (0 = auto)");
+  flags.DefineInt("seed", 1, "random seed");
+  flags.DefineString("save_plan", "", "write the computed plan here");
+  flags.DefineString("load_plan", "",
+                     "evaluate this plan instead of partitioning");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.Usage(argv[0]);
+    return 0;
+  }
+
+  // ---- Problem construction ----------------------------------------------
+  Graph graph;
+  std::string graph_label;
+  if (!flags.GetString("input").empty()) {
+    Result<Graph> loaded = LoadEdgeListFile(flags.GetString("input"));
+    if (!loaded.ok()) return Fail(loaded.status());
+    graph = std::move(*loaded);
+    graph_label = flags.GetString("input");
+  } else {
+    Result<Dataset> dataset = ParseDataset(flags.GetString("dataset"));
+    if (!dataset.ok()) return Fail(dataset.status());
+    graph = LoadDataset(*dataset,
+                        static_cast<uint64_t>(flags.GetInt("scale")),
+                        static_cast<uint64_t>(flags.GetInt("seed")));
+    graph_label = DatasetName(*dataset) + " @1/" +
+                  std::to_string(flags.GetInt("scale"));
+  }
+
+  Result<Topology> topology = MakeTopologyFromFlags(flags);
+  if (!topology.ok()) return Fail(topology.status());
+  Result<Workload> workload = MakeWorkloadFromFlags(flags);
+  if (!workload.ok()) return Fail(workload.status());
+
+  GeoLocatorOptions geo;
+  geo.num_dcs = topology->num_dcs();
+  geo.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  std::vector<DcId> locations = AssignGeoLocations(graph, geo);
+  std::vector<double> input_sizes = AssignInputSizes(graph);
+
+  const DcId hub = topology->CheapestUploadDc();
+  double centralized = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (locations[v] != hub) {
+      centralized += topology->UploadCost(locations[v], input_sizes[v]);
+    }
+  }
+
+  PartitionerContext ctx;
+  ctx.graph = &graph;
+  ctx.topology = &*topology;
+  ctx.locations = &locations;
+  ctx.input_sizes = &input_sizes;
+  ctx.workload = *workload;
+  ctx.theta = flags.GetInt("theta") > 0
+                  ? static_cast<uint32_t>(flags.GetInt("theta"))
+                  : PartitionState::AutoTheta(graph);
+  ctx.budget = flags.GetDouble("budget_fraction") * centralized;
+  ctx.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::cout << "Graph " << graph_label << ": " << graph.num_vertices()
+            << " vertices, " << graph.num_edges() << " edges; "
+            << topology->num_dcs() << " DCs ("
+            << flags.GetString("heterogeneity") << "), theta=" << ctx.theta
+            << ", budget=$" << ctx.budget << "\n\n";
+
+  // ---- Evaluate an existing plan -------------------------------------------
+  if (!flags.GetString("load_plan").empty()) {
+    Result<PartitionPlan> plan = LoadPlan(flags.GetString("load_plan"));
+    if (!plan.ok()) return Fail(plan.status());
+    PartitionConfig config;
+    config.model = plan->model;
+    config.theta = plan->theta;
+    config.workload = *workload;
+    PartitionState state(&graph, &*topology, &locations, &input_sizes,
+                         config);
+    if (Status s = ApplyPlan(*plan, &state); !s.ok()) return Fail(s);
+    std::cout << "Loaded plan: " << MakeReport(state).ToString() << "\n";
+    PrintPerDcTable(state, std::cout);
+    return 0;
+  }
+
+  // ---- Partition -----------------------------------------------------------
+  const std::string& method = flags.GetString("method");
+  std::unique_ptr<Partitioner> partitioner;
+  if (method == "RLCut") {
+    RLCutOptions options;
+    options.t_opt_seconds = flags.GetDouble("t_opt");
+    partitioner = MakeRLCut(options);
+  } else {
+    partitioner = MakePartitionerByName(method);
+    if (partitioner == nullptr) {
+      return Fail(Status::InvalidArgument("unknown method: " + method));
+    }
+  }
+
+  PartitionOutput out = partitioner->Run(ctx);
+  std::cout << partitioner->name() << " finished in "
+            << out.overhead_seconds << " s\n";
+  std::cout << MakeReport(out.state).ToString() << "\n\n";
+  PrintPerDcTable(out.state, std::cout);
+
+  if (!flags.GetString("save_plan").empty()) {
+    const PartitionPlan plan = ExtractPlan(out.state);
+    if (Status s = SavePlan(plan, flags.GetString("save_plan")); !s.ok()) {
+      return Fail(s);
+    }
+    std::cout << "\nPlan written to " << flags.GetString("save_plan")
+              << "\n";
+  }
+  return 0;
+}

@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
 
   for (const char* name : {"RandPG", "HashPL", "Ginger"}) {
     evaluate(name,
-             std::move(MakePartitionerByName(name)->Run(problem->ctx).state));
+             std::move(MakePartitionerByName(name)->RunOrDie(problem->ctx).state));
   }
   {
     RLCutOptions opt = bench::BenchRLCutOptionsDeterministic(

@@ -48,9 +48,12 @@ int main(int argc, char** argv) {
 
   const Topology topology = MakeEc2Topology();
   const std::vector<Workload> workloads = Workload::AllPaperWorkloads();
-  const std::vector<std::string> methods = {
-      "RandPG", "Geo-Cut", "HashPL", "Ginger", "Revolver", "Spinner",
-      "RLCut"};
+  // Columns: the registry's paper comparisons (Fig. 10 order), then ours.
+  std::vector<std::string> methods;
+  for (const PartitionerInfo& info : ListPartitioners()) {
+    if (info.paper_comparison) methods.push_back(info.name);
+  }
+  methods.push_back("RLCut");
 
   // results[workload][dataset][method]
   std::map<std::string, std::map<std::string, std::map<std::string, CellResult>>>
@@ -69,12 +72,14 @@ int main(int argc, char** argv) {
       budgets[graph_name] = problem->ctx.budget;
       double ginger_overhead = 0;
 
-      for (auto& baseline : MakePaperBaselines()) {
-        const std::string name = baseline->name();
+      for (const PartitionerInfo& info : ListPartitioners()) {
+        if (!info.paper_comparison) continue;
+        const std::string& name = info.name;
         if (!small_graph && (name == "Geo-Cut" || name == "Revolver")) {
           continue;  // paper: overhead too large for the big graphs
         }
-        PartitionOutput out = baseline->Run(problem->ctx);
+        auto baseline = MakePartitionerByName(name, {}).value();
+        PartitionOutput out = baseline->RunOrDie(problem->ctx);
         const Objective obj = out.state.CurrentObjective();
         results[workload.name][graph_name][name] = {
             obj.transfer_seconds, obj.cost_dollars, out.overhead_seconds,

@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
     auto problem = MakeProblem(Dataset::kOrkut,
                                static_cast<uint64_t>(flags.GetInt("scale")),
                                topology, Workload::PageRank(), fraction);
-    PartitionOutput ginger = MakeGinger()->Run(problem->ctx);
-    PartitionOutput geocut = MakeGeoCut()->Run(problem->ctx);
+    PartitionOutput ginger = MakeGinger()->RunOrDie(problem->ctx);
+    PartitionOutput geocut = MakeGeoCut()->RunOrDie(problem->ctx);
     RLCutOptions opt = bench::BenchRLCutOptions(
         problem->ctx.budget, ginger.overhead_seconds, flags.GetDouble("t_opt"));
     RLCutRunOutput ours = RunRLCut(problem->ctx, opt);

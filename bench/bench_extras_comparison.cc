@@ -1,8 +1,8 @@
-// Extended comparison: all eleven partitioners in the repository (the
-// paper's six, RLCut, and the extra published baselines Fennel,
-// Oblivious, HDRF, LDG) on one dataset/workload. Not a paper figure;
-// positions the extras against the paper's methods on the same
-// evaluation substrate.
+// Extended comparison: every partitioner in the registry (the paper's
+// six, RLCut, and the extra published baselines) on one dataset and
+// workload. Not a paper figure; positions the extras against the
+// paper's methods on the same evaluation substrate. The row set tracks
+// ListPartitioners(), so newly registered methods show up here for free.
 
 #include <iostream>
 #include <memory>
@@ -56,12 +56,13 @@ int main(int argc, char** argv) {
                   Fmt(out.overhead_seconds, 3)});
   };
 
-  for (const char* name :
-       {"RandPG", "Oblivious", "HDRF", "Geo-Cut", "HashPL", "Ginger",
-        "Fennel", "LDG", "Multilevel", "GrapH", "Revolver", "Spinner",
-        "Annealing", "SingleAgentRL"}) {
-    auto partitioner = MakePartitionerByName(name);
-    add_row(name, partitioner->Run(problem->ctx), partitioner->model());
+  // Every registered partitioner, in registry order. RLCut is held back
+  // so it can use the deterministic bench budget and land last.
+  for (const PartitionerInfo& info : ListPartitioners()) {
+    if (info.name == "RLCut") continue;
+    auto partitioner = MakePartitionerByName(info.name, {}).value();
+    add_row(info.name, partitioner->RunOrDie(problem->ctx),
+            partitioner->model());
   }
   {
     RLCutOptions opt = bench::BenchRLCutOptionsDeterministic(

@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
 
     for (const char* name : {"RandPG", "HashPL", "Ginger", "Spinner"}) {
       auto partitioner = MakePartitionerByName(name);
-      evaluate(name, std::move(partitioner->Run(problem->ctx).state));
+      evaluate(name, std::move(partitioner->RunOrDie(problem->ctx).state));
     }
     {
       RLCutOptions opt = bench::BenchRLCutOptionsDeterministic(

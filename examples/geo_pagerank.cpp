@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   TableWriter table({"Method", "PartitionOverhead(s)", "RealizedTransfer(s)",
                      "UploadCost($)", "WAN(MB)", "lambda", "MaxRankErr"});
   for (auto& method : methods) {
-    PartitionOutput out = method->Run(ctx);
+    PartitionOutput out = method->RunOrDie(ctx);
     auto program = MakePageRank(iterations);
     GasEngine engine(&out.state);
     const RunResult run = engine.Run(program.get());

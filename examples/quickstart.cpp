@@ -5,12 +5,7 @@
 
 #include <iostream>
 
-#include "cloud/topology.h"
-#include "common/flags.h"
-#include "graph/generators.h"
-#include "graph/geo.h"
-#include "partition/metrics.h"
-#include "rlcut/rlcut_partitioner.h"
+#include "rlcut/api.h"
 
 int main(int argc, char** argv) {
   using namespace rlcut;

@@ -20,7 +20,7 @@ class AnnealingPartitioner : public Partitioner {
   std::string name() const override { return "Annealing"; }
   ComputeModel model() const override { return ComputeModel::kHybridCut; }
 
-  PartitionOutput Run(const PartitionerContext& ctx) override {
+  PartitionOutput DoRun(const PartitionerContext& ctx) override {
     WallTimer timer;
     const Graph& graph = *ctx.graph;
     const int num_dcs = ctx.topology->num_dcs();

@@ -81,10 +81,10 @@ struct SingleAgentRlOptions {
 std::unique_ptr<Partitioner> MakeSingleAgentRl(
     SingleAgentRlOptions options = {});
 
-/// Looks up any partitioner (the paper's six, RLCut excluded) by its
-/// display name; also accepts the extras ("Oblivious", "HDRF", "LDG",
-/// "Fennel", "Multilevel", "Annealing"). Returns nullptr for unknown
-/// names.
+/// Legacy name lookup: returns nullptr for unknown names. Thin wrapper
+/// over the registry in baselines/partitioner.h, which is the preferred
+/// API (it also knows "RLCut" and accepts PartitionerOptions).
+/// Implemented alongside the registry in rlcut_core.
 std::unique_ptr<Partitioner> MakePartitionerByName(const std::string& name);
 
 }  // namespace rlcut

@@ -20,7 +20,7 @@ class FennelPartitioner : public Partitioner {
   std::string name() const override { return "Fennel"; }
   ComputeModel model() const override { return ComputeModel::kEdgeCut; }
 
-  PartitionOutput Run(const PartitionerContext& ctx) override {
+  PartitionOutput DoRun(const PartitionerContext& ctx) override {
     WallTimer timer;
     const Graph& graph = *ctx.graph;
     const int num_dcs = ctx.topology->num_dcs();
@@ -91,15 +91,7 @@ std::unique_ptr<Partitioner> MakeFennel(FennelOptions options) {
   return std::make_unique<FennelPartitioner>(options);
 }
 
-std::vector<std::unique_ptr<Partitioner>> MakePaperBaselines() {
-  std::vector<std::unique_ptr<Partitioner>> baselines;
-  baselines.push_back(MakeRandPg());
-  baselines.push_back(MakeGeoCut());
-  baselines.push_back(MakeHashPl());
-  baselines.push_back(MakeGinger());
-  baselines.push_back(MakeRevolver());
-  baselines.push_back(MakeSpinner());
-  return baselines;
-}
+// MakePaperBaselines lives in rlcut/partitioner_registry.cc: it is now a
+// view over the registry (paper_comparison entries in Fig. 10 order).
 
 }  // namespace rlcut

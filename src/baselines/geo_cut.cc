@@ -22,7 +22,7 @@ class GeoCutPartitioner : public Partitioner {
   std::string name() const override { return "Geo-Cut"; }
   ComputeModel model() const override { return ComputeModel::kVertexCut; }
 
-  PartitionOutput Run(const PartitionerContext& ctx) override {
+  PartitionOutput DoRun(const PartitionerContext& ctx) override {
     WallTimer timer;
     const Graph& graph = *ctx.graph;
     const int num_dcs = ctx.topology->num_dcs();

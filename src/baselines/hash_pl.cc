@@ -14,7 +14,7 @@ class HashPlPartitioner : public Partitioner {
   std::string name() const override { return "HashPL"; }
   ComputeModel model() const override { return ComputeModel::kHybridCut; }
 
-  PartitionOutput Run(const PartitionerContext& ctx) override {
+  PartitionOutput DoRun(const PartitionerContext& ctx) override {
     WallTimer timer;
     const int num_dcs = ctx.topology->num_dcs();
     std::vector<DcId> masters(ctx.graph->num_vertices());

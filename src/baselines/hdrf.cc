@@ -24,7 +24,7 @@ class HdrfPartitioner : public Partitioner {
   std::string name() const override { return "HDRF"; }
   ComputeModel model() const override { return ComputeModel::kVertexCut; }
 
-  PartitionOutput Run(const PartitionerContext& ctx) override {
+  PartitionOutput DoRun(const PartitionerContext& ctx) override {
     WallTimer timer;
     const Graph& graph = *ctx.graph;
     const int num_dcs = ctx.topology->num_dcs();

@@ -16,7 +16,7 @@ class LdgPartitioner : public Partitioner {
   std::string name() const override { return "LDG"; }
   ComputeModel model() const override { return ComputeModel::kEdgeCut; }
 
-  PartitionOutput Run(const PartitionerContext& ctx) override {
+  PartitionOutput DoRun(const PartitionerContext& ctx) override {
     WallTimer timer;
     const Graph& graph = *ctx.graph;
     const int num_dcs = ctx.topology->num_dcs();
@@ -70,24 +70,6 @@ class LdgPartitioner : public Partitioner {
 
 std::unique_ptr<Partitioner> MakeLdg() {
   return std::make_unique<LdgPartitioner>();
-}
-
-std::unique_ptr<Partitioner> MakePartitionerByName(const std::string& name) {
-  if (name == "RandPG") return MakeRandPg();
-  if (name == "Geo-Cut" || name == "GeoCut") return MakeGeoCut();
-  if (name == "HashPL") return MakeHashPl();
-  if (name == "Ginger") return MakeGinger();
-  if (name == "Revolver") return MakeRevolver();
-  if (name == "Spinner") return MakeSpinner();
-  if (name == "Fennel") return MakeFennel();
-  if (name == "Oblivious") return MakeOblivious();
-  if (name == "HDRF" || name == "Hdrf") return MakeHdrf();
-  if (name == "LDG" || name == "Ldg") return MakeLdg();
-  if (name == "Multilevel") return MakeMultilevel();
-  if (name == "Annealing") return MakeAnnealing();
-  if (name == "SingleAgentRL") return MakeSingleAgentRl();
-  if (name == "GrapH") return MakeGrapH();
-  return nullptr;
 }
 
 }  // namespace rlcut

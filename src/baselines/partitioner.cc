@@ -1,0 +1,81 @@
+#include "baselines/partitioner.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rlcut {
+
+Status ValidatePartitionerContext(const PartitionerContext& ctx) {
+  if (ctx.graph == nullptr) {
+    return Status::InvalidArgument("PartitionerContext: graph is null");
+  }
+  if (ctx.topology == nullptr) {
+    return Status::InvalidArgument("PartitionerContext: topology is null");
+  }
+  if (ctx.locations == nullptr) {
+    return Status::InvalidArgument("PartitionerContext: locations is null");
+  }
+  if (ctx.input_sizes == nullptr) {
+    return Status::InvalidArgument("PartitionerContext: input_sizes is null");
+  }
+  const size_t n = ctx.graph->num_vertices();
+  if (ctx.locations->size() != n) {
+    return Status::InvalidArgument(
+        "PartitionerContext: locations covers " +
+        std::to_string(ctx.locations->size()) + " vertices but the graph has " +
+        std::to_string(n));
+  }
+  if (ctx.input_sizes->size() != n) {
+    return Status::InvalidArgument(
+        "PartitionerContext: input_sizes covers " +
+        std::to_string(ctx.input_sizes->size()) +
+        " vertices but the graph has " + std::to_string(n));
+  }
+  const int num_dcs = ctx.topology->num_dcs();
+  if (num_dcs < 1 || num_dcs > kMaxDataCenters) {
+    return Status::InvalidArgument("PartitionerContext: topology has " +
+                                   std::to_string(num_dcs) +
+                                   " DCs, expected 1.." +
+                                   std::to_string(kMaxDataCenters));
+  }
+  for (size_t v = 0; v < n; ++v) {
+    const DcId loc = (*ctx.locations)[v];
+    if (loc < 0 || loc >= num_dcs) {
+      return Status::InvalidArgument(
+          "PartitionerContext: vertex " + std::to_string(v) +
+          " located at DC " + std::to_string(loc) +
+          " outside the topology's " + std::to_string(num_dcs) + " DCs");
+    }
+  }
+  if (ctx.budget < 0) {
+    return Status::InvalidArgument("PartitionerContext: negative budget " +
+                                   std::to_string(ctx.budget));
+  }
+  return Status::Ok();
+}
+
+Result<PartitionOutput> Partitioner::Run(const PartitionerContext& ctx) {
+  RLCUT_RETURN_IF_ERROR(ValidatePartitionerContext(ctx));
+  obs::TraceSpan span("partition/run", "partition");
+  span.AddArg("num_vertices", static_cast<double>(ctx.graph->num_vertices()));
+  span.AddArg("num_dcs", static_cast<double>(ctx.topology->num_dcs()));
+  PartitionOutput out = DoRun(ctx);
+  span.AddArg("overhead_seconds", out.overhead_seconds);
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  const obs::LabelSet method_label = {{"method", name()}};
+  registry.GetCounter("partitioner.runs", method_label)->Increment();
+  registry.GetHistogram("partitioner.overhead_seconds", method_label)
+      ->Observe(out.overhead_seconds);
+  return out;
+}
+
+PartitionOutput Partitioner::RunOrDie(const PartitionerContext& ctx) {
+  Result<PartitionOutput> result = Run(ctx);
+  RLCUT_CHECK(result.ok()) << name() << ": " << result.status().ToString();
+  return std::move(result).value();
+}
+
+}  // namespace rlcut

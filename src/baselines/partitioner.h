@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cloud/topology.h"
+#include "common/status.h"
 #include "graph/graph.h"
 #include "partition/partition_state.h"
 #include "partition/workload.h"
@@ -41,7 +42,21 @@ struct PartitionOutput {
   double overhead_seconds = 0;
 };
 
+/// Validates everything Partitioner::Run assumes about a context:
+/// non-null graph/topology/locations/input_sizes, location and size
+/// vectors covering every vertex, locations within the topology's DC
+/// range, and a non-negative budget. Returns InvalidArgument with a
+/// precise message instead of aborting.
+Status ValidatePartitionerContext(const PartitionerContext& ctx);
+
 /// Common interface for all static partitioning methods (Sec. VI-A3).
+///
+/// Run() is a template method: it validates the context (returning a
+/// Status instead of crashing on null graphs, dcs mismatches or a
+/// negative budget), opens a "partition/<name>" trace span, delegates
+/// to the method's DoRun(), and records the optimization overhead in
+/// the default metrics registry — so every method, including ones
+/// added later, is instrumented through this single hook.
 class Partitioner {
  public:
   virtual ~Partitioner() = default;
@@ -53,9 +68,61 @@ class Partitioner {
   virtual ComputeModel model() const = 0;
 
   /// Computes a partitioning. Self-times: the returned overhead is the
-  /// wall-clock optimization time.
-  virtual PartitionOutput Run(const PartitionerContext& ctx) = 0;
+  /// wall-clock optimization time. Fails with InvalidArgument on a bad
+  /// context instead of aborting.
+  Result<PartitionOutput> Run(const PartitionerContext& ctx);
+
+  /// Convenience for callers with known-good contexts (tests, benches):
+  /// CHECK-fails on error.
+  PartitionOutput RunOrDie(const PartitionerContext& ctx);
+
+ protected:
+  /// Method implementation. The context has already been validated.
+  virtual PartitionOutput DoRun(const PartitionerContext& ctx) = 0;
 };
+
+// ---- String-keyed registry --------------------------------------------
+
+/// Method-generic knobs accepted by MakePartitionerByName. Each factory
+/// maps the fields it understands onto its native options struct and
+/// ignores the rest; zero/negative values mean "method default".
+struct PartitionerOptions {
+  /// RLCut: wall-clock training budget T_opt, seconds.
+  double t_opt_seconds = 0;
+  /// RLCut: deterministic agent-visit budget (overrides nothing if 0).
+  int64_t agent_visit_budget = 0;
+  /// RLCut: maximum training steps.
+  int max_steps = 0;
+  /// Iterative methods (Revolver, Spinner, GrapH, Multilevel passes).
+  int iterations = 0;
+  /// Geo-Cut greedy refinement sweeps (< 0 = default).
+  int refinement_rounds = -1;
+  /// Spinner capacity slack.
+  double balance_slack = 0;
+};
+
+/// Registry card for one partitioner.
+struct PartitionerInfo {
+  std::string name;
+  /// One-line description for --help style listings.
+  std::string summary;
+  /// One of the paper's six Fig. 10 comparisons.
+  bool paper_comparison = false;
+  /// Consults PartitionerContext::budget (Eq. 7).
+  bool budget_aware = false;
+};
+
+/// All registered partitioners: the six paper comparisons first, in
+/// Fig. 10 order, then RLCut, then the extra published baselines.
+/// (Implemented above the baselines layer, in rlcut_core, so that RLCut
+/// itself can register; link the umbrella `rlcut` target to use it.)
+std::vector<PartitionerInfo> ListPartitioners();
+
+/// Creates a partitioner by registry name (see ListPartitioners). This
+/// includes "RLCut"; NotFound for unknown names, with the known names
+/// in the message.
+Result<std::unique_ptr<Partitioner>> MakePartitionerByName(
+    const std::string& name, const PartitionerOptions& options);
 
 // ---- Factory functions for the paper's six comparisons ----------------
 
@@ -110,7 +177,9 @@ struct FennelOptions {
 };
 std::unique_ptr<Partitioner> MakeFennel(FennelOptions options = {});
 
-/// All six paper comparisons, in Fig. 10 order.
+/// All six paper comparisons, in Fig. 10 order. A view over the
+/// registry: the entries whose PartitionerInfo::paper_comparison is set
+/// (implemented alongside the registry in rlcut/partitioner_registry.cc).
 std::vector<std::unique_ptr<Partitioner>> MakePaperBaselines();
 
 }  // namespace rlcut

@@ -23,7 +23,7 @@ class RevolverPartitioner : public Partitioner {
   std::string name() const override { return "Revolver"; }
   ComputeModel model() const override { return ComputeModel::kEdgeCut; }
 
-  PartitionOutput Run(const PartitionerContext& ctx) override {
+  PartitionOutput DoRun(const PartitionerContext& ctx) override {
     WallTimer timer;
     const Graph& graph = *ctx.graph;
     const int num_dcs = ctx.topology->num_dcs();

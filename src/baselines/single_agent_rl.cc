@@ -28,7 +28,7 @@ class SingleAgentRlPartitioner : public Partitioner {
   std::string name() const override { return "SingleAgentRL"; }
   ComputeModel model() const override { return ComputeModel::kHybridCut; }
 
-  PartitionOutput Run(const PartitionerContext& ctx) override {
+  PartitionOutput DoRun(const PartitionerContext& ctx) override {
     WallTimer timer;
     const Graph& graph = *ctx.graph;
     const int num_dcs = ctx.topology->num_dcs();

@@ -84,7 +84,7 @@ class SpinnerPartitioner : public Partitioner {
   std::string name() const override { return "Spinner"; }
   ComputeModel model() const override { return ComputeModel::kEdgeCut; }
 
-  PartitionOutput Run(const PartitionerContext& ctx) override {
+  PartitionOutput DoRun(const PartitionerContext& ctx) override {
     WallTimer timer;
     const VertexId n = ctx.graph->num_vertices();
     const int num_dcs = ctx.topology->num_dcs();

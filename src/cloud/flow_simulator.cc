@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlcut {
 namespace {
@@ -92,6 +94,9 @@ double FlowSimulator::ClosedFormBound(
 
 double FlowSimulator::SimulateMakespan(
     std::vector<FlowTransfer> transfers) const {
+  obs::TraceSpan span("flow/simulate", "cloud");
+  span.AddArg("flows", static_cast<double>(transfers.size()));
+  obs::DefaultRegistry().GetCounter("flow.simulations")->Increment();
   const int num_dcs = topology_->num_dcs();
   std::vector<double> capacity(2 * num_dcs);
   for (DcId r = 0; r < num_dcs; ++r) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace rlcut {
 
@@ -21,6 +22,10 @@ ThreadPool::~ThreadPool() {
   }
   task_available_.notify_all();
   for (auto& worker : workers_) worker.join();
+  // Fold this pool's lifetime total into the global registry once all
+  // workers have quiesced (no concurrent writers remain).
+  obs::DefaultRegistry().GetCounter("threadpool.tasks")->Increment(
+      tasks_executed_.load(std::memory_order_relaxed));
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -53,6 +58,9 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop();
     }
     task();
+    // Relaxed: the counter is monotonic telemetry, not a synchronization
+    // point, so this stays race-free under TSan without ordering cost.
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

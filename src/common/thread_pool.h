@@ -1,8 +1,10 @@
 #ifndef RLCUT_COMMON_THREAD_POOL_H_
 #define RLCUT_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -45,6 +47,13 @@ class ThreadPool {
       size_t n,
       const std::function<void(size_t, size_t, size_t)>& fn);
 
+  /// Total tasks executed by this pool's workers so far. Counted with a
+  /// relaxed atomic so it is race-free to read from any thread (the
+  /// value may lag tasks currently in flight).
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
 
@@ -55,6 +64,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::atomic<uint64_t> tasks_executed_{0};
 };
 
 /// Number of hardware threads, never less than 1.

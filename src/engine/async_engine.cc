@@ -7,6 +7,8 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlcut {
 namespace {
@@ -62,6 +64,7 @@ AsyncRunResult AsyncGasEngine::Run(VertexProgram* program) const {
   RLCUT_CHECK(program != nullptr);
   RLCUT_CHECK(program->GatherIdentity() == kInfinity)
       << "AsyncGasEngine requires a monotone (min-combining) program";
+  obs::TraceSpan run_span("async/run", "engine");
 
   const Graph& graph = state_->graph();
   const Topology& topo = state_->topology();
@@ -183,6 +186,12 @@ AsyncRunResult AsyncGasEngine::Run(VertexProgram* program) const {
       }
     }
   }
+  run_span.AddArg("messages", static_cast<double>(result.messages));
+  run_span.AddArg("completion_seconds", result.completion_seconds);
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  registry.GetCounter("async.runs")->Increment();
+  registry.GetCounter("async.messages")->Increment(result.messages);
+  registry.GetGauge("async.total_bytes")->Add(result.total_bytes);
   return result;
 }
 

@@ -5,6 +5,8 @@
 
 #include "cloud/flow_simulator.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rlcut {
 namespace {
@@ -27,6 +29,14 @@ GasEngine::GasEngine(const PartitionState* state, GasEngineOptions options)
 
 RunResult GasEngine::Run(VertexProgram* program) const {
   RLCUT_CHECK(program != nullptr);
+  obs::TraceSpan run_span("gas/run", "engine");
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  obs::Counter* superstep_counter = registry.GetCounter("engine.supersteps");
+  obs::Gauge* wan_bytes_total = registry.GetGauge("engine.wan_bytes");
+  obs::Histogram* superstep_seconds =
+      obs::DetailedMetricsEnabled()
+          ? registry.GetHistogram("engine.superstep_transfer_seconds")
+          : nullptr;
   const Graph& graph = state_->graph();
   const Topology& topo = state_->topology();
   const VertexId n = graph.num_vertices();
@@ -63,6 +73,8 @@ RunResult GasEngine::Run(VertexProgram* program) const {
     // Early termination is only sound for frontier-driven programs: a
     // round-dependent Apply (SI) can produce changes after a quiet round.
     if (!program->RecomputeAllEachIteration() && changed_list.empty()) break;
+    obs::TraceSpan superstep_span("gas/superstep", "engine");
+    superstep_span.AddArg("iteration", iter);
     program->OnIterationStart(iter);
 
     // Scatter: changed vertices activate their out-neighbors. Programs
@@ -181,12 +193,24 @@ RunResult GasEngine::Run(VertexProgram* program) const {
     }
     t.upload_cost = upload_bytes_cost;
 
+    superstep_span.AddArg("vertices_updated",
+                          static_cast<double>(t.vertices_updated));
+    superstep_span.AddArg("transfer_seconds", t.transfer_seconds);
+    superstep_counter->Increment();
+    wan_bytes_total->Add(wan_bytes);
+    if (superstep_seconds != nullptr) {
+      superstep_seconds->Observe(t.transfer_seconds);
+    }
+
     result.total_transfer_seconds += t.transfer_seconds;
     result.total_upload_cost += t.upload_cost;
     result.total_wan_bytes += wan_bytes;
     result.iterations.push_back(std::move(t));
     ++result.iterations_executed;
   }
+  run_span.AddArg("iterations",
+                  static_cast<double>(result.iterations_executed));
+  run_span.AddArg("transfer_seconds", result.total_transfer_seconds);
   return result;
 }
 

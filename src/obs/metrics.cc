@@ -1,0 +1,263 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <variant>
+
+namespace rlcut {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_detailed_metrics{false};
+
+/// CAS-min/max for atomic doubles. The empty histogram seeds min with
+/// +inf and max with -inf, so the first observation always wins and no
+/// first-writer coordination is needed.
+void AtomicMin(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string SerializeLabels(const LabelSet& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+/// Shortest-ish round-trippable double for CSV cells.
+std::string FmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---- Histogram ---------------------------------------------------------
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0) || !std::isfinite(v)) return 0;
+  const int exp = std::ilogb(v) - kMinExp;
+  return std::clamp(exp, 0, kNumBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(int i) {
+  return std::ldexp(1.0, i + kMinExp);
+}
+
+void Histogram::Observe(double v) {
+  if (!std::isfinite(v)) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::min() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::Percentile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation among the sorted samples.
+  const double rank = q * static_cast<double>(total - 1);
+  double cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const double in_bucket =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket > rank) {
+      // Linear interpolation across the bucket's span.
+      const double frac = (rank - cumulative) / in_bucket;
+      const double lb = BucketLowerBound(i);
+      const double estimate = lb + frac * lb;  // ub = 2 * lb
+      return std::clamp(estimate, min(), max());
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+// ---- MetricsRegistry ---------------------------------------------------
+
+struct MetricsRegistry::Series {
+  std::string name;
+  LabelSet labels;
+  MetricKind kind;
+  Counter counter;
+  Gauge gauge;
+  std::unique_ptr<Histogram> histogram;  // large; allocated on demand
+};
+
+// Out of line: Series is incomplete at the point of declaration.
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Series* MetricsRegistry::GetSeries(std::string_view name,
+                                                    const LabelSet& labels,
+                                                    MetricKind kind) {
+  std::string key(name);
+  if (!labels.empty()) {
+    key += '{';
+    key += SerializeLabels(labels);
+    key += '}';
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    auto series = std::make_unique<Series>();
+    series->name = std::string(name);
+    series->labels = labels;
+    series->kind = kind;
+    if (kind == MetricKind::kHistogram) {
+      series->histogram = std::make_unique<Histogram>();
+    }
+    it = series_.emplace(std::move(key), std::move(series)).first;
+  } else if (it->second->kind != kind) {
+    std::fprintf(stderr,
+                 "MetricsRegistry: series '%s' requested as %s but "
+                 "registered as %s\n",
+                 key.c_str(), KindName(kind), KindName(it->second->kind));
+    std::abort();
+  }
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     const LabelSet& labels) {
+  return &GetSeries(name, labels, MetricKind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 const LabelSet& labels) {
+  return &GetSeries(name, labels, MetricKind::kGauge)->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const LabelSet& labels) {
+  return GetSeries(name, labels, MetricKind::kHistogram)->histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(series_.size());
+  for (const auto& [key, series] : series_) {
+    MetricSample sample;
+    sample.name = series->name;
+    sample.labels = series->labels;
+    sample.kind = series->kind;
+    switch (series->kind) {
+      case MetricKind::kCounter:
+        sample.value = static_cast<double>(series->counter.value());
+        break;
+      case MetricKind::kGauge:
+        sample.value = series->gauge.value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *series->histogram;
+        sample.count = h.count();
+        sample.sum = h.sum();
+        sample.min = h.min();
+        sample.max = h.max();
+        sample.p50 = h.Percentile(0.50);
+        sample.p90 = h.Percentile(0.90);
+        sample.p99 = h.Percentile(0.99);
+        sample.value = h.mean();
+        break;
+      }
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteCsv(std::ostream& os) const {
+  os << "name,labels,kind,value,count,sum,min,max,p50,p90,p99\n";
+  for (const MetricSample& s : Snapshot()) {
+    os << s.name << ',';
+    // Labels use ';' between pairs so the row stays a flat CSV.
+    for (size_t i = 0; i < s.labels.size(); ++i) {
+      if (i > 0) os << ';';
+      os << s.labels[i].first << '=' << s.labels[i].second;
+    }
+    os << ',' << KindName(s.kind) << ',' << FmtDouble(s.value) << ','
+       << s.count << ',' << FmtDouble(s.sum) << ',' << FmtDouble(s.min)
+       << ',' << FmtDouble(s.max) << ',' << FmtDouble(s.p50) << ','
+       << FmtDouble(s.p90) << ',' << FmtDouble(s.p99) << '\n';
+  }
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+std::string MetricSample::LabelValue(std::string_view key) const {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+MetricsRegistry& DefaultRegistry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void SetDetailedMetrics(bool enabled) {
+  g_detailed_metrics.store(enabled, std::memory_order_relaxed);
+}
+
+bool DetailedMetricsEnabled() {
+  return g_detailed_metrics.load(std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace rlcut

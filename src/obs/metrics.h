@@ -1,0 +1,163 @@
+#ifndef RLCUT_OBS_METRICS_H_
+#define RLCUT_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace rlcut {
+namespace obs {
+
+/// Sorted (key, value) pairs identifying one time series of a metric
+/// family, e.g. {{"step", "3"}}. Keys and values must not contain ','
+/// '=' or newlines (they flow into the CSV exporter verbatim).
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing integer metric. Increment is a relaxed
+/// atomic add, safe from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written double metric (e.g. current sampling rate).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Lock-free histogram over (0, +inf) with power-of-two bucket bounds:
+/// bucket i counts values in [2^(i+kMinExp), 2^(i+1+kMinExp)), with the
+/// first and last buckets absorbing underflow/overflow. Also tracks the
+/// exact count, sum, min and max. Percentiles interpolate within the
+/// bucket, so they are exact to within one octave and clamped to the
+/// observed [min, max].
+class Histogram {
+ public:
+  /// Lowest tracked magnitude is 2^kMinExp (~9.1e-13): smaller than any
+  /// timer tick or byte count the library records.
+  static constexpr int kMinExp = -40;
+  static constexpr int kNumBuckets = 96;
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Smallest / largest observed value; 0 when empty.
+  double min() const;
+  double max() const;
+
+  /// Approximate quantile for q in [0, 1] (0.5 = median).
+  double Percentile(double q) const;
+
+  /// Index of the bucket that Observe(v) lands in (exposed for tests).
+  static int BucketIndex(double v);
+  /// Lower bound of bucket i.
+  static double BucketLowerBound(int i);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time reading of one series, as produced by
+/// MetricsRegistry::Snapshot().
+struct MetricSample {
+  std::string name;
+  LabelSet labels;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter or gauge value (counters as double for uniformity).
+  double value = 0;
+  /// Histogram-only fields.
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+
+  /// The label of one labeled series, "" if unset.
+  std::string LabelValue(std::string_view key) const;
+};
+
+/// Thread-safe registry of named metric series. Lookup
+/// (Get{Counter,Gauge,Histogram}) takes a mutex; the returned pointers
+/// are stable for the registry's lifetime and their update operations
+/// are lock-free, so hot paths fetch instruments once and then update
+/// without synchronization. Looking up an existing name with a
+/// different kind is a programming error and aborts.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, const LabelSet& labels = {});
+  Gauge* GetGauge(std::string_view name, const LabelSet& labels = {});
+  Histogram* GetHistogram(std::string_view name, const LabelSet& labels = {});
+
+  /// All series, sorted by name then serialized labels.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// CSV export, one row per series:
+  ///   name,labels,kind,value,count,sum,min,max,p50,p90,p99
+  void WriteCsv(std::ostream& os) const;
+
+  /// Drops every series (invalidates previously returned pointers).
+  void Reset();
+
+  size_t size() const;
+
+ private:
+  struct Series;
+
+  Series* GetSeries(std::string_view name, const LabelSet& labels,
+                    MetricKind kind);
+
+  mutable std::mutex mu_;
+  /// Key: "name{k=v,k2=v2}"; std::map keeps Snapshot() deterministic.
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+/// Process-wide registry: the default sink for library instrumentation.
+MetricsRegistry& DefaultRegistry();
+
+/// Detailed-metrics switch: per-batch stage timings and other
+/// high-frequency histogram observations are recorded only when this is
+/// on (one relaxed atomic load to check). Coarse per-run aggregates are
+/// always recorded. Off by default.
+void SetDetailedMetrics(bool enabled);
+bool DetailedMetricsEnabled();
+
+}  // namespace obs
+}  // namespace rlcut
+
+#endif  // RLCUT_OBS_METRICS_H_

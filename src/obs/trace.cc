@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace rlcut {
+namespace obs {
+namespace internal {
+std::atomic<TraceRecorder*> g_trace_recorder{nullptr};
+}  // namespace internal
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Fixed 3-decimal microsecond formatting keeps the JSON deterministic
+/// across platforms (and sub-nanosecond precision is noise anyway).
+void WriteMicros(std::ostream& os, double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  os << buf;
+}
+
+void WriteArgValue(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+double TraceRecorder::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = this->events();
+  os << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) os << ',';
+    os << "\n{\"name\":";
+    WriteJsonString(os, e.name);
+    os << ",\"cat\":";
+    WriteJsonString(os, e.category);
+    os << ",\"ph\":\"X\",\"ts\":";
+    WriteMicros(os, e.start_us);
+    os << ",\"dur\":";
+    WriteMicros(os, e.duration_us);
+    os << ",\"pid\":1,\"tid\":" << e.tid;
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (size_t a = 0; a < e.args.size(); ++a) {
+        if (a > 0) os << ',';
+        WriteJsonString(os, e.args[a].first);
+        os << ':';
+        WriteArgValue(os, e.args[a].second);
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceRecorder::WriteCsv(std::ostream& os) const {
+  os << "name,category,tid,start_us,duration_us,args\n";
+  for (const TraceEvent& e : events()) {
+    os << e.name << ',' << e.category << ',' << e.tid << ',';
+    WriteMicros(os, e.start_us);
+    os << ',';
+    WriteMicros(os, e.duration_us);
+    os << ',';
+    for (size_t a = 0; a < e.args.size(); ++a) {
+      if (a > 0) os << ';';
+      os << e.args[a].first << '=';
+      WriteArgValue(os, e.args[a].second);
+    }
+    os << '\n';
+  }
+}
+
+void SetTraceRecorder(TraceRecorder* recorder) {
+  internal::g_trace_recorder.store(recorder, std::memory_order_release);
+}
+
+uint32_t CurrentTraceTid() {
+  static std::atomic<uint32_t> next_tid{1};
+  thread_local uint32_t tid = next_tid.fetch_add(1);
+  return tid;
+}
+
+}  // namespace obs
+}  // namespace rlcut

@@ -1,0 +1,125 @@
+#ifndef RLCUT_OBS_TRACE_H_
+#define RLCUT_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rlcut {
+namespace obs {
+
+/// One completed span. Times are microseconds relative to the owning
+/// recorder's epoch (its construction time), as Chrome's "X" complete
+/// events expect.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double start_us = 0;
+  double duration_us = 0;
+  /// Small per-process thread number (see CurrentTraceTid()).
+  uint32_t tid = 0;
+  /// Numeric span arguments, e.g. {"step", 3}.
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// Thread-safe collector of completed spans with Chrome-trace
+/// (chrome://tracing, Perfetto) and CSV exporters. Recording appends
+/// under a mutex; spans are short-lived objects so contention is one
+/// lock per span end.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Record(TraceEvent event);
+
+  /// Microseconds since this recorder's epoch.
+  double NowMicros() const;
+
+  std::vector<TraceEvent> events() const;
+  size_t size() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]} with "X" complete
+  /// events. Loadable by chrome://tracing and ui.perfetto.dev.
+  void WriteChromeTrace(std::ostream& os) const;
+
+  /// Flat CSV: name,category,tid,start_us,duration_us,args.
+  void WriteCsv(std::ostream& os) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+namespace internal {
+extern std::atomic<TraceRecorder*> g_trace_recorder;
+}  // namespace internal
+
+/// Installs (or, with nullptr, uninstalls) the process-wide recorder
+/// that TraceSpan reports to. The caller keeps ownership and must keep
+/// the recorder alive until after uninstalling it; installation is not
+/// synchronized with in-flight spans, so install/uninstall around —
+/// not during — instrumented runs.
+void SetTraceRecorder(TraceRecorder* recorder);
+
+inline TraceRecorder* GetTraceRecorder() {
+  return internal::g_trace_recorder.load(std::memory_order_acquire);
+}
+
+/// True when a recorder is installed. Disabled tracing costs exactly
+/// this load per span.
+inline bool TracingEnabled() { return GetTraceRecorder() != nullptr; }
+
+/// Dense 1-based id for the calling thread, stable for its lifetime.
+uint32_t CurrentTraceTid();
+
+/// RAII span: captures the recorder at construction; when tracing is
+/// disabled the constructor is a single atomic load and the destructor
+/// a null check. Name/category must be string literals (stored as
+/// pointers until the span ends).
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+      : recorder_(GetTraceRecorder()), name_(name), category_(category) {
+    if (recorder_ != nullptr) start_us_ = recorder_->NowMicros();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric argument (no-op when tracing is disabled).
+  void AddArg(const char* key, double value) {
+    if (recorder_ != nullptr) args_.emplace_back(key, value);
+  }
+
+  ~TraceSpan() {
+    if (recorder_ == nullptr) return;
+    TraceEvent event;
+    event.name = name_;
+    event.category = category_;
+    event.start_us = start_us_;
+    event.duration_us = recorder_->NowMicros() - start_us_;
+    event.tid = CurrentTraceTid();
+    event.args = std::move(args_);
+    recorder_->Record(std::move(event));
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0;
+  std::vector<std::pair<std::string, double>> args_;
+};
+
+}  // namespace obs
+}  // namespace rlcut
+
+#endif  // RLCUT_OBS_TRACE_H_

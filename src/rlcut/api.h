@@ -1,0 +1,48 @@
+#ifndef RLCUT_RLCUT_API_H_
+#define RLCUT_RLCUT_API_H_
+
+/// Umbrella header: the library's public surface in one include.
+///
+/// Pulls in everything an application needs to go from a graph to an
+/// evaluated geo-distributed partition:
+///
+///  * graphs       — SNAP edge-list loading (graph/io.h), the paper's
+///                   dataset presets (graph/datasets.h), synthetic
+///                   generators (graph/generators.h) and geo-scattering
+///                   of vertices over DCs (graph/geo.h);
+///  * topologies   — EC2-profile presets and custom data-center
+///                   topologies (cloud/topology.h);
+///  * partitioners — the string-keyed registry (ListPartitioners /
+///                   MakePartitionerByName) and the unified fallible
+///                   Partitioner::Run API (baselines/partitioner.h),
+///                   plus direct access to RLCut's trainer-level output
+///                   (rlcut/rlcut_partitioner.h);
+///  * evaluation   — the Eq. 1-5 quality metrics and report
+///                   (partition/metrics.h);
+///  * plans        — saving, loading and applying partition plans
+///                   (partition/plan_io.h);
+///  * observability— the metrics registry and trace spans that every
+///                   layer above records into (obs/metrics.h,
+///                   obs/trace.h);
+///  * scaffolding  — Status / Result error handling (common/status.h)
+///                   and command-line flag parsing (common/flags.h).
+///
+/// Applications should prefer this header over reaching into the
+/// per-layer headers; see examples/quickstart.cpp. Link against the
+/// umbrella `rlcut` CMake target.
+
+#include "baselines/partitioner.h"
+#include "cloud/topology.h"
+#include "common/flags.h"
+#include "common/status.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/geo.h"
+#include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "partition/metrics.h"
+#include "partition/plan_io.h"
+#include "rlcut/rlcut_partitioner.h"
+
+#endif  // RLCUT_RLCUT_API_H_

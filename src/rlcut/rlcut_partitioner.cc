@@ -30,7 +30,7 @@ class RLCutPartitioner : public Partitioner {
   std::string name() const override { return "RLCut"; }
   ComputeModel model() const override { return ComputeModel::kHybridCut; }
 
-  PartitionOutput Run(const PartitionerContext& ctx) override {
+  PartitionOutput DoRun(const PartitionerContext& ctx) override {
     RLCutRunOutput out = RunRLCut(ctx, options_);
     return PartitionOutput(std::move(out.state),
                            out.train.overhead_seconds);

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <memory>
 #include <numeric>
+#include <string>
+#include <string_view>
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace rlcut {
 namespace {
@@ -43,7 +46,73 @@ double ObjectiveScore(const Objective& before, const Objective& after,
   return score;
 }
 
+// Instruments of one training step's "trainer.step.*" series, fetched
+// once per step so the hot loops update raw counters.
+struct StepInstruments {
+  obs::Counter* migrations;
+  obs::Counter* rollbacks;
+  obs::Gauge* sample_rate;
+  obs::Gauge* num_agents;
+  obs::Gauge* seconds;
+  obs::Gauge* transfer_seconds;
+  obs::Gauge* cost_dollars;
+
+  StepInstruments(obs::MetricsRegistry* registry, int step) {
+    const obs::LabelSet label = {{"step", std::to_string(step)}};
+    migrations = registry->GetCounter("trainer.step.migrations", label);
+    rollbacks = registry->GetCounter("trainer.step.rollbacks", label);
+    sample_rate = registry->GetGauge("trainer.step.sample_rate", label);
+    num_agents = registry->GetGauge("trainer.step.num_agents", label);
+    seconds = registry->GetGauge("trainer.step.seconds", label);
+    transfer_seconds =
+        registry->GetGauge("trainer.step.transfer_seconds", label);
+    cost_dollars = registry->GetGauge("trainer.step.cost_dollars", label);
+  }
+};
+
 }  // namespace
+
+std::vector<StepStats> StepStatsFromRegistry(
+    const obs::MetricsRegistry& registry) {
+  std::vector<StepStats> steps;
+  auto stats_for = [&steps](int step) -> StepStats& {
+    for (StepStats& s : steps) {
+      if (s.step == step) return s;
+    }
+    steps.emplace_back();
+    steps.back().step = step;
+    return steps.back();
+  };
+  constexpr std::string_view kPrefix = "trainer.step.";
+  for (const obs::MetricSample& sample : registry.Snapshot()) {
+    if (sample.name.rfind(kPrefix, 0) != 0) continue;
+    const std::string step_label = sample.LabelValue("step");
+    if (step_label.empty()) continue;
+    StepStats& s = stats_for(std::stoi(step_label));
+    const std::string_view field =
+        std::string_view(sample.name).substr(kPrefix.size());
+    if (field == "migrations") {
+      s.migrations = static_cast<uint64_t>(sample.value);
+    } else if (field == "rollbacks") {
+      s.rollbacks = static_cast<uint64_t>(sample.value);
+    } else if (field == "sample_rate") {
+      s.sample_rate = sample.value;
+    } else if (field == "num_agents") {
+      s.num_agents = static_cast<uint64_t>(sample.value);
+    } else if (field == "seconds") {
+      s.seconds = sample.value;
+    } else if (field == "transfer_seconds") {
+      s.transfer_seconds = sample.value;
+    } else if (field == "cost_dollars") {
+      s.cost_dollars = sample.value;
+    }
+  }
+  std::sort(steps.begin(), steps.end(),
+            [](const StepStats& a, const StepStats& b) {
+              return a.step < b.step;
+            });
+  return steps;
+}
 
 RLCutTrainer::RLCutTrainer(const RLCutOptions& options) : options_(options) {
   RLCUT_CHECK_GT(options_.max_steps, 0);
@@ -98,6 +167,29 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
   RLCUT_CHECK(state != nullptr);
   TrainResult result;
   WallTimer total_timer;
+  obs::TraceSpan train_span("trainer/train", "trainer");
+  train_span.AddArg("eligible", static_cast<double>(eligible.size()));
+  // Per-run registry: the single bookkeeping path for step telemetry;
+  // TrainResult::steps is materialized from it (see StepStats).
+  obs::MetricsRegistry run_registry;
+  obs::MetricsRegistry& global_registry = obs::DefaultRegistry();
+  obs::Counter* total_steps = global_registry.GetCounter("trainer.steps");
+  obs::Counter* total_visits =
+      global_registry.GetCounter("trainer.agent_visits");
+  obs::Counter* total_migrations =
+      global_registry.GetCounter("trainer.migrations");
+  obs::Counter* total_rollbacks =
+      global_registry.GetCounter("trainer.rollbacks");
+  // Per-batch stage timings are histogram observations; they are only
+  // taken when detailed metrics are on (SetDetailedMetrics).
+  const bool detailed = obs::DetailedMetricsEnabled();
+  obs::Histogram* score_stage_seconds =
+      detailed ? global_registry.GetHistogram("trainer.stage.score_seconds")
+               : nullptr;
+  obs::Histogram* migrate_stage_seconds =
+      detailed
+          ? global_registry.GetHistogram("trainer.stage.migrate_seconds")
+          : nullptr;
   const Graph& graph = state->graph();
   const int num_dcs = state->num_dcs();
   if (eligible.empty() || num_dcs < 2) {
@@ -158,6 +250,8 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
   int64_t visits_remaining = options_.agent_visit_budget;
 
   for (int step = 0; step < options_.max_steps; ++step) {
+    obs::TraceSpan step_span("trainer/step", "trainer");
+    step_span.AddArg("step", step);
     double sr = SampleRateForStep(step, result.steps);
     if (options_.agent_visit_budget > 0) {
       if (visits_remaining <= 0) {
@@ -182,20 +276,25 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
 
     // Sampled agent set: a reserved share of hub agents plus the
     // lowest-degree prefix (Sec. V-C + the hub-slot extension).
-    agents.clear();
-    const size_t hub_count = std::min<size_t>(
-        static_cast<size_t>(options_.hub_slot_fraction *
-                            static_cast<double>(num_agents)),
-        hub_order.size());
-    for (size_t i = 0; i < hub_count; ++i) {
-      agents.push_back(hub_order[i]);
-      taken[hub_order[i]] = 1;
+    {
+      obs::TraceSpan sample_span("trainer/stage/sample", "trainer");
+      sample_span.AddArg("sample_rate", sr);
+      sample_span.AddArg("target_agents", static_cast<double>(num_agents));
+      agents.clear();
+      const size_t hub_count = std::min<size_t>(
+          static_cast<size_t>(options_.hub_slot_fraction *
+                              static_cast<double>(num_agents)),
+          hub_order.size());
+      for (size_t i = 0; i < hub_count; ++i) {
+        agents.push_back(hub_order[i]);
+        taken[hub_order[i]] = 1;
+      }
+      for (VertexId v : eligible) {
+        if (agents.size() >= num_agents) break;
+        if (!taken[v]) agents.push_back(v);
+      }
+      for (size_t i = 0; i < hub_count; ++i) taken[hub_order[i]] = 0;
     }
-    for (VertexId v : eligible) {
-      if (agents.size() >= num_agents) break;
-      if (!taken[v]) agents.push_back(v);
-    }
-    for (size_t i = 0; i < hub_count; ++i) taken[hub_order[i]] = 0;
 
     // Eq. 10 weights for this step. The cost term engages only while
     // the budget is violated; tw shifts toward cost as training ages.
@@ -214,16 +313,19 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
             ? std::pow(std::min(1.0, c_l / options_.budget), 2.0)
             : 0.0;
 
-    StepStats stats;
-    stats.step = step;
-    stats.sample_rate = sr;
-    stats.num_agents = agents.size();
+    StepInstruments step_metrics(&run_registry, step);
+    step_metrics.sample_rate->Set(sr);
+    step_metrics.num_agents->Set(static_cast<double>(agents.size()));
+    step_span.AddArg("sample_rate", sr);
+    step_span.AddArg("num_agents", static_cast<double>(agents.size()));
 
     for (uint64_t batch_begin = 0; batch_begin < agents.size();
          batch_begin += batch_size) {
       const uint64_t batch_end =
           std::min<uint64_t>(agents.size(), batch_begin + batch_size);
       const size_t this_batch = batch_end - batch_begin;
+      obs::TraceSpan batch_span("trainer/batch", "trainer");
+      batch_span.AddArg("agents", static_cast<double>(this_batch));
 
       // Batch-start snapshot: agents in this batch score moves against
       // it (the batching semantics of Sec. V-A).
@@ -272,6 +374,9 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
         chosen[slot] = action;
       };
 
+      {
+      obs::TraceSpan score_span("trainer/stage/score", "trainer");
+      WallTimer stage_timer;
       if (options_.straggler_mitigation && this_batch > 1) {
         // Greedy least-loaded assignment, heaviest agents first, to
         // minimize Var over threads of the summed degree (Sec. V-B).
@@ -305,8 +410,14 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
               }
             });
       }
+      if (score_stage_seconds != nullptr) {
+        score_stage_seconds->Observe(stage_timer.ElapsedSeconds());
+      }
+      }
 
       // ---- Sequential stage: step 5, migration with rollback. --------
+      obs::TraceSpan migrate_span("trainer/stage/migrate", "trainer");
+      WallTimer migrate_timer;
       for (size_t slot = 0; slot < this_batch; ++slot) {
         const VertexId v = agents[batch_begin + slot];
         const DcId action = chosen[slot];
@@ -330,20 +441,30 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
                            options_.smooth_weight, cost_pressure,
                            options_.budget) < 0) {
           state->MoveMaster(v, from);  // exact rollback
-          ++stats.rollbacks;
+          step_metrics.rollbacks->Increment();
         } else {
-          ++stats.migrations;
+          step_metrics.migrations->Increment();
         }
+      }
+      if (migrate_stage_seconds != nullptr) {
+        migrate_stage_seconds->Observe(migrate_timer.ElapsedSeconds());
       }
     }
 
     visits_remaining -= static_cast<int64_t>(agents.size());
 
     const Objective objective = state->CurrentObjective();
-    stats.seconds = step_timer.ElapsedSeconds();
-    stats.transfer_seconds = objective.transfer_seconds;
-    stats.cost_dollars = objective.cost_dollars;
-    result.steps.push_back(stats);
+    step_metrics.seconds->Set(step_timer.ElapsedSeconds());
+    step_metrics.transfer_seconds->Set(objective.transfer_seconds);
+    step_metrics.cost_dollars->Set(objective.cost_dollars);
+    // StepStats is a view: re-materialize the telemetry from the
+    // registry (the Eq. 14 sampler reads it next step).
+    result.steps = StepStatsFromRegistry(run_registry);
+
+    total_steps->Increment();
+    total_visits->Increment(agents.size());
+    total_migrations->Increment(step_metrics.migrations->value());
+    total_rollbacks->Increment(step_metrics.rollbacks->value());
 
     // Convergence: negligible relative improvement while feasible.
     const bool feasible = options_.budget <= 0 ||

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "partition/partition_state.h"
 #include "rlcut/automaton.h"
 #include "rlcut/options.h"
@@ -12,6 +13,12 @@
 namespace rlcut {
 
 /// Per-training-step telemetry (drives Fig. 13/14 and Table IV).
+///
+/// The trainer no longer books these separately: every field is
+/// recorded into a per-run metrics registry under "trainer.step.*"
+/// series labeled {"step", i}, and StepStats is materialized back from
+/// that registry by StepStatsFromRegistry() — one bookkeeping path for
+/// both the exported metrics and the in-process telemetry.
 struct StepStats {
   int step = 0;
   double sample_rate = 0;
@@ -22,6 +29,13 @@ struct StepStats {
   uint64_t migrations = 0;
   uint64_t rollbacks = 0;
 };
+
+/// Rebuilds the chronological step telemetry from the "trainer.step.*"
+/// series of `registry` (see StepStats). Steps come out sorted by their
+/// {"step"} label, so the result equals the TrainResult::steps of the
+/// run that filled the registry.
+std::vector<StepStats> StepStatsFromRegistry(
+    const obs::MetricsRegistry& registry);
 
 /// Outcome of a training run.
 struct TrainResult {

@@ -43,44 +43,44 @@ TEST_F(ExtraBaselinesTest, AllExtrasProduceValidStates) {
   for (auto factory : {&MakeOblivious, &MakeLdg}) {
     auto p = factory();
     SCOPED_TRACE(p->name());
-    PartitionOutput out = p->Run(ctx_);
+    PartitionOutput out = p->RunOrDie(ctx_);
     EXPECT_TRUE(out.state.CheckInvariants());
     EXPECT_GE(out.state.ReplicationFactor(), 1.0);
   }
-  PartitionOutput hdrf = MakeHdrf()->Run(ctx_);
+  PartitionOutput hdrf = MakeHdrf()->RunOrDie(ctx_);
   EXPECT_TRUE(hdrf.state.CheckInvariants());
 }
 
 TEST_F(ExtraBaselinesTest, ObliviousBeatsRandomOnReplication) {
   // PowerGraph's whole point: greedy placement cuts the replication
   // factor relative to random edge assignment.
-  PartitionOutput random = MakePartitionerByName("RandPG")->Run(ctx_);
-  PartitionOutput oblivious = MakeOblivious()->Run(ctx_);
+  PartitionOutput random = MakePartitionerByName("RandPG")->RunOrDie(ctx_);
+  PartitionOutput oblivious = MakeOblivious()->RunOrDie(ctx_);
   EXPECT_LT(oblivious.state.ReplicationFactor(),
             random.state.ReplicationFactor());
 }
 
 TEST_F(ExtraBaselinesTest, HdrfBeatsRandomOnReplication) {
-  PartitionOutput random = MakePartitionerByName("RandPG")->Run(ctx_);
-  PartitionOutput hdrf = MakeHdrf()->Run(ctx_);
+  PartitionOutput random = MakePartitionerByName("RandPG")->RunOrDie(ctx_);
+  PartitionOutput hdrf = MakeHdrf()->RunOrDie(ctx_);
   EXPECT_LT(hdrf.state.ReplicationFactor(),
             random.state.ReplicationFactor());
 }
 
 TEST_F(ExtraBaselinesTest, HdrfKeepsEdgeBalance) {
-  PartitionOutput hdrf = MakeHdrf()->Run(ctx_);
+  PartitionOutput hdrf = MakeHdrf()->RunOrDie(ctx_);
   const PartitionReport report = MakeReport(hdrf.state);
   EXPECT_LT(report.edge_balance, 1.6);
 }
 
 TEST_F(ExtraBaselinesTest, LdgBalancesMasters) {
-  PartitionOutput ldg = MakeLdg()->Run(ctx_);
+  PartitionOutput ldg = MakeLdg()->RunOrDie(ctx_);
   const PartitionReport report = MakeReport(ldg.state);
   EXPECT_LT(report.master_balance, 1.2);
 }
 
 TEST_F(ExtraBaselinesTest, LdgLocalizesBetterThanHash) {
-  PartitionOutput ldg = MakeLdg()->Run(ctx_);
+  PartitionOutput ldg = MakeLdg()->RunOrDie(ctx_);
   PartitionOutput hash_edge_cut = [&] {
     PartitionConfig config;
     config.model = ComputeModel::kEdgeCut;

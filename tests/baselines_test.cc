@@ -45,7 +45,7 @@ class BaselinesTest : public ::testing::Test {
 TEST_F(BaselinesTest, AllPaperBaselinesProduceValidStates) {
   for (auto& p : MakePaperBaselines()) {
     SCOPED_TRACE(p->name());
-    PartitionOutput out = p->Run(ctx_);
+    PartitionOutput out = p->RunOrDie(ctx_);
     EXPECT_TRUE(out.state.CheckInvariants());
     EXPECT_GE(out.overhead_seconds, 0.0);
     const PartitionReport report = MakeReport(out.state);
@@ -66,14 +66,14 @@ TEST_F(BaselinesTest, PaperBaselineNamesAndOrder) {
 }
 
 TEST_F(BaselinesTest, RandPgBalancesEdges) {
-  PartitionOutput out = MakeRandPg()->Run(ctx_);
+  PartitionOutput out = MakeRandPg()->RunOrDie(ctx_);
   const PartitionReport report = MakeReport(out.state);
   // Uniform random placement: max/mean edge load close to 1.
   EXPECT_LT(report.edge_balance, 1.2);
 }
 
 TEST_F(BaselinesTest, HashPlBalancesMasters) {
-  PartitionOutput out = MakeHashPl()->Run(ctx_);
+  PartitionOutput out = MakeHashPl()->RunOrDie(ctx_);
   const PartitionReport report = MakeReport(out.state);
   EXPECT_LT(report.master_balance, 1.2);
 }
@@ -81,8 +81,8 @@ TEST_F(BaselinesTest, HashPlBalancesMasters) {
 TEST_F(BaselinesTest, HybridHashBeatsVertexCutRandomOnWan) {
   // The Fig. 2 comparison: HashPL (hybrid) should use less WAN and have
   // lower replication than RandPG (vertex-cut) on a skewed graph.
-  PartitionOutput rand_pg = MakeRandPg()->Run(ctx_);
-  PartitionOutput hash_pl = MakeHashPl()->Run(ctx_);
+  PartitionOutput rand_pg = MakeRandPg()->RunOrDie(ctx_);
+  PartitionOutput hash_pl = MakeHashPl()->RunOrDie(ctx_);
   EXPECT_LT(hash_pl.state.ReplicationFactor(),
             rand_pg.state.ReplicationFactor());
   EXPECT_LT(hash_pl.state.WanBytesPerIteration(),
@@ -90,8 +90,8 @@ TEST_F(BaselinesTest, HybridHashBeatsVertexCutRandomOnWan) {
 }
 
 TEST_F(BaselinesTest, GingerImprovesOnHashPl) {
-  PartitionOutput hash_pl = MakeHashPl()->Run(ctx_);
-  PartitionOutput ginger = MakeGinger()->Run(ctx_);
+  PartitionOutput hash_pl = MakeHashPl()->RunOrDie(ctx_);
+  PartitionOutput ginger = MakeGinger()->RunOrDie(ctx_);
   // Greedy locality placement cuts replication vs pure hashing.
   EXPECT_LT(ginger.state.ReplicationFactor(),
             hash_pl.state.ReplicationFactor());
@@ -100,14 +100,14 @@ TEST_F(BaselinesTest, GingerImprovesOnHashPl) {
 TEST_F(BaselinesTest, GeoCutRespectsBudgetWhenFeasible) {
   PartitionerContext ctx = ctx_;
   ctx.budget = 50.0;
-  PartitionOutput out = MakeGeoCut()->Run(ctx);
+  PartitionOutput out = MakeGeoCut()->RunOrDie(ctx);
   const Objective obj = out.state.CurrentObjective();
   EXPECT_LE(obj.cost_dollars, ctx.budget * 1.01);
 }
 
 TEST_F(BaselinesTest, GeoCutBeatsRandomPlacementOnTransferTime) {
-  PartitionOutput rand_pg = MakeRandPg()->Run(ctx_);
-  PartitionOutput geo = MakeGeoCut()->Run(ctx_);
+  PartitionOutput rand_pg = MakeRandPg()->RunOrDie(ctx_);
+  PartitionOutput geo = MakeGeoCut()->RunOrDie(ctx_);
   EXPECT_LT(geo.state.CurrentObjective().transfer_seconds,
             rand_pg.state.CurrentObjective().transfer_seconds);
 }
@@ -116,7 +116,7 @@ TEST_F(BaselinesTest, SpinnerImprovesLocalityOverHashInit) {
   // Spinner's LP must reduce WAN traffic relative to the hash start it
   // refines.
   PartitionerContext ctx = ctx_;
-  PartitionOutput spinner = MakeSpinner()->Run(ctx);
+  PartitionOutput spinner = MakeSpinner()->RunOrDie(ctx);
 
   // Rebuild the hash starting point for comparison (same seed).
   PartitionConfig config;
@@ -136,7 +136,7 @@ TEST_F(BaselinesTest, SpinnerImprovesLocalityOverHashInit) {
 }
 
 TEST_F(BaselinesTest, SpinnerKeepsRoughEdgeBalance) {
-  PartitionOutput out = MakeSpinner()->Run(ctx_);
+  PartitionOutput out = MakeSpinner()->RunOrDie(ctx_);
   const PartitionReport report = MakeReport(out.state);
   SpinnerOptions defaults;
   EXPECT_LT(report.edge_balance, defaults.balance_slack * 8.0);
@@ -171,7 +171,7 @@ TEST_F(BaselinesTest, SpinnerIncrementalRefinementOnlyTouchesNeighborhood) {
 }
 
 TEST_F(BaselinesTest, RevolverProducesLocalityAboveRandom) {
-  PartitionOutput revolver = MakeRevolver()->Run(ctx_);
+  PartitionOutput revolver = MakeRevolver()->RunOrDie(ctx_);
   // Compare against a random edge-cut assignment via WAN usage.
   PartitionConfig config;
   config.model = ComputeModel::kEdgeCut;
@@ -188,7 +188,7 @@ TEST_F(BaselinesTest, RevolverProducesLocalityAboveRandom) {
 }
 
 TEST_F(BaselinesTest, FennelBalancesAndLocalizes) {
-  PartitionOutput fennel = MakeFennel()->Run(ctx_);
+  PartitionOutput fennel = MakeFennel()->RunOrDie(ctx_);
   const PartitionReport report = MakeReport(fennel.state);
   EXPECT_LT(report.master_balance, 2.0);
   EXPECT_TRUE(fennel.state.CheckInvariants());
@@ -197,8 +197,8 @@ TEST_F(BaselinesTest, FennelBalancesAndLocalizes) {
 TEST_F(BaselinesTest, DeterministicGivenSeed) {
   for (auto* factory : {+[] { return MakeHashPl(); }, +[] { return MakeGinger(); },
                         +[] { return MakeRandPg(); }}) {
-    auto a = factory()->Run(ctx_);
-    auto b = factory()->Run(ctx_);
+    auto a = factory()->RunOrDie(ctx_);
+    auto b = factory()->RunOrDie(ctx_);
     EXPECT_EQ(a.state.masters(), b.state.masters());
   }
 }

@@ -60,7 +60,7 @@ TEST_F(IntegrationTest, EveryPartitionerYieldsExactPageRank) {
     SCOPED_TRACE(name);
     auto partitioner = MakePartitionerByName(name);
     ASSERT_NE(partitioner, nullptr);
-    PartitionOutput out = partitioner->Run(ctx_);
+    PartitionOutput out = partitioner->RunOrDie(ctx_);
     auto program = MakePageRank(10);
     GasEngine engine(&out.state);
     const RunResult run = engine.Run(program.get());
@@ -94,7 +94,7 @@ TEST_F(IntegrationTest, PageRankModelPredictionMatchesRealizedTraffic) {
 }
 
 TEST_F(IntegrationTest, EngineTrafficAccountingIsConsistent) {
-  PartitionOutput out = MakePartitionerByName("HashPL")->Run(ctx_);
+  PartitionOutput out = MakePartitionerByName("HashPL")->RunOrDie(ctx_);
   auto program = MakePageRank(6);
   GasEngine engine(&out.state);
   const RunResult run = engine.Run(program.get());
@@ -197,7 +197,7 @@ TEST_F(IntegrationTest, RLCutPipelineBeatsRandomEndToEnd) {
   // The headline, measured on the engine rather than the model: a
   // partitioning optimized by RLCut must realize lower transfer time
   // than random vertex-cut on the same execution.
-  PartitionOutput random = MakePartitionerByName("RandPG")->Run(ctx_);
+  PartitionOutput random = MakePartitionerByName("RandPG")->RunOrDie(ctx_);
   RLCutOptions opt;
   opt.max_steps = 5;
   opt.budget = ctx_.budget;

@@ -46,13 +46,13 @@ class OptimizerBaselinesTest : public ::testing::Test {
 // ---- Multilevel -----------------------------------------------------------
 
 TEST_F(OptimizerBaselinesTest, MultilevelProducesValidState) {
-  PartitionOutput out = MakeMultilevel()->Run(ctx_);
+  PartitionOutput out = MakeMultilevel()->RunOrDie(ctx_);
   EXPECT_TRUE(out.state.CheckInvariants());
   EXPECT_GE(out.state.ReplicationFactor(), 1.0);
 }
 
 TEST_F(OptimizerBaselinesTest, MultilevelCutsWanVsHashEdgeCut) {
-  PartitionOutput ml = MakeMultilevel()->Run(ctx_);
+  PartitionOutput ml = MakeMultilevel()->RunOrDie(ctx_);
   // Hash edge-cut comparison point.
   PartitionConfig config;
   config.model = ComputeModel::kEdgeCut;
@@ -81,7 +81,7 @@ TEST_F(OptimizerBaselinesTest, MultilevelFindsStructuredCuts) {
   ctx.locations = &locations;
   ctx.input_sizes = &sizes;
 
-  PartitionOutput ml = MakeMultilevel()->Run(ctx);
+  PartitionOutput ml = MakeMultilevel()->RunOrDie(ctx);
   auto cut_fraction = [&](const PartitionState& state) {
     uint64_t cut = 0;
     for (EdgeId e = 0; e < grid.num_edges(); ++e) {
@@ -96,7 +96,7 @@ TEST_F(OptimizerBaselinesTest, MultilevelFindsStructuredCuts) {
 }
 
 TEST_F(OptimizerBaselinesTest, MultilevelKeepsBalance) {
-  PartitionOutput ml = MakeMultilevel()->Run(ctx_);
+  PartitionOutput ml = MakeMultilevel()->RunOrDie(ctx_);
   const PartitionReport report = MakeReport(ml.state);
   EXPECT_LT(report.master_balance, 1.5);
 }
@@ -112,15 +112,15 @@ TEST_F(OptimizerBaselinesTest, MultilevelHandlesTinyAndDisconnected) {
   ctx.graph = &g;
   ctx.locations = &locations;
   ctx.input_sizes = &sizes;
-  PartitionOutput out = MakeMultilevel()->Run(ctx);
+  PartitionOutput out = MakeMultilevel()->RunOrDie(ctx);
   EXPECT_TRUE(out.state.CheckInvariants());
 }
 
 TEST_F(OptimizerBaselinesTest, MultilevelBeatsLdgOnLocality) {
   // The multilevel pipeline should localize at least as well as a
   // single-pass streaming heuristic.
-  PartitionOutput ml = MakeMultilevel()->Run(ctx_);
-  PartitionOutput ldg = MakeLdg()->Run(ctx_);
+  PartitionOutput ml = MakeMultilevel()->RunOrDie(ctx_);
+  PartitionOutput ldg = MakeLdg()->RunOrDie(ctx_);
   EXPECT_LT(ml.state.WanBytesPerIteration(),
             1.1 * ldg.state.WanBytesPerIteration());
 }
@@ -139,7 +139,7 @@ TEST_F(OptimizerBaselinesTest, AnnealingImprovesOverNaturalStart) {
 
   AnnealingOptions opt;
   opt.moves_per_vertex = 10;
-  PartitionOutput out = MakeAnnealing(opt)->Run(ctx_);
+  PartitionOutput out = MakeAnnealing(opt)->RunOrDie(ctx_);
   EXPECT_LT(out.state.CurrentObjective().transfer_seconds, before);
   EXPECT_TRUE(out.state.CheckInvariants());
 }
@@ -147,7 +147,7 @@ TEST_F(OptimizerBaselinesTest, AnnealingImprovesOverNaturalStart) {
 TEST_F(OptimizerBaselinesTest, AnnealingRespectsBudgetFromFeasibleStart) {
   AnnealingOptions opt;
   opt.moves_per_vertex = 10;
-  PartitionOutput out = MakeAnnealing(opt)->Run(ctx_);
+  PartitionOutput out = MakeAnnealing(opt)->RunOrDie(ctx_);
   EXPECT_LE(out.state.CurrentObjective().cost_dollars,
             ctx_.budget * 1.0001);
 }
@@ -155,8 +155,8 @@ TEST_F(OptimizerBaselinesTest, AnnealingRespectsBudgetFromFeasibleStart) {
 TEST_F(OptimizerBaselinesTest, AnnealingDeterministicBySeed) {
   AnnealingOptions opt;
   opt.moves_per_vertex = 5;
-  PartitionOutput a = MakeAnnealing(opt)->Run(ctx_);
-  PartitionOutput b = MakeAnnealing(opt)->Run(ctx_);
+  PartitionOutput a = MakeAnnealing(opt)->RunOrDie(ctx_);
+  PartitionOutput b = MakeAnnealing(opt)->RunOrDie(ctx_);
   EXPECT_EQ(a.state.masters(), b.state.masters());
 }
 
@@ -169,7 +169,7 @@ TEST_F(OptimizerBaselinesTest, LookupIncludesNewOptimizers) {
 TEST_F(OptimizerBaselinesTest, SingleAgentRlProducesValidState) {
   SingleAgentRlOptions opt;
   opt.moves_per_vertex = 5;
-  PartitionOutput out = MakeSingleAgentRl(opt)->Run(ctx_);
+  PartitionOutput out = MakeSingleAgentRl(opt)->RunOrDie(ctx_);
   EXPECT_TRUE(out.state.CheckInvariants());
   EXPECT_LE(out.state.CurrentObjective().cost_dollars,
             ctx_.budget * 1.0001);
@@ -187,7 +187,7 @@ TEST_F(OptimizerBaselinesTest, SingleAgentRlImprovesOverNatural) {
 
   SingleAgentRlOptions opt;
   opt.moves_per_vertex = 10;
-  PartitionOutput out = MakeSingleAgentRl(opt)->Run(ctx_);
+  PartitionOutput out = MakeSingleAgentRl(opt)->RunOrDie(ctx_);
   EXPECT_LT(out.state.CurrentObjective().transfer_seconds, before);
 }
 
@@ -196,8 +196,8 @@ TEST_F(OptimizerBaselinesTest, SingleAgentRlMoreMovesMoreQuality) {
   small.moves_per_vertex = 1;
   SingleAgentRlOptions large;
   large.moves_per_vertex = 16;
-  PartitionOutput a = MakeSingleAgentRl(small)->Run(ctx_);
-  PartitionOutput b = MakeSingleAgentRl(large)->Run(ctx_);
+  PartitionOutput a = MakeSingleAgentRl(small)->RunOrDie(ctx_);
+  PartitionOutput b = MakeSingleAgentRl(large)->RunOrDie(ctx_);
   EXPECT_LT(b.state.CurrentObjective().transfer_seconds,
             a.state.CurrentObjective().transfer_seconds);
 }

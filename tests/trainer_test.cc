@@ -220,7 +220,7 @@ TEST_F(TrainerTest, PartitionerAdapterRuns) {
   auto partitioner = MakeRLCut(FastOptions());
   EXPECT_EQ(partitioner->name(), "RLCut");
   EXPECT_EQ(partitioner->model(), ComputeModel::kHybridCut);
-  PartitionOutput out = partitioner->Run(ctx_);
+  PartitionOutput out = partitioner->RunOrDie(ctx_);
   EXPECT_TRUE(out.state.CheckInvariants());
   EXPECT_GT(out.overhead_seconds, 0.0);
 }
@@ -228,7 +228,7 @@ TEST_F(TrainerTest, PartitionerAdapterRuns) {
 TEST_F(TrainerTest, BeatsGingerOnHeterogeneousNetwork) {
   // The core claim (Fig. 10): on a heterogeneous topology RLCut's final
   // transfer time undercuts Ginger's.
-  auto ginger = MakeGinger()->Run(ctx_);
+  auto ginger = MakeGinger()->RunOrDie(ctx_);
   RLCutOptions opt = FastOptions();
   opt.max_steps = 10;
   RLCutRunOutput ours = RunRLCut(ctx_, opt);

@@ -1,27 +1,32 @@
 // rlcut_tool: command-line partitioner. Loads a graph (SNAP edge list or
 // a built-in dataset preset), partitions it across a geo-distributed
 // topology with RLCut or any baseline, reports the Eq. 1-5 quality
-// metrics, and optionally saves/loads the plan.
+// metrics, and optionally saves/loads the plan, a Chrome-trace JSON of
+// the run, and a metrics CSV.
 //
 // Examples:
 //   rlcut_tool --dataset=TW --scale=2000 --method=RLCut --t_opt=5
 //   rlcut_tool --input=graph.el --method=Ginger --dcs=4
 //   rlcut_tool --dataset=LJ --load_plan=plan.txt        # evaluate a plan
 //   rlcut_tool --dataset=LJ --method=RLCut --save_plan=plan.txt
+//   rlcut_tool --dataset=TW --method=RLCut --trace_out=trace.json \
+//       --metrics_out=metrics.csv   # open trace.json in ui.perfetto.dev
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 
-#include "baselines/extra_partitioners.h"
+#include "baselines/partitioner.h"
 #include "cloud/topology.h"
 #include "common/flags.h"
 #include "common/table_writer.h"
 #include "graph/datasets.h"
 #include "graph/geo.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/metrics.h"
 #include "partition/plan_io.h"
-#include "rlcut/rlcut_partitioner.h"
 
 namespace {
 
@@ -30,6 +35,15 @@ using namespace rlcut;
 int Fail(const Status& status) {
   std::cerr << "error: " << status.ToString() << "\n";
   return 1;
+}
+
+std::string KnownMethods() {
+  std::string out;
+  for (const PartitionerInfo& info : ListPartitioners()) {
+    if (!out.empty()) out += ", ";
+    out += info.name;
+  }
+  return out;
 }
 
 Result<Topology> MakeTopologyFromFlags(const FlagParser& flags) {
@@ -77,8 +91,7 @@ int main(int argc, char** argv) {
   flags.DefineString("dataset", "LJ", "built-in preset: LJ/OT/UK/IT/TW");
   flags.DefineInt("scale", 2000, "preset down-scale factor");
   flags.DefineString("method", "RLCut",
-                     "RLCut, RandPG, Geo-Cut, HashPL, Ginger, Revolver, "
-                     "Spinner, Fennel, Oblivious, HDRF or LDG");
+                     "partitioner name; one of: " + KnownMethods());
   flags.DefineString("workload", "PR", "traffic profile: PR, SSSP or SI");
   flags.DefineInt("dcs", 8, "number of EC2-profile DCs (2-8)");
   flags.DefineString("heterogeneity", "medium", "low, medium or high");
@@ -90,6 +103,11 @@ int main(int argc, char** argv) {
   flags.DefineString("save_plan", "", "write the computed plan here");
   flags.DefineString("load_plan", "",
                      "evaluate this plan instead of partitioning");
+  flags.DefineString("trace_out", "",
+                     "write a Chrome-trace JSON of the run here "
+                     "(open in ui.perfetto.dev or chrome://tracing)");
+  flags.DefineString("metrics_out", "",
+                     "write a CSV snapshot of all recorded metrics here");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s.ToString() << "\n" << flags.Usage(argv[0]);
     return 1;
@@ -98,6 +116,13 @@ int main(int argc, char** argv) {
     std::cout << flags.Usage(argv[0]);
     return 0;
   }
+
+  // Observability: install the trace recorder before any instrumented
+  // work so partitioning, training and evaluation all land in the trace.
+  obs::TraceRecorder trace_recorder;
+  const bool tracing = !flags.GetString("trace_out").empty();
+  if (tracing) obs::SetTraceRecorder(&trace_recorder);
+  if (!flags.GetString("metrics_out").empty()) obs::SetDetailedMetrics(true);
 
   // ---- Problem construction ----------------------------------------------
   Graph graph;
@@ -154,6 +179,31 @@ int main(int argc, char** argv) {
             << flags.GetString("heterogeneity") << "), theta=" << ctx.theta
             << ", budget=$" << ctx.budget << "\n\n";
 
+  // Writes --trace_out / --metrics_out if requested. Called on every
+  // successful exit path; uninstalls the recorder first so no span can
+  // record while the buffer is being serialized.
+  auto write_observability_outputs = [&]() -> Status {
+    if (tracing) {
+      obs::SetTraceRecorder(nullptr);
+      const std::string& path = flags.GetString("trace_out");
+      std::ofstream os(path);
+      if (!os) return Status::IoError("cannot open " + path);
+      trace_recorder.WriteChromeTrace(os);
+      if (!os.good()) return Status::IoError("failed writing " + path);
+      std::cout << "\nTrace (" << trace_recorder.size() << " spans) written"
+                << " to " << path << "\n";
+    }
+    if (!flags.GetString("metrics_out").empty()) {
+      const std::string& path = flags.GetString("metrics_out");
+      std::ofstream os(path);
+      if (!os) return Status::IoError("cannot open " + path);
+      obs::DefaultRegistry().WriteCsv(os);
+      if (!os.good()) return Status::IoError("failed writing " + path);
+      std::cout << "Metrics written to " << path << "\n";
+    }
+    return Status::Ok();
+  };
+
   // ---- Evaluate an existing plan -------------------------------------------
   if (!flags.GetString("load_plan").empty()) {
     Result<PartitionPlan> plan = LoadPlan(flags.GetString("load_plan"));
@@ -167,36 +217,33 @@ int main(int argc, char** argv) {
     if (Status s = ApplyPlan(*plan, &state); !s.ok()) return Fail(s);
     std::cout << "Loaded plan: " << MakeReport(state).ToString() << "\n";
     PrintPerDcTable(state, std::cout);
+    if (Status s = write_observability_outputs(); !s.ok()) return Fail(s);
     return 0;
   }
 
   // ---- Partition -----------------------------------------------------------
   const std::string& method = flags.GetString("method");
-  std::unique_ptr<Partitioner> partitioner;
-  if (method == "RLCut") {
-    RLCutOptions options;
-    options.t_opt_seconds = flags.GetDouble("t_opt");
-    partitioner = MakeRLCut(options);
-  } else {
-    partitioner = MakePartitionerByName(method);
-    if (partitioner == nullptr) {
-      return Fail(Status::InvalidArgument("unknown method: " + method));
-    }
-  }
+  PartitionerOptions options;
+  options.t_opt_seconds = flags.GetDouble("t_opt");
+  Result<std::unique_ptr<Partitioner>> partitioner =
+      MakePartitionerByName(method, options);
+  if (!partitioner.ok()) return Fail(partitioner.status());
 
-  PartitionOutput out = partitioner->Run(ctx);
-  std::cout << partitioner->name() << " finished in "
-            << out.overhead_seconds << " s\n";
-  std::cout << MakeReport(out.state).ToString() << "\n\n";
-  PrintPerDcTable(out.state, std::cout);
+  Result<PartitionOutput> out = (*partitioner)->Run(ctx);
+  if (!out.ok()) return Fail(out.status());
+  std::cout << (*partitioner)->name() << " finished in "
+            << out->overhead_seconds << " s\n";
+  std::cout << MakeReport(out->state).ToString() << "\n\n";
+  PrintPerDcTable(out->state, std::cout);
 
   if (!flags.GetString("save_plan").empty()) {
-    const PartitionPlan plan = ExtractPlan(out.state);
+    const PartitionPlan plan = ExtractPlan(out->state);
     if (Status s = SavePlan(plan, flags.GetString("save_plan")); !s.ok()) {
       return Fail(s);
     }
     std::cout << "\nPlan written to " << flags.GetString("save_plan")
               << "\n";
   }
+  if (Status s = write_observability_outputs(); !s.ok()) return Fail(s);
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/status.h"
 #include "graph/types.h"
 
@@ -27,24 +28,26 @@ class Topology {
   explicit Topology(std::vector<DataCenter> dcs) : dcs_(std::move(dcs)) {}
 
   int num_dcs() const { return static_cast<int>(dcs_.size()); }
-  const DataCenter& dc(DcId r) const { return dcs_[r]; }
+  const DataCenter& dc(DcId r) const { return dcs_[CheckedIndex(r)]; }
   const std::vector<DataCenter>& dcs() const { return dcs_; }
 
-  double Uplink(DcId r) const { return dcs_[r].uplink_gbps; }
-  double Downlink(DcId r) const { return dcs_[r].downlink_gbps; }
-  double Price(DcId r) const { return dcs_[r].upload_price; }
+  double Uplink(DcId r) const { return dcs_[CheckedIndex(r)].uplink_gbps; }
+  double Downlink(DcId r) const {
+    return dcs_[CheckedIndex(r)].downlink_gbps;
+  }
+  double Price(DcId r) const { return dcs_[CheckedIndex(r)].upload_price; }
 
   /// Seconds to push `bytes` out of DC r (uplink-bound).
   double UploadSeconds(DcId r, double bytes) const {
-    return bytes / (dcs_[r].uplink_gbps * 1e9);
+    return bytes / (dcs_[CheckedIndex(r)].uplink_gbps * 1e9);
   }
   /// Seconds to pull `bytes` into DC r (downlink-bound).
   double DownloadSeconds(DcId r, double bytes) const {
-    return bytes / (dcs_[r].downlink_gbps * 1e9);
+    return bytes / (dcs_[CheckedIndex(r)].downlink_gbps * 1e9);
   }
   /// Dollars to upload `bytes` out of DC r.
   double UploadCost(DcId r, double bytes) const {
-    return (bytes / 1e9) * dcs_[r].upload_price;
+    return (bytes / 1e9) * dcs_[CheckedIndex(r)].upload_price;
   }
 
   /// Cheapest DC to upload from (used for the centralized-move budget
@@ -55,6 +58,13 @@ class Topology {
   Status Validate() const;
 
  private:
+  // A bad DcId used to index dcs_ silently (UB); debug builds now trap
+  // it at every accessor. Hot paths pay nothing in release builds.
+  size_t CheckedIndex(DcId r) const {
+    RLCUT_DCHECK(r >= 0 && r < num_dcs());
+    return static_cast<size_t>(r);
+  }
+
   std::vector<DataCenter> dcs_;
 };
 

@@ -1,0 +1,269 @@
+#include "cloud/topology_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace rlcut {
+namespace {
+
+// Per-DC multipliers relative to the base topology. An event *sets*
+// these (last-event-wins); it never compounds onto a previous event.
+struct DcFactors {
+  double uplink = 1.0;
+  double downlink = 1.0;
+  double price = 1.0;
+};
+
+void ApplyEvent(const TopologyEvent& event, std::vector<DcFactors>* factors) {
+  const size_t begin =
+      event.dc == kAllDcs ? 0 : static_cast<size_t>(event.dc);
+  const size_t end =
+      event.dc == kAllDcs ? factors->size() : static_cast<size_t>(event.dc) + 1;
+  for (size_t r = begin; r < end; ++r) {
+    DcFactors& f = (*factors)[r];
+    switch (event.kind) {
+      case TopologyEventKind::kBandwidthScale:
+        f.uplink = event.uplink_factor;
+        f.downlink = event.downlink_factor;
+        break;
+      case TopologyEventKind::kPriceScale:
+        f.price = event.price_factor;
+        break;
+      case TopologyEventKind::kOutage:
+        f.uplink = kOutageBandwidthFactor;
+        f.downlink = kOutageBandwidthFactor;
+        break;
+      case TopologyEventKind::kRestore:
+        f = DcFactors{};
+        break;
+    }
+  }
+}
+
+Status CheckEvent(const TopologyEvent& event, int num_dcs) {
+  if (event.step < 0) {
+    return Status::InvalidArgument("event step must be >= 0");
+  }
+  if (event.dc != kAllDcs && (event.dc < 0 || event.dc >= num_dcs)) {
+    return Status::InvalidArgument("event references an unknown DC");
+  }
+  if (event.kind == TopologyEventKind::kBandwidthScale &&
+      (event.uplink_factor <= 0 || event.downlink_factor <= 0)) {
+    return Status::InvalidArgument("bandwidth factors must be positive");
+  }
+  if (event.kind == TopologyEventKind::kPriceScale &&
+      event.price_factor < 0) {
+    return Status::InvalidArgument("price factor must be non-negative");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+TopologySchedule::TopologySchedule(Topology base,
+                                   std::vector<TopologyEvent> events)
+    : base_(std::move(base)), events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TopologyEvent& a, const TopologyEvent& b) {
+                     return a.step < b.step;
+                   });
+}
+
+Topology TopologySchedule::EffectiveAt(int step) const {
+  std::vector<DcFactors> factors(base_.num_dcs());
+  for (const TopologyEvent& event : events_) {
+    if (event.step > step) break;  // events_ is sorted by step
+    ApplyEvent(event, &factors);
+  }
+  std::vector<DataCenter> dcs = base_.dcs();
+  for (size_t r = 0; r < dcs.size(); ++r) {
+    dcs[r].uplink_gbps *= factors[r].uplink;
+    dcs[r].downlink_gbps *= factors[r].downlink;
+    dcs[r].upload_price *= factors[r].price;
+  }
+  return Topology(std::move(dcs));
+}
+
+bool TopologySchedule::ChangedBetween(int from_step, int to_step) const {
+  for (const TopologyEvent& event : events_) {
+    if (event.step > to_step) break;
+    if (event.step > from_step) return true;
+  }
+  return false;
+}
+
+int TopologySchedule::NextEventAfter(int step) const {
+  for (const TopologyEvent& event : events_) {
+    if (event.step > step) return event.step;
+  }
+  return -1;
+}
+
+Status TopologySchedule::Validate() const {
+  RLCUT_RETURN_IF_ERROR(base_.Validate());
+  for (const TopologyEvent& event : events_) {
+    RLCUT_RETURN_IF_ERROR(CheckEvent(event, base_.num_dcs()));
+  }
+  // Factors are set (not compounded) per event, so checking the
+  // effective topology right after each event covers every state the
+  // schedule can produce.
+  for (const TopologyEvent& event : events_) {
+    RLCUT_RETURN_IF_ERROR(EffectiveAt(event.step).Validate());
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+double Relative(double from, double to) {
+  if (from == 0) return to == 0 ? 0.0 : 1.0;
+  return std::fabs(to - from) / std::fabs(from);
+}
+
+double DcDrift(const DataCenter& a, const DataCenter& b) {
+  return std::max({Relative(a.uplink_gbps, b.uplink_gbps),
+                   Relative(a.downlink_gbps, b.downlink_gbps),
+                   Relative(a.upload_price, b.upload_price)});
+}
+
+}  // namespace
+
+double TopologyDrift(const Topology& a, const Topology& b) {
+  RLCUT_CHECK_EQ(a.num_dcs(), b.num_dcs());
+  double drift = 0;
+  for (DcId r = 0; r < a.num_dcs(); ++r) {
+    drift = std::max(drift, DcDrift(a.dc(r), b.dc(r)));
+  }
+  return drift;
+}
+
+uint64_t ChangedDcMask(const Topology& a, const Topology& b,
+                       double threshold) {
+  RLCUT_CHECK_EQ(a.num_dcs(), b.num_dcs());
+  uint64_t mask = 0;
+  for (DcId r = 0; r < a.num_dcs(); ++r) {
+    if (DcDrift(a.dc(r), b.dc(r)) >= threshold) {
+      mask |= uint64_t{1} << r;
+    }
+  }
+  return mask;
+}
+
+TopologySchedule MakeDiurnalDriftSchedule(Topology base, int period_steps,
+                                          double amplitude,
+                                          int horizon_steps) {
+  RLCUT_CHECK_GT(period_steps, 0);
+  RLCUT_CHECK_GE(amplitude, 0.0);
+  RLCUT_CHECK_LT(amplitude, 1.0);
+  const int stride = std::max(1, period_steps / 8);
+  const int num_dcs = base.num_dcs();
+  std::vector<TopologyEvent> events;
+  constexpr double kTwoPi = 6.283185307179586;
+  for (int step = 0; step < horizon_steps; step += stride) {
+    for (DcId r = 0; r < num_dcs; ++r) {
+      const double phase =
+          kTwoPi * (static_cast<double>(step) / period_steps +
+                    static_cast<double>(r) / num_dcs);
+      const double factor = 1.0 + amplitude * std::sin(phase);
+      TopologyEvent event;
+      event.step = step;
+      event.dc = r;
+      event.kind = TopologyEventKind::kBandwidthScale;
+      event.uplink_factor = factor;
+      event.downlink_factor = factor;
+      events.push_back(event);
+    }
+  }
+  TopologySchedule schedule(std::move(base), std::move(events));
+  RLCUT_CHECK(schedule.Validate().ok());
+  return schedule;
+}
+
+TopologySchedule MakeBrownoutSchedule(Topology base, DcId dc,
+                                      int start_step, int end_step,
+                                      double bandwidth_factor) {
+  RLCUT_CHECK_GE(dc, 0);
+  RLCUT_CHECK_LT(dc, base.num_dcs());
+  RLCUT_CHECK_LE(start_step, end_step);
+  RLCUT_CHECK_GT(bandwidth_factor, 0.0);
+  std::vector<TopologyEvent> events;
+  TopologyEvent brownout;
+  brownout.step = start_step;
+  brownout.dc = dc;
+  brownout.kind = TopologyEventKind::kBandwidthScale;
+  brownout.uplink_factor = bandwidth_factor;
+  brownout.downlink_factor = bandwidth_factor;
+  events.push_back(brownout);
+  TopologyEvent restore;
+  restore.step = end_step;
+  restore.dc = dc;
+  restore.kind = TopologyEventKind::kRestore;
+  events.push_back(restore);
+  TopologySchedule schedule(std::move(base), std::move(events));
+  RLCUT_CHECK(schedule.Validate().ok());
+  return schedule;
+}
+
+Result<TopologySchedule> LoadTopologySchedule(const std::string& path,
+                                              Topology base) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "rlcut-net-schedule v1") {
+    return Status::IoError(path + ": not an rlcut net-schedule file");
+  }
+  std::vector<TopologyEvent> events;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    const std::string where = path + ":" + std::to_string(line_no);
+    TopologyEvent event;
+    std::string dc_token;
+    std::string kind;
+    if (!(fields >> event.step >> dc_token >> kind)) {
+      return Status::IoError(where + ": expected '<step> <dc|*> <kind>'");
+    }
+    if (dc_token == "*") {
+      event.dc = kAllDcs;
+    } else {
+      std::istringstream dc_field(dc_token);
+      if (!(dc_field >> event.dc) || !dc_field.eof()) {
+        return Status::IoError(where + ": bad DC id '" + dc_token + "'");
+      }
+    }
+    if (kind == "bandwidth") {
+      event.kind = TopologyEventKind::kBandwidthScale;
+      if (!(fields >> event.uplink_factor >> event.downlink_factor)) {
+        return Status::IoError(where +
+                               ": bandwidth needs <up_factor> <down_factor>");
+      }
+    } else if (kind == "price") {
+      event.kind = TopologyEventKind::kPriceScale;
+      if (!(fields >> event.price_factor)) {
+        return Status::IoError(where + ": price needs <price_factor>");
+      }
+    } else if (kind == "outage") {
+      event.kind = TopologyEventKind::kOutage;
+    } else if (kind == "restore") {
+      event.kind = TopologyEventKind::kRestore;
+    } else {
+      return Status::IoError(where + ": unknown event kind '" + kind + "'");
+    }
+    events.push_back(event);
+  }
+  TopologySchedule schedule(std::move(base), std::move(events));
+  if (Status s = schedule.Validate(); !s.ok()) {
+    return Status(s.code(), path + ": " + s.message());
+  }
+  return schedule;
+}
+
+}  // namespace rlcut

@@ -1,0 +1,125 @@
+#ifndef RLCUT_CLOUD_TOPOLOGY_SCHEDULE_H_
+#define RLCUT_CLOUD_TOPOLOGY_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "cloud/topology.h"
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace rlcut {
+
+/// Applies an event to every DC (TopologyEvent::dc).
+inline constexpr DcId kAllDcs = -1;
+
+/// Bandwidth floor an outage throttles a DC to, as a fraction of its
+/// base bandwidth. A true zero would make Eq. 1-3 undefined (division by
+/// link capacity), so an "outage" is modeled as a severe brownout: the
+/// DC stays addressable but pushing anything through it is ruinous,
+/// which is what drives traffic off it during re-optimization.
+inline constexpr double kOutageBandwidthFactor = 0.02;
+
+/// What a topology event changes.
+enum class TopologyEventKind {
+  /// Sets the DC's uplink/downlink to factor * base value.
+  kBandwidthScale,
+  /// Sets the DC's upload price to factor * base value.
+  kPriceScale,
+  /// Throttles the DC's bandwidths to kOutageBandwidthFactor * base.
+  kOutage,
+  /// Returns the DC to its base bandwidths and price.
+  kRestore,
+};
+
+/// One timestamped change to the effective topology. Time is measured in
+/// training steps: the event is in effect from `step` onward, until a
+/// later event for the same DC and dimension overrides it (set-to-base,
+/// last-event-wins semantics — factors do not compound).
+struct TopologyEvent {
+  int step = 0;
+  DcId dc = kAllDcs;
+  TopologyEventKind kind = TopologyEventKind::kBandwidthScale;
+  double uplink_factor = 1.0;
+  double downlink_factor = 1.0;
+  double price_factor = 1.0;
+};
+
+/// A time-varying cloud environment: a base Topology plus a sequence of
+/// timestamped events — bandwidth drift, upload-price changes, DC
+/// degradation and outages — that together define the effective Topology
+/// at any training step. FlowSimulator and the Eq. 1-5 objective
+/// evaluation consume the effective topology (construct a FlowSimulator
+/// over EffectiveAt(), or re-price a live PartitionState with
+/// PartitionState::UpdateTopology).
+class TopologySchedule {
+ public:
+  TopologySchedule() = default;
+  /// Events are stable-sorted by step; same-step events apply in their
+  /// given order.
+  explicit TopologySchedule(Topology base,
+                            std::vector<TopologyEvent> events = {});
+
+  const Topology& base() const { return base_; }
+  const std::vector<TopologyEvent>& events() const { return events_; }
+
+  /// The effective topology at training step `step`: the base with every
+  /// event whose step is <= `step` applied in order.
+  Topology EffectiveAt(int step) const;
+
+  /// True if at least one event fires in the half-open interval
+  /// (from_step, to_step].
+  bool ChangedBetween(int from_step, int to_step) const;
+
+  /// Step of the first event strictly after `step`, or -1 if none.
+  int NextEventAfter(int step) const;
+
+  /// Checks the base topology, event DC ids, factor positivity, and that
+  /// every effective topology the schedule can produce validates.
+  Status Validate() const;
+
+ private:
+  Topology base_;
+  std::vector<TopologyEvent> events_;
+};
+
+/// Maximum over DCs and dimensions (uplink, downlink, price) of the
+/// relative change |b - a| / a. The re-optimization trigger compares
+/// this magnitude against a threshold. Topologies must have equal DC
+/// counts.
+double TopologyDrift(const Topology& a, const Topology& b);
+
+/// Bitmask of DCs whose uplink, downlink or price differs between `a`
+/// and `b` by at least `threshold` (relative). Used to select which
+/// automata a topology event resumes.
+uint64_t ChangedDcMask(const Topology& a, const Topology& b,
+                       double threshold);
+
+/// Preset: smooth diurnal bandwidth drift. Every DC's bandwidths follow
+/// 1 + amplitude * sin(2*pi * (step/period + r/M)) — per-DC phase
+/// offsets so DCs peak at different times — sampled every period/8 steps
+/// over [0, horizon_steps).
+TopologySchedule MakeDiurnalDriftSchedule(Topology base, int period_steps,
+                                          double amplitude,
+                                          int horizon_steps);
+
+/// Preset: single-region brownout. DC `dc` runs at `bandwidth_factor` of
+/// its base bandwidths during [start_step, end_step), then recovers.
+TopologySchedule MakeBrownoutSchedule(Topology base, DcId dc,
+                                      int start_step, int end_step,
+                                      double bandwidth_factor = 0.5);
+
+/// Text schedule format (see docs/dynamic_environments.md):
+///   rlcut-net-schedule v1
+///   <step> <dc|*> bandwidth <up_factor> <down_factor>
+///   <step> <dc|*> price <price_factor>
+///   <step> <dc|*> outage
+///   <step> <dc|*> restore
+/// Lines starting with '#' are comments. The loaded schedule is
+/// validated against `base`.
+Result<TopologySchedule> LoadTopologySchedule(const std::string& path,
+                                              Topology base);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_CLOUD_TOPOLOGY_SCHEDULE_H_

@@ -1,6 +1,7 @@
 #ifndef RLCUT_COMMON_RANDOM_H_
 #define RLCUT_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -39,6 +40,14 @@ class Rng {
   /// precomputed table is avoided; this uses rejection-inversion
   /// (Hörmann 1996 style simplified), adequate for generator workloads.
   uint64_t Zipf(uint64_t n, double s);
+
+  /// Raw generator state, for checkpoint/resume: restoring a saved state
+  /// continues the exact output sequence. Must not be all zeros.
+  std::array<uint64_t, 4> State() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void SetState(const std::array<uint64_t, 4>& state) {
+    RLCUT_CHECK((state[0] | state[1] | state[2] | state[3]) != 0);
+    for (size_t i = 0; i < 4; ++i) s_[i] = state[i];
+  }
 
   /// Fisher-Yates shuffle.
   template <typename T>

@@ -142,6 +142,19 @@ void PartitionState::ResetUnplaced(const std::vector<DcId>& masters) {
   RebuildFromPlacement();
 }
 
+void PartitionState::UpdateTopology(const Topology* topology) {
+  RLCUT_CHECK(topology != nullptr);
+  RLCUT_CHECK_EQ(topology->num_dcs(), num_dcs_);
+  topology_ = topology;
+  // Placement, counters and byte aggregates do not depend on the
+  // topology; only the accumulated input-movement cost (Eq. 4) bakes in
+  // upload prices and must be re-summed.
+  move_cost_ = 0;
+  for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+    move_cost_ += MoveCostDelta(v, (*initial_locations_)[v], masters_[v]);
+  }
+}
+
 void PartitionState::RebuildFromPlacement() {
   const VertexId n = graph_->num_vertices();
   std::fill(cnt_.begin(), cnt_.end(), 0u);

@@ -133,6 +133,13 @@ class PartitionState {
   /// vertex-cut partitioners that call PlaceEdge one edge at a time.
   void ResetUnplaced(const std::vector<DcId>& masters);
 
+  /// Re-prices the current layout under a new effective topology (e.g.
+  /// after a TopologySchedule event). The placement and the byte
+  /// aggregates are topology-independent, so only the dollar/time views
+  /// and the accumulated Eq. 4 move cost change. The new topology must
+  /// have the same DC count and outlive the state.
+  void UpdateTopology(const Topology* topology);
+
   // ---- Mutation ------------------------------------------------------
 
   /// Moves the master of v to DC `to`, rederiving the placement of the

@@ -11,12 +11,15 @@
 ///                   generators (graph/generators.h) and geo-scattering
 ///                   of vertices over DCs (graph/geo.h);
 ///  * topologies   — EC2-profile presets and custom data-center
-///                   topologies (cloud/topology.h);
+///                   topologies (cloud/topology.h), plus time-varying
+///                   network schedules for dynamic-environment runs
+///                   (cloud/topology_schedule.h);
 ///  * partitioners — the string-keyed registry (ListPartitioners /
 ///                   MakePartitionerByName) and the unified fallible
 ///                   Partitioner::Run API (baselines/partitioner.h),
 ///                   plus direct access to RLCut's trainer-level output
-///                   (rlcut/rlcut_partitioner.h);
+///                   (rlcut/rlcut_partitioner.h) and trainer
+///                   checkpoint/resume (rlcut/checkpoint.h);
 ///  * evaluation   — the Eq. 1-5 quality metrics and report
 ///                   (partition/metrics.h);
 ///  * plans        — saving, loading and applying partition plans
@@ -33,6 +36,7 @@
 
 #include "baselines/partitioner.h"
 #include "cloud/topology.h"
+#include "cloud/topology_schedule.h"
 #include "common/flags.h"
 #include "common/status.h"
 #include "graph/datasets.h"
@@ -43,6 +47,7 @@
 #include "obs/trace.h"
 #include "partition/metrics.h"
 #include "partition/plan_io.h"
+#include "rlcut/checkpoint.h"
 #include "rlcut/rlcut_partitioner.h"
 
 #endif  // RLCUT_RLCUT_API_H_

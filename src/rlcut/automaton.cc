@@ -19,6 +19,33 @@ AutomatonPool::AutomatonPool(VertexId num_vertices, int num_dcs,
   count_.assign(total, 0u);
 }
 
+AutomatonPoolState AutomatonPool::Snapshot() const {
+  AutomatonPoolState snapshot;
+  snapshot.num_vertices = num_vertices();
+  snapshot.num_dcs = num_dcs_;
+  snapshot.prob = prob_;
+  snapshot.mean_q = mean_q_;
+  snapshot.count = count_;
+  return snapshot;
+}
+
+Status AutomatonPool::Restore(const AutomatonPoolState& snapshot) {
+  if (snapshot.num_dcs != num_dcs_ ||
+      snapshot.num_vertices != num_vertices()) {
+    return Status::FailedPrecondition(
+        "automaton snapshot dimensions do not match the pool");
+  }
+  const size_t total = prob_.size();
+  if (snapshot.prob.size() != total || snapshot.mean_q.size() != total ||
+      snapshot.count.size() != total) {
+    return Status::InvalidArgument("automaton snapshot arrays are malformed");
+  }
+  prob_ = snapshot.prob;
+  mean_q_ = snapshot.mean_q;
+  count_ = snapshot.count;
+  return Status::Ok();
+}
+
 void AutomatonPool::UpdateSignals(VertexId v, DcId rewarded) {
   double* p = &prob_[Index(v, 0)];
   const double alpha = options_.alpha;

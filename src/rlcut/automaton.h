@@ -5,10 +5,23 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "graph/types.h"
 #include "rlcut/options.h"
 
 namespace rlcut {
+
+/// Serializable copy of an AutomatonPool's learned state: the per-agent
+/// action probabilities (Eq. 12) and UCB statistics (Eq. 13). Used by
+/// trainer checkpoint/resume (rlcut/checkpoint.h) and by warm-vs-cold
+/// comparisons that need an independent copy of a pool.
+struct AutomatonPoolState {
+  VertexId num_vertices = 0;
+  int num_dcs = 0;
+  std::vector<double> prob;
+  std::vector<double> mean_q;
+  std::vector<uint32_t> count;
+};
 
 /// Struct-of-arrays pool of per-vertex learning automata (Sec. IV-A).
 ///
@@ -26,11 +39,17 @@ class AutomatonPool {
                 const RLCutOptions& options);
 
   int num_dcs() const { return num_dcs_; }
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(prob_.size() / num_dcs_);
+  }
 
   /// Probability of agent v choosing DC r.
   double Probability(VertexId v, DcId r) const {
     return prob_[Index(v, r)];
   }
+
+  /// Mean observed reward Q of action r at agent v (Eq. 13).
+  double MeanReward(VertexId v, DcId r) const { return mean_q_[Index(v, r)]; }
 
   /// Applies the reward update (Eq. 12) for the action `rewarded`; with
   /// options.use_penalty also applies the penalty update (Eq. 9) to
@@ -49,6 +68,13 @@ class AutomatonPool {
   uint32_t SelectionCount(VertexId v, DcId r) const {
     return count_[Index(v, r)];
   }
+
+  /// Deep copy of the learned state (checkpoint/resume).
+  AutomatonPoolState Snapshot() const;
+
+  /// Reinstates a snapshot. The snapshot's dimensions must match this
+  /// pool's; restoring makes every agent resume from its saved policy.
+  Status Restore(const AutomatonPoolState& snapshot);
 
  private:
   size_t Index(VertexId v, DcId r) const {

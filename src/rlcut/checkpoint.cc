@@ -1,0 +1,319 @@
+#include "rlcut/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <type_traits>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rlcut {
+namespace {
+
+constexpr char kMagic[8] = {'R', 'L', 'C', 'U', 'T', 'C', 'K', 'P'};
+constexpr uint32_t kFormatVersion = 1;
+
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t hash = 14695981039346656037ull;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// Appends host-endian fixed-width values to a byte buffer. The format is
+// a single-machine pause/resume file, not an interchange format, so
+// host endianness is fine (documented in the header).
+class ByteWriter {
+ public:
+  template <typename T>
+  void Write(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + sizeof(T));
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write<uint64_t>(values.size());
+    const size_t offset = bytes_.size();
+    bytes_.resize(offset + values.size() * sizeof(T));
+    std::memcpy(bytes_.data() + offset, values.data(),
+                values.size() * sizeof(T));
+  }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+// Reads the writer's output back with bounds checking; any overrun
+// flags the payload as truncated.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (offset_ + sizeof(T) > bytes_.size()) return false;
+    std::memcpy(value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return true;
+  }
+
+  template <typename T>
+  bool ReadVector(std::vector<T>* values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    if (!Read(&count)) return false;
+    // Guard the multiplication: a corrupted count must not overflow.
+    if (count > (bytes_.size() - offset_) / sizeof(T)) return false;
+    values->resize(count);
+    std::memcpy(values->data(), bytes_.data() + offset_,
+                count * sizeof(T));
+    offset_ += count * sizeof(T);
+    return true;
+  }
+
+  bool exhausted() const { return offset_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t offset_ = 0;
+};
+
+std::string EncodePayload(const TrainerCheckpoint& checkpoint) {
+  ByteWriter writer;
+  writer.Write<uint64_t>(checkpoint.num_vertices);
+  writer.Write<uint32_t>(checkpoint.num_dcs);
+  writer.Write<uint64_t>(checkpoint.seed);
+  writer.Write<uint32_t>(static_cast<uint32_t>(checkpoint.model));
+  writer.Write<uint32_t>(checkpoint.theta);
+  writer.WriteVector(checkpoint.masters);
+
+  writer.Write<uint64_t>(checkpoint.pool.num_vertices);
+  writer.Write<int32_t>(checkpoint.pool.num_dcs);
+  writer.WriteVector(checkpoint.pool.prob);
+  writer.WriteVector(checkpoint.pool.mean_q);
+  writer.WriteVector(checkpoint.pool.count);
+
+  const TrainerSession& session = checkpoint.session;
+  writer.Write<int32_t>(session.next_step);
+  writer.Write<uint8_t>(session.started ? 1 : 0);
+  writer.Write<uint8_t>(session.finished ? 1 : 0);
+  writer.Write<int64_t>(session.visits_remaining);
+  writer.Write<uint64_t>(session.history.size());
+  for (const StepStats& step : session.history) {
+    writer.Write<int32_t>(step.step);
+    writer.Write<double>(step.sample_rate);
+    writer.Write<uint64_t>(step.num_agents);
+    writer.Write<double>(step.seconds);
+    writer.Write<double>(step.transfer_seconds);
+    writer.Write<double>(step.cost_dollars);
+    writer.Write<uint64_t>(step.migrations);
+    writer.Write<uint64_t>(step.rollbacks);
+  }
+  writer.Write<uint64_t>(session.rng_states.size());
+  for (const auto& rng_state : session.rng_states) {
+    for (uint64_t word : rng_state) writer.Write<uint64_t>(word);
+  }
+  return writer.bytes();
+}
+
+Status DecodePayload(const std::string& payload,
+                     TrainerCheckpoint* checkpoint) {
+  ByteReader reader(payload);
+  uint32_t model = 0;
+  uint64_t vertex_count = 0;
+  bool ok = reader.Read(&checkpoint->num_vertices) &&
+            reader.Read(&checkpoint->num_dcs) &&
+            reader.Read(&checkpoint->seed) && reader.Read(&model) &&
+            reader.Read(&checkpoint->theta) &&
+            reader.ReadVector(&checkpoint->masters) &&
+            reader.Read(&vertex_count) &&
+            reader.Read(&checkpoint->pool.num_dcs) &&
+            reader.ReadVector(&checkpoint->pool.prob) &&
+            reader.ReadVector(&checkpoint->pool.mean_q) &&
+            reader.ReadVector(&checkpoint->pool.count);
+  if (!ok) return Status::IoError("truncated checkpoint payload");
+  if (model > static_cast<uint32_t>(ComputeModel::kEdgeCut)) {
+    return Status::IoError("checkpoint has an unknown compute model");
+  }
+  checkpoint->model = static_cast<ComputeModel>(model);
+  checkpoint->pool.num_vertices = static_cast<VertexId>(vertex_count);
+
+  TrainerSession& session = checkpoint->session;
+  uint8_t started = 0;
+  uint8_t finished = 0;
+  uint64_t history_size = 0;
+  if (!reader.Read(&session.next_step) || !reader.Read(&started) ||
+      !reader.Read(&finished) ||
+      !reader.Read(&session.visits_remaining) ||
+      !reader.Read(&history_size)) {
+    return Status::IoError("truncated checkpoint payload");
+  }
+  session.started = started != 0;
+  session.finished = finished != 0;
+  session.history.resize(history_size);
+  for (StepStats& step : session.history) {
+    if (!reader.Read(&step.step) || !reader.Read(&step.sample_rate) ||
+        !reader.Read(&step.num_agents) || !reader.Read(&step.seconds) ||
+        !reader.Read(&step.transfer_seconds) ||
+        !reader.Read(&step.cost_dollars) ||
+        !reader.Read(&step.migrations) || !reader.Read(&step.rollbacks)) {
+      return Status::IoError("truncated checkpoint payload");
+    }
+  }
+  uint64_t rng_count = 0;
+  if (!reader.Read(&rng_count)) {
+    return Status::IoError("truncated checkpoint payload");
+  }
+  session.rng_states.resize(rng_count);
+  for (auto& rng_state : session.rng_states) {
+    for (uint64_t& word : rng_state) {
+      if (!reader.Read(&word)) {
+        return Status::IoError("truncated checkpoint payload");
+      }
+    }
+  }
+  if (!reader.exhausted()) {
+    return Status::IoError("trailing bytes in checkpoint payload");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+TrainerCheckpoint CaptureCheckpoint(const PartitionState& state,
+                                    const AutomatonPool& pool,
+                                    const TrainerSession& session,
+                                    uint64_t seed) {
+  TrainerCheckpoint checkpoint;
+  checkpoint.num_vertices = state.graph().num_vertices();
+  checkpoint.num_dcs = static_cast<uint32_t>(state.num_dcs());
+  checkpoint.seed = seed;
+  checkpoint.model = state.config().model;
+  checkpoint.theta = state.config().theta;
+  checkpoint.masters = state.masters();
+  checkpoint.pool = pool.Snapshot();
+  checkpoint.session = session;
+  // A fresh Train call decides where to pause; the saved cursor only
+  // records where the run stands.
+  checkpoint.session.stop_after_step = -1;
+  checkpoint.session.paused = false;
+  return checkpoint;
+}
+
+Status RestoreCheckpoint(const TrainerCheckpoint& checkpoint,
+                         PartitionState* state, AutomatonPool* pool,
+                         TrainerSession* session) {
+  if (state == nullptr || pool == nullptr || session == nullptr) {
+    return Status::InvalidArgument("null restore target");
+  }
+  if (checkpoint.num_vertices != state->graph().num_vertices()) {
+    return Status::FailedPrecondition(
+        "checkpoint vertex count does not match the graph");
+  }
+  if (checkpoint.num_dcs != static_cast<uint32_t>(state->num_dcs())) {
+    return Status::FailedPrecondition(
+        "checkpoint DC count does not match the topology");
+  }
+  if (checkpoint.model != state->config().model) {
+    return Status::FailedPrecondition(
+        "checkpoint compute model does not match the state");
+  }
+  if (checkpoint.theta != state->config().theta) {
+    return Status::FailedPrecondition(
+        "checkpoint theta does not match the state");
+  }
+  if (checkpoint.masters.size() != state->graph().num_vertices()) {
+    return Status::FailedPrecondition(
+        "checkpoint masters array does not match the graph");
+  }
+  for (DcId dc : checkpoint.masters) {
+    if (dc < 0 || dc >= state->num_dcs()) {
+      return Status::OutOfRange("checkpoint references an unknown DC");
+    }
+  }
+  RLCUT_RETURN_IF_ERROR(pool->Restore(checkpoint.pool));
+  state->ResetDerived(checkpoint.masters);
+  *session = checkpoint.session;
+  return Status::Ok();
+}
+
+Status SaveTrainerCheckpoint(const TrainerCheckpoint& checkpoint,
+                             const std::string& path) {
+  obs::TraceSpan span("checkpoint/save", "checkpoint");
+  const std::string payload = EncodePayload(checkpoint);
+  span.AddArg("bytes", static_cast<double>(payload.size()));
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kFormatVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const uint64_t payload_size = payload.size();
+  out.write(reinterpret_cast<const char*>(&payload_size),
+            sizeof(payload_size));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  const uint64_t checksum = Fnv1a64(payload);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) {
+    return Status::IoError("write failed for " + path);
+  }
+  obs::DefaultRegistry().GetCounter("checkpoint.saves")->Increment();
+  return Status::Ok();
+}
+
+Result<TrainerCheckpoint> LoadTrainerCheckpoint(const std::string& path) {
+  obs::TraceSpan span("checkpoint/load", "checkpoint");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError(path + ": not an rlcut checkpoint file");
+  }
+  uint32_t version = 0;
+  if (!in.read(reinterpret_cast<char*>(&version), sizeof(version))) {
+    return Status::IoError(path + ": truncated checkpoint header");
+  }
+  if (version != kFormatVersion) {
+    return Status::IoError(path + ": unsupported checkpoint version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kFormatVersion) + ")");
+  }
+  uint64_t payload_size = 0;
+  if (!in.read(reinterpret_cast<char*>(&payload_size),
+               sizeof(payload_size))) {
+    return Status::IoError(path + ": truncated checkpoint header");
+  }
+  std::string payload(payload_size, '\0');
+  if (!in.read(payload.data(),
+               static_cast<std::streamsize>(payload_size))) {
+    return Status::IoError(path + ": truncated checkpoint payload");
+  }
+  uint64_t checksum = 0;
+  if (!in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum))) {
+    return Status::IoError(path + ": missing checkpoint checksum");
+  }
+  if (checksum != Fnv1a64(payload)) {
+    return Status::IoError(path + ": checkpoint checksum mismatch");
+  }
+  TrainerCheckpoint checkpoint;
+  if (Status s = DecodePayload(payload, &checkpoint); !s.ok()) {
+    return Status(s.code(), path + ": " + s.message());
+  }
+  obs::DefaultRegistry().GetCounter("checkpoint.loads")->Increment();
+  return checkpoint;
+}
+
+}  // namespace rlcut

@@ -1,0 +1,69 @@
+#ifndef RLCUT_RLCUT_CHECKPOINT_H_
+#define RLCUT_RLCUT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/partition_state.h"
+#include "rlcut/automaton.h"
+#include "rlcut/trainer.h"
+
+namespace rlcut {
+
+/// A paused RLCut training run, fully serializable: the problem
+/// fingerprint (validated on resume), the plan at the pause point, the
+/// learned automaton state, and the trainer's resumable cursor.
+/// Restoring all three onto a freshly built problem and calling
+/// Train(state, eligible, pool, &session) continues the run
+/// bit-identically for deterministic budgets (see TrainerSession).
+struct TrainerCheckpoint {
+  // ---- Problem fingerprint -------------------------------------------
+  uint64_t num_vertices = 0;
+  uint32_t num_dcs = 0;
+  uint64_t seed = 0;
+  ComputeModel model = ComputeModel::kHybridCut;
+  uint32_t theta = 0;
+
+  // ---- Plan at the pause point ---------------------------------------
+  std::vector<DcId> masters;
+
+  // ---- Learned automaton state ---------------------------------------
+  AutomatonPoolState pool;
+
+  // ---- Trainer cursor -------------------------------------------------
+  TrainerSession session;
+};
+
+/// Snapshots a paused run. `session` should come from a Train call that
+/// stopped (its stop_after_step is not serialized; a restored session
+/// resumes to completion unless the caller pauses it again).
+TrainerCheckpoint CaptureCheckpoint(const PartitionState& state,
+                                    const AutomatonPool& pool,
+                                    const TrainerSession& session,
+                                    uint64_t seed);
+
+/// Reinstates a checkpoint onto a freshly built problem: validates the
+/// fingerprint against `state`'s graph/topology/config, applies the
+/// masters, restores the pool, and fills `session` for the continuing
+/// Train call.
+Status RestoreCheckpoint(const TrainerCheckpoint& checkpoint,
+                         PartitionState* state, AutomatonPool* pool,
+                         TrainerSession* session);
+
+/// Binary file format (see docs/dynamic_environments.md):
+///   [8]  magic "RLCUTCKP"
+///   [4]  format version (currently 1)
+///   [8]  payload size in bytes
+///   [..] payload (host-endian fixed-width fields and arrays)
+///   [8]  FNV-1a 64-bit checksum of the payload
+/// Loading rejects bad magic, unsupported versions, truncation and
+/// checksum mismatches with distinct error messages.
+Status SaveTrainerCheckpoint(const TrainerCheckpoint& checkpoint,
+                             const std::string& path);
+Result<TrainerCheckpoint> LoadTrainerCheckpoint(const std::string& path);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_RLCUT_CHECKPOINT_H_

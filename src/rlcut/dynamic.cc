@@ -4,10 +4,13 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "cloud/topology_schedule.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "graph/geo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/migration.h"
 
 namespace rlcut {
@@ -44,6 +47,13 @@ void DynamicPartitionDriver::RebuildState(
 void DynamicPartitionDriver::ReinstateLayout(
     const std::vector<DcId>& masters) {
   state_->ResetDerived(masters);
+}
+
+void DynamicPartitionDriver::SetTopology(const Topology& topology) {
+  RLCUT_CHECK_EQ(topology.num_dcs(), topology_->num_dcs());
+  effective_topology_ = topology;
+  topology_ = &*effective_topology_;
+  if (state_ != nullptr) state_->UpdateTopology(topology_);
 }
 
 double DynamicPartitionDriver::Initialize(VertexId num_vertices,
@@ -151,6 +161,62 @@ double RLCutDynamicDriver::AdaptWindow(
   trainer.Train(mutable_state(), std::vector<VertexId>(affected),
                 pool_.get());
   return timer.ElapsedSeconds();
+}
+
+ReoptimizationResult RLCutDynamicDriver::OnTopologyEvent(
+    const Topology& new_topology, double trigger_threshold) {
+  RLCUT_CHECK(pool_ != nullptr) << "Initialize must be called first";
+  obs::TraceSpan event_span("dynamic/topology_event", "dynamic");
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  registry.GetCounter("dynamic.topology_events")->Increment();
+
+  ReoptimizationResult result;
+  result.drift = TopologyDrift(topology(), new_topology);
+  const uint64_t changed_dcs =
+      ChangedDcMask(topology(), new_topology, trigger_threshold);
+  event_span.AddArg("drift", result.drift);
+
+  SetTopology(new_topology);
+  result.transfer_seconds_before =
+      state().CurrentObjective().transfer_seconds;
+  result.transfer_seconds_after = result.transfer_seconds_before;
+  if (result.drift < trigger_threshold || changed_dcs == 0) {
+    registry.GetCounter("dynamic.reopt_skipped")->Increment();
+    return result;
+  }
+
+  // Affected agents: vertices with a replica (master or mirror) in a
+  // changed DC — their traffic crosses the links that moved. They
+  // resume from the policies learned so far instead of cold-starting.
+  result.triggered = true;
+  registry.GetCounter("dynamic.reopt_triggered")->Increment();
+  std::vector<VertexId> affected;
+  for (VertexId v = 0; v < graph().num_vertices(); ++v) {
+    if ((state().ReplicaMask(v) & changed_dcs) != 0) affected.push_back(v);
+  }
+  result.affected_vertices = affected.size();
+  event_span.AddArg("affected", static_cast<double>(affected.size()));
+
+  const std::vector<DcId> pre_event_masters = state().masters();
+  WallTimer timer;
+  {
+    obs::TraceSpan train_span("dynamic/reopt_train", "dynamic");
+    RLCutTrainer trainer(window_options_);
+    trainer.Train(mutable_state(), std::move(affected), pool_.get());
+  }
+  result.overhead_seconds = timer.ElapsedSeconds();
+
+  const double adapted = state().CurrentObjective().transfer_seconds;
+  if (adapted > result.transfer_seconds_before) {
+    // Graceful degradation: a re-optimization that regressed the
+    // objective is undone; the learned policy updates are kept.
+    mutable_state()->ResetDerived(pre_event_masters);
+    result.rolled_back = true;
+    registry.GetCounter("dynamic.reopt_rollbacks")->Increment();
+  } else {
+    result.transfer_seconds_after = adapted;
+  }
+  return result;
 }
 
 // ---- Leopard driver ------------------------------------------------------

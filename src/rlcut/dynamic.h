@@ -2,6 +2,7 @@
 #define RLCUT_RLCUT_DYNAMIC_H_
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <string>
 #include <vector>
@@ -64,8 +65,16 @@ class DynamicPartitionDriver {
   /// the method's adaptation. Edges not present are ignored.
   WindowResult RemoveWindow(const std::vector<Edge>& removed_edges);
 
+  /// Swaps in a new effective topology (same DC count) and re-prices the
+  /// current layout under it — the environment-side analog of an edge
+  /// window. Drive it from TopologySchedule::EffectiveAt as training
+  /// steps pass; RLCutDynamicDriver::OnTopologyEvent layers the
+  /// re-optimization trigger on top.
+  void SetTopology(const Topology& topology);
+
   const PartitionState& state() const { return *state_; }
   const Graph& graph() const { return *graph_; }
+  const Topology& topology() const { return *topology_; }
 
  protected:
   /// Computation model the subclass's state uses.
@@ -100,6 +109,9 @@ class DynamicPartitionDriver {
                            uint64_t change_count);
 
   const Topology* topology_;
+  // Engaged once SetTopology swaps in an effective topology; topology_
+  // then points here instead of at the caller-owned base.
+  std::optional<Topology> effective_topology_;
   Workload workload_;
   uint32_t theta_;
   uint64_t seed_;
@@ -110,6 +122,27 @@ class DynamicPartitionDriver {
   std::vector<double> input_sizes_;
   std::unique_ptr<Graph> graph_;
   std::unique_ptr<PartitionState> state_;
+};
+
+/// Outcome of handling one topology event (RLCutDynamicDriver).
+struct ReoptimizationResult {
+  /// Relative drift between the previous and the new effective topology
+  /// (TopologyDrift).
+  double drift = 0;
+  /// True if the drift met the threshold and the affected automata were
+  /// resumed from their learned policies.
+  bool triggered = false;
+  /// True if the re-optimization regressed the objective and the
+  /// pre-event plan was reinstated (graceful degradation).
+  bool rolled_back = false;
+  /// Vertices whose automata were resumed.
+  uint64_t affected_vertices = 0;
+  /// Objective (transfer seconds) under the *new* topology, before and
+  /// after re-optimization. after <= before always holds: a regressing
+  /// adaptation is rolled back.
+  double transfer_seconds_before = 0;
+  double transfer_seconds_after = 0;
+  double overhead_seconds = 0;
 };
 
 /// RLCut's dynamic mode: initial full training, then per window a
@@ -127,6 +160,16 @@ class RLCutDynamicDriver : public DynamicPartitionDriver {
                      RLCutOptions window_options);
 
   std::string name() const override { return "RLCut"; }
+
+  /// Network-triggered re-optimization: swaps in `new_topology` and, if
+  /// the relative drift reaches `trigger_threshold`, resumes the
+  /// automata of the vertices replicated in a changed DC from their
+  /// learned policies (the same warm-start mechanism as graph windows)
+  /// under the per-window budget. If the adaptation regresses the
+  /// objective the pre-event plan is reinstated. Below the threshold
+  /// only the re-pricing happens.
+  ReoptimizationResult OnTopologyEvent(const Topology& new_topology,
+                                       double trigger_threshold = 0.05);
 
  protected:
   ComputeModel model() const override { return ComputeModel::kHybridCut; }

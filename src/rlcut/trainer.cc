@@ -164,6 +164,13 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
 TrainResult RLCutTrainer::Train(PartitionState* state,
                                 std::vector<VertexId> eligible,
                                 AutomatonPool* pool) {
+  return Train(state, std::move(eligible), pool, nullptr);
+}
+
+TrainResult RLCutTrainer::Train(PartitionState* state,
+                                std::vector<VertexId> eligible,
+                                AutomatonPool* pool,
+                                TrainerSession* session) {
   RLCUT_CHECK(state != nullptr);
   TrainResult result;
   WallTimer total_timer;
@@ -232,13 +239,46 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
   }
   AutomatonPool& automata = *pool;
 
-  // Per-thread resources.
+  // Per-thread resources. A resumed session reinstates the per-worker
+  // PRNG states so a continued run draws the exact sequence the
+  // uninterrupted run would have.
   std::vector<EvalScratch> scratch(num_threads_);
   std::vector<Rng> rngs;
   rngs.reserve(num_threads_);
   for (size_t t = 0; t < num_threads_; ++t) {
     rngs.emplace_back(options_.seed + 0x9e37 * (t + 1));
   }
+  const bool resuming = session != nullptr && session->started;
+  if (resuming && session->finished) {
+    // The run already concluded; the uninterrupted run would not have
+    // trained past this point, so continuing would diverge from it.
+    result.steps = session->history;
+    result.final_objective = state->CurrentObjective();
+    result.converged = true;
+    return result;
+  }
+  if (resuming && !session->rng_states.empty()) {
+    RLCUT_CHECK_EQ(session->rng_states.size(), num_threads_)
+        << "resuming a session requires the thread count it was paused "
+           "with";
+    for (size_t t = 0; t < num_threads_; ++t) {
+      rngs[t].SetState(session->rng_states[t]);
+    }
+  }
+
+  // Telemetry of steps completed before this call (resumed sessions):
+  // the Eq. 14 sampler reads the full history, and TrainResult::steps
+  // spans the whole run.
+  const int start_step = resuming ? session->next_step : 0;
+  const std::vector<StepStats> history_prefix =
+      resuming ? session->history : std::vector<StepStats>();
+  result.steps = history_prefix;
+  auto materialize_steps = [&]() {
+    std::vector<StepStats> steps = history_prefix;
+    std::vector<StepStats> fresh = StepStatsFromRegistry(run_registry);
+    steps.insert(steps.end(), fresh.begin(), fresh.end());
+    return steps;
+  };
 
   // Per-batch decision buffers, indexed by position within the batch.
   const size_t batch_size = static_cast<size_t>(options_.batch_size);
@@ -247,9 +287,20 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
   std::vector<VertexId> agents;
 
   Objective last_objective = state->CurrentObjective();
-  int64_t visits_remaining = options_.agent_visit_budget;
+  int64_t visits_remaining =
+      resuming ? session->visits_remaining : options_.agent_visit_budget;
 
-  for (int step = 0; step < options_.max_steps; ++step) {
+  // First step the next Train call on this session would run: pauses
+  // and pre-step exits leave it at the unexecuted step, end-of-step
+  // exits advance past the executed one.
+  int next_step = start_step;
+  bool paused = false;
+  for (int step = start_step; step < options_.max_steps; ++step) {
+    if (session != nullptr && session->stop_after_step >= 0 &&
+        step >= session->stop_after_step) {
+      paused = true;
+      break;
+    }
     obs::TraceSpan step_span("trainer/step", "trainer");
     step_span.AddArg("step", step);
     double sr = SampleRateForStep(step, result.steps);
@@ -452,14 +503,16 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
     }
 
     visits_remaining -= static_cast<int64_t>(agents.size());
+    next_step = step + 1;
 
     const Objective objective = state->CurrentObjective();
     step_metrics.seconds->Set(step_timer.ElapsedSeconds());
     step_metrics.transfer_seconds->Set(objective.transfer_seconds);
     step_metrics.cost_dollars->Set(objective.cost_dollars);
     // StepStats is a view: re-materialize the telemetry from the
-    // registry (the Eq. 14 sampler reads it next step).
-    result.steps = StepStatsFromRegistry(run_registry);
+    // registry, behind any resumed-session prefix (the Eq. 14 sampler
+    // reads it next step).
+    result.steps = materialize_steps();
 
     total_steps->Increment();
     total_visits->Increment(agents.size());
@@ -484,6 +537,19 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
         total_timer.ElapsedSeconds() >= options_.t_opt_seconds) {
       result.hit_time_budget = true;
       break;
+    }
+  }
+
+  if (session != nullptr) {
+    session->started = true;
+    session->paused = paused;
+    session->finished = !paused;
+    session->next_step = next_step;
+    session->visits_remaining = visits_remaining;
+    session->history = result.steps;
+    session->rng_states.resize(num_threads_);
+    for (size_t t = 0; t < num_threads_; ++t) {
+      session->rng_states[t] = rngs[t].State();
     }
   }
 

@@ -1,6 +1,8 @@
 #ifndef RLCUT_RLCUT_TRAINER_H_
 #define RLCUT_RLCUT_TRAINER_H_
 
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -36,6 +38,38 @@ struct StepStats {
 /// run that filled the registry.
 std::vector<StepStats> StepStatsFromRegistry(
     const obs::MetricsRegistry& registry);
+
+/// Resumable cursor of a training run: everything the step loop carries
+/// from one step to the next that lives outside the PartitionState and
+/// the AutomatonPool. Pass a session to Train with `stop_after_step`
+/// set to pause before that step; pass the same session (or one
+/// restored from a checkpoint, see rlcut/checkpoint.h) back to continue
+/// the run exactly where it left off.
+///
+/// Continuation is bit-identical to the uninterrupted run for
+/// deterministic budgets (no t_opt_seconds; agent_visit_budget and
+/// fixed/full sampling are fine) because the wall-clock Eq. 14 sampler
+/// is the only nondeterministic input to a step.
+struct TrainerSession {
+  /// First step the next Train call will execute.
+  int next_step = 0;
+  /// Pause before this step (-1 = run to completion).
+  int stop_after_step = -1;
+  /// True once a Train call has populated the cursor fields below.
+  bool started = false;
+  /// True when the last Train call stopped because of stop_after_step.
+  bool paused = false;
+  /// True when the run concluded on its own (converged, budget
+  /// exhausted, or max_steps reached). Resuming a finished session is a
+  /// no-op: the uninterrupted run would not have trained further either.
+  bool finished = false;
+  int64_t visits_remaining = 0;
+  /// Telemetry of the steps completed so far (input to Eq. 14).
+  std::vector<StepStats> history;
+  /// Per-worker PRNG states. Restoring requires the same thread count;
+  /// only the kProbability action selection actually draws from these.
+  std::vector<std::array<uint64_t, 4>> rng_states;
+};
 
 /// Outcome of a training run.
 struct TrainResult {
@@ -84,6 +118,13 @@ class RLCutTrainer {
   TrainResult Train(PartitionState* state, std::vector<VertexId> eligible,
                     AutomatonPool* pool);
 
+  /// Same, with a resumable session: starts at session->next_step,
+  /// pauses before session->stop_after_step (if >= 0), and updates the
+  /// session cursor on exit. nullptr behaves like the overload above.
+  TrainResult Train(PartitionState* state, std::vector<VertexId> eligible,
+                    AutomatonPool* pool, TrainerSession* session);
+
+  size_t num_threads() const { return num_threads_; }
   const RLCutOptions& options() const { return options_; }
 
  private:

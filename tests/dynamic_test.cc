@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "cloud/topology.h"
+#include "cloud/topology_schedule.h"
 #include "graph/generators.h"
 #include "graph/geo.h"
 #include "graph/temporal.h"
@@ -210,6 +211,87 @@ TEST_F(DynamicTest, LeopardReplicationStaysBelowRandom) {
                     locations_);
   // Replica-affinity placement keeps lambda well below the DC count.
   EXPECT_LT(driver.state().ReplicationFactor(), 3.0);
+}
+
+TEST_F(DynamicTest, SetTopologyRepricesWithoutMovingMasters) {
+  auto driver = MakeRLCutDriver(0.2);
+  driver->Initialize(full_graph_.num_vertices(), split_.initial_edges,
+                     locations_);
+  const std::vector<DcId> before = driver->state().masters();
+  const double transfer_before =
+      driver->state().TransferSecondsPerIteration();
+
+  // Halve every DC's bandwidth: pure re-pricing, no adaptation.
+  TopologySchedule schedule(
+      topology_, {[&] {
+        TopologyEvent e;
+        e.dc = kAllDcs;
+        e.kind = TopologyEventKind::kBandwidthScale;
+        e.uplink_factor = 0.5;
+        e.downlink_factor = 0.5;
+        return e;
+      }()});
+  driver->SetTopology(schedule.EffectiveAt(0));
+  EXPECT_EQ(driver->state().masters(), before);
+  EXPECT_TRUE(driver->state().CheckInvariants());
+  // Half the bandwidth means exactly twice the transfer time.
+  EXPECT_NEAR(driver->state().TransferSecondsPerIteration(),
+              2.0 * transfer_before, 1e-9 * transfer_before);
+}
+
+TEST_F(DynamicTest, OnTopologyEventBelowThresholdOnlyReprices) {
+  auto driver = MakeRLCutDriver(0.2);
+  driver->Initialize(full_graph_.num_vertices(), split_.initial_edges,
+                     locations_);
+  const std::vector<DcId> before = driver->state().masters();
+
+  // A 1% drift stays under the 5% default trigger threshold.
+  TopologySchedule schedule(topology_, {[&] {
+    TopologyEvent e;
+    e.dc = 0;
+    e.kind = TopologyEventKind::kBandwidthScale;
+    e.uplink_factor = 0.99;
+    e.downlink_factor = 0.99;
+    return e;
+  }()});
+  const ReoptimizationResult result =
+      driver->OnTopologyEvent(schedule.EffectiveAt(0));
+  EXPECT_FALSE(result.triggered);
+  EXPECT_EQ(result.affected_vertices, 0u);
+  EXPECT_EQ(driver->state().masters(), before);
+  EXPECT_NEAR(result.drift, 0.01, 1e-9);
+}
+
+TEST_F(DynamicTest, OnTopologyEventTriggersAndNeverRegresses) {
+  auto driver = MakeRLCutDriver(0.2);
+  driver->Initialize(full_graph_.num_vertices(), split_.initial_edges,
+                     locations_);
+
+  const TopologySchedule schedule = MakeBrownoutSchedule(
+      topology_, /*dc=*/0, /*start_step=*/0, /*end_step=*/100,
+      /*bandwidth_factor=*/0.25);
+  const ReoptimizationResult result =
+      driver->OnTopologyEvent(schedule.EffectiveAt(0));
+  EXPECT_TRUE(result.triggered);
+  EXPECT_GT(result.affected_vertices, 0u);
+  EXPECT_NEAR(result.drift, 0.75, 1e-9);
+  // Rollback-on-regression guarantees the adapted plan is never worse
+  // than the carried plan under the new topology.
+  EXPECT_LE(result.transfer_seconds_after,
+            result.transfer_seconds_before * (1 + 1e-12));
+  EXPECT_TRUE(driver->state().CheckInvariants());
+  // The reported objective is the state's live objective (Eq. 1 summed
+  // over the workload's iterations).
+  EXPECT_NEAR(driver->state().CurrentObjective().transfer_seconds,
+              result.transfer_seconds_after,
+              1e-9 * result.transfer_seconds_after);
+
+  // Restoring the base topology is itself an event (drift back up).
+  const ReoptimizationResult back =
+      driver->OnTopologyEvent(schedule.EffectiveAt(100));
+  EXPECT_TRUE(back.triggered);
+  EXPECT_LE(back.transfer_seconds_after,
+            back.transfer_seconds_before * (1 + 1e-12));
 }
 
 TEST_F(DynamicTest, RLCutWindowOverheadBounded) {

@@ -1,0 +1,295 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cloud/flow_simulator.h"
+#include "cloud/topology.h"
+#include "cloud/topology_schedule.h"
+#include "graph/generators.h"
+#include "graph/geo.h"
+#include "partition/partition_state.h"
+
+namespace rlcut {
+namespace {
+
+Topology Base() { return MakeUniformTopology(4, 1.0, 2.0, 0.10); }
+
+TopologyEvent BandwidthEvent(int step, DcId dc, double up, double down) {
+  TopologyEvent e;
+  e.step = step;
+  e.dc = dc;
+  e.kind = TopologyEventKind::kBandwidthScale;
+  e.uplink_factor = up;
+  e.downlink_factor = down;
+  return e;
+}
+
+TopologyEvent PriceEvent(int step, DcId dc, double factor) {
+  TopologyEvent e;
+  e.step = step;
+  e.dc = dc;
+  e.kind = TopologyEventKind::kPriceScale;
+  e.price_factor = factor;
+  return e;
+}
+
+TopologyEvent OutageEvent(int step, DcId dc) {
+  TopologyEvent e;
+  e.step = step;
+  e.dc = dc;
+  e.kind = TopologyEventKind::kOutage;
+  return e;
+}
+
+TopologyEvent RestoreEvent(int step, DcId dc) {
+  TopologyEvent e;
+  e.step = step;
+  e.dc = dc;
+  e.kind = TopologyEventKind::kRestore;
+  return e;
+}
+
+// RAII temp file for the loader tests.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents) {
+    path_ = ::testing::TempDir() + "/sched_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".txt";
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(TopologyScheduleTest, EmptyScheduleIsTheBaseEverywhere) {
+  TopologySchedule schedule(Base());
+  EXPECT_TRUE(schedule.Validate().ok());
+  const Topology at0 = schedule.EffectiveAt(0);
+  const Topology at100 = schedule.EffectiveAt(100);
+  for (DcId r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(at0.Uplink(r), 1.0);
+    EXPECT_DOUBLE_EQ(at100.Downlink(r), 2.0);
+    EXPECT_DOUBLE_EQ(at100.Price(r), 0.10);
+  }
+  EXPECT_FALSE(schedule.ChangedBetween(0, 1000));
+  EXPECT_EQ(schedule.NextEventAfter(0), -1);
+}
+
+TEST(TopologyScheduleTest, EventAppliesFromItsStepOnward) {
+  TopologySchedule schedule(Base(), {BandwidthEvent(5, 1, 0.5, 0.25)});
+  EXPECT_DOUBLE_EQ(schedule.EffectiveAt(4).Uplink(1), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.EffectiveAt(5).Uplink(1), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.EffectiveAt(5).Downlink(1), 0.5);  // 2.0 * 0.25
+  EXPECT_DOUBLE_EQ(schedule.EffectiveAt(99).Uplink(1), 0.5);
+  // Other DCs and the price are untouched.
+  EXPECT_DOUBLE_EQ(schedule.EffectiveAt(5).Uplink(0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.EffectiveAt(5).Price(1), 0.10);
+}
+
+TEST(TopologyScheduleTest, LastEventWinsFactorsDoNotCompound) {
+  TopologySchedule schedule(
+      Base(), {BandwidthEvent(1, 0, 0.5, 0.5), BandwidthEvent(2, 0, 0.8,
+                                                              0.8)});
+  // Set-to-base semantics: 0.8, not 0.5 * 0.8.
+  EXPECT_DOUBLE_EQ(schedule.EffectiveAt(2).Uplink(0), 0.8);
+}
+
+TEST(TopologyScheduleTest, EventsAreSortedByStep) {
+  TopologySchedule schedule(
+      Base(), {BandwidthEvent(9, 0, 0.8, 0.8), BandwidthEvent(2, 0, 0.5,
+                                                              0.5)});
+  EXPECT_EQ(schedule.events().front().step, 2);
+  EXPECT_EQ(schedule.NextEventAfter(0), 2);
+  EXPECT_EQ(schedule.NextEventAfter(2), 9);
+  EXPECT_EQ(schedule.NextEventAfter(9), -1);
+  EXPECT_TRUE(schedule.ChangedBetween(0, 2));
+  EXPECT_FALSE(schedule.ChangedBetween(2, 8));
+  EXPECT_TRUE(schedule.ChangedBetween(8, 9));
+}
+
+TEST(TopologyScheduleTest, OutageThrottlesAndRestoreRecovers) {
+  TopologySchedule schedule(Base(), {OutageEvent(3, 2), RestoreEvent(7, 2)});
+  const Topology during = schedule.EffectiveAt(3);
+  EXPECT_DOUBLE_EQ(during.Uplink(2), kOutageBandwidthFactor * 1.0);
+  EXPECT_DOUBLE_EQ(during.Downlink(2), kOutageBandwidthFactor * 2.0);
+  const Topology after = schedule.EffectiveAt(7);
+  EXPECT_DOUBLE_EQ(after.Uplink(2), 1.0);
+  EXPECT_DOUBLE_EQ(after.Downlink(2), 2.0);
+  // An outage still validates: bandwidths stay positive.
+  EXPECT_TRUE(schedule.Validate().ok());
+}
+
+TEST(TopologyScheduleTest, AllDcsEventAppliesEverywhere) {
+  TopologySchedule schedule(Base(), {PriceEvent(0, kAllDcs, 3.0)});
+  const Topology at0 = schedule.EffectiveAt(0);
+  for (DcId r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(at0.Price(r), 0.30);
+  }
+}
+
+TEST(TopologyScheduleTest, ValidateRejectsBadEvents) {
+  EXPECT_FALSE(
+      TopologySchedule(Base(), {BandwidthEvent(0, 9, 0.5, 0.5)})  // bad DC
+          .Validate()
+          .ok());
+  EXPECT_FALSE(
+      TopologySchedule(Base(), {BandwidthEvent(0, 0, 0.0, 1.0)})  // zero bw
+          .Validate()
+          .ok());
+  EXPECT_FALSE(
+      TopologySchedule(Base(), {BandwidthEvent(-1, 0, 0.5, 0.5)})  // step<0
+          .Validate()
+          .ok());
+}
+
+TEST(TopologyScheduleTest, DriftAndChangedMask) {
+  TopologySchedule schedule(Base(), {BandwidthEvent(0, 1, 0.5, 1.0)});
+  const Topology effective = schedule.EffectiveAt(0);
+  // Only DC 1's uplink changed, by 50%.
+  EXPECT_NEAR(TopologyDrift(Base(), effective), 0.5, 1e-12);
+  EXPECT_EQ(ChangedDcMask(Base(), effective, 0.01), uint64_t{1} << 1);
+  EXPECT_EQ(ChangedDcMask(Base(), effective, 0.9), 0u);
+  EXPECT_DOUBLE_EQ(TopologyDrift(Base(), Base()), 0.0);
+}
+
+TEST(TopologyScheduleTest, DiurnalPresetDriftsAndValidates) {
+  const TopologySchedule schedule =
+      MakeDiurnalDriftSchedule(Base(), /*period_steps=*/8, /*amplitude=*/0.3,
+                               /*horizon_steps=*/24);
+  EXPECT_TRUE(schedule.Validate().ok());
+  EXPECT_FALSE(schedule.events().empty());
+  // Bandwidths oscillate around the base within the amplitude band.
+  for (int step = 0; step < 24; ++step) {
+    const Topology t = schedule.EffectiveAt(step);
+    for (DcId r = 0; r < 4; ++r) {
+      EXPECT_GE(t.Uplink(r), 1.0 * (1 - 0.3) - 1e-9);
+      EXPECT_LE(t.Uplink(r), 1.0 * (1 + 0.3) + 1e-9);
+    }
+  }
+  // It actually moves at some point.
+  double max_seen = 0;
+  for (int step = 0; step < 24; ++step) {
+    max_seen = std::max(max_seen,
+                        TopologyDrift(Base(), schedule.EffectiveAt(step)));
+  }
+  EXPECT_GT(max_seen, 0.1);
+}
+
+TEST(TopologyScheduleTest, BrownoutPresetDegradesThenRecovers) {
+  const TopologySchedule schedule =
+      MakeBrownoutSchedule(Base(), /*dc=*/2, /*start_step=*/10,
+                           /*end_step=*/20, /*bandwidth_factor=*/0.5);
+  EXPECT_TRUE(schedule.Validate().ok());
+  EXPECT_DOUBLE_EQ(schedule.EffectiveAt(9).Uplink(2), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.EffectiveAt(10).Uplink(2), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.EffectiveAt(19).Uplink(2), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.EffectiveAt(20).Uplink(2), 1.0);
+}
+
+TEST(TopologyScheduleTest, FlowSimulatorConsumesEffectiveTopology) {
+  TopologySchedule schedule(MakeUniformTopology(2, 0.5, 2.5, 0.1),
+                            {BandwidthEvent(5, 0, 0.5, 1.0)});
+  // Base: 1 GB over a 0.5 GB/s uplink takes 2 s. After the event the
+  // uplink halves and the same transfer takes 4 s.
+  const Topology before = schedule.EffectiveAt(0);
+  const Topology after = schedule.EffectiveAt(5);
+  EXPECT_NEAR(FlowSimulator(&before).SimulateMakespan({{0, 1, 1e9}}), 2.0,
+              1e-9);
+  EXPECT_NEAR(FlowSimulator(&after).SimulateMakespan({{0, 1, 1e9}}), 4.0,
+              1e-9);
+}
+
+TEST(TopologyScheduleTest, UpdateTopologyRepricesState) {
+  PowerLawOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 2048;
+  const Graph graph = GeneratePowerLaw(opt);
+  GeoLocatorOptions geo;
+  geo.num_dcs = 4;
+  const std::vector<DcId> locations = AssignGeoLocations(graph, geo);
+  const std::vector<double> sizes = AssignInputSizes(graph);
+
+  const Topology base = Base();
+  TopologySchedule schedule(base, {PriceEvent(0, kAllDcs, 2.0)});
+  const Topology pricier = schedule.EffectiveAt(0);
+
+  PartitionConfig config;
+  config.model = ComputeModel::kHybridCut;
+  config.theta = PartitionState::AutoTheta(graph);
+  config.workload = Workload::PageRank();
+  PartitionState state(&graph, &base, &locations, &sizes, config);
+  state.ResetDerived(locations);
+  // Move a few masters off their initial location so move cost is > 0.
+  for (VertexId v = 0; v < 16; ++v) {
+    state.MoveMaster(v, (locations[v] + 1) % 4);
+  }
+  const Objective before = state.CurrentObjective();
+  ASSERT_GT(before.cost_dollars, 0.0);
+
+  state.UpdateTopology(&pricier);
+  const Objective after = state.CurrentObjective();
+  EXPECT_TRUE(state.CheckInvariants());
+  // Doubling every upload price doubles the dollar objective; the
+  // bandwidths are unchanged so transfer time is identical.
+  EXPECT_NEAR(after.cost_dollars, 2.0 * before.cost_dollars,
+              1e-9 * before.cost_dollars);
+  EXPECT_DOUBLE_EQ(after.transfer_seconds, before.transfer_seconds);
+
+  state.UpdateTopology(&base);
+  const Objective restored = state.CurrentObjective();
+  EXPECT_NEAR(restored.cost_dollars, before.cost_dollars,
+              1e-12 + 1e-9 * before.cost_dollars);
+}
+
+TEST(TopologyScheduleTest, LoadParsesAllEventKinds) {
+  TempFile file(
+      "rlcut-net-schedule v1\n"
+      "# a comment\n"
+      "5 1 bandwidth 0.5 0.25\n"
+      "6 * price 2.0\n"
+      "7 2 outage\n"
+      "9 2 restore\n");
+  Result<TopologySchedule> schedule = LoadTopologySchedule(file.path(),
+                                                           Base());
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  ASSERT_EQ(schedule->events().size(), 4u);
+  EXPECT_DOUBLE_EQ(schedule->EffectiveAt(5).Uplink(1), 0.5);
+  EXPECT_DOUBLE_EQ(schedule->EffectiveAt(6).Price(3), 0.20);
+  EXPECT_DOUBLE_EQ(schedule->EffectiveAt(8).Uplink(2),
+                   kOutageBandwidthFactor);
+  EXPECT_DOUBLE_EQ(schedule->EffectiveAt(9).Uplink(2), 1.0);
+}
+
+TEST(TopologyScheduleTest, LoadRejectsMalformedInput) {
+  {
+    TempFile file("not-a-schedule\n");
+    EXPECT_FALSE(LoadTopologySchedule(file.path(), Base()).ok());
+  }
+  {
+    TempFile file("rlcut-net-schedule v1\n5 1 teleport 0.5\n");
+    EXPECT_FALSE(LoadTopologySchedule(file.path(), Base()).ok());
+  }
+  {
+    TempFile file("rlcut-net-schedule v1\n5 99 outage\n");  // bad DC
+    EXPECT_FALSE(LoadTopologySchedule(file.path(), Base()).ok());
+  }
+  {
+    TempFile file("rlcut-net-schedule v1\nfive 1 outage\n");  // bad step
+    EXPECT_FALSE(LoadTopologySchedule(file.path(), Base()).ok());
+  }
+  {
+    TempFile file("rlcut-net-schedule v1\n5 1 bandwidth 0.5\n");  // missing
+    EXPECT_FALSE(LoadTopologySchedule(file.path(), Base()).ok());
+  }
+  EXPECT_FALSE(LoadTopologySchedule("/nonexistent/sched.txt", Base()).ok());
+}
+
+}  // namespace
+}  // namespace rlcut

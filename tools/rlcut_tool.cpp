@@ -11,13 +11,20 @@
 //   rlcut_tool --dataset=LJ --method=RLCut --save_plan=plan.txt
 //   rlcut_tool --dataset=TW --method=RLCut --trace_out=trace.json \
 //       --metrics_out=metrics.csv   # open trace.json in ui.perfetto.dev
+//   rlcut_tool --dataset=LJ --method=RLCut --stop_after_step=5 \
+//       --checkpoint_out=run.ckpt   # pause and snapshot a training run
+//   rlcut_tool --dataset=LJ --method=RLCut --resume_from=run.ckpt
+//   rlcut_tool --dataset=LJ --method=RLCut --net_schedule=diurnal.sched
 
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <numeric>
+#include <utility>
 
 #include "baselines/partitioner.h"
 #include "cloud/topology.h"
+#include "cloud/topology_schedule.h"
 #include "common/flags.h"
 #include "common/table_writer.h"
 #include "graph/datasets.h"
@@ -27,6 +34,8 @@
 #include "obs/trace.h"
 #include "partition/metrics.h"
 #include "partition/plan_io.h"
+#include "rlcut/checkpoint.h"
+#include "rlcut/rlcut_partitioner.h"
 
 namespace {
 
@@ -83,6 +92,36 @@ void PrintPerDcTable(const PartitionState& state, std::ostream& os) {
   table.Print(os);
 }
 
+// Replays a --net_schedule file over the final plan: re-prices the
+// layout under the effective topology after every event step and
+// tabulates drift / objective / cost. Restores the base topology before
+// returning (the schedule's topologies are locals).
+Status ReplaySchedule(const std::string& path, const Topology& base,
+                      PartitionState* state, std::ostream& os) {
+  Result<TopologySchedule> schedule = LoadTopologySchedule(path, base);
+  if (!schedule.ok()) return schedule.status();
+  os << "\nNetwork schedule " << path << " (" << schedule->events().size()
+     << " events):\n";
+  TableWriter table({"Step", "Drift", "TransferSec", "Cost$"});
+  Topology previous = base;
+  int last_step = -1;
+  for (const TopologyEvent& event : schedule->events()) {
+    if (event.step == last_step) continue;  // one row per event step
+    last_step = event.step;
+    Topology effective = schedule->EffectiveAt(event.step);
+    const double drift = TopologyDrift(previous, effective);
+    state->UpdateTopology(&effective);
+    const PartitionReport report = MakeReport(*state);
+    table.AddRow({Fmt(static_cast<int64_t>(event.step)), Fmt(drift),
+                  Fmt(report.transfer_seconds),
+                  Fmt(report.total_cost)});
+    previous = std::move(effective);
+    state->UpdateTopology(&base);  // effective dies at end of iteration
+  }
+  table.Print(os);
+  return Status::Ok();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,6 +147,16 @@ int main(int argc, char** argv) {
                      "(open in ui.perfetto.dev or chrome://tracing)");
   flags.DefineString("metrics_out", "",
                      "write a CSV snapshot of all recorded metrics here");
+  flags.DefineString("checkpoint_out", "",
+                     "write an RLCut trainer checkpoint here (RLCut only)");
+  flags.DefineString("resume_from", "",
+                     "resume RLCut training from this checkpoint");
+  flags.DefineInt("stop_after_step", -1,
+                  "pause RLCut training before this step "
+                  "(use with --checkpoint_out; -1 = run to completion)");
+  flags.DefineString("net_schedule", "",
+                     "replay this network schedule file over the final "
+                     "plan (see docs/dynamic_environments.md)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s.ToString() << "\n" << flags.Usage(argv[0]);
     return 1;
@@ -217,6 +266,95 @@ int main(int argc, char** argv) {
     if (Status s = ApplyPlan(*plan, &state); !s.ok()) return Fail(s);
     std::cout << "Loaded plan: " << MakeReport(state).ToString() << "\n";
     PrintPerDcTable(state, std::cout);
+    if (!flags.GetString("net_schedule").empty()) {
+      if (Status s = ReplaySchedule(flags.GetString("net_schedule"),
+                                    *topology, &state, std::cout);
+          !s.ok()) {
+        return Fail(s);
+      }
+    }
+    if (Status s = write_observability_outputs(); !s.ok()) return Fail(s);
+    return 0;
+  }
+
+  // ---- RLCut with checkpoint/resume ----------------------------------------
+  // The registry API has no trainer-session surface, so the checkpoint
+  // flags drive the trainer directly (same setup as RunRLCut).
+  const bool wants_checkpointing = !flags.GetString("checkpoint_out").empty() ||
+                                   !flags.GetString("resume_from").empty() ||
+                                   flags.GetInt("stop_after_step") >= 0;
+  if (wants_checkpointing) {
+    if (flags.GetString("method") != "RLCut") {
+      return Fail(Status::InvalidArgument(
+          "--checkpoint_out/--resume_from/--stop_after_step require "
+          "--method=RLCut"));
+    }
+    RLCutOptions rl_options;
+    rl_options.t_opt_seconds = flags.GetDouble("t_opt");
+    rl_options.budget = ctx.budget;
+    rl_options.seed = ctx.seed;
+
+    PartitionConfig config;
+    config.model = ComputeModel::kHybridCut;
+    config.theta = ctx.theta;
+    config.workload = *workload;
+    PartitionState state(&graph, &*topology, &locations, &input_sizes,
+                         config);
+    state.ResetDerived(locations);  // natural partitioning
+
+    RLCutTrainer trainer(rl_options);
+    AutomatonPool pool(graph.num_vertices(), topology->num_dcs(), rl_options);
+    TrainerSession session;
+    if (!flags.GetString("resume_from").empty()) {
+      Result<TrainerCheckpoint> checkpoint =
+          LoadTrainerCheckpoint(flags.GetString("resume_from"));
+      if (!checkpoint.ok()) return Fail(checkpoint.status());
+      if (Status s = RestoreCheckpoint(*checkpoint, &state, &pool, &session);
+          !s.ok()) {
+        return Fail(s);
+      }
+      std::cout << "Resumed from " << flags.GetString("resume_from")
+                << " at step " << session.next_step << "\n";
+    }
+    session.stop_after_step = static_cast<int>(flags.GetInt("stop_after_step"));
+
+    std::vector<VertexId> all(graph.num_vertices());
+    std::iota(all.begin(), all.end(), 0u);
+    TrainResult train = trainer.Train(&state, std::move(all), &pool, &session);
+
+    std::cout << "RLCut " << (session.paused ? "paused before step " : "ran ")
+              << (session.paused ? std::to_string(session.next_step)
+                                 : std::to_string(session.next_step) + " steps")
+              << " in " << train.overhead_seconds << " s\n";
+    std::cout << MakeReport(state).ToString() << "\n\n";
+    PrintPerDcTable(state, std::cout);
+
+    if (!flags.GetString("checkpoint_out").empty()) {
+      const TrainerCheckpoint checkpoint =
+          CaptureCheckpoint(state, pool, session, ctx.seed);
+      if (Status s = SaveTrainerCheckpoint(checkpoint,
+                                           flags.GetString("checkpoint_out"));
+          !s.ok()) {
+        return Fail(s);
+      }
+      std::cout << "\nCheckpoint written to "
+                << flags.GetString("checkpoint_out") << "\n";
+    }
+    if (!flags.GetString("save_plan").empty()) {
+      const PartitionPlan plan = ExtractPlan(state);
+      if (Status s = SavePlan(plan, flags.GetString("save_plan")); !s.ok()) {
+        return Fail(s);
+      }
+      std::cout << "\nPlan written to " << flags.GetString("save_plan")
+                << "\n";
+    }
+    if (!flags.GetString("net_schedule").empty()) {
+      if (Status s = ReplaySchedule(flags.GetString("net_schedule"),
+                                    *topology, &state, std::cout);
+          !s.ok()) {
+        return Fail(s);
+      }
+    }
     if (Status s = write_observability_outputs(); !s.ok()) return Fail(s);
     return 0;
   }
@@ -243,6 +381,13 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nPlan written to " << flags.GetString("save_plan")
               << "\n";
+  }
+  if (!flags.GetString("net_schedule").empty()) {
+    if (Status s = ReplaySchedule(flags.GetString("net_schedule"), *topology,
+                                  &out->state, std::cout);
+        !s.ok()) {
+      return Fail(s);
+    }
   }
   if (Status s = write_observability_outputs(); !s.ok()) return Fail(s);
   return 0;

@@ -1,0 +1,452 @@
+#include "check/differential_oracle.h"
+
+#include <deque>
+#include <ios>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cloud/topology.h"
+#include "cloud/topology_schedule.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "partition/partition_state.h"
+#include "partition/workload.h"
+
+namespace rlcut {
+namespace check {
+namespace {
+
+// ---- Dyadic-exact instance family -----------------------------------
+//
+// Every constant below is a small multiple of a power of two (or a whole
+// number of GB), which keeps all additively maintained quantities —
+// per-DC byte aggregates and the Eq. 4 move cost — on a common dyadic
+// grid far below the 2^53 exactness limit. Divisions by bandwidth and by
+// 1e9 are *not* exact, but both the incremental and the cold evaluation
+// path derive them from bit-equal aggregates through the same code, so
+// the results are bit-equal too.
+
+const double kUplinkGbps[] = {0.25, 0.5, 0.125, 1.0, 0.5, 0.25, 2.0, 0.125};
+const double kDownlinkGbps[] = {0.5, 1.0, 0.25, 2.0, 1.0, 0.5, 4.0, 0.25};
+const double kUploadPrice[] = {0.125,   0.0625, 0.25,   0.03125,
+                               0.09375, 0.5,    0.0625, 0.25};
+
+Topology MakeOracleTopology(int preset, int num_dcs) {
+  std::vector<DataCenter> dcs(num_dcs);
+  for (int r = 0; r < num_dcs; ++r) {
+    dcs[r].name = "dc" + std::to_string(r);
+    if (preset == 0) {
+      dcs[r].uplink_gbps = 0.25;
+      dcs[r].downlink_gbps = 0.5;
+      dcs[r].upload_price = 0.125;
+    } else {
+      dcs[r].uplink_gbps = kUplinkGbps[r % 8];
+      dcs[r].downlink_gbps = kDownlinkGbps[r % 8];
+      dcs[r].upload_price = kUploadPrice[r % 8];
+    }
+  }
+  return Topology(std::move(dcs));
+}
+
+// Outage, drift and recovery with dyadic scale factors. Bandwidth-only
+// events may use any positive factor (bandwidth enters the objective
+// through division only); price factors must stay dyadic because prices
+// multiply into the additively accumulated move cost.
+TopologySchedule MakeOracleSchedule(Topology base, int num_dcs) {
+  const DcId victim = num_dcs > 1 ? 1 : 0;
+  std::vector<TopologyEvent> events;
+  events.push_back({8, victim, TopologyEventKind::kOutage, 1, 1, 1});
+  events.push_back({20, victim, TopologyEventKind::kRestore, 1, 1, 1});
+  events.push_back(
+      {28, kAllDcs, TopologyEventKind::kBandwidthScale, 0.5, 0.5, 1});
+  events.push_back({36, 0, TopologyEventKind::kPriceScale, 1, 1, 2.0});
+  events.push_back({44, kAllDcs, TopologyEventKind::kRestore, 1, 1, 1});
+  return TopologySchedule(std::move(base), std::move(events));
+}
+
+Workload OracleWorkload() {
+  Workload w;
+  w.name = "oracle-dyadic";
+  w.apply_base_bytes = 8;
+  w.apply_bytes_per_out_edge = 0.25;
+  w.gather_base_bytes = 4;
+  w.activity = {1.0, 0.5, 0.25, 0.25};
+  return w;
+}
+
+Graph MakeOracleGraph(int kind, VertexId n, uint64_t m, uint64_t seed) {
+  switch (kind) {
+    case 0: {
+      PowerLawOptions o;
+      o.num_vertices = n;
+      o.num_edges = m;
+      o.exponent = 2.0;
+      o.seed = seed;
+      return GeneratePowerLaw(o);
+    }
+    case 1:
+      return GenerateErdosRenyi(n, m, seed);
+    default: {
+      RmatOptions o;
+      o.num_vertices = n;
+      o.num_edges = m;
+      o.seed = seed;
+      return GenerateRmat(o);
+    }
+  }
+}
+
+// ---- Bit-level state comparison -------------------------------------
+
+std::string Hex(double x) {
+  std::ostringstream out;
+  out << std::hexfloat << x << std::defaultfloat << " (" << x << ")";
+  return out.str();
+}
+
+bool SameObjective(const Objective& a, const Objective& b) {
+  return a.transfer_seconds == b.transfer_seconds &&
+         a.cost_dollars == b.cost_dollars &&
+         a.smooth_seconds == b.smooth_seconds;
+}
+
+std::string DiffObjective(const Objective& a, const Objective& b) {
+  std::ostringstream out;
+  if (a.transfer_seconds != b.transfer_seconds) {
+    out << " transfer " << Hex(a.transfer_seconds) << " vs "
+        << Hex(b.transfer_seconds);
+  }
+  if (a.cost_dollars != b.cost_dollars) {
+    out << " cost " << Hex(a.cost_dollars) << " vs " << Hex(b.cost_dollars);
+  }
+  if (a.smooth_seconds != b.smooth_seconds) {
+    out << " smooth " << Hex(a.smooth_seconds) << " vs "
+        << Hex(b.smooth_seconds);
+  }
+  return out.str();
+}
+
+// Everything observable through the public PartitionState API.
+struct Snapshot {
+  std::vector<DcId> masters;
+  std::vector<DcId> edge_dcs;
+  std::vector<uint64_t> replica;
+  std::vector<uint64_t> gather_mirror;
+  std::vector<uint64_t> master_count;
+  std::vector<uint64_t> edge_count;
+  Objective objective;
+  double move_cost = 0;
+  double wan_bytes = 0;
+};
+
+Snapshot Capture(const PartitionState& state) {
+  Snapshot s;
+  const VertexId n = state.graph().num_vertices();
+  const EdgeId m = state.graph().num_edges();
+  const int dcs = state.num_dcs();
+  s.masters = state.masters();
+  s.edge_dcs.resize(m);
+  for (EdgeId e = 0; e < m; ++e) s.edge_dcs[e] = state.edge_dc(e);
+  s.replica.resize(n);
+  s.gather_mirror.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    s.replica[v] = state.ReplicaMask(v);
+    s.gather_mirror[v] = state.GatherMirrorMask(v);
+  }
+  s.master_count.resize(dcs);
+  s.edge_count.resize(dcs);
+  for (DcId r = 0; r < dcs; ++r) {
+    s.master_count[r] = state.MasterCount(r);
+    s.edge_count[r] = state.EdgeCount(r);
+  }
+  s.objective = state.CurrentObjective();
+  s.move_cost = state.MoveCost();
+  s.wan_bytes = state.WanBytesPerIteration();
+  return s;
+}
+
+// Empty string when identical; otherwise describes the first mismatch.
+std::string DiffSnapshots(const Snapshot& a, const Snapshot& b) {
+  for (size_t v = 0; v < a.masters.size(); ++v) {
+    if (a.masters[v] != b.masters[v]) {
+      return "master(" + std::to_string(v) + ") " +
+             std::to_string(a.masters[v]) + " vs " +
+             std::to_string(b.masters[v]);
+    }
+    if (a.replica[v] != b.replica[v]) {
+      return "replica_mask(" + std::to_string(v) + ")";
+    }
+    if (a.gather_mirror[v] != b.gather_mirror[v]) {
+      return "gather_mirror_mask(" + std::to_string(v) + ")";
+    }
+  }
+  for (size_t e = 0; e < a.edge_dcs.size(); ++e) {
+    if (a.edge_dcs[e] != b.edge_dcs[e]) {
+      return "edge_dc(" + std::to_string(e) + ") " +
+             std::to_string(a.edge_dcs[e]) + " vs " +
+             std::to_string(b.edge_dcs[e]);
+    }
+  }
+  for (size_t r = 0; r < a.master_count.size(); ++r) {
+    if (a.master_count[r] != b.master_count[r]) {
+      return "master_count(" + std::to_string(r) + ")";
+    }
+    if (a.edge_count[r] != b.edge_count[r]) {
+      return "edge_count(" + std::to_string(r) + ")";
+    }
+  }
+  if (!SameObjective(a.objective, b.objective)) {
+    return "objective:" + DiffObjective(a.objective, b.objective);
+  }
+  if (a.move_cost != b.move_cost) {
+    return "move_cost " + Hex(a.move_cost) + " vs " + Hex(b.move_cost);
+  }
+  if (a.wan_bytes != b.wan_bytes) {
+    return "wan_bytes " + Hex(a.wan_bytes) + " vs " + Hex(b.wan_bytes);
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::string OracleReport::Summary() const {
+  std::ostringstream out;
+  out << "differential oracle: " << sequences << " sequences, " << moves
+      << " moves, " << cold_recomputes << " cold recomputes, " << rollbacks
+      << " rollbacks, " << topology_updates << " topology updates, "
+      << invariant_checks << " invariant checks, " << failures.size()
+      << " failures";
+  return out.str();
+}
+
+OracleReport RunDifferentialOracle(const OracleOptions& options) {
+  OracleReport report;
+  Rng rng(options.seed != 0 ? options.seed : 1);
+  const Workload workload = OracleWorkload();
+  const int cold_every = options.cold_every > 0 ? options.cold_every : 1;
+
+  const int num_models = options.include_vertex_cut ? 3 : 2;
+  for (int seq = 0; seq < options.num_sequences; ++seq) {
+    if (report.failures.size() >=
+        static_cast<size_t>(options.max_failures)) {
+      break;
+    }
+    const int graph_kind = seq % 3;
+    const int preset = (seq / 3) % 3;
+    const int model_kind = (seq / 9) % num_models;
+
+    const Graph graph = MakeOracleGraph(graph_kind, options.num_vertices,
+                                        options.num_edges,
+                                        options.seed + 17 * seq + 1);
+    const VertexId n = graph.num_vertices();
+    const EdgeId m = graph.num_edges();
+
+    // Stable addresses for every effective topology this sequence uses;
+    // PartitionState keeps a pointer into the store.
+    std::deque<Topology> topo_store;
+    TopologySchedule schedule;
+    if (preset == 2) {
+      schedule = MakeOracleSchedule(MakeOracleTopology(1, options.num_dcs),
+                                    options.num_dcs);
+      topo_store.push_back(schedule.EffectiveAt(0));
+    } else {
+      topo_store.push_back(MakeOracleTopology(preset, options.num_dcs));
+    }
+    const Topology* cur_topo = &topo_store.back();
+
+    // Whole-GB input sizes: size / 1e9 divides back to an exact integer,
+    // so every Eq. 4 term is (integer) * (dyadic price) — exact.
+    std::vector<DcId> init_locs(n);
+    std::vector<double> input_sizes(n);
+    for (VertexId v = 0; v < n; ++v) {
+      init_locs[v] = static_cast<DcId>(rng.UniformInt(options.num_dcs));
+      input_sizes[v] = static_cast<double>(1 + rng.UniformInt(8)) * 1e9;
+    }
+
+    PartitionConfig config;
+    config.workload = workload;
+    switch (model_kind) {
+      case 0:
+        config.model = ComputeModel::kHybridCut;
+        config.theta = PartitionState::AutoTheta(graph, 0.1);
+        break;
+      case 1:
+        config.model = ComputeModel::kEdgeCut;
+        break;
+      default:
+        config.model = ComputeModel::kVertexCut;
+        break;
+    }
+    const bool derived = config.model != ComputeModel::kVertexCut;
+
+    PartitionState state(&graph, cur_topo, &init_locs, &input_sizes,
+                         config);
+    std::vector<DcId> masters(n);
+    for (VertexId v = 0; v < n; ++v) {
+      masters[v] = static_cast<DcId>(rng.UniformInt(options.num_dcs));
+    }
+    if (derived) {
+      state.ResetDerived(masters);
+    } else {
+      std::vector<DcId> edge_dcs(m);
+      for (EdgeId e = 0; e < m; ++e) {
+        edge_dcs[e] = static_cast<DcId>(rng.UniformInt(options.num_dcs));
+      }
+      state.ResetWithPlacement(masters, edge_dcs);
+    }
+
+    EvalScratch scratch;
+    ++report.sequences;
+
+    auto fail = [&](int move, const std::string& what) {
+      std::ostringstream out;
+      out << "seq " << seq << " move " << move << " [graph=" << graph_kind
+          << " preset=" << preset << " model=" << model_kind
+          << "]: " << what;
+      report.failures.push_back(out.str());
+    };
+
+    auto cold_check = [&](int move, const char* where) {
+      PartitionState fresh(&graph, cur_topo, &init_locs, &input_sizes,
+                           config);
+      if (derived) {
+        fresh.ResetDerived(state.masters());
+      } else {
+        std::vector<DcId> edge_dcs(m);
+        for (EdgeId e = 0; e < m; ++e) edge_dcs[e] = state.edge_dc(e);
+        fresh.ResetWithPlacement(state.masters(), edge_dcs);
+      }
+      ++report.cold_recomputes;
+      const Objective live = state.CurrentObjective();
+      const Objective cold = fresh.CurrentObjective();
+      if (!SameObjective(live, cold)) {
+        fail(move, std::string(where) + ": incremental vs cold objective:" +
+                       DiffObjective(live, cold));
+      }
+      if (state.MoveCost() != fresh.MoveCost()) {
+        fail(move, std::string(where) + ": incremental vs cold move cost " +
+                       Hex(state.MoveCost()) + " vs " +
+                       Hex(fresh.MoveCost()));
+      }
+      if (state.WanBytesPerIteration() != fresh.WanBytesPerIteration()) {
+        fail(move,
+             std::string(where) + ": incremental vs cold WAN bytes " +
+                 Hex(state.WanBytesPerIteration()) + " vs " +
+                 Hex(fresh.WanBytesPerIteration()));
+      }
+    };
+
+    for (int move = 0; move < options.moves_per_sequence; ++move) {
+      if (report.failures.size() >=
+          static_cast<size_t>(options.max_failures)) {
+        break;
+      }
+      // Scheduled preset: re-price the live state against the effective
+      // topology every 8 moves (move index doubles as the time step).
+      if (preset == 2 && move > 0 && move % 8 == 0 &&
+          schedule.ChangedBetween(move - 8, move)) {
+        topo_store.push_back(schedule.EffectiveAt(move));
+        cur_topo = &topo_store.back();
+        state.UpdateTopology(cur_topo);
+        ++report.topology_updates;
+        cold_check(move, "after UpdateTopology");
+      }
+
+      ++report.moves;
+      const Snapshot pre = Capture(state);
+
+      if (derived) {
+        const VertexId v = static_cast<VertexId>(rng.UniformInt(n));
+        const DcId to = static_cast<DcId>(rng.UniformInt(options.num_dcs));
+        const DcId from = state.master(v);
+
+        const Objective predicted = state.EvaluateMove(v, to, &scratch);
+        const std::string eval_diff = DiffSnapshots(pre, Capture(state));
+        if (!eval_diff.empty()) {
+          fail(move, "EvaluateMove mutated state: " + eval_diff);
+        }
+        state.MoveMaster(v, to);
+        const Objective actual = state.CurrentObjective();
+        if (!SameObjective(predicted, actual)) {
+          fail(move, "EvaluateMove vs committed objective:" +
+                         DiffObjective(predicted, actual));
+        }
+        if (move % cold_every == 0) cold_check(move, "after MoveMaster");
+        if (rng.Bernoulli(0.5)) {
+          state.MoveMaster(v, from);
+          ++report.rollbacks;
+          const std::string diff = DiffSnapshots(pre, Capture(state));
+          if (!diff.empty()) {
+            fail(move, "rollback not bit-identical: " + diff);
+          }
+        }
+      } else {
+        const bool place_edge = rng.UniformInt(3) != 0;
+        if (place_edge) {
+          const EdgeId e = rng.UniformInt(m);
+          const DcId to =
+              static_cast<DcId>(rng.UniformInt(options.num_dcs));
+          const DcId old = state.edge_dc(e);
+
+          const Objective predicted =
+              state.EvaluatePlaceEdge(e, to, &scratch);
+          const std::string eval_diff = DiffSnapshots(pre, Capture(state));
+          if (!eval_diff.empty()) {
+            fail(move, "EvaluatePlaceEdge mutated state: " + eval_diff);
+          }
+          state.PlaceEdge(e, to);
+          const Objective actual = state.CurrentObjective();
+          if (!SameObjective(predicted, actual)) {
+            fail(move, "EvaluatePlaceEdge vs committed objective:" +
+                           DiffObjective(predicted, actual));
+          }
+          if (move % cold_every == 0) cold_check(move, "after PlaceEdge");
+          if (old != kNoDc && rng.Bernoulli(0.5)) {
+            state.PlaceEdge(e, old);
+            ++report.rollbacks;
+            const std::string diff = DiffSnapshots(pre, Capture(state));
+            if (!diff.empty()) {
+              fail(move, "PlaceEdge rollback not bit-identical: " + diff);
+            }
+          }
+        } else {
+          const VertexId v = static_cast<VertexId>(rng.UniformInt(n));
+          const DcId to =
+              static_cast<DcId>(rng.UniformInt(options.num_dcs));
+          const DcId from = state.master(v);
+          state.SetMaster(v, to);
+          if (move % cold_every == 0) cold_check(move, "after SetMaster");
+          if (rng.Bernoulli(0.5)) {
+            state.SetMaster(v, from);
+            ++report.rollbacks;
+            const std::string diff = DiffSnapshots(pre, Capture(state));
+            if (!diff.empty()) {
+              fail(move, "SetMaster rollback not bit-identical: " + diff);
+            }
+          }
+        }
+      }
+
+      if (options.invariant_every > 0 &&
+          move % options.invariant_every == options.invariant_every - 1) {
+        ++report.invariant_checks;
+        if (!state.CheckInvariants()) {
+          fail(move, "CheckInvariants failed");
+        }
+      }
+    }
+
+    // Sequence postcondition: the surviving state is fully consistent.
+    ++report.invariant_checks;
+    if (!state.CheckInvariants()) {
+      fail(options.moves_per_sequence, "final CheckInvariants failed");
+    }
+    cold_check(options.moves_per_sequence, "sequence end");
+  }
+  return report;
+}
+
+}  // namespace check
+}  // namespace rlcut

@@ -1,0 +1,67 @@
+#ifndef RLCUT_CHECK_DIFFERENTIAL_ORACLE_H_
+#define RLCUT_CHECK_DIFFERENTIAL_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rlcut {
+namespace check {
+
+/// Configuration of the incremental-vs-recompute differential oracle.
+///
+/// The oracle replays randomized move sequences against PartitionState
+/// and demands *bit-exact* agreement between the incremental evaluator
+/// and a from-scratch reconstruction. Exact equality is sound (not a
+/// flaky tolerance) because every generated problem instance is
+/// dyadic-exact: bandwidths, prices, workload byte sizes and schedule
+/// factors are small multiples of powers of two, and input sizes are
+/// whole GB, so every aggregate the state maintains additively is an
+/// exactly representable double and IEEE addition over them is exact —
+/// hence order-independent and exactly reversible. Any mismatch is a
+/// logic bug, not floating-point noise. See docs/correctness.md.
+struct OracleOptions {
+  /// Independent randomized sequences. Graph kind, topology preset and
+  /// compute model are cycled per sequence.
+  int num_sequences = 48;
+  /// Moves (MoveMaster / PlaceEdge / SetMaster) per sequence.
+  int moves_per_sequence = 64;
+  /// Instance size. Small enough that the O(|E| + |V| M) cold
+  /// reconstruction stays cheap; big enough for multi-DC replication.
+  VertexId num_vertices = 96;
+  uint64_t num_edges = 384;
+  int num_dcs = 4;
+  uint64_t seed = 1;
+  /// Also exercise explicit edge placement (PlaceEdge / SetMaster).
+  bool include_vertex_cut = true;
+  /// Run PartitionState::CheckInvariants every N moves (0 = never).
+  int invariant_every = 16;
+  /// Cold-reconstruct and compare every N moves (>= 1).
+  int cold_every = 4;
+  /// Stop collecting after this many failures.
+  int max_failures = 16;
+};
+
+/// What the oracle did and every disagreement it found.
+struct OracleReport {
+  uint64_t sequences = 0;
+  uint64_t moves = 0;
+  uint64_t cold_recomputes = 0;
+  uint64_t rollbacks = 0;
+  uint64_t topology_updates = 0;
+  uint64_t invariant_checks = 0;
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+/// Runs the oracle. Deterministic given options.seed.
+OracleReport RunDifferentialOracle(const OracleOptions& options);
+
+}  // namespace check
+}  // namespace rlcut
+
+#endif  // RLCUT_CHECK_DIFFERENTIAL_ORACLE_H_

@@ -1,0 +1,554 @@
+#include "check/fuzz.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cloud/topology.h"
+#include "cloud/topology_schedule.h"
+#include "common/random.h"
+#include "partition/plan_io.h"
+#include "rlcut/checkpoint.h"
+
+namespace rlcut {
+namespace check {
+namespace {
+
+// ---- Scratch files ---------------------------------------------------
+
+std::string ScratchPath() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t id = counter.fetch_add(1);
+  return (std::filesystem::temp_directory_path() /
+          ("rlcut_fuzz_" + std::to_string(::getpid()) + "_" +
+           std::to_string(id)))
+      .string();
+}
+
+Status WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+    return Status::IoError("cannot write scratch file " + path);
+  }
+  return Status::Ok();
+}
+
+// ---- Checkpoint wire format (format constants, mirrored here so the
+// fuzzer can build adversarial files byte by byte) ---------------------
+
+constexpr char kCkpMagic[8] = {'R', 'L', 'C', 'U', 'T', 'C', 'K', 'P'};
+constexpr uint32_t kCkpVersion = 1;
+// File layout: magic(8) version(4) payload_size(8) payload checksum(8).
+constexpr size_t kCkpPayloadSizeOffset = 12;
+constexpr size_t kCkpHeaderBytes = 20;
+
+uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t hash = 14695981039346656037ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+template <typename T>
+void Append(std::string* out, T value) {
+  const size_t offset = out->size();
+  out->resize(offset + sizeof(T));
+  std::memcpy(out->data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+void Overwrite(std::string* out, size_t offset, T value) {
+  std::memcpy(out->data() + offset, &value, sizeof(T));
+}
+
+// A structurally valid payload plus the offsets of its count fields, so
+// adversarial variants can surgically corrupt exactly one count.
+struct PayloadLayout {
+  std::string bytes;
+  size_t masters_count_offset = 0;
+  size_t history_count_offset = 0;
+  size_t rng_count_offset = 0;
+  size_t rng_data_offset = 0;
+};
+
+PayloadLayout BuildValidPayload() {
+  PayloadLayout layout;
+  std::string& p = layout.bytes;
+  const uint64_t num_vertices = 4;
+  const int num_dcs = 2;
+  Append<uint64_t>(&p, num_vertices);
+  Append<uint32_t>(&p, static_cast<uint32_t>(num_dcs));
+  Append<uint64_t>(&p, 7);                        // seed
+  Append<uint32_t>(&p, 0);                        // model = hybrid
+  Append<uint32_t>(&p, 5);                        // theta
+  layout.masters_count_offset = p.size();
+  Append<uint64_t>(&p, num_vertices);             // masters count
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    Append<int32_t>(&p, static_cast<int32_t>(v % num_dcs));
+  }
+  Append<uint64_t>(&p, num_vertices);             // pool.num_vertices
+  Append<int32_t>(&p, num_dcs);                   // pool.num_dcs
+  Append<uint64_t>(&p, num_vertices * num_dcs);   // prob count
+  for (uint64_t i = 0; i < num_vertices * num_dcs; ++i) {
+    Append<double>(&p, 0.5);
+  }
+  Append<uint64_t>(&p, num_vertices * num_dcs);   // mean_q count
+  for (uint64_t i = 0; i < num_vertices * num_dcs; ++i) {
+    Append<double>(&p, 0.25);
+  }
+  Append<uint64_t>(&p, num_vertices * num_dcs);   // count count
+  for (uint64_t i = 0; i < num_vertices * num_dcs; ++i) {
+    Append<uint32_t>(&p, 3);
+  }
+  Append<int32_t>(&p, 6);                         // session.next_step
+  Append<uint8_t>(&p, 1);                         // started
+  Append<uint8_t>(&p, 0);                         // finished
+  Append<int64_t>(&p, 40);                        // visits_remaining
+  layout.history_count_offset = p.size();
+  Append<uint64_t>(&p, 2);                        // history count
+  for (int s = 0; s < 2; ++s) {
+    Append<int32_t>(&p, s);                       // step
+    Append<double>(&p, 1.0);                      // sample_rate
+    Append<uint64_t>(&p, 4);                      // num_agents
+    Append<double>(&p, 0.125);                    // seconds
+    Append<double>(&p, 2.0);                      // transfer_seconds
+    Append<double>(&p, 0.5);                      // cost_dollars
+    Append<uint64_t>(&p, 1);                      // migrations
+    Append<uint64_t>(&p, 0);                      // rollbacks
+  }
+  layout.rng_count_offset = p.size();
+  Append<uint64_t>(&p, 2);                        // rng state count
+  layout.rng_data_offset = p.size();
+  for (int t = 0; t < 2; ++t) {
+    for (int w = 0; w < 4; ++w) {
+      Append<uint64_t>(&p, 0x9e3779b97f4a7c15ull + 13 * t + w);
+    }
+  }
+  return layout;
+}
+
+std::string WrapCheckpointFile(const std::string& payload) {
+  std::string file;
+  file.append(kCkpMagic, sizeof(kCkpMagic));
+  Append<uint32_t>(&file, kCkpVersion);
+  Append<uint64_t>(&file, payload.size());
+  file += payload;
+  Append<uint64_t>(&file, Fnv1a64(payload.data(), payload.size()));
+  return file;
+}
+
+// Re-fixes the trailing checksum of a mutated checkpoint file so payload
+// mutations survive the checksum gate and reach DecodePayload. No-op
+// when the declared payload size no longer fits the file.
+bool RefixCheckpointChecksum(std::string* file) {
+  if (file->size() < kCkpHeaderBytes + sizeof(uint64_t)) return false;
+  uint64_t payload_size = 0;
+  std::memcpy(&payload_size, file->data() + kCkpPayloadSizeOffset,
+              sizeof(payload_size));
+  if (payload_size > file->size() - kCkpHeaderBytes - sizeof(uint64_t)) {
+    return false;
+  }
+  const uint64_t checksum = Fnv1a64(file->data() + kCkpHeaderBytes,
+                                    static_cast<size_t>(payload_size));
+  Overwrite<uint64_t>(file, kCkpHeaderBytes + payload_size, checksum);
+  return true;
+}
+
+std::vector<CorpusCase> CheckpointCorpus() {
+  std::vector<CorpusCase> corpus;
+  const PayloadLayout layout = BuildValidPayload();
+  const std::string valid = WrapCheckpointFile(layout.bytes);
+  corpus.push_back({"valid", valid, true});
+
+  {
+    // Empty history and rng sections are legal.
+    PayloadLayout empty = BuildValidPayload();
+    empty.bytes.resize(empty.history_count_offset);
+    Append<uint64_t>(&empty.bytes, 0);  // history count
+    Append<uint64_t>(&empty.bytes, 0);  // rng count
+    corpus.push_back(
+        {"valid-empty-history", WrapCheckpointFile(empty.bytes), true});
+  }
+
+  corpus.push_back({"empty-file", std::string(), false});
+  corpus.push_back({"truncated-header", valid.substr(0, 10), false});
+  corpus.push_back(
+      {"truncated-payload", valid.substr(0, valid.size() - 20), false});
+
+  {
+    std::string bad = valid;
+    bad[0] = 'X';
+    corpus.push_back({"bad-magic", bad, false});
+  }
+  {
+    std::string bad = valid;
+    Overwrite<uint32_t>(&bad, sizeof(kCkpMagic), kCkpVersion + 1);
+    corpus.push_back({"bad-version", bad, false});
+  }
+  {
+    std::string bad = valid;
+    bad[kCkpHeaderBytes + 3] ^= 0x40;  // payload bit flip, stale checksum
+    corpus.push_back({"checksum-mismatch", bad, false});
+  }
+  {
+    // Declared payload far beyond the file: must be rejected before the
+    // payload buffer is allocated (pre-fix this requested ~1 TB).
+    std::string bad = valid;
+    Overwrite<uint64_t>(&bad, kCkpPayloadSizeOffset, 1ull << 40);
+    corpus.push_back({"huge-payload-size", bad, false});
+  }
+  {
+    // Checksum-valid payload claiming 2^56 masters: ReadVector's
+    // remaining-bytes bound must reject it without allocating.
+    PayloadLayout bad = BuildValidPayload();
+    Overwrite<uint64_t>(&bad.bytes, bad.masters_count_offset, 1ull << 56);
+    corpus.push_back(
+        {"huge-masters-count", WrapCheckpointFile(bad.bytes), false});
+  }
+  {
+    // Checksum-valid payload claiming 2^56 history records (pre-fix:
+    // unbounded resize of ~6 PB).
+    PayloadLayout bad = BuildValidPayload();
+    Overwrite<uint64_t>(&bad.bytes, bad.history_count_offset, 1ull << 56);
+    corpus.push_back(
+        {"huge-history-count", WrapCheckpointFile(bad.bytes), false});
+  }
+  {
+    // Checksum-valid payload claiming 2^56 rng states.
+    PayloadLayout bad = BuildValidPayload();
+    Overwrite<uint64_t>(&bad.bytes, bad.rng_count_offset, 1ull << 56);
+    corpus.push_back(
+        {"huge-rng-count", WrapCheckpointFile(bad.bytes), false});
+  }
+  {
+    // Checksum-valid file whose first rng state is all zeros: resuming
+    // it would abort inside Rng::SetState, so the loader must reject.
+    PayloadLayout bad = BuildValidPayload();
+    for (int w = 0; w < 4; ++w) {
+      Overwrite<uint64_t>(&bad.bytes,
+                          bad.rng_data_offset + w * sizeof(uint64_t), 0);
+    }
+    corpus.push_back(
+        {"zero-rng-state", WrapCheckpointFile(bad.bytes), false});
+  }
+  {
+    // Extra bytes inside the checksummed payload must be detected.
+    std::string padded = layout.bytes;
+    Append<uint64_t>(&padded, 0xdeadbeef);
+    corpus.push_back(
+        {"trailing-payload-bytes", WrapCheckpointFile(padded), false});
+  }
+  return corpus;
+}
+
+// ---- Plan corpus -----------------------------------------------------
+
+std::vector<CorpusCase> PlanCorpus() {
+  std::vector<CorpusCase> corpus;
+  corpus.push_back({"valid-hybrid",
+                    "rlcut-plan v1\n"
+                    "model hybrid theta 100\n"
+                    "masters 4\n0\n1\n0\n1\n"
+                    "edges 0\n",
+                    true});
+  corpus.push_back({"valid-vertex",
+                    "rlcut-plan v1\n"
+                    "model vertex theta 0\n"
+                    "masters 3\n0\n1\n2\n"
+                    "edges 4\n0\n1\n2\n-1\n",
+                    true});
+  // Values are only range-checked against a concrete problem in
+  // ApplyPlan; the parser accepts any integer DC id.
+  corpus.push_back({"out-of-range-dc-values",
+                    "rlcut-plan v1\n"
+                    "model edge theta 1\n"
+                    "masters 2\n-7\n1000\n"
+                    "edges 0\n",
+                    true});
+  corpus.push_back({"empty-file", "", false});
+  corpus.push_back({"bad-header", "rlcut-plan v2\n", false});
+  corpus.push_back({"bad-model",
+                    "rlcut-plan v1\nmodel pagerank theta 100\n", false});
+  corpus.push_back({"missing-theta",
+                    "rlcut-plan v1\nmodel hybrid\nmasters 0\n", false});
+  // Counts larger than the file itself: must be rejected before the
+  // resize (pre-fix this requested a ~400 GB masters vector).
+  corpus.push_back({"huge-masters-count",
+                    "rlcut-plan v1\n"
+                    "model hybrid theta 100\n"
+                    "masters 99999999999\n0\n",
+                    false});
+  corpus.push_back({"huge-edges-count",
+                    "rlcut-plan v1\n"
+                    "model vertex theta 0\n"
+                    "masters 1\n0\n"
+                    "edges 99999999999\n0\n",
+                    false});
+  corpus.push_back({"truncated-masters",
+                    "rlcut-plan v1\n"
+                    "model hybrid theta 100\n"
+                    "masters 4\n0\n1\n",
+                    false});
+  corpus.push_back({"garbage-master-value",
+                    "rlcut-plan v1\n"
+                    "model hybrid theta 100\n"
+                    "masters 2\n0\nbanana\n",
+                    false});
+  corpus.push_back({"missing-edges-section",
+                    "rlcut-plan v1\n"
+                    "model hybrid theta 100\n"
+                    "masters 1\n0\n",
+                    false});
+  return corpus;
+}
+
+// ---- Net-schedule corpus ---------------------------------------------
+
+std::vector<CorpusCase> NetScheduleCorpus() {
+  std::vector<CorpusCase> corpus;
+  corpus.push_back({"valid",
+                    "rlcut-net-schedule v1\n"
+                    "# diurnal dip, then a regional outage\n"
+                    "0 * bandwidth 0.5 0.5\n"
+                    "4 1 price 2.0\n"
+                    "8 1 outage\n"
+                    "12 1 restore\n"
+                    "16 * restore\n",
+                    true});
+  corpus.push_back({"valid-empty", "rlcut-net-schedule v1\n", true});
+  corpus.push_back(
+      {"valid-comments-only",
+       "rlcut-net-schedule v1\n# nothing happens\n\n# still nothing\n",
+       true});
+  corpus.push_back({"empty-file", "", false});
+  corpus.push_back({"bad-header", "rlcut-net-schedule v2\n", false});
+  corpus.push_back({"unknown-kind",
+                    "rlcut-net-schedule v1\n0 * earthquake 0.5\n", false});
+  corpus.push_back({"bad-dc-token",
+                    "rlcut-net-schedule v1\n0 one outage\n", false});
+  corpus.push_back({"dc-out-of-range",
+                    "rlcut-net-schedule v1\n0 9 outage\n", false});
+  corpus.push_back({"missing-bandwidth-factor",
+                    "rlcut-net-schedule v1\n0 * bandwidth 0.5\n", false});
+  corpus.push_back({"missing-price-factor",
+                    "rlcut-net-schedule v1\n0 * price\n", false});
+  corpus.push_back({"negative-factor",
+                    "rlcut-net-schedule v1\n0 * bandwidth -0.5 0.5\n",
+                    false});
+  corpus.push_back({"zero-factor",
+                    "rlcut-net-schedule v1\n0 0 bandwidth 0 1\n", false});
+  corpus.push_back({"garbage-step",
+                    "rlcut-net-schedule v1\nnoon * outage\n", false});
+  return corpus;
+}
+
+// ---- Loader execution ------------------------------------------------
+
+// The 4-DC reference environment every schedule corpus entry validates
+// against.
+Topology ScheduleBase() { return MakeUniformTopology(4); }
+
+Status LoadOnce(LoaderKind kind, const std::string& path) {
+  switch (kind) {
+    case LoaderKind::kCheckpoint: {
+      Result<TrainerCheckpoint> loaded = LoadTrainerCheckpoint(path);
+      if (!loaded.ok()) return loaded.status();
+      // Round-trip: what the loader accepts, the saver must reproduce.
+      const std::string copy = ScratchPath();
+      Status save = SaveTrainerCheckpoint(*loaded, copy);
+      if (!save.ok()) return Status::Internal(save.message());
+      Result<TrainerCheckpoint> again = LoadTrainerCheckpoint(copy);
+      std::remove(copy.c_str());
+      if (!again.ok()) {
+        return Status::Internal("round-trip reload failed: " +
+                                again.status().message());
+      }
+      if (again->num_vertices != loaded->num_vertices ||
+          again->num_dcs != loaded->num_dcs ||
+          again->masters != loaded->masters ||
+          again->session.history.size() !=
+              loaded->session.history.size() ||
+          again->session.rng_states != loaded->session.rng_states) {
+        return Status::Internal("round-trip changed the checkpoint");
+      }
+      return Status::Ok();
+    }
+    case LoaderKind::kPlan: {
+      Result<PartitionPlan> loaded = LoadPlan(path);
+      if (!loaded.ok()) return loaded.status();
+      const std::string copy = ScratchPath();
+      Status save = SavePlan(*loaded, copy);
+      if (!save.ok()) return Status::Internal(save.message());
+      Result<PartitionPlan> again = LoadPlan(copy);
+      std::remove(copy.c_str());
+      if (!again.ok()) {
+        return Status::Internal("round-trip reload failed: " +
+                                again.status().message());
+      }
+      if (again->model != loaded->model ||
+          again->masters != loaded->masters ||
+          again->edge_dcs != loaded->edge_dcs) {
+        return Status::Internal("round-trip changed the plan");
+      }
+      return Status::Ok();
+    }
+    case LoaderKind::kNetSchedule: {
+      Result<TopologySchedule> loaded =
+          LoadTopologySchedule(path, ScheduleBase());
+      if (!loaded.ok()) return loaded.status();
+      // Exercise the loaded schedule the way the trainer would.
+      (void)loaded->EffectiveAt(0);
+      (void)loaded->EffectiveAt(1 << 20);
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown loader kind");
+}
+
+}  // namespace
+
+const char* LoaderName(LoaderKind kind) {
+  switch (kind) {
+    case LoaderKind::kCheckpoint:
+      return "checkpoint";
+    case LoaderKind::kPlan:
+      return "plan";
+    case LoaderKind::kNetSchedule:
+      return "net-schedule";
+  }
+  return "?";
+}
+
+std::vector<CorpusCase> BuildSeedCorpus(LoaderKind kind) {
+  switch (kind) {
+    case LoaderKind::kCheckpoint:
+      return CheckpointCorpus();
+    case LoaderKind::kPlan:
+      return PlanCorpus();
+    case LoaderKind::kNetSchedule:
+      return NetScheduleCorpus();
+  }
+  return {};
+}
+
+Status RunLoaderOnBytes(LoaderKind kind, const std::string& bytes) {
+  const std::string path = ScratchPath();
+  if (Status s = WriteBytes(path, bytes); !s.ok()) return s;
+  Status result = LoadOnce(kind, path);
+  std::remove(path.c_str());
+  return result;
+}
+
+std::string FuzzReport::Summary() const {
+  std::ostringstream out;
+  out << cases << " cases, " << accepted << " accepted, " << rejected
+      << " rejected, " << failures.size() << " failures";
+  return out.str();
+}
+
+FuzzReport ReplayCorpus(LoaderKind kind) {
+  FuzzReport report;
+  for (const CorpusCase& c : BuildSeedCorpus(kind)) {
+    ++report.cases;
+    const Status status = RunLoaderOnBytes(kind, c.bytes);
+    if (status.ok()) {
+      ++report.accepted;
+    } else {
+      ++report.rejected;
+    }
+    if (status.ok() != c.expect_ok) {
+      std::ostringstream out;
+      out << LoaderName(kind) << " corpus case '" << c.name << "': expected "
+          << (c.expect_ok ? "accept" : "reject") << ", got "
+          << (status.ok() ? "accept" : "reject: " + status.message());
+      report.failures.push_back(out.str());
+    }
+  }
+  return report;
+}
+
+FuzzReport RunLoaderFuzz(LoaderKind kind, int iterations, uint64_t seed) {
+  FuzzReport report;
+  const std::vector<CorpusCase> corpus = BuildSeedCorpus(kind);
+  if (corpus.empty()) return report;
+  Rng rng(seed != 0 ? seed : 1);
+  const uint64_t kInterestingInts[] = {
+      0,          1,          0x7f,       0xff,        1ull << 31,
+      1ull << 32, 1ull << 40, 1ull << 56, ~0ull,       ~0ull >> 1};
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::string bytes = corpus[rng.UniformInt(corpus.size())].bytes;
+    const int num_mutations = 1 + static_cast<int>(rng.UniformInt(3));
+    for (int mi = 0; mi < num_mutations && !bytes.empty(); ++mi) {
+      switch (rng.UniformInt(4)) {
+        case 0:  // truncate
+          bytes.resize(rng.UniformInt(bytes.size() + 1));
+          break;
+        case 1: {  // bit flip
+          const size_t pos = rng.UniformInt(bytes.size());
+          bytes[pos] = static_cast<char>(
+              static_cast<unsigned char>(bytes[pos]) ^
+              (1u << rng.UniformInt(8)));
+          break;
+        }
+        case 2: {  // splice a chunk from another seed
+          const std::string& donor =
+              corpus[rng.UniformInt(corpus.size())].bytes;
+          if (donor.empty()) break;
+          const size_t src = rng.UniformInt(donor.size());
+          const size_t len =
+              1 + rng.UniformInt(std::min<size_t>(donor.size() - src, 16));
+          const size_t dst = rng.UniformInt(bytes.size());
+          bytes.replace(dst, std::min(len, bytes.size() - dst),
+                        donor.substr(src, len));
+          break;
+        }
+        default: {  // overwrite with an interesting integer
+          if (bytes.size() < sizeof(uint64_t)) break;
+          const uint64_t value =
+              kInterestingInts[rng.UniformInt(std::size(kInterestingInts))];
+          const size_t pos =
+              rng.UniformInt(bytes.size() - sizeof(uint64_t) + 1);
+          std::memcpy(bytes.data() + pos, &value, sizeof(value));
+          break;
+        }
+      }
+    }
+    // Half the checkpoint mutants get a valid checksum so payload
+    // mutations reach DecodePayload instead of dying at the gate.
+    if (kind == LoaderKind::kCheckpoint && rng.Bernoulli(0.5)) {
+      RefixCheckpointChecksum(&bytes);
+    }
+    ++report.cases;
+    // The invariant under fuzzing: a clean Status either way — never a
+    // crash, never an allocation bomb, and accepted inputs round-trip.
+    const Status status = RunLoaderOnBytes(kind, bytes);
+    if (status.ok()) {
+      ++report.accepted;
+    } else {
+      ++report.rejected;
+      if (status.code() == StatusCode::kInternal) {
+        std::ostringstream out;
+        out << LoaderName(kind) << " fuzz iter " << iter << " (seed "
+            << seed << "): " << status.message();
+        report.failures.push_back(out.str());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace check
+}  // namespace rlcut

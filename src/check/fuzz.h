@@ -1,0 +1,64 @@
+#ifndef RLCUT_CHECK_FUZZ_H_
+#define RLCUT_CHECK_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rlcut {
+namespace check {
+
+/// The three file loaders that parse untrusted bytes.
+enum class LoaderKind {
+  kCheckpoint,   // LoadTrainerCheckpoint ("RLCUTCKP" binary format)
+  kPlan,         // LoadPlan ("rlcut-plan v1" text format)
+  kNetSchedule,  // LoadTopologySchedule ("rlcut-net-schedule v1" text)
+};
+
+const char* LoaderName(LoaderKind kind);
+
+/// One corpus input: a byte string plus whether the loader must accept
+/// it. Every corpus carries valid files, truncations, bit flips and
+/// adversarial count fields (the allocation-bomb shapes the loaders are
+/// hardened against).
+struct CorpusCase {
+  std::string name;
+  std::string bytes;
+  bool expect_ok = false;
+};
+
+/// The deterministic seed corpus for a loader.
+std::vector<CorpusCase> BuildSeedCorpus(LoaderKind kind);
+
+/// Writes `bytes` to a scratch file and runs the loader on it. For
+/// accepted checkpoint/plan inputs, additionally round-trips the loaded
+/// value through save+load and reports a mismatch as kInternal.
+Status RunLoaderOnBytes(LoaderKind kind, const std::string& bytes);
+
+struct FuzzReport {
+  uint64_t cases = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+/// Replays the seed corpus and checks every accept/reject expectation.
+FuzzReport ReplayCorpus(LoaderKind kind);
+
+/// Deterministic structure-aware fuzzing: mutates corpus seeds
+/// (truncate / bit-flip / splice / integer overwrite; checkpoint
+/// mutants get their checksum re-fixed half the time so mutations reach
+/// the payload decoder) and feeds them to the loader. The invariant is
+/// "clean Status or clean accept, never a crash or an allocation bomb";
+/// accepted inputs are additionally round-trip checked.
+FuzzReport RunLoaderFuzz(LoaderKind kind, int iterations, uint64_t seed);
+
+}  // namespace check
+}  // namespace rlcut
+
+#endif  // RLCUT_CHECK_FUZZ_H_

@@ -1,0 +1,40 @@
+#include "check/invariants.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace rlcut {
+namespace check {
+namespace {
+
+const char kEnvVar[] = "RLCUT_DEBUG_INVARIANTS";
+
+}  // namespace
+
+bool DebugInvariantsEnabled() {
+  const char* value = std::getenv(kEnvVar);
+  if (value == nullptr || value[0] == '\0') return false;
+  return std::string(value) != "0";
+}
+
+int DebugInvariantsInterval() {
+  const char* value = std::getenv(kEnvVar);
+  if (value == nullptr) return 1;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1) return 1;
+  return static_cast<int>(parsed);
+}
+
+bool ShouldCheckInvariantsAtStep(int step) {
+  if (!DebugInvariantsEnabled()) return false;
+  return step % DebugInvariantsInterval() == 0;
+}
+
+bool MaybeCheckInvariants(const PartitionState& state, int step) {
+  if (!ShouldCheckInvariantsAtStep(step)) return true;
+  return state.CheckInvariants();
+}
+
+}  // namespace check
+}  // namespace rlcut

@@ -1,0 +1,37 @@
+#ifndef RLCUT_CHECK_INVARIANTS_H_
+#define RLCUT_CHECK_INVARIANTS_H_
+
+#include "partition/partition_state.h"
+
+namespace rlcut {
+namespace check {
+
+/// Runtime switch for sampled invariant checking inside hot loops
+/// (notably the trainer's step loop), controlled by the
+/// RLCUT_DEBUG_INVARIANTS environment variable:
+///
+///   unset, "" or "0"  -> disabled (the default; zero overhead)
+///   "1" or non-number -> check every step
+///   "N" (N > 1)       -> check every N-th step (sampled)
+///
+/// The variable is re-read on every call so tests can toggle it with
+/// setenv; a check costs O(|E| + |V| M) (PartitionState::CheckInvariants
+/// rebuilds the state from scratch), hence the sampling knob.
+bool DebugInvariantsEnabled();
+
+/// Check period configured by RLCUT_DEBUG_INVARIANTS (>= 1). Meaningful
+/// only when DebugInvariantsEnabled().
+int DebugInvariantsInterval();
+
+/// True when `step` should be invariant-checked under the current
+/// environment configuration.
+bool ShouldCheckInvariantsAtStep(int step);
+
+/// Runs state.CheckInvariants() when the environment enables it for
+/// `step`; returns false only on an actual invariant violation.
+bool MaybeCheckInvariants(const PartitionState& state, int step);
+
+}  // namespace check
+}  // namespace rlcut
+
+#endif  // RLCUT_CHECK_INVARIANTS_H_

@@ -86,8 +86,12 @@ double FlowSimulator::ClosedFormBound(
   }
   double bound = 0;
   for (DcId r = 0; r < num_dcs; ++r) {
-    bound = std::max(bound, up[r] / (topology_->Uplink(r) * 1e9));
-    bound = std::max(bound, down[r] / (topology_->Downlink(r) * 1e9));
+    // LinkBytesPerSec floors dead links at a finite capacity so an
+    // outage (bandwidth -> 0) yields a huge-but-finite bound instead of
+    // inf/NaN poisoning the Eq. 10 scores built on top of it.
+    bound = std::max(bound, up[r] / LinkBytesPerSec(topology_->Uplink(r)));
+    bound =
+        std::max(bound, down[r] / LinkBytesPerSec(topology_->Downlink(r)));
   }
   return bound;
 }
@@ -100,8 +104,10 @@ double FlowSimulator::SimulateMakespan(
   const int num_dcs = topology_->num_dcs();
   std::vector<double> capacity(2 * num_dcs);
   for (DcId r = 0; r < num_dcs; ++r) {
-    capacity[r] = topology_->Uplink(r) * 1e9;
-    capacity[num_dcs + r] = topology_->Downlink(r) * 1e9;
+    // Floor dead links: a zero capacity would allocate zero-rate flows
+    // whose completion time is infinite and trip the progress check.
+    capacity[r] = LinkBytesPerSec(topology_->Uplink(r));
+    capacity[num_dcs + r] = LinkBytesPerSec(topology_->Downlink(r));
   }
 
   std::vector<ActiveFlow> flows;

@@ -21,6 +21,24 @@ struct DataCenter {
   double upload_price;    // $/GB uploaded (P_r). Downloads are free.
 };
 
+/// Floor on effective link capacity, bytes/second. Outage and brownout
+/// events can drive a link's bandwidth arbitrarily close to zero, and a
+/// degraded topology handed to UpdateTopology/FlowSimulator may carry an
+/// exact zero; Eq. 1-3 and the flow simulator divide by link capacity,
+/// so an unguarded zero yields inf/NaN transfer times that poison every
+/// downstream Eq. 10 score. A link at (or below) the floor behaves as
+/// fully saturated: finite but ruinous, which is exactly what drives
+/// traffic off it during re-optimization.
+inline constexpr double kMinLinkBytesPerSec = 1.0;
+
+/// Effective capacity of a link in bytes/second: gbps scaled to bytes,
+/// floored at kMinLinkBytesPerSec.
+inline double LinkBytesPerSec(double gbps) {
+  const double bytes_per_sec = gbps * 1e9;
+  return bytes_per_sec > kMinLinkBytesPerSec ? bytes_per_sec
+                                             : kMinLinkBytesPerSec;
+}
+
 /// The set of DCs an experiment runs over.
 class Topology {
  public:
@@ -37,13 +55,14 @@ class Topology {
   }
   double Price(DcId r) const { return dcs_[CheckedIndex(r)].upload_price; }
 
-  /// Seconds to push `bytes` out of DC r (uplink-bound).
+  /// Seconds to push `bytes` out of DC r (uplink-bound). Zero-bandwidth
+  /// links count as saturated at kMinLinkBytesPerSec (finite, huge).
   double UploadSeconds(DcId r, double bytes) const {
-    return bytes / (dcs_[CheckedIndex(r)].uplink_gbps * 1e9);
+    return bytes / LinkBytesPerSec(dcs_[CheckedIndex(r)].uplink_gbps);
   }
   /// Seconds to pull `bytes` into DC r (downlink-bound).
   double DownloadSeconds(DcId r, double bytes) const {
-    return bytes / (dcs_[CheckedIndex(r)].downlink_gbps * 1e9);
+    return bytes / LinkBytesPerSec(dcs_[CheckedIndex(r)].downlink_gbps);
   }
   /// Dollars to upload `bytes` out of DC r.
   double UploadCost(DcId r, double bytes) const {

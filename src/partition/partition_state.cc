@@ -517,8 +517,10 @@ PartitionState::StageTimes PartitionState::TransferTimeFromAggregates(
   double t_apply = 0;
   double smooth = 0;
   for (DcId r = 0; r < num_dcs_; ++r) {
-    const double up = topology_->Uplink(r) * 1e9;
-    const double down = topology_->Downlink(r) * 1e9;
+    // Zero-bandwidth links (outage events) count as saturated at a
+    // finite floor; see kMinLinkBytesPerSec.
+    const double up = LinkBytesPerSec(topology_->Uplink(r));
+    const double down = LinkBytesPerSec(topology_->Downlink(r));
     const double g = std::max(gather_down[r] / down, gather_up[r] / up);
     const double a = std::max(apply_up[r] / up, apply_down[r] / down);
     t_gather = std::max(t_gather, g);
@@ -608,6 +610,14 @@ bool PartitionState::CheckInvariants() const {
   fresh.RebuildFromPlacement();
 
   bool ok = true;
+  for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+    if (masters_[v] < 0 || masters_[v] >= num_dcs_) {
+      RLCUT_LOG(kError) << "vertex " << v << " has out-of-range master "
+                        << masters_[v];
+      ok = false;
+      break;
+    }
+  }
   auto expect_near = [&](double a, double b, const char* what) {
     const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
     if (std::fabs(a - b) > 1e-6 * scale) {
@@ -647,6 +657,18 @@ bool PartitionState::CheckInvariants() const {
     expect_near(apply_down_[r], fresh.apply_down_[r], "apply_down");
   }
   expect_near(move_cost_, fresh.move_cost_, "move_cost");
+
+  // The cached objective is derived from the aggregates above, but
+  // compare it end-to-end too so a divergence in the derived views
+  // (stale topology pointer, bad activity scaling) cannot hide.
+  const Objective cached = CurrentObjective();
+  const Objective rebuilt = fresh.CurrentObjective();
+  expect_near(cached.transfer_seconds, rebuilt.transfer_seconds,
+              "objective.transfer_seconds");
+  expect_near(cached.cost_dollars, rebuilt.cost_dollars,
+              "objective.cost_dollars");
+  expect_near(cached.smooth_seconds, rebuilt.smooth_seconds,
+              "objective.smooth_seconds");
 
   if (derived_placement_) {
     for (EdgeId e = 0; e < graph_->num_edges(); ++e) {

@@ -98,6 +98,17 @@ Result<PartitionPlan> LoadPlan(const std::string& path) {
   if (!in) {
     return Status::IoError("cannot open " + path);
   }
+  // Upper bound on any element count the file can legitimately declare:
+  // every serialized DC id occupies at least one byte, so a count larger
+  // than the file itself is corrupt. Checked before the resizes below so
+  // a hostile count cannot request a multi-GB allocation.
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (file_size < 0) {
+    return Status::IoError("cannot stat " + path);
+  }
+  const size_t max_count = static_cast<size_t>(file_size);
   std::string line;
   if (!std::getline(in, line) || line != "rlcut-plan v1") {
     return Status::IoError(path + ": not an rlcut plan file");
@@ -118,6 +129,9 @@ Result<PartitionPlan> LoadPlan(const std::string& path) {
   if (!(in >> keyword >> count) || keyword != "masters") {
     return Status::IoError(path + ": missing masters section");
   }
+  if (count > max_count) {
+    return Status::IoError(path + ": masters count exceeds file size");
+  }
   plan.masters.resize(count);
   for (size_t i = 0; i < count; ++i) {
     if (!(in >> plan.masters[i])) {
@@ -126,6 +140,9 @@ Result<PartitionPlan> LoadPlan(const std::string& path) {
   }
   if (!(in >> keyword >> count) || keyword != "edges") {
     return Status::IoError(path + ": missing edges section");
+  }
+  if (count > max_count) {
+    return Status::IoError(path + ": edges count exceeds file size");
   }
   plan.edge_dcs.resize(count);
   for (size_t i = 0; i < count; ++i) {

@@ -82,6 +82,12 @@ class ByteReader {
 
   bool exhausted() const { return offset_ == bytes_.size(); }
 
+  /// Bytes left to read. Every count decoded from the payload must be
+  /// bounded by this before any resize: a truncated or bit-flipped file
+  /// must produce a clean corrupt-file Status, never a multi-GB
+  /// allocation.
+  size_t remaining() const { return bytes_.size() - offset_; }
+
  private:
   const std::string& bytes_;
   size_t offset_ = 0;
@@ -159,6 +165,13 @@ Status DecodePayload(const std::string& payload,
   }
   session.started = started != 0;
   session.finished = finished != 0;
+  // Serialized size of one StepStats record; bounds the history count a
+  // corrupt file can claim before the resize below allocates.
+  constexpr uint64_t kStepStatsWireBytes =
+      sizeof(int32_t) + 3 * sizeof(uint64_t) + 4 * sizeof(double);
+  if (history_size > reader.remaining() / kStepStatsWireBytes) {
+    return Status::IoError("checkpoint history count exceeds payload size");
+  }
   session.history.resize(history_size);
   for (StepStats& step : session.history) {
     if (!reader.Read(&step.step) || !reader.Read(&step.sample_rate) ||
@@ -173,12 +186,24 @@ Status DecodePayload(const std::string& payload,
   if (!reader.Read(&rng_count)) {
     return Status::IoError("truncated checkpoint payload");
   }
+  constexpr uint64_t kRngStateWireBytes = 4 * sizeof(uint64_t);
+  if (rng_count > reader.remaining() / kRngStateWireBytes) {
+    return Status::IoError("checkpoint rng state count exceeds payload size");
+  }
   session.rng_states.resize(rng_count);
   for (auto& rng_state : session.rng_states) {
+    uint64_t nonzero = 0;
     for (uint64_t& word : rng_state) {
       if (!reader.Read(&word)) {
         return Status::IoError("truncated checkpoint payload");
       }
+      nonzero |= word;
+    }
+    // xoshiro256** never reaches the all-zero state, so a saved file
+    // cannot legitimately contain one; restoring it would abort inside
+    // Rng::SetState when the resumed trainer reinstates worker PRNGs.
+    if (nonzero == 0) {
+      return Status::IoError("checkpoint contains an all-zero rng state");
     }
   }
   if (!reader.exhausted()) {
@@ -277,6 +302,12 @@ Result<TrainerCheckpoint> LoadTrainerCheckpoint(const std::string& path) {
   if (!in) {
     return Status::IoError("cannot open " + path);
   }
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (file_size < 0) {
+    return Status::IoError("cannot stat " + path);
+  }
   char magic[sizeof(kMagic)];
   if (!in.read(magic, sizeof(magic)) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -295,6 +326,17 @@ Result<TrainerCheckpoint> LoadTrainerCheckpoint(const std::string& path) {
   if (!in.read(reinterpret_cast<char*>(&payload_size),
                sizeof(payload_size))) {
     return Status::IoError(path + ": truncated checkpoint header");
+  }
+  // Bound the declared payload by what the file actually holds (header,
+  // payload, trailing checksum) before allocating: a bit-flipped size
+  // field must not request a multi-GB buffer.
+  constexpr uint64_t kHeaderBytes =
+      sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t);
+  constexpr uint64_t kChecksumBytes = sizeof(uint64_t);
+  const uint64_t total = static_cast<uint64_t>(file_size);
+  if (total < kHeaderBytes + kChecksumBytes ||
+      payload_size > total - kHeaderBytes - kChecksumBytes) {
+    return Status::IoError(path + ": truncated checkpoint payload");
   }
   std::string payload(payload_size, '\0');
   if (!in.read(payload.data(),

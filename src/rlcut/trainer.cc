@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "check/invariants.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "obs/trace.h"
@@ -504,6 +505,15 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
 
     visits_remaining -= static_cast<int64_t>(agents.size());
     next_step = step + 1;
+
+    // Sampled end-of-step audit (RLCUT_DEBUG_INVARIANTS=N): the state
+    // just absorbed a batch of moves and rollbacks, so incremental
+    // corruption would surface here first.
+    if (check::ShouldCheckInvariantsAtStep(step)) {
+      RLCUT_CHECK(state->CheckInvariants())
+          << "partition state invariants violated after trainer step "
+          << step;
+    }
 
     const Objective objective = state->CurrentObjective();
     step_metrics.seconds->Set(step_timer.ElapsedSeconds());

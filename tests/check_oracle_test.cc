@@ -1,0 +1,133 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "check/differential_oracle.h"
+#include "check/invariants.h"
+
+namespace rlcut {
+namespace check {
+namespace {
+
+// Restores RLCUT_DEBUG_INVARIANTS on scope exit so tests cannot leak
+// configuration into each other.
+class ScopedInvariantsEnv {
+ public:
+  explicit ScopedInvariantsEnv(const char* value) {
+    const char* old = std::getenv("RLCUT_DEBUG_INVARIANTS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv("RLCUT_DEBUG_INVARIANTS", value, 1);
+    } else {
+      ::unsetenv("RLCUT_DEBUG_INVARIANTS");
+    }
+  }
+  ~ScopedInvariantsEnv() {
+    if (had_old_) {
+      ::setenv("RLCUT_DEBUG_INVARIANTS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("RLCUT_DEBUG_INVARIANTS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(DifferentialOracleTest, AllPresetsAndModelsAgreeBitExactly) {
+  OracleOptions options;
+  // 27 sequences cover every (graph kind, topology preset, model)
+  // combination at least once, including the outage schedule preset.
+  options.num_sequences = 27;
+  options.moves_per_sequence = 48;
+  options.seed = 5;
+  const OracleReport report = RunDifferentialOracle(options);
+  for (const std::string& f : report.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.sequences, 27u);
+  EXPECT_EQ(report.moves, 27u * 48u);
+  EXPECT_GE(report.cold_recomputes, report.sequences);
+  EXPECT_GE(report.rollbacks, 1u);
+  EXPECT_GE(report.topology_updates, 1u);
+  EXPECT_GE(report.invariant_checks, report.sequences);
+}
+
+TEST(DifferentialOracleTest, DerivedModelsOnlyAlsoPass) {
+  OracleOptions options;
+  options.num_sequences = 18;
+  options.moves_per_sequence = 32;
+  options.include_vertex_cut = false;
+  options.seed = 11;
+  const OracleReport report = RunDifferentialOracle(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(DifferentialOracleTest, DeterministicForAFixedSeed) {
+  OracleOptions options;
+  options.num_sequences = 6;
+  options.moves_per_sequence = 24;
+  options.seed = 21;
+  const OracleReport a = RunDifferentialOracle(options);
+  const OracleReport b = RunDifferentialOracle(options);
+  EXPECT_EQ(a.Summary(), b.Summary());
+  EXPECT_EQ(a.rollbacks, b.rollbacks);
+  EXPECT_EQ(a.cold_recomputes, b.cold_recomputes);
+}
+
+TEST(DifferentialOracleTest, SummaryMentionsCounts) {
+  OracleOptions options;
+  options.num_sequences = 1;
+  options.moves_per_sequence = 8;
+  const OracleReport report = RunDifferentialOracle(options);
+  EXPECT_NE(report.Summary().find("1 sequences"), std::string::npos);
+  EXPECT_NE(report.Summary().find("0 failures"), std::string::npos);
+}
+
+TEST(InvariantsEnvTest, DisabledWhenUnsetEmptyOrZero) {
+  {
+    ScopedInvariantsEnv env(nullptr);
+    EXPECT_FALSE(DebugInvariantsEnabled());
+    EXPECT_FALSE(ShouldCheckInvariantsAtStep(0));
+  }
+  {
+    ScopedInvariantsEnv env("");
+    EXPECT_FALSE(DebugInvariantsEnabled());
+  }
+  {
+    ScopedInvariantsEnv env("0");
+    EXPECT_FALSE(DebugInvariantsEnabled());
+    EXPECT_FALSE(ShouldCheckInvariantsAtStep(0));
+  }
+}
+
+TEST(InvariantsEnvTest, EnabledEveryStepForOneOrNonNumeric) {
+  {
+    ScopedInvariantsEnv env("1");
+    EXPECT_TRUE(DebugInvariantsEnabled());
+    EXPECT_EQ(DebugInvariantsInterval(), 1);
+    EXPECT_TRUE(ShouldCheckInvariantsAtStep(0));
+    EXPECT_TRUE(ShouldCheckInvariantsAtStep(7));
+  }
+  {
+    ScopedInvariantsEnv env("on");
+    EXPECT_TRUE(DebugInvariantsEnabled());
+    EXPECT_EQ(DebugInvariantsInterval(), 1);
+    EXPECT_TRUE(ShouldCheckInvariantsAtStep(3));
+  }
+}
+
+TEST(InvariantsEnvTest, NumericValueSamplesEveryNthStep) {
+  ScopedInvariantsEnv env("4");
+  EXPECT_TRUE(DebugInvariantsEnabled());
+  EXPECT_EQ(DebugInvariantsInterval(), 4);
+  EXPECT_TRUE(ShouldCheckInvariantsAtStep(0));
+  EXPECT_FALSE(ShouldCheckInvariantsAtStep(1));
+  EXPECT_FALSE(ShouldCheckInvariantsAtStep(3));
+  EXPECT_TRUE(ShouldCheckInvariantsAtStep(8));
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace rlcut

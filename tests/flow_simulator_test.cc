@@ -1,7 +1,10 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "cloud/flow_simulator.h"
 #include "cloud/topology.h"
+#include "cloud/topology_schedule.h"
 #include "common/random.h"
 #include "engine/gas_engine.h"
 #include "engine/vertex_program.h"
@@ -57,6 +60,91 @@ TEST(FlowSimulatorTest, IntraDcAndEmptyFlowsIgnored) {
   EXPECT_DOUBLE_EQ(sim.SimulateMakespan({{0, 0, 1e9}, {1, 1, 5e9}}), 0.0);
   EXPECT_DOUBLE_EQ(sim.SimulateMakespan({{0, 1, 0.0}}), 0.0);
   EXPECT_DOUBLE_EQ(sim.SimulateMakespan({}), 0.0);
+}
+
+TEST(FlowSimulatorTest, ZeroBandwidthLinkYieldsFiniteSaturatedTimes) {
+  // Regression: a hard-down DC (uplink/downlink 0, e.g. a degraded
+  // topology built outside the schedule presets) used to divide by zero
+  // — ClosedFormBound returned inf and SimulateMakespan aborted on its
+  // no-progress check. Dead links now price as saturated at the
+  // kMinLinkBytesPerSec floor: finite but ruinous.
+  Topology topo({{"dead", 0.0, 0.0, 0.1}, {"ok", 1.0, 1.0, 0.1}});
+  FlowSimulator sim(&topo);
+  const std::vector<FlowTransfer> flows = {{0, 1, 1e9}};
+  const double bound = sim.ClosedFormBound(flows);
+  const double makespan = sim.SimulateMakespan(flows);
+  ASSERT_TRUE(std::isfinite(bound));
+  ASSERT_TRUE(std::isfinite(makespan));
+  // 1 GB over a floor-capacity (1 byte/s) uplink: ~1e9 seconds.
+  EXPECT_NEAR(bound, 1e9, 1e7);
+  EXPECT_GE(makespan, bound * (1 - 1e-9));
+}
+
+TEST(FlowSimulatorTest, BrownoutScheduleKeepsMakespanFiniteAndOrdered) {
+  // Flow timing across a scheduled brownout window: degraded but
+  // finite inside the window, back to baseline after recovery.
+  Topology base = MakeUniformTopology(3, 1.0, 4.0, 0.1);
+  const TopologySchedule schedule =
+      MakeBrownoutSchedule(base, /*dc=*/0, /*start_step=*/10,
+                           /*end_step=*/20, /*bandwidth_factor=*/0.01);
+  const std::vector<FlowTransfer> flows = {{0, 1, 1e9}, {0, 2, 1e9}};
+
+  const Topology before = schedule.EffectiveAt(5);
+  const Topology during = schedule.EffectiveAt(15);
+  const Topology after = schedule.EffectiveAt(25);
+  FlowSimulator sim_before(&before);
+  FlowSimulator sim_during(&during);
+  FlowSimulator sim_after(&after);
+  const double t_before = sim_before.SimulateMakespan(flows);
+  const double t_during = sim_during.SimulateMakespan(flows);
+  const double t_after = sim_after.SimulateMakespan(flows);
+  ASSERT_TRUE(std::isfinite(t_during));
+  EXPECT_NEAR(t_during, t_before * 100, t_before);
+  EXPECT_DOUBLE_EQ(t_before, t_after);
+}
+
+TEST(FlowSimulatorTest, ObjectiveStaysFiniteWhenRepricedOntoDeadLinks) {
+  // Regression for the Eq. 1-3 path: UpdateTopology onto a topology
+  // with zero-bandwidth links used to produce an inf/NaN objective that
+  // poisoned every downstream Eq. 10 score.
+  PowerLawOptions opt;
+  opt.num_vertices = 128;
+  opt.num_edges = 512;
+  Graph graph = GeneratePowerLaw(opt);
+  Topology healthy = MakeUniformTopology(3, 1.0, 4.0, 0.1);
+  std::vector<DcId> locations(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    locations[v] = static_cast<DcId>(HashU64(v) % 3);
+  }
+  std::vector<double> sizes(graph.num_vertices(), 1e6);
+  PartitionConfig config;
+  config.theta = PartitionState::AutoTheta(graph);
+  PartitionState state(&graph, &healthy, &locations, &sizes, config);
+  state.ResetDerived(locations);
+  const Objective before = state.CurrentObjective();
+
+  Topology dead({{"dead", 0.0, 0.0, 0.1},
+                 {"ok-1", 1.0, 4.0, 0.1},
+                 {"ok-2", 1.0, 4.0, 0.1}});
+  state.UpdateTopology(&dead);
+  const Objective during = state.CurrentObjective();
+  ASSERT_TRUE(std::isfinite(during.transfer_seconds));
+  ASSERT_TRUE(std::isfinite(during.smooth_seconds));
+  ASSERT_TRUE(std::isfinite(during.cost_dollars));
+  // Saturated pricing must make the dead link ruinous, not free.
+  EXPECT_GT(during.transfer_seconds, before.transfer_seconds * 100);
+
+  // Eq. 10 scoring input: what-if evaluation stays finite too.
+  EvalScratch scratch;
+  const Objective what_if = state.EvaluateMove(0, 1, &scratch);
+  EXPECT_TRUE(std::isfinite(what_if.transfer_seconds));
+
+  state.UpdateTopology(&healthy);
+  const Objective restored = state.CurrentObjective();
+  EXPECT_DOUBLE_EQ(restored.transfer_seconds, before.transfer_seconds);
+  // CheckInvariants cold-rebuilds through the PartitionState ctor,
+  // which requires a Validate()-clean topology — hence after restore.
+  EXPECT_TRUE(state.CheckInvariants());
 }
 
 TEST(FlowSimulatorTest, MaxMinFairnessAchievesClosedFormOnRandomSets) {

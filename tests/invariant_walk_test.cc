@@ -1,0 +1,139 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "check/invariants.h"
+#include "cloud/topology.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/geo.h"
+#include "rlcut/rlcut_partitioner.h"
+#include "rlcut/trainer.h"
+
+namespace rlcut {
+namespace {
+
+// Long random walks over the mutation API with the full from-scratch
+// consistency check sampled along the way: the integration-level net
+// under the targeted oracle tests.
+class InvariantWalkTest : public ::testing::Test {
+ protected:
+  InvariantWalkTest() : topology_(MakeEc2Topology(5, Heterogeneity::kHigh)) {
+    PowerLawOptions opt;
+    opt.num_vertices = 256;
+    opt.num_edges = 1536;
+    opt.seed = 3;
+    graph_ = GeneratePowerLaw(opt);
+    GeoLocatorOptions geo;
+    geo.num_dcs = topology_.num_dcs();
+    locations_ = AssignGeoLocations(graph_, geo);
+    sizes_ = AssignInputSizes(graph_);
+  }
+
+  PartitionState MakeState(ComputeModel model) const {
+    PartitionConfig config;
+    config.model = model;
+    config.theta = PartitionState::AutoTheta(graph_);
+    PartitionState state(&graph_, &topology_, &locations_, &sizes_,
+                         config);
+    return state;
+  }
+
+  Graph graph_;
+  Topology topology_;
+  std::vector<DcId> locations_;
+  std::vector<double> sizes_;
+};
+
+TEST_F(InvariantWalkTest, DerivedPlacementRandomWalk) {
+  for (ComputeModel model :
+       {ComputeModel::kHybridCut, ComputeModel::kEdgeCut}) {
+    PartitionState state = MakeState(model);
+    state.ResetDerived(locations_);
+    ASSERT_TRUE(state.CheckInvariants());
+    Rng rng(17);
+    for (int move = 0; move < 400; ++move) {
+      const VertexId v =
+          static_cast<VertexId>(rng.UniformInt(graph_.num_vertices()));
+      state.MoveMaster(v, static_cast<DcId>(rng.UniformInt(5)));
+      if (move % 50 == 49) {
+        ASSERT_TRUE(state.CheckInvariants());
+      }
+    }
+    EXPECT_TRUE(state.CheckInvariants());
+  }
+}
+
+TEST_F(InvariantWalkTest, ExplicitPlacementRandomWalk) {
+  PartitionState state = MakeState(ComputeModel::kVertexCut);
+  state.ResetUnplaced(locations_);
+  ASSERT_TRUE(state.CheckInvariants());
+  Rng rng(29);
+  for (int move = 0; move < 400; ++move) {
+    if (rng.UniformInt(3) != 0) {
+      const EdgeId e = rng.UniformInt(graph_.num_edges());
+      state.PlaceEdge(e, static_cast<DcId>(rng.UniformInt(5)));
+    } else {
+      const VertexId v =
+          static_cast<VertexId>(rng.UniformInt(graph_.num_vertices()));
+      state.SetMaster(v, static_cast<DcId>(rng.UniformInt(5)));
+    }
+    if (move % 50 == 49) {
+      ASSERT_TRUE(state.CheckInvariants());
+    }
+  }
+  EXPECT_TRUE(state.CheckInvariants());
+}
+
+TEST_F(InvariantWalkTest, WalkAcrossTopologyUpdates) {
+  // Re-pricing mid-walk (the dynamic-environment path) must leave the
+  // state as consistent as a cold rebuild under the new topology.
+  PartitionState state = MakeState(ComputeModel::kHybridCut);
+  state.ResetDerived(locations_);
+  Topology degraded = MakeEc2Topology(5, Heterogeneity::kLow);
+  Rng rng(31);
+  for (int move = 0; move < 200; ++move) {
+    const VertexId v =
+        static_cast<VertexId>(rng.UniformInt(graph_.num_vertices()));
+    state.MoveMaster(v, static_cast<DcId>(rng.UniformInt(5)));
+    if (move == 100) {
+      state.UpdateTopology(&degraded);
+      ASSERT_TRUE(state.CheckInvariants());
+    }
+  }
+  EXPECT_TRUE(state.CheckInvariants());
+}
+
+TEST(InvariantTrainerTest, TrainerRunsWithSampledInvariantChecks) {
+  // End-to-end: RLCUT_DEBUG_INVARIANTS=2 audits every other trainer
+  // step; a consistent implementation finishes without aborting.
+  PowerLawOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 2048;
+  Graph graph = GeneratePowerLaw(opt);
+  Topology topology = MakeEc2Topology(4, Heterogeneity::kMedium);
+  GeoLocatorOptions geo;
+  geo.num_dcs = topology.num_dcs();
+  std::vector<DcId> locations = AssignGeoLocations(graph, geo);
+  std::vector<double> sizes = AssignInputSizes(graph);
+  PartitionConfig config;
+  config.theta = PartitionState::AutoTheta(graph);
+  PartitionState state(&graph, &topology, &locations, &sizes, config);
+  state.ResetDerived(locations);
+
+  ASSERT_EQ(::setenv("RLCUT_DEBUG_INVARIANTS", "2", 1), 0);
+  EXPECT_TRUE(check::DebugInvariantsEnabled());
+  RLCutOptions options;
+  options.max_steps = 4;
+  options.batch_size = 32;
+  options.num_threads = 2;
+  options.seed = 13;
+  RLCutTrainer trainer(options);
+  const TrainResult result = trainer.Train(&state);
+  ::unsetenv("RLCUT_DEBUG_INVARIANTS");
+  EXPECT_FALSE(result.steps.empty());
+  EXPECT_TRUE(state.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace rlcut

@@ -1,0 +1,98 @@
+// Standalone correctness audit driver: runs the differential oracle,
+// replays the loader corpora and fuzzes the loaders, exiting non-zero
+// on any failure. CI runs it as the fuzz-smoke job; developers run it
+// directly when touching the incremental evaluator or a loader:
+//
+//   rlcut_audit --mode=oracle --sequences=1024 --moves=32
+//   rlcut_audit --mode=fuzz --fuzz_iters=5000 --seed=3
+//   rlcut_audit            # everything, moderate sizes
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/differential_oracle.h"
+#include "check/fuzz.h"
+#include "common/flags.h"
+
+namespace {
+
+const rlcut::check::LoaderKind kLoaders[] = {
+    rlcut::check::LoaderKind::kCheckpoint,
+    rlcut::check::LoaderKind::kPlan,
+    rlcut::check::LoaderKind::kNetSchedule,
+};
+
+int ReportFailures(const std::vector<std::string>& failures) {
+  for (const std::string& f : failures) {
+    std::fprintf(stderr, "FAIL: %s\n", f.c_str());
+  }
+  return failures.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rlcut::FlagParser flags;
+  flags.DefineString("mode", "all",
+                     "what to audit: all | oracle | corpus | fuzz");
+  flags.DefineInt("sequences", 64, "oracle: randomized move sequences");
+  flags.DefineInt("moves", 64, "oracle: moves per sequence");
+  flags.DefineInt("vertices", 96, "oracle: vertices per instance");
+  flags.DefineInt("edges", 384, "oracle: edges per instance");
+  flags.DefineInt("dcs", 4, "oracle: data centers");
+  flags.DefineInt("fuzz_iters", 600, "fuzz: mutated inputs per loader");
+  flags.DefineInt("seed", 1, "base RNG seed");
+  if (rlcut::Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+  const std::string mode = flags.GetString("mode");
+  if (mode != "all" && mode != "oracle" && mode != "corpus" &&
+      mode != "fuzz") {
+    std::fprintf(stderr, "unknown --mode=%s\n", mode.c_str());
+    return 2;
+  }
+
+  int rc = 0;
+  if (mode == "all" || mode == "oracle") {
+    rlcut::check::OracleOptions options;
+    options.num_sequences = static_cast<int>(flags.GetInt("sequences"));
+    options.moves_per_sequence = static_cast<int>(flags.GetInt("moves"));
+    options.num_vertices =
+        static_cast<rlcut::VertexId>(flags.GetInt("vertices"));
+    options.num_edges = static_cast<uint64_t>(flags.GetInt("edges"));
+    options.num_dcs = static_cast<int>(flags.GetInt("dcs"));
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    const rlcut::check::OracleReport report =
+        rlcut::check::RunDifferentialOracle(options);
+    std::printf("%s\n", report.Summary().c_str());
+    rc |= ReportFailures(report.failures);
+  }
+  if (mode == "all" || mode == "corpus") {
+    for (rlcut::check::LoaderKind kind : kLoaders) {
+      const rlcut::check::FuzzReport report =
+          rlcut::check::ReplayCorpus(kind);
+      std::printf("corpus %s: %s\n", rlcut::check::LoaderName(kind),
+                  report.Summary().c_str());
+      rc |= ReportFailures(report.failures);
+    }
+  }
+  if (mode == "all" || mode == "fuzz") {
+    const int iters = static_cast<int>(flags.GetInt("fuzz_iters"));
+    const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    for (rlcut::check::LoaderKind kind : kLoaders) {
+      const rlcut::check::FuzzReport report =
+          rlcut::check::RunLoaderFuzz(kind, iters, seed);
+      std::printf("fuzz %s: %s\n", rlcut::check::LoaderName(kind),
+                  report.Summary().c_str());
+      rc |= ReportFailures(report.failures);
+    }
+  }
+  return rc;
+}

@@ -58,6 +58,52 @@ void BM_EvaluateMove(benchmark::State& bench_state) {
 }
 BENCHMARK(BM_EvaluateMove);
 
+void BM_EvaluateMoveAll(benchmark::State& bench_state) {
+  MicroFixture fix(1 << 12, 1 << 15, ComputeModel::kHybridCut);
+  EvalScratch scratch;
+  Objective evals[kMaxDataCenters];
+  Rng rng(2);
+  for (auto _ : bench_state) {
+    const VertexId v =
+        static_cast<VertexId>(rng.UniformInt(fix.graph.num_vertices()));
+    fix.state->EvaluateMoveAll(v, &scratch, evals);
+    benchmark::DoNotOptimize(evals);
+  }
+}
+BENCHMARK(BM_EvaluateMoveAll);
+
+// Reference for the speedup claim: the same all-destination scoring
+// done the old way, one EvaluateMove per DC.
+void BM_EvaluateMoveLoopAllDcs(benchmark::State& bench_state) {
+  MicroFixture fix(1 << 12, 1 << 15, ComputeModel::kHybridCut);
+  EvalScratch scratch;
+  Rng rng(2);
+  for (auto _ : bench_state) {
+    const VertexId v =
+        static_cast<VertexId>(rng.UniformInt(fix.graph.num_vertices()));
+    for (DcId to = 0; to < 8; ++to) {
+      benchmark::DoNotOptimize(fix.state->EvaluateMove(v, to, &scratch));
+    }
+  }
+}
+BENCHMARK(BM_EvaluateMoveLoopAllDcs);
+
+void BM_EvaluatePlaceEdgeAll(benchmark::State& bench_state) {
+  MicroFixture fix(1 << 12, 1 << 15, ComputeModel::kVertexCut);
+  Rng rng(4);
+  for (EdgeId e = 0; e < fix.graph.num_edges(); ++e) {
+    fix.state->PlaceEdge(e, static_cast<DcId>(rng.UniformInt(8)));
+  }
+  EvalScratch scratch;
+  Objective evals[kMaxDataCenters];
+  for (auto _ : bench_state) {
+    const EdgeId e = rng.UniformInt(fix.graph.num_edges());
+    fix.state->EvaluatePlaceEdgeAll(e, &scratch, evals);
+    benchmark::DoNotOptimize(evals);
+  }
+}
+BENCHMARK(BM_EvaluatePlaceEdgeAll);
+
 void BM_MoveMaster(benchmark::State& bench_state) {
   MicroFixture fix(1 << 12, 1 << 15, ComputeModel::kHybridCut);
   Rng rng(3);

@@ -59,34 +59,44 @@ class AnnealingPartitioner : public Partitioner {
                        1.0 / static_cast<double>(iterations))
             : 1.0;
 
-    for (int64_t i = 0; i < iterations; ++i) {
+    std::vector<Objective> evals(num_dcs);
+    for (int64_t i = 0; i < iterations;) {
       const VertexId v =
           static_cast<VertexId>(rng.UniformInt(graph.num_vertices()));
-      const DcId to = static_cast<DcId>(rng.UniformInt(num_dcs));
+      // One batched what-if pass prices every destination for v; up to
+      // num_dcs consecutive Metropolis proposals at v reuse it. The
+      // cached objectives stay exact until a move is accepted, at
+      // which point the run breaks out and re-evaluates fresh.
+      state.EvaluateMoveAll(v, &scratch, evals.data());
       const DcId from = state.master(v);
-      if (to == from) {
+      bool moved = false;
+      for (int p = 0; p < num_dcs && i < iterations && !moved; ++p, ++i) {
+        const DcId to = static_cast<DcId>(rng.UniformInt(num_dcs));
+        if (to == from) {
+          temperature *= cooling;
+          continue;
+        }
+        const Objective& proposed = evals[to];
+        // Hard feasibility: never accept a move that lands above budget
+        // while increasing cost (same rule as the trainer).
+        const bool breaks_budget =
+            ctx.budget > 0 && proposed.cost_dollars > ctx.budget &&
+            proposed.cost_dollars > current.cost_dollars;
+        const double proposed_energy = energy(proposed);
+        const double delta = proposed_energy - current_energy;
+        const bool accept =
+            !breaks_budget &&
+            (delta <= 0 ||
+             rng.UniformDouble() <
+                 std::exp(-delta / std::max(temperature, 1e-30)));
+        if (accept) {
+          state.MoveMaster(v, to);
+          current = proposed;
+          current_energy = proposed_energy;
+          moved = true;
+        }
         temperature *= cooling;
-        continue;
       }
-      const Objective proposed = state.EvaluateMove(v, to, &scratch);
-      // Hard feasibility: never accept a move that lands above budget
-      // while increasing cost (same rule as the trainer).
-      const bool breaks_budget =
-          ctx.budget > 0 && proposed.cost_dollars > ctx.budget &&
-          proposed.cost_dollars > current.cost_dollars;
-      const double proposed_energy = energy(proposed);
-      const double delta = proposed_energy - current_energy;
-      const bool accept =
-          !breaks_budget &&
-          (delta <= 0 ||
-           rng.UniformDouble() <
-               std::exp(-delta / std::max(temperature, 1e-30)));
-      if (accept) {
-        state.MoveMaster(v, to);
-        current = proposed;
-        current_energy = proposed_energy;
-      }
-      temperature *= cooling;
     }
 
     return PartitionOutput(std::move(state), timer.ElapsedSeconds());

@@ -41,13 +41,17 @@ class GeoCutPartitioner : public Partitioner {
     rng.Shuffle(order);
 
     EvalScratch scratch;
+    std::vector<Objective> evals(num_dcs);
     auto place_best = [&](EdgeId e) {
+      // All candidate DCs are scored anyway: one batched what-if pass
+      // shares the affected-set and remove-half work across them.
+      state.EvaluatePlaceEdgeAll(e, &scratch, evals.data());
       DcId best = kNoDc;
       double best_time = 0;
       DcId cheapest = kNoDc;
       double cheapest_cost = 0;
       for (DcId r = 0; r < num_dcs; ++r) {
-        const Objective obj = state.EvaluatePlaceEdge(e, r, &scratch);
+        const Objective& obj = evals[r];
         if (cheapest == kNoDc || obj.cost_dollars < cheapest_cost) {
           cheapest_cost = obj.cost_dollars;
           cheapest = r;

@@ -46,6 +46,7 @@ class GrapHPartitioner : public Partitioner {
     // transfer-time/cost improvement (weighted by the heterogeneous
     // links through the shared evaluator).
     EvalScratch scratch;
+    std::vector<Objective> evals(num_dcs);
     std::vector<EdgeId> order(graph.num_edges());
     std::iota(order.begin(), order.end(), EdgeId{0});
     for (int round = 0; round < options_.migration_rounds; ++round) {
@@ -53,11 +54,13 @@ class GrapHPartitioner : public Partitioner {
       uint64_t migrations = 0;
       for (EdgeId e : order) {
         const Objective current = state.CurrentObjective();
+        // Batched what-if: score every candidate DC from one pass.
+        state.EvaluatePlaceEdgeAll(e, &scratch, evals.data());
         DcId best = state.edge_dc(e);
         double best_score = 0;
         for (DcId r = 0; r < num_dcs; ++r) {
           if (r == state.edge_dc(e)) continue;
-          const Objective moved = state.EvaluatePlaceEdge(e, r, &scratch);
+          const Objective& moved = evals[r];
           double score = 0;
           if (current.transfer_seconds > 0) {
             score += (current.transfer_seconds - moved.transfer_seconds) /

@@ -76,6 +76,11 @@ class SingleAgentRlPartitioner : public Partitioner {
     };
 
     EvalScratch scratch;
+    std::vector<Objective> evals(num_dcs);
+    // Exploit-heavy phases hammer the same action repeatedly; the
+    // batched what-if stays valid at a vertex until the state mutates,
+    // so memoize the last EvaluateMoveAll pass per vertex.
+    VertexId cached_vertex = static_cast<VertexId>(-1);
     Objective current = state.CurrentObjective();
     const int64_t iterations =
         options_.moves_per_vertex *
@@ -85,7 +90,11 @@ class SingleAgentRlPartitioner : public Partitioner {
       const VertexId v = static_cast<VertexId>(action / num_dcs);
       const DcId to = static_cast<DcId>(action % num_dcs);
       if (to == state.master(v)) continue;
-      const Objective proposed = state.EvaluateMove(v, to, &scratch);
+      if (v != cached_vertex) {
+        state.EvaluateMoveAll(v, &scratch, evals.data());
+        cached_vertex = v;
+      }
+      const Objective proposed = evals[to];
       const bool breaks_budget =
           ctx.budget > 0 && proposed.cost_dollars > ctx.budget &&
           proposed.cost_dollars > current.cost_dollars;
@@ -95,6 +104,7 @@ class SingleAgentRlPartitioner : public Partitioner {
       if (!breaks_budget && gain > 0) {
         state.MoveMaster(v, to);
         current = proposed;
+        cached_vertex = static_cast<VertexId>(-1);  // state mutated
         boost(action, 1.0 + options_.alpha);  // reward
       } else {
         boost(action, 1.0 - options_.alpha);  // penalty

@@ -216,8 +216,8 @@ std::string OracleReport::Summary() const {
   out << "differential oracle: " << sequences << " sequences, " << moves
       << " moves, " << cold_recomputes << " cold recomputes, " << rollbacks
       << " rollbacks, " << topology_updates << " topology updates, "
-      << invariant_checks << " invariant checks, " << failures.size()
-      << " failures";
+      << invariant_checks << " invariant checks, " << batched_evals
+      << " batched evals, " << failures.size() << " failures";
   return out.str();
 }
 
@@ -298,6 +298,8 @@ OracleReport RunDifferentialOracle(const OracleOptions& options) {
     }
 
     EvalScratch scratch;
+    EvalScratch batch_scratch;
+    std::vector<Objective> batched(options.num_dcs);
     ++report.sequences;
 
     auto fail = [&](int move, const std::string& what) {
@@ -362,6 +364,26 @@ OracleReport RunDifferentialOracle(const OracleOptions& options) {
         const DcId to = static_cast<DcId>(rng.UniformInt(options.num_dcs));
         const DcId from = state.master(v);
 
+        // Batch-vs-single lane: one EvaluateMoveAll against M
+        // independent EvaluateMove calls, exact on every entry (the
+        // batched path regroups only exact dyadic additions).
+        state.EvaluateMoveAll(v, &batch_scratch, batched.data());
+        ++report.batched_evals;
+        for (DcId r = 0; r < options.num_dcs; ++r) {
+          const Objective single = state.EvaluateMove(v, r, &scratch);
+          if (!SameObjective(batched[r], single)) {
+            fail(move, "EvaluateMoveAll[" + std::to_string(r) +
+                           "] vs EvaluateMove:" +
+                           DiffObjective(batched[r], single));
+          }
+        }
+        {
+          const std::string batch_diff = DiffSnapshots(pre, Capture(state));
+          if (!batch_diff.empty()) {
+            fail(move, "EvaluateMoveAll mutated state: " + batch_diff);
+          }
+        }
+
         const Objective predicted = state.EvaluateMove(v, to, &scratch);
         const std::string eval_diff = DiffSnapshots(pre, Capture(state));
         if (!eval_diff.empty()) {
@@ -389,6 +411,25 @@ OracleReport RunDifferentialOracle(const OracleOptions& options) {
           const DcId to =
               static_cast<DcId>(rng.UniformInt(options.num_dcs));
           const DcId old = state.edge_dc(e);
+
+          // Batch-vs-single lane for explicit placement.
+          state.EvaluatePlaceEdgeAll(e, &batch_scratch, batched.data());
+          ++report.batched_evals;
+          for (DcId r = 0; r < options.num_dcs; ++r) {
+            const Objective single = state.EvaluatePlaceEdge(e, r, &scratch);
+            if (!SameObjective(batched[r], single)) {
+              fail(move, "EvaluatePlaceEdgeAll[" + std::to_string(r) +
+                             "] vs EvaluatePlaceEdge:" +
+                             DiffObjective(batched[r], single));
+            }
+          }
+          {
+            const std::string batch_diff =
+                DiffSnapshots(pre, Capture(state));
+            if (!batch_diff.empty()) {
+              fail(move, "EvaluatePlaceEdgeAll mutated state: " + batch_diff);
+            }
+          }
 
           const Objective predicted =
               state.EvaluatePlaceEdge(e, to, &scratch);

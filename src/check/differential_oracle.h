@@ -52,6 +52,10 @@ struct OracleReport {
   uint64_t rollbacks = 0;
   uint64_t topology_updates = 0;
   uint64_t invariant_checks = 0;
+  /// EvaluateMoveAll / EvaluatePlaceEdgeAll calls compared entry-by-
+  /// entry against the single-destination evaluators (batch-vs-single
+  /// lane; exact equality on the dyadic instances).
+  uint64_t batched_evals = 0;
   std::vector<std::string> failures;
 
   bool ok() const { return failures.empty(); }

@@ -35,6 +35,10 @@ void EvalScratch::EnsureSized(VertexId num_vertices, int num_dcs) {
     gather_down_.resize(num_dcs);
     apply_up_.resize(num_dcs);
     apply_down_.resize(num_dcs);
+    base_gather_up_.resize(num_dcs);
+    base_gather_down_.resize(num_dcs);
+    base_apply_up_.resize(num_dcs);
+    base_apply_down_.resize(num_dcs);
   }
 }
 
@@ -487,6 +491,151 @@ Objective PartitionState::EvaluateDeltas(EvalScratch* scratch,
   return {t_static.bottleneck * total_activity,
           mv_cost + c_rt_static * total_activity,
           t_static.smooth * total_activity};
+}
+
+void PartitionState::EvaluateDeltasAll(EvalScratch* scratch,
+                                       VertexId move_vertex,
+                                       Objective* out) const {
+  EvalScratch& s = *scratch;
+  const DcId from = s.from_dc_;
+  const size_t num_affected = s.affected_.size();
+  if (s.mid_edge_mask_.size() < num_affected) {
+    s.mid_edge_mask_.resize(num_affected);
+    s.mid_in_mask_.resize(num_affected);
+  }
+
+  // Destination-independent base: current aggregates minus the old
+  // contribution of every affected vertex, plus the "mid" contribution
+  // (from-bit resolved, to-bit untouched) of every affected vertex
+  // except the mover, whose master depends on the destination. All
+  // additions are exact on dyadic instances, so regrouping them does
+  // not perturb the result relative to EvaluateDeltas.
+  for (DcId r = 0; r < num_dcs_; ++r) {
+    s.base_gather_up_[r] = gather_up_[r];
+    s.base_gather_down_[r] = gather_down_[r];
+    s.base_apply_up_[r] = apply_up_[r];
+    s.base_apply_down_[r] = apply_down_[r];
+  }
+  s.corr_.clear();
+  bool has_mover = false;
+  uint64_t mover_mid_em = 0;
+  uint64_t mover_mid_im = 0;
+  uint64_t mover_to_em_bit = 0;  // to-bit OR-ed in iff cnt_to > 0
+  uint64_t mover_to_im_bit = 0;
+  for (size_t i = 0; i < num_affected; ++i) {
+    const auto& d = s.affected_[i];
+    AccumulateContribution(d.v, edge_mask_[d.v], in_mask_[d.v],
+                           masters_[d.v], -1.0, s.base_gather_up_.data(),
+                           s.base_gather_down_.data(),
+                           s.base_apply_up_.data(),
+                           s.base_apply_down_.data());
+    uint64_t em = edge_mask_[d.v];
+    uint64_t im = in_mask_[d.v];
+    if (from != kNoDc) {
+      const size_t row = static_cast<size_t>(d.v) * num_dcs_;
+      const int64_t cf = static_cast<int64_t>(cnt_[row + from]) + d.cnt_from;
+      const int64_t inf =
+          static_cast<int64_t>(in_cnt_[row + from]) + d.in_from;
+      em = (em & ~Bit(from)) | (cf > 0 ? Bit(from) : 0);
+      im = (im & ~Bit(from)) | (inf > 0 ? Bit(from) : 0);
+    }
+    s.mid_edge_mask_[i] = em;
+    s.mid_in_mask_[i] = im;
+    if (d.v == move_vertex) {
+      // The mover's master follows the destination, so its contribution
+      // is rebuilt in full per destination rather than corrected.
+      has_mover = true;
+      mover_mid_em = em;
+      mover_mid_im = im;
+      mover_to_em_bit = d.cnt_to > 0 ? 1 : 0;
+      mover_to_im_bit = d.in_to > 0 ? 1 : 0;
+      continue;
+    }
+    AccumulateContribution(d.v, em, im, masters_[d.v], +1.0,
+                           s.base_gather_up_.data(),
+                           s.base_gather_down_.data(),
+                           s.base_apply_up_.data(),
+                           s.base_apply_down_.data());
+    // Precompute which destinations add a mirror of this vertex. The
+    // to-bit recomputation of EvaluateDeltas reduces to an OR because
+    // cnt_to/in_to deltas are never negative (moved edges only add
+    // incidence at the destination); a correction fires exactly when
+    // the destination bit was off in the mid mask (and is not the
+    // vertex's own master, which is excluded from the mirror set).
+    EvalScratch::DestCorrection c;
+    c.m = masters_[d.v];
+    c.a = apply_bytes_[d.v];
+    c.g = gather_bytes_[d.v];
+    c.apply_mask = d.cnt_to > 0 ? (~em & ~Bit(c.m)) : 0;
+    c.gather_mask =
+        (is_high_[d.v] != 0 && d.in_to > 0) ? (~im & ~Bit(c.m)) : 0;
+    if (c.apply_mask != 0 || c.gather_mask != 0) s.corr_.push_back(c);
+  }
+
+  const double total_activity = config_.workload.TotalActivity();
+  for (DcId to = 0; to < num_dcs_; ++to) {
+    if (to == from) {
+      out[to] = CurrentObjective();
+      continue;
+    }
+    for (DcId r = 0; r < num_dcs_; ++r) {
+      s.gather_up_[r] = s.base_gather_up_[r];
+      s.gather_down_[r] = s.base_gather_down_[r];
+      s.apply_up_[r] = s.base_apply_up_[r];
+      s.apply_down_[r] = s.base_apply_down_[r];
+    }
+    const uint64_t to_bit = Bit(to);
+    for (const EvalScratch::DestCorrection& c : s.corr_) {
+      if (c.apply_mask & to_bit) {
+        // One extra apply mirror: the master uploads one more a_v copy
+        // and the new mirror downloads it (Eq. 3).
+        s.apply_up_[c.m] += c.a;
+        s.apply_down_[to] += c.a;
+      }
+      if (c.gather_mask & to_bit) {
+        // One extra gather mirror uploads its aggregate; the master
+        // downloads one more message (Eq. 2).
+        s.gather_down_[c.m] += c.g;
+        s.gather_up_[to] += c.g;
+      }
+    }
+    if (has_mover) {
+      const uint64_t em = mover_mid_em | (mover_to_em_bit ? to_bit : 0);
+      const uint64_t im = mover_mid_im | (mover_to_im_bit ? to_bit : 0);
+      AccumulateContribution(move_vertex, em, im, to, +1.0,
+                             s.gather_up_.data(), s.gather_down_.data(),
+                             s.apply_up_.data(), s.apply_down_.data());
+    }
+
+    const StageTimes t = TransferTimeFromAggregates(
+        s.gather_up_.data(), s.gather_down_.data(), s.apply_up_.data(),
+        s.apply_down_.data());
+    const double c_rt =
+        RuntimeCostFromAggregates(s.gather_up_.data(), s.apply_up_.data());
+    double mv_cost = move_cost_;
+    if (move_vertex != static_cast<VertexId>(-1)) {
+      mv_cost += MoveCostDelta(move_vertex, masters_[move_vertex], to);
+    }
+    out[to] = {t.bottleneck * total_activity,
+               mv_cost + c_rt * total_activity, t.smooth * total_activity};
+  }
+}
+
+void PartitionState::EvaluateMoveAll(VertexId v, EvalScratch* scratch,
+                                     Objective* out) const {
+  RLCUT_CHECK(derived_placement_);
+  const DcId from = masters_[v];
+  // The affected set and its count deltas do not depend on the
+  // destination; collect them once with a placeholder to_dc_.
+  CollectMasterMoveDeltas(v, from, from, scratch);
+  EvaluateDeltasAll(scratch, v, out);
+}
+
+void PartitionState::EvaluatePlaceEdgeAll(EdgeId e, EvalScratch* scratch,
+                                          Objective* out) const {
+  RLCUT_CHECK(!derived_placement_);
+  CollectEdgePlaceDeltas(e, edge_dc_[e], scratch);
+  EvaluateDeltasAll(scratch, static_cast<VertexId>(-1), out);
 }
 
 Objective PartitionState::EvaluateMove(VertexId v, DcId to,

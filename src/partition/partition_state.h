@@ -84,6 +84,29 @@ class EvalScratch {
   std::vector<double> gather_down_;
   std::vector<double> apply_up_;
   std::vector<double> apply_down_;
+  // Batched all-destination evaluation (EvaluateMoveAll): the
+  // destination-independent "base" aggregates — current state minus the
+  // old contributions of the affected set, plus their from-bit-adjusted
+  // mid contributions — shared by every candidate destination.
+  std::vector<double> base_gather_up_;
+  std::vector<double> base_gather_down_;
+  std::vector<double> base_apply_up_;
+  std::vector<double> base_apply_down_;
+  // From-bit-adjusted replica/in-edge masks per affected_ entry.
+  std::vector<uint64_t> mid_edge_mask_;
+  std::vector<uint64_t> mid_in_mask_;
+  // Packed per-destination correction records for the non-mover affected
+  // vertices: `apply_mask`/`gather_mask` hold the set of destinations
+  // whose move would add one mirror of this vertex, so the per-destination
+  // scan is a bit test plus two adds, with no random-access loads.
+  struct DestCorrection {
+    DcId m;               // this vertex's (unchanged) master
+    uint64_t apply_mask;  // destinations adding an apply mirror
+    uint64_t gather_mask; // destinations adding a gather mirror
+    double a;             // apply bytes uploaded per extra mirror
+    double g;             // gather bytes per extra mirror
+  };
+  std::vector<DestCorrection> corr_;
 };
 
 /// Mutable partitioning state plus the incremental Eq. 1-5 evaluator.
@@ -163,6 +186,25 @@ class PartitionState {
   /// Objective after hypothetically placing edge e at `to`
   /// (explicit-placement mode).
   Objective EvaluatePlaceEdge(EdgeId e, DcId to, EvalScratch* scratch) const;
+
+  /// Batched what-if: fills out[r] with the objective after
+  /// hypothetically moving v's master to r, for every r in [0, M).
+  /// out[master(v)] is the current objective. Equivalent to M calls to
+  /// EvaluateMove — bit-exact on dyadic-exact instances (see
+  /// docs/correctness.md) — but the O(deg) affected-set collection and
+  /// the destination-independent "remove old contribution" half run
+  /// once instead of M times, so per-agent all-DC scoring drops from
+  /// O(deg * M^2) to O(deg * M + M^2). Const and thread-safe with a
+  /// per-thread scratch, like EvaluateMove. `out` must hold num_dcs()
+  /// elements. Derived-placement mode only.
+  void EvaluateMoveAll(VertexId v, EvalScratch* scratch,
+                       Objective* out) const;
+
+  /// Batched what-if for explicit placement: fills out[r] with the
+  /// objective after hypothetically placing edge e at r, for every r.
+  /// out[edge_dc(e)] is the current objective when e is placed.
+  void EvaluatePlaceEdgeAll(EdgeId e, EvalScratch* scratch,
+                            Objective* out) const;
 
   // ---- Objectives and metrics ----------------------------------------
 
@@ -255,6 +297,14 @@ class PartitionState {
   // (scratch's accumulation arrays are used as working memory).
   Objective EvaluateDeltas(EvalScratch* scratch, VertexId move_vertex,
                            DcId new_master_v) const;
+
+  // Evaluates the objective of the deltas in `scratch` for every
+  // destination DC at once (see EvaluateMoveAll). `move_vertex` is the
+  // vertex whose master follows the destination, or VertexId(-1) for
+  // edge placements. Destinations equal to scratch->from_dc_ are
+  // filled with CurrentObjective().
+  void EvaluateDeltasAll(EvalScratch* scratch, VertexId move_vertex,
+                         Objective* out) const;
 
   // Transfer times for one full-activity iteration given aggregate
   // arrays: Eq. 1-3 bottleneck time and the smooth per-link sum.

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "check/invariants.h"
 #include "common/logging.h"
@@ -58,8 +59,10 @@ struct StepInstruments {
   obs::Gauge* transfer_seconds;
   obs::Gauge* cost_dollars;
 
-  StepInstruments(obs::MetricsRegistry* registry, int step) {
-    const obs::LabelSet label = {{"step", std::to_string(step)}};
+  // `label` is the {"step", i} set for this step; callers reuse one
+  // LabelSet across steps instead of rebuilding the pair per step.
+  StepInstruments(obs::MetricsRegistry* registry,
+                  const obs::LabelSet& label) {
     migrations = registry->GetCounter("trainer.step.migrations", label);
     rollbacks = registry->GetCounter("trainer.step.rollbacks", label);
     sample_rate = registry->GetGauge("trainer.step.sample_rate", label);
@@ -76,13 +79,16 @@ struct StepInstruments {
 std::vector<StepStats> StepStatsFromRegistry(
     const obs::MetricsRegistry& registry) {
   std::vector<StepStats> steps;
-  auto stats_for = [&steps](int step) -> StepStats& {
-    for (StepStats& s : steps) {
-      if (s.step == step) return s;
+  // Step label -> steps index; the snapshot interleaves the series, so
+  // a linear search here would make materialization O(steps^2).
+  std::unordered_map<int, size_t> index;
+  auto stats_for = [&steps, &index](int step) -> StepStats& {
+    const auto [it, inserted] = index.try_emplace(step, steps.size());
+    if (inserted) {
+      steps.emplace_back();
+      steps.back().step = step;
     }
-    steps.emplace_back();
-    steps.back().step = step;
-    return steps.back();
+    return steps[it->second];
   };
   constexpr std::string_view kPrefix = "trainer.step.";
   for (const obs::MetricSample& sample : registry.Snapshot()) {
@@ -138,8 +144,10 @@ double RLCutTrainer::SampleRateForStep(
     return std::min(1.0, options_.fixed_sample_rate);
   }
   if (options_.t_opt_seconds <= 0) return 1.0;
-  if (step == 0) return options_.initial_sample_rate;
-
+  // No completed-step telemetry yet: fall back to the bootstrap rate.
+  // `history` can be empty with step > 0 when a resumed session was
+  // paused before its first completed step.
+  if (step == 0 || history.empty()) return options_.initial_sample_rate;
 
   // Eq. 14: remaining time per remaining step, times the mean observed
   // sampling-rate-per-second of past steps.
@@ -271,21 +279,21 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
   // the Eq. 14 sampler reads the full history, and TrainResult::steps
   // spans the whole run.
   const int start_step = resuming ? session->next_step : 0;
-  const std::vector<StepStats> history_prefix =
-      resuming ? session->history : std::vector<StepStats>();
-  result.steps = history_prefix;
-  auto materialize_steps = [&]() {
-    std::vector<StepStats> steps = history_prefix;
-    std::vector<StepStats> fresh = StepStatsFromRegistry(run_registry);
-    steps.insert(steps.end(), fresh.begin(), fresh.end());
-    return steps;
-  };
+  if (resuming) result.steps = session->history;
 
   // Per-batch decision buffers, indexed by position within the batch.
   const size_t batch_size = static_cast<size_t>(options_.batch_size);
   std::vector<DcId> chosen(batch_size, kNoDc);
   std::vector<uint8_t> taken(graph.num_vertices(), 0);
   std::vector<VertexId> agents;
+  // Straggler-mitigation work buffers, reused across batches (the
+  // greedy assignment would otherwise allocate three vectors per
+  // batch).
+  std::vector<size_t> straggler_slots;
+  std::vector<std::vector<size_t>> straggler_plan;
+  std::vector<uint64_t> straggler_loads;
+  // Reusable {"step", i} label for the per-step instruments.
+  obs::LabelSet step_label = {{"step", std::string()}};
 
   Objective last_objective = state->CurrentObjective();
   int64_t visits_remaining =
@@ -365,7 +373,8 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
             ? std::pow(std::min(1.0, c_l / options_.budget), 2.0)
             : 0.0;
 
-    StepInstruments step_metrics(&run_registry, step);
+    step_label[0].second = std::to_string(step);
+    StepInstruments step_metrics(&run_registry, step_label);
     step_metrics.sample_rate->Set(sr);
     step_metrics.num_agents->Set(static_cast<double>(agents.size()));
     step_span.AddArg("sample_rate", sr);
@@ -391,18 +400,21 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
         EvalScratch& es = scratch[worker];
         Rng& rng = rngs[worker];
 
-        // Step 1: score every DC (Eq. 10).
+        // Step 1: score every DC (Eq. 10) from one batched what-if
+        // pass — EvaluateMoveAll collects the affected set and the
+        // destination-independent base deltas once instead of per DC.
         // Seed rho at the current master (whose score is exactly 0) so
         // that ties on a plateau mean "don't move".
         DcId rho = state->master(v);
         double best_score = 0;
         double min_score = 0;
         double scores[kMaxDataCenters];
+        Objective evals[kMaxDataCenters];
+        state->EvaluateMoveAll(v, &es, evals);
         const Objective& current = batch_objective;
         for (DcId r = 0; r < num_dcs; ++r) {
-          const Objective moved = (r == state->master(v))
-                                      ? current
-                                      : state->EvaluateMove(v, r, &es);
+          const Objective& moved =
+              (r == state->master(v)) ? current : evals[r];
           const double s = ObjectiveScore(current, moved, tw, cw,
                                           over_budget,
                                           options_.smooth_weight,
@@ -432,25 +444,32 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
       if (options_.straggler_mitigation && this_batch > 1) {
         // Greedy least-loaded assignment, heaviest agents first, to
         // minimize Var over threads of the summed degree (Sec. V-B).
-        std::vector<size_t> slots(this_batch);
-        std::iota(slots.begin(), slots.end(), size_t{0});
-        std::sort(slots.begin(), slots.end(), [&](size_t a, size_t b) {
-          return graph.Degree(agents[batch_begin + a]) >
-                 graph.Degree(agents[batch_begin + b]);
-        });
+        // The work buffers persist across batches; only their contents
+        // are reset here.
+        straggler_slots.resize(this_batch);
+        std::iota(straggler_slots.begin(), straggler_slots.end(),
+                  size_t{0});
+        std::sort(straggler_slots.begin(), straggler_slots.end(),
+                  [&](size_t a, size_t b) {
+                    return graph.Degree(agents[batch_begin + a]) >
+                           graph.Degree(agents[batch_begin + b]);
+                  });
         const size_t workers = std::min(num_threads_, this_batch);
-        std::vector<std::vector<size_t>> plan(workers);
-        std::vector<uint64_t> loads(workers, 0);
-        for (size_t slot : slots) {
+        if (straggler_plan.size() < workers) straggler_plan.resize(workers);
+        for (size_t t = 0; t < workers; ++t) straggler_plan[t].clear();
+        straggler_loads.assign(workers, 0);
+        for (size_t slot : straggler_slots) {
           const size_t t = static_cast<size_t>(
-              std::min_element(loads.begin(), loads.end()) - loads.begin());
-          plan[t].push_back(slot);
-          loads[t] += graph.Degree(agents[batch_begin + slot]) + 1;
+              std::min_element(straggler_loads.begin(),
+                               straggler_loads.begin() + workers) -
+              straggler_loads.begin());
+          straggler_plan[t].push_back(slot);
+          straggler_loads[t] += graph.Degree(agents[batch_begin + slot]) + 1;
         }
         for (size_t t = 0; t < workers; ++t) {
-          if (plan[t].empty()) continue;
+          if (straggler_plan[t].empty()) continue;
           pool_->Submit([&, t] {
-            for (size_t slot : plan[t]) run_agent(slot, t);
+            for (size_t slot : straggler_plan[t]) run_agent(slot, t);
           });
         }
         pool_->Wait();
@@ -516,13 +535,24 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
     }
 
     const Objective objective = state->CurrentObjective();
-    step_metrics.seconds->Set(step_timer.ElapsedSeconds());
+    const double step_seconds = step_timer.ElapsedSeconds();
+    step_metrics.seconds->Set(step_seconds);
     step_metrics.transfer_seconds->Set(objective.transfer_seconds);
     step_metrics.cost_dollars->Set(objective.cost_dollars);
-    // StepStats is a view: re-materialize the telemetry from the
-    // registry, behind any resumed-session prefix (the Eq. 14 sampler
-    // reads it next step).
-    result.steps = materialize_steps();
+    // Accumulate this step's StepStats directly (the registry keeps
+    // the same values for export; re-materializing the whole history
+    // from it every step was O(steps^2)). StepStatsFromRegistry stays
+    // as the offline/resume view over an exported registry.
+    StepStats step_stats;
+    step_stats.step = step;
+    step_stats.sample_rate = sr;
+    step_stats.num_agents = agents.size();
+    step_stats.seconds = step_seconds;
+    step_stats.transfer_seconds = objective.transfer_seconds;
+    step_stats.cost_dollars = objective.cost_dollars;
+    step_stats.migrations = step_metrics.migrations->value();
+    step_stats.rollbacks = step_metrics.rollbacks->value();
+    result.steps.push_back(step_stats);
 
     total_steps->Increment();
     total_visits->Increment(agents.size());

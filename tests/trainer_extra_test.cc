@@ -1,6 +1,9 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "baselines/partitioner.h"
+#include "rlcut/automaton.h"
 #include "cloud/topology.h"
 #include "graph/generators.h"
 #include "graph/geo.h"
@@ -199,6 +202,42 @@ TEST_F(TrainerExtraTest, ExternalPoolPersistsAcrossTrainCalls) {
     }
   }
   EXPECT_GT(after, before);
+}
+
+TEST_F(TrainerExtraTest, AdaptiveSamplerSurvivesEmptyResumeHistory) {
+  // A session can legitimately arrive at step >= 1 with no step history
+  // (e.g. a checkpoint written before any step completed, or history
+  // trimmed by a caller). Eq. 14 divides by history.size(); the sampler
+  // must fall back to the initial rate instead of producing NaN.
+  PartitionConfig config;
+  config.model = ComputeModel::kHybridCut;
+  config.theta = ctx_.theta;
+  config.workload = ctx_.workload;
+  PartitionState state(&graph_, &topology_, &locations_, &sizes_, config);
+  state.ResetDerived(locations_);
+
+  RLCutOptions opt = BaseOptions();
+  opt.t_opt_seconds = 10.0;  // adaptive sampling on (Eq. 14)
+  opt.max_steps = 3;
+  AutomatonPool pool(graph_.num_vertices(), topology_.num_dcs(), opt);
+  std::vector<VertexId> eligible(graph_.num_vertices());
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) eligible[v] = v;
+
+  TrainerSession session;
+  session.started = true;
+  session.next_step = 1;  // mid-run cursor...
+  session.history.clear();  // ...but no telemetry to average over
+
+  RLCutTrainer trainer(opt);
+  const TrainResult result =
+      trainer.Train(&state, eligible, &pool, &session);
+  ASSERT_FALSE(result.steps.empty());
+  for (const StepStats& s : result.steps) {
+    EXPECT_TRUE(std::isfinite(s.sample_rate));
+    EXPECT_GT(s.sample_rate, 0);
+    EXPECT_LE(s.sample_rate, 1.0);
+  }
+  EXPECT_TRUE(state.CheckInvariants());
 }
 
 TEST_F(TrainerExtraTest, SmoothSurrogateTrackedInObjective) {

@@ -1,0 +1,293 @@
+// Perf-regression harness: times the hot PartitionState operations and
+// one short training run on the standard power-law micro fixture
+// (2^12 vertices, 2^15 edges, EC2 8-DC topology — the same instance as
+// bench_micro_state_ops) and writes a machine-readable BENCH_micro.json
+// that CI archives per commit. Unlike the google-benchmark binary this
+// needs no framework, prints one JSON document, and can gate the
+// batched-evaluation speedup:
+//
+//   rlcut_bench_report --out=BENCH_micro.json --commit=$(git rev-parse HEAD)
+//   rlcut_bench_report --fast --check_speedup=2.0   # CI smoke gate
+//
+// `--check_speedup=R` exits non-zero if EvaluateMoveAll is not at least
+// R times faster than the equivalent loop of single EvaluateMove calls.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cloud/topology.h"
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "partition/partition_state.h"
+#include "rlcut/rlcut_partitioner.h"
+
+namespace rlcut {
+namespace {
+
+constexpr VertexId kVertices = 1 << 12;
+constexpr uint64_t kEdges = 1 << 15;
+
+struct Fixture {
+  explicit Fixture(ComputeModel model) : topology(MakeEc2Topology()) {
+    PowerLawOptions opt;
+    opt.num_vertices = kVertices;
+    opt.num_edges = kEdges;
+    graph = GeneratePowerLaw(opt);
+    Rng rng(1);
+    locations.resize(graph.num_vertices());
+    for (auto& l : locations) {
+      l = static_cast<DcId>(rng.UniformInt(topology.num_dcs()));
+    }
+    sizes.assign(graph.num_vertices(), 1e6);
+    PartitionConfig config;
+    config.model = model;
+    config.theta = PartitionState::AutoTheta(graph);
+    state = std::make_unique<PartitionState>(&graph, &topology, &locations,
+                                             &sizes, config);
+    if (model == ComputeModel::kVertexCut) {
+      Rng place_rng(4);
+      for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+        state->PlaceEdge(
+            e, static_cast<DcId>(place_rng.UniformInt(topology.num_dcs())));
+      }
+    } else {
+      state->ResetDerived(locations);
+    }
+  }
+
+  Graph graph;
+  Topology topology;
+  std::vector<DcId> locations;
+  std::vector<double> sizes;
+  std::unique_ptr<PartitionState> state;
+};
+
+struct OpResult {
+  std::string op;
+  double ns_per_op = 0;
+  // Documented estimate of the scratch/state bytes an op touches, not a
+  // heap profile: affected-set records plus the per-DC aggregate arrays
+  // (see EmitJson for the formulas).
+  double bytes_per_op = 0;
+};
+
+/// Times `body` (which performs `ops_per_call` logical operations per
+/// invocation) over `reps` invocations after a 1/16 warmup.
+double TimeNsPerOp(int64_t reps, int64_t ops_per_call,
+                   const std::function<void()>& body) {
+  for (int64_t i = 0; i < reps / 16 + 1; ++i) body();
+  WallTimer timer;
+  for (int64_t i = 0; i < reps; ++i) body();
+  return timer.ElapsedSeconds() * 1e9 /
+         static_cast<double>(reps * ops_per_call);
+}
+
+void EmitJson(std::FILE* f, const std::vector<OpResult>& results,
+              const std::string& commit, double trainer_steps_per_sec,
+              double speedup) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"commit\": \"%s\",\n", commit.c_str());
+  std::fprintf(f, "  \"fixture\": {\"vertices\": %llu, \"edges\": %llu, "
+                  "\"dcs\": 8, \"graph\": \"power_law\", "
+                  "\"topology\": \"ec2\"},\n",
+               static_cast<unsigned long long>(kVertices),
+               static_cast<unsigned long long>(kEdges));
+  std::fprintf(f, "  \"evaluate_move_all_speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"trainer_steps_per_sec\": %.3f,\n",
+               trainer_steps_per_sec);
+  std::fprintf(f, "  \"ops\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"ns_per_op\": %.2f, "
+                 "\"bytes_per_op\": %.0f}%s\n",
+                 results[i].op.c_str(), results[i].ns_per_op,
+                 results[i].bytes_per_op, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+}  // namespace
+}  // namespace rlcut
+
+int main(int argc, char** argv) {
+  using namespace rlcut;
+
+  FlagParser flags;
+  flags.DefineString("out", "BENCH_micro.json", "output JSON path");
+  flags.DefineString("commit", "unknown", "commit id stamped into the JSON");
+  flags.DefineBool("fast", false, "reduced reps (CI smoke)");
+  flags.DefineDouble("check_speedup", 0,
+                     "fail unless EvaluateMoveAll beats the equivalent "
+                     "EvaluateMove loop by this factor (0 = off)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+  const bool fast = flags.GetBool("fast");
+  const int64_t reps = fast ? 40000 : 400000;
+
+  Fixture hybrid(ComputeModel::kHybridCut);
+  Fixture vertex_cut(ComputeModel::kVertexCut);
+  const int num_dcs = hybrid.topology.num_dcs();
+  const double avg_affected =
+      1.0 + 2.0 * static_cast<double>(kEdges) / kVertices;
+  // Scratch traffic estimate: affected-set records (24 B each) plus the
+  // 4 (single) or 8 (batched: base + working) per-DC double arrays.
+  const double eval_bytes = avg_affected * 24 + 4.0 * num_dcs * 8;
+  const double eval_all_bytes = avg_affected * 24 + 8.0 * num_dcs * 8;
+
+  std::vector<OpResult> results;
+  EvalScratch scratch;
+  Objective evals[kMaxDataCenters];
+  Rng rng(2);
+
+  results.push_back(
+      {"evaluate_move",
+       TimeNsPerOp(reps, 1,
+                   [&] {
+                     const VertexId v = static_cast<VertexId>(
+                         rng.UniformInt(hybrid.graph.num_vertices()));
+                     const DcId to =
+                         static_cast<DcId>(rng.UniformInt(num_dcs));
+                     volatile double sink =
+                         hybrid.state->EvaluateMove(v, to, &scratch)
+                             .transfer_seconds;
+                     (void)sink;
+                   }),
+       eval_bytes});
+
+  results.push_back(
+      {"evaluate_move_all",
+       TimeNsPerOp(reps, 1,
+                   [&] {
+                     const VertexId v = static_cast<VertexId>(
+                         rng.UniformInt(hybrid.graph.num_vertices()));
+                     hybrid.state->EvaluateMoveAll(v, &scratch, evals);
+                     volatile double sink = evals[0].transfer_seconds;
+                     (void)sink;
+                   }),
+       eval_all_bytes});
+
+  results.push_back(
+      {"evaluate_move_loop",
+       TimeNsPerOp(reps / 4, 1,
+                   [&] {
+                     const VertexId v = static_cast<VertexId>(
+                         rng.UniformInt(hybrid.graph.num_vertices()));
+                     double acc = 0;
+                     for (DcId to = 0; to < num_dcs; ++to) {
+                       acc += hybrid.state->EvaluateMove(v, to, &scratch)
+                                  .transfer_seconds;
+                     }
+                     volatile double sink = acc;
+                     (void)sink;
+                   }),
+       num_dcs * eval_bytes});
+
+  results.push_back(
+      {"evaluate_place_edge_all",
+       TimeNsPerOp(reps, 1,
+                   [&] {
+                     const EdgeId e =
+                         rng.UniformInt(vertex_cut.graph.num_edges());
+                     vertex_cut.state->EvaluatePlaceEdgeAll(e, &scratch,
+                                                            evals);
+                     volatile double sink = evals[0].transfer_seconds;
+                     (void)sink;
+                   }),
+       eval_all_bytes});
+
+  results.push_back(
+      {"move_master",
+       TimeNsPerOp(reps, 1,
+                   [&] {
+                     const VertexId v = static_cast<VertexId>(
+                         rng.UniformInt(hybrid.graph.num_vertices()));
+                     hybrid.state->MoveMaster(
+                         v, static_cast<DcId>(rng.UniformInt(num_dcs)));
+                   }),
+       eval_bytes});
+
+  results.push_back(
+      {"place_edge",
+       TimeNsPerOp(reps, 1,
+                   [&] {
+                     const EdgeId e =
+                         rng.UniformInt(vertex_cut.graph.num_edges());
+                     vertex_cut.state->PlaceEdge(
+                         e, static_cast<DcId>(rng.UniformInt(num_dcs)));
+                   }),
+       eval_bytes});
+
+  results.push_back(
+      {"current_objective",
+       TimeNsPerOp(reps, 1,
+                   [&] {
+                     volatile double sink =
+                         hybrid.state->CurrentObjective().transfer_seconds;
+                     (void)sink;
+                   }),
+       4.0 * num_dcs * 8});
+
+  // Short end-to-end training run (Fig. 8 style): steps/sec over the
+  // same instance through the full batched-scoring trainer path.
+  PartitionerContext ctx;
+  ctx.graph = &hybrid.graph;
+  ctx.topology = &hybrid.topology;
+  ctx.locations = &hybrid.locations;
+  ctx.input_sizes = &hybrid.sizes;
+  ctx.seed = 7;
+  RLCutOptions train_opt;
+  train_opt.max_steps = fast ? 2 : 4;
+  train_opt.fixed_sample_rate = 0.25;
+  train_opt.convergence_epsilon = 0;
+  const RLCutRunOutput out = RunRLCut(ctx, train_opt);
+  const double trainer_steps_per_sec =
+      out.train.overhead_seconds > 0
+          ? static_cast<double>(out.train.steps.size()) /
+                out.train.overhead_seconds
+          : 0;
+
+  double single_ns = 0;
+  double loop_ns = 0;
+  double all_ns = 0;
+  for (const OpResult& r : results) {
+    if (r.op == "evaluate_move") single_ns = r.ns_per_op;
+    if (r.op == "evaluate_move_loop") loop_ns = r.ns_per_op;
+    if (r.op == "evaluate_move_all") all_ns = r.ns_per_op;
+  }
+  const double speedup = all_ns > 0 ? loop_ns / all_ns : 0;
+
+  const std::string out_path = flags.GetString("out");
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 2;
+  }
+  EmitJson(f, results, flags.GetString("commit"), trainer_steps_per_sec,
+           speedup);
+  std::fclose(f);
+  EmitJson(stdout, results, flags.GetString("commit"), trainer_steps_per_sec,
+           speedup);
+  std::fprintf(stdout,
+               "single=%.0fns all(8)=%.0fns loop(8)=%.0fns speedup=%.2fx\n",
+               single_ns, all_ns, loop_ns, speedup);
+
+  const double required = flags.GetDouble("check_speedup");
+  if (required > 0 && speedup < required) {
+    std::fprintf(stderr,
+                 "FAIL: EvaluateMoveAll speedup %.2fx below required %.2fx\n",
+                 speedup, required);
+    return 1;
+  }
+  return 0;
+}

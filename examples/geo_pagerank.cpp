@@ -9,6 +9,7 @@
 #include <cmath>
 #include <iostream>
 #include <memory>
+#include <utility>
 
 #include "baselines/partitioner.h"
 #include "cloud/topology.h"
@@ -76,7 +77,13 @@ int main(int argc, char** argv) {
   TableWriter table({"Method", "PartitionOverhead(s)", "RealizedTransfer(s)",
                      "UploadCost($)", "WAN(MB)", "lambda", "MaxRankErr"});
   for (auto& method : methods) {
-    PartitionOutput out = method->RunOrDie(ctx);
+    Result<PartitionOutput> result = method->Run(ctx);
+    if (!result.ok()) {
+      std::cerr << "error: " << method->name()
+                << " failed: " << result.status().ToString() << "\n";
+      return 1;
+    }
+    PartitionOutput out = std::move(*result);
     auto program = MakePageRank(iterations);
     GasEngine engine(&out.state);
     const RunResult run = engine.Run(program.get());

@@ -1,0 +1,95 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fault/fault.h"
+
+namespace rlcut {
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+// Writes all of `bytes` to fd, honoring the <prefix>.short_write site:
+// when it fires, only the rule's `amount` bytes are written before the
+// call reports a torn write.
+Status WriteAll(int fd, const std::string& bytes, const std::string& path,
+                const std::string& site_prefix) {
+  size_t limit = bytes.size();
+  bool torn = false;
+  int64_t keep = 0;
+  if (fault::ShouldFire((site_prefix + ".short_write").c_str(), &keep)) {
+    limit = keep >= 0 && static_cast<size_t>(keep) < bytes.size()
+                ? static_cast<size_t>(keep)
+                : bytes.size() / 2;
+    torn = true;
+  }
+  size_t written = 0;
+  while (written < limit) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, limit - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write failed for", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (torn) {
+    return Status::IoError("short write for " + path + " (" +
+                           std::to_string(limit) + " of " +
+                           std::to_string(bytes.size()) + " bytes)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string TempPathFor(const std::string& path) { return path + ".tmp"; }
+
+bool RemoveStaleTempFile(const std::string& path) {
+  return std::remove(TempPathFor(path).c_str()) == 0;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& bytes,
+                       const std::string& fault_site_prefix) {
+  const std::string temp = TempPathFor(path);
+  int fd = -1;
+  if (fault::ShouldFire((fault_site_prefix + ".open_fail").c_str())) {
+    errno = EACCES;
+  } else {
+    fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  }
+  if (fd < 0) return Errno("cannot open", temp);
+
+  Status status = WriteAll(fd, bytes, temp, fault_site_prefix);
+  if (status.ok()) {
+    bool fsync_ok = ::fsync(fd) == 0;
+    if (fault::ShouldFire((fault_site_prefix + ".fsync_fail").c_str())) {
+      fsync_ok = false;
+      errno = EIO;
+    }
+    if (!fsync_ok) status = Errno("fsync failed for", temp);
+  }
+  if (::close(fd) != 0 && status.ok()) status = Errno("close failed for", temp);
+
+  if (status.ok()) {
+    bool renamed = false;
+    if (fault::ShouldFire((fault_site_prefix + ".rename_fail").c_str())) {
+      errno = EIO;
+    } else {
+      renamed = std::rename(temp.c_str(), path.c_str()) == 0;
+    }
+    if (!renamed) status = Errno("rename failed for", temp);
+  }
+  if (!status.ok()) std::remove(temp.c_str());
+  return status;
+}
+
+}  // namespace rlcut

@@ -1,0 +1,33 @@
+#ifndef RLCUT_COMMON_ATOMIC_FILE_H_
+#define RLCUT_COMMON_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace rlcut {
+
+/// Crash-consistent whole-file replacement: the bytes are written to
+/// `path` + ".tmp", flushed with fsync, and renamed over `path` in one
+/// atomic step — a crash (or an injected fault) at any point leaves
+/// either the previous file or no file, never a torn one. On any
+/// failure the temp file is removed and `path` is untouched.
+///
+/// `fault_site_prefix` names this writer's injection sites
+/// ("<prefix>.open_fail", ".short_write", ".fsync_fail",
+/// ".rename_fail" — see fault/fault.h); pass the subsystem name
+/// ("checkpoint", "plan").
+Status AtomicWriteFile(const std::string& path, const std::string& bytes,
+                       const std::string& fault_site_prefix);
+
+/// The temp path AtomicWriteFile stages through for `path`.
+std::string TempPathFor(const std::string& path);
+
+/// Removes a stale temp file a crashed writer may have left next to
+/// `path`. Returns true if one existed and was removed. Call on
+/// startup before reading or rewriting `path`.
+bool RemoveStaleTempFile(const std::string& path);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_COMMON_ATOMIC_FILE_H_

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -16,6 +17,15 @@ namespace rlcut {
 /// Fixed-size worker pool used by the multi-agent trainer (batched score
 /// computation) and by graph generators. Tasks are arbitrary closures;
 /// Wait() blocks until the queue drains and all workers are idle.
+///
+/// Failure semantics (docs/robustness.md): a task that throws never
+/// takes the process down — the worker catches the exception, records
+/// the first one for TakeError(), and keeps serving tasks. A worker
+/// that dies (the threadpool.worker_crash fault site) drops its task,
+/// records the error, and is replaced by a fresh thread, so the pool's
+/// capacity survives. ParallelFor/ParallelForChunked rethrow the first
+/// captured error after the barrier; callers that manage their own
+/// completion tracking (the trainer) drain TakeError() themselves.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
@@ -27,25 +37,40 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution on some worker.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for execution on some worker. Returns false (and
+  /// drops the task) once shutdown has begun instead of aborting, so
+  /// racing a Submit against destruction is an error the caller can
+  /// observe rather than a crash.
+  bool Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void Wait();
 
-  size_t num_threads() const { return workers_.size(); }
+  size_t num_threads() const { return num_threads_; }
 
   /// Runs fn(i) for i in [0, n), split into contiguous chunks across the
   /// pool, and waits for completion. fn must be safe to call concurrently
-  /// on disjoint indices.
+  /// on disjoint indices. Rethrows the first error any chunk raised.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Runs fn(chunk_begin, chunk_end, worker_slot) over contiguous ranges;
   /// worker_slot in [0, num_threads) identifies the chunk, enabling
-  /// per-thread accumulators without locking.
+  /// per-thread accumulators without locking. Rethrows the first error
+  /// any chunk raised (indices of a throwing or dropped chunk may not
+  /// have run).
   void ParallelForChunked(
       size_t n,
       const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// First error captured since the last TakeError(): a task exception,
+  /// an injected task fault, or a crashed worker's dropped task.
+  /// Returns nullptr if none. Clears the slot.
+  std::exception_ptr TakeError();
+
+  /// Total task errors captured over the pool's lifetime.
+  uint64_t errors_seen() const {
+    return errors_seen_.load(std::memory_order_relaxed);
+  }
 
   /// Total tasks executed by this pool's workers so far. Counted with a
   /// relaxed atomic so it is race-free to read from any thread (the
@@ -56,7 +81,13 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  // Requires mu_. Records the first error and bumps the error count.
+  void RecordErrorLocked(std::exception_ptr error);
 
+  const size_t num_threads_;
+  // Grows when a crashed worker is replaced; stable once shutting_down_
+  // is set (respawn checks the flag under mu_), so the destructor can
+  // join without holding the lock.
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
@@ -64,6 +95,8 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;  // guarded by mu_
+  std::atomic<uint64_t> errors_seen_{0};
   std::atomic<uint64_t> tasks_executed_{0};
 };
 

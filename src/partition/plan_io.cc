@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
+
 namespace rlcut {
 namespace {
 
@@ -76,10 +78,9 @@ Status ApplyPlan(const PartitionPlan& plan, PartitionState* state) {
 }
 
 Status SavePlan(const PartitionPlan& plan, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
+  // Serialize fully in memory, then write crash-consistently: a crash
+  // or injected fault mid-save must never leave a torn plan file.
+  std::ostringstream out;
   out << "rlcut-plan v1\n";
   out << "model " << ModelName(plan.model) << " theta " << plan.theta
       << "\n";
@@ -87,10 +88,7 @@ Status SavePlan(const PartitionPlan& plan, const std::string& path) {
   for (DcId dc : plan.masters) out << dc << "\n";
   out << "edges " << plan.edge_dcs.size() << "\n";
   for (DcId dc : plan.edge_dcs) out << dc << "\n";
-  if (!out) {
-    return Status::IoError("write failed for " + path);
-  }
-  return Status::Ok();
+  return AtomicWriteFile(path, out.str(), "plan");
 }
 
 Result<PartitionPlan> LoadPlan(const std::string& path) {

@@ -1,9 +1,12 @@
 #include "rlcut/checkpoint.h"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <type_traits>
+#include <utility>
 
+#include "common/atomic_file.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -276,24 +279,34 @@ Status SaveTrainerCheckpoint(const TrainerCheckpoint& checkpoint,
   obs::TraceSpan span("checkpoint/save", "checkpoint");
   const std::string payload = EncodePayload(checkpoint);
   span.AddArg("bytes", static_cast<double>(payload.size()));
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
-  out.write(kMagic, sizeof(kMagic));
+  std::string bytes;
+  bytes.reserve(sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t) +
+                payload.size() + sizeof(uint64_t));
+  bytes.append(kMagic, sizeof(kMagic));
   const uint32_t version = kFormatVersion;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  bytes.append(reinterpret_cast<const char*>(&version), sizeof(version));
   const uint64_t payload_size = payload.size();
-  out.write(reinterpret_cast<const char*>(&payload_size),
-            sizeof(payload_size));
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  bytes.append(reinterpret_cast<const char*>(&payload_size),
+               sizeof(payload_size));
+  bytes.append(payload);
   const uint64_t checksum = Fnv1a64(payload);
-  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  if (!out) {
-    return Status::IoError("write failed for " + path);
-  }
+  bytes.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  RLCUT_RETURN_IF_ERROR(AtomicWriteFile(path, bytes, "checkpoint"));
   obs::DefaultRegistry().GetCounter("checkpoint.saves")->Increment();
   return Status::Ok();
+}
+
+std::string CheckpointFallbackPath(const std::string& path) {
+  return path + ".prev";
+}
+
+Status SaveTrainerCheckpointRotating(const TrainerCheckpoint& checkpoint,
+                                     const std::string& path) {
+  // Best-effort rotation: if `path` exists, park it in the fallback
+  // slot before the atomic replace. A crash between the two leaves no
+  // primary but an intact fallback, which the loader handles.
+  std::rename(path.c_str(), CheckpointFallbackPath(path).c_str());
+  return SaveTrainerCheckpoint(checkpoint, path);
 }
 
 Result<TrainerCheckpoint> LoadTrainerCheckpoint(const std::string& path) {
@@ -356,6 +369,32 @@ Result<TrainerCheckpoint> LoadTrainerCheckpoint(const std::string& path) {
   }
   obs::DefaultRegistry().GetCounter("checkpoint.loads")->Increment();
   return checkpoint;
+}
+
+Result<LoadedCheckpoint> LoadTrainerCheckpointWithFallback(
+    const std::string& path) {
+  LoadedCheckpoint loaded;
+  Result<TrainerCheckpoint> primary = LoadTrainerCheckpoint(path);
+  if (primary.ok()) {
+    loaded.checkpoint = *std::move(primary);
+    loaded.loaded_from = path;
+    return loaded;
+  }
+  const std::string fallback = CheckpointFallbackPath(path);
+  Result<TrainerCheckpoint> previous = LoadTrainerCheckpoint(fallback);
+  if (!previous.ok()) {
+    // The primary's diagnosis is the interesting one; a missing
+    // fallback slot is the normal state for single-shot checkpoints.
+    return primary.status();
+  }
+  obs::DefaultRegistry()
+      .GetCounter("checkpoint.fallback_loads")
+      ->Increment();
+  loaded.checkpoint = *std::move(previous);
+  loaded.loaded_from = fallback;
+  loaded.used_fallback = true;
+  loaded.primary_error = primary.status().ToString();
+  return loaded;
 }
 
 }  // namespace rlcut

@@ -60,9 +60,42 @@ Status RestoreCheckpoint(const TrainerCheckpoint& checkpoint,
 ///   [8]  FNV-1a 64-bit checksum of the payload
 /// Loading rejects bad magic, unsupported versions, truncation and
 /// checksum mismatches with distinct error messages.
+///
+/// Saves are crash-consistent (docs/robustness.md): the file is staged
+/// to `path`+".tmp", fsynced, and renamed over `path`, so a crash at
+/// any point leaves either the previous checkpoint or none — never a
+/// torn one.
 Status SaveTrainerCheckpoint(const TrainerCheckpoint& checkpoint,
                              const std::string& path);
 Result<TrainerCheckpoint> LoadTrainerCheckpoint(const std::string& path);
+
+/// The rotation slot SaveTrainerCheckpointRotating keeps the previous
+/// checkpoint in: `path` + ".prev".
+std::string CheckpointFallbackPath(const std::string& path);
+
+/// Crash-consistent save that additionally rotates an existing `path`
+/// to CheckpointFallbackPath(path) first, so there is always a
+/// last-good file to fall back to even if `path` itself is later lost
+/// or corrupted. The trainer's periodic auto-checkpoint uses this.
+Status SaveTrainerCheckpointRotating(const TrainerCheckpoint& checkpoint,
+                                     const std::string& path);
+
+/// A checkpoint loaded by LoadTrainerCheckpointWithFallback, plus where
+/// it came from.
+struct LoadedCheckpoint {
+  TrainerCheckpoint checkpoint;
+  /// The file that actually loaded (`path` or the fallback slot).
+  std::string loaded_from;
+  bool used_fallback = false;
+  /// Why the primary was rejected when used_fallback is true.
+  std::string primary_error;
+};
+
+/// Loads `path`; if it is missing, truncated or corrupt, falls back to
+/// CheckpointFallbackPath(path). Fails only when both are unusable
+/// (the primary's error message is reported).
+Result<LoadedCheckpoint> LoadTrainerCheckpointWithFallback(
+    const std::string& path);
 
 }  // namespace rlcut
 

@@ -1,8 +1,12 @@
 #include "rlcut/trainer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <string>
 #include <string_view>
@@ -11,7 +15,9 @@
 #include "check/invariants.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "fault/fault.h"
 #include "obs/trace.h"
+#include "rlcut/checkpoint.h"
 
 namespace rlcut {
 namespace {
@@ -74,6 +80,29 @@ struct StepInstruments {
   }
 };
 
+// One attempt at scoring one agent chunk. The scoring stage is pure
+// (reads the frozen batch-start state, writes only this buffer), so a
+// chunk may be executed several times concurrently — by the original
+// dispatch, a speculative re-dispatch after a deadline, or the inline
+// fallback — and any completed attempt is a valid winner. Retry
+// attempts own their EvalScratch; the first round borrows the
+// trainer's persistent per-worker scratch.
+struct ChunkScores {
+  std::vector<double> scores;  // slot-major: [i * num_dcs + r]
+  std::vector<DcId> rho;
+  std::unique_ptr<EvalScratch> owned_scratch;
+};
+
+// Coordination for one batch's scoring stage: chunks claim a winner
+// and report attempt completion; the coordinator waits with a deadline
+// and re-dispatches stragglers.
+struct BatchSync {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t claimed = 0;  // chunks with a winning attempt
+  size_t pending = 0;  // dispatched attempts not yet finished
+};
+
 }  // namespace
 
 std::vector<StepStats> StepStatsFromRegistry(
@@ -131,6 +160,19 @@ RLCutTrainer::RLCutTrainer(const RLCutOptions& options) : options_(options) {
 }
 
 RLCutTrainer::~RLCutTrainer() = default;
+
+Status RLCutTrainer::ValidateResume(const TrainerSession& session) const {
+  if (session.started && !session.rng_states.empty() &&
+      session.rng_states.size() != num_threads_) {
+    return Status::FailedPrecondition(
+        "cannot resume: session was paused with " +
+        std::to_string(session.rng_states.size()) +
+        " worker threads but this trainer has " +
+        std::to_string(num_threads_) +
+        " (set RLCutOptions::num_threads to match)");
+  }
+  return Status::Ok();
+}
 
 TrainResult RLCutTrainer::Train(PartitionState* state) {
   std::vector<VertexId> all(state->graph().num_vertices());
@@ -267,6 +309,9 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
     return result;
   }
   if (resuming && !session->rng_states.empty()) {
+    // Callers with file-sourced sessions (rlcut_tool --resume_from)
+    // gate on ValidateResume() first and exit with a Status; reaching
+    // here with a mismatch is an API-contract violation.
     RLCUT_CHECK_EQ(session->rng_states.size(), num_threads_)
         << "resuming a session requires the thread count it was paused "
            "with";
@@ -286,12 +331,29 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
   std::vector<DcId> chosen(batch_size, kNoDc);
   std::vector<uint8_t> taken(graph.num_vertices(), 0);
   std::vector<VertexId> agents;
-  // Straggler-mitigation work buffers, reused across batches (the
-  // greedy assignment would otherwise allocate three vectors per
-  // batch).
+  // Agent-to-chunk assignment, reused across batches. chunk_plan[c]
+  // lists the batch slots chunk c scores; chunk c's commit-phase RNG is
+  // rngs[c], so the assignment also fixes which worker PRNG each agent
+  // draws from (deterministic regardless of execution interleaving).
   std::vector<size_t> straggler_slots;
-  std::vector<std::vector<size_t>> straggler_plan;
+  std::vector<std::vector<size_t>> chunk_plan;
   std::vector<uint64_t> straggler_loads;
+  // First-round score buffers (one per chunk) and the spillover list
+  // for speculative retry attempts.
+  std::vector<ChunkScores> round0(num_threads_);
+  std::vector<std::unique_ptr<ChunkScores>> extra_attempts;
+  std::vector<ChunkScores*> winner;
+  // Robustness telemetry for the speculative re-dispatch machinery.
+  obs::Counter* chunk_redispatches =
+      global_registry.GetCounter("trainer.chunk_redispatches");
+  obs::Counter* chunk_inline_runs =
+      global_registry.GetCounter("trainer.chunk_inline_runs");
+  obs::Counter* masked_pool_errors =
+      global_registry.GetCounter("trainer.masked_pool_errors");
+  obs::Counter* autosaves =
+      global_registry.GetCounter("trainer.checkpoint_autosaves");
+  obs::Counter* autosave_failures =
+      global_registry.GetCounter("trainer.checkpoint_autosave_failures");
   // Reusable {"step", i} label for the per-step instruments.
   obs::LabelSet step_label = {{"step", std::string()}};
 
@@ -312,6 +374,8 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
     }
     obs::TraceSpan step_span("trainer/step", "trainer");
     step_span.AddArg("step", step);
+    // steps=A-B fault triggers scope themselves to this window.
+    fault::SetStepContext(step);
     double sr = SampleRateForStep(step, result.steps);
     if (options_.agent_visit_budget > 0) {
       if (visits_remaining <= 0) {
@@ -392,55 +456,10 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
       // it (the batching semantics of Sec. V-A).
       const Objective batch_objective = state->CurrentObjective();
 
-      // ---- Parallel stage: steps 1-4 for every agent in the batch. ---
-      // Agents decide against the same (batch-start) state; distinct
-      // agents touch distinct automaton rows and chosen[] slots.
-      auto run_agent = [&](size_t slot, size_t worker) {
-        const VertexId v = agents[batch_begin + slot];
-        EvalScratch& es = scratch[worker];
-        Rng& rng = rngs[worker];
-
-        // Step 1: score every DC (Eq. 10) from one batched what-if
-        // pass — EvaluateMoveAll collects the affected set and the
-        // destination-independent base deltas once instead of per DC.
-        // Seed rho at the current master (whose score is exactly 0) so
-        // that ties on a plateau mean "don't move".
-        DcId rho = state->master(v);
-        double best_score = 0;
-        double min_score = 0;
-        double scores[kMaxDataCenters];
-        Objective evals[kMaxDataCenters];
-        state->EvaluateMoveAll(v, &es, evals);
-        const Objective& current = batch_objective;
-        for (DcId r = 0; r < num_dcs; ++r) {
-          const Objective& moved =
-              (r == state->master(v)) ? current : evals[r];
-          const double s = ObjectiveScore(current, moved, tw, cw,
-                                          over_budget,
-                                          options_.smooth_weight,
-                                          cost_pressure, options_.budget);
-          scores[r] = s;
-          if (s > best_score) {
-            best_score = s;
-            rho = r;
-          }
-          min_score = std::min(min_score, s);
-        }
-        // Steps 2+3: reinforcement signal for rho, probability update.
-        automata.UpdateSignals(v, rho);
-        // Step 4: UCB action selection; record the normalized score of
-        // the selected action as its observed reward.
-        const DcId action = automata.SelectAction(v, step + 1, &rng);
-        const double span = best_score - min_score;
-        const double normalized =
-            span > 0 ? (scores[action] - min_score) / span : 1.0;
-        automata.RecordSelection(v, action, normalized);
-        chosen[slot] = action;
-      };
-
-      {
-      obs::TraceSpan score_span("trainer/stage/score", "trainer");
-      WallTimer stage_timer;
+      // ---- Agent-to-chunk assignment. -------------------------------
+      const size_t num_chunks = std::min(num_threads_, this_batch);
+      if (chunk_plan.size() < num_chunks) chunk_plan.resize(num_chunks);
+      for (size_t c = 0; c < num_chunks; ++c) chunk_plan[c].clear();
       if (options_.straggler_mitigation && this_batch > 1) {
         // Greedy least-loaded assignment, heaviest agents first, to
         // minimize Var over threads of the summed degree (Sec. V-B).
@@ -454,36 +473,232 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
                     return graph.Degree(agents[batch_begin + a]) >
                            graph.Degree(agents[batch_begin + b]);
                   });
-        const size_t workers = std::min(num_threads_, this_batch);
-        if (straggler_plan.size() < workers) straggler_plan.resize(workers);
-        for (size_t t = 0; t < workers; ++t) straggler_plan[t].clear();
-        straggler_loads.assign(workers, 0);
+        straggler_loads.assign(num_chunks, 0);
         for (size_t slot : straggler_slots) {
           const size_t t = static_cast<size_t>(
               std::min_element(straggler_loads.begin(),
-                               straggler_loads.begin() + workers) -
+                               straggler_loads.begin() + num_chunks) -
               straggler_loads.begin());
-          straggler_plan[t].push_back(slot);
+          chunk_plan[t].push_back(slot);
           straggler_loads[t] += graph.Degree(agents[batch_begin + slot]) + 1;
         }
-        for (size_t t = 0; t < workers; ++t) {
-          if (straggler_plan[t].empty()) continue;
-          pool_->Submit([&, t] {
-            for (size_t slot : straggler_plan[t]) run_agent(slot, t);
-          });
-        }
-        pool_->Wait();
       } else {
-        pool_->ParallelForChunked(
-            this_batch, [&](size_t begin, size_t end, size_t worker) {
-              for (size_t slot = begin; slot < end; ++slot) {
-                run_agent(slot, worker);
-              }
-            });
+        // Contiguous ranges, mirroring ParallelForChunked.
+        const size_t chunk = (this_batch + num_chunks - 1) / num_chunks;
+        for (size_t c = 0; c < num_chunks; ++c) {
+          const size_t begin = c * chunk;
+          const size_t end = std::min(this_batch, begin + chunk);
+          for (size_t slot = begin; slot < end; ++slot) {
+            chunk_plan[c].push_back(slot);
+          }
+        }
       }
+
+      // ---- Parallel stage: pure scoring (step 1) for every agent. ----
+      // Agents score against the same frozen batch-start state; a chunk
+      // attempt writes only its own ChunkScores buffer, so attempts are
+      // idempotent and safe to run speculatively in parallel. All side
+      // effects (automaton updates, action selection, PRNG draws)
+      // happen in the sequential commit phase below.
+      auto score_chunk = [&](const std::vector<size_t>& slots,
+                             EvalScratch& es, ChunkScores* out,
+                             const std::atomic<bool>* cancel,
+                             bool faults_enabled) -> bool {
+        if (faults_enabled) {
+          int64_t stall_ms = 0;
+          if (fault::ShouldFire("trainer.chunk_abandon")) return false;
+          if (fault::ShouldFire("trainer.chunk_stall", &stall_ms)) {
+            fault::CancellableSleepMs(stall_ms > 0 ? stall_ms : 30, cancel);
+          }
+        }
+        out->scores.resize(slots.size() * static_cast<size_t>(num_dcs));
+        out->rho.resize(slots.size());
+        Objective evals[kMaxDataCenters];
+        const Objective& current = batch_objective;
+        for (size_t i = 0; i < slots.size(); ++i) {
+          if (cancel != nullptr &&
+              cancel->load(std::memory_order_relaxed)) {
+            return false;  // abandoned: a sibling attempt already won
+          }
+          const VertexId v = agents[batch_begin + slots[i]];
+          // Score every DC (Eq. 10) from one batched what-if pass —
+          // EvaluateMoveAll collects the affected set and the
+          // destination-independent base deltas once instead of per
+          // DC. Seed rho at the current master (whose score is exactly
+          // 0) so that ties on a plateau mean "don't move".
+          DcId rho = state->master(v);
+          double best_score = 0;
+          double* scores =
+              out->scores.data() + i * static_cast<size_t>(num_dcs);
+          state->EvaluateMoveAll(v, &es, evals);
+          for (DcId r = 0; r < num_dcs; ++r) {
+            const Objective& moved =
+                (r == state->master(v)) ? current : evals[r];
+            const double s = ObjectiveScore(current, moved, tw, cw,
+                                            over_budget,
+                                            options_.smooth_weight,
+                                            cost_pressure, options_.budget);
+            scores[r] = s;
+            if (s > best_score) {
+              best_score = s;
+              rho = r;
+            }
+          }
+          out->rho[i] = rho;
+        }
+        return true;
+      };
+
+      BatchSync sync;
+      std::atomic<bool> cancel{false};
+      winner.assign(num_chunks, nullptr);
+      extra_attempts.clear();
+
+      // Dispatches one attempt at chunk `c` into `buf`. The first
+      // completed attempt per chunk is the winner; late duplicates see
+      // the claim (or the cancel flag) and discard themselves.
+      auto dispatch_chunk = [&](size_t c, ChunkScores* buf,
+                                EvalScratch* es) {
+        {
+          std::lock_guard<std::mutex> lock(sync.mu);
+          ++sync.pending;
+        }
+        const bool submitted = pool_->Submit([&, c, buf, es] {
+          bool ok = false;
+          try {
+            ok = score_chunk(chunk_plan[c], *es, buf, &cancel,
+                             /*faults_enabled=*/true);
+          } catch (...) {
+            // A failed attempt is not fatal: the deadline loop
+            // re-dispatches and the inline fallback would surface a
+            // persistent error. Swallowing keeps pending accurate.
+          }
+          std::lock_guard<std::mutex> lock(sync.mu);
+          if (ok && winner[c] == nullptr) {
+            winner[c] = buf;
+            ++sync.claimed;
+          }
+          --sync.pending;
+          sync.cv.notify_all();
+        });
+        if (!submitted) {
+          std::lock_guard<std::mutex> lock(sync.mu);
+          --sync.pending;
+        }
+      };
+
+      {
+      obs::TraceSpan score_span("trainer/stage/score", "trainer");
+      WallTimer stage_timer;
+      for (size_t c = 0; c < num_chunks; ++c) {
+        dispatch_chunk(c, &round0[c], &scratch[c]);
+      }
+      // Per-batch deadline with speculative re-dispatch: pool-level
+      // faults can drop or stall a chunk's task, so while a schedule
+      // is armed a default deadline keeps the batch bounded even if
+      // the caller did not configure one.
+      double deadline_seconds = options_.batch_deadline_seconds;
+      if (deadline_seconds <= 0 && fault::Armed()) deadline_seconds = 0.25;
+      int round = 0;
+      {
+        std::unique_lock<std::mutex> lock(sync.mu);
+        while (sync.claimed < num_chunks) {
+          auto settled = [&] {
+            return sync.claimed == num_chunks || sync.pending == 0;
+          };
+          if (deadline_seconds > 0) {
+            // Exponential backoff: each retry round doubles the wait.
+            const double wait_seconds =
+                deadline_seconds *
+                static_cast<double>(int64_t{1} << std::min(round, 20));
+            sync.cv.wait_for(lock,
+                             std::chrono::duration<double>(wait_seconds),
+                             settled);
+          } else {
+            sync.cv.wait(lock, settled);
+          }
+          if (sync.claimed == num_chunks) break;
+          if (round >= options_.chunk_max_retries) break;
+          ++round;
+          for (size_t c = 0; c < num_chunks; ++c) {
+            if (winner[c] != nullptr) continue;
+            auto attempt = std::make_unique<ChunkScores>();
+            attempt->owned_scratch = std::make_unique<EvalScratch>();
+            ChunkScores* raw = attempt.get();
+            extra_attempts.push_back(std::move(attempt));
+            chunk_redispatches->Increment();
+            lock.unlock();
+            dispatch_chunk(c, raw, raw->owned_scratch.get());
+            lock.lock();
+          }
+        }
+      }
+      // Inline fallback: after the retry budget, the coordinator runs
+      // the remaining chunks itself with injection disabled, so the
+      // batch always completes with a full set of scores.
+      for (size_t c = 0; c < num_chunks; ++c) {
+        {
+          std::lock_guard<std::mutex> lock(sync.mu);
+          if (winner[c] != nullptr) continue;
+        }
+        auto attempt = std::make_unique<ChunkScores>();
+        attempt->owned_scratch = std::make_unique<EvalScratch>();
+        chunk_inline_runs->Increment();
+        try {
+          score_chunk(chunk_plan[c], *attempt->owned_scratch,
+                      attempt.get(), nullptr, /*faults_enabled=*/false);
+        } catch (...) {
+          // A real scoring bug (not injectable): quiesce the pool so
+          // no abandoned attempt still reads state, then surface it.
+          cancel.store(true, std::memory_order_relaxed);
+          pool_->Wait();
+          throw;
+        }
+        std::lock_guard<std::mutex> lock(sync.mu);
+        winner[c] = attempt.get();
+        extra_attempts.push_back(std::move(attempt));
+      }
+      // Quiesce before the commit/migration phases mutate state: an
+      // abandoned speculative attempt must not be mid-read when the
+      // masters move. Free when nothing is outstanding.
+      cancel.store(true, std::memory_order_relaxed);
+      pool_->Wait();
+      cancel.store(false, std::memory_order_relaxed);
+      if (pool_->TakeError() != nullptr) masked_pool_errors->Increment();
       if (score_stage_seconds != nullptr) {
         score_stage_seconds->Observe(stage_timer.ElapsedSeconds());
       }
+      }
+
+      // ---- Sequential commit: steps 2-4 for every agent. -------------
+      // Chunk-by-chunk in dispatch order so each agent draws from the
+      // same per-worker PRNG stream (rngs[c]) it would have used under
+      // in-place parallel execution — which chunk attempt won has no
+      // effect on the result.
+      for (size_t c = 0; c < num_chunks; ++c) {
+        const ChunkScores& buf = *winner[c];
+        for (size_t i = 0; i < chunk_plan[c].size(); ++i) {
+          const size_t slot = chunk_plan[c][i];
+          const VertexId v = agents[batch_begin + slot];
+          const double* scores =
+              buf.scores.data() + i * static_cast<size_t>(num_dcs);
+          // Steps 2+3: reinforcement signal for rho, probability update.
+          automata.UpdateSignals(v, buf.rho[i]);
+          // Step 4: UCB action selection; record the normalized score
+          // of the selected action as its observed reward.
+          const DcId action = automata.SelectAction(v, step + 1, &rngs[c]);
+          double best_score = 0;
+          double min_score = 0;
+          for (DcId r = 0; r < num_dcs; ++r) {
+            best_score = std::max(best_score, scores[r]);
+            min_score = std::min(min_score, scores[r]);
+          }
+          const double span = best_score - min_score;
+          const double normalized =
+              span > 0 ? (scores[action] - min_score) / span : 1.0;
+          automata.RecordSelection(v, action, normalized);
+          chosen[slot] = action;
+        }
       }
 
       // ---- Sequential stage: step 5, migration with rollback. --------
@@ -559,6 +774,37 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
     total_migrations->Increment(step_metrics.migrations->value());
     total_rollbacks->Increment(step_metrics.rollbacks->value());
 
+    // Periodic auto-checkpoint (crash tolerance): a rotating
+    // crash-consistent snapshot of the run every N completed steps.
+    // Resuming it continues bit-identically, so a crash costs at most
+    // N steps of work. Save failures degrade to telemetry + a warning;
+    // they never take down the training run.
+    if (options_.checkpoint_every_steps > 0 &&
+        !options_.checkpoint_path.empty() &&
+        next_step % options_.checkpoint_every_steps == 0) {
+      TrainerSession snapshot;
+      snapshot.next_step = next_step;
+      snapshot.started = true;
+      snapshot.finished = false;
+      snapshot.visits_remaining = visits_remaining;
+      snapshot.history = result.steps;
+      snapshot.rng_states.resize(num_threads_);
+      for (size_t t = 0; t < num_threads_; ++t) {
+        snapshot.rng_states[t] = rngs[t].State();
+      }
+      const TrainerCheckpoint auto_checkpoint =
+          CaptureCheckpoint(*state, automata, snapshot, options_.seed);
+      if (Status saved = SaveTrainerCheckpointRotating(
+              auto_checkpoint, options_.checkpoint_path);
+          !saved.ok()) {
+        autosave_failures->Increment();
+        RLCUT_LOG(kWarning) << "auto-checkpoint failed after step " << step
+                            << ": " << saved.ToString();
+      } else {
+        autosaves->Increment();
+      }
+    }
+
     // Convergence: negligible relative improvement while feasible.
     const bool feasible = options_.budget <= 0 ||
                           objective.cost_dollars <= options_.budget;
@@ -579,6 +825,8 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
       break;
     }
   }
+
+  fault::SetStepContext(-1);
 
   if (session != nullptr) {
     session->started = true;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "partition/partition_state.h"
@@ -123,6 +124,13 @@ class RLCutTrainer {
   /// session cursor on exit. nullptr behaves like the overload above.
   TrainResult Train(PartitionState* state, std::vector<VertexId> eligible,
                     AutomatonPool* pool, TrainerSession* session);
+
+  /// Whether `session` (typically file-sourced, see rlcut/checkpoint.h)
+  /// can be resumed by this trainer: the saved per-worker PRNG states
+  /// must match this trainer's thread count. Callers holding sessions
+  /// from external input should gate on this instead of letting Train
+  /// hit its API-contract CHECK.
+  Status ValidateResume(const TrainerSession& session) const;
 
   size_t num_threads() const { return num_threads_; }
   const RLCutOptions& options() const { return options_; }

@@ -1,0 +1,192 @@
+#include "fault/fault.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rlcut {
+namespace {
+
+using fault::FaultRule;
+using fault::FaultSchedule;
+
+// Every test arms global state; always start and finish clean.
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() { fault::Disarm(); }
+  ~FaultTest() override {
+    fault::SetStepContext(-1);
+    fault::Disarm();
+  }
+};
+
+TEST_F(FaultTest, ParseAcceptsTheDocumentedGrammar) {
+  FaultSchedule schedule;
+  std::string error;
+  ASSERT_TRUE(FaultSchedule::Parse(
+      "threadpool.task_throw:prob=0.05;"
+      "checkpoint.short_write:nth=2,amount=7,steps=1-3,max=4",
+      /*seed=*/42, &schedule, &error))
+      << error;
+  ASSERT_EQ(schedule.rules.size(), 2u);
+  EXPECT_EQ(schedule.seed, 42u);
+  EXPECT_EQ(schedule.rules[0].site, "threadpool.task_throw");
+  EXPECT_DOUBLE_EQ(schedule.rules[0].probability, 0.05);
+  EXPECT_EQ(schedule.rules[1].site, "checkpoint.short_write");
+  EXPECT_EQ(schedule.rules[1].nth, 2);
+  EXPECT_EQ(schedule.rules[1].amount, 7);
+  EXPECT_EQ(schedule.rules[1].step_lo, 1);
+  EXPECT_EQ(schedule.rules[1].step_hi, 3);
+  EXPECT_EQ(schedule.rules[1].max_fires, 4);
+
+  // An empty spec is a valid empty schedule.
+  ASSERT_TRUE(FaultSchedule::Parse("", 1, &schedule, &error));
+  EXPECT_TRUE(schedule.rules.empty());
+}
+
+TEST_F(FaultTest, ParseRejectsMalformedSpecs) {
+  FaultSchedule schedule;
+  std::string error;
+  EXPECT_FALSE(
+      FaultSchedule::Parse("no.such.site:nth=1", 1, &schedule, &error));
+  EXPECT_NE(error.find("unknown fault site"), std::string::npos);
+
+  EXPECT_FALSE(FaultSchedule::Parse("threadpool.task_throw", 1, &schedule,
+                                    &error));
+  EXPECT_FALSE(FaultSchedule::Parse("threadpool.task_throw:prob", 1,
+                                    &schedule, &error));
+  EXPECT_FALSE(FaultSchedule::Parse("threadpool.task_throw:prob=2.0", 1,
+                                    &schedule, &error));
+  EXPECT_FALSE(FaultSchedule::Parse("threadpool.task_throw:nth=0", 1,
+                                    &schedule, &error));
+  // A rule without a trigger can never fire: reject it loudly.
+  EXPECT_FALSE(FaultSchedule::Parse("threadpool.task_throw:max=3", 1,
+                                    &schedule, &error));
+  EXPECT_NE(error.find("needs a prob= or nth= trigger"), std::string::npos);
+}
+
+TEST_F(FaultTest, ParseRoundTripsThroughToSpec) {
+  FaultSchedule schedule;
+  std::string error;
+  ASSERT_TRUE(FaultSchedule::Parse(
+      "trainer.chunk_stall:prob=0.25,amount=12;plan.rename_fail:nth=1", 9,
+      &schedule, &error));
+  FaultSchedule reparsed;
+  ASSERT_TRUE(
+      FaultSchedule::Parse(schedule.ToSpec(), 9, &reparsed, &error));
+  ASSERT_EQ(reparsed.rules.size(), schedule.rules.size());
+  for (size_t i = 0; i < schedule.rules.size(); ++i) {
+    EXPECT_EQ(reparsed.rules[i].site, schedule.rules[i].site);
+    EXPECT_DOUBLE_EQ(reparsed.rules[i].probability,
+                     schedule.rules[i].probability);
+    EXPECT_EQ(reparsed.rules[i].nth, schedule.rules[i].nth);
+    EXPECT_EQ(reparsed.rules[i].amount, schedule.rules[i].amount);
+  }
+}
+
+TEST_F(FaultTest, DisarmedSitesNeverFire) {
+  ASSERT_FALSE(fault::Armed());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(fault::ShouldFire("threadpool.task_throw"));
+  }
+  EXPECT_EQ(fault::TotalFires(), 0u);
+}
+
+TEST_F(FaultTest, NthTriggerFiresExactlyOnce) {
+  FaultSchedule schedule;
+  std::string error;
+  ASSERT_TRUE(FaultSchedule::Parse("checkpoint.open_fail:nth=3", 1,
+                                   &schedule, &error));
+  fault::Arm(schedule);
+  ASSERT_TRUE(fault::Armed());
+  int fired_at = -1;
+  for (int hit = 1; hit <= 10; ++hit) {
+    if (fault::ShouldFire("checkpoint.open_fail")) {
+      EXPECT_EQ(fired_at, -1) << "fired twice";
+      fired_at = hit;
+    }
+  }
+  EXPECT_EQ(fired_at, 3);
+  EXPECT_EQ(fault::FireCount("checkpoint.open_fail"), 1u);
+  EXPECT_EQ(fault::TotalFires(), 1u);
+}
+
+TEST_F(FaultTest, ProbabilityTriggerIsDeterministicPerSeed) {
+  auto fire_pattern = [](uint64_t seed) {
+    FaultSchedule schedule;
+    std::string error;
+    EXPECT_TRUE(FaultSchedule::Parse("trainer.chunk_abandon:prob=0.5", seed,
+                                     &schedule, &error));
+    fault::Arm(schedule);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(fault::ShouldFire("trainer.chunk_abandon"));
+    }
+    fault::Disarm();
+    return fired;
+  };
+  const std::vector<bool> first = fire_pattern(7);
+  EXPECT_EQ(first, fire_pattern(7));
+  // 64 fair-coin hits colliding across seeds is a 2^-64 event.
+  EXPECT_NE(first, fire_pattern(8));
+}
+
+TEST_F(FaultTest, StepWindowGatesFiring) {
+  FaultSchedule schedule;
+  std::string error;
+  ASSERT_TRUE(FaultSchedule::Parse("plan.fsync_fail:nth=1,steps=2-3", 1,
+                                   &schedule, &error));
+  fault::Arm(schedule);
+  // Outside any step: the hit is consumed but cannot fire.
+  EXPECT_FALSE(fault::ShouldFire("plan.fsync_fail"));
+  fault::SetStepContext(1);
+  EXPECT_FALSE(fault::ShouldFire("plan.fsync_fail"));
+  fault::SetStepContext(2);
+  // nth=1 already consumed by the hits above; rearm for a clean count.
+  fault::Arm(schedule);
+  EXPECT_TRUE(fault::ShouldFire("plan.fsync_fail"));
+  fault::SetStepContext(4);
+  fault::Arm(schedule);
+  EXPECT_FALSE(fault::ShouldFire("plan.fsync_fail"));
+}
+
+TEST_F(FaultTest, MaxFiresCapsProbabilisticRules) {
+  FaultSchedule schedule;
+  std::string error;
+  ASSERT_TRUE(FaultSchedule::Parse("threadpool.worker_stall:prob=1.0,max=2",
+                                   1, &schedule, &error));
+  fault::Arm(schedule);
+  int fires = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (fault::ShouldFire("threadpool.worker_stall")) ++fires;
+  }
+  EXPECT_EQ(fires, 2);
+}
+
+TEST_F(FaultTest, AmountPayloadReachesTheCaller) {
+  FaultSchedule schedule;
+  std::string error;
+  ASSERT_TRUE(FaultSchedule::Parse("trainer.chunk_stall:nth=1,amount=37", 1,
+                                   &schedule, &error));
+  fault::Arm(schedule);
+  int64_t amount = -1;
+  ASSERT_TRUE(fault::ShouldFire("trainer.chunk_stall", &amount));
+  EXPECT_EQ(amount, 37);
+}
+
+TEST_F(FaultTest, KnownSitesCoverEverySpecableSite) {
+  // Every registered site must itself parse, so the docs table and the
+  // grammar can never drift apart.
+  for (const fault::SiteInfo& info : fault::KnownSites()) {
+    FaultSchedule schedule;
+    std::string error;
+    EXPECT_TRUE(FaultSchedule::Parse(std::string(info.name) + ":nth=1", 1,
+                                     &schedule, &error))
+        << info.name << ": " << error;
+  }
+  EXPECT_GE(fault::KnownSites().size(), 13u);
+}
+
+}  // namespace
+}  // namespace rlcut

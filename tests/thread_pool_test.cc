@@ -1,0 +1,165 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.h"
+
+namespace rlcut {
+namespace {
+
+fault::FaultSchedule MustParse(const std::string& spec) {
+  fault::FaultSchedule schedule;
+  std::string error;
+  EXPECT_TRUE(fault::FaultSchedule::Parse(spec, /*seed=*/1, &schedule,
+                                          &error))
+      << error;
+  return schedule;
+}
+
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  ThreadPoolTest() { fault::Disarm(); }
+  ~ThreadPoolTest() override { fault::Disarm(); }
+};
+
+TEST_F(ThreadPoolTest, ThrowingTaskIsCapturedAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("task boom"); }));
+  ASSERT_TRUE(pool.Submit([&] { ++ran; }));
+  pool.Wait();
+
+  std::exception_ptr error = pool.TakeError();
+  ASSERT_NE(error, nullptr);
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+  EXPECT_EQ(pool.TakeError(), nullptr);  // slot cleared
+  EXPECT_EQ(pool.errors_seen(), 1u);
+
+  // The pool keeps serving after the failure.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { ++ran; }));
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 65);
+}
+
+TEST_F(ThreadPoolTest, ParallelForRethrowsTheFirstTaskError) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(128,
+                       [](size_t i) {
+                         if (i == 77) throw std::runtime_error("index 77");
+                       }),
+      std::runtime_error);
+  // The error does not poison later batches.
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST_F(ThreadPoolTest, SubmitDuringShutdownIsRejectedNotFatal) {
+  std::optional<ThreadPool> pool(std::in_place, 2);
+  std::atomic<bool> release{false};
+  std::atomic<bool> saw_reject{false};
+  // Blocks the destructor's join until the submitter has observed the
+  // rejected Submit, guaranteeing the race actually happens.
+  ASSERT_TRUE(pool->Submit([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }));
+  std::thread submitter([&] {
+    while (pool->Submit([] {})) {
+      std::this_thread::yield();
+    }
+    saw_reject = true;
+    release = true;
+  });
+  pool.reset();  // destructor runs concurrently with the Submit loop
+  submitter.join();
+  EXPECT_TRUE(saw_reject.load());
+}
+
+TEST_F(ThreadPoolTest, TaskOutlivingShutdownStillCompletes) {
+  std::atomic<bool> finished{false};
+  {
+    ThreadPool pool(2);
+    ASSERT_TRUE(pool.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      finished = true;
+    }));
+    // Destructor must drain the queue, not drop the sleeping task.
+  }
+  EXPECT_TRUE(finished.load());
+}
+
+TEST_F(ThreadPoolTest, InjectedTaskThrowSurfacesThroughParallelFor) {
+  fault::Arm(MustParse("threadpool.task_throw:nth=1"));
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(16, [](size_t) {}),
+               fault::InjectedFault);
+  fault::Disarm();
+  // Subsequent parallel loops run clean.
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(16, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 16u);
+}
+
+TEST_F(ThreadPoolTest, CrashedWorkerIsReplacedAndCapacitySurvives) {
+  fault::Arm(MustParse("threadpool.worker_crash:nth=2,max=1"));
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { ++ran; }));
+  }
+  pool.Wait();
+  // The crashed worker dropped exactly one task and recorded the error.
+  EXPECT_EQ(ran.load(), 7);
+  EXPECT_EQ(fault::FireCount("threadpool.worker_crash"), 1u);
+  std::exception_ptr error = pool.TakeError();
+  ASSERT_NE(error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(error), fault::InjectedFault);
+  fault::Disarm();
+
+  // The replacement worker restores full two-thread capacity: two
+  // concurrent barrier tasks can only finish if both workers are alive.
+  EXPECT_EQ(pool.num_threads(), 2u);
+  std::atomic<int> arrivals{0};
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(pool.Submit([&] {
+      ++arrivals;
+      while (arrivals.load() < 2) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }));
+  }
+  pool.Wait();
+  EXPECT_EQ(arrivals.load(), 2);
+}
+
+TEST_F(ThreadPoolTest, WorkerStallDelaysButDoesNotDropTasks) {
+  fault::Arm(MustParse("threadpool.worker_stall:nth=1,amount=20"));
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { ++ran; }));
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_EQ(pool.TakeError(), nullptr);
+  EXPECT_EQ(fault::FireCount("threadpool.worker_stall"), 1u);
+}
+
+}  // namespace
+}  // namespace rlcut

@@ -1,16 +1,20 @@
 // Standalone correctness audit driver: runs the differential oracle,
-// replays the loader corpora and fuzzes the loaders, exiting non-zero
-// on any failure. CI runs it as the fuzz-smoke job; developers run it
-// directly when touching the incremental evaluator or a loader:
+// replays the loader corpora, fuzzes the loaders, and (on request) runs
+// the chaos lane — full training sessions under randomized fault
+// schedules — exiting non-zero on any failure. CI runs it as the
+// fuzz-smoke and chaos-smoke jobs; developers run it directly when
+// touching the incremental evaluator, a loader, or the fault paths:
 //
 //   rlcut_audit --mode=oracle --sequences=1024 --moves=32
 //   rlcut_audit --mode=fuzz --fuzz_iters=5000 --seed=3
-//   rlcut_audit            # everything, moderate sizes
+//   rlcut_audit --mode=chaos --sessions=100
+//   rlcut_audit            # everything except chaos, moderate sizes
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "check/chaos.h"
 #include "check/differential_oracle.h"
 #include "check/fuzz.h"
 #include "common/flags.h"
@@ -34,14 +38,17 @@ int ReportFailures(const std::vector<std::string>& failures) {
 
 int main(int argc, char** argv) {
   rlcut::FlagParser flags;
-  flags.DefineString("mode", "all",
-                     "what to audit: all | oracle | corpus | fuzz");
+  flags.DefineString(
+      "mode", "all",
+      "what to audit: all | oracle | corpus | fuzz | chaos "
+      "(chaos trains under fault injection and is not part of all)");
   flags.DefineInt("sequences", 64, "oracle: randomized move sequences");
   flags.DefineInt("moves", 64, "oracle: moves per sequence");
   flags.DefineInt("vertices", 96, "oracle: vertices per instance");
   flags.DefineInt("edges", 384, "oracle: edges per instance");
   flags.DefineInt("dcs", 4, "oracle: data centers");
   flags.DefineInt("fuzz_iters", 600, "fuzz: mutated inputs per loader");
+  flags.DefineInt("sessions", 16, "chaos: randomized training sessions");
   flags.DefineInt("seed", 1, "base RNG seed");
   if (rlcut::Status s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
@@ -54,7 +61,7 @@ int main(int argc, char** argv) {
   }
   const std::string mode = flags.GetString("mode");
   if (mode != "all" && mode != "oracle" && mode != "corpus" &&
-      mode != "fuzz") {
+      mode != "fuzz" && mode != "chaos") {
     std::fprintf(stderr, "unknown --mode=%s\n", mode.c_str());
     return 2;
   }
@@ -93,6 +100,15 @@ int main(int argc, char** argv) {
                   report.Summary().c_str());
       rc |= ReportFailures(report.failures);
     }
+  }
+  if (mode == "chaos") {
+    rlcut::check::ChaosOptions options;
+    options.num_sessions = static_cast<int>(flags.GetInt("sessions"));
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    const rlcut::check::ChaosReport report =
+        rlcut::check::RunChaos(options);
+    std::printf("%s\n", report.Summary().c_str());
+    rc |= ReportFailures(report.failures);
   }
   return rc;
 }

@@ -15,7 +15,12 @@
 //       --checkpoint_out=run.ckpt   # pause and snapshot a training run
 //   rlcut_tool --dataset=LJ --method=RLCut --resume_from=run.ckpt
 //   rlcut_tool --dataset=LJ --method=RLCut --net_schedule=diurnal.sched
+//   rlcut_tool --dataset=LJ --method=RLCut --checkpoint_out=run.ckpt \
+//       --checkpoint_every=2   # crash-consistent rotating auto-saves
+//   rlcut_tool --dataset=LJ --method=RLCut \
+//       --faults='threadpool.task_throw:prob=0.05'  # fault drill
 
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -25,8 +30,10 @@
 #include "baselines/partitioner.h"
 #include "cloud/topology.h"
 #include "cloud/topology_schedule.h"
+#include "common/atomic_file.h"
 #include "common/flags.h"
 #include "common/table_writer.h"
+#include "fault/fault.h"
 #include "graph/datasets.h"
 #include "graph/geo.h"
 #include "graph/io.h"
@@ -157,6 +164,15 @@ int main(int argc, char** argv) {
   flags.DefineString("net_schedule", "",
                      "replay this network schedule file over the final "
                      "plan (see docs/dynamic_environments.md)");
+  flags.DefineInt("checkpoint_every", 0,
+                  "auto-checkpoint RLCut training every N steps to "
+                  "--checkpoint_out, rotating the previous save to "
+                  "<path>.prev (0 = only the final checkpoint)");
+  flags.DefineString("faults", "",
+                     "arm this fault-injection spec for the run, e.g. "
+                     "'threadpool.task_throw:prob=0.05' "
+                     "(see docs/robustness.md)");
+  flags.DefineInt("fault_seed", 1, "seed for probabilistic fault triggers");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s.ToString() << "\n" << flags.Usage(argv[0]);
     return 1;
@@ -164,6 +180,29 @@ int main(int argc, char** argv) {
   if (flags.help_requested()) {
     std::cout << flags.Usage(argv[0]);
     return 0;
+  }
+
+  // A crash (or an injected fault) in an earlier run can leave a staging
+  // file next to an atomic-save target; clear them before writing.
+  for (const char* target : {"save_plan", "checkpoint_out"}) {
+    const std::string& path = flags.GetString(target);
+    if (!path.empty() && RemoveStaleTempFile(path)) {
+      std::cout << "Removed stale staging file " << TempPathFor(path)
+                << " left by an interrupted run\n";
+    }
+  }
+
+  if (!flags.GetString("faults").empty()) {
+    fault::FaultSchedule schedule;
+    std::string error;
+    if (!fault::FaultSchedule::Parse(
+            flags.GetString("faults"),
+            static_cast<uint64_t>(flags.GetInt("fault_seed")), &schedule,
+            &error)) {
+      return Fail(Status::InvalidArgument("--faults: " + error));
+    }
+    fault::Arm(schedule);
+    std::cout << "Fault injection armed: " << schedule.ToSpec() << "\n";
   }
 
   // Observability: install the trace recorder before any instrumented
@@ -195,6 +234,15 @@ int main(int argc, char** argv) {
   if (!topology.ok()) return Fail(topology.status());
   Result<Workload> workload = MakeWorkloadFromFlags(flags);
   if (!workload.ok()) return Fail(workload.status());
+
+  // Preflight --net_schedule: the replay happens after (potentially
+  // long) training, so a missing or malformed file must fail here, not
+  // at the end of the run.
+  if (!flags.GetString("net_schedule").empty()) {
+    Result<TopologySchedule> preflight =
+        LoadTopologySchedule(flags.GetString("net_schedule"), *topology);
+    if (!preflight.ok()) return Fail(preflight.status());
+  }
 
   GeoLocatorOptions geo;
   geo.num_dcs = topology->num_dcs();
@@ -282,17 +330,26 @@ int main(int argc, char** argv) {
   // flags drive the trainer directly (same setup as RunRLCut).
   const bool wants_checkpointing = !flags.GetString("checkpoint_out").empty() ||
                                    !flags.GetString("resume_from").empty() ||
-                                   flags.GetInt("stop_after_step") >= 0;
+                                   flags.GetInt("stop_after_step") >= 0 ||
+                                   flags.GetInt("checkpoint_every") > 0;
   if (wants_checkpointing) {
     if (flags.GetString("method") != "RLCut") {
       return Fail(Status::InvalidArgument(
-          "--checkpoint_out/--resume_from/--stop_after_step require "
-          "--method=RLCut"));
+          "--checkpoint_out/--resume_from/--stop_after_step/"
+          "--checkpoint_every require --method=RLCut"));
+    }
+    if (flags.GetInt("checkpoint_every") > 0 &&
+        flags.GetString("checkpoint_out").empty()) {
+      return Fail(Status::InvalidArgument(
+          "--checkpoint_every requires --checkpoint_out"));
     }
     RLCutOptions rl_options;
     rl_options.t_opt_seconds = flags.GetDouble("t_opt");
     rl_options.budget = ctx.budget;
     rl_options.seed = ctx.seed;
+    rl_options.checkpoint_every_steps =
+        static_cast<int>(flags.GetInt("checkpoint_every"));
+    rl_options.checkpoint_path = flags.GetString("checkpoint_out");
 
     PartitionConfig config;
     config.model = ComputeModel::kHybridCut;
@@ -306,21 +363,37 @@ int main(int argc, char** argv) {
     AutomatonPool pool(graph.num_vertices(), topology->num_dcs(), rl_options);
     TrainerSession session;
     if (!flags.GetString("resume_from").empty()) {
-      Result<TrainerCheckpoint> checkpoint =
-          LoadTrainerCheckpoint(flags.GetString("resume_from"));
+      Result<LoadedCheckpoint> checkpoint =
+          LoadTrainerCheckpointWithFallback(flags.GetString("resume_from"));
       if (!checkpoint.ok()) return Fail(checkpoint.status());
-      if (Status s = RestoreCheckpoint(*checkpoint, &state, &pool, &session);
+      if (checkpoint->used_fallback) {
+        std::cout << "Primary checkpoint unusable ("
+                  << checkpoint->primary_error
+                  << "); resuming from last-good " << checkpoint->loaded_from
+                  << "\n";
+      }
+      if (Status s = RestoreCheckpoint(checkpoint->checkpoint, &state, &pool,
+                                       &session);
           !s.ok()) {
         return Fail(s);
       }
-      std::cout << "Resumed from " << flags.GetString("resume_from")
-                << " at step " << session.next_step << "\n";
+      if (Status s = trainer.ValidateResume(session); !s.ok()) {
+        return Fail(s);
+      }
+      std::cout << "Resumed from " << checkpoint->loaded_from << " at step "
+                << session.next_step << "\n";
     }
     session.stop_after_step = static_cast<int>(flags.GetInt("stop_after_step"));
 
     std::vector<VertexId> all(graph.num_vertices());
     std::iota(all.begin(), all.end(), 0u);
-    TrainResult train = trainer.Train(&state, std::move(all), &pool, &session);
+    TrainResult train;
+    try {
+      train = trainer.Train(&state, std::move(all), &pool, &session);
+    } catch (const std::exception& e) {
+      return Fail(Status::Internal(std::string("training failed: ") +
+                                   e.what()));
+    }
 
     std::cout << "RLCut " << (session.paused ? "paused before step " : "ran ")
               << (session.paused ? std::to_string(session.next_step)
@@ -332,8 +405,8 @@ int main(int argc, char** argv) {
     if (!flags.GetString("checkpoint_out").empty()) {
       const TrainerCheckpoint checkpoint =
           CaptureCheckpoint(state, pool, session, ctx.seed);
-      if (Status s = SaveTrainerCheckpoint(checkpoint,
-                                           flags.GetString("checkpoint_out"));
+      if (Status s = SaveTrainerCheckpointRotating(
+              checkpoint, flags.GetString("checkpoint_out"));
           !s.ok()) {
         return Fail(s);
       }
@@ -367,7 +440,13 @@ int main(int argc, char** argv) {
       MakePartitionerByName(method, options);
   if (!partitioner.ok()) return Fail(partitioner.status());
 
-  Result<PartitionOutput> out = (*partitioner)->Run(ctx);
+  Result<PartitionOutput> out = Status::Internal("partitioner did not run");
+  try {
+    out = (*partitioner)->Run(ctx);
+  } catch (const std::exception& e) {
+    return Fail(
+        Status::Internal(std::string("partitioning failed: ") + e.what()));
+  }
   if (!out.ok()) return Fail(out.status());
   std::cout << (*partitioner)->name() << " finished in "
             << out->overhead_seconds << " s\n";

@@ -32,8 +32,10 @@ int main(int argc, char** argv) {
     auto problem = MakeProblem(Dataset::kOrkut,
                                static_cast<uint64_t>(flags.GetInt("scale")),
                                topology, Workload::PageRank(), fraction);
-    PartitionOutput ginger = MakeGinger()->RunOrDie(problem->ctx);
-    PartitionOutput geocut = MakeGeoCut()->RunOrDie(problem->ctx);
+    PartitionOutput ginger =
+        MakePartitionerByName("Ginger", {}).value()->RunOrDie(problem->ctx);
+    PartitionOutput geocut =
+        MakePartitionerByName("Geo-Cut", {}).value()->RunOrDie(problem->ctx);
     RLCutOptions opt = bench::BenchRLCutOptions(
         problem->ctx.budget, ginger.overhead_seconds, flags.GetDouble("t_opt"));
     RLCutRunOutput ours = RunRLCut(problem->ctx, opt);

@@ -32,8 +32,10 @@ int main(int argc, char** argv) {
                                : bench::DefaultScale(dataset);
     auto problem =
         MakeProblem(dataset, scale, topology, Workload::PageRank());
-    PartitionOutput vertex_cut = MakeRandPg()->RunOrDie(problem->ctx);
-    PartitionOutput hybrid = MakeHashPl()->RunOrDie(problem->ctx);
+    PartitionOutput vertex_cut =
+        MakePartitionerByName("RandPG", {}).value()->RunOrDie(problem->ctx);
+    PartitionOutput hybrid =
+        MakePartitionerByName("HashPL", {}).value()->RunOrDie(problem->ctx);
     const double wan_vc = vertex_cut.state.WanBytesPerIteration();
     const double wan_hc = hybrid.state.WanBytesPerIteration();
     table.AddRow({DatasetName(dataset), Fmt(wan_vc / 1e6, 2) + "MB",

@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
       const Topology topology = MakeEc2Topology(level);
       auto problem =
           MakeProblem(dataset, scale, topology, Workload::PageRank());
-      PartitionOutput ginger = MakeGinger()->RunOrDie(problem->ctx);
+      PartitionOutput ginger =
+          MakePartitionerByName("Ginger", {}).value()->RunOrDie(problem->ctx);
       // Deterministic work budget: stable tables run to run.
       RLCutOptions opt = bench::BenchRLCutOptionsDeterministic(
           problem->ctx.budget, problem->graph.num_vertices());

@@ -69,10 +69,10 @@ int main(int argc, char** argv) {
       ReferencePageRank(graph, iterations);
 
   std::vector<std::unique_ptr<Partitioner>> methods;
-  methods.push_back(MakeRandPg());
-  methods.push_back(MakeHashPl());
-  methods.push_back(MakeGinger());
-  methods.push_back(MakeRLCut());
+  for (const char* name : {"RandPG", "HashPL", "Ginger", "RLCut"}) {
+    methods.push_back(
+        MakePartitionerByName(name, PartitionerOptions{}).value());
+  }
 
   TableWriter table({"Method", "PartitionOverhead(s)", "RealizedTransfer(s)",
                      "UploadCost($)", "WAN(MB)", "lambda", "MaxRankErr"});

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "graph/graph.h"
 #include "partition/partition_state.h"
+#include "partition/session.h"
 #include "partition/workload.h"
 
 namespace rlcut {
@@ -51,12 +52,15 @@ Status ValidatePartitionerContext(const PartitionerContext& ctx);
 
 /// Common interface for all static partitioning methods (Sec. VI-A3).
 ///
-/// Run() is a template method: it validates the context (returning a
-/// Status instead of crashing on null graphs, dcs mismatches or a
-/// negative budget), opens a "partition/<name>" trace span, delegates
-/// to the method's DoRun(), and records the optimization overhead in
-/// the default metrics registry — so every method, including ones
-/// added later, is instrumented through this single hook.
+/// Run() is a thin wrapper over the session abstraction: it validates
+/// the context (returning a Status instead of crashing on null graphs,
+/// dcs mismatches or a negative budget), opens a "partition/run" trace
+/// span, drives a borrowed-context OneShotSession through one unlimited
+/// MaybeReoptimize (which delegates to the method's DoRun()), and
+/// records the optimization overhead in the default metrics registry —
+/// so every method, including ones added later, is instrumented through
+/// this single hook, and batch runs and streaming sessions exercise the
+/// same code path.
 class Partitioner {
  public:
   virtual ~Partitioner() = default;
@@ -69,7 +73,9 @@ class Partitioner {
 
   /// Computes a partitioning. Self-times: the returned overhead is the
   /// wall-clock optimization time. Fails with InvalidArgument on a bad
-  /// context instead of aborting.
+  /// context instead of aborting. Equivalent to opening a one-shot
+  /// session, re-optimizing once without a migration budget, and taking
+  /// the output.
   Result<PartitionOutput> Run(const PartitionerContext& ctx);
 
   /// Convenience for callers with known-good contexts (tests, benches):
@@ -79,6 +85,80 @@ class Partitioner {
  protected:
   /// Method implementation. The context has already been validated.
   virtual PartitionOutput DoRun(const PartitionerContext& ctx) = 0;
+
+ private:
+  // The session adapter invokes DoRun on the wrapped method.
+  friend class OneShotSession;
+};
+
+/// PartitioningSession adapter for batch (non-incremental) methods.
+///
+/// Two modes:
+///  * Borrowed: wraps a caller-owned Partitioner and context for the
+///    duration of one Run() call. ApplyDelta is FailedPrecondition —
+///    the context is not owned, so the problem cannot evolve.
+///  * Owned (Open): copies the problem out of the context and owns the
+///    wrapped partitioner, so the session outlives the caller's
+///    buffers and can ingest micro-batches. Each MaybeReoptimize
+///    re-partitions the accumulated graph from scratch (these methods
+///    have no incremental state), then clamps to the migration budget.
+class OneShotSession : public PartitioningSession {
+ public:
+  /// Borrowed mode; `partitioner` and everything `ctx` points at must
+  /// outlive the session. The context must already be validated.
+  OneShotSession(Partitioner* partitioner, const PartitionerContext& ctx);
+
+  /// Owned mode: validates `ctx`, copies the problem, takes ownership
+  /// of the method.
+  static Result<std::unique_ptr<OneShotSession>> Open(
+      std::unique_ptr<Partitioner> partitioner, const PartitionerContext& ctx);
+
+  std::string method() const override;
+  Result<ApplyResult> ApplyDelta(const MicroBatch& batch) override;
+  Result<ReoptimizeResult> MaybeReoptimize(
+      const MigrationBudget& budget) override;
+  Result<PublishedPlan> PublishPlan() override;
+  const PartitionState* live_state() const override;
+
+  /// Moves the produced PartitionOutput out of the session (the batch
+  /// Run() return value). FailedPrecondition before the first
+  /// successful MaybeReoptimize or after a previous take.
+  Result<PartitionOutput> TakeOutput();
+
+ private:
+  OneShotSession(std::unique_ptr<Partitioner> owned,
+                 const PartitionerContext& ctx);
+
+  // Context for the next cold run: the borrowed context verbatim, or
+  // one assembled over the owned problem copies.
+  PartitionerContext CurrentContext() const;
+
+  Partitioner* partitioner_;                  // wrapped method
+  std::unique_ptr<Partitioner> owned_method_; // engaged in owned mode
+
+  // Borrowed mode only.
+  const PartitionerContext* borrowed_ctx_ = nullptr;
+
+  // Owned-problem copies (owned mode). The graph is rebuilt lazily
+  // after deltas accumulate.
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  Topology topology_;
+  std::vector<DcId> locations_;
+  std::vector<double> input_sizes_;
+  Workload workload_;
+  uint32_t theta_ = 100;
+  double cost_budget_ = 0;
+  uint64_t seed_ = 1;
+  std::unique_ptr<Graph> graph_;
+  bool graph_dirty_ = false;
+  SimTime watermark_ = SimTime::Min();
+
+  // Output of the last re-optimization.
+  std::unique_ptr<PartitionOutput> output_;
+  MigrationBudget last_budget_;
+  uint64_t version_ = 0;
+  std::vector<DcId> last_published_masters_;
 };
 
 // ---- String-keyed registry --------------------------------------------
@@ -123,6 +203,23 @@ std::vector<PartitionerInfo> ListPartitioners();
 /// in the message.
 Result<std::unique_ptr<Partitioner>> MakePartitionerByName(
     const std::string& name, const PartitionerOptions& options);
+
+/// Options for OpenPartitioningSession.
+struct SessionOptions {
+  /// Method-generic knobs, mapped exactly as MakePartitionerByName.
+  PartitionerOptions partitioner;
+  /// RLCut: topology drift that marks replicated vertices for
+  /// re-training (see RLCutSessionOptions).
+  double drift_threshold = 0.05;
+};
+
+/// Opens a session for a registry method over `ctx`. "RLCut" opens the
+/// incremental RLCutSession (rlcut/session.h); every other method is
+/// wrapped in an owned OneShotSession. Implemented next to the registry
+/// in rlcut/partitioner_registry.cc.
+Result<std::unique_ptr<PartitioningSession>> OpenPartitioningSession(
+    const std::string& method, const PartitionerContext& ctx,
+    const SessionOptions& options = {});
 
 // ---- Factory functions for the paper's six comparisons ----------------
 

@@ -16,9 +16,12 @@
 #include "fault/fault.h"
 #include "graph/generators.h"
 #include "graph/geo.h"
+#include "graph/stream.h"
+#include "graph/temporal.h"
 #include "partition/partition_state.h"
 #include "partition/plan_io.h"
 #include "rlcut/checkpoint.h"
+#include "rlcut/session.h"
 
 namespace rlcut {
 namespace check {
@@ -383,13 +386,191 @@ bool RunCrashResumeSession(const ChaosOptions& options,
   return true;
 }
 
+// The streaming lane: an RLCutSession over a short diurnal stream,
+// first fault-free for a reference publish sequence, then with faults
+// armed at the session ingest/publish sites. Injected failures must
+// come back as clean Status errors (never aborts or torn state), and
+// retrying the failed call must converge on the reference bit-exactly:
+// both sites fail before any mutation, so a retry is a pure re-attempt.
+bool RunStreamingFaultedSession(const ChaosOptions& options,
+                                uint64_t session_seed, int session_index,
+                                Rng* rng, ChaosReport* report) {
+  auto fail = [&](const std::string& message) {
+    fault::Disarm();
+    std::ostringstream out;
+    out << "session " << session_index << " streaming lane (seed "
+        << session_seed << "): " << message;
+    report->failures.push_back(out.str());
+    return false;
+  };
+
+  // A small temporal problem: half the stream seeds the base graph,
+  // the rest arrives in four micro-batches.
+  TemporalStreamOptions stream;
+  stream.num_vertices = options.num_vertices / 2;
+  stream.num_edges = options.num_edges / 2;
+  stream.seed = session_seed;
+  const TemporalGraph temporal = GenerateDiurnalStream(stream);
+  const uint64_t base_count = temporal.edges().size() / 2;
+  const Graph base_graph = temporal.Prefix(base_count);
+  GeoLocatorOptions geo;
+  geo.num_dcs = options.num_dcs;
+  geo.seed = session_seed + 77;
+  const Topology topology =
+      MakeEc2Topology(options.num_dcs, Heterogeneity::kMedium);
+  const std::vector<DcId> locations = AssignGeoLocations(base_graph, geo);
+  const std::vector<double> sizes = AssignInputSizes(base_graph);
+
+  PartitionerContext ctx;
+  ctx.graph = &base_graph;
+  ctx.topology = &topology;
+  ctx.locations = &locations;
+  ctx.input_sizes = &sizes;
+  ctx.theta = PartitionState::AutoTheta(base_graph);
+
+  RLCutSessionOptions sopts;
+  sopts.initial = TrainerOptions(options, session_seed);
+  sopts.initial.checkpoint_every_steps = 0;
+  sopts.incremental = sopts.initial;
+
+  constexpr int kNumBatches = 4;
+  std::vector<MicroBatch> batches;
+  {
+    StreamBuffer buffer;
+    const std::vector<TimedEdge>& all = temporal.edges();
+    const SimTime start = all[base_count].time;
+    const SimTime end = all.back().time + SimTime(1);
+    const int64_t span = end.micros() - start.micros();
+    uint64_t next = base_count;
+    for (int b = 0; b < kNumBatches; ++b) {
+      SimTime watermark = b + 1 == kNumBatches
+                              ? end
+                              : SimTime::Micros(start.micros() +
+                                                span * (b + 1) / kNumBatches);
+      while (next < all.size() && all[next].time <= watermark) {
+        buffer.Push(StreamEvent{all[next], next});
+        ++next;
+      }
+      batches.push_back(buffer.Cut(watermark));
+    }
+  }
+  const MigrationBudget budget{options.num_vertices / 4, 1e9};
+
+  // One drive of the whole stream; with `armed`, every call retries
+  // through injected failures (each site fails before any mutation).
+  auto drive = [&](bool armed, std::vector<std::vector<DcId>>* published,
+                   std::string* error) {
+    Result<std::unique_ptr<RLCutSession>> opened =
+        RLCutSession::Open(ctx, sopts);
+    if (!opened.ok()) {
+      *error = "Open: " + opened.status().ToString();
+      return false;
+    }
+    std::unique_ptr<RLCutSession> session = std::move(*opened);
+    auto retry = [&](auto&& call, const char* what,
+                     std::string* err) -> bool {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const Status status = call();
+        if (status.ok()) return true;
+        if (!armed) {
+          *err = std::string(what) + ": " + status.ToString();
+          return false;
+        }
+        if (status.message().find("injected fault") == std::string::npos) {
+          *err = std::string(what) +
+                 " failed with a non-injected error under faults: " +
+                 status.ToString();
+          return false;
+        }
+      }
+      *err = std::string(what) + ": injected fault did not stop firing";
+      return false;
+    };
+    for (const MicroBatch& batch : batches) {
+      if (!retry(
+              [&] {
+                Result<ApplyResult> r = session->ApplyDelta(batch);
+                return r.ok() ? Status::Ok() : r.status();
+              },
+              "ApplyDelta", error)) {
+        return false;
+      }
+      Result<ReoptimizeResult> reopt = session->MaybeReoptimize(budget);
+      if (!reopt.ok()) {
+        *error = "MaybeReoptimize: " + reopt.status().ToString();
+        return false;
+      }
+      std::vector<DcId> masters;
+      if (!retry(
+              [&] {
+                Result<PublishedPlan> r = session->PublishPlan();
+                if (r.ok()) masters = std::move(r->masters);
+                return r.ok() ? Status::Ok() : r.status();
+              },
+              "PublishPlan", error)) {
+        return false;
+      }
+      published->push_back(std::move(masters));
+    }
+    if (session->live_state() == nullptr ||
+        !session->live_state()->CheckInvariants()) {
+      *error = "final streaming state violates invariants";
+      return false;
+    }
+    return true;
+  };
+
+  std::vector<std::vector<DcId>> reference;
+  std::string error;
+  if (!drive(/*armed=*/false, &reference, &error)) {
+    return fail("fault-free drive: " + error);
+  }
+
+  fault::FaultSchedule schedule;
+  schedule.seed = session_seed;
+  for (const char* site : {"session.ingest_fail", "session.publish_fail"}) {
+    if (rng->Below(2) == 0 && schedule.rules.size() < 1) {
+      // At most one probabilistic rule; the other site gets a bounded
+      // deterministic rule so both fire in a typical run.
+      fault::FaultRule rule;
+      rule.site = site;
+      rule.probability = 0.2 + 0.4 * rng->NextDouble();
+      rule.max_fires = 1 + static_cast<int64_t>(rng->Below(4));
+      schedule.rules.push_back(rule);
+    } else {
+      fault::FaultRule rule;
+      rule.site = site;
+      rule.nth = 1 + static_cast<int64_t>(rng->Below(3));
+      rule.max_fires = 1 + static_cast<int64_t>(rng->Below(3));
+      schedule.rules.push_back(rule);
+    }
+  }
+
+  std::vector<std::vector<DcId>> faulted;
+  fault::Arm(schedule);
+  const bool ok = drive(/*armed=*/true, &faulted, &error);
+  report->fires += fault::TotalFires();
+  fault::Disarm();
+  if (!ok) {
+    return fail("under [" + schedule.ToSpec() + "]: " + error);
+  }
+  if (faulted != reference) {
+    return fail("retried streaming run diverged from the fault-free "
+                "reference under [" +
+                schedule.ToSpec() + "]");
+  }
+  ++report->stream_recoveries;
+  return true;
+}
+
 }  // namespace
 
 std::string ChaosReport::Summary() const {
   std::ostringstream out;
   out << "chaos: " << sessions << " sessions (" << masked << " masked, "
       << degraded << " degraded-valid, " << crash_resumes
-      << " crash resumes), " << fires << " injected fires, "
+      << " crash resumes, " << stream_recoveries
+      << " stream recoveries), " << fires << " injected fires, "
       << failures.size() << " failures";
   return out.str();
 }
@@ -422,6 +603,9 @@ ChaosReport RunChaos(const ChaosOptions& options) {
     if (s % 3 == 2) {
       RunCrashResumeSession(options, problem, session_seed, s, reference,
                             &rng, &report);
+    }
+    if (s % 2 == 1) {
+      RunStreamingFaultedSession(options, session_seed, s, &rng, &report);
     }
   }
   fault::Disarm();

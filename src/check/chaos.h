@@ -26,6 +26,13 @@ namespace check {
 /// lane: a fault-free run auto-checkpoints every other step, the
 /// primary checkpoint file is then corrupted, and resume must land on
 /// the last-good fallback and continue to a bit-identical final plan.
+///
+/// Every second session also exercises the streaming lane: an
+/// RLCutSession driven over a short diurnal stream with faults armed at
+/// the session.ingest_fail / session.publish_fail sites. Injected
+/// failures must surface as clean Status errors; retrying the failed
+/// call must converge on plans bit-identical to a fault-free streaming
+/// reference.
 struct ChaosOptions {
   int num_sessions = 16;
   VertexId num_vertices = 192;
@@ -45,6 +52,9 @@ struct ChaosReport {
   uint64_t degraded = 0;
   /// Crash-lane resumes (all must be bit-identical).
   uint64_t crash_resumes = 0;
+  /// Streaming-lane sessions that converged on the fault-free plans
+  /// after retrying injected ingest/publish failures.
+  uint64_t stream_recoveries = 0;
   /// Total injected fires across all sessions.
   uint64_t fires = 0;
   std::vector<std::string> failures;

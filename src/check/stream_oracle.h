@@ -1,0 +1,67 @@
+#ifndef RLCUT_CHECK_STREAM_ORACLE_H_
+#define RLCUT_CHECK_STREAM_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rlcut {
+namespace check {
+
+/// Streaming-session oracle (docs/streaming.md): seeded end-to-end
+/// sessions driving a diurnal edge stream through an RLCutSession, with
+/// three lanes per session that must all agree:
+///
+///   * reference — edges arrive in order; every publish's migration
+///     delta vs the previous published plan is independently re-tallied
+///     (PlanMigration over a cold-built graph) and must respect the
+///     session's migration budget exactly;
+///   * shuffle — the same events arrive shuffled within each batch
+///     window, with duplicated sequence ids and early pushes from the
+///     next window; StreamBuffer::Cut must yield the same micro-batches
+///     and therefore bit-identical published plans;
+///   * resume — the session is checkpointed mid-stream, dropped,
+///     restored from the file, and driven to the end; every post-resume
+///     publish must be bit-identical to the reference lane.
+///
+/// The final live graph must equal a cold application of the same edits
+/// (base + stream) edge-for-edge, and the final state must pass
+/// CheckInvariants. Any divergence, invariant violation, budget
+/// overshoot or unexpected Status is a failure.
+struct StreamOracleOptions {
+  int num_sessions = 16;
+  VertexId num_vertices = 160;
+  /// Total edges in the temporal stream; half seed the base graph, the
+  /// rest arrive over `num_batches` micro-batches.
+  uint64_t num_edges = 960;
+  int num_dcs = 4;
+  int num_batches = 8;
+  /// Per-publish migration budget.
+  uint64_t budget_vertices = 20;
+  double budget_bytes = 256 * 1024.0;
+  /// Training depth per re-optimization pass.
+  int max_steps = 3;
+  uint64_t seed = 1;
+};
+
+struct StreamOracleReport {
+  uint64_t sessions = 0;
+  /// Published plans across all reference lanes.
+  uint64_t publishes = 0;
+  /// Publishes where the budget clamp actually reverted moves.
+  uint64_t budget_clamped = 0;
+  /// Mid-stream checkpoint/restore continuations that matched.
+  uint64_t resumes = 0;
+  std::vector<std::string> failures;
+
+  std::string Summary() const;
+};
+
+StreamOracleReport RunStreamOracle(const StreamOracleOptions& options);
+
+}  // namespace check
+}  // namespace rlcut
+
+#endif  // RLCUT_CHECK_STREAM_ORACLE_H_

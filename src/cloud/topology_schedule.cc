@@ -45,8 +45,8 @@ void ApplyEvent(const TopologyEvent& event, std::vector<DcFactors>* factors) {
 }
 
 Status CheckEvent(const TopologyEvent& event, int num_dcs) {
-  if (event.step < 0) {
-    return Status::InvalidArgument("event step must be >= 0");
+  if (event.step < SimTime(0)) {
+    return Status::InvalidArgument("event time must be >= 0");
   }
   if (event.dc != kAllDcs && (event.dc < 0 || event.dc >= num_dcs)) {
     return Status::InvalidArgument("event references an unknown DC");
@@ -73,10 +73,10 @@ TopologySchedule::TopologySchedule(Topology base,
                    });
 }
 
-Topology TopologySchedule::EffectiveAt(int step) const {
+Topology TopologySchedule::EffectiveAt(SimTime t) const {
   std::vector<DcFactors> factors(base_.num_dcs());
   for (const TopologyEvent& event : events_) {
-    if (event.step > step) break;  // events_ is sorted by step
+    if (event.step > t) break;  // events_ is sorted by time
     ApplyEvent(event, &factors);
   }
   std::vector<DataCenter> dcs = base_.dcs();
@@ -88,19 +88,19 @@ Topology TopologySchedule::EffectiveAt(int step) const {
   return Topology(std::move(dcs));
 }
 
-bool TopologySchedule::ChangedBetween(int from_step, int to_step) const {
+bool TopologySchedule::ChangedBetween(SimTime from, SimTime to) const {
   for (const TopologyEvent& event : events_) {
-    if (event.step > to_step) break;
-    if (event.step > from_step) return true;
+    if (event.step > to) break;
+    if (event.step > from) return true;
   }
   return false;
 }
 
-int TopologySchedule::NextEventAfter(int step) const {
+SimTime TopologySchedule::NextEventAfter(SimTime t) const {
   for (const TopologyEvent& event : events_) {
-    if (event.step > step) return event.step;
+    if (event.step > t) return event.step;
   }
-  return -1;
+  return SimTime(-1);
 }
 
 Status TopologySchedule::Validate() const {
@@ -228,9 +228,11 @@ Result<TopologySchedule> LoadTopologySchedule(const std::string& path,
     TopologyEvent event;
     std::string dc_token;
     std::string kind;
-    if (!(fields >> event.step >> dc_token >> kind)) {
-      return Status::IoError(where + ": expected '<step> <dc|*> <kind>'");
+    double when_seconds = 0;
+    if (!(fields >> when_seconds >> dc_token >> kind)) {
+      return Status::IoError(where + ": expected '<time> <dc|*> <kind>'");
     }
+    event.step = when_seconds;
     if (dc_token == "*") {
       event.dc = kAllDcs;
     } else {

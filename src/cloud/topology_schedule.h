@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cloud/topology.h"
+#include "common/sim_time.h"
 #include "common/status.h"
 #include "graph/types.h"
 
@@ -32,12 +33,14 @@ enum class TopologyEventKind {
   kRestore,
 };
 
-/// One timestamped change to the effective topology. Time is measured in
-/// training steps: the event is in effect from `step` onward, until a
+/// One timestamped change to the effective topology. `step` is a SimTime
+/// on the same monotonic timeline as temporal edge streams (the field
+/// keeps its historical name; one legacy integer "step" embeds as one
+/// simulated second). The event is in effect from `step` onward, until a
 /// later event for the same DC and dimension overrides it (set-to-base,
 /// last-event-wins semantics — factors do not compound).
 struct TopologyEvent {
-  int step = 0;
+  SimTime step;
   DcId dc = kAllDcs;
   TopologyEventKind kind = TopologyEventKind::kBandwidthScale;
   double uplink_factor = 1.0;
@@ -63,16 +66,17 @@ class TopologySchedule {
   const Topology& base() const { return base_; }
   const std::vector<TopologyEvent>& events() const { return events_; }
 
-  /// The effective topology at training step `step`: the base with every
-  /// event whose step is <= `step` applied in order.
-  Topology EffectiveAt(int step) const;
+  /// The effective topology at time `t`: the base with every event whose
+  /// time is <= `t` applied in order.
+  Topology EffectiveAt(SimTime t) const;
 
   /// True if at least one event fires in the half-open interval
-  /// (from_step, to_step].
-  bool ChangedBetween(int from_step, int to_step) const;
+  /// (from, to].
+  bool ChangedBetween(SimTime from, SimTime to) const;
 
-  /// Step of the first event strictly after `step`, or -1 if none.
-  int NextEventAfter(int step) const;
+  /// Time of the first event strictly after `t`, or SimTime(-1) if none
+  /// (event times are validated non-negative, so -1 s is unambiguous).
+  SimTime NextEventAfter(SimTime t) const;
 
   /// Checks the base topology, event DC ids, factor positivity, and that
   /// every effective topology the schedule can produce validates.

@@ -1,0 +1,96 @@
+#include "common/byte_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace rlcut {
+
+namespace {
+constexpr size_t kMagicBytes = 8;
+}  // namespace
+
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t hash = 14695981039346656037ull;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string WrapEnvelope(const char* magic, uint32_t version,
+                         const std::string& payload) {
+  std::string bytes;
+  bytes.reserve(kMagicBytes + sizeof(uint32_t) + sizeof(uint64_t) +
+                payload.size() + sizeof(uint64_t));
+  bytes.append(magic, kMagicBytes);
+  bytes.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  const uint64_t payload_size = payload.size();
+  bytes.append(reinterpret_cast<const char*>(&payload_size),
+               sizeof(payload_size));
+  bytes.append(payload);
+  const uint64_t checksum = Fnv1a64(payload);
+  bytes.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return bytes;
+}
+
+Result<std::string> ReadEnvelopeFile(const std::string& path,
+                                     const char* magic,
+                                     uint32_t expected_version,
+                                     const std::string& kind) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (file_size < 0) {
+    return Status::IoError("cannot stat " + path);
+  }
+  char file_magic[kMagicBytes];
+  if (!in.read(file_magic, sizeof(file_magic)) ||
+      std::memcmp(file_magic, magic, sizeof(file_magic)) != 0) {
+    return Status::IoError(path + ": not an rlcut " + kind + " file");
+  }
+  uint32_t version = 0;
+  if (!in.read(reinterpret_cast<char*>(&version), sizeof(version))) {
+    return Status::IoError(path + ": truncated " + kind + " header");
+  }
+  if (version != expected_version) {
+    return Status::IoError(path + ": unsupported " + kind + " version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(expected_version) + ")");
+  }
+  uint64_t payload_size = 0;
+  if (!in.read(reinterpret_cast<char*>(&payload_size),
+               sizeof(payload_size))) {
+    return Status::IoError(path + ": truncated " + kind + " header");
+  }
+  // Bound the declared payload by what the file actually holds (header,
+  // payload, trailing checksum) before allocating: a bit-flipped size
+  // field must not request a multi-GB buffer.
+  constexpr uint64_t kHeaderBytes =
+      kMagicBytes + sizeof(uint32_t) + sizeof(uint64_t);
+  constexpr uint64_t kChecksumBytes = sizeof(uint64_t);
+  const uint64_t total = static_cast<uint64_t>(file_size);
+  if (total < kHeaderBytes + kChecksumBytes ||
+      payload_size > total - kHeaderBytes - kChecksumBytes) {
+    return Status::IoError(path + ": truncated " + kind + " payload");
+  }
+  std::string payload(payload_size, '\0');
+  if (!in.read(payload.data(),
+               static_cast<std::streamsize>(payload_size))) {
+    return Status::IoError(path + ": truncated " + kind + " payload");
+  }
+  uint64_t checksum = 0;
+  if (!in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum))) {
+    return Status::IoError(path + ": missing " + kind + " checksum");
+  }
+  if (checksum != Fnv1a64(payload)) {
+    return Status::IoError(path + ": " + kind + " checksum mismatch");
+  }
+  return payload;
+}
+
+}  // namespace rlcut

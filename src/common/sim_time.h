@@ -1,0 +1,86 @@
+#ifndef RLCUT_COMMON_SIM_TIME_H_
+#define RLCUT_COMMON_SIM_TIME_H_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace rlcut {
+
+/// The library's one monotonic simulation-time type.
+///
+/// Historically the temporal stream generators measured time in floating
+/// seconds while TopologySchedule measured it in integer "training
+/// steps", so stream batches and topology events could not be merged
+/// onto one timeline without an ad-hoc conversion at every call site.
+/// SimTime normalizes both: it counts integer microseconds since the
+/// start of the run, converts implicitly from arithmetic values
+/// denominated in seconds (one historical schedule "step" embeds as one
+/// second), and orders totally — no floating-point equality traps, no
+/// unit mismatches.
+///
+/// Use `SimTime::Micros` / `micros()` when exact tick arithmetic
+/// matters (serialization, interleaved-event ordering) and `seconds()`
+/// for human-facing output.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Implicit from a value in seconds. Whole-number training steps of
+  /// the legacy schedule timeline land exactly (1 step == 1 s).
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  constexpr SimTime(T seconds)  // NOLINT(runtime/explicit)
+      : micros_(static_cast<int64_t>(
+            static_cast<double>(seconds) * 1e6 +
+            (static_cast<double>(seconds) >= 0 ? 0.5 : -0.5))) {}
+
+  static constexpr SimTime Micros(int64_t us) {
+    SimTime t;
+    t.micros_ = us;
+    return t;
+  }
+  static constexpr SimTime Seconds(double s) { return SimTime(s); }
+  static constexpr SimTime Min() {
+    return Micros(std::numeric_limits<int64_t>::min());
+  }
+  static constexpr SimTime Max() {
+    return Micros(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double seconds() const {
+    return static_cast<double>(micros_) / 1e6;
+  }
+  /// The legacy integer step this time falls in (floor of seconds).
+  constexpr int64_t step() const {
+    return micros_ >= 0 ? micros_ / 1000000
+                        : (micros_ - 999999) / 1000000;
+  }
+
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return Micros(a.micros_ + b.micros_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return Micros(a.micros_ - b.micros_);
+  }
+  SimTime& operator+=(SimTime other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.seconds() << "s";
+  }
+
+ private:
+  int64_t micros_ = 0;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_COMMON_SIM_TIME_H_

@@ -271,6 +271,10 @@ const std::vector<SiteInfo>& KnownSites() {
       {"plan.fsync_fail", "plan fsync reports an I/O error"},
       {"plan.rename_fail",
        "plan temp->final rename fails; the temp is removed"},
+      {"session.ingest_fail",
+       "a streaming session rejects a micro-batch at the ingest site"},
+      {"session.publish_fail",
+       "a streaming session fails to publish its current plan"},
   };
   return kSites;
 }

@@ -12,20 +12,19 @@ TemporalGraph::TemporalGraph(VertexId num_vertices,
                              std::vector<TimedEdge> edges)
     : num_vertices_(num_vertices), edges_(std::move(edges)) {
   for (size_t i = 1; i < edges_.size(); ++i) {
-    RLCUT_CHECK_GE(edges_[i].timestamp_seconds,
-                   edges_[i - 1].timestamp_seconds)
+    RLCUT_CHECK_GE(edges_[i].time.micros(), edges_[i - 1].time.micros())
         << "temporal edges must be sorted by timestamp";
   }
 }
 
-uint64_t TemporalGraph::CountBefore(double t) const {
+uint64_t TemporalGraph::CountBefore(SimTime t) const {
   auto it = std::lower_bound(
       edges_.begin(), edges_.end(), t,
-      [](const TimedEdge& e, double ts) { return e.timestamp_seconds < ts; });
+      [](const TimedEdge& e, SimTime ts) { return e.time < ts; });
   return static_cast<uint64_t>(it - edges_.begin());
 }
 
-Graph TemporalGraph::SnapshotBefore(double t) const {
+Graph TemporalGraph::SnapshotBefore(SimTime t) const {
   return Prefix(CountBefore(t));
 }
 
@@ -36,7 +35,7 @@ Graph TemporalGraph::Prefix(uint64_t count) const {
   return std::move(builder).Build();
 }
 
-std::vector<Edge> TemporalGraph::EdgesInWindow(double t0, double t1) const {
+std::vector<Edge> TemporalGraph::EdgesInWindow(SimTime t0, SimTime t1) const {
   std::vector<Edge> out;
   const uint64_t begin = CountBefore(t0);
   const uint64_t end = CountBefore(t1);
@@ -45,16 +44,15 @@ std::vector<Edge> TemporalGraph::EdgesInWindow(double t0, double t1) const {
   return out;
 }
 
-std::vector<uint64_t> TemporalGraph::WindowCounts(
-    double horizon, double window_seconds) const {
-  RLCUT_CHECK_GT(window_seconds, 0.0);
-  const size_t num_windows =
-      static_cast<size_t>(std::ceil(horizon / window_seconds));
+std::vector<uint64_t> TemporalGraph::WindowCounts(SimTime horizon,
+                                                  SimTime window) const {
+  RLCUT_CHECK_GT(window.micros(), 0);
+  const size_t num_windows = static_cast<size_t>(
+      (horizon.micros() + window.micros() - 1) / window.micros());
   std::vector<uint64_t> counts(num_windows, 0);
   for (const TimedEdge& e : edges_) {
-    if (e.timestamp_seconds >= horizon) break;
-    const size_t w =
-        static_cast<size_t>(e.timestamp_seconds / window_seconds);
+    if (e.time >= horizon) break;
+    const size_t w = static_cast<size_t>(e.time.micros() / window.micros());
     ++counts[w];
   }
   return counts;

@@ -4,15 +4,18 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/sim_time.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
 namespace rlcut {
 
-/// A timestamped edge insertion.
+/// A timestamped edge insertion. `time` is on the same SimTime timeline
+/// as TopologySchedule events, so streams and topology drift interleave
+/// without unit conversion.
 struct TimedEdge {
   Edge edge;
-  double timestamp_seconds;
+  SimTime time;
 };
 
 /// A dynamic graph as the paper defines it (Sec. III-B): a base graph
@@ -27,21 +30,20 @@ class TemporalGraph {
   const std::vector<TimedEdge>& edges() const { return edges_; }
 
   /// Builds the graph containing edges with timestamp < t.
-  Graph SnapshotBefore(double t) const;
+  Graph SnapshotBefore(SimTime t) const;
 
   /// Builds the graph over the first `count` edges.
   Graph Prefix(uint64_t count) const;
 
   /// Edges with timestamp in [t0, t1).
-  std::vector<Edge> EdgesInWindow(double t0, double t1) const;
+  std::vector<Edge> EdgesInWindow(SimTime t0, SimTime t1) const;
 
   /// Number of edges with timestamp < t.
-  uint64_t CountBefore(double t) const;
+  uint64_t CountBefore(SimTime t) const;
 
   /// Per-window insertion counts over [0, horizon) with the given window
   /// length — the Fig. 4 "added edges per hour" series.
-  std::vector<uint64_t> WindowCounts(double horizon,
-                                     double window_seconds) const;
+  std::vector<uint64_t> WindowCounts(SimTime horizon, SimTime window) const;
 
  private:
   VertexId num_vertices_;

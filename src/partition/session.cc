@@ -1,0 +1,75 @@
+#include "partition/session.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rlcut {
+
+BudgetClampResult EnforceMigrationBudget(
+    PartitionState* state, const std::vector<DcId>& baseline,
+    const std::vector<double>& input_sizes, const MigrationBudget& budget) {
+  const VertexId n = state->graph().num_vertices();
+  RLCUT_CHECK_EQ(baseline.size(), n);
+  RLCUT_CHECK_EQ(input_sizes.size(), n);
+
+  auto tally = [&](BudgetClampResult* out, std::vector<VertexId>* moved) {
+    out->vertices_moved = 0;
+    out->bytes_moved = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (state->master(v) == baseline[v]) continue;
+      ++out->vertices_moved;
+      out->bytes_moved += input_sizes[v];
+      if (moved != nullptr) moved->push_back(v);
+    }
+  };
+
+  BudgetClampResult clamp;
+  std::vector<VertexId> moved;
+  tally(&clamp, &moved);
+  if (clamp.vertices_moved <= budget.max_vertices &&
+      clamp.bytes_moved <= budget.max_bytes) {
+    return clamp;
+  }
+
+  // Rank every move by how much reverting it costs, against the current
+  // state (sort-once greedy: deltas are not re-evaluated as reverts
+  // land, keeping the clamp deterministic and O(moved * deg * M)).
+  struct Candidate {
+    double delta;
+    VertexId v;
+  };
+  std::vector<Candidate> order;
+  order.reserve(moved.size());
+  EvalScratch scratch;
+  const double current = state->CurrentObjective().transfer_seconds;
+  for (VertexId v : moved) {
+    const double reverted =
+        state->EvaluateMove(v, baseline[v], &scratch).transfer_seconds;
+    order.push_back({reverted - current, v});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.delta != b.delta) return a.delta < b.delta;
+              return a.v < b.v;
+            });
+
+  uint64_t vertices_left = clamp.vertices_moved;
+  double bytes_left = clamp.bytes_moved;
+  for (const Candidate& c : order) {
+    if (vertices_left <= budget.max_vertices &&
+        bytes_left <= budget.max_bytes) {
+      break;
+    }
+    state->MoveMaster(c.v, baseline[c.v]);
+    --vertices_left;
+    bytes_left -= input_sizes[c.v];
+    ++clamp.reverted;
+  }
+  // Re-tally from the state: the incremental byte total above carries
+  // floating-point residue that must not leak into budget reporting.
+  tally(&clamp, nullptr);
+  return clamp;
+}
+
+}  // namespace rlcut

@@ -1,0 +1,143 @@
+#ifndef RLCUT_PARTITION_SESSION_H_
+#define RLCUT_PARTITION_SESSION_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "graph/stream.h"
+#include "partition/migration.h"
+#include "partition/partition_state.h"
+
+namespace rlcut {
+
+/// Cap on how much a single published plan may move relative to the
+/// previously published plan (or the initial locations L_v before the
+/// first publish). The default is unlimited, which makes a one-shot
+/// batch run a degenerate session.
+struct MigrationBudget {
+  /// Maximum vertices whose master may differ from the baseline.
+  uint64_t max_vertices = std::numeric_limits<uint64_t>::max();
+  /// Maximum input-data bytes (sum of d_v over moved vertices).
+  double max_bytes = std::numeric_limits<double>::infinity();
+
+  static MigrationBudget Unlimited() { return MigrationBudget{}; }
+
+  bool IsUnlimited() const {
+    return max_vertices == std::numeric_limits<uint64_t>::max() &&
+           max_bytes == std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Outcome of ingesting one micro-batch.
+struct ApplyResult {
+  uint64_t edges_applied = 0;
+  /// Distinct endpoints of the applied edges (the agents the next
+  /// re-optimization will train).
+  uint64_t vertices_affected = 0;
+  double apply_seconds = 0;
+  /// Stream time after the batch.
+  SimTime watermark;
+};
+
+/// Outcome of one re-optimization pass.
+struct ReoptimizeResult {
+  /// False when there was nothing to adapt (no pending affected
+  /// vertices); the plan is unchanged.
+  bool reoptimized = false;
+  uint64_t trained_vertices = 0;
+  /// Moves undone by the migration-budget clamp.
+  uint64_t reverted_vertices = 0;
+  double overhead_seconds = 0;
+  /// Objective of the (possibly clamped) live plan.
+  Objective objective;
+};
+
+/// One published plan version: what a serving layer would deploy.
+struct PublishedPlan {
+  /// Monotonically increasing, starting at 1.
+  uint64_t version = 0;
+  std::vector<DcId> masters;
+  /// Deployment delta vs the previously published plan (initial
+  /// locations for version 1). Always within the session's last
+  /// migration budget.
+  MigrationSummary migration;
+  Objective objective;
+  /// Moves undone by the publish-time budget re-check (normally 0; the
+  /// re-optimization already clamped).
+  uint64_t reverted_vertices = 0;
+};
+
+/// A long-lived partitioning over a live problem: the session owns the
+/// problem instance and carries learned state across micro-batches.
+///
+///   Open(problem) -> ApplyDelta(batch)* -> MaybeReoptimize(budget)
+///     -> PublishPlan() -> ... repeat ...
+///
+/// This is the one abstraction both execution styles share. A batch run
+/// is the degenerate session — open, one unlimited re-optimization, one
+/// take — which is exactly what Partitioner::Run does (see
+/// baselines/partitioner.h). The streaming daemon (tools/rlcut_serve)
+/// drives the full loop against RLCutSession (rlcut/session.h).
+///
+/// Error handling: every method returns Result<>/Status; malformed
+/// input (out-of-range endpoints, non-monotone watermarks, calls out of
+/// order) yields InvalidArgument/FailedPrecondition, never a crash.
+class PartitioningSession {
+ public:
+  virtual ~PartitioningSession() = default;
+
+  /// Registry name of the underlying method, e.g. "RLCut".
+  virtual std::string method() const = 0;
+
+  /// Ingests one micro-batch of timestamped edge insertions (see
+  /// graph/stream.h for the buffer that builds deterministic batches
+  /// from out-of-order transports). Batch watermarks must not move
+  /// backwards. Vertex ids must be within the problem's fixed vertex
+  /// set.
+  virtual Result<ApplyResult> ApplyDelta(const MicroBatch& batch) = 0;
+
+  /// Adapts the plan to everything applied since the last call, then
+  /// clamps the plan so the move-set vs the last published plan stays
+  /// within `budget`. No-ops (reoptimized=false) when nothing changed.
+  virtual Result<ReoptimizeResult> MaybeReoptimize(
+      const MigrationBudget& budget) = 0;
+
+  /// Snapshots the live plan as a new published version. The migration
+  /// delta vs the previous published version respects the budget of the
+  /// last MaybeReoptimize on every publish.
+  virtual Result<PublishedPlan> PublishPlan() = 0;
+
+  /// The live partition state, or nullptr before the first successful
+  /// re-optimization produced one.
+  virtual const PartitionState* live_state() const = 0;
+};
+
+/// What EnforceMigrationBudget did to the plan.
+struct BudgetClampResult {
+  /// Moved set vs the baseline after clamping.
+  uint64_t vertices_moved = 0;
+  double bytes_moved = 0;
+  /// Moves reverted to get under the caps.
+  uint64_t reverted = 0;
+};
+
+/// Clamps `state` so that at most budget.max_vertices masters differ
+/// from `baseline` and the moved input data is at most budget.max_bytes.
+/// Over-budget moves are reverted cheapest-first: each candidate is
+/// scored once by the transfer-time delta of moving it back
+/// (EvaluateMove against the current state), and reverts proceed in
+/// ascending (delta, vertex id) order until both caps hold — a
+/// deterministic sort-once greedy. `baseline` and `input_sizes` must
+/// cover the state's vertex set.
+BudgetClampResult EnforceMigrationBudget(PartitionState* state,
+                                         const std::vector<DcId>& baseline,
+                                         const std::vector<double>& input_sizes,
+                                         const MigrationBudget& budget);
+
+}  // namespace rlcut
+
+#endif  // RLCUT_PARTITION_SESSION_H_

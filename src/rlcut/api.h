@@ -10,6 +10,11 @@
 ///                   dataset presets (graph/datasets.h), synthetic
 ///                   generators (graph/generators.h) and geo-scattering
 ///                   of vertices over DCs (graph/geo.h);
+///  * streams      — the shared SimTime timeline (common/sim_time.h),
+///                   temporal edge streams (graph/temporal.h) and the
+///                   reorder/dedup buffer that turns out-of-order
+///                   arrivals into deterministic micro-batches
+///                   (graph/stream.h);
 ///  * topologies   — EC2-profile presets and custom data-center
 ///                   topologies (cloud/topology.h), plus time-varying
 ///                   network schedules for dynamic-environment runs
@@ -20,6 +25,13 @@
 ///                   plus direct access to RLCut's trainer-level output
 ///                   (rlcut/rlcut_partitioner.h) and trainer
 ///                   checkpoint/resume (rlcut/checkpoint.h);
+///  * sessions     — the long-lived PartitioningSession lifecycle
+///                   Open -> ApplyDelta -> MaybeReoptimize(budget) ->
+///                   PublishPlan (partition/session.h), opened by
+///                   registry name via OpenPartitioningSession, with
+///                   RLCut's incremental, checkpointable implementation
+///                   in rlcut/session.h (docs/streaming.md walks
+///                   through the whole loop);
 ///  * evaluation   — the Eq. 1-5 quality metrics and report
 ///                   (partition/metrics.h);
 ///  * plans        — saving, loading and applying partition plans
@@ -33,21 +45,43 @@
 /// Applications should prefer this header over reaching into the
 /// per-layer headers; see examples/quickstart.cpp. Link against the
 /// umbrella `rlcut` CMake target.
+///
+/// Deprecation notes (API v6)
+/// --------------------------
+///  * Constructing methods through the per-method factory functions
+///    (MakeRandPg, MakeHashPl, MakeGinger, MakeGeoCut, MakeRevolver,
+///    MakeSpinner, MakeFennel, MakeRLCut) is deprecated for
+///    applications: resolve methods by registry name instead —
+///    MakePartitionerByName(name, options) for a one-shot run, or
+///    OpenPartitioningSession(name, ctx, options) for a live session.
+///    The factories remain as the registry's implementation hooks (and
+///    for method-specific option structs), but direct application use
+///    will stop being part of this umbrella in the next release.
+///  * Batch Partitioner::Run is now a thin wrapper over the session
+///    abstraction (open, one unlimited MaybeReoptimize, take). It is
+///    not deprecated — it is the blessed one-shot entry point — but
+///    code that re-runs a method as its problem evolves should move to
+///    a PartitioningSession and micro-batches.
 
 #include "baselines/partitioner.h"
 #include "cloud/topology.h"
 #include "cloud/topology_schedule.h"
 #include "common/flags.h"
+#include "common/sim_time.h"
 #include "common/status.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "graph/geo.h"
 #include "graph/io.h"
+#include "graph/stream.h"
+#include "graph/temporal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "partition/metrics.h"
 #include "partition/plan_io.h"
+#include "partition/session.h"
 #include "rlcut/checkpoint.h"
 #include "rlcut/rlcut_partitioner.h"
+#include "rlcut/session.h"
 
 #endif  // RLCUT_RLCUT_API_H_

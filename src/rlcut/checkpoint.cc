@@ -1,100 +1,22 @@
 #include "rlcut/checkpoint.h"
 
 #include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <type_traits>
 #include <utility>
 
 #include "common/atomic_file.h"
+#include "common/byte_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace rlcut {
 namespace {
 
+// The envelope and the ByteWriter/ByteReader codecs live in
+// common/byte_io.h, shared with the session checkpoint format
+// (partition/session_io). Host endianness is fine: this is a
+// single-machine pause/resume file, not an interchange format.
 constexpr char kMagic[8] = {'R', 'L', 'C', 'U', 'T', 'C', 'K', 'P'};
 constexpr uint32_t kFormatVersion = 1;
-
-uint64_t Fnv1a64(const std::string& bytes) {
-  uint64_t hash = 14695981039346656037ull;
-  for (char c : bytes) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
-// Appends host-endian fixed-width values to a byte buffer. The format is
-// a single-machine pause/resume file, not an interchange format, so
-// host endianness is fine (documented in the header).
-class ByteWriter {
- public:
-  template <typename T>
-  void Write(T value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const size_t offset = bytes_.size();
-    bytes_.resize(offset + sizeof(T));
-    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
-  }
-
-  template <typename T>
-  void WriteVector(const std::vector<T>& values) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    Write<uint64_t>(values.size());
-    const size_t offset = bytes_.size();
-    bytes_.resize(offset + values.size() * sizeof(T));
-    std::memcpy(bytes_.data() + offset, values.data(),
-                values.size() * sizeof(T));
-  }
-
-  const std::string& bytes() const { return bytes_; }
-
- private:
-  std::string bytes_;
-};
-
-// Reads the writer's output back with bounds checking; any overrun
-// flags the payload as truncated.
-class ByteReader {
- public:
-  explicit ByteReader(const std::string& bytes) : bytes_(bytes) {}
-
-  template <typename T>
-  bool Read(T* value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    if (offset_ + sizeof(T) > bytes_.size()) return false;
-    std::memcpy(value, bytes_.data() + offset_, sizeof(T));
-    offset_ += sizeof(T);
-    return true;
-  }
-
-  template <typename T>
-  bool ReadVector(std::vector<T>* values) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    uint64_t count = 0;
-    if (!Read(&count)) return false;
-    // Guard the multiplication: a corrupted count must not overflow.
-    if (count > (bytes_.size() - offset_) / sizeof(T)) return false;
-    values->resize(count);
-    std::memcpy(values->data(), bytes_.data() + offset_,
-                count * sizeof(T));
-    offset_ += count * sizeof(T);
-    return true;
-  }
-
-  bool exhausted() const { return offset_ == bytes_.size(); }
-
-  /// Bytes left to read. Every count decoded from the payload must be
-  /// bounded by this before any resize: a truncated or bit-flipped file
-  /// must produce a clean corrupt-file Status, never a multi-GB
-  /// allocation.
-  size_t remaining() const { return bytes_.size() - offset_; }
-
- private:
-  const std::string& bytes_;
-  size_t offset_ = 0;
-};
 
 std::string EncodePayload(const TrainerCheckpoint& checkpoint) {
   ByteWriter writer;
@@ -279,19 +201,8 @@ Status SaveTrainerCheckpoint(const TrainerCheckpoint& checkpoint,
   obs::TraceSpan span("checkpoint/save", "checkpoint");
   const std::string payload = EncodePayload(checkpoint);
   span.AddArg("bytes", static_cast<double>(payload.size()));
-  std::string bytes;
-  bytes.reserve(sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t) +
-                payload.size() + sizeof(uint64_t));
-  bytes.append(kMagic, sizeof(kMagic));
-  const uint32_t version = kFormatVersion;
-  bytes.append(reinterpret_cast<const char*>(&version), sizeof(version));
-  const uint64_t payload_size = payload.size();
-  bytes.append(reinterpret_cast<const char*>(&payload_size),
-               sizeof(payload_size));
-  bytes.append(payload);
-  const uint64_t checksum = Fnv1a64(payload);
-  bytes.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  RLCUT_RETURN_IF_ERROR(AtomicWriteFile(path, bytes, "checkpoint"));
+  RLCUT_RETURN_IF_ERROR(AtomicWriteFile(
+      path, WrapEnvelope(kMagic, kFormatVersion, payload), "checkpoint"));
   obs::DefaultRegistry().GetCounter("checkpoint.saves")->Increment();
   return Status::Ok();
 }
@@ -311,60 +222,11 @@ Status SaveTrainerCheckpointRotating(const TrainerCheckpoint& checkpoint,
 
 Result<TrainerCheckpoint> LoadTrainerCheckpoint(const std::string& path) {
   obs::TraceSpan span("checkpoint/load", "checkpoint");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IoError("cannot open " + path);
-  }
-  in.seekg(0, std::ios::end);
-  const std::streamoff file_size = in.tellg();
-  in.seekg(0, std::ios::beg);
-  if (file_size < 0) {
-    return Status::IoError("cannot stat " + path);
-  }
-  char magic[sizeof(kMagic)];
-  if (!in.read(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::IoError(path + ": not an rlcut checkpoint file");
-  }
-  uint32_t version = 0;
-  if (!in.read(reinterpret_cast<char*>(&version), sizeof(version))) {
-    return Status::IoError(path + ": truncated checkpoint header");
-  }
-  if (version != kFormatVersion) {
-    return Status::IoError(path + ": unsupported checkpoint version " +
-                           std::to_string(version) + " (expected " +
-                           std::to_string(kFormatVersion) + ")");
-  }
-  uint64_t payload_size = 0;
-  if (!in.read(reinterpret_cast<char*>(&payload_size),
-               sizeof(payload_size))) {
-    return Status::IoError(path + ": truncated checkpoint header");
-  }
-  // Bound the declared payload by what the file actually holds (header,
-  // payload, trailing checksum) before allocating: a bit-flipped size
-  // field must not request a multi-GB buffer.
-  constexpr uint64_t kHeaderBytes =
-      sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t);
-  constexpr uint64_t kChecksumBytes = sizeof(uint64_t);
-  const uint64_t total = static_cast<uint64_t>(file_size);
-  if (total < kHeaderBytes + kChecksumBytes ||
-      payload_size > total - kHeaderBytes - kChecksumBytes) {
-    return Status::IoError(path + ": truncated checkpoint payload");
-  }
-  std::string payload(payload_size, '\0');
-  if (!in.read(payload.data(),
-               static_cast<std::streamsize>(payload_size))) {
-    return Status::IoError(path + ": truncated checkpoint payload");
-  }
-  uint64_t checksum = 0;
-  if (!in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum))) {
-    return Status::IoError(path + ": missing checkpoint checksum");
-  }
-  if (checksum != Fnv1a64(payload)) {
-    return Status::IoError(path + ": checkpoint checksum mismatch");
-  }
+  Result<std::string> payload =
+      ReadEnvelopeFile(path, kMagic, kFormatVersion, "checkpoint");
+  if (!payload.ok()) return payload.status();
   TrainerCheckpoint checkpoint;
-  if (Status s = DecodePayload(payload, &checkpoint); !s.ok()) {
+  if (Status s = DecodePayload(*payload, &checkpoint); !s.ok()) {
     return Status(s.code(), path + ": " + s.message());
   }
   obs::DefaultRegistry().GetCounter("checkpoint.loads")->Increment();

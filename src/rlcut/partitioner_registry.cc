@@ -9,6 +9,7 @@
 #include "baselines/extra_partitioners.h"
 #include "baselines/partitioner.h"
 #include "rlcut/rlcut_partitioner.h"
+#include "rlcut/session.h"
 
 namespace rlcut {
 namespace {
@@ -136,6 +137,44 @@ std::unique_ptr<Partitioner> MakePartitionerByName(const std::string& name) {
   const RegistryEntry* entry = FindEntry(name);
   if (entry == nullptr) return nullptr;
   return entry->factory(PartitionerOptions{});
+}
+
+Result<std::unique_ptr<PartitioningSession>> OpenPartitioningSession(
+    const std::string& method, const PartitionerContext& ctx,
+    const SessionOptions& options) {
+  const RegistryEntry* entry = FindEntry(method);
+  if (entry == nullptr) {
+    std::string known;
+    for (const RegistryEntry& e : Registry()) {
+      if (!known.empty()) known += ", ";
+      known += e.info.name;
+    }
+    return Status::NotFound("unknown partitioner '" + method +
+                            "' (known: " + known + ")");
+  }
+  if (entry->info.name == "RLCut") {
+    // The incremental session: persistent automata, affected-only
+    // re-training. Mirrors the registry factory's options mapping.
+    RLCutSessionOptions session_options;
+    session_options.initial.t_opt_seconds = options.partitioner.t_opt_seconds;
+    session_options.initial.agent_visit_budget =
+        options.partitioner.agent_visit_budget;
+    if (options.partitioner.max_steps > 0) {
+      session_options.initial.max_steps = options.partitioner.max_steps;
+    }
+    session_options.incremental = session_options.initial;
+    session_options.drift_threshold = options.drift_threshold;
+    Result<std::unique_ptr<RLCutSession>> session =
+        RLCutSession::Open(ctx, std::move(session_options));
+    if (!session.ok()) return session.status();
+    return std::unique_ptr<PartitioningSession>(std::move(*session));
+  }
+  std::unique_ptr<Partitioner> partitioner =
+      entry->factory(options.partitioner);
+  Result<std::unique_ptr<OneShotSession>> session =
+      OneShotSession::Open(std::move(partitioner), ctx);
+  if (!session.ok()) return session.status();
+  return std::unique_ptr<PartitioningSession>(std::move(*session));
 }
 
 std::vector<std::unique_ptr<Partitioner>> MakePaperBaselines() {

@@ -1,0 +1,162 @@
+#ifndef RLCUT_RLCUT_SESSION_H_
+#define RLCUT_RLCUT_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/partitioner.h"
+#include "cloud/topology.h"
+#include "cloud/topology_schedule.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/stream.h"
+#include "partition/partition_state.h"
+#include "partition/session.h"
+#include "rlcut/automaton.h"
+#include "rlcut/options.h"
+
+namespace rlcut {
+
+/// Configuration of an RLCutSession.
+struct RLCutSessionOptions {
+  /// Drives the first (full) optimization pass.
+  RLCutOptions initial;
+  /// Drives every subsequent affected-only pass; also sizes the
+  /// persistent automaton pool.
+  RLCutOptions incremental;
+  /// Relative topology drift at or above which UpdateTopology marks the
+  /// vertices replicated in changed DCs for re-training.
+  double drift_threshold = 0.05;
+};
+
+/// Outcome of swapping in a new effective topology.
+struct TopologyUpdateResult {
+  /// TopologyDrift between the previous and the new topology.
+  double drift = 0;
+  /// Vertices marked for the next MaybeReoptimize (0 below threshold).
+  uint64_t affected_marked = 0;
+};
+
+/// RLCut's incremental PartitioningSession: the paper's adaptive
+/// repartitioning loop as a long-lived object.
+///
+/// The session owns the problem (fixed vertex set, accumulating edge
+/// set, effective topology) and a persistent per-vertex automaton pool.
+/// ApplyDelta folds a micro-batch into the live graph carrying the
+/// current plan; MaybeReoptimize warm-resumes the automata of the
+/// affected vertices only (full training on the first call) and clamps
+/// the plan to the migration budget; PublishPlan versions the result.
+/// SaveCheckpoint/Restore make the whole session crash-tolerant: a
+/// restored session continues the stream bit-identically (the trainer
+/// is re-seeded per pass from the options, so state + pool + pending
+/// set determine every subsequent decision).
+class RLCutSession : public PartitioningSession {
+ public:
+  /// Copies the problem out of `ctx` (validated). The initial plan is
+  /// "every vertex masters at its initial location L_v" — the zero-
+  /// migration baseline the first publish is budgeted against. A zero
+  /// RLCutOptions::budget in `options` inherits ctx.budget.
+  static Result<std::unique_ptr<RLCutSession>> Open(
+      const PartitionerContext& ctx, RLCutSessionOptions options);
+
+  std::string method() const override { return "RLCut"; }
+
+  /// Folds a micro-batch into the live graph, carrying the current
+  /// masters across the rebuild and marking the batch's endpoints for
+  /// the next re-optimization. Fault site: session.ingest_fail.
+  Result<ApplyResult> ApplyDelta(const MicroBatch& batch) override;
+
+  /// Warm-trains the pending affected vertices (all vertices on the
+  /// first call), then clamps the plan so the move-set vs the last
+  /// published plan respects `budget`.
+  Result<ReoptimizeResult> MaybeReoptimize(
+      const MigrationBudget& budget) override;
+
+  /// Versions the live plan. The migration delta vs the previous
+  /// published version respects the last MaybeReoptimize budget (a
+  /// publish-time re-clamp guarantees it even if the state drifted).
+  /// Fault site: session.publish_fail.
+  Result<PublishedPlan> PublishPlan() override;
+
+  const PartitionState* live_state() const override { return state_.get(); }
+
+  /// Re-prices the live layout under a new effective topology (same DC
+  /// count) and, at or above the drift threshold, marks the vertices
+  /// replicated in changed DCs for re-training — the TopologySchedule
+  /// integration point; stream batches and topology events share the
+  /// SimTime timeline.
+  Result<TopologyUpdateResult> UpdateTopology(const Topology& topology);
+
+  // ---- Checkpoint / resume -------------------------------------------
+
+  /// Atomically writes the full session (problem, plan, automaton pool,
+  /// publish baseline, pending set, watermark) to `path`; "RLCUTSSN" v1
+  /// envelope (common/byte_io.h), rotating the previous file to
+  /// `path`.prev as a fallback slot.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Loads a session saved by SaveCheckpoint. Falls back to
+  /// `path`.prev when the primary is corrupt or missing. `options` are
+  /// runtime configuration, not part of the checkpoint; pass the same
+  /// values for bit-identical continuation.
+  static Result<std::unique_ptr<RLCutSession>> Restore(
+      const std::string& path, RLCutSessionOptions options);
+
+  // ---- Introspection --------------------------------------------------
+
+  SimTime watermark() const { return watermark_; }
+  uint64_t version() const { return version_; }
+  uint64_t num_edges() const { return edges_.size(); }
+  VertexId num_vertices() const { return num_vertices_; }
+  const Topology& topology() const { return topology_; }
+  const std::vector<DcId>& last_published_masters() const {
+    return last_published_masters_;
+  }
+
+ private:
+  explicit RLCutSession(RLCutSessionOptions options);
+
+  // Rebuilds graph_/input_sizes_/state_ from edges_ and reinstates
+  // `masters` (the dynamic-driver rebuild idiom; vertex ids are stable).
+  void RebuildState(const std::vector<DcId>& masters);
+
+  // Decodes one checkpoint payload into a fresh session (needs the
+  // private constructor, hence a member).
+  static Result<std::unique_ptr<RLCutSession>> DecodeSession(
+      const std::string& payload, RLCutSessionOptions options);
+  static Result<std::unique_ptr<RLCutSession>> LoadSessionFile(
+      const std::string& path, const RLCutSessionOptions& options);
+
+  std::vector<VertexId> TakePendingAffected();
+
+  RLCutSessionOptions options_;
+
+  // Owned problem instance.
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  Topology topology_;
+  std::vector<DcId> locations_;
+  std::vector<double> input_sizes_;
+  Workload workload_;
+  uint32_t theta_ = 100;
+  double cost_budget_ = 0;
+  uint64_t seed_ = 1;
+
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<PartitionState> state_;
+  std::unique_ptr<AutomatonPool> pool_;
+
+  // Session lifecycle state.
+  bool trained_once_ = false;
+  std::vector<uint8_t> affected_flags_;  // pending re-train marks
+  uint64_t version_ = 0;
+  std::vector<DcId> last_published_masters_;
+  MigrationBudget last_budget_;
+  SimTime watermark_ = SimTime::Min();
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_RLCUT_SESSION_H_

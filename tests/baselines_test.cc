@@ -35,6 +35,11 @@ class BaselinesTest : public ::testing::Test {
     ctx_.seed = 5;
   }
 
+  static PartitionOutput RunByName(const std::string& name,
+                                   const PartitionerContext& ctx) {
+    return MakePartitionerByName(name, {}).value()->RunOrDie(ctx);
+  }
+
   Graph graph_;
   Topology topology_;
   std::vector<DcId> locations_;
@@ -66,14 +71,14 @@ TEST_F(BaselinesTest, PaperBaselineNamesAndOrder) {
 }
 
 TEST_F(BaselinesTest, RandPgBalancesEdges) {
-  PartitionOutput out = MakeRandPg()->RunOrDie(ctx_);
+  PartitionOutput out = RunByName("RandPG", ctx_);
   const PartitionReport report = MakeReport(out.state);
   // Uniform random placement: max/mean edge load close to 1.
   EXPECT_LT(report.edge_balance, 1.2);
 }
 
 TEST_F(BaselinesTest, HashPlBalancesMasters) {
-  PartitionOutput out = MakeHashPl()->RunOrDie(ctx_);
+  PartitionOutput out = RunByName("HashPL", ctx_);
   const PartitionReport report = MakeReport(out.state);
   EXPECT_LT(report.master_balance, 1.2);
 }
@@ -81,8 +86,8 @@ TEST_F(BaselinesTest, HashPlBalancesMasters) {
 TEST_F(BaselinesTest, HybridHashBeatsVertexCutRandomOnWan) {
   // The Fig. 2 comparison: HashPL (hybrid) should use less WAN and have
   // lower replication than RandPG (vertex-cut) on a skewed graph.
-  PartitionOutput rand_pg = MakeRandPg()->RunOrDie(ctx_);
-  PartitionOutput hash_pl = MakeHashPl()->RunOrDie(ctx_);
+  PartitionOutput rand_pg = RunByName("RandPG", ctx_);
+  PartitionOutput hash_pl = RunByName("HashPL", ctx_);
   EXPECT_LT(hash_pl.state.ReplicationFactor(),
             rand_pg.state.ReplicationFactor());
   EXPECT_LT(hash_pl.state.WanBytesPerIteration(),
@@ -90,8 +95,8 @@ TEST_F(BaselinesTest, HybridHashBeatsVertexCutRandomOnWan) {
 }
 
 TEST_F(BaselinesTest, GingerImprovesOnHashPl) {
-  PartitionOutput hash_pl = MakeHashPl()->RunOrDie(ctx_);
-  PartitionOutput ginger = MakeGinger()->RunOrDie(ctx_);
+  PartitionOutput hash_pl = RunByName("HashPL", ctx_);
+  PartitionOutput ginger = RunByName("Ginger", ctx_);
   // Greedy locality placement cuts replication vs pure hashing.
   EXPECT_LT(ginger.state.ReplicationFactor(),
             hash_pl.state.ReplicationFactor());
@@ -100,14 +105,14 @@ TEST_F(BaselinesTest, GingerImprovesOnHashPl) {
 TEST_F(BaselinesTest, GeoCutRespectsBudgetWhenFeasible) {
   PartitionerContext ctx = ctx_;
   ctx.budget = 50.0;
-  PartitionOutput out = MakeGeoCut()->RunOrDie(ctx);
+  PartitionOutput out = RunByName("Geo-Cut", ctx);
   const Objective obj = out.state.CurrentObjective();
   EXPECT_LE(obj.cost_dollars, ctx.budget * 1.01);
 }
 
 TEST_F(BaselinesTest, GeoCutBeatsRandomPlacementOnTransferTime) {
-  PartitionOutput rand_pg = MakeRandPg()->RunOrDie(ctx_);
-  PartitionOutput geo = MakeGeoCut()->RunOrDie(ctx_);
+  PartitionOutput rand_pg = RunByName("RandPG", ctx_);
+  PartitionOutput geo = RunByName("Geo-Cut", ctx_);
   EXPECT_LT(geo.state.CurrentObjective().transfer_seconds,
             rand_pg.state.CurrentObjective().transfer_seconds);
 }
@@ -116,7 +121,7 @@ TEST_F(BaselinesTest, SpinnerImprovesLocalityOverHashInit) {
   // Spinner's LP must reduce WAN traffic relative to the hash start it
   // refines.
   PartitionerContext ctx = ctx_;
-  PartitionOutput spinner = MakeSpinner()->RunOrDie(ctx);
+  PartitionOutput spinner = RunByName("Spinner", ctx);
 
   // Rebuild the hash starting point for comparison (same seed).
   PartitionConfig config;
@@ -136,7 +141,7 @@ TEST_F(BaselinesTest, SpinnerImprovesLocalityOverHashInit) {
 }
 
 TEST_F(BaselinesTest, SpinnerKeepsRoughEdgeBalance) {
-  PartitionOutput out = MakeSpinner()->RunOrDie(ctx_);
+  PartitionOutput out = RunByName("Spinner", ctx_);
   const PartitionReport report = MakeReport(out.state);
   SpinnerOptions defaults;
   EXPECT_LT(report.edge_balance, defaults.balance_slack * 8.0);
@@ -171,7 +176,7 @@ TEST_F(BaselinesTest, SpinnerIncrementalRefinementOnlyTouchesNeighborhood) {
 }
 
 TEST_F(BaselinesTest, RevolverProducesLocalityAboveRandom) {
-  PartitionOutput revolver = MakeRevolver()->RunOrDie(ctx_);
+  PartitionOutput revolver = RunByName("Revolver", ctx_);
   // Compare against a random edge-cut assignment via WAN usage.
   PartitionConfig config;
   config.model = ComputeModel::kEdgeCut;
@@ -188,17 +193,16 @@ TEST_F(BaselinesTest, RevolverProducesLocalityAboveRandom) {
 }
 
 TEST_F(BaselinesTest, FennelBalancesAndLocalizes) {
-  PartitionOutput fennel = MakeFennel()->RunOrDie(ctx_);
+  PartitionOutput fennel = RunByName("Fennel", ctx_);
   const PartitionReport report = MakeReport(fennel.state);
   EXPECT_LT(report.master_balance, 2.0);
   EXPECT_TRUE(fennel.state.CheckInvariants());
 }
 
 TEST_F(BaselinesTest, DeterministicGivenSeed) {
-  for (auto* factory : {+[] { return MakeHashPl(); }, +[] { return MakeGinger(); },
-                        +[] { return MakeRandPg(); }}) {
-    auto a = factory()->RunOrDie(ctx_);
-    auto b = factory()->RunOrDie(ctx_);
+  for (const char* name : {"HashPL", "Ginger", "RandPG"}) {
+    auto a = RunByName(name, ctx_);
+    auto b = RunByName(name, ctx_);
     EXPECT_EQ(a.state.masters(), b.state.masters());
   }
 }

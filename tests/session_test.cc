@@ -1,0 +1,324 @@
+// PartitioningSession lifecycle: open -> apply -> reoptimize ->
+// publish, exact migration-budget enforcement, checkpoint/resume
+// continuation, and the unified Result<>/Status error paths.
+
+#include "partition/session.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/partitioner.h"
+#include "cloud/topology.h"
+#include "graph/geo.h"
+#include "graph/stream.h"
+#include "graph/temporal.h"
+#include "gtest/gtest.h"
+#include "partition/migration.h"
+#include "rlcut/session.h"
+
+namespace rlcut {
+namespace {
+
+constexpr VertexId kVertices = 96;
+constexpr uint64_t kEdges = 480;
+constexpr uint64_t kBaseEdges = 240;
+constexpr int kDcs = 4;
+
+// Shared streaming problem: a diurnal temporal stream whose prefix is
+// the batch problem and whose suffix arrives as micro-batches.
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : topology_(MakeUniformTopology(kDcs)) {
+    TemporalStreamOptions stream;
+    stream.num_vertices = kVertices;
+    stream.num_edges = kEdges;
+    stream.horizon_seconds = 3600;
+    stream.seed = 3;
+    temporal_ = std::make_unique<TemporalGraph>(GenerateDiurnalStream(stream));
+    base_graph_ = temporal_->Prefix(kBaseEdges);
+    GeoLocatorOptions geo;
+    geo.num_dcs = kDcs;
+    locations_ = AssignGeoLocations(base_graph_, geo);
+    sizes_ = AssignInputSizes(base_graph_);
+
+    ctx_.graph = &base_graph_;
+    ctx_.topology = &topology_;
+    ctx_.locations = &locations_;
+    ctx_.input_sizes = &sizes_;
+    ctx_.theta = PartitionState::AutoTheta(base_graph_);
+    ctx_.budget = 50.0;
+    ctx_.seed = 7;
+  }
+
+  RLCutSessionOptions SessionOpts() const {
+    RLCutSessionOptions options;
+    options.initial.max_steps = 3;
+    options.initial.batch_size = 16;
+    options.initial.num_threads = 1;
+    options.initial.seed = 7;
+    options.initial.agent_visit_budget =
+        static_cast<int64_t>(kVertices) * 4;
+    options.incremental = options.initial;
+    options.incremental.max_steps = 2;
+    return options;
+  }
+
+  // Splits the stream's suffix into `count` micro-batches through the
+  // reorder buffer, so the batches carry real watermarks.
+  std::vector<MicroBatch> SuffixBatches(int count) const {
+    const std::vector<TimedEdge>& all = temporal_->edges();
+    StreamBuffer buffer;
+    for (uint64_t i = kBaseEdges; i < all.size(); ++i) {
+      buffer.Push(StreamEvent{all[i], i});
+    }
+    const SimTime start = all[kBaseEdges].time;
+    const SimTime end = all.back().time + SimTime(1);
+    std::vector<MicroBatch> batches;
+    for (int b = 1; b <= count; ++b) {
+      const SimTime watermark = SimTime::Micros(
+          start.micros() +
+          (end.micros() - start.micros()) * b / count);
+      batches.push_back(buffer.Cut(watermark));
+    }
+    return batches;
+  }
+
+  Topology topology_;
+  std::unique_ptr<TemporalGraph> temporal_;
+  Graph base_graph_;
+  std::vector<DcId> locations_;
+  std::vector<double> sizes_;
+  PartitionerContext ctx_;
+};
+
+TEST_F(SessionTest, RegistryOpensSessionsByMethodName) {
+  auto spinner = OpenPartitioningSession("Spinner", ctx_);
+  ASSERT_TRUE(spinner.ok()) << spinner.status().ToString();
+  EXPECT_EQ((*spinner)->method(), "Spinner");
+
+  auto rl = OpenPartitioningSession("RLCut", ctx_);
+  ASSERT_TRUE(rl.ok()) << rl.status().ToString();
+  EXPECT_EQ((*rl)->method(), "RLCut");
+  EXPECT_NE(dynamic_cast<RLCutSession*>(rl->get()), nullptr);
+
+  auto missing = OpenPartitioningSession("Nope", ctx_);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SessionTest, BatchRunIsTheDegenerateSession) {
+  // Partitioner::Run == open, one unlimited re-optimization, take.
+  auto run = MakeGinger()->Run(ctx_);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  auto session = OneShotSession::Open(MakeGinger(), ctx_);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto reopt = (*session)->MaybeReoptimize(MigrationBudget::Unlimited());
+  ASSERT_TRUE(reopt.ok()) << reopt.status().ToString();
+  auto taken = (*session)->TakeOutput();
+  ASSERT_TRUE(taken.ok()) << taken.status().ToString();
+
+  EXPECT_EQ(run->state.masters(), taken->state.masters());
+}
+
+TEST_F(SessionTest, BorrowedSessionCannotIngest) {
+  auto ginger = MakeGinger();
+  OneShotSession session(ginger.get(), ctx_);
+  const auto batches = SuffixBatches(2);
+  auto applied = session.ApplyDelta(batches[0]);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SessionTest, OwnedOneShotSessionIngestsAndRepartitions) {
+  auto session = OneShotSession::Open(MakeGinger(), ctx_);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  // Publish before the first re-optimization: nothing to publish yet.
+  auto early = (*session)->PublishPlan();
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(
+      (*session)->MaybeReoptimize(MigrationBudget::Unlimited()).ok());
+  auto v1 = (*session)->PublishPlan();
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(v1->version, 1u);
+
+  uint64_t ingested = 0;
+  for (const MicroBatch& batch : SuffixBatches(2)) {
+    auto applied = (*session)->ApplyDelta(batch);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    ingested += applied->edges_applied;
+  }
+  EXPECT_EQ(ingested, kEdges - kBaseEdges);
+
+  ASSERT_TRUE(
+      (*session)->MaybeReoptimize(MigrationBudget::Unlimited()).ok());
+  auto v2 = (*session)->PublishPlan();
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(v2->version, 2u);
+  ASSERT_NE((*session)->live_state(), nullptr);
+  EXPECT_EQ((*session)->live_state()->graph().num_edges(), kEdges);
+}
+
+TEST_F(SessionTest, LifecycleOrderAndInputValidation) {
+  auto opened = RLCutSession::Open(ctx_, SessionOpts());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  RLCutSession& session = **opened;
+
+  // Publish before any successful re-optimization.
+  auto early = session.PublishPlan();
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), StatusCode::kFailedPrecondition);
+
+  // Out-of-range endpoint.
+  MicroBatch bad;
+  bad.watermark = SimTime(10);
+  bad.edges.push_back(TimedEdge{{kVertices, 0}, SimTime(5)});
+  auto out_of_range = session.ApplyDelta(bad);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kOutOfRange);
+
+  // A good batch, then a watermark moving backwards.
+  const auto batches = SuffixBatches(2);
+  ASSERT_TRUE(session.ApplyDelta(batches[1]).ok());
+  auto backwards = session.ApplyDelta(batches[0]);
+  ASSERT_FALSE(backwards.ok());
+  EXPECT_EQ(backwards.status().code(), StatusCode::kInvalidArgument);
+
+  auto reopt = session.MaybeReoptimize(MigrationBudget::Unlimited());
+  ASSERT_TRUE(reopt.ok()) << reopt.status().ToString();
+  EXPECT_TRUE(reopt->reoptimized);
+  auto plan = session.PublishPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->version, 1u);
+
+  // Nothing new since the last pass: a clean no-op, not an error.
+  auto idle = session.MaybeReoptimize(MigrationBudget::Unlimited());
+  ASSERT_TRUE(idle.ok());
+  EXPECT_FALSE(idle->reoptimized);
+}
+
+TEST_F(SessionTest, MigrationBudgetRespectedExactly) {
+  auto opened = RLCutSession::Open(ctx_, SessionOpts());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  RLCutSession& session = **opened;
+
+  // Zero budget: the published plan must equal the initial locations.
+  MigrationBudget frozen;
+  frozen.max_vertices = 0;
+  ASSERT_TRUE(session.MaybeReoptimize(frozen).ok());
+  auto v1 = session.PublishPlan();
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(v1->masters, locations_);
+  EXPECT_EQ(v1->migration.vertices_moved, 0u);
+
+  // Tight budget: at most 5 masters may differ from the last publish,
+  // re-checked independently with PlanMigration.
+  const auto batches = SuffixBatches(2);
+  for (const MicroBatch& batch : batches) {
+    ASSERT_TRUE(session.ApplyDelta(batch).ok());
+  }
+  MigrationBudget tight;
+  tight.max_vertices = 5;
+  ASSERT_TRUE(session.MaybeReoptimize(tight).ok());
+  auto v2 = session.PublishPlan();
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_LE(v2->migration.vertices_moved, 5u);
+  const MigrationSummary recheck =
+      PlanMigration(v1->masters, v2->masters,
+                    AssignInputSizes(temporal_->Prefix(kEdges)), topology_);
+  EXPECT_LE(recheck.vertices_moved, 5u);
+  EXPECT_EQ(recheck.vertices_moved, v2->migration.vertices_moved);
+}
+
+TEST_F(SessionTest, CheckpointResumeContinuesBitIdentically) {
+  const std::string path =
+      ::testing::TempDir() + "/session_resume.ckpt";
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+
+  const auto batches = SuffixBatches(4);
+  MigrationBudget budget;
+  budget.max_vertices = 12;
+
+  auto opened = RLCutSession::Open(ctx_, SessionOpts());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  RLCutSession& live = **opened;
+  ASSERT_TRUE(live.ApplyDelta(batches[0]).ok());
+  ASSERT_TRUE(live.ApplyDelta(batches[1]).ok());
+  ASSERT_TRUE(live.MaybeReoptimize(budget).ok());
+  ASSERT_TRUE(live.PublishPlan().ok());
+
+  // Checkpoint mid-stream, then let both sessions finish the stream.
+  ASSERT_TRUE(live.SaveCheckpoint(path).ok());
+  auto restored = RLCutSession::Restore(path, SessionOpts());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->watermark(), live.watermark());
+  EXPECT_EQ((*restored)->num_edges(), live.num_edges());
+  EXPECT_EQ((*restored)->version(), live.version());
+
+  std::vector<std::vector<DcId>> published_live;
+  std::vector<std::vector<DcId>> published_restored;
+  for (RLCutSession* session : {&live, restored->get()}) {
+    auto& published =
+        session == &live ? published_live : published_restored;
+    for (size_t b = 2; b < batches.size(); ++b) {
+      ASSERT_TRUE(session->ApplyDelta(batches[b]).ok());
+      ASSERT_TRUE(session->MaybeReoptimize(budget).ok());
+      auto plan = session->PublishPlan();
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      published.push_back(plan->masters);
+    }
+  }
+  ASSERT_EQ(published_live.size(), published_restored.size());
+  for (size_t i = 0; i < published_live.size(); ++i) {
+    EXPECT_EQ(published_live[i], published_restored[i]) << "publish " << i;
+  }
+  EXPECT_EQ(live.version(), (*restored)->version());
+}
+
+TEST_F(SessionTest, RestoreFallsBackToRotatedCheckpoint) {
+  const std::string path =
+      ::testing::TempDir() + "/session_fallback.ckpt";
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+
+  auto opened = RLCutSession::Open(ctx_, SessionOpts());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  RLCutSession& session = **opened;
+  ASSERT_TRUE(session.MaybeReoptimize(MigrationBudget::Unlimited()).ok());
+  ASSERT_TRUE(session.PublishPlan().ok());
+  ASSERT_TRUE(session.SaveCheckpoint(path).ok());
+
+  const auto batches = SuffixBatches(2);
+  ASSERT_TRUE(session.ApplyDelta(batches[0]).ok());
+  ASSERT_TRUE(session.MaybeReoptimize(MigrationBudget::Unlimited()).ok());
+  ASSERT_TRUE(session.PublishPlan().ok());
+  // Second save rotates the first to `path`.prev ...
+  ASSERT_TRUE(session.SaveCheckpoint(path).ok());
+  // ... and then the primary gets corrupted.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "not a checkpoint";
+  }
+  auto restored = RLCutSession::Restore(path, SessionOpts());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->version(), 1u);  // the rotated (older) state
+
+  // With both slots corrupt, Restore reports the failure.
+  {
+    std::ofstream out(path + ".prev",
+                      std::ios::binary | std::ios::trunc);
+    out << "also not a checkpoint";
+  }
+  auto failed = RLCutSession::Restore(path, SessionOpts());
+  ASSERT_FALSE(failed.ok());
+}
+
+}  // namespace
+}  // namespace rlcut

@@ -1,0 +1,115 @@
+// SimTime: the one monotonic time type shared by stream micro-batches
+// and topology-schedule events, plus the interleaved-event-ordering
+// regression for the old seconds-vs-steps convention mismatch.
+
+#include "common/sim_time.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "cloud/topology.h"
+#include "cloud/topology_schedule.h"
+#include "graph/temporal.h"
+#include "gtest/gtest.h"
+
+namespace rlcut {
+namespace {
+
+TEST(SimTimeTest, SecondsRoundTripThroughMicros) {
+  const SimTime t(1.5);
+  EXPECT_EQ(t.micros(), 1'500'000);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+  EXPECT_EQ(SimTime::Micros(1'500'000), t);
+}
+
+TEST(SimTimeTest, ImplicitFromArithmeticSecondsRounds) {
+  const SimTime half(0.4999999999);
+  EXPECT_EQ(half.micros(), 500'000);
+  const SimTime exact = 3;  // one legacy schedule step == one second
+  EXPECT_EQ(exact.micros(), 3'000'000);
+  EXPECT_EQ(exact.step(), 3);
+}
+
+TEST(SimTimeTest, OrderingAndArithmetic) {
+  const SimTime a(1.0);
+  const SimTime b(2.5);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a + SimTime(1.5), b);
+  EXPECT_EQ(b - a, SimTime(1.5));
+  EXPECT_LT(SimTime::Min(), SimTime(0));
+  EXPECT_LT(SimTime(1e9), SimTime::Max());
+}
+
+TEST(SimTimeTest, StreamsAsSeconds) {
+  std::ostringstream out;
+  out << SimTime(2.25);
+  EXPECT_EQ(out.str(), "2.25s");
+}
+
+// Regression: TemporalStream timestamps and TopologySchedule events used
+// to live on different clocks (fractional seconds vs integer steps), so
+// "which comes first" depended on the caller's conversion. Both now
+// emit SimTime; interleaving must order correctly without conversion.
+TEST(SimTimeTest, StreamAndTopologyEventsInterleaveOnOneTimeline) {
+  TemporalStreamOptions stream_options;
+  stream_options.num_vertices = 64;
+  stream_options.num_edges = 256;
+  stream_options.horizon_seconds = 1000;
+  stream_options.seed = 5;
+  const TemporalGraph stream = GenerateDiurnalStream(stream_options);
+
+  const Topology base = MakeUniformTopology(3);
+  // Schedule steps are seconds on the shared timeline.
+  const TopologySchedule schedule =
+      MakeBrownoutSchedule(base, /*dc=*/1, /*start_step=*/200,
+                           /*end_step=*/600, /*bandwidth_factor=*/0.5);
+  ASSERT_TRUE(schedule.Validate().ok());
+
+  const SimTime brownout_start(200);
+  const SimTime recovery(600);
+  EXPECT_EQ(schedule.NextEventAfter(SimTime(0)), brownout_start);
+  EXPECT_EQ(schedule.NextEventAfter(brownout_start), recovery);
+
+  // Merge stream edges and topology events by SimTime directly; the
+  // merged order must agree with micros() on every adjacent pair.
+  struct Event {
+    SimTime time;
+    bool is_topology;
+  };
+  std::vector<Event> merged;
+  for (const TimedEdge& e : stream.edges()) {
+    merged.push_back({e.time, false});
+  }
+  for (SimTime t = schedule.NextEventAfter(SimTime(0)); t >= SimTime(0);
+       t = schedule.NextEventAfter(t)) {
+    merged.push_back({t, true});
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.time < b.time;
+                   });
+  bool saw_topology = false;
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].time.micros(), merged[i].time.micros());
+    saw_topology |= merged[i].is_topology;
+  }
+  EXPECT_TRUE(saw_topology);
+
+  // An edge landing inside the brownout window must see the degraded
+  // topology; one after recovery must see the base again.
+  EXPECT_LT(schedule.EffectiveAt(SimTime(300)).Uplink(1),
+            base.Uplink(1));
+  EXPECT_DOUBLE_EQ(schedule.EffectiveAt(SimTime(700)).Uplink(1),
+                   base.Uplink(1));
+
+  // Stream slicing with the same SimTime values the schedule uses.
+  const uint64_t before = stream.CountBefore(brownout_start);
+  const uint64_t during =
+      stream.EdgesInWindow(brownout_start, recovery).size();
+  const uint64_t after = stream.edges().size() - before - during;
+  EXPECT_EQ(before + during + after, stream.edges().size());
+}
+
+}  // namespace
+}  // namespace rlcut

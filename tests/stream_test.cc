@@ -1,0 +1,101 @@
+// StreamBuffer: deterministic micro-batches from out-of-order,
+// duplicated, and late event arrivals.
+
+#include "graph/stream.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "gtest/gtest.h"
+
+namespace rlcut {
+namespace {
+
+StreamEvent Ev(VertexId src, VertexId dst, double seconds, uint64_t seq) {
+  return StreamEvent{{{src, dst}, SimTime(seconds)}, seq};
+}
+
+TEST(StreamBufferTest, CutReturnsSortedWindowAndAdvancesWatermark) {
+  StreamBuffer buffer;
+  EXPECT_TRUE(buffer.Push(Ev(0, 1, 3.0, 3)));
+  EXPECT_TRUE(buffer.Push(Ev(1, 2, 1.0, 1)));
+  EXPECT_TRUE(buffer.Push(Ev(2, 3, 2.0, 2)));
+  EXPECT_TRUE(buffer.Push(Ev(3, 4, 9.0, 4)));
+
+  const MicroBatch batch = buffer.Cut(SimTime(5));
+  ASSERT_EQ(batch.edges.size(), 3u);
+  EXPECT_EQ(batch.watermark, SimTime(5));
+  for (size_t i = 1; i < batch.edges.size(); ++i) {
+    EXPECT_LE(batch.edges[i - 1].time, batch.edges[i].time);
+  }
+  EXPECT_EQ(batch.edges.front().edge.src, 1u);  // t=1 first
+  EXPECT_EQ(buffer.stats().pending, 1u);        // t=9 still buffered
+  EXPECT_EQ(buffer.last_watermark(), SimTime(5));
+}
+
+TEST(StreamBufferTest, ArrivalOrderDoesNotChangeTheCut) {
+  // Same events, three arrival permutations -> identical batches.
+  std::vector<StreamEvent> events;
+  for (uint64_t i = 0; i < 24; ++i) {
+    events.push_back(Ev(i % 7, (i + 1) % 7, 0.25 * (i % 9), i));
+  }
+  std::vector<std::vector<TimedEdge>> cuts;
+  for (int perm = 0; perm < 3; ++perm) {
+    std::vector<StreamEvent> arrival = events;
+    // Deterministic permutation: rotate and interleave.
+    std::rotate(arrival.begin(), arrival.begin() + perm * 5,
+                arrival.end());
+    if (perm == 2) std::reverse(arrival.begin(), arrival.end());
+    StreamBuffer buffer;
+    for (const StreamEvent& e : arrival) buffer.Push(e);
+    cuts.push_back(buffer.Cut(SimTime(10)).edges);
+  }
+  for (const auto& cut : cuts) {
+    ASSERT_EQ(cut.size(), events.size());
+  }
+  for (size_t i = 0; i < cuts[0].size(); ++i) {
+    EXPECT_EQ(cuts[0][i].edge.src, cuts[1][i].edge.src);
+    EXPECT_EQ(cuts[0][i].edge.dst, cuts[2][i].edge.dst);
+    EXPECT_EQ(cuts[0][i].time, cuts[1][i].time);
+    EXPECT_EQ(cuts[1][i].time, cuts[2][i].time);
+  }
+}
+
+TEST(StreamBufferTest, DuplicateSequencesAreDroppedOnce) {
+  StreamBuffer buffer;
+  EXPECT_TRUE(buffer.Push(Ev(0, 1, 1.0, 7)));
+  EXPECT_FALSE(buffer.Push(Ev(0, 1, 1.0, 7)));  // exact duplicate
+  EXPECT_FALSE(buffer.Push(Ev(5, 6, 2.0, 7)));  // same id, different body
+  const MicroBatch batch = buffer.Cut(SimTime(3));
+  EXPECT_EQ(batch.edges.size(), 1u);
+  EXPECT_EQ(buffer.stats().duplicates_dropped, 2u);
+  EXPECT_EQ(buffer.stats().accepted, 1u);
+}
+
+TEST(StreamBufferTest, LateEventsRideTheNextCut) {
+  StreamBuffer buffer;
+  buffer.Push(Ev(0, 1, 1.0, 1));
+  const MicroBatch first = buffer.Cut(SimTime(2));
+  ASSERT_EQ(first.edges.size(), 1u);
+
+  // Arrives after the watermark already passed its timestamp.
+  EXPECT_TRUE(buffer.Push(Ev(2, 3, 1.5, 2)));
+  EXPECT_EQ(buffer.stats().late_deferred, 1u);
+
+  const MicroBatch second = buffer.Cut(SimTime(4));
+  ASSERT_EQ(second.edges.size(), 1u);
+  EXPECT_EQ(second.edges[0].edge.src, 2u);
+  // The late edge keeps its original (late) timestamp.
+  EXPECT_EQ(second.edges[0].time, SimTime(1.5));
+}
+
+TEST(StreamBufferTest, EmptyCutIsValid) {
+  StreamBuffer buffer;
+  const MicroBatch batch = buffer.Cut(SimTime(1));
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.watermark, SimTime(1));
+}
+
+}  // namespace
+}  // namespace rlcut

@@ -64,11 +64,11 @@ TEST(DiurnalStreamTest, TimestampsSortedAndInHorizon) {
   TemporalStreamOptions opt;
   opt.num_edges = 4096;
   TemporalGraph tg = GenerateDiurnalStream(opt);
-  double prev = 0;
+  SimTime prev = 0;
   for (const TimedEdge& e : tg.edges()) {
-    EXPECT_GE(e.timestamp_seconds, prev);
-    EXPECT_LT(e.timestamp_seconds, opt.horizon_seconds);
-    prev = e.timestamp_seconds;
+    EXPECT_GE(e.time, prev);
+    EXPECT_LT(e.time, SimTime(opt.horizon_seconds));
+    prev = e.time;
   }
 }
 

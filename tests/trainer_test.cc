@@ -228,7 +228,7 @@ TEST_F(TrainerTest, PartitionerAdapterRuns) {
 TEST_F(TrainerTest, BeatsGingerOnHeterogeneousNetwork) {
   // The core claim (Fig. 10): on a heterogeneous topology RLCut's final
   // transfer time undercuts Ginger's.
-  auto ginger = MakeGinger()->RunOrDie(ctx_);
+  auto ginger = MakePartitionerByName("Ginger", {}).value()->RunOrDie(ctx_);
   RLCutOptions opt = FastOptions();
   opt.max_steps = 10;
   RLCutRunOutput ours = RunRLCut(ctx_, opt);

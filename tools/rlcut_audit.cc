@@ -8,7 +8,8 @@
 //   rlcut_audit --mode=oracle --sequences=1024 --moves=32
 //   rlcut_audit --mode=fuzz --fuzz_iters=5000 --seed=3
 //   rlcut_audit --mode=chaos --sessions=100
-//   rlcut_audit            # everything except chaos, moderate sizes
+//   rlcut_audit --mode=stream --sessions=100
+//   rlcut_audit            # everything except chaos/stream, moderate sizes
 
 #include <cstdio>
 #include <string>
@@ -17,6 +18,7 @@
 #include "check/chaos.h"
 #include "check/differential_oracle.h"
 #include "check/fuzz.h"
+#include "check/stream_oracle.h"
 #include "common/flags.h"
 
 namespace {
@@ -40,8 +42,9 @@ int main(int argc, char** argv) {
   rlcut::FlagParser flags;
   flags.DefineString(
       "mode", "all",
-      "what to audit: all | oracle | corpus | fuzz | chaos "
-      "(chaos trains under fault injection and is not part of all)");
+      "what to audit: all | oracle | corpus | fuzz | chaos | stream "
+      "(chaos trains under fault injection, stream drives full "
+      "streaming sessions; neither is part of all)");
   flags.DefineInt("sequences", 64, "oracle: randomized move sequences");
   flags.DefineInt("moves", 64, "oracle: moves per sequence");
   flags.DefineInt("vertices", 96, "oracle: vertices per instance");
@@ -61,7 +64,7 @@ int main(int argc, char** argv) {
   }
   const std::string mode = flags.GetString("mode");
   if (mode != "all" && mode != "oracle" && mode != "corpus" &&
-      mode != "fuzz" && mode != "chaos") {
+      mode != "fuzz" && mode != "chaos" && mode != "stream") {
     std::fprintf(stderr, "unknown --mode=%s\n", mode.c_str());
     return 2;
   }
@@ -107,6 +110,15 @@ int main(int argc, char** argv) {
     options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
     const rlcut::check::ChaosReport report =
         rlcut::check::RunChaos(options);
+    std::printf("%s\n", report.Summary().c_str());
+    rc |= ReportFailures(report.failures);
+  }
+  if (mode == "stream") {
+    rlcut::check::StreamOracleOptions options;
+    options.num_sessions = static_cast<int>(flags.GetInt("sessions"));
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    const rlcut::check::StreamOracleReport report =
+        rlcut::check::RunStreamOracle(options);
     std::printf("%s\n", report.Summary().c_str());
     rc |= ReportFailures(report.failures);
   }

@@ -17,13 +17,19 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "cloud/topology.h"
 #include "common/flags.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "graph/generators.h"
+#include "graph/geo.h"
+#include "graph/stream.h"
+#include "graph/temporal.h"
 #include "partition/partition_state.h"
 #include "rlcut/rlcut_partitioner.h"
+#include "rlcut/session.h"
 
 namespace rlcut {
 namespace {
@@ -86,9 +92,88 @@ double TimeNsPerOp(int64_t reps, int64_t ops_per_call,
          static_cast<double>(reps * ops_per_call);
 }
 
+/// Streaming-session fixture: drives an RLCutSession over a diurnal
+/// temporal stream in micro-batches (the rlcut_serve loop without the
+/// daemon scaffolding) and reports sustained ingest throughput plus the
+/// p99 micro-batch apply latency.
+struct ServeResult {
+  double edges_per_sec = 0;
+  double p99_apply_ms = 0;
+};
+
+ServeResult RunServeFixture(bool fast) {
+  TemporalStreamOptions stream;
+  stream.num_vertices = fast ? kVertices / 4 : kVertices;
+  stream.num_edges = fast ? kEdges / 4 : kEdges;
+  stream.horizon_seconds = 24 * 3600;
+  stream.seed = 7;
+  const TemporalGraph temporal = GenerateDiurnalStream(stream);
+  const uint64_t base_count = stream.num_edges / 5;
+  const Graph base = temporal.Prefix(base_count);
+  const Topology topology = MakeEc2Topology();
+  GeoLocatorOptions geo;
+  geo.num_dcs = topology.num_dcs();
+  const std::vector<DcId> locations = AssignGeoLocations(base, geo);
+  const std::vector<double> sizes = AssignInputSizes(base);
+
+  PartitionerContext ctx;
+  ctx.graph = &base;
+  ctx.topology = &topology;
+  ctx.locations = &locations;
+  ctx.input_sizes = &sizes;
+  ctx.theta = PartitionState::AutoTheta(base);
+  ctx.seed = 7;
+  RLCutSessionOptions options;
+  options.initial.max_steps = 2;
+  options.initial.seed = 7;
+  options.incremental = options.initial;
+  auto session = RLCutSession::Open(ctx, options).value();
+
+  MigrationBudget budget;
+  budget.max_vertices = stream.num_vertices / 16;
+  (void)session->MaybeReoptimize(budget).value();
+  (void)session->PublishPlan().value();
+
+  const int num_batches = fast ? 12 : 24;
+  StreamBuffer buffer;
+  const std::vector<TimedEdge>& all = temporal.edges();
+  for (uint64_t i = base_count; i < all.size(); ++i) {
+    buffer.Push(StreamEvent{all[i], i});
+  }
+  const SimTime start = all[base_count].time;
+  const SimTime end = all.back().time + SimTime(1);
+
+  uint64_t ingested = 0;
+  double apply_seconds = 0;
+  std::vector<double> latencies_ms;
+  for (int b = 1; b <= num_batches; ++b) {
+    const SimTime watermark = SimTime::Micros(
+        start.micros() + (end.micros() - start.micros()) * b / num_batches);
+    const MicroBatch batch = buffer.Cut(watermark);
+    WallTimer timer;
+    const ApplyResult applied = session->ApplyDelta(batch).value();
+    const double elapsed = timer.ElapsedSeconds();
+    apply_seconds += elapsed;
+    latencies_ms.push_back(elapsed * 1e3);
+    ingested += applied.edges_applied;
+    if (b % 4 == 0) {
+      (void)session->MaybeReoptimize(budget).value();
+      (void)session->PublishPlan().value();
+    }
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  ServeResult result;
+  result.edges_per_sec = apply_seconds > 0
+                             ? static_cast<double>(ingested) / apply_seconds
+                             : 0;
+  result.p99_apply_ms =
+      latencies_ms[static_cast<size_t>(0.99 * (latencies_ms.size() - 1))];
+  return result;
+}
+
 void EmitJson(std::FILE* f, const std::vector<OpResult>& results,
               const std::string& commit, double trainer_steps_per_sec,
-              double speedup) {
+              double speedup, const ServeResult& serve) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"commit\": \"%s\",\n", commit.c_str());
   std::fprintf(f, "  \"fixture\": {\"vertices\": %llu, \"edges\": %llu, "
@@ -99,6 +184,9 @@ void EmitJson(std::FILE* f, const std::vector<OpResult>& results,
   std::fprintf(f, "  \"evaluate_move_all_speedup\": %.3f,\n", speedup);
   std::fprintf(f, "  \"trainer_steps_per_sec\": %.3f,\n",
                trainer_steps_per_sec);
+  std::fprintf(f, "  \"serve_edges_per_sec\": %.1f,\n",
+               serve.edges_per_sec);
+  std::fprintf(f, "  \"serve_p99_apply_ms\": %.3f,\n", serve.p99_apply_ms);
   std::fprintf(f, "  \"ops\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     std::fprintf(f,
@@ -267,6 +355,8 @@ int main(int argc, char** argv) {
   }
   const double speedup = all_ns > 0 ? loop_ns / all_ns : 0;
 
+  const ServeResult serve = RunServeFixture(fast);
+
   const std::string out_path = flags.GetString("out");
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -274,10 +364,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   EmitJson(f, results, flags.GetString("commit"), trainer_steps_per_sec,
-           speedup);
+           speedup, serve);
   std::fclose(f);
   EmitJson(stdout, results, flags.GetString("commit"), trainer_steps_per_sec,
-           speedup);
+           speedup, serve);
   std::fprintf(stdout,
                "single=%.0fns all(8)=%.0fns loop(8)=%.0fns speedup=%.2fx\n",
                single_ns, all_ns, loop_ns, speedup);

@@ -109,17 +109,17 @@ Status ReplaySchedule(const std::string& path, const Topology& base,
   if (!schedule.ok()) return schedule.status();
   os << "\nNetwork schedule " << path << " (" << schedule->events().size()
      << " events):\n";
-  TableWriter table({"Step", "Drift", "TransferSec", "Cost$"});
+  TableWriter table({"Time", "Drift", "TransferSec", "Cost$"});
   Topology previous = base;
-  int last_step = -1;
+  SimTime last_time = -1;
   for (const TopologyEvent& event : schedule->events()) {
-    if (event.step == last_step) continue;  // one row per event step
-    last_step = event.step;
+    if (event.step == last_time) continue;  // one row per event time
+    last_time = event.step;
     Topology effective = schedule->EffectiveAt(event.step);
     const double drift = TopologyDrift(previous, effective);
     state->UpdateTopology(&effective);
     const PartitionReport report = MakeReport(*state);
-    table.AddRow({Fmt(static_cast<int64_t>(event.step)), Fmt(drift),
+    table.AddRow({Fmt(event.step.seconds()), Fmt(drift),
                   Fmt(report.transfer_seconds),
                   Fmt(report.total_cost)});
     previous = std::move(effective);

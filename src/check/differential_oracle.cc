@@ -6,9 +6,11 @@
 #include <string>
 #include <vector>
 
+#include "check/legacy_reference.h"
 #include "cloud/topology.h"
 #include "cloud/topology_schedule.h"
 #include "common/random.h"
+#include "partition/simd.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "partition/partition_state.h"
@@ -217,7 +219,9 @@ std::string OracleReport::Summary() const {
       << " moves, " << cold_recomputes << " cold recomputes, " << rollbacks
       << " rollbacks, " << topology_updates << " topology updates, "
       << invariant_checks << " invariant checks, " << batched_evals
-      << " batched evals, " << failures.size() << " failures";
+      << " batched evals, " << legacy_evals << " legacy evals, "
+      << simd_lane_checks << " simd lane checks, " << failures.size()
+      << " failures";
   return out.str();
 }
 
@@ -300,6 +304,7 @@ OracleReport RunDifferentialOracle(const OracleOptions& options) {
     EvalScratch scratch;
     EvalScratch batch_scratch;
     std::vector<Objective> batched(options.num_dcs);
+    std::vector<Objective> batched_scalar(options.num_dcs);
     ++report.sequences;
 
     auto fail = [&](int move, const std::string& what) {
@@ -308,6 +313,36 @@ OracleReport RunDifferentialOracle(const OracleOptions& options) {
           << " preset=" << preset << " model=" << model_kind
           << "]: " << what;
       report.failures.push_back(out.str());
+    };
+
+    // SoA-vs-legacy lane: the live objective against the AoS reference
+    // evaluator, bit-exact on the dyadic instances.
+    auto legacy_check = [&](int move, const char* where) {
+      const Objective live = state.CurrentObjective();
+      const Objective legacy = LegacyReferenceObjective(state);
+      ++report.legacy_evals;
+      if (!SameObjective(live, legacy)) {
+        fail(move, std::string(where) + ": SoA vs legacy AoS objective:" +
+                       DiffObjective(live, legacy));
+      }
+    };
+
+    // Scalar-vs-SIMD lane: re-run a batched evaluation with the
+    // vectorized finalize forced off; the elementwise lane kernels are
+    // exact IEEE operations, so the results must match bit-for-bit.
+    auto simd_check = [&](int move, const char* what, auto&& eval) {
+      if (!simd::Avx2Enabled()) return;
+      simd::SetForceScalar(true);
+      eval(batched_scalar.data());
+      simd::SetForceScalar(false);
+      ++report.simd_lane_checks;
+      for (DcId r = 0; r < options.num_dcs; ++r) {
+        if (!SameObjective(batched[r], batched_scalar[r])) {
+          fail(move, std::string(what) + "[" + std::to_string(r) +
+                         "] scalar vs AVX2:" +
+                         DiffObjective(batched_scalar[r], batched[r]));
+        }
+      }
     };
 
     auto cold_check = [&](int move, const char* where) {
@@ -369,6 +404,9 @@ OracleReport RunDifferentialOracle(const OracleOptions& options) {
         // batched path regroups only exact dyadic additions).
         state.EvaluateMoveAll(v, &batch_scratch, batched.data());
         ++report.batched_evals;
+        simd_check(move, "EvaluateMoveAll", [&](Objective* out) {
+          state.EvaluateMoveAll(v, &batch_scratch, out);
+        });
         for (DcId r = 0; r < options.num_dcs; ++r) {
           const Objective single = state.EvaluateMove(v, r, &scratch);
           if (!SameObjective(batched[r], single)) {
@@ -395,6 +433,7 @@ OracleReport RunDifferentialOracle(const OracleOptions& options) {
           fail(move, "EvaluateMove vs committed objective:" +
                          DiffObjective(predicted, actual));
         }
+        legacy_check(move, "after MoveMaster");
         if (move % cold_every == 0) cold_check(move, "after MoveMaster");
         if (rng.Bernoulli(0.5)) {
           state.MoveMaster(v, from);
@@ -415,6 +454,9 @@ OracleReport RunDifferentialOracle(const OracleOptions& options) {
           // Batch-vs-single lane for explicit placement.
           state.EvaluatePlaceEdgeAll(e, &batch_scratch, batched.data());
           ++report.batched_evals;
+          simd_check(move, "EvaluatePlaceEdgeAll", [&](Objective* out) {
+            state.EvaluatePlaceEdgeAll(e, &batch_scratch, out);
+          });
           for (DcId r = 0; r < options.num_dcs; ++r) {
             const Objective single = state.EvaluatePlaceEdge(e, r, &scratch);
             if (!SameObjective(batched[r], single)) {
@@ -443,6 +485,7 @@ OracleReport RunDifferentialOracle(const OracleOptions& options) {
             fail(move, "EvaluatePlaceEdge vs committed objective:" +
                            DiffObjective(predicted, actual));
           }
+          legacy_check(move, "after PlaceEdge");
           if (move % cold_every == 0) cold_check(move, "after PlaceEdge");
           if (old != kNoDc && rng.Bernoulli(0.5)) {
             state.PlaceEdge(e, old);
@@ -458,6 +501,7 @@ OracleReport RunDifferentialOracle(const OracleOptions& options) {
               static_cast<DcId>(rng.UniformInt(options.num_dcs));
           const DcId from = state.master(v);
           state.SetMaster(v, to);
+          legacy_check(move, "after SetMaster");
           if (move % cold_every == 0) cold_check(move, "after SetMaster");
           if (rng.Bernoulli(0.5)) {
             state.SetMaster(v, from);

@@ -56,6 +56,14 @@ struct OracleReport {
   /// entry against the single-destination evaluators (batch-vs-single
   /// lane; exact equality on the dyadic instances).
   uint64_t batched_evals = 0;
+  /// Committed objectives compared bit-exactly against the legacy
+  /// array-of-structs reference evaluator (SoA-vs-legacy lane).
+  uint64_t legacy_evals = 0;
+  /// Batched evaluations re-run with the SIMD kernels forced scalar and
+  /// compared bit-exactly against the vectorized results. Zero when the
+  /// host has no AVX2 (the lane degenerates to scalar-vs-scalar and is
+  /// skipped).
+  uint64_t simd_lane_checks = 0;
   std::vector<std::string> failures;
 
   bool ok() const { return failures.empty(); }

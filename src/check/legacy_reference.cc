@@ -1,0 +1,81 @@
+#include "check/legacy_reference.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rlcut {
+namespace check {
+
+Objective LegacyReferenceObjective(const PartitionState& state) {
+  const Graph& graph = state.graph();
+  const VertexId n = graph.num_vertices();
+  const int num_dcs = state.num_dcs();
+
+  // Array-of-structs membership flags, rebuilt from the public edge
+  // placement: byte flags per (vertex, DC) instead of the live state's
+  // bitmasks and counts.
+  struct LegacyVertex {
+    std::vector<uint8_t> has_edge;     // DC holds an incident edge
+    std::vector<uint8_t> has_in_edge;  // DC holds an in-edge
+  };
+  std::vector<LegacyVertex> verts(n);
+  for (VertexId v = 0; v < n; ++v) {
+    verts[v].has_edge.assign(num_dcs, 0);
+    verts[v].has_in_edge.assign(num_dcs, 0);
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const DcId dc = state.edge_dc(e);
+    if (dc == kNoDc) continue;
+    const VertexId src = graph.EdgeSource(e);
+    const VertexId dst = graph.EdgeTarget(e);
+    verts[src].has_edge[dc] = 1;
+    verts[dst].has_edge[dc] = 1;
+    verts[dst].has_in_edge[dc] = 1;
+  }
+
+  // Accumulate the per-DC aggregates AoS-style: one replica at a time,
+  // nested scalar loops, repeated additions instead of one multiply per
+  // master. On dyadic instances every addition is exact, so this must
+  // land on the same bits as the SoA fast path's regrouped sums.
+  struct DcAggregates {
+    double gather_up = 0;
+    double gather_down = 0;
+    double apply_up = 0;
+    double apply_down = 0;
+  };
+  std::vector<DcAggregates> agg(num_dcs);
+  const double gather_bytes = state.config().workload.gather_base_bytes;
+  for (VertexId v = 0; v < n; ++v) {
+    const DcId m = state.master(v);
+    const double a = state.ApplyBytes(v);
+    for (DcId r = 0; r < num_dcs; ++r) {
+      if (r == m || verts[v].has_edge[r] == 0) continue;
+      agg[m].apply_up += a;
+      agg[r].apply_down += a;
+    }
+    if (state.is_high_degree(v)) {
+      for (DcId r = 0; r < num_dcs; ++r) {
+        if (r == m || verts[v].has_in_edge[r] == 0) continue;
+        agg[m].gather_down += gather_bytes;
+        agg[r].gather_up += gather_bytes;
+      }
+    }
+  }
+
+  // Transpose into the SoA layout the shared finalize expects and price
+  // through the exact same compiled code as every live path.
+  std::vector<double> gu(num_dcs), gd(num_dcs), au(num_dcs), ad(num_dcs);
+  for (DcId r = 0; r < num_dcs; ++r) {
+    gu[r] = agg[r].gather_up;
+    gd[r] = agg[r].gather_down;
+    au[r] = agg[r].apply_up;
+    ad[r] = agg[r].apply_down;
+  }
+  return state.ObjectiveFromAggregates(gu.data(), gd.data(), au.data(),
+                                       ad.data(), state.MoveCost());
+}
+
+}  // namespace check
+}  // namespace rlcut

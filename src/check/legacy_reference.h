@@ -1,0 +1,29 @@
+#ifndef RLCUT_CHECK_LEGACY_REFERENCE_H_
+#define RLCUT_CHECK_LEGACY_REFERENCE_H_
+
+#include "partition/partition_state.h"
+
+namespace rlcut {
+namespace check {
+
+/// Reference objective computed the way the pre-SoA bookkeeping did it:
+/// an array-of-structs pass that rebuilds per-vertex per-DC membership
+/// flags from the public edge placement, walks them vertex-by-vertex
+/// with nested per-DC loops (no bitmasks, no popcounts, no incremental
+/// state), and accumulates mirror traffic one replica at a time.
+///
+/// Pricing funnels through the live state's ObjectiveFromAggregates, so
+/// on dyadic-exact oracle instances — where every aggregate addition is
+/// exact and therefore order-independent — the result must be
+/// *bit-identical* to CurrentObjective() no matter how the SoA fast
+/// path regrouped its additions. Any difference is a logic bug in the
+/// flat-bookkeeping rewrite, not floating-point noise.
+///
+/// O(|E| + |V| * M) per call; intended for the differential oracle and
+/// tests, not production paths.
+Objective LegacyReferenceObjective(const PartitionState& state);
+
+}  // namespace check
+}  // namespace rlcut
+
+#endif  // RLCUT_CHECK_LEGACY_REFERENCE_H_

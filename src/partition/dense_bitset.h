@@ -1,0 +1,96 @@
+#ifndef RLCUT_PARTITION_DENSE_BITSET_H_
+#define RLCUT_PARTITION_DENSE_BITSET_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rlcut {
+
+/// Flat word-parallel bitset over a dense [0, size) index range — the
+/// `dense_bitset` idiom of split-merge partitioners: one contiguous
+/// word array per DC instead of per-vertex set containers, so replica
+/// membership scans become branch-free popcount/OR over 64-bit words.
+///
+/// Invariant: bits at positions >= size() are always zero, so
+/// whole-word operations (Popcount, union scans) need no tail masking.
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(size_t size) { Resize(size); }
+
+  /// Grows or shrinks to `size` bits. Retained bits keep their value;
+  /// new bits start clear.
+  void Resize(size_t size) {
+    size_ = size;
+    words_.resize(NumWordsFor(size), 0);
+    ClearTail();
+  }
+
+  size_t size() const { return size_; }
+  size_t num_words() const { return words_.size(); }
+  const uint64_t* words() const { return words_.data(); }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  void SetTo(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  void ClearAll() { std::fill(words_.begin(), words_.end(), uint64_t{0}); }
+
+  /// Number of set bits, one hardware popcount per word.
+  size_t Popcount() const {
+    size_t count = 0;
+    for (uint64_t w : words_) count += std::popcount(w);
+    return count;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Calls fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        fn((w << 6) + static_cast<size_t>(b));
+      }
+    }
+  }
+
+  friend bool operator==(const DenseBitset&, const DenseBitset&) = default;
+
+  static size_t NumWordsFor(size_t size) { return (size + 63) >> 6; }
+
+ private:
+  void ClearTail() {
+    const size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_PARTITION_DENSE_BITSET_H_

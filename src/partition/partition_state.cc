@@ -3,8 +3,14 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
 
 #include "common/logging.h"
+#include "partition/simd.h"
 
 namespace rlcut {
 namespace {
@@ -23,6 +29,114 @@ inline void ForEachDc(uint64_t mask, Fn&& fn) {
   }
 }
 
+// Order-insensitive elementwise stage of the objective finalize: per-DC
+// stage times g/a (Eq. 2-3 link bottlenecks via cached reciprocals),
+// their sum s for the smooth surrogate and the per-DC upload dollars c
+// (Eq. 5). Deliberately elementwise — multiplies, adds and maxes on
+// independent lanes are exact IEEE operations, so the scalar and AVX2
+// variants below produce bit-identical lanes, and the order-sensitive
+// reductions run once, in scalar DC order, in AccumulateLanes.
+inline void FinalizeLanesScalar(const double* gu, const double* gd,
+                                const double* au, const double* ad,
+                                const double* iu, const double* id,
+                                const double* pp, int m, double* g,
+                                double* a, double* s, double* c) {
+  for (int r = 0; r < m; ++r) {
+    const double gdt = gd[r] * id[r];
+    const double gut = gu[r] * iu[r];
+    const double aut = au[r] * iu[r];
+    const double adt = ad[r] * id[r];
+    const double gr = std::max(gdt, gut);
+    const double ar = std::max(aut, adt);
+    const double up = gu[r] + au[r];
+    g[r] = gr;
+    a[r] = ar;
+    s[r] = gr + ar;
+    c[r] = pp[r] * up;
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("avx2"))) void FinalizeLanesAvx2(
+    const double* gu, const double* gd, const double* au, const double* ad,
+    const double* iu, const double* id, const double* pp, int m, double* g,
+    double* a, double* s, double* c) {
+  int r = 0;
+  for (; r + 4 <= m; r += 4) {
+    const __m256d vgu = _mm256_loadu_pd(gu + r);
+    const __m256d vgd = _mm256_loadu_pd(gd + r);
+    const __m256d vau = _mm256_loadu_pd(au + r);
+    const __m256d vad = _mm256_loadu_pd(ad + r);
+    const __m256d viu = _mm256_loadu_pd(iu + r);
+    const __m256d vid = _mm256_loadu_pd(id + r);
+    const __m256d gdt = _mm256_mul_pd(vgd, vid);
+    const __m256d gut = _mm256_mul_pd(vgu, viu);
+    const __m256d aut = _mm256_mul_pd(vau, viu);
+    const __m256d adt = _mm256_mul_pd(vad, vid);
+    // max_pd and std::max pick different operands on exact ties, but
+    // the lanes are non-negative products (never -0.0), so the chosen
+    // bits are identical either way.
+    const __m256d vg = _mm256_max_pd(gdt, gut);
+    const __m256d va = _mm256_max_pd(aut, adt);
+    const __m256d up = _mm256_add_pd(vgu, vau);
+    const __m256d vc = _mm256_mul_pd(_mm256_loadu_pd(pp + r), up);
+    _mm256_storeu_pd(g + r, vg);
+    _mm256_storeu_pd(a + r, va);
+    _mm256_storeu_pd(s + r, _mm256_add_pd(vg, va));
+    _mm256_storeu_pd(c + r, vc);
+  }
+  for (; r < m; ++r) {
+    const double gdt = gd[r] * id[r];
+    const double gut = gu[r] * iu[r];
+    const double aut = au[r] * iu[r];
+    const double adt = ad[r] * id[r];
+    const double gr = std::max(gdt, gut);
+    const double ar = std::max(aut, adt);
+    const double up = gu[r] + au[r];
+    g[r] = gr;
+    a[r] = ar;
+    s[r] = gr + ar;
+    c[r] = pp[r] * up;
+  }
+}
+#endif  // x86
+
+struct FinalizeAccum {
+  double t_gather = 0;
+  double t_apply = 0;
+  double smooth = 0;
+  double cost = 0;
+};
+
+// The order-sensitive reductions of the finalize, always scalar and in
+// DC order so every dispatch path reduces identically.
+inline FinalizeAccum AccumulateLanes(const double* g, const double* a,
+                                     const double* s, const double* c,
+                                     int m) {
+  FinalizeAccum acc;
+  for (int r = 0; r < m; ++r) {
+    acc.t_gather = std::max(acc.t_gather, g[r]);
+    acc.t_apply = std::max(acc.t_apply, a[r]);
+    acc.smooth += s[r];
+    acc.cost += c[r];
+  }
+  return acc;
+}
+
+inline void FinalizeLanes(const double* gu, const double* gd,
+                          const double* au, const double* ad,
+                          const double* iu, const double* id,
+                          const double* pp, int m, double* g, double* a,
+                          double* s, double* c) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (simd::Avx2Enabled()) {
+    FinalizeLanesAvx2(gu, gd, au, ad, iu, id, pp, m, g, a, s, c);
+    return;
+  }
+#endif
+  FinalizeLanesScalar(gu, gd, au, ad, iu, id, pp, m, g, a, s, c);
+}
+
 }  // namespace
 
 void EvalScratch::EnsureSized(VertexId num_vertices, int num_dcs) {
@@ -30,15 +144,13 @@ void EvalScratch::EnsureSized(VertexId num_vertices, int num_dcs) {
     slot_.resize(num_vertices, 0);
     slot_epoch_.resize(num_vertices, 0);
   }
-  if (gather_up_.size() < static_cast<size_t>(num_dcs)) {
-    gather_up_.resize(num_dcs);
-    gather_down_.resize(num_dcs);
-    apply_up_.resize(num_dcs);
-    apply_down_.resize(num_dcs);
-    base_gather_up_.resize(num_dcs);
-    base_gather_down_.resize(num_dcs);
-    base_apply_up_.resize(num_dcs);
-    base_apply_down_.resize(num_dcs);
+  const size_t agg_len = static_cast<size_t>(num_dcs) * 4;
+  if (work_.size() < agg_len) {
+    work_.resize(agg_len);
+    base_.resize(agg_len);
+  }
+  if (corr_head_.size() < static_cast<size_t>(num_dcs)) {
+    corr_head_.resize(num_dcs, -1);
   }
 }
 
@@ -88,12 +200,13 @@ PartitionState::PartitionState(const Graph* graph, const Topology* topology,
   in_cnt_.assign(static_cast<size_t>(n) * num_dcs_, 0);
   edge_mask_.assign(n, 0);
   in_mask_.assign(n, 0);
-  gather_up_.assign(num_dcs_, 0);
-  gather_down_.assign(num_dcs_, 0);
-  apply_up_.assign(num_dcs_, 0);
-  apply_down_.assign(num_dcs_, 0);
+  agg_.assign(static_cast<size_t>(num_dcs_) * 4, 0.0);
   masters_in_dc_.assign(num_dcs_, 0);
   edges_in_dc_.assign(num_dcs_, 0);
+  replica_bits_.resize(num_dcs_);
+  for (DcId r = 0; r < num_dcs_; ++r) replica_bits_[r].Resize(n);
+  meta_.resize(n);
+  RefreshPricing();
 
   // Start from the natural partitioning: masters at initial locations.
   if (config_.model == ComputeModel::kVertexCut) {
@@ -150,12 +263,58 @@ void PartitionState::UpdateTopology(const Topology* topology) {
   RLCUT_CHECK(topology != nullptr);
   RLCUT_CHECK_EQ(topology->num_dcs(), num_dcs_);
   topology_ = topology;
+  RefreshPricing();
   // Placement, counters and byte aggregates do not depend on the
   // topology; only the accumulated input-movement cost (Eq. 4) bakes in
   // upload prices and must be re-summed.
   move_cost_ = 0;
   for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
     move_cost_ += MoveCostDelta(v, (*initial_locations_)[v], masters_[v]);
+  }
+  RefreshCachedObjective();
+}
+
+void PartitionState::RefreshPricing() {
+  inv_up_.resize(num_dcs_);
+  inv_down_.resize(num_dcs_);
+  price_per_byte_.resize(num_dcs_);
+  for (DcId r = 0; r < num_dcs_; ++r) {
+    inv_up_[r] = 1.0 / LinkBytesPerSec(topology_->Uplink(r));
+    inv_down_[r] = 1.0 / LinkBytesPerSec(topology_->Downlink(r));
+    price_per_byte_[r] = topology_->Price(r) / 1e9;
+  }
+  total_activity_ = config_.workload.TotalActivity();
+}
+
+void PartitionState::RefreshCachedObjective() {
+  const double* gu = agg_.data();
+  cached_objective_ = ObjectiveFromAggregates(
+      gu, gu + num_dcs_, gu + 2 * num_dcs_, gu + 3 * num_dcs_, move_cost_);
+}
+
+void PartitionState::RebuildReplicaBits() {
+  replica_count_ = 0;
+  for (DcId r = 0; r < num_dcs_; ++r) replica_bits_[r].ClearAll();
+  for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+    const uint64_t rep = edge_mask_[v] | Bit(masters_[v]);
+    replica_count_ += static_cast<uint64_t>(PopCount(rep));
+    ForEachDc(rep, [&](DcId r) { replica_bits_[r].Set(v); });
+  }
+}
+
+void PartitionState::UpdateReplicaBits(VertexId v, uint64_t old_replica,
+                                       uint64_t new_replica) {
+  uint64_t diff = old_replica ^ new_replica;
+  while (diff != 0) {
+    const int r = std::countr_zero(diff);
+    diff &= diff - 1;
+    if ((new_replica >> r) & 1u) {
+      replica_bits_[r].Set(v);
+      ++replica_count_;
+    } else {
+      replica_bits_[r].Clear(v);
+      --replica_count_;
+    }
   }
 }
 
@@ -174,11 +333,12 @@ void PartitionState::RebuildFromPlacement() {
     ++in_cnt_[static_cast<size_t>(dst) * num_dcs_ + dc];
     ++edges_in_dc_[dc];
   }
-  std::fill(gather_up_.begin(), gather_up_.end(), 0.0);
-  std::fill(gather_down_.begin(), gather_down_.end(), 0.0);
-  std::fill(apply_up_.begin(), apply_up_.end(), 0.0);
-  std::fill(apply_down_.begin(), apply_down_.end(), 0.0);
+  std::fill(agg_.begin(), agg_.end(), 0.0);
   std::fill(masters_in_dc_.begin(), masters_in_dc_.end(), 0u);
+  double* gather_up = agg_.data();
+  double* gather_down = gather_up + num_dcs_;
+  double* apply_up = gather_up + 2 * num_dcs_;
+  double* apply_down = gather_up + 3 * num_dcs_;
   move_cost_ = 0;
   for (VertexId v = 0; v < n; ++v) {
     uint64_t em = 0;
@@ -189,19 +349,20 @@ void PartitionState::RebuildFromPlacement() {
     }
     edge_mask_[v] = em;
     in_mask_[v] = im;
-    AccumulateContribution(v, em, im, masters_[v], +1.0, gather_up_.data(),
-                           gather_down_.data(), apply_up_.data(),
-                           apply_down_.data());
+    meta_[v] = {em, apply_bytes_[v], masters_[v], is_high_[v]};
+    AccumulateContribution(v, em, im, masters_[v], +1.0, gather_up,
+                           gather_down, apply_up, apply_down);
     ++masters_in_dc_[masters_[v]];
     move_cost_ += MoveCostDelta(v, (*initial_locations_)[v], masters_[v]);
   }
+  RebuildReplicaBits();
+  RefreshCachedObjective();
 }
 
 double PartitionState::MoveCostDelta(VertexId v, DcId old_master,
                                      DcId new_master) const {
   const DcId home = (*initial_locations_)[v];
-  const double moved_cost =
-      topology_->UploadCost(home, (*input_sizes_)[v]);
+  const double moved_cost = topology_->UploadCost(home, (*input_sizes_)[v]);
   const double old_val = (old_master != home) ? moved_cost : 0.0;
   const double new_val = (new_master != home) ? moved_cost : 0.0;
   return new_val - old_val;
@@ -235,7 +396,8 @@ void PartitionState::AccumulateContribution(
 }
 
 void PartitionState::CollectMasterMoveDeltas(VertexId v, DcId from, DcId to,
-                                             EvalScratch* scratch) const {
+                                             EvalScratch* scratch,
+                                             bool record_moved_edges) const {
   EvalScratch& s = *scratch;
   s.EnsureSized(graph_->num_vertices(), num_dcs_);
   s.affected_.clear();
@@ -246,50 +408,76 @@ void PartitionState::CollectMasterMoveDeltas(VertexId v, DcId from, DcId to,
     std::fill(s.slot_epoch_.begin(), s.slot_epoch_.end(), 0u);
     s.epoch_ = 1;
   }
-  auto touch = [&s](VertexId w) -> EvalScratch::AffectedDelta& {
+  // On first touch, prefetch the per-vertex state the evaluation loops
+  // read next (masks, counts, byte sizes): those loads are scattered
+  // and would otherwise serialize on cache misses.
+  auto touch = [&](VertexId w) -> EvalScratch::AffectedDelta& {
     if (s.slot_epoch_[w] != s.epoch_) {
       s.slot_epoch_[w] = s.epoch_;
       s.slot_[w] = static_cast<uint32_t>(s.affected_.size());
       s.affected_.push_back({w, 0, 0, 0, 0});
+      __builtin_prefetch(&meta_[w]);
+      __builtin_prefetch(&cnt_[static_cast<size_t>(w) * num_dcs_]);
     }
     return s.affected_[s.slot_[w]];
   };
 
   // v is always affected: its master bit moves even if no edge does.
+  // Its (large) delta accumulates in locals and is written once.
   touch(v);
-
-  auto move_edge = [&](EdgeId e) {
-    RLCUT_DCHECK(edge_dc_[e] == from);
-    const VertexId src = graph_->EdgeSource(e);
-    const VertexId dst = graph_->EdgeTarget(e);
-    auto& ds = touch(src);
-    --ds.cnt_from;
-    ++ds.cnt_to;
-    auto& dd = touch(dst);
-    --dd.cnt_from;
-    ++dd.cnt_to;
-    --dd.in_from;
-    ++dd.in_to;
-    s.moved_edges_.push_back(e);
-  };
+  int32_t v_cnt = 0;
+  int32_t v_in = 0;
 
   if (!is_high_[v]) {
-    // Low-cut: all in-edges of v follow v's master.
-    for (EdgeId e : graph_->InEdgeIds(v)) move_edge(e);
-  }
-  // High-cut: v's out-edges into high-degree targets follow v's master.
-  const EdgeId out_begin = graph_->OutEdgeBegin(v);
-  const EdgeId out_end = graph_->OutEdgeEnd(v);
-  auto out_neighbors = graph_->OutNeighbors(v);
-  for (EdgeId e = out_begin; e < out_end; ++e) {
-    const VertexId u = out_neighbors[e - out_begin];
-    if (is_high_[u]) {
-      // A self-loop (u == v) with is_high_[v] lands here and was not
-      // handled by the low-cut branch; with !is_high_[v] the low-cut
-      // branch already moved it and this condition is false.
-      move_edge(e);
+    // Low-cut: all in-edges of v follow v's master. The in-neighbor
+    // span gives each source directly, avoiding an edge->endpoint
+    // lookup per edge.
+    auto in_neighbors = graph_->InNeighbors(v);
+    auto in_edge_ids = graph_->InEdgeIds(v);
+    for (size_t k = 0; k < in_neighbors.size(); ++k) {
+      const VertexId u = in_neighbors[k];
+      RLCUT_DCHECK(edge_dc_[in_edge_ids[k]] == from);
+      if (u == v) {
+        v_cnt += 2;  // self-loop: v is both endpoints
+      } else {
+        auto& du = touch(u);
+        --du.cnt_from;
+        ++du.cnt_to;
+        ++v_cnt;
+      }
+      ++v_in;
+      if (record_moved_edges) s.moved_edges_.push_back(in_edge_ids[k]);
     }
   }
+  // High-cut: v's out-edges into high-degree targets follow v's master.
+  // A self-loop with is_high_[v] lands here and was not handled by the
+  // low-cut branch; with !is_high_[v] the low-cut branch already moved
+  // it and the is_high_[u] condition is false.
+  const EdgeId out_begin = graph_->OutEdgeBegin(v);
+  auto out_neighbors = graph_->OutNeighbors(v);
+  for (size_t k = 0; k < out_neighbors.size(); ++k) {
+    const VertexId u = out_neighbors[k];
+    if (!is_high_[u]) continue;
+    RLCUT_DCHECK(edge_dc_[out_begin + k] == from);
+    if (u == v) {
+      v_cnt += 2;
+      ++v_in;
+    } else {
+      auto& du = touch(u);
+      --du.cnt_from;
+      ++du.cnt_to;
+      --du.in_from;
+      ++du.in_to;
+      ++v_cnt;
+    }
+    if (record_moved_edges) s.moved_edges_.push_back(out_begin + k);
+  }
+
+  auto& dv = s.affected_[s.slot_[v]];
+  dv.cnt_from -= v_cnt;
+  dv.cnt_to += v_cnt;
+  dv.in_from -= v_in;
+  dv.in_to += v_in;
 }
 
 void PartitionState::CollectEdgePlaceDeltas(EdgeId e, DcId to,
@@ -330,56 +518,104 @@ void PartitionState::CommitDeltas(EvalScratch* scratch, VertexId move_vertex,
   EvalScratch& s = *scratch;
   const DcId from = s.from_dc_;
   const DcId to = s.to_dc_;
+  double* gather_up = agg_.data();
+  double* gather_down = gather_up + num_dcs_;
+  double* apply_up = gather_up + 2 * num_dcs_;
+  double* apply_down = gather_up + 3 * num_dcs_;
 
-  // Remove old contributions.
-  for (const auto& d : s.affected_) {
-    AccumulateContribution(d.v, edge_mask_[d.v], in_mask_[d.v],
-                           masters_[d.v], -1.0, gather_up_.data(),
-                           gather_down_.data(), apply_up_.data(),
-                           apply_down_.data());
+  const bool has_mover = move_vertex != static_cast<VertexId>(-1);
+  uint64_t mover_old_replica = 0;
+  if (has_mover) {
+    // The mover's master changes, so its whole contribution is removed
+    // here (old masks/master) and re-added below (new masks/master).
+    AccumulateContribution(move_vertex, edge_mask_[move_vertex],
+                           in_mask_[move_vertex], masters_[move_vertex],
+                           -1.0, gather_up, gather_down, apply_up,
+                           apply_down);
+    mover_old_replica = edge_mask_[move_vertex] | Bit(masters_[move_vertex]);
   }
 
-  // Apply count deltas and refresh bitmask bits at from/to.
+  // Apply count deltas, refresh the from/to mask bits, and fold the net
+  // aggregate change of every non-mover in O(1): its master is fixed,
+  // so a mirror disappears at `from` exactly when the last incident
+  // edge leaves, and appears at `to` exactly when the first arrives.
   for (const auto& d : s.affected_) {
     const size_t row = static_cast<size_t>(d.v) * num_dcs_;
+    const uint64_t em_old = edge_mask_[d.v];
+    uint64_t em = em_old;
     if (from != kNoDc) {
       cnt_[row + from] = static_cast<uint32_t>(
           static_cast<int64_t>(cnt_[row + from]) + d.cnt_from);
-      in_cnt_[row + from] = static_cast<uint32_t>(
-          static_cast<int64_t>(in_cnt_[row + from]) + d.in_from);
+      em = (em & ~Bit(from)) | (cnt_[row + from] > 0 ? Bit(from) : 0);
     }
     cnt_[row + to] = static_cast<uint32_t>(
         static_cast<int64_t>(cnt_[row + to]) + d.cnt_to);
-    in_cnt_[row + to] = static_cast<uint32_t>(
-        static_cast<int64_t>(in_cnt_[row + to]) + d.in_to);
-
-    uint64_t em = edge_mask_[d.v];
-    uint64_t im = in_mask_[d.v];
-    if (from != kNoDc) {
-      em = (em & ~Bit(from)) | (cnt_[row + from] > 0 ? Bit(from) : 0);
-      im = (im & ~Bit(from)) | (in_cnt_[row + from] > 0 ? Bit(from) : 0);
-    }
     em = (em & ~Bit(to)) | (cnt_[row + to] > 0 ? Bit(to) : 0);
-    im = (im & ~Bit(to)) | (in_cnt_[row + to] > 0 ? Bit(to) : 0);
     edge_mask_[d.v] = em;
-    in_mask_[d.v] = im;
+    meta_[d.v].edge_mask = em;
+    // The in-side state is untouched for most affected vertices (only
+    // edges whose target moved carry in-deltas); skipping it avoids
+    // pulling the in_cnt_/in_mask_ cache lines.
+    uint64_t im_old = 0;
+    uint64_t im = 0;
+    const bool in_changed = (d.in_from | d.in_to) != 0;
+    if (in_changed || d.v == move_vertex) {
+      im_old = in_mask_[d.v];
+      im = im_old;
+      if (from != kNoDc) {
+        in_cnt_[row + from] = static_cast<uint32_t>(
+            static_cast<int64_t>(in_cnt_[row + from]) + d.in_from);
+        im = (im & ~Bit(from)) | (in_cnt_[row + from] > 0 ? Bit(from) : 0);
+      }
+      in_cnt_[row + to] = static_cast<uint32_t>(
+          static_cast<int64_t>(in_cnt_[row + to]) + d.in_to);
+      im = (im & ~Bit(to)) | (in_cnt_[row + to] > 0 ? Bit(to) : 0);
+      in_mask_[d.v] = im;
+    }
+
+    if (d.v == move_vertex) continue;  // re-added with its new master below
+
+    const DcId m = masters_[d.v];
+    const double a = apply_bytes_[d.v];
+    if (from != kNoDc && (em_old & Bit(from)) != 0 &&
+        (em & Bit(from)) == 0 && from != m) {
+      apply_up[m] -= a;
+      apply_down[from] -= a;
+    }
+    if ((em_old & Bit(to)) == 0 && (em & Bit(to)) != 0 && to != m) {
+      apply_up[m] += a;
+      apply_down[to] += a;
+    }
+    if (is_high_[d.v] != 0 && in_changed) {
+      const double g = gather_bytes_[d.v];
+      if (from != kNoDc && (im_old & Bit(from)) != 0 &&
+          (im & Bit(from)) == 0 && from != m) {
+        gather_down[m] -= g;
+        gather_up[from] -= g;
+      }
+      if ((im_old & Bit(to)) == 0 && (im & Bit(to)) != 0 && to != m) {
+        gather_down[m] += g;
+        gather_up[to] += g;
+      }
+    }
+    if (((em_old ^ em) & ~Bit(m)) != 0) {
+      UpdateReplicaBits(d.v, em_old | Bit(m), em | Bit(m));
+    }
   }
 
-  // Master change for the moved vertex.
-  if (move_vertex != static_cast<VertexId>(-1)) {
+  // Master change for the moved vertex, then re-add its contribution.
+  if (has_mover) {
     const DcId old_master = masters_[move_vertex];
     move_cost_ += MoveCostDelta(move_vertex, old_master, new_master_v);
     --masters_in_dc_[old_master];
     ++masters_in_dc_[new_master_v];
     masters_[move_vertex] = new_master_v;
-  }
-
-  // Re-add contributions with the new state.
-  for (const auto& d : s.affected_) {
-    AccumulateContribution(d.v, edge_mask_[d.v], in_mask_[d.v],
-                           masters_[d.v], +1.0, gather_up_.data(),
-                           gather_down_.data(), apply_up_.data(),
-                           apply_down_.data());
+    meta_[move_vertex].master = new_master_v;
+    AccumulateContribution(move_vertex, edge_mask_[move_vertex],
+                           in_mask_[move_vertex], new_master_v, +1.0,
+                           gather_up, gather_down, apply_up, apply_down);
+    UpdateReplicaBits(move_vertex, mover_old_replica,
+                      edge_mask_[move_vertex] | Bit(new_master_v));
   }
 
   // Relocate the moved edges.
@@ -388,6 +624,8 @@ void PartitionState::CommitDeltas(EvalScratch* scratch, VertexId move_vertex,
     edge_dc_[e] = to;
     ++edges_in_dc_[to];
   }
+
+  RefreshCachedObjective();
 }
 
 void PartitionState::MoveMaster(VertexId v, DcId to) {
@@ -396,7 +634,8 @@ void PartitionState::MoveMaster(VertexId v, DcId to) {
   RLCUT_DCHECK(to >= 0 && to < num_dcs_);
   const DcId from = masters_[v];
   if (from == to) return;
-  CollectMasterMoveDeltas(v, from, to, &mutation_scratch_);
+  CollectMasterMoveDeltas(v, from, to, &mutation_scratch_,
+                          /*record_moved_edges=*/true);
   CommitDeltas(&mutation_scratch_, v, to);
 }
 
@@ -437,60 +676,78 @@ Objective PartitionState::EvaluateDeltas(EvalScratch* scratch,
   EvalScratch& s = *scratch;
   const DcId from = s.from_dc_;
   const DcId to = s.to_dc_;
-  std::fill(s.gather_up_.begin(), s.gather_up_.begin() + num_dcs_, 0.0);
-  std::fill(s.gather_down_.begin(), s.gather_down_.begin() + num_dcs_, 0.0);
-  std::fill(s.apply_up_.begin(), s.apply_up_.begin() + num_dcs_, 0.0);
-  std::fill(s.apply_down_.begin(), s.apply_down_.begin() + num_dcs_, 0.0);
+  double* gather_up = s.work_.data();
+  double* gather_down = gather_up + num_dcs_;
+  double* apply_up = gather_up + 2 * num_dcs_;
+  double* apply_down = gather_up + 3 * num_dcs_;
+  // Snapshot the live aggregates, then fold each affected vertex's net
+  // change: non-movers in O(1) (their master is fixed, only the from/to
+  // mirror bits can flip), the mover by a full remove/re-add since its
+  // master changes. All additions are exact on dyadic instances, so
+  // this matches CommitDeltas + RefreshCachedObjective bit-for-bit
+  // there.
+  std::memcpy(gather_up, agg_.data(),
+              sizeof(double) * static_cast<size_t>(num_dcs_) * 4);
 
   for (const auto& d : s.affected_) {
     const size_t row = static_cast<size_t>(d.v) * num_dcs_;
-    // Remove the current contribution.
-    AccumulateContribution(d.v, edge_mask_[d.v], in_mask_[d.v],
-                           masters_[d.v], -1.0, s.gather_up_.data(),
-                           s.gather_down_.data(), s.apply_up_.data(),
-                           s.apply_down_.data());
-    // Compute hypothetical masks.
-    uint64_t em = edge_mask_[d.v];
-    uint64_t im = in_mask_[d.v];
-    if (from != kNoDc) {
-      const int64_t cf = static_cast<int64_t>(cnt_[row + from]) + d.cnt_from;
-      const int64_t inf =
-          static_cast<int64_t>(in_cnt_[row + from]) + d.in_from;
-      em = (em & ~Bit(from)) | (cf > 0 ? Bit(from) : 0);
-      im = (im & ~Bit(from)) | (inf > 0 ? Bit(from) : 0);
+    const VertexMeta& mt = meta_[d.v];
+    const uint64_t em_old = mt.edge_mask;
+    if (d.v == move_vertex) {
+      const uint64_t im_old = in_mask_[d.v];
+      AccumulateContribution(d.v, em_old, im_old, mt.master, -1.0,
+                             gather_up, gather_down, apply_up, apply_down);
+      uint64_t em = em_old;
+      uint64_t im = im_old;
+      if (from != kNoDc) {
+        const int64_t cf =
+            static_cast<int64_t>(cnt_[row + from]) + d.cnt_from;
+        const int64_t inf =
+            static_cast<int64_t>(in_cnt_[row + from]) + d.in_from;
+        em = (em & ~Bit(from)) | (cf > 0 ? Bit(from) : 0);
+        im = (im & ~Bit(from)) | (inf > 0 ? Bit(from) : 0);
+      }
+      const int64_t ct = static_cast<int64_t>(cnt_[row + to]) + d.cnt_to;
+      const int64_t it = static_cast<int64_t>(in_cnt_[row + to]) + d.in_to;
+      em = (em & ~Bit(to)) | (ct > 0 ? Bit(to) : 0);
+      im = (im & ~Bit(to)) | (it > 0 ? Bit(to) : 0);
+      AccumulateContribution(d.v, em, im, new_master_v, +1.0, gather_up,
+                             gather_down, apply_up, apply_down);
+      continue;
     }
-    const int64_t ct = static_cast<int64_t>(cnt_[row + to]) + d.cnt_to;
-    const int64_t int_ = static_cast<int64_t>(in_cnt_[row + to]) + d.in_to;
-    em = (em & ~Bit(to)) | (ct > 0 ? Bit(to) : 0);
-    im = (im & ~Bit(to)) | (int_ > 0 ? Bit(to) : 0);
-    const DcId master_dc =
-        (d.v == move_vertex) ? new_master_v : masters_[d.v];
-    AccumulateContribution(d.v, em, im, master_dc, +1.0, s.gather_up_.data(),
-                           s.gather_down_.data(), s.apply_up_.data(),
-                           s.apply_down_.data());
+    const DcId m = mt.master;
+    const double a = mt.apply_bytes;
+    if (from != kNoDc && (em_old & Bit(from)) != 0 && from != m &&
+        static_cast<int64_t>(cnt_[row + from]) + d.cnt_from == 0) {
+      apply_up[m] -= a;
+      apply_down[from] -= a;
+    }
+    if ((em_old & Bit(to)) == 0 && d.cnt_to > 0 && to != m) {
+      apply_up[m] += a;
+      apply_down[to] += a;
+    }
+    if (mt.is_high != 0) {
+      // in_mask_/in_cnt_ loads gated behind the rare high-degree case.
+      const uint64_t im_old = in_mask_[d.v];
+      const double g = gather_bytes_[d.v];
+      if (from != kNoDc && (im_old & Bit(from)) != 0 && from != m &&
+          static_cast<int64_t>(in_cnt_[row + from]) + d.in_from == 0) {
+        gather_down[m] -= g;
+        gather_up[from] -= g;
+      }
+      if ((im_old & Bit(to)) == 0 && d.in_to > 0 && to != m) {
+        gather_down[m] += g;
+        gather_up[to] += g;
+      }
+    }
   }
 
-  // Combine deltas with the base aggregates.
-  for (int r = 0; r < num_dcs_; ++r) {
-    s.gather_up_[r] += gather_up_[r];
-    s.gather_down_[r] += gather_down_[r];
-    s.apply_up_[r] += apply_up_[r];
-    s.apply_down_[r] += apply_down_[r];
-  }
-
-  const StageTimes t_static = TransferTimeFromAggregates(
-      s.gather_up_.data(), s.gather_down_.data(), s.apply_up_.data(),
-      s.apply_down_.data());
-  const double c_rt_static =
-      RuntimeCostFromAggregates(s.gather_up_.data(), s.apply_up_.data());
   double mv_cost = move_cost_;
   if (move_vertex != static_cast<VertexId>(-1)) {
     mv_cost += MoveCostDelta(move_vertex, masters_[move_vertex], new_master_v);
   }
-  const double total_activity = config_.workload.TotalActivity();
-  return {t_static.bottleneck * total_activity,
-          mv_cost + c_rt_static * total_activity,
-          t_static.smooth * total_activity};
+  return ObjectiveFromAggregates(gather_up, gather_down, apply_up, apply_down,
+                                 mv_cost);
 }
 
 void PartitionState::EvaluateDeltasAll(EvalScratch* scratch,
@@ -499,125 +756,236 @@ void PartitionState::EvaluateDeltasAll(EvalScratch* scratch,
   EvalScratch& s = *scratch;
   const DcId from = s.from_dc_;
   const size_t num_affected = s.affected_.size();
-  if (s.mid_edge_mask_.size() < num_affected) {
-    s.mid_edge_mask_.resize(num_affected);
-    s.mid_in_mask_.resize(num_affected);
-  }
 
-  // Destination-independent base: current aggregates minus the old
-  // contribution of every affected vertex, plus the "mid" contribution
-  // (from-bit resolved, to-bit untouched) of every affected vertex
-  // except the mover, whose master depends on the destination. All
-  // additions are exact on dyadic instances, so regrouping them does
-  // not perturb the result relative to EvaluateDeltas.
-  for (DcId r = 0; r < num_dcs_; ++r) {
-    s.base_gather_up_[r] = gather_up_[r];
-    s.base_gather_down_[r] = gather_down_[r];
-    s.base_apply_up_[r] = apply_up_[r];
-    s.base_apply_down_[r] = apply_down_[r];
-  }
-  s.corr_.clear();
+  // Destination-independent base: live aggregates, minus the net
+  // from-bit changes of the non-movers, minus the mover's old
+  // contribution plus the destination-independent part of its new one.
+  // All additions are exact on dyadic instances, so regrouping them
+  // does not perturb the result relative to EvaluateDeltas.
+  double* base_gu = s.base_.data();
+  double* base_gd = base_gu + num_dcs_;
+  double* base_au = base_gu + 2 * num_dcs_;
+  double* base_ad = base_gu + 3 * num_dcs_;
+  std::memcpy(base_gu, agg_.data(),
+              sizeof(double) * static_cast<size_t>(num_dcs_) * 4);
+  s.corr_pool_.clear();
+  std::fill_n(s.corr_head_.begin(), num_dcs_, -1);
+  const uint64_t valid_mask =
+      num_dcs_ < 64 ? (Bit(num_dcs_) - 1) : ~uint64_t{0};
   bool has_mover = false;
+  bool mover_high = false;
   uint64_t mover_mid_em = 0;
   uint64_t mover_mid_im = 0;
-  uint64_t mover_to_em_bit = 0;  // to-bit OR-ed in iff cnt_to > 0
-  uint64_t mover_to_im_bit = 0;
+  int mover_em_pop = 0;
+  int mover_im_pop = 0;
+  double mover_a = 0;
+  double mover_g = 0;
   for (size_t i = 0; i < num_affected; ++i) {
     const auto& d = s.affected_[i];
-    AccumulateContribution(d.v, edge_mask_[d.v], in_mask_[d.v],
-                           masters_[d.v], -1.0, s.base_gather_up_.data(),
-                           s.base_gather_down_.data(),
-                           s.base_apply_up_.data(),
-                           s.base_apply_down_.data());
-    uint64_t em = edge_mask_[d.v];
-    uint64_t im = in_mask_[d.v];
+    const size_t row = static_cast<size_t>(d.v) * num_dcs_;
+    const VertexMeta& mt = meta_[d.v];
+    const uint64_t em_old = mt.edge_mask;
+    uint64_t em = em_old;
     if (from != kNoDc) {
-      const size_t row = static_cast<size_t>(d.v) * num_dcs_;
       const int64_t cf = static_cast<int64_t>(cnt_[row + from]) + d.cnt_from;
-      const int64_t inf =
-          static_cast<int64_t>(in_cnt_[row + from]) + d.in_from;
       em = (em & ~Bit(from)) | (cf > 0 ? Bit(from) : 0);
-      im = (im & ~Bit(from)) | (inf > 0 ? Bit(from) : 0);
     }
-    s.mid_edge_mask_[i] = em;
-    s.mid_in_mask_[i] = im;
     if (d.v == move_vertex) {
-      // The mover's master follows the destination, so its contribution
-      // is rebuilt in full per destination rather than corrected.
+      // The in-side mid mask is only needed for the mover and for the
+      // rare high-degree non-movers below: gating the in_mask_/in_cnt_
+      // loads behind those cases keeps the common low-degree neighbor
+      // to two scattered cache lines (edge mask/meta and count row).
+      const uint64_t im_old = in_mask_[d.v];
+      uint64_t im = im_old;
+      if (from != kNoDc && d.in_from != 0) {
+        const int64_t inf =
+            static_cast<int64_t>(in_cnt_[row + from]) + d.in_from;
+        im = (im & ~Bit(from)) | (inf > 0 ? Bit(from) : 0);
+      }
+      // The mover's master follows the destination. Remove its old
+      // contribution, then fold the destination-independent part of the
+      // new one: the master bit is excluded from the mirror set, so
+      // every DC in the mid mask receives the mover's bytes regardless
+      // of destination and only index `to` needs a per-destination fix.
       has_mover = true;
+      mover_high = mt.is_high != 0;
+      AccumulateContribution(d.v, em_old, im_old, mt.master, -1.0,
+                             base_gu, base_gd, base_au, base_ad);
+      mover_a = mt.apply_bytes;
+      mover_g = gather_bytes_[d.v];
       mover_mid_em = em;
       mover_mid_im = im;
-      mover_to_em_bit = d.cnt_to > 0 ? 1 : 0;
-      mover_to_im_bit = d.in_to > 0 ? 1 : 0;
+      mover_em_pop = PopCount(em);
+      mover_im_pop = PopCount(im);
+      ForEachDc(em, [&](DcId r) { base_ad[r] += mover_a; });
+      if (mover_high) {
+        ForEachDc(im, [&](DcId r) { base_gu[r] += mover_g; });
+      }
       continue;
     }
-    AccumulateContribution(d.v, em, im, masters_[d.v], +1.0,
-                           s.base_gather_up_.data(),
-                           s.base_gather_down_.data(),
-                           s.base_apply_up_.data(),
-                           s.base_apply_down_.data());
-    // Precompute which destinations add a mirror of this vertex. The
-    // to-bit recomputation of EvaluateDeltas reduces to an OR because
-    // cnt_to/in_to deltas are never negative (moved edges only add
-    // incidence at the destination); a correction fires exactly when
-    // the destination bit was off in the mid mask (and is not the
-    // vertex's own master, which is excluded from the mirror set).
-    EvalScratch::DestCorrection c;
-    c.m = masters_[d.v];
-    c.a = apply_bytes_[d.v];
-    c.g = gather_bytes_[d.v];
-    c.apply_mask = d.cnt_to > 0 ? (~em & ~Bit(c.m)) : 0;
-    c.gather_mask =
-        (is_high_[d.v] != 0 && d.in_to > 0) ? (~im & ~Bit(c.m)) : 0;
-    if (c.apply_mask != 0 || c.gather_mask != 0) s.corr_.push_back(c);
+    const DcId m = mt.master;
+    const double a = mt.apply_bytes;
+    // Net from-bit fix (removal only: moved edges leave the from-DC).
+    if (from != kNoDc && (em_old & Bit(from)) != 0 &&
+        (em & Bit(from)) == 0 && from != m) {
+      base_au[m] -= a;
+      base_ad[from] -= a;
+    }
+    // A destination gains a mirror of this vertex exactly when its bit
+    // is off in the mid mask (the to-bit recomputation of EvaluateDeltas
+    // reduces to an OR because cnt_to/in_to deltas are never negative)
+    // and it is not the vertex's own master. Neighbors typically already
+    // hold replicas in most DCs, so few destinations fire; bucket one
+    // node per firing destination so the per-destination pass walks
+    // only its own short list instead of scanning every correction.
+    if (d.cnt_to > 0) {
+      ForEachDc(~(em | Bit(m)) & valid_mask, [&](DcId r) {
+        s.corr_pool_.push_back({m, a, 0.0, s.corr_head_[r]});
+        s.corr_head_[r] = static_cast<int32_t>(s.corr_pool_.size()) - 1;
+      });
+    }
+    if (mt.is_high != 0) {
+      const uint64_t im_old = in_mask_[d.v];
+      uint64_t im = im_old;
+      if (from != kNoDc && d.in_from != 0) {
+        const int64_t inf =
+            static_cast<int64_t>(in_cnt_[row + from]) + d.in_from;
+        im = (im & ~Bit(from)) | (inf > 0 ? Bit(from) : 0);
+      }
+      const double g = gather_bytes_[d.v];
+      if (from != kNoDc && (im_old & Bit(from)) != 0 &&
+          (im & Bit(from)) == 0 && from != m) {
+        base_gd[m] -= g;
+        base_gu[from] -= g;
+      }
+      if (d.in_to > 0) {
+        ForEachDc(~(im | Bit(m)) & valid_mask, [&](DcId r) {
+          s.corr_pool_.push_back({m, 0.0, g, s.corr_head_[r]});
+          s.corr_head_[r] = static_cast<int32_t>(s.corr_pool_.size()) - 1;
+        });
+      }
+    }
   }
 
-  const double total_activity = config_.workload.TotalActivity();
+  // Finalize the base once into per-DC lanes. Per destination, only the
+  // DCs whose aggregates change (the destination itself plus the
+  // masters of correcting vertices) get their lanes recomputed; the
+  // accumulation selects the dirty lane when present. All selections
+  // and recomputations use the exact elementwise operations of
+  // FinalizeLanes, so this stays bit-identical to finalizing a fully
+  // patched aggregate copy.
+  double base_g[kMaxDataCenters];
+  double base_a[kMaxDataCenters];
+  double base_s[kMaxDataCenters];
+  double base_c[kMaxDataCenters];
+  const double* iu = inv_up_.data();
+  const double* id = inv_down_.data();
+  const double* pp = price_per_byte_.data();
+  FinalizeLanes(base_gu, base_gd, base_au, base_ad, iu, id, pp, num_dcs_,
+                base_g, base_a, base_s, base_c);
+
+  const EvalScratch::CorrNode* corr = s.corr_pool_.data();
+  const bool has_mv_cost = move_vertex != static_cast<VertexId>(-1);
+  // Hoist the Eq. 4 pieces: the per-destination delta is
+  // (to != home) * moved_cost - old_val, computed with the same
+  // grouping as MoveCostDelta.
+  DcId mv_home = 0;
+  double mv_moved_cost = 0;
+  double mv_old_val = 0;
+  if (has_mv_cost) {
+    mv_home = (*initial_locations_)[move_vertex];
+    mv_moved_cost = topology_->UploadCost(mv_home, (*input_sizes_)[move_vertex]);
+    mv_old_val = (masters_[move_vertex] != mv_home) ? mv_moved_cost : 0.0;
+  }
+
+  // Running aggregate values of the dirty DCs, indexed by DC.
+  double dgu[kMaxDataCenters];
+  double dgd[kMaxDataCenters];
+  double dau[kMaxDataCenters];
+  double dad[kMaxDataCenters];
+  double dl_g[kMaxDataCenters];
+  double dl_a[kMaxDataCenters];
+  double dl_s[kMaxDataCenters];
+  double dl_c[kMaxDataCenters];
   for (DcId to = 0; to < num_dcs_; ++to) {
     if (to == from) {
-      out[to] = CurrentObjective();
+      out[to] = cached_objective_;
       continue;
     }
-    for (DcId r = 0; r < num_dcs_; ++r) {
-      s.gather_up_[r] = s.base_gather_up_[r];
-      s.gather_down_[r] = s.base_gather_down_[r];
-      s.apply_up_[r] = s.base_apply_up_[r];
-      s.apply_down_[r] = s.base_apply_down_[r];
-    }
     const uint64_t to_bit = Bit(to);
-    for (const EvalScratch::DestCorrection& c : s.corr_) {
-      if (c.apply_mask & to_bit) {
-        // One extra apply mirror: the master uploads one more a_v copy
-        // and the new mirror downloads it (Eq. 3).
-        s.apply_up_[c.m] += c.a;
-        s.apply_down_[to] += c.a;
+    uint64_t dirty_mask = 0;
+    auto touch_dc = [&](DcId r) {
+      const uint64_t bit = Bit(r);
+      if ((dirty_mask & bit) == 0) {
+        dirty_mask |= bit;
+        dgu[r] = base_gu[r];
+        dgd[r] = base_gd[r];
+        dau[r] = base_au[r];
+        dad[r] = base_ad[r];
       }
-      if (c.gather_mask & to_bit) {
-        // One extra gather mirror uploads its aggregate; the master
-        // downloads one more message (Eq. 2).
-        s.gather_down_[c.m] += c.g;
-        s.gather_up_[to] += c.g;
-      }
-    }
+    };
+    touch_dc(to);
     if (has_mover) {
-      const uint64_t em = mover_mid_em | (mover_to_em_bit ? to_bit : 0);
-      const uint64_t im = mover_mid_im | (mover_to_im_bit ? to_bit : 0);
-      AccumulateContribution(move_vertex, em, im, to, +1.0,
-                             s.gather_up_.data(), s.gather_down_.data(),
-                             s.apply_up_.data(), s.apply_down_.data());
+      // Per-destination mover fix: as the master, `to` uploads to every
+      // mirror (the mid mask minus itself) and stops being a mirror.
+      const int in_mid = (mover_mid_em & to_bit) != 0 ? 1 : 0;
+      dau[to] += mover_a * (mover_em_pop - in_mid);
+      if (in_mid != 0) dad[to] -= mover_a;
+      if (mover_high) {
+        const int g_in_mid = (mover_mid_im & to_bit) != 0 ? 1 : 0;
+        dgd[to] += mover_g * (mover_im_pop - g_in_mid);
+        if (g_in_mid != 0) dgu[to] -= mover_g;
+      }
     }
-
-    const StageTimes t = TransferTimeFromAggregates(
-        s.gather_up_.data(), s.gather_down_.data(), s.apply_up_.data(),
-        s.apply_down_.data());
-    const double c_rt =
-        RuntimeCostFromAggregates(s.gather_up_.data(), s.apply_up_.data());
+    // Walk this destination's correction list: each node is one extra
+    // mirror gained here — the master uploads one more copy and the new
+    // mirror transfers it (Eq. 2-3).
+    for (int32_t idx = s.corr_head_[to]; idx >= 0; idx = corr[idx].next) {
+      const EvalScratch::CorrNode& n = corr[idx];
+      touch_dc(n.m);
+      dau[n.m] += n.a;
+      dad[to] += n.a;
+      dgd[n.m] += n.g;
+      dgu[to] += n.g;
+    }
+    // Recompute the lanes of the dirty DCs (same elementwise ops as
+    // FinalizeLanesScalar), then accumulate selecting dirty lanes.
+    ForEachDc(dirty_mask, [&](DcId r) {
+      const double gdt = dgd[r] * id[r];
+      const double gut = dgu[r] * iu[r];
+      const double aut = dau[r] * iu[r];
+      const double adt = dad[r] * id[r];
+      const double gr = std::max(gdt, gut);
+      const double ar = std::max(aut, adt);
+      const double up = dgu[r] + dau[r];
+      dl_g[r] = gr;
+      dl_a[r] = ar;
+      dl_s[r] = gr + ar;
+      dl_c[r] = pp[r] * up;
+    });
+    double t_gather = 0;
+    double t_apply = 0;
+    double smooth = 0;
+    double cost = 0;
+    for (DcId r = 0; r < num_dcs_; ++r) {
+      const bool dirty = ((dirty_mask >> r) & 1) != 0;
+      const double lg = dirty ? dl_g[r] : base_g[r];
+      const double la = dirty ? dl_a[r] : base_a[r];
+      const double ls = dirty ? dl_s[r] : base_s[r];
+      const double lc = dirty ? dl_c[r] : base_c[r];
+      t_gather = std::max(t_gather, lg);
+      t_apply = std::max(t_apply, la);
+      smooth += ls;
+      cost += lc;
+    }
     double mv_cost = move_cost_;
-    if (move_vertex != static_cast<VertexId>(-1)) {
-      mv_cost += MoveCostDelta(move_vertex, masters_[move_vertex], to);
+    if (has_mv_cost) {
+      const double mv_new_val = (to != mv_home) ? mv_moved_cost : 0.0;
+      mv_cost += mv_new_val - mv_old_val;
     }
-    out[to] = {t.bottleneck * total_activity,
-               mv_cost + c_rt * total_activity, t.smooth * total_activity};
+    out[to] = {(t_gather + t_apply) * total_activity_,
+               mv_cost + cost * total_activity_,
+               smooth * total_activity_};
   }
 }
 
@@ -627,7 +995,8 @@ void PartitionState::EvaluateMoveAll(VertexId v, EvalScratch* scratch,
   const DcId from = masters_[v];
   // The affected set and its count deltas do not depend on the
   // destination; collect them once with a placeholder to_dc_.
-  CollectMasterMoveDeltas(v, from, from, scratch);
+  CollectMasterMoveDeltas(v, from, from, scratch,
+                          /*record_moved_edges=*/false);
   EvaluateDeltasAll(scratch, v, out);
 }
 
@@ -642,77 +1011,75 @@ Objective PartitionState::EvaluateMove(VertexId v, DcId to,
                                        EvalScratch* scratch) const {
   RLCUT_CHECK(derived_placement_);
   const DcId from = masters_[v];
-  if (from == to) return CurrentObjective();
-  CollectMasterMoveDeltas(v, from, to, scratch);
+  if (from == to) return cached_objective_;
+  CollectMasterMoveDeltas(v, from, to, scratch,
+                          /*record_moved_edges=*/false);
   return EvaluateDeltas(scratch, v, to);
 }
 
 Objective PartitionState::EvaluatePlaceEdge(EdgeId e, DcId to,
                                             EvalScratch* scratch) const {
   RLCUT_CHECK(!derived_placement_);
-  if (edge_dc_[e] == to) return CurrentObjective();
+  if (edge_dc_[e] == to) return cached_objective_;
   CollectEdgePlaceDeltas(e, to, scratch);
   return EvaluateDeltas(scratch, static_cast<VertexId>(-1), kNoDc);
 }
 
-PartitionState::StageTimes PartitionState::TransferTimeFromAggregates(
-    const double* gather_up, const double* gather_down,
-    const double* apply_up, const double* apply_down) const {
+Objective PartitionState::ObjectiveFromAggregates(const double* gather_up,
+                                                  const double* gather_down,
+                                                  const double* apply_up,
+                                                  const double* apply_down,
+                                                  double mv_cost) const {
   // Eq. 1-3: per stage, per DC, the slower of uplink and downlink; the
-  // stage finishes when its slowest DC finishes; stages are separated by
-  // a global barrier. The smooth surrogate sums all per-link times
-  // instead of taking the max (see Objective::smooth_seconds).
-  double t_gather = 0;
-  double t_apply = 0;
-  double smooth = 0;
-  for (DcId r = 0; r < num_dcs_; ++r) {
-    // Zero-bandwidth links (outage events) count as saturated at a
-    // finite floor; see kMinLinkBytesPerSec.
-    const double up = LinkBytesPerSec(topology_->Uplink(r));
-    const double down = LinkBytesPerSec(topology_->Downlink(r));
-    const double g = std::max(gather_down[r] / down, gather_up[r] / up);
-    const double a = std::max(apply_up[r] / up, apply_down[r] / down);
-    t_gather = std::max(t_gather, g);
-    t_apply = std::max(t_apply, a);
-    smooth += g + a;
-  }
-  return {t_gather + t_apply, smooth};
+  // stage finishes when its slowest DC finishes; stages are separated
+  // by a global barrier. The smooth surrogate sums all per-link times
+  // instead of taking the max (see Objective::smooth_seconds). Zero-
+  // bandwidth links (outage events) price as saturated at a finite
+  // floor via the cached LinkBytesPerSec reciprocals.
+  double g[kMaxDataCenters];
+  double a[kMaxDataCenters];
+  double s[kMaxDataCenters];
+  double c[kMaxDataCenters];
+  FinalizeLanes(gather_up, gather_down, apply_up, apply_down, inv_up_.data(),
+                inv_down_.data(), price_per_byte_.data(), num_dcs_, g, a, s,
+                c);
+  const FinalizeAccum acc = AccumulateLanes(g, a, s, c, num_dcs_);
+  return {(acc.t_gather + acc.t_apply) * total_activity_,
+          mv_cost + acc.cost * total_activity_,
+          acc.smooth * total_activity_};
 }
 
-double PartitionState::RuntimeCostFromAggregates(const double* gather_up,
-                                                 const double* apply_up) const {
+double PartitionState::TransferSecondsPerIteration() const {
+  double g[kMaxDataCenters];
+  double a[kMaxDataCenters];
+  double s[kMaxDataCenters];
+  double c[kMaxDataCenters];
+  const double* gu = agg_.data();
+  FinalizeLanes(gu, gu + num_dcs_, gu + 2 * num_dcs_, gu + 3 * num_dcs_,
+                inv_up_.data(), inv_down_.data(), price_per_byte_.data(),
+                num_dcs_, g, a, s, c);
+  const FinalizeAccum acc = AccumulateLanes(g, a, s, c, num_dcs_);
+  return acc.t_gather + acc.t_apply;
+}
+
+double PartitionState::RuntimeCostPerIteration() const {
   // Eq. 5: only uploads are charged.
+  const double* gather_up = agg_.data();
+  const double* apply_up = gather_up + 2 * num_dcs_;
   double cost = 0;
   for (DcId r = 0; r < num_dcs_; ++r) {
-    cost += topology_->Price(r) * (gather_up[r] + apply_up[r]) / 1e9;
+    const double up = gather_up[r] + apply_up[r];
+    cost += price_per_byte_[r] * up;
   }
   return cost;
 }
 
-Objective PartitionState::CurrentObjective() const {
-  const double total_activity = config_.workload.TotalActivity();
-  const StageTimes t = TransferTimeFromAggregates(
-      gather_up_.data(), gather_down_.data(), apply_up_.data(),
-      apply_down_.data());
-  return {t.bottleneck * total_activity,
-          move_cost_ + RuntimeCostPerIteration() * total_activity,
-          t.smooth * total_activity};
-}
-
-double PartitionState::TransferSecondsPerIteration() const {
-  return TransferTimeFromAggregates(gather_up_.data(), gather_down_.data(),
-                                    apply_up_.data(), apply_down_.data())
-      .bottleneck;
-}
-
-double PartitionState::RuntimeCostPerIteration() const {
-  return RuntimeCostFromAggregates(gather_up_.data(), apply_up_.data());
-}
-
 double PartitionState::WanBytesPerIteration() const {
+  const double* gather_up = agg_.data();
+  const double* apply_up = gather_up + 2 * num_dcs_;
   double bytes = 0;
   for (DcId r = 0; r < num_dcs_; ++r) {
-    bytes += gather_up_[r] + apply_up_[r];
+    bytes += gather_up[r] + apply_up[r];
   }
   return bytes;
 }
@@ -736,11 +1103,7 @@ uint64_t PartitionState::GatherMirrorMask(VertexId v) const {
 double PartitionState::ReplicationFactor() const {
   const VertexId n = graph_->num_vertices();
   if (n == 0) return 0;
-  uint64_t replicas = 0;
-  for (VertexId v = 0; v < n; ++v) {
-    replicas += static_cast<uint64_t>(PopCount(ReplicaMask(v)));
-  }
-  return static_cast<double>(replicas) / n;
+  return static_cast<double>(replica_count_) / n;
 }
 
 uint64_t PartitionState::NumHighDegree() const {
@@ -767,11 +1130,11 @@ bool PartitionState::CheckInvariants() const {
       break;
     }
   }
-  auto expect_near = [&](double a, double b, const char* what) {
-    const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
-    if (std::fabs(a - b) > 1e-6 * scale) {
-      RLCUT_LOG(kError) << "invariant mismatch in " << what << ": " << a
-                        << " vs " << b;
+  auto expect_near = [&](double x, double y, const char* what) {
+    const double scale = std::max({std::fabs(x), std::fabs(y), 1.0});
+    if (std::fabs(x - y) > 1e-6 * scale) {
+      RLCUT_LOG(kError) << "invariant mismatch in " << what << ": " << x
+                        << " vs " << y;
       ok = false;
     }
   };
@@ -799,17 +1162,53 @@ bool PartitionState::CheckInvariants() const {
     RLCUT_LOG(kError) << "invariant mismatch in edges_in_dc_";
     ok = false;
   }
-  for (DcId r = 0; r < num_dcs_; ++r) {
-    expect_near(gather_up_[r], fresh.gather_up_[r], "gather_up");
-    expect_near(gather_down_[r], fresh.gather_down_[r], "gather_down");
-    expect_near(apply_up_[r], fresh.apply_up_[r], "apply_up");
-    expect_near(apply_down_[r], fresh.apply_down_[r], "apply_down");
+  if (replica_bits_ != fresh.replica_bits_) {
+    RLCUT_LOG(kError) << "invariant mismatch in replica_bits_";
+    ok = false;
+  }
+  if (meta_ != fresh.meta_) {
+    RLCUT_LOG(kError) << "invariant mismatch in meta_ (packed hot fields)";
+    ok = false;
+  }
+  if (replica_count_ != fresh.replica_count_) {
+    RLCUT_LOG(kError) << "invariant mismatch in replica_count_: "
+                      << replica_count_ << " vs " << fresh.replica_count_;
+    ok = false;
+  }
+  static const char* const kAggNames[4] = {"gather_up", "gather_down",
+                                           "apply_up", "apply_down"};
+  for (int part = 0; part < 4; ++part) {
+    for (DcId r = 0; r < num_dcs_; ++r) {
+      const size_t idx = static_cast<size_t>(part) * num_dcs_ + r;
+      expect_near(agg_[idx], fresh.agg_[idx], kAggNames[part]);
+    }
   }
   expect_near(move_cost_, fresh.move_cost_, "move_cost");
 
-  // The cached objective is derived from the aggregates above, but
-  // compare it end-to-end too so a divergence in the derived views
-  // (stale topology pointer, bad activity scaling) cannot hide.
+  // The cached objective must be exactly what the live aggregates
+  // finalize to — any drift means a mutation path forgot to refresh it.
+  {
+    const double* gu = agg_.data();
+    const Objective recomputed =
+        ObjectiveFromAggregates(gu, gu + num_dcs_, gu + 2 * num_dcs_,
+                                gu + 3 * num_dcs_, move_cost_);
+    if (cached_objective_.transfer_seconds != recomputed.transfer_seconds ||
+        cached_objective_.cost_dollars != recomputed.cost_dollars ||
+        cached_objective_.smooth_seconds != recomputed.smooth_seconds) {
+      RLCUT_LOG(kError) << "stale cached objective: "
+                        << cached_objective_.transfer_seconds << "/"
+                        << cached_objective_.cost_dollars << "/"
+                        << cached_objective_.smooth_seconds << " vs "
+                        << recomputed.transfer_seconds << "/"
+                        << recomputed.cost_dollars << "/"
+                        << recomputed.smooth_seconds;
+      ok = false;
+    }
+  }
+
+  // Compare the cached objective end-to-end with the rebuilt state too,
+  // so a divergence in the derived views (stale topology pointer, bad
+  // activity scaling) cannot hide.
   const Objective cached = CurrentObjective();
   const Objective rebuilt = fresh.CurrentObjective();
   expect_near(cached.transfer_seconds, rebuilt.transfer_seconds,

@@ -1,12 +1,14 @@
 #ifndef RLCUT_PARTITION_PARTITION_STATE_H_
 #define RLCUT_PARTITION_PARTITION_STATE_H_
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 #include "cloud/topology.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "partition/dense_bitset.h"
 #include "partition/workload.h"
 
 namespace rlcut {
@@ -52,7 +54,9 @@ struct Objective {
 };
 
 /// Thread-local scratch for const what-if evaluation (EvaluateMove).
-/// One instance per worker thread; reusable across calls.
+/// One instance per worker thread; reusable across calls. All arrays
+/// grow to a high-water mark once and are reused, so steady-state
+/// evaluation performs no heap allocation.
 class EvalScratch {
  public:
   EvalScratch() = default;
@@ -79,34 +83,29 @@ class EvalScratch {
   // Source/destination DCs of the pending move (kNoDc = unplaced).
   DcId from_dc_ = kNoDc;
   DcId to_dc_ = kNoDc;
-  // Per-DC aggregate deltas.
-  std::vector<double> gather_up_;
-  std::vector<double> gather_down_;
-  std::vector<double> apply_up_;
-  std::vector<double> apply_down_;
-  // Batched all-destination evaluation (EvaluateMoveAll): the
-  // destination-independent "base" aggregates — current state minus the
-  // old contributions of the affected set, plus their from-bit-adjusted
-  // mid contributions — shared by every candidate destination.
-  std::vector<double> base_gather_up_;
-  std::vector<double> base_gather_down_;
-  std::vector<double> base_apply_up_;
-  std::vector<double> base_apply_down_;
-  // From-bit-adjusted replica/in-edge masks per affected_ entry.
-  std::vector<uint64_t> mid_edge_mask_;
-  std::vector<uint64_t> mid_in_mask_;
-  // Packed per-destination correction records for the non-mover affected
-  // vertices: `apply_mask`/`gather_mask` hold the set of destinations
-  // whose move would add one mirror of this vertex, so the per-destination
-  // scan is a bit test plus two adds, with no random-access loads.
-  struct DestCorrection {
-    DcId m;               // this vertex's (unchanged) master
-    uint64_t apply_mask;  // destinations adding an apply mirror
-    uint64_t gather_mask; // destinations adding a gather mirror
-    double a;             // apply bytes uploaded per extra mirror
-    double g;             // gather bytes per extra mirror
+  // Flat per-DC aggregate buffers in the live-state layout
+  // [gather_up | gather_down | apply_up | apply_down], each num_dcs
+  // wide: `work_` holds one hypothetical destination's aggregates,
+  // `base_` the destination-independent base shared by every candidate
+  // destination in the batched evaluators.
+  std::vector<double> work_;
+  std::vector<double> base_;
+  // Per-destination correction lists for the batched evaluators. An
+  // affected neighbor's replica mask is dense on real instances (its
+  // edges spread over many masters), so the destinations where it
+  // gains a NEW mirror — the complement of its replica mask — are the
+  // rare case. Each such firing destination records a correction node
+  // holding the bytes to add on top of the shared destination-
+  // independent base. Nodes are bucketed by destination as intrusive
+  // singly linked lists through `next`.
+  struct CorrNode {
+    DcId m;        // the vertex's (unchanged) master
+    double a;      // apply bytes to add (0 for gather nodes)
+    double g;      // gather bytes to add (0 for apply nodes)
+    int32_t next;  // previous head of this destination's list, or -1
   };
-  std::vector<DestCorrection> corr_;
+  std::vector<CorrNode> corr_pool_;
+  std::vector<int32_t> corr_head_;  // per-destination list heads
 };
 
 /// Mutable partitioning state plus the incremental Eq. 1-5 evaluator.
@@ -117,16 +116,22 @@ class EvalScratch {
 /// by the placement rules; vertex-cut baselines supply explicit edge
 /// placements. The state maintains, incrementally under moves:
 ///
-///  * per-vertex per-DC incident/in-edge counts and replica bitmasks;
-///  * per-DC gather/apply upload/download byte aggregates, from which
-///    transfer time (Eq. 1-3), runtime cost (Eq. 5) and WAN usage follow
-///    in O(M);
-///  * the input-movement cost (Eq. 4).
+///  * per-vertex per-DC incident/in-edge counts and replica bitmasks,
+///    plus one dense bitset per DC (vertex -> "this DC holds a
+///    replica") for word-parallel replica scans;
+///  * per-DC gather/apply upload/download byte aggregates in one flat
+///    structure-of-arrays block, from which transfer time (Eq. 1-3),
+///    runtime cost (Eq. 5) and WAN usage follow in O(M);
+///  * the input-movement cost (Eq. 4) and an eagerly refreshed cached
+///    objective, so CurrentObjective() is a constant-time read.
 ///
-/// MoveMaster (hybrid/edge-cut) and PlaceEdge (explicit) are O(deg * M)
-/// and exactly reversible, which the RL migration step's rollback relies
+/// MoveMaster (hybrid/edge-cut) and PlaceEdge (explicit) are O(deg) and
+/// exactly reversible, which the RL migration step's rollback relies
 /// on. EvaluateMove is const and thread-safe, enabling parallel
-/// multi-agent score computation against a shared state.
+/// multi-agent score computation against a shared state. All pricing —
+/// live, single-eval, batched, and cold rebuild — funnels through one
+/// compiled finalize (ObjectiveFromAggregates), which is what keeps the
+/// differential oracle's bit-exactness contract on dyadic instances.
 class PartitionState {
  public:
   /// All pointers must outlive the state. `initial_locations` are the
@@ -208,7 +213,21 @@ class PartitionState {
 
   // ---- Objectives and metrics ----------------------------------------
 
-  Objective CurrentObjective() const;
+  /// The objective of the live state. Maintained eagerly on every
+  /// mutation, so this is a constant-time read.
+  Objective CurrentObjective() const { return cached_objective_; }
+
+  /// Prices a set of per-DC byte aggregates (plus an Eq. 4 move cost)
+  /// under this state's topology and workload — the single compiled
+  /// finalize shared by every evaluation path. Exposed so the
+  /// differential oracle's legacy reference evaluator prices its
+  /// independently maintained aggregates through the same code,
+  /// making bit-exact comparison sound. Arrays hold num_dcs() entries.
+  Objective ObjectiveFromAggregates(const double* gather_up,
+                                    const double* gather_down,
+                                    const double* apply_up,
+                                    const double* apply_down,
+                                    double mv_cost) const;
 
   /// Inter-DC transfer time of one full-activity iteration (Eq. 1).
   double TransferSecondsPerIteration() const;
@@ -218,7 +237,8 @@ class PartitionState {
   double MoveCost() const { return move_cost_; }
   /// Bytes crossing DC uplinks in one full-activity iteration.
   double WanBytesPerIteration() const;
-  /// Average number of replicas (master + mirrors) per vertex.
+  /// Average number of replicas (master + mirrors) per vertex; O(1)
+  /// via the incrementally maintained replica count.
   double ReplicationFactor() const;
 
   // ---- Accessors -------------------------------------------------------
@@ -245,6 +265,43 @@ class PartitionState {
 
   uint64_t MasterCount(DcId r) const { return masters_in_dc_[r]; }
   uint64_t EdgeCount(DcId r) const { return edges_in_dc_[r]; }
+
+  /// Dense vertex->replica bitset of DC r: bit v is set iff r holds a
+  /// replica (master or mirror) of v. Maintained incrementally.
+  const DenseBitset& ReplicaBitset(DcId r) const { return replica_bits_[r]; }
+
+  /// Number of vertices with a replica in DC r (per-DC load view).
+  uint64_t ReplicaCountInDc(DcId r) const {
+    return replica_bits_[r].Popcount();
+  }
+
+  /// Total replicas across all vertices and DCs (sum of per-DC loads).
+  uint64_t TotalReplicaCount() const { return replica_count_; }
+
+  /// Calls fn(v) for every vertex holding a replica in any DC of
+  /// `dc_mask`, in increasing vertex order. Word-parallel: OR of the
+  /// per-DC dense bitsets, 64 vertices per iteration, so a scan over a
+  /// few changed DCs is O(M_changed * |V| / 64) instead of O(|V| * M).
+  template <typename Fn>
+  void ForEachVertexWithReplicaIn(uint64_t dc_mask, Fn&& fn) const {
+    if (num_dcs_ < 64) dc_mask &= (uint64_t{1} << num_dcs_) - 1;
+    if (dc_mask == 0 || replica_bits_.empty()) return;
+    const size_t num_words = replica_bits_[0].num_words();
+    for (size_t w = 0; w < num_words; ++w) {
+      uint64_t acc = 0;
+      uint64_t dcs = dc_mask;
+      while (dcs != 0) {
+        const int r = std::countr_zero(dcs);
+        dcs &= dcs - 1;
+        acc |= replica_bits_[r].words()[w];
+      }
+      while (acc != 0) {
+        const int b = std::countr_zero(acc);
+        acc &= acc - 1;
+        fn(static_cast<VertexId>((w << 6) + static_cast<size_t>(b)));
+      }
+    }
+  }
 
   /// Number of vertices classified high-degree.
   uint64_t NumHighDegree() const;
@@ -280,9 +337,12 @@ class PartitionState {
                               double* apply_up, double* apply_down) const;
 
   // Collects the per-vertex count deltas and moved edges for a master
-  // move of v from `from` to `to` into `scratch`.
+  // move of v from `from` to `to` into `scratch`. The moved-edge list
+  // is only recorded when requested: CommitDeltas needs it, the const
+  // evaluation paths do not.
   void CollectMasterMoveDeltas(VertexId v, DcId from, DcId to,
-                               EvalScratch* scratch) const;
+                               EvalScratch* scratch,
+                               bool record_moved_edges) const;
 
   // Collects deltas for placing edge e at `to` (from its current DC).
   void CollectEdgePlaceDeltas(EdgeId e, DcId to, EvalScratch* scratch) const;
@@ -294,7 +354,7 @@ class PartitionState {
 
   // Evaluates the objective under the deltas in `scratch` plus an
   // optional master change, without mutating the partition state
-  // (scratch's accumulation arrays are used as working memory).
+  // (scratch's working aggregates are used as memory).
   Objective EvaluateDeltas(EvalScratch* scratch, VertexId move_vertex,
                            DcId new_master_v) const;
 
@@ -302,26 +362,29 @@ class PartitionState {
   // destination DC at once (see EvaluateMoveAll). `move_vertex` is the
   // vertex whose master follows the destination, or VertexId(-1) for
   // edge placements. Destinations equal to scratch->from_dc_ are
-  // filled with CurrentObjective().
+  // filled with the cached current objective.
   void EvaluateDeltasAll(EvalScratch* scratch, VertexId move_vertex,
                          Objective* out) const;
-
-  // Transfer times for one full-activity iteration given aggregate
-  // arrays: Eq. 1-3 bottleneck time and the smooth per-link sum.
-  struct StageTimes {
-    double bottleneck = 0;
-    double smooth = 0;
-  };
-  StageTimes TransferTimeFromAggregates(const double* gather_up,
-                                        const double* gather_down,
-                                        const double* apply_up,
-                                        const double* apply_down) const;
-  double RuntimeCostFromAggregates(const double* gather_up,
-                                   const double* apply_up) const;
 
   double MoveCostDelta(VertexId v, DcId old_master, DcId new_master) const;
 
   void RebuildFromPlacement();
+
+  // Refreshes the cached per-DC link-rate reciprocals, per-byte prices
+  // and total activity from the current topology/workload.
+  void RefreshPricing();
+
+  // Recomputes cached_objective_ from the live aggregates.
+  void RefreshCachedObjective();
+
+  // Rebuilds the per-DC dense replica bitsets and the replica count
+  // from edge_mask_/masters_ (O(|V|) + bitset clears).
+  void RebuildReplicaBits();
+
+  // Applies a replica-mask change of vertex v to the per-DC bitsets
+  // and the replica count.
+  void UpdateReplicaBits(VertexId v, uint64_t old_replica,
+                         uint64_t new_replica);
 
   uint32_t CntAt(VertexId v, DcId r) const {
     return cnt_[static_cast<size_t>(v) * num_dcs_ + r];
@@ -347,21 +410,52 @@ class PartitionState {
 
   // Mutable partitioning state.
   std::vector<DcId> masters_;
-  std::vector<DcId> edge_dc_;           // kNoDc when unplaced
-  std::vector<uint32_t> cnt_;           // |V| x M incident-edge counts
-  std::vector<uint32_t> in_cnt_;        // |V| x M in-edge counts
-  std::vector<uint64_t> edge_mask_;     // DCs with >= 1 incident edge
-  std::vector<uint64_t> in_mask_;       // DCs with >= 1 in-edge
+  std::vector<DcId> edge_dc_;        // kNoDc when unplaced
+  std::vector<uint32_t> cnt_;        // |V| x M incident-edge counts
+  std::vector<uint32_t> in_cnt_;     // |V| x M in-edge counts
+  std::vector<uint64_t> edge_mask_;  // DCs with >= 1 incident edge
+  std::vector<uint64_t> in_mask_;    // DCs with >= 1 in-edge
 
-  // Aggregates (bytes per full-activity iteration).
-  std::vector<double> gather_up_;
-  std::vector<double> gather_down_;
-  std::vector<double> apply_up_;
-  std::vector<double> apply_down_;
+  // The per-vertex fields the evaluation inner loops read for every
+  // affected neighbor, packed into one 24-byte record. Those loops are
+  // cache-miss-bound on scattered per-neighbor loads, so mirroring
+  // (edge_mask_, apply_bytes_, masters_, is_high_) here turns four
+  // misses per cold neighbor into one. Synced wherever the canonical
+  // arrays change; CheckInvariants verifies the mirror.
+  struct VertexMeta {
+    uint64_t edge_mask = 0;
+    double apply_bytes = 0;
+    DcId master = 0;
+    uint8_t is_high = 0;
+    friend bool operator==(const VertexMeta&, const VertexMeta&) = default;
+  };
+  std::vector<VertexMeta> meta_;
+
+  // Live per-DC byte aggregates (bytes per full-activity iteration) in
+  // one flat structure-of-arrays block:
+  // [gather_up | gather_down | apply_up | apply_down], each num_dcs_
+  // wide. Kept contiguous so what-if evaluation snapshots them with one
+  // vectorizable copy.
+  std::vector<double> agg_;
 
   double move_cost_ = 0;  // Eq. 4, dollars
   std::vector<uint64_t> masters_in_dc_;
   std::vector<uint64_t> edges_in_dc_;
+
+  // One dense vertex->replica bitset per DC plus the total replica
+  // count, maintained incrementally by CommitDeltas.
+  std::vector<DenseBitset> replica_bits_;
+  uint64_t replica_count_ = 0;
+
+  // Cached pricing terms (RefreshPricing): multiplying by a cached
+  // reciprocal replaces the per-DC divisions in the finalize hot loop.
+  std::vector<double> inv_up_;          // 1 / LinkBytesPerSec(uplink)
+  std::vector<double> inv_down_;        // 1 / LinkBytesPerSec(downlink)
+  std::vector<double> price_per_byte_;  // Price(r) / 1e9
+  double total_activity_ = 0;
+
+  // Eagerly maintained CurrentObjective() (see RefreshCachedObjective).
+  Objective cached_objective_;
 
   // Scratch reused by the mutating paths.
   EvalScratch mutation_scratch_;

@@ -1,0 +1,39 @@
+#include "partition/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace rlcut {
+namespace simd {
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+bool DetectAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool DisabledByEnv() {
+  const char* env = std::getenv("RLCUT_NO_SIMD");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+}  // namespace
+
+bool Avx2Enabled() {
+  static const bool available = DetectAvx2() && !DisabledByEnv();
+  return available && !g_force_scalar.load(std::memory_order_relaxed);
+}
+
+void SetForceScalar(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+bool ForceScalar() { return g_force_scalar.load(std::memory_order_relaxed); }
+
+}  // namespace simd
+}  // namespace rlcut

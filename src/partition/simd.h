@@ -1,0 +1,21 @@
+#ifndef RLCUT_PARTITION_SIMD_H_
+#define RLCUT_PARTITION_SIMD_H_
+
+namespace rlcut {
+namespace simd {
+
+/// True when the AVX2 fast paths are compiled in, the CPU reports AVX2
+/// at runtime, and neither SetForceScalar(true) nor RLCUT_NO_SIMD=1 is
+/// in effect. Callers dispatch between bit-identical scalar and AVX2
+/// kernels on this; see docs/performance.md for the dispatch policy.
+bool Avx2Enabled();
+
+/// Test hook: force the scalar fallback regardless of CPU support, so
+/// oracle lanes can compare the scalar and SIMD paths on one machine.
+void SetForceScalar(bool force);
+bool ForceScalar();
+
+}  // namespace simd
+}  // namespace rlcut
+
+#endif  // RLCUT_PARTITION_SIMD_H_

@@ -100,7 +100,15 @@ DcId AutomatonPool::SelectAction(VertexId v, int64_t step, Rng* rng) const {
   }
   // Eq. 13. Untried actions have UCB = inf; break inf-ties by the
   // automaton probability so signal accumulation still matters early.
-  const double log_n = std::log(static_cast<double>(std::max<int64_t>(2, step)));
+  // `step` is constant across the thousands of agents of one training
+  // step, so the log is memoized; not safe under concurrent callers
+  // (the trainer selects actions in its sequential commit phase).
+  if (step != cached_log_step_) {
+    cached_log_step_ = step;
+    cached_log_n_ =
+        std::log(static_cast<double>(std::max<int64_t>(2, step)));
+  }
+  const double log_n = cached_log_n_;
   DcId best = 0;
   double best_value = -std::numeric_limits<double>::infinity();
   bool best_is_untried = false;

@@ -61,7 +61,8 @@ class AutomatonPool {
   void RecordSelection(VertexId v, DcId action, double reward);
 
   /// Selects an action per the configured strategy (Eq. 13 for the UCB
-  /// variants). `step` is the global training-step count n.
+  /// variants). `step` is the global training-step count n. Memoizes
+  /// log(n) across the calls of one step; call sequentially.
   DcId SelectAction(VertexId v, int64_t step, Rng* rng) const;
 
   /// Number of times an action was selected.
@@ -86,6 +87,9 @@ class AutomatonPool {
   std::vector<double> prob_;      // P_v (Eq. 12)
   std::vector<double> mean_q_;    // Q_n(a) (Eq. 13)
   std::vector<uint32_t> count_;   // N_n(a) (Eq. 13)
+  // SelectAction's log(n) memo (one log per step, not per agent).
+  mutable int64_t cached_log_step_ = -1;
+  mutable double cached_log_n_ = 0;
 };
 
 }  // namespace rlcut

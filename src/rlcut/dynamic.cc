@@ -191,9 +191,8 @@ ReoptimizationResult RLCutDynamicDriver::OnTopologyEvent(
   result.triggered = true;
   registry.GetCounter("dynamic.reopt_triggered")->Increment();
   std::vector<VertexId> affected;
-  for (VertexId v = 0; v < graph().num_vertices(); ++v) {
-    if ((state().ReplicaMask(v) & changed_dcs) != 0) affected.push_back(v);
-  }
+  state().ForEachVertexWithReplicaIn(
+      changed_dcs, [&](VertexId v) { affected.push_back(v); });
   result.affected_vertices = affected.size();
   event_span.AddArg("affected", static_cast<double>(affected.size()));
 

@@ -234,12 +234,12 @@ Result<TopologyUpdateResult> RLCutSession::UpdateTopology(
   topology_ = topology;
   state_->UpdateTopology(&topology_);
   if (result.drift >= options_.drift_threshold && changed != 0) {
-    for (VertexId v = 0; v < num_vertices_; ++v) {
-      if ((state_->ReplicaMask(v) & changed) != 0 && !affected_flags_[v]) {
+    state_->ForEachVertexWithReplicaIn(changed, [&](VertexId v) {
+      if (!affected_flags_[v]) {
         affected_flags_[v] = 1;
         ++result.affected_marked;
       }
-    }
+    });
   }
   return result;
 }

@@ -590,6 +590,19 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
       {
       obs::TraceSpan score_span("trainer/stage/score", "trainer");
       WallTimer stage_timer;
+      // Single-chunk fast path: with one chunk and no fault schedule
+      // armed, the speculative dispatch machinery (pool submit, cv
+      // waits, quiesce) buys nothing — run the pure scoring stage
+      // inline on the coordinator. Scores, PRNG assignment and commit
+      // order are identical to the dispatched path.
+      if (num_chunks == 1 && !fault::Armed()) {
+        score_chunk(chunk_plan[0], scratch[0], &round0[0], nullptr,
+                    /*faults_enabled=*/false);
+        winner[0] = &round0[0];
+        if (score_stage_seconds != nullptr) {
+          score_stage_seconds->Observe(stage_timer.ElapsedSeconds());
+        }
+      } else {
       for (size_t c = 0; c < num_chunks; ++c) {
         dispatch_chunk(c, &round0[c], &scratch[c]);
       }
@@ -669,6 +682,7 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
         score_stage_seconds->Observe(stage_timer.ElapsedSeconds());
       }
       }
+      }
 
       // ---- Sequential commit: steps 2-4 for every agent. -------------
       // Chunk-by-chunk in dispatch order so each agent draws from the
@@ -710,8 +724,10 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
         const DcId from = state->master(v);
         if (action == from) continue;
         const Objective before = state->CurrentObjective();
-        state->MoveMaster(v, action);
-        const Objective after = state->CurrentObjective();
+        // Evaluate-first acceptance: a rejected move costs one what-if
+        // evaluation instead of a commit plus an exact rollback, and
+        // most attempted moves are rejected once training settles.
+        const Objective after = state->EvaluateMove(v, action, &scratch[0]);
         const double budget_delta =
             options_.budget > 0
                 ? Delta(before.cost_dollars - options_.budget)
@@ -726,9 +742,9 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
             ObjectiveScore(before, after, tw, cw, budget_delta,
                            options_.smooth_weight, cost_pressure,
                            options_.budget) < 0) {
-          state->MoveMaster(v, from);  // exact rollback
           step_metrics.rollbacks->Increment();
         } else {
+          state->MoveMaster(v, action);
           step_metrics.migrations->Increment();
         }
       }

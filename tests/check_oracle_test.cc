@@ -52,6 +52,25 @@ TEST(DifferentialOracleTest, AllPresetsAndModelsAgreeBitExactly) {
   EXPECT_GE(report.rollbacks, 1u);
   EXPECT_GE(report.topology_updates, 1u);
   EXPECT_GE(report.invariant_checks, report.sequences);
+  EXPECT_GE(report.legacy_evals, 1u);
+}
+
+TEST(DifferentialOracleTest, SoaVsLegacyLaneCoversAThousandMoves) {
+  // The SoA bookkeeping rewrite's dedicated lane: >= 1k randomized
+  // moves, each committed state compared bit-exactly against the legacy
+  // array-of-structs reference evaluator (plus the scalar-vs-SIMD lane
+  // on every batched evaluation when the host has AVX2).
+  OracleOptions options;
+  options.num_sequences = 18;
+  options.moves_per_sequence = 60;
+  options.seed = 33;
+  const OracleReport report = RunDifferentialOracle(options);
+  for (const std::string& f : report.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.moves, 1000u);
+  // Every committed mutation runs the legacy comparison; SetMaster and
+  // PlaceEdge moves each count once, MoveMaster moves once as well.
+  EXPECT_GE(report.legacy_evals, 1000u);
 }
 
 TEST(DifferentialOracleTest, DerivedModelsOnlyAlsoPass) {

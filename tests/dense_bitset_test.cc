@@ -1,0 +1,156 @@
+#include "partition/dense_bitset.h"
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace rlcut {
+namespace {
+
+TEST(DenseBitsetTest, EmptyBitset) {
+  DenseBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.num_words(), 0u);
+  EXPECT_EQ(b.Popcount(), 0u);
+  EXPECT_FALSE(b.Any());
+  int visited = 0;
+  b.ForEachSetBit([&](size_t) { ++visited; });
+  EXPECT_EQ(visited, 0);
+}
+
+TEST(DenseBitsetTest, SetTestClear) {
+  DenseBitset b(130);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(64);  // first bit of the second word
+  b.Set(129);  // last valid bit, third word
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_FALSE(b.Test(65));
+  EXPECT_EQ(b.Popcount(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Popcount(), 2u);
+  b.SetTo(7, true);
+  EXPECT_TRUE(b.Test(7));
+  b.SetTo(7, false);
+  EXPECT_FALSE(b.Test(7));
+}
+
+TEST(DenseBitsetTest, WordBoundaries) {
+  // Exercise the bits adjacent to every word boundary of a 4-word set.
+  DenseBitset b(256);
+  const std::vector<size_t> positions = {0, 63, 64, 127, 128, 191, 192, 255};
+  for (size_t p : positions) b.Set(p);
+  EXPECT_EQ(b.Popcount(), positions.size());
+  for (size_t p : positions) EXPECT_TRUE(b.Test(p)) << p;
+  // Neighbors of the set bits stay clear: no cross-word bleed.
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_FALSE(b.Test(62));
+  EXPECT_FALSE(b.Test(65));
+  EXPECT_FALSE(b.Test(126));
+  EXPECT_FALSE(b.Test(129));
+  EXPECT_FALSE(b.Test(254));
+  std::vector<size_t> seen;
+  b.ForEachSetBit([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, positions);  // increasing order
+}
+
+TEST(DenseBitsetTest, SizeNotMultipleOfWord) {
+  // Sizes straddling a word boundary: 63, 64, 65 bits.
+  for (size_t size : {1u, 63u, 64u, 65u, 100u}) {
+    DenseBitset b(size);
+    EXPECT_EQ(b.num_words(), (size + 63) / 64) << size;
+    for (size_t i = 0; i < size; ++i) b.Set(i);
+    EXPECT_EQ(b.Popcount(), size) << size;
+    EXPECT_TRUE(b.Any());
+    // The invariant: bits beyond size() stay zero, so whole-word scans
+    // need no tail masking.
+    if (size % 64 != 0) {
+      const uint64_t tail_word = b.words()[b.num_words() - 1];
+      EXPECT_EQ(tail_word >> (size % 64), 0u) << size;
+    }
+  }
+}
+
+TEST(DenseBitsetTest, FullThenClearAll) {
+  DenseBitset b(200);
+  for (size_t i = 0; i < 200; ++i) b.Set(i);
+  EXPECT_EQ(b.Popcount(), 200u);
+  b.ClearAll();
+  EXPECT_EQ(b.Popcount(), 0u);
+  EXPECT_FALSE(b.Any());
+  for (size_t w = 0; w < b.num_words(); ++w) EXPECT_EQ(b.words()[w], 0u);
+}
+
+TEST(DenseBitsetTest, ResizeGrowPreservesAndShrinkClampsTail) {
+  DenseBitset b(70);
+  b.Set(0);
+  b.Set(69);
+  b.Resize(200);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_EQ(b.Popcount(), 2u);
+  EXPECT_FALSE(b.Test(199));
+  b.Set(199);
+  // Shrink below the highest set bit: the dropped bits must vanish from
+  // both Test (well, they are out of range) and the word invariant.
+  b.Resize(65);
+  EXPECT_EQ(b.size(), 65u);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_EQ(b.Popcount(), 1u);  // bit 69 and 199 are gone
+  EXPECT_EQ(b.words()[b.num_words() - 1] >> 1, 0u);
+  // Re-growing must not resurrect the dropped bits.
+  b.Resize(200);
+  EXPECT_EQ(b.Popcount(), 1u);
+  EXPECT_FALSE(b.Test(69));
+  EXPECT_FALSE(b.Test(199));
+}
+
+TEST(DenseBitsetTest, EqualityComparesSizeAndBits) {
+  DenseBitset a(100);
+  DenseBitset b(100);
+  EXPECT_EQ(a, b);
+  a.Set(42);
+  EXPECT_NE(a, b);
+  b.Set(42);
+  EXPECT_EQ(a, b);
+  DenseBitset c(101);
+  c.Set(42);
+  EXPECT_NE(a, c);  // same words, different size
+}
+
+TEST(DenseBitsetTest, RandomizedAgainstReferenceVector) {
+  Rng rng(12345);
+  const size_t size = 777;  // not a word multiple
+  DenseBitset b(size);
+  std::vector<bool> ref(size, false);
+  for (int step = 0; step < 5000; ++step) {
+    const size_t i = static_cast<size_t>(rng.UniformInt(size));
+    const bool value = rng.UniformInt(2) == 1;
+    b.SetTo(i, value);
+    ref[i] = value;
+  }
+  size_t expected_pop = 0;
+  for (size_t i = 0; i < size; ++i) {
+    EXPECT_EQ(b.Test(i), ref[i]) << i;
+    expected_pop += ref[i] ? 1 : 0;
+  }
+  EXPECT_EQ(b.Popcount(), expected_pop);
+  std::vector<size_t> seen;
+  b.ForEachSetBit([&](size_t i) { seen.push_back(i); });
+  std::vector<size_t> expected;
+  for (size_t i = 0; i < size; ++i) {
+    if (ref[i]) expected.push_back(i);
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+}  // namespace
+}  // namespace rlcut

@@ -8,16 +8,72 @@
 //
 //   rlcut_bench_report --out=BENCH_micro.json --commit=$(git rev-parse HEAD)
 //   rlcut_bench_report --fast --check_speedup=2.0   # CI smoke gate
+//   rlcut_bench_report --fast --reference=BENCH_micro.json  # CI perf gate
 //
 // `--check_speedup=R` exits non-zero if EvaluateMoveAll is not at least
 // R times faster than the equivalent loop of single EvaluateMove calls.
+// `--reference=FILE` exits non-zero if trainer_steps_per_sec falls below
+// `--trainer_floor_frac` of the committed value, or if any op's measured
+// bytes_per_op exceeds its committed ceiling (steady-state evaluation
+// ops must stay allocation-free).
+//
+// bytes_per_op is a real heap measurement, not an estimate: this TU
+// replaces the global allocation functions with counting versions, and
+// each timed op reports the heap bytes it allocated per call. Timings
+// take the fastest of several chunks, which filters external load on
+// shared CI runners.
 
+#include <atomic>
+#include <cmath>
+#include <cstddef>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <limits>
+#include <new>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <algorithm>
+
+// ---- Counting allocator (whole-binary operator new/delete). ----------
+// Relaxed atomics: the timed ops run single-threaded; the counters only
+// need to be safe, not ordered, for the trainer's worker pool.
+
+namespace {
+std::atomic<uint64_t> g_heap_bytes{0};
+std::atomic<uint64_t> g_heap_allocs{0};
+
+void* CountedAlloc(std::size_t size, std::size_t align) {
+  g_heap_bytes.fetch_add(size, std::memory_order_relaxed);
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p;
+  if (align > alignof(std::max_align_t)) {
+    p = std::aligned_alloc(align, (size + align - 1) / align * align);
+  } else {
+    p = std::malloc(size == 0 ? 1 : size);
+  }
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size, 0); }
+void* operator new[](std::size_t size) { return CountedAlloc(size, 0); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
 
 #include "cloud/topology.h"
 #include "common/flags.h"
@@ -75,21 +131,43 @@ struct Fixture {
 struct OpResult {
   std::string op;
   double ns_per_op = 0;
-  // Documented estimate of the scratch/state bytes an op touches, not a
-  // heap profile: affected-set records plus the per-DC aggregate arrays
-  // (see EmitJson for the formulas).
+  // Measured heap traffic: bytes passed to operator new during the
+  // timed (post-warmup) region, divided by the op count. Steady-state
+  // evaluation ops reuse their scratch and must report 0.
   double bytes_per_op = 0;
 };
 
 /// Times `body` (which performs `ops_per_call` logical operations per
-/// invocation) over `reps` invocations after a 1/16 warmup.
-double TimeNsPerOp(int64_t reps, int64_t ops_per_call,
-                   const std::function<void()>& body) {
+/// invocation) over `reps` invocations after a 1/16 warmup. The warmup
+/// also brings reusable scratch to its steady-state capacity, so the
+/// allocation counters only see what the op allocates per call once
+/// warm. ns_per_op is the fastest of kTimingChunks equal chunks — the
+/// minimum is the least noise-sensitive location statistic on a loaded
+/// shared host; bytes are summed over all chunks (allocation counts are
+/// deterministic, timing is not).
+OpResult TimeOp(const std::string& op, int64_t reps, int64_t ops_per_call,
+                const std::function<void()>& body) {
+  constexpr int kTimingChunks = 8;
   for (int64_t i = 0; i < reps / 16 + 1; ++i) body();
-  WallTimer timer;
-  for (int64_t i = 0; i < reps; ++i) body();
-  return timer.ElapsedSeconds() * 1e9 /
-         static_cast<double>(reps * ops_per_call);
+  const int64_t chunk_reps = std::max<int64_t>(1, reps / kTimingChunks);
+  const uint64_t bytes_before =
+      g_heap_bytes.load(std::memory_order_relaxed);
+  double best_seconds = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < kTimingChunks; ++c) {
+    WallTimer timer;
+    for (int64_t i = 0; i < chunk_reps; ++i) body();
+    best_seconds = std::min(best_seconds, timer.ElapsedSeconds());
+  }
+  const uint64_t bytes =
+      g_heap_bytes.load(std::memory_order_relaxed) - bytes_before;
+  OpResult result;
+  result.op = op;
+  result.ns_per_op = best_seconds * 1e9 /
+                     static_cast<double>(chunk_reps * ops_per_call);
+  result.bytes_per_op =
+      static_cast<double>(bytes) /
+      static_cast<double>(kTimingChunks * chunk_reps * ops_per_call);
+  return result;
 }
 
 /// Streaming-session fixture: drives an RLCutSession over a diurnal
@@ -171,6 +249,24 @@ ServeResult RunServeFixture(bool fast) {
   return result;
 }
 
+// Minimal extraction from a committed BENCH_micro.json (a format this
+// tool itself writes, so "key": number scanning is sufficient — no
+// general JSON parser needed). Returns NaN when the key is absent.
+double FindJsonNumber(const std::string& json, const std::string& key,
+                      size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle, from);
+  if (pos == std::string::npos) return std::nan("");
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+// bytes_per_op recorded for `op` in the reference; NaN when absent.
+double FindReferenceOpBytes(const std::string& json, const std::string& op) {
+  const size_t pos = json.find("\"op\": \"" + op + "\"");
+  if (pos == std::string::npos) return std::nan("");
+  return FindJsonNumber(json, "bytes_per_op", pos);
+}
+
 void EmitJson(std::FILE* f, const std::vector<OpResult>& results,
               const std::string& commit, double trainer_steps_per_sec,
               double speedup, const ServeResult& serve) {
@@ -211,6 +307,14 @@ int main(int argc, char** argv) {
   flags.DefineDouble("check_speedup", 0,
                      "fail unless EvaluateMoveAll beats the equivalent "
                      "EvaluateMove loop by this factor (0 = off)");
+  flags.DefineString("reference", "",
+                     "committed BENCH_micro.json to gate against: "
+                     "trainer_steps_per_sec floor and per-op bytes_per_op "
+                     "ceilings (empty = off)");
+  flags.DefineDouble("trainer_floor_frac", 0.4,
+                     "fail if trainer_steps_per_sec drops below this "
+                     "fraction of the reference value (slack absorbs "
+                     "shared-runner load; allocation gates are exact)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
                  flags.Usage(argv[0]).c_str());
@@ -226,12 +330,6 @@ int main(int argc, char** argv) {
   Fixture hybrid(ComputeModel::kHybridCut);
   Fixture vertex_cut(ComputeModel::kVertexCut);
   const int num_dcs = hybrid.topology.num_dcs();
-  const double avg_affected =
-      1.0 + 2.0 * static_cast<double>(kEdges) / kVertices;
-  // Scratch traffic estimate: affected-set records (24 B each) plus the
-  // 4 (single) or 8 (batched: base + working) per-DC double arrays.
-  const double eval_bytes = avg_affected * 24 + 4.0 * num_dcs * 8;
-  const double eval_all_bytes = avg_affected * 24 + 8.0 * num_dcs * 8;
 
   std::vector<OpResult> results;
   EvalScratch scratch;
@@ -239,92 +337,66 @@ int main(int argc, char** argv) {
   Rng rng(2);
 
   results.push_back(
-      {"evaluate_move",
-       TimeNsPerOp(reps, 1,
-                   [&] {
-                     const VertexId v = static_cast<VertexId>(
-                         rng.UniformInt(hybrid.graph.num_vertices()));
-                     const DcId to =
-                         static_cast<DcId>(rng.UniformInt(num_dcs));
-                     volatile double sink =
-                         hybrid.state->EvaluateMove(v, to, &scratch)
-                             .transfer_seconds;
-                     (void)sink;
-                   }),
-       eval_bytes});
+      TimeOp("evaluate_move", reps, 1, [&] {
+        const VertexId v = static_cast<VertexId>(
+            rng.UniformInt(hybrid.graph.num_vertices()));
+        const DcId to = static_cast<DcId>(rng.UniformInt(num_dcs));
+        volatile double sink =
+            hybrid.state->EvaluateMove(v, to, &scratch).transfer_seconds;
+        (void)sink;
+      }));
 
   results.push_back(
-      {"evaluate_move_all",
-       TimeNsPerOp(reps, 1,
-                   [&] {
-                     const VertexId v = static_cast<VertexId>(
-                         rng.UniformInt(hybrid.graph.num_vertices()));
-                     hybrid.state->EvaluateMoveAll(v, &scratch, evals);
-                     volatile double sink = evals[0].transfer_seconds;
-                     (void)sink;
-                   }),
-       eval_all_bytes});
+      TimeOp("evaluate_move_all", reps, 1, [&] {
+        const VertexId v = static_cast<VertexId>(
+            rng.UniformInt(hybrid.graph.num_vertices()));
+        hybrid.state->EvaluateMoveAll(v, &scratch, evals);
+        volatile double sink = evals[0].transfer_seconds;
+        (void)sink;
+      }));
 
   results.push_back(
-      {"evaluate_move_loop",
-       TimeNsPerOp(reps / 4, 1,
-                   [&] {
-                     const VertexId v = static_cast<VertexId>(
-                         rng.UniformInt(hybrid.graph.num_vertices()));
-                     double acc = 0;
-                     for (DcId to = 0; to < num_dcs; ++to) {
-                       acc += hybrid.state->EvaluateMove(v, to, &scratch)
-                                  .transfer_seconds;
-                     }
-                     volatile double sink = acc;
-                     (void)sink;
-                   }),
-       num_dcs * eval_bytes});
+      TimeOp("evaluate_move_loop", reps / 4, 1, [&] {
+        const VertexId v = static_cast<VertexId>(
+            rng.UniformInt(hybrid.graph.num_vertices()));
+        double acc = 0;
+        for (DcId to = 0; to < num_dcs; ++to) {
+          acc += hybrid.state->EvaluateMove(v, to, &scratch)
+                     .transfer_seconds;
+        }
+        volatile double sink = acc;
+        (void)sink;
+      }));
 
   results.push_back(
-      {"evaluate_place_edge_all",
-       TimeNsPerOp(reps, 1,
-                   [&] {
-                     const EdgeId e =
-                         rng.UniformInt(vertex_cut.graph.num_edges());
-                     vertex_cut.state->EvaluatePlaceEdgeAll(e, &scratch,
-                                                            evals);
-                     volatile double sink = evals[0].transfer_seconds;
-                     (void)sink;
-                   }),
-       eval_all_bytes});
+      TimeOp("evaluate_place_edge_all", reps, 1, [&] {
+        const EdgeId e = rng.UniformInt(vertex_cut.graph.num_edges());
+        vertex_cut.state->EvaluatePlaceEdgeAll(e, &scratch, evals);
+        volatile double sink = evals[0].transfer_seconds;
+        (void)sink;
+      }));
 
   results.push_back(
-      {"move_master",
-       TimeNsPerOp(reps, 1,
-                   [&] {
-                     const VertexId v = static_cast<VertexId>(
-                         rng.UniformInt(hybrid.graph.num_vertices()));
-                     hybrid.state->MoveMaster(
-                         v, static_cast<DcId>(rng.UniformInt(num_dcs)));
-                   }),
-       eval_bytes});
+      TimeOp("move_master", reps, 1, [&] {
+        const VertexId v = static_cast<VertexId>(
+            rng.UniformInt(hybrid.graph.num_vertices()));
+        hybrid.state->MoveMaster(
+            v, static_cast<DcId>(rng.UniformInt(num_dcs)));
+      }));
 
   results.push_back(
-      {"place_edge",
-       TimeNsPerOp(reps, 1,
-                   [&] {
-                     const EdgeId e =
-                         rng.UniformInt(vertex_cut.graph.num_edges());
-                     vertex_cut.state->PlaceEdge(
-                         e, static_cast<DcId>(rng.UniformInt(num_dcs)));
-                   }),
-       eval_bytes});
+      TimeOp("place_edge", reps, 1, [&] {
+        const EdgeId e = rng.UniformInt(vertex_cut.graph.num_edges());
+        vertex_cut.state->PlaceEdge(
+            e, static_cast<DcId>(rng.UniformInt(num_dcs)));
+      }));
 
   results.push_back(
-      {"current_objective",
-       TimeNsPerOp(reps, 1,
-                   [&] {
-                     volatile double sink =
-                         hybrid.state->CurrentObjective().transfer_seconds;
-                     (void)sink;
-                   }),
-       4.0 * num_dcs * 8});
+      TimeOp("current_objective", reps, 1, [&] {
+        volatile double sink =
+            hybrid.state->CurrentObjective().transfer_seconds;
+        (void)sink;
+      }));
 
   // Short end-to-end training run (Fig. 8 style): steps/sec over the
   // same instance through the full batched-scoring trainer path.
@@ -378,6 +450,51 @@ int main(int argc, char** argv) {
                  "FAIL: EvaluateMoveAll speedup %.2fx below required %.2fx\n",
                  speedup, required);
     return 1;
+  }
+
+  // ---- Regression gates against the committed reference. -------------
+  const std::string ref_path = flags.GetString("reference");
+  if (!ref_path.empty()) {
+    std::ifstream ref_file(ref_path);
+    if (!ref_file) {
+      std::fprintf(stderr, "cannot read reference %s\n", ref_path.c_str());
+      return 2;
+    }
+    std::ostringstream ref_stream;
+    ref_stream << ref_file.rdbuf();
+    const std::string ref = ref_stream.str();
+    bool gate_failed = false;
+
+    const double ref_trainer = FindJsonNumber(ref, "trainer_steps_per_sec");
+    const double floor_frac = flags.GetDouble("trainer_floor_frac");
+    if (!std::isnan(ref_trainer) && ref_trainer > 0) {
+      const double floor = ref_trainer * floor_frac;
+      if (trainer_steps_per_sec < floor) {
+        std::fprintf(stderr,
+                     "FAIL: trainer %.0f steps/s below floor %.0f "
+                     "(%.0f%% of committed %.0f)\n",
+                     trainer_steps_per_sec, floor, floor_frac * 100,
+                     ref_trainer);
+        gate_failed = true;
+      }
+    }
+
+    // Allocation ceilings are near-exact: heap traffic per op does not
+    // depend on machine load. The +1 byte/op slack only forgives a rare
+    // one-off scratch growth that lands inside the timed region.
+    for (const OpResult& r : results) {
+      const double ceiling = FindReferenceOpBytes(ref, r.op);
+      if (std::isnan(ceiling)) continue;
+      if (r.bytes_per_op > ceiling + 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: %s allocates %.2f bytes/op, committed "
+                     "ceiling is %.0f\n",
+                     r.op.c_str(), r.bytes_per_op, ceiling);
+        gate_failed = true;
+      }
+    }
+    if (gate_failed) return 1;
+    std::fprintf(stdout, "reference gates passed (%s)\n", ref_path.c_str());
   }
   return 0;
 }

@@ -47,7 +47,10 @@ Status WriteBytes(const std::string& path, const std::string& bytes) {
 // fuzzer can build adversarial files byte by byte) ---------------------
 
 constexpr char kCkpMagic[8] = {'R', 'L', 'C', 'U', 'T', 'C', 'K', 'P'};
-constexpr uint32_t kCkpVersion = 1;
+// Current version plus the oldest still-loadable one; v1 lacks the
+// session num_shards field (see rlcut/checkpoint.cc).
+constexpr uint32_t kCkpMinVersion = 1;
+constexpr uint32_t kCkpVersion = 2;
 // File layout: magic(8) version(4) payload_size(8) payload checksum(8).
 constexpr size_t kCkpPayloadSizeOffset = 12;
 constexpr size_t kCkpHeaderBytes = 20;
@@ -83,7 +86,9 @@ struct PayloadLayout {
   size_t rng_data_offset = 0;
 };
 
-PayloadLayout BuildValidPayload() {
+// Builds a structurally valid payload for `version` (v2 adds the
+// uint32 session shard count between visits_remaining and the history).
+PayloadLayout BuildValidPayload(uint32_t version) {
   PayloadLayout layout;
   std::string& p = layout.bytes;
   const uint64_t num_vertices = 4;
@@ -116,6 +121,9 @@ PayloadLayout BuildValidPayload() {
   Append<uint8_t>(&p, 1);                         // started
   Append<uint8_t>(&p, 0);                         // finished
   Append<int64_t>(&p, 40);                        // visits_remaining
+  if (version >= 2) {
+    Append<uint32_t>(&p, 2);                      // num_shards (v2)
+  }
   layout.history_count_offset = p.size();
   Append<uint64_t>(&p, 2);                        // history count
   for (int s = 0; s < 2; ++s) {
@@ -139,10 +147,11 @@ PayloadLayout BuildValidPayload() {
   return layout;
 }
 
-std::string WrapCheckpointFile(const std::string& payload) {
+std::string WrapCheckpointFile(const std::string& payload,
+                               uint32_t version = kCkpVersion) {
   std::string file;
   file.append(kCkpMagic, sizeof(kCkpMagic));
-  Append<uint32_t>(&file, kCkpVersion);
+  Append<uint32_t>(&file, version);
   Append<uint64_t>(&file, payload.size());
   file += payload;
   Append<uint64_t>(&file, Fnv1a64(payload.data(), payload.size()));
@@ -168,13 +177,20 @@ bool RefixCheckpointChecksum(std::string* file) {
 
 std::vector<CorpusCase> CheckpointCorpus() {
   std::vector<CorpusCase> corpus;
-  const PayloadLayout layout = BuildValidPayload();
+  const PayloadLayout layout = BuildValidPayload(kCkpVersion);
   const std::string valid = WrapCheckpointFile(layout.bytes);
   corpus.push_back({"valid", valid, true});
 
   {
+    // A pre-sharding v1 file (no num_shards field) must keep loading;
+    // its shard count is inferred from the rng state count.
+    const PayloadLayout v1 = BuildValidPayload(kCkpMinVersion);
+    corpus.push_back(
+        {"valid-v1", WrapCheckpointFile(v1.bytes, kCkpMinVersion), true});
+  }
+  {
     // Empty history and rng sections are legal.
-    PayloadLayout empty = BuildValidPayload();
+    PayloadLayout empty = BuildValidPayload(kCkpVersion);
     empty.bytes.resize(empty.history_count_offset);
     Append<uint64_t>(&empty.bytes, 0);  // history count
     Append<uint64_t>(&empty.bytes, 0);  // rng count
@@ -212,7 +228,7 @@ std::vector<CorpusCase> CheckpointCorpus() {
   {
     // Checksum-valid payload claiming 2^56 masters: ReadVector's
     // remaining-bytes bound must reject it without allocating.
-    PayloadLayout bad = BuildValidPayload();
+    PayloadLayout bad = BuildValidPayload(kCkpVersion);
     Overwrite<uint64_t>(&bad.bytes, bad.masters_count_offset, 1ull << 56);
     corpus.push_back(
         {"huge-masters-count", WrapCheckpointFile(bad.bytes), false});
@@ -220,14 +236,14 @@ std::vector<CorpusCase> CheckpointCorpus() {
   {
     // Checksum-valid payload claiming 2^56 history records (pre-fix:
     // unbounded resize of ~6 PB).
-    PayloadLayout bad = BuildValidPayload();
+    PayloadLayout bad = BuildValidPayload(kCkpVersion);
     Overwrite<uint64_t>(&bad.bytes, bad.history_count_offset, 1ull << 56);
     corpus.push_back(
         {"huge-history-count", WrapCheckpointFile(bad.bytes), false});
   }
   {
     // Checksum-valid payload claiming 2^56 rng states.
-    PayloadLayout bad = BuildValidPayload();
+    PayloadLayout bad = BuildValidPayload(kCkpVersion);
     Overwrite<uint64_t>(&bad.bytes, bad.rng_count_offset, 1ull << 56);
     corpus.push_back(
         {"huge-rng-count", WrapCheckpointFile(bad.bytes), false});
@@ -235,13 +251,22 @@ std::vector<CorpusCase> CheckpointCorpus() {
   {
     // Checksum-valid file whose first rng state is all zeros: resuming
     // it would abort inside Rng::SetState, so the loader must reject.
-    PayloadLayout bad = BuildValidPayload();
+    PayloadLayout bad = BuildValidPayload(kCkpVersion);
     for (int w = 0; w < 4; ++w) {
       Overwrite<uint64_t>(&bad.bytes,
                           bad.rng_data_offset + w * sizeof(uint64_t), 0);
     }
     corpus.push_back(
         {"zero-rng-state", WrapCheckpointFile(bad.bytes), false});
+  }
+  {
+    // Checksum-valid v2 file whose declared shard count disagrees with
+    // its rng state count: the per-shard streams would be ambiguous.
+    PayloadLayout bad = BuildValidPayload(kCkpVersion);
+    Overwrite<uint32_t>(&bad.bytes,
+                        bad.history_count_offset - sizeof(uint32_t), 5);
+    corpus.push_back(
+        {"shard-rng-count-mismatch", WrapCheckpointFile(bad.bytes), false});
   }
   {
     // Extra bytes inside the checksummed payload must be detected.

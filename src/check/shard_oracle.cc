@@ -1,0 +1,362 @@
+#include "check/shard_oracle.h"
+
+#include <array>
+#include <ios>
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cloud/topology.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "partition/partition_state.h"
+#include "partition/workload.h"
+#include "rlcut/checkpoint.h"
+#include "rlcut/trainer.h"
+
+namespace rlcut {
+namespace check {
+namespace {
+
+// Dyadic per-DC parameters, same discipline as the incremental oracle
+// (check/differential_oracle.cc): every constant is a small multiple of
+// a power of two so all additively maintained aggregates stay exact.
+const double kShardUplinkGbps[] = {0.5, 0.25, 1.0, 0.125,
+                                   2.0, 0.5,  0.25, 1.0};
+const double kShardDownlinkGbps[] = {1.0, 0.5, 2.0, 0.25,
+                                     4.0, 1.0, 0.5,  2.0};
+const double kShardUploadPrice[] = {0.0625, 0.125,  0.03125, 0.25,
+                                    0.09375, 0.0625, 0.5,     0.125};
+
+Topology MakeShardTopology(int num_dcs) {
+  std::vector<DataCenter> dcs(num_dcs);
+  for (int r = 0; r < num_dcs; ++r) {
+    dcs[r].name = "dc" + std::to_string(r);
+    dcs[r].uplink_gbps = kShardUplinkGbps[r % 8];
+    dcs[r].downlink_gbps = kShardDownlinkGbps[r % 8];
+    dcs[r].upload_price = kShardUploadPrice[r % 8];
+  }
+  return Topology(std::move(dcs));
+}
+
+Workload ShardWorkload() {
+  Workload w;
+  w.name = "shard-oracle-dyadic";
+  w.apply_base_bytes = 8;
+  w.apply_bytes_per_out_edge = 0.25;
+  w.gather_base_bytes = 4;
+  w.activity = {1.0, 0.5, 0.25, 0.25};
+  return w;
+}
+
+Graph MakeShardGraph(int kind, VertexId n, uint64_t m, uint64_t seed) {
+  switch (kind) {
+    case 0: {
+      PowerLawOptions o;
+      o.num_vertices = n;
+      o.num_edges = m;
+      o.exponent = 2.0;
+      o.seed = seed;
+      return GeneratePowerLaw(o);
+    }
+    case 1:
+      return GenerateErdosRenyi(n, m, seed);
+    default: {
+      RmatOptions o;
+      o.num_vertices = n;
+      o.num_edges = m;
+      o.seed = seed;
+      return GenerateRmat(o);
+    }
+  }
+}
+
+// One deterministic problem instance, rebuilt state-by-state for every
+// trainer run so runs never share mutable state.
+struct Instance {
+  Topology topology;
+  Graph graph;
+  std::vector<DcId> locations;
+  std::vector<double> sizes;
+  PartitionConfig config;
+
+  Instance(const ShardOracleOptions& options, int kind, uint64_t seed)
+      : topology(MakeShardTopology(options.num_dcs)) {
+    graph = MakeShardGraph(kind, options.num_vertices, options.num_edges,
+                           seed);
+    locations.resize(graph.num_vertices());
+    sizes.resize(graph.num_vertices());
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      locations[v] = static_cast<DcId>(v % options.num_dcs);
+      // Whole-GB-fraction dyadic input sizes.
+      sizes[v] = 1.0 + 0.25 * static_cast<double>(v % 8);
+    }
+    config.model = ComputeModel::kHybridCut;
+    config.theta = PartitionState::AutoTheta(graph);
+    config.workload = ShardWorkload();
+  }
+
+  std::unique_ptr<PartitionState> MakeState() const {
+    auto state = std::make_unique<PartitionState>(&graph, &topology,
+                                                  &locations, &sizes, config);
+    state->ResetDerived(locations);
+    return state;
+  }
+
+  std::vector<VertexId> AllVertices() const {
+    std::vector<VertexId> all(graph.num_vertices());
+    std::iota(all.begin(), all.end(), 0u);
+    return all;
+  }
+};
+
+RLCutOptions TrainerOptions(const ShardOracleOptions& options,
+                            ActionSelection selection, int num_shards,
+                            int num_threads, uint64_t seed) {
+  RLCutOptions topts;
+  topts.max_steps = options.max_steps;
+  topts.batch_size = options.batch_size;
+  topts.num_threads = num_threads;
+  topts.num_shards = num_shards;
+  topts.selection = selection;
+  topts.seed = seed;
+  // Deterministic visit budget: wall-clock sampling (Eq. 14) is the
+  // one nondeterministic input to a step, so the oracle never uses it.
+  topts.agent_visit_budget =
+      static_cast<int64_t>(options.num_vertices) * 4;
+  topts.convergence_epsilon = 1e-12;
+  return topts;
+}
+
+// Everything a lane compares between two runs.
+struct RunOutcome {
+  std::vector<DcId> masters;
+  Objective objective;
+  std::vector<std::array<uint64_t, 4>> rng_states;
+  uint64_t decisions = 0;
+};
+
+RunOutcome RunTrainer(const Instance& instance, const RLCutOptions& topts) {
+  RunOutcome outcome;
+  auto state = instance.MakeState();
+  AutomatonPool pool(instance.graph.num_vertices(),
+                     instance.topology.num_dcs(), topts);
+  TrainerSession session;
+  RLCutTrainer trainer(topts);
+  const TrainResult result =
+      trainer.Train(state.get(), instance.AllVertices(), &pool, &session);
+  outcome.masters = state->masters();
+  outcome.objective = result.final_objective;
+  outcome.rng_states = session.rng_states;
+  for (const StepStats& step : result.steps) {
+    outcome.decisions += step.num_agents;
+  }
+  return outcome;
+}
+
+std::string Hex(double x) {
+  std::ostringstream out;
+  out << std::hexfloat << x << std::defaultfloat << " (" << x << ")";
+  return out.str();
+}
+
+bool SameObjective(const Objective& a, const Objective& b) {
+  return a.transfer_seconds == b.transfer_seconds &&
+         a.cost_dollars == b.cost_dollars &&
+         a.smooth_seconds == b.smooth_seconds;
+}
+
+std::string DiffOutcome(const RunOutcome& a, const RunOutcome& b,
+                        bool compare_rng) {
+  std::ostringstream out;
+  if (a.masters != b.masters) {
+    size_t diffs = 0;
+    VertexId first = 0;
+    for (VertexId v = 0; v < a.masters.size() && v < b.masters.size();
+         ++v) {
+      if (a.masters[v] != b.masters[v]) {
+        if (diffs == 0) first = v;
+        ++diffs;
+      }
+    }
+    out << " masters differ at " << diffs << " vertices (first v=" << first
+        << ": " << (first < a.masters.size() ? a.masters[first] : -1)
+        << " vs " << (first < b.masters.size() ? b.masters[first] : -1)
+        << ")";
+  }
+  if (!SameObjective(a.objective, b.objective)) {
+    out << " objective transfer " << Hex(a.objective.transfer_seconds)
+        << " vs " << Hex(b.objective.transfer_seconds) << ", cost "
+        << Hex(a.objective.cost_dollars) << " vs "
+        << Hex(b.objective.cost_dollars);
+  }
+  if (compare_rng && a.rng_states != b.rng_states) {
+    out << " per-shard rng states differ";
+  }
+  return out.str();
+}
+
+bool SameOutcome(const RunOutcome& a, const RunOutcome& b,
+                 bool compare_rng) {
+  return a.masters == b.masters && SameObjective(a.objective, b.objective) &&
+         (!compare_rng || a.rng_states == b.rng_states);
+}
+
+}  // namespace
+
+std::string ShardOracleReport::Summary() const {
+  std::ostringstream out;
+  out << "shard oracle: " << instances << " instances, " << runs
+      << " training runs, " << move_decisions << " move decisions ("
+      << thread_lane_checks << " thread-invariance, " << shard_lane_checks
+      << " shard-vs-single, " << resume_lane_checks
+      << " cross-thread resume checks), " << failures.size() << " failures";
+  return out.str();
+}
+
+ShardOracleReport RunShardOracle(const ShardOracleOptions& options) {
+  ShardOracleReport report;
+  constexpr int kShardCounts[] = {2, 3, 4, 8};
+  constexpr ActionSelection kAllModes[] = {
+      ActionSelection::kUcbBlend, ActionSelection::kProbability,
+      ActionSelection::kUcbScore, ActionSelection::kGreedy};
+  constexpr const char* kAllModeNames[] = {"ucb_blend", "probability",
+                                           "ucb_score", "greedy"};
+  constexpr ActionSelection kDeterministicModes[] = {
+      ActionSelection::kUcbBlend, ActionSelection::kUcbScore,
+      ActionSelection::kGreedy};
+  constexpr const char* kDeterministicModeNames[] = {"ucb_blend",
+                                                     "ucb_score", "greedy"};
+
+  for (int i = 0; i < options.num_instances; ++i) {
+    if (static_cast<int>(report.failures.size()) >= options.max_failures) {
+      break;
+    }
+    const uint64_t seed = options.seed + static_cast<uint64_t>(i) * 131;
+    const int kind = i % 3;
+    const int shards = kShardCounts[i % 4];
+    const Instance instance(options, kind, seed);
+    ++report.instances;
+    auto fail = [&](const std::string& lane, const std::string& message) {
+      std::ostringstream out;
+      out << "instance " << i << " (graph kind " << kind << ", " << shards
+          << " shards, seed " << seed << ") " << lane << ":" << message;
+      report.failures.push_back(out.str());
+    };
+
+    // ---- Lane A: thread invariance at a fixed shard count. ----------
+    // All selection modes, including kProbability (the only one that
+    // draws from the per-shard PRNGs); the final RNG states must match
+    // too, or a resumed run would diverge later even though the final
+    // plan agrees now.
+    {
+      const ActionSelection mode = kAllModes[i % 4];
+      const std::string lane =
+          std::string("thread-invariance[") + kAllModeNames[i % 4] + "]";
+      const RunOutcome reference = RunTrainer(
+          instance, TrainerOptions(options, mode, shards, 1, seed));
+      ++report.runs;
+      for (int threads : {2, 5}) {
+        const RunOutcome other = RunTrainer(
+            instance, TrainerOptions(options, mode, shards, threads, seed));
+        ++report.runs;
+        report.move_decisions += other.decisions;
+        ++report.thread_lane_checks;
+        if (!SameOutcome(reference, other, /*compare_rng=*/true)) {
+          fail(lane, " " + std::to_string(threads) +
+                         " threads diverged from 1 thread:" +
+                         DiffOutcome(reference, other, true));
+        }
+      }
+    }
+
+    // ---- Lane B: sharded vs single-shard, deterministic modes. ------
+    // With no PRNG draws, per-vertex automaton updates within a batch
+    // commute and the migration stage replays slots in batch order, so
+    // the shard count must not change the trajectory either.
+    {
+      const ActionSelection mode = kDeterministicModes[i % 3];
+      const std::string lane = std::string("shard-vs-single[") +
+                               kDeterministicModeNames[i % 3] + "]";
+      const RunOutcome single = RunTrainer(
+          instance, TrainerOptions(options, mode, 1, 2, seed));
+      const RunOutcome sharded = RunTrainer(
+          instance, TrainerOptions(options, mode, shards, 2, seed));
+      report.runs += 2;
+      report.move_decisions += sharded.decisions;
+      ++report.shard_lane_checks;
+      if (!SameOutcome(single, sharded, /*compare_rng=*/false)) {
+        fail(lane, " " + std::to_string(shards) +
+                       " shards diverged from 1 shard:" +
+                       DiffOutcome(single, sharded, false));
+      }
+    }
+
+    // ---- Lane C: checkpoint resume under a different thread count. --
+    {
+      const ActionSelection mode = kAllModes[i % 4];
+      const std::string lane =
+          std::string("cross-thread-resume[") + kAllModeNames[i % 4] + "]";
+      const RunOutcome uninterrupted = RunTrainer(
+          instance, TrainerOptions(options, mode, shards, 3, seed));
+      ++report.runs;
+
+      const RLCutOptions pause_opts =
+          TrainerOptions(options, mode, shards, 3, seed);
+      auto state = instance.MakeState();
+      AutomatonPool pool(instance.graph.num_vertices(),
+                         instance.topology.num_dcs(), pause_opts);
+      TrainerSession session;
+      session.stop_after_step = options.max_steps / 2;
+      RLCutTrainer(pause_opts)
+          .Train(state.get(), instance.AllVertices(), &pool, &session);
+      const TrainerCheckpoint checkpoint =
+          CaptureCheckpoint(*state, pool, session, pause_opts.seed);
+
+      // A different host: 1 worker thread instead of 3, same shards.
+      const RLCutOptions resume_opts =
+          TrainerOptions(options, mode, shards, 1, seed);
+      auto resumed_state = instance.MakeState();
+      AutomatonPool resumed_pool(instance.graph.num_vertices(),
+                                 instance.topology.num_dcs(), resume_opts);
+      TrainerSession resumed_session;
+      if (Status restored =
+              RestoreCheckpoint(checkpoint, resumed_state.get(),
+                                &resumed_pool, &resumed_session);
+          !restored.ok()) {
+        fail(lane, " RestoreCheckpoint: " + restored.ToString());
+        continue;
+      }
+      RLCutTrainer resume_trainer(resume_opts);
+      if (Status resumable = resume_trainer.ValidateResume(resumed_session);
+          !resumable.ok()) {
+        fail(lane, " ValidateResume rejected a same-shard-count resume: " +
+                       resumable.ToString());
+        continue;
+      }
+      const TrainResult resumed_result = resume_trainer.Train(
+          resumed_state.get(), instance.AllVertices(), &resumed_pool,
+          &resumed_session);
+      ++report.runs;
+      RunOutcome resumed;
+      resumed.masters = resumed_state->masters();
+      resumed.objective = resumed_result.final_objective;
+      resumed.rng_states = resumed_session.rng_states;
+      for (const StepStats& step : resumed_result.steps) {
+        report.move_decisions += step.num_agents;
+      }
+      ++report.resume_lane_checks;
+      if (!SameOutcome(uninterrupted, resumed, /*compare_rng=*/true)) {
+        fail(lane,
+             " resumed run diverged from the uninterrupted run:" +
+                 DiffOutcome(uninterrupted, resumed, true));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace check
+}  // namespace rlcut

@@ -1,0 +1,70 @@
+#ifndef RLCUT_CHECK_SHARD_ORACLE_H_
+#define RLCUT_CHECK_SHARD_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rlcut {
+namespace check {
+
+/// Differential oracle for the sharded training runtime
+/// (docs/sharding.md). Replays full training runs on small dyadic-exact
+/// instances and demands *bit-exact* agreement on the final masters,
+/// the final objective and the per-shard PRNG states across the three
+/// equivalences the determinism contract promises:
+///
+///   * thread invariance — with the shard count fixed, any worker
+///     thread count produces the same trajectory (all action-selection
+///     modes, including the RNG-drawing kProbability);
+///   * shard-vs-single — for the deterministic selection modes (UCB
+///     blend/score, greedy), training with N shards equals training
+///     with 1 shard, because per-vertex automaton updates within a
+///     batch commute and no PRNG is drawn;
+///   * cross-thread resume — a run paused mid-flight, round-tripped
+///     through a checkpoint, and resumed by a trainer with a different
+///     thread count finishes bit-identical to the uninterrupted run.
+///
+/// Exact equality is sound for the same reason as the incremental
+/// oracle (see check/differential_oracle.h): the compared runs execute
+/// the same floating-point operations in the same order, so any
+/// mismatch is a logic bug in the ownership protocol, never FP noise.
+struct ShardOracleOptions {
+  /// Independent instances; graph kind, shard count and selection mode
+  /// are cycled per instance.
+  int num_instances = 6;
+  VertexId num_vertices = 160;
+  uint64_t num_edges = 960;
+  int num_dcs = 4;
+  int max_steps = 4;
+  int batch_size = 16;
+  uint64_t seed = 1;
+  /// Stop collecting after this many failures.
+  int max_failures = 16;
+};
+
+struct ShardOracleReport {
+  uint64_t instances = 0;
+  /// Trainer runs executed across all lanes.
+  uint64_t runs = 0;
+  /// Randomized per-agent migration decisions replayed and compared
+  /// (the trained agent visits of every non-reference run).
+  uint64_t move_decisions = 0;
+  uint64_t thread_lane_checks = 0;
+  uint64_t shard_lane_checks = 0;
+  uint64_t resume_lane_checks = 0;
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+/// Runs the oracle. Deterministic given options.seed.
+ShardOracleReport RunShardOracle(const ShardOracleOptions& options);
+
+}  // namespace check
+}  // namespace rlcut
+
+#endif  // RLCUT_CHECK_SHARD_ORACLE_H_

@@ -38,6 +38,16 @@ Result<std::string> ReadEnvelopeFile(const std::string& path,
                                      const char* magic,
                                      uint32_t expected_version,
                                      const std::string& kind) {
+  return ReadEnvelopeFile(path, magic, expected_version, expected_version,
+                          kind, nullptr);
+}
+
+Result<std::string> ReadEnvelopeFile(const std::string& path,
+                                     const char* magic,
+                                     uint32_t min_version,
+                                     uint32_t max_version,
+                                     const std::string& kind,
+                                     uint32_t* version_out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IoError("cannot open " + path);
@@ -57,11 +67,17 @@ Result<std::string> ReadEnvelopeFile(const std::string& path,
   if (!in.read(reinterpret_cast<char*>(&version), sizeof(version))) {
     return Status::IoError(path + ": truncated " + kind + " header");
   }
-  if (version != expected_version) {
+  if (version < min_version || version > max_version) {
+    const std::string expected =
+        min_version == max_version
+            ? std::to_string(max_version)
+            : std::to_string(min_version) + ".." +
+                  std::to_string(max_version);
     return Status::IoError(path + ": unsupported " + kind + " version " +
                            std::to_string(version) + " (expected " +
-                           std::to_string(expected_version) + ")");
+                           expected + ")");
   }
+  if (version_out != nullptr) *version_out = version;
   uint64_t payload_size = 0;
   if (!in.read(reinterpret_cast<char*>(&payload_size),
                sizeof(payload_size))) {

@@ -117,6 +117,17 @@ Result<std::string> ReadEnvelopeFile(const std::string& path,
                                      uint32_t expected_version,
                                      const std::string& kind);
 
+/// Same, accepting any version in [min_version, max_version] (for file
+/// formats that kept decode support for older revisions). The version
+/// actually found is returned through `version_out` so the caller can
+/// branch its payload decoding on it.
+Result<std::string> ReadEnvelopeFile(const std::string& path,
+                                     const char* magic,
+                                     uint32_t min_version,
+                                     uint32_t max_version,
+                                     const std::string& kind,
+                                     uint32_t* version_out);
+
 }  // namespace rlcut
 
 #endif  // RLCUT_COMMON_BYTE_IO_H_

@@ -45,7 +45,15 @@ MicroBatch StreamBuffer::Cut(SimTime watermark) {
               return a.sequence < b.sequence;
             });
   batch.edges.reserve(cut.size());
-  for (const StreamEvent& e : cut) batch.edges.push_back(e.edge);
+  for (const StreamEvent& e : cut) {
+    batch.edges.push_back(e.edge);
+    // Retire the shipped event's dedup entry: the set only guards the
+    // in-flight window, so a year-long stream does not accumulate a
+    // year of sequence ids (see the class comment for the redelivery
+    // contract this buys).
+    seen_sequences_.erase(e.sequence);
+    ++stats_.sequences_retired;
+  }
   pending_ = std::move(rest);
   stats_.pending = pending_.size();
   last_watermark_ = watermark;

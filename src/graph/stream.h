@@ -42,6 +42,13 @@ struct StreamBufferStats {
   uint64_t late_deferred = 0;
   /// Events admitted but not yet cut into a batch.
   uint64_t pending = 0;
+  /// Sequence ids released from the dedup set because their event was
+  /// cut into a batch. Steady-state invariant:
+  ///   accepted == sequences_retired + pending
+  /// — the dedup set only holds ids of pending events, so buffer
+  /// memory is bounded by the distance between pushes and cuts, not by
+  /// the lifetime of the stream.
+  uint64_t sequences_retired = 0;
 };
 
 /// Reorder/dedup buffer between a temporal edge transport and a
@@ -50,9 +57,17 @@ struct StreamBufferStats {
 /// (time, sequence) order. Determinism under arrival-order shuffles is
 /// the property the streaming oracle replays against: any permutation
 /// of Push calls between two Cuts yields bit-identical batches.
+///
+/// Memory is bounded: Cut retires the sequence ids of the events it
+/// ships, so both the pending list and the dedup set track only the
+/// in-flight window between cuts — a long-lived daemon does not grow
+/// with stream length. The trade is a bounded redelivery window: a
+/// duplicate delivery is only recognized while its original is still
+/// pending; one redelivered after its batch was cut re-enters as a
+/// late event (at-least-once delivery, same as the transport itself).
 class StreamBuffer {
  public:
-  /// Admits `event` unless its sequence id was already seen (duplicate
+  /// Admits `event` unless its sequence id is pending (duplicate
   /// delivery; dropped, counted). Events at or before the last cut
   /// watermark are late: still admitted, counted, carried by the next
   /// Cut regardless of its watermark. Returns true if admitted.

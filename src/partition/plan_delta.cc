@@ -1,0 +1,43 @@
+#include "partition/plan_delta.h"
+
+#include <string>
+
+namespace rlcut {
+
+Status PlanReplica::Apply(const PlanDelta& delta) {
+  if (delta.base_version != version_) {
+    return Status::FailedPrecondition(
+        "plan delta applies on version " +
+        std::to_string(delta.base_version) + " but the replica is at " +
+        std::to_string(version_));
+  }
+  // Validate the whole delta before touching the replica so a rejected
+  // delta leaves it bit-identical to its pre-Apply state. Moves within
+  // a delta apply in order, so `from` chains through duplicates.
+  std::vector<DcId> applied(masters_);
+  for (const PlanMove& move : delta.moves) {
+    if (move.vertex >= applied.size()) {
+      return Status::OutOfRange("plan delta moves vertex " +
+                                std::to_string(move.vertex) +
+                                " outside the replica");
+    }
+    if (move.to < 0 || move.to >= num_dcs_) {
+      return Status::OutOfRange("plan delta moves vertex " +
+                                std::to_string(move.vertex) +
+                                " to unknown DC " + std::to_string(move.to));
+    }
+    if (applied[move.vertex] != move.from) {
+      return Status::FailedPrecondition(
+          "plan delta expects vertex " + std::to_string(move.vertex) +
+          " mastered at DC " + std::to_string(move.from) +
+          " but the replica has it at " +
+          std::to_string(applied[move.vertex]));
+    }
+    applied[move.vertex] = move.to;
+  }
+  masters_ = std::move(applied);
+  ++version_;
+  return Status::Ok();
+}
+
+}  // namespace rlcut

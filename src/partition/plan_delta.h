@@ -1,0 +1,62 @@
+#ifndef RLCUT_PARTITION_PLAN_DELTA_H_
+#define RLCUT_PARTITION_PLAN_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace rlcut {
+
+/// One committed master migration, as shipped between shards.
+/// `from` is carried so a replica can verify it is applying the delta
+/// onto the state the owner committed against.
+struct PlanMove {
+  VertexId vertex = 0;
+  DcId from = 0;
+  DcId to = 0;
+};
+
+/// An ordered batch of committed moves from one sync interval.
+/// `base_version` is the replica version the delta applies on top of;
+/// applying it advances the replica to `base_version + 1`.
+struct PlanDelta {
+  uint64_t base_version = 0;
+  std::vector<PlanMove> moves;
+};
+
+/// A versioned snapshot of the masters array, kept in sync by applying
+/// PlanDeltas in version order (docs/sharding.md). This is the
+/// process-ready half of the sharded ownership protocol: non-owner
+/// shards read plan state from a replica like this one instead of the
+/// owner's address space, and the owner publishes its committed moves
+/// as deltas at the sync cadence. In the threads-first runtime the
+/// trainer maintains one replica next to the authoritative
+/// PartitionState and audits that the two agree after every sync; in a
+/// process split, Apply runs on the far side of an RPC instead.
+class PlanReplica {
+ public:
+  PlanReplica() = default;
+  PlanReplica(std::vector<DcId> masters, int num_dcs)
+      : masters_(std::move(masters)), num_dcs_(num_dcs) {}
+
+  /// Applies `delta` in order. Fails without mutating anything if the
+  /// delta's base version does not match this replica, a move's vertex
+  /// or destination is out of range, or a move's `from` disagrees with
+  /// the replica (the owner and the replica have diverged).
+  Status Apply(const PlanDelta& delta);
+
+  const std::vector<DcId>& masters() const { return masters_; }
+  DcId master(VertexId v) const { return masters_[v]; }
+  uint64_t version() const { return version_; }
+
+ private:
+  std::vector<DcId> masters_;
+  int num_dcs_ = 0;
+  uint64_t version_ = 0;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_PARTITION_PLAN_DELTA_H_

@@ -16,7 +16,13 @@ namespace {
 // (partition/session_io). Host endianness is fine: this is a
 // single-machine pause/resume file, not an interchange format.
 constexpr char kMagic[8] = {'R', 'L', 'C', 'U', 'T', 'C', 'K', 'P'};
-constexpr uint32_t kFormatVersion = 1;
+// v2 added TrainerSession::num_shards (the shard count became a
+// checkpoint property when RNG streams moved from per-thread to
+// per-shard keying). v1 files still load: their shard count is the
+// number of saved PRNG streams, which under the per-thread era equals
+// the thread count the session was paused with.
+constexpr uint32_t kMinFormatVersion = 1;
+constexpr uint32_t kFormatVersion = 2;
 
 std::string EncodePayload(const TrainerCheckpoint& checkpoint) {
   ByteWriter writer;
@@ -38,6 +44,7 @@ std::string EncodePayload(const TrainerCheckpoint& checkpoint) {
   writer.Write<uint8_t>(session.started ? 1 : 0);
   writer.Write<uint8_t>(session.finished ? 1 : 0);
   writer.Write<int64_t>(session.visits_remaining);
+  writer.Write<uint32_t>(session.num_shards);  // v2
   writer.Write<uint64_t>(session.history.size());
   for (const StepStats& step : session.history) {
     writer.Write<int32_t>(step.step);
@@ -56,7 +63,7 @@ std::string EncodePayload(const TrainerCheckpoint& checkpoint) {
   return writer.bytes();
 }
 
-Status DecodePayload(const std::string& payload,
+Status DecodePayload(const std::string& payload, uint32_t version,
                      TrainerCheckpoint* checkpoint) {
   ByteReader reader(payload);
   uint32_t model = 0;
@@ -84,8 +91,13 @@ Status DecodePayload(const std::string& payload,
   uint64_t history_size = 0;
   if (!reader.Read(&session.next_step) || !reader.Read(&started) ||
       !reader.Read(&finished) ||
-      !reader.Read(&session.visits_remaining) ||
-      !reader.Read(&history_size)) {
+      !reader.Read(&session.visits_remaining)) {
+    return Status::IoError("truncated checkpoint payload");
+  }
+  if (version >= 2 && !reader.Read(&session.num_shards)) {
+    return Status::IoError("truncated checkpoint payload");
+  }
+  if (!reader.Read(&history_size)) {
     return Status::IoError("truncated checkpoint payload");
   }
   session.started = started != 0;
@@ -130,6 +142,16 @@ Status DecodePayload(const std::string& payload,
     if (nonzero == 0) {
       return Status::IoError("checkpoint contains an all-zero rng state");
     }
+  }
+  if (version < 2) {
+    // Pre-sharding files keyed one PRNG stream per worker thread; the
+    // resumed run treats that count as its shard count so the saved
+    // streams keep their meaning.
+    session.num_shards = static_cast<uint32_t>(rng_count);
+  } else if (session.num_shards != 0 && rng_count != 0 &&
+             session.num_shards != rng_count) {
+    return Status::IoError(
+        "checkpoint shard count disagrees with its rng state count");
   }
   if (!reader.exhausted()) {
     return Status::IoError("trailing bytes in checkpoint payload");
@@ -222,11 +244,13 @@ Status SaveTrainerCheckpointRotating(const TrainerCheckpoint& checkpoint,
 
 Result<TrainerCheckpoint> LoadTrainerCheckpoint(const std::string& path) {
   obs::TraceSpan span("checkpoint/load", "checkpoint");
+  uint32_t version = 0;
   Result<std::string> payload =
-      ReadEnvelopeFile(path, kMagic, kFormatVersion, "checkpoint");
+      ReadEnvelopeFile(path, kMagic, kMinFormatVersion, kFormatVersion,
+                       "checkpoint", &version);
   if (!payload.ok()) return payload.status();
   TrainerCheckpoint checkpoint;
-  if (Status s = DecodePayload(*payload, &checkpoint); !s.ok()) {
+  if (Status s = DecodePayload(*payload, version, &checkpoint); !s.ok()) {
     return Status(s.code(), path + ": " + s.message());
   }
   obs::DefaultRegistry().GetCounter("checkpoint.loads")->Increment();

@@ -54,12 +54,17 @@ Status RestoreCheckpoint(const TrainerCheckpoint& checkpoint,
 
 /// Binary file format (see docs/dynamic_environments.md):
 ///   [8]  magic "RLCUTCKP"
-///   [4]  format version (currently 1)
+///   [4]  format version (currently 2; v1 files still load)
 ///   [8]  payload size in bytes
 ///   [..] payload (host-endian fixed-width fields and arrays)
 ///   [8]  FNV-1a 64-bit checksum of the payload
-/// Loading rejects bad magic, unsupported versions, truncation and
-/// checksum mismatches with distinct error messages.
+/// v2 added TrainerSession::num_shards to the payload; a v1 file's
+/// shard count is inferred from its saved PRNG stream count (which the
+/// pre-sharding trainer keyed per thread), so old checkpoints resume
+/// on a trainer configured with num_shards equal to the thread count
+/// they were paused with. Loading rejects bad magic, unsupported
+/// versions, truncation and checksum mismatches with distinct error
+/// messages.
 ///
 /// Saves are crash-consistent (docs/robustness.md): the file is staged
 /// to `path`+".tmp", fsynced, and renamed over `path`, so a crash at

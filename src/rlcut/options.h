@@ -39,8 +39,24 @@ struct RLCutOptions {
   /// Agents whose migrations are decided against the same state snapshot
   /// and scored in parallel (paper default: 48).
   int batch_size = 48;
-  /// Worker threads; 0 = hardware concurrency.
+  /// Worker threads; 0 = hardware concurrency. A host property: it only
+  /// sets how much scoring parallelism the trainer uses and never
+  /// affects the trajectory (see num_shards).
   int num_threads = 0;
+  /// Logical shards the automaton pool is partitioned into, each owning
+  /// a contiguous degree-balanced vertex range (docs/sharding.md). The
+  /// owner shard scores and commits its vertices, and the commit-phase
+  /// PRNG streams are keyed per shard, so the trajectory depends on the
+  /// shard count but never on num_threads — a checkpoint property, not
+  /// a host property. 0 = kDefaultNumShards, which is deliberately a
+  /// constant (not hardware concurrency) so two hosts resume the same
+  /// checkpoint bit-identically without configuring anything.
+  int num_shards = 0;
+  /// Delta-sync cadence of the sharded ownership protocol: the plan
+  /// replica non-owner shards read is brought up to date every N
+  /// batches (docs/sharding.md). Larger values batch more moves per
+  /// sync message; the committed trajectory is unaffected.
+  int shard_sync_batches = 4;
 
   /// Budget B on inter-DC communication cost, dollars (Eq. 7).
   /// <= 0 disables the constraint.
@@ -121,6 +137,9 @@ struct RLCutOptions {
 
   uint64_t seed = 1;
 };
+
+/// Default logical shard count when RLCutOptions::num_shards is 0.
+inline constexpr int kDefaultNumShards = 8;
 
 }  // namespace rlcut
 

@@ -1,0 +1,42 @@
+#include "rlcut/shard.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rlcut {
+
+ShardLayout::ShardLayout(const Graph& graph, size_t num_shards) {
+  RLCUT_CHECK_GE(num_shards, size_t{1});
+  const VertexId n = graph.num_vertices();
+  starts_.reserve(num_shards + 1);
+  starts_.push_back(0);
+
+  // Degree-balanced prefix sweep: shard s ends at the first vertex
+  // where the cumulative weight reaches (s+1)/num_shards of the total.
+  // Weight degree+1 keeps isolated vertices from collapsing every
+  // boundary onto the hubs.
+  uint64_t total = 0;
+  for (VertexId v = 0; v < n; ++v) total += graph.Degree(v) + 1;
+  uint64_t prefix = 0;
+  VertexId v = 0;
+  for (size_t s = 1; s < num_shards; ++s) {
+    const uint64_t target = total * s / num_shards;
+    while (v < n && prefix < target) {
+      prefix += graph.Degree(v) + 1;
+      ++v;
+    }
+    starts_.push_back(v);
+  }
+  starts_.push_back(n);
+}
+
+size_t ShardLayout::OwnerOf(VertexId v) const {
+  RLCUT_DCHECK(!starts_.empty());
+  RLCUT_DCHECK(v < starts_.back());
+  // First start strictly past v; its predecessor's shard owns v.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), v);
+  return static_cast<size_t>(it - starts_.begin()) - 1;
+}
+
+}  // namespace rlcut

@@ -1,0 +1,52 @@
+#ifndef RLCUT_RLCUT_SHARD_H_
+#define RLCUT_RLCUT_SHARD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rlcut {
+
+/// Partition of the vertex id space into N logical shards, each owning
+/// one contiguous range (docs/sharding.md). The automaton pool, the
+/// commit-phase PRNG streams and (in the process split) the plan
+/// replicas are all keyed by shard, so the layout is the unit of
+/// ownership for the sharded training runtime.
+///
+/// The layout is a pure function of the graph and the shard count:
+/// ranges are degree-balanced (each shard owns roughly an equal share
+/// of sum(degree + 1)) by a deterministic prefix sweep, so every host
+/// that builds a layout for the same problem and shard count gets the
+/// same ownership map — the property that makes shard count a
+/// checkpoint property and thread count a host property.
+class ShardLayout {
+ public:
+  /// An empty layout (no shards); assign a real one before use.
+  ShardLayout() = default;
+
+  /// Splits `[0, graph.num_vertices())` into `num_shards` contiguous
+  /// degree-balanced ranges. `num_shards` must be >= 1; shards beyond
+  /// the vertex count own empty ranges.
+  ShardLayout(const Graph& graph, size_t num_shards);
+
+  size_t num_shards() const {
+    return starts_.empty() ? 0 : starts_.size() - 1;
+  }
+
+  /// The shard owning vertex `v` (binary search over the range starts).
+  size_t OwnerOf(VertexId v) const;
+
+  /// Owned range of shard `s`: [shard_begin(s), shard_end(s)).
+  VertexId shard_begin(size_t s) const { return starts_[s]; }
+  VertexId shard_end(size_t s) const { return starts_[s + 1]; }
+
+ private:
+  // starts_[s] .. starts_[s+1] is shard s's range; num_shards + 1
+  // entries, starts_.front() == 0, starts_.back() == num_vertices.
+  std::vector<VertexId> starts_;
+};
+
+}  // namespace rlcut
+
+#endif  // RLCUT_RLCUT_SHARD_H_

@@ -17,7 +17,9 @@
 #include "common/timer.h"
 #include "fault/fault.h"
 #include "obs/trace.h"
+#include "partition/plan_delta.h"
 #include "rlcut/checkpoint.h"
+#include "rlcut/shard.h"
 
 namespace rlcut {
 namespace {
@@ -150,26 +152,92 @@ std::vector<StepStats> StepStatsFromRegistry(
   return steps;
 }
 
+Status ValidateRLCutOptions(const RLCutOptions& options) {
+  if (options.max_steps <= 0) {
+    return Status::InvalidArgument("max_steps must be positive, got " +
+                                   std::to_string(options.max_steps));
+  }
+  if (options.batch_size <= 0) {
+    return Status::InvalidArgument("batch_size must be positive, got " +
+                                   std::to_string(options.batch_size));
+  }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument(
+        "num_threads must be >= 0 (0 = hardware concurrency), got " +
+        std::to_string(options.num_threads));
+  }
+  if (options.num_shards < 0) {
+    return Status::InvalidArgument(
+        "num_shards must be >= 0 (0 = kDefaultNumShards), got " +
+        std::to_string(options.num_shards));
+  }
+  if (options.shard_sync_batches < 0) {
+    return Status::InvalidArgument(
+        "shard_sync_batches must be >= 0, got " +
+        std::to_string(options.shard_sync_batches));
+  }
+  if (options.chunk_max_retries < 0) {
+    return Status::InvalidArgument("chunk_max_retries must be >= 0, got " +
+                                   std::to_string(options.chunk_max_retries));
+  }
+  if (options.checkpoint_every_steps < 0) {
+    return Status::InvalidArgument(
+        "checkpoint_every_steps must be >= 0 (0 = disabled), got " +
+        std::to_string(options.checkpoint_every_steps));
+  }
+  if (options.checkpoint_every_steps > 0 && options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint_every_steps > 0 requires a checkpoint_path");
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<RLCutTrainer>> RLCutTrainer::Create(
+    const RLCutOptions& options) {
+  if (Status valid = ValidateRLCutOptions(options); !valid.ok()) {
+    return valid;
+  }
+  return std::make_unique<RLCutTrainer>(options);
+}
+
 RLCutTrainer::RLCutTrainer(const RLCutOptions& options) : options_(options) {
-  RLCUT_CHECK_GT(options_.max_steps, 0);
-  RLCUT_CHECK_GT(options_.batch_size, 0);
+  // Clamp instead of crashing: callers holding options from external
+  // input validate through Create()/ValidateRLCutOptions() first and
+  // get a Status; programmatic callers get nearest-legal behavior.
+  options_.max_steps = std::max(1, options_.max_steps);
+  options_.batch_size = std::max(1, options_.batch_size);
+  options_.num_threads = std::max(0, options_.num_threads);
+  options_.num_shards = std::max(0, options_.num_shards);
+  options_.shard_sync_batches = std::max(0, options_.shard_sync_batches);
+  options_.chunk_max_retries = std::max(0, options_.chunk_max_retries);
   num_threads_ = options_.num_threads > 0
                      ? static_cast<size_t>(options_.num_threads)
                      : DefaultThreadCount();
+  // The shard count deliberately does NOT default to hardware
+  // concurrency: it is a checkpoint property (see RLCutOptions), so its
+  // default must be the same constant on every host.
+  num_shards_ = options_.num_shards > 0
+                    ? static_cast<size_t>(options_.num_shards)
+                    : static_cast<size_t>(kDefaultNumShards);
   pool_ = std::make_unique<ThreadPool>(num_threads_);
 }
 
 RLCutTrainer::~RLCutTrainer() = default;
 
 Status RLCutTrainer::ValidateResume(const TrainerSession& session) const {
-  if (session.started && !session.rng_states.empty() &&
-      session.rng_states.size() != num_threads_) {
+  // Legacy (pre-sharding) sessions carry the shard count implicitly as
+  // the number of saved PRNG streams.
+  const size_t session_shards = session.num_shards != 0
+                                    ? static_cast<size_t>(session.num_shards)
+                                    : session.rng_states.size();
+  if (session.started && session_shards != 0 &&
+      session_shards != num_shards_) {
     return Status::FailedPrecondition(
         "cannot resume: session was paused with " +
-        std::to_string(session.rng_states.size()) +
-        " worker threads but this trainer has " +
-        std::to_string(num_threads_) +
-        " (set RLCutOptions::num_threads to match)");
+        std::to_string(session_shards) + " shards but this trainer has " +
+        std::to_string(num_shards_) +
+        " (set RLCutOptions::num_shards to match; the shard count is a "
+        "checkpoint property, while the thread count may differ freely)");
   }
   return Status::Ok();
 }
@@ -290,14 +358,23 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
   }
   AutomatonPool& automata = *pool;
 
-  // Per-thread resources. A resumed session reinstates the per-worker
-  // PRNG states so a continued run draws the exact sequence the
-  // uninterrupted run would have.
-  std::vector<EvalScratch> scratch(num_threads_);
+  // The ownership layout: each logical shard owns a contiguous
+  // degree-balanced vertex range; the owner shard scores and commits
+  // its vertices (docs/sharding.md). A pure function of the graph and
+  // the shard count, so every host rebuilds the same layout.
+  const ShardLayout layout(graph, num_shards_);
+
+  // Per-shard resources. RNG streams are keyed by logical shard — a
+  // checkpoint property — never by worker thread, so a session paused
+  // on a 16-core host resumes bit-identically on a 4-core one. A
+  // resumed session reinstates the per-shard PRNG states so a
+  // continued run draws the exact sequence the uninterrupted run
+  // would have.
+  std::vector<EvalScratch> scratch(num_shards_);
   std::vector<Rng> rngs;
-  rngs.reserve(num_threads_);
-  for (size_t t = 0; t < num_threads_; ++t) {
-    rngs.emplace_back(options_.seed + 0x9e37 * (t + 1));
+  rngs.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    rngs.emplace_back(options_.seed + 0x9e37 * (s + 1));
   }
   const bool resuming = session != nullptr && session->started;
   if (resuming && session->finished) {
@@ -312,13 +389,37 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
     // Callers with file-sourced sessions (rlcut_tool --resume_from)
     // gate on ValidateResume() first and exit with a Status; reaching
     // here with a mismatch is an API-contract violation.
-    RLCUT_CHECK_EQ(session->rng_states.size(), num_threads_)
-        << "resuming a session requires the thread count it was paused "
+    RLCUT_CHECK_EQ(session->rng_states.size(), num_shards_)
+        << "resuming a session requires the shard count it was paused "
            "with";
-    for (size_t t = 0; t < num_threads_; ++t) {
-      rngs[t].SetState(session->rng_states[t]);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      rngs[s].SetState(session->rng_states[s]);
     }
   }
+
+  // The delta-sync bus of the ownership protocol: non-owner shards
+  // read plan state from this versioned replica instead of the
+  // authoritative PartitionState. The trainer accumulates committed
+  // moves into a delta and applies it every shard_sync_batches
+  // batches; in a process split, Apply runs behind an RPC instead and
+  // nothing about the accumulation changes.
+  PlanReplica replica(state->masters(), num_dcs);
+  PlanDelta sync_delta;
+  int batches_since_sync = 0;
+  obs::Counter* shard_syncs =
+      global_registry.GetCounter("trainer.shard_syncs");
+  obs::Counter* shard_sync_moves =
+      global_registry.GetCounter("trainer.shard_sync_moves");
+  const auto sync_replica = [&] {
+    sync_delta.base_version = replica.version();
+    Status synced = replica.Apply(sync_delta);
+    RLCUT_CHECK(synced.ok())
+        << "shard delta-sync rejected: " << synced.ToString();
+    shard_syncs->Increment();
+    shard_sync_moves->Increment(sync_delta.moves.size());
+    sync_delta.moves.clear();
+    batches_since_sync = 0;
+  };
 
   // Telemetry of steps completed before this call (resumed sessions):
   // the Eq. 14 sampler reads the full history, and TrainResult::steps
@@ -331,16 +432,19 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
   std::vector<DcId> chosen(batch_size, kNoDc);
   std::vector<uint8_t> taken(graph.num_vertices(), 0);
   std::vector<VertexId> agents;
-  // Agent-to-chunk assignment, reused across batches. chunk_plan[c]
-  // lists the batch slots chunk c scores; chunk c's commit-phase RNG is
-  // rngs[c], so the assignment also fixes which worker PRNG each agent
-  // draws from (deterministic regardless of execution interleaving).
-  std::vector<size_t> straggler_slots;
-  std::vector<std::vector<size_t>> chunk_plan;
-  std::vector<uint64_t> straggler_loads;
-  // First-round score buffers (one per chunk) and the spillover list
+  // Slot-to-owner-shard grouping, reused across batches. shard_plan[s]
+  // lists the batch slots owned — scored and committed — by shard s,
+  // in ascending slot order; shard s's commit-phase RNG is rngs[s], so
+  // ownership also fixes which PRNG stream each agent draws from
+  // (deterministic regardless of execution interleaving or thread
+  // count). active_shards lists the shards with work this batch, in
+  // dispatch order.
+  std::vector<std::vector<size_t>> shard_plan(num_shards_);
+  std::vector<size_t> active_shards;
+  std::vector<uint64_t> shard_loads(num_shards_, 0);
+  // First-round score buffers (one per shard) and the spillover list
   // for speculative retry attempts.
-  std::vector<ChunkScores> round0(num_threads_);
+  std::vector<ChunkScores> round0(num_shards_);
   std::vector<std::unique_ptr<ChunkScores>> extra_attempts;
   std::vector<ChunkScores*> winner;
   // Robustness telemetry for the speculative re-dispatch machinery.
@@ -456,42 +560,36 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
       // it (the batching semantics of Sec. V-A).
       const Objective batch_objective = state->CurrentObjective();
 
-      // ---- Agent-to-chunk assignment. -------------------------------
-      const size_t num_chunks = std::min(num_threads_, this_batch);
-      if (chunk_plan.size() < num_chunks) chunk_plan.resize(num_chunks);
-      for (size_t c = 0; c < num_chunks; ++c) chunk_plan[c].clear();
-      if (options_.straggler_mitigation && this_batch > 1) {
-        // Greedy least-loaded assignment, heaviest agents first, to
-        // minimize Var over threads of the summed degree (Sec. V-B).
-        // The work buffers persist across batches; only their contents
-        // are reset here.
-        straggler_slots.resize(this_batch);
-        std::iota(straggler_slots.begin(), straggler_slots.end(),
-                  size_t{0});
-        std::sort(straggler_slots.begin(), straggler_slots.end(),
-                  [&](size_t a, size_t b) {
-                    return graph.Degree(agents[batch_begin + a]) >
-                           graph.Degree(agents[batch_begin + b]);
-                  });
-        straggler_loads.assign(num_chunks, 0);
-        for (size_t slot : straggler_slots) {
-          const size_t t = static_cast<size_t>(
-              std::min_element(straggler_loads.begin(),
-                               straggler_loads.begin() + num_chunks) -
-              straggler_loads.begin());
-          chunk_plan[t].push_back(slot);
-          straggler_loads[t] += graph.Degree(agents[batch_begin + slot]) + 1;
-        }
-      } else {
-        // Contiguous ranges, mirroring ParallelForChunked.
-        const size_t chunk = (this_batch + num_chunks - 1) / num_chunks;
-        for (size_t c = 0; c < num_chunks; ++c) {
-          const size_t begin = c * chunk;
-          const size_t end = std::min(this_batch, begin + chunk);
-          for (size_t slot = begin; slot < end; ++slot) {
-            chunk_plan[c].push_back(slot);
+      // ---- Slot-to-shard assignment (ownership protocol). -----------
+      // Each slot belongs to the shard owning its vertex; the
+      // assignment is a pure function of the layout, never of the
+      // thread count or the load, so the committed trajectory is the
+      // same on any host.
+      for (size_t s = 0; s < num_shards_; ++s) shard_plan[s].clear();
+      for (size_t slot = 0; slot < this_batch; ++slot) {
+        shard_plan[layout.OwnerOf(agents[batch_begin + slot])].push_back(
+            slot);
+      }
+      active_shards.clear();
+      for (size_t s = 0; s < num_shards_; ++s) {
+        if (!shard_plan[s].empty()) active_shards.push_back(s);
+      }
+      if (options_.straggler_mitigation && active_shards.size() > 1) {
+        // Straggler mitigation, sharded form (Sec. V-B): ownership
+        // pins which shard scores each agent, so instead of
+        // re-balancing the work itself the heaviest shards are
+        // dispatched first and the light ones fill the tail. Dispatch
+        // order only affects wall clock, never results.
+        for (size_t s : active_shards) {
+          shard_loads[s] = 0;
+          for (size_t slot : shard_plan[s]) {
+            shard_loads[s] += graph.Degree(agents[batch_begin + slot]) + 1;
           }
         }
+        std::stable_sort(active_shards.begin(), active_shards.end(),
+                         [&](size_t a, size_t b) {
+                           return shard_loads[a] > shard_loads[b];
+                         });
       }
 
       // ---- Parallel stage: pure scoring (step 1) for every agent. ----
@@ -551,22 +649,24 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
 
       BatchSync sync;
       std::atomic<bool> cancel{false};
-      winner.assign(num_chunks, nullptr);
+      winner.assign(num_shards_, nullptr);
       extra_attempts.clear();
+      const size_t num_active = active_shards.size();
 
-      // Dispatches one attempt at chunk `c` into `buf`. The first
-      // completed attempt per chunk is the winner; late duplicates see
-      // the claim (or the cancel flag) and discard themselves.
-      auto dispatch_chunk = [&](size_t c, ChunkScores* buf,
+      // Dispatches one attempt at shard `s`'s slots into `buf`. The
+      // first completed attempt per shard is the winner; late
+      // duplicates see the claim (or the cancel flag) and discard
+      // themselves.
+      auto dispatch_shard = [&](size_t s, ChunkScores* buf,
                                 EvalScratch* es) {
         {
           std::lock_guard<std::mutex> lock(sync.mu);
           ++sync.pending;
         }
-        const bool submitted = pool_->Submit([&, c, buf, es] {
+        const bool submitted = pool_->Submit([&, s, buf, es] {
           bool ok = false;
           try {
-            ok = score_chunk(chunk_plan[c], *es, buf, &cancel,
+            ok = score_chunk(shard_plan[s], *es, buf, &cancel,
                              /*faults_enabled=*/true);
           } catch (...) {
             // A failed attempt is not fatal: the deadline loop
@@ -574,8 +674,8 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
             // persistent error. Swallowing keeps pending accurate.
           }
           std::lock_guard<std::mutex> lock(sync.mu);
-          if (ok && winner[c] == nullptr) {
-            winner[c] = buf;
+          if (ok && winner[s] == nullptr) {
+            winner[s] = buf;
             ++sync.claimed;
           }
           --sync.pending;
@@ -590,21 +690,24 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
       {
       obs::TraceSpan score_span("trainer/stage/score", "trainer");
       WallTimer stage_timer;
-      // Single-chunk fast path: with one chunk and no fault schedule
-      // armed, the speculative dispatch machinery (pool submit, cv
-      // waits, quiesce) buys nothing — run the pure scoring stage
-      // inline on the coordinator. Scores, PRNG assignment and commit
-      // order are identical to the dispatched path.
-      if (num_chunks == 1 && !fault::Armed()) {
-        score_chunk(chunk_plan[0], scratch[0], &round0[0], nullptr,
-                    /*faults_enabled=*/false);
-        winner[0] = &round0[0];
+      // Inline fast path: with one active shard — or one worker
+      // thread, where the pool adds no parallelism — and no fault
+      // schedule armed, the speculative dispatch machinery (pool
+      // submit, cv waits, quiesce) buys nothing — run the pure scoring
+      // stage inline on the coordinator. Scores, PRNG assignment and
+      // commit order are identical to the dispatched path.
+      if (!fault::Armed() && (num_active == 1 || num_threads_ == 1)) {
+        for (size_t s : active_shards) {
+          score_chunk(shard_plan[s], scratch[s], &round0[s], nullptr,
+                      /*faults_enabled=*/false);
+          winner[s] = &round0[s];
+        }
         if (score_stage_seconds != nullptr) {
           score_stage_seconds->Observe(stage_timer.ElapsedSeconds());
         }
       } else {
-      for (size_t c = 0; c < num_chunks; ++c) {
-        dispatch_chunk(c, &round0[c], &scratch[c]);
+      for (size_t s : active_shards) {
+        dispatch_shard(s, &round0[s], &scratch[s]);
       }
       // Per-batch deadline with speculative re-dispatch: pool-level
       // faults can drop or stall a chunk's task, so while a schedule
@@ -615,9 +718,9 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
       int round = 0;
       {
         std::unique_lock<std::mutex> lock(sync.mu);
-        while (sync.claimed < num_chunks) {
+        while (sync.claimed < num_active) {
           auto settled = [&] {
-            return sync.claimed == num_chunks || sync.pending == 0;
+            return sync.claimed == num_active || sync.pending == 0;
           };
           if (deadline_seconds > 0) {
             // Exponential backoff: each retry round doubles the wait.
@@ -630,35 +733,35 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
           } else {
             sync.cv.wait(lock, settled);
           }
-          if (sync.claimed == num_chunks) break;
+          if (sync.claimed == num_active) break;
           if (round >= options_.chunk_max_retries) break;
           ++round;
-          for (size_t c = 0; c < num_chunks; ++c) {
-            if (winner[c] != nullptr) continue;
+          for (size_t s : active_shards) {
+            if (winner[s] != nullptr) continue;
             auto attempt = std::make_unique<ChunkScores>();
             attempt->owned_scratch = std::make_unique<EvalScratch>();
             ChunkScores* raw = attempt.get();
             extra_attempts.push_back(std::move(attempt));
             chunk_redispatches->Increment();
             lock.unlock();
-            dispatch_chunk(c, raw, raw->owned_scratch.get());
+            dispatch_shard(s, raw, raw->owned_scratch.get());
             lock.lock();
           }
         }
       }
       // Inline fallback: after the retry budget, the coordinator runs
-      // the remaining chunks itself with injection disabled, so the
+      // the remaining shards itself with injection disabled, so the
       // batch always completes with a full set of scores.
-      for (size_t c = 0; c < num_chunks; ++c) {
+      for (size_t s : active_shards) {
         {
           std::lock_guard<std::mutex> lock(sync.mu);
-          if (winner[c] != nullptr) continue;
+          if (winner[s] != nullptr) continue;
         }
         auto attempt = std::make_unique<ChunkScores>();
         attempt->owned_scratch = std::make_unique<EvalScratch>();
         chunk_inline_runs->Increment();
         try {
-          score_chunk(chunk_plan[c], *attempt->owned_scratch,
+          score_chunk(shard_plan[s], *attempt->owned_scratch,
                       attempt.get(), nullptr, /*faults_enabled=*/false);
         } catch (...) {
           // A real scoring bug (not injectable): quiesce the pool so
@@ -668,7 +771,7 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
           throw;
         }
         std::lock_guard<std::mutex> lock(sync.mu);
-        winner[c] = attempt.get();
+        winner[s] = attempt.get();
         extra_attempts.push_back(std::move(attempt));
       }
       // Quiesce before the commit/migration phases mutate state: an
@@ -685,14 +788,16 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
       }
 
       // ---- Sequential commit: steps 2-4 for every agent. -------------
-      // Chunk-by-chunk in dispatch order so each agent draws from the
-      // same per-worker PRNG stream (rngs[c]) it would have used under
-      // in-place parallel execution — which chunk attempt won has no
-      // effect on the result.
-      for (size_t c = 0; c < num_chunks; ++c) {
-        const ChunkScores& buf = *winner[c];
-        for (size_t i = 0; i < chunk_plan[c].size(); ++i) {
-          const size_t slot = chunk_plan[c][i];
+      // Owner shards commit in ascending shard order (slots ascending
+      // within a shard), each drawing from its own PRNG stream
+      // (rngs[s]) — a pure function of the shard layout, so the commit
+      // sequence is identical however the scoring attempts were
+      // scheduled and whatever the thread count.
+      for (size_t s = 0; s < num_shards_; ++s) {
+        if (shard_plan[s].empty()) continue;
+        const ChunkScores& buf = *winner[s];
+        for (size_t i = 0; i < shard_plan[s].size(); ++i) {
+          const size_t slot = shard_plan[s][i];
           const VertexId v = agents[batch_begin + slot];
           const double* scores =
               buf.scores.data() + i * static_cast<size_t>(num_dcs);
@@ -700,7 +805,7 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
           automata.UpdateSignals(v, buf.rho[i]);
           // Step 4: UCB action selection; record the normalized score
           // of the selected action as its observed reward.
-          const DcId action = automata.SelectAction(v, step + 1, &rngs[c]);
+          const DcId action = automata.SelectAction(v, step + 1, &rngs[s]);
           double best_score = 0;
           double min_score = 0;
           for (DcId r = 0; r < num_dcs; ++r) {
@@ -744,12 +849,21 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
                            options_.budget) < 0) {
           step_metrics.rollbacks->Increment();
         } else {
+          // Committed moves double as the owner's published delta:
+          // non-owner shards learn of them at the next replica sync.
+          sync_delta.moves.push_back(PlanMove{v, from, action});
           state->MoveMaster(v, action);
           step_metrics.migrations->Increment();
         }
       }
       if (migrate_stage_seconds != nullptr) {
         migrate_stage_seconds->Observe(migrate_timer.ElapsedSeconds());
+      }
+
+      // ---- Delta-sync cadence (docs/sharding.md). --------------------
+      if (options_.shard_sync_batches > 0 &&
+          ++batches_since_sync >= options_.shard_sync_batches) {
+        sync_replica();
       }
     }
 
@@ -804,9 +918,10 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
       snapshot.finished = false;
       snapshot.visits_remaining = visits_remaining;
       snapshot.history = result.steps;
-      snapshot.rng_states.resize(num_threads_);
-      for (size_t t = 0; t < num_threads_; ++t) {
-        snapshot.rng_states[t] = rngs[t].State();
+      snapshot.num_shards = static_cast<uint32_t>(num_shards_);
+      snapshot.rng_states.resize(num_shards_);
+      for (size_t s = 0; s < num_shards_; ++s) {
+        snapshot.rng_states[s] = rngs[s].State();
       }
       const TrainerCheckpoint auto_checkpoint =
           CaptureCheckpoint(*state, automata, snapshot, options_.seed);
@@ -844,6 +959,17 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
 
   fault::SetStepContext(-1);
 
+  // Flush the residual delta and audit the protocol: after the final
+  // sync the replica every non-owner shard reads must agree with the
+  // authoritative plan bit for bit.
+  if (options_.shard_sync_batches > 0) {
+    if (!sync_delta.moves.empty()) sync_replica();
+    RLCUT_CHECK(replica.masters() == state->masters())
+        << "delta-synced plan replica diverged from the partition state "
+           "after "
+        << replica.version() << " syncs";
+  }
+
   if (session != nullptr) {
     session->started = true;
     session->paused = paused;
@@ -851,9 +977,10 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
     session->next_step = next_step;
     session->visits_remaining = visits_remaining;
     session->history = result.steps;
-    session->rng_states.resize(num_threads_);
-    for (size_t t = 0; t < num_threads_; ++t) {
-      session->rng_states[t] = rngs[t].State();
+    session->num_shards = static_cast<uint32_t>(num_shards_);
+    session->rng_states.resize(num_shards_);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      session->rng_states[s] = rngs[s].State();
     }
   }
 

@@ -67,8 +67,13 @@ struct TrainerSession {
   int64_t visits_remaining = 0;
   /// Telemetry of the steps completed so far (input to Eq. 14).
   std::vector<StepStats> history;
-  /// Per-worker PRNG states. Restoring requires the same thread count;
-  /// only the kProbability action selection actually draws from these.
+  /// Logical shard count the run trains with (docs/sharding.md). A
+  /// checkpoint property: resuming requires a trainer with the same
+  /// shard count, but any thread count. 0 = not yet started (or a
+  /// legacy session, where rng_states.size() carries the count).
+  uint32_t num_shards = 0;
+  /// Per-shard PRNG states, rng_states[s] belonging to shard s; only
+  /// the kProbability action selection actually draws from these.
   std::vector<std::array<uint64_t, 4>> rng_states;
 };
 
@@ -90,13 +95,32 @@ struct TrainResult {
 /// migration with rollback — with three overhead optimizations:
 ///
 ///  * batching: agents within a batch decide against the batch-start
-///    state and are scored in parallel (Sec. V-A);
-///  * straggler mitigation: degree-balanced greedy agent-to-thread
-///    assignment (Sec. V-B);
+///    state and are scored in parallel by their owner shards, each
+///    owning a contiguous degree-balanced vertex range
+///    (docs/sharding.md);
+///  * straggler mitigation: heaviest-shard-first dispatch of the
+///    scoring work (Sec. V-B, sharded form — order affects wall clock,
+///    never the trajectory);
 ///  * adaptive sampling: the lowest-degree SR_i fraction of agents
 ///    trains in step i, SR_i sized by Eq. 14 to meet T_opt (Sec. V-C).
+/// Construction-time validation of trainer options, Status-based like
+/// the rest of the fallible API. Fallible entry points (the CLI tools,
+/// the partitioner registry) gate on this; the RLCutTrainer constructor
+/// itself clamps out-of-range values instead of crashing.
+Status ValidateRLCutOptions(const RLCutOptions& options);
+
 class RLCutTrainer {
  public:
+  /// Fallible construction: validates `options` and returns a trainer,
+  /// or the ValidateRLCutOptions error. Entry points holding options
+  /// from external input (flags, config files) should construct through
+  /// this instead of the normalizing constructor below.
+  static Result<std::unique_ptr<RLCutTrainer>> Create(
+      const RLCutOptions& options);
+
+  /// Infallible construction for callers with programmatic options:
+  /// out-of-range values are clamped to their nearest legal value
+  /// (max_steps/batch_size to >= 1, thread/shard counts to >= 0).
   explicit RLCutTrainer(const RLCutOptions& options);
   ~RLCutTrainer();
 
@@ -126,13 +150,16 @@ class RLCutTrainer {
                     AutomatonPool* pool, TrainerSession* session);
 
   /// Whether `session` (typically file-sourced, see rlcut/checkpoint.h)
-  /// can be resumed by this trainer: the saved per-worker PRNG states
-  /// must match this trainer's thread count. Callers holding sessions
-  /// from external input should gate on this instead of letting Train
-  /// hit its API-contract CHECK.
+  /// can be resumed by this trainer: the saved shard count must match
+  /// this trainer's. Thread count is deliberately NOT checked — RNG and
+  /// worker state are keyed per shard, so a session paused on a 16-core
+  /// host resumes bit-identically on a 4-core one. Callers holding
+  /// sessions from external input should gate on this instead of
+  /// letting Train hit its API-contract CHECK.
   Status ValidateResume(const TrainerSession& session) const;
 
   size_t num_threads() const { return num_threads_; }
+  size_t num_shards() const { return num_shards_; }
   const RLCutOptions& options() const { return options_; }
 
  private:
@@ -142,6 +169,7 @@ class RLCutTrainer {
 
   RLCutOptions options_;
   size_t num_threads_;
+  size_t num_shards_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -17,7 +17,8 @@ namespace {
 
 // Small deterministic problem + trainer options shared by all tests.
 // Determinism requires a visit budget instead of wall-clock T_opt and a
-// fixed thread count (RNG states are per worker).
+// fixed shard count (RNG states are per shard; the thread count is a
+// host property and may vary freely across pause/resume).
 class CheckpointTest : public ::testing::Test {
  protected:
   CheckpointTest() : topology_(MakeEc2Topology(4, Heterogeneity::kMedium)) {
@@ -145,7 +146,7 @@ TEST_F(CheckpointTest, SeedSweepResumeEqualsUninterrupted) {
 
 TEST_F(CheckpointTest, ProbabilitySelectionRestoresRngExactly) {
   // kProbability is the only selection strategy that draws from the
-  // per-worker PRNGs, so it exercises the RNG state round-trip.
+  // per-shard PRNGs, so it exercises the RNG state round-trip.
   RLCutOptions options = Options(/*seed=*/5);
   options.selection = ActionSelection::kProbability;
   const std::vector<DcId> reference = UninterruptedMasters(options);
@@ -156,11 +157,81 @@ TEST_F(CheckpointTest, ProbabilitySelectionRestoresRngExactly) {
   TrainerSession session;
   session.stop_after_step = 2;
   trainer.Train(state.get(), AllVertices(), &pool, &session);
-  ASSERT_EQ(session.rng_states.size(), trainer.num_threads());
+  ASSERT_EQ(session.rng_states.size(), trainer.num_shards());
+  EXPECT_EQ(session.num_shards, trainer.num_shards());
 
   session.stop_after_step = -1;
   trainer.Train(state.get(), AllVertices(), &pool, &session);
   EXPECT_EQ(state->masters(), reference);
+}
+
+TEST_F(CheckpointTest, ResumeUnderDifferentThreadCountIsBitIdentical) {
+  // The shard count is a checkpoint property; the thread count is a
+  // host property. A run paused on a 2-thread host and resumed on 1-
+  // and 4-thread hosts must finish bit-identical to the uninterrupted
+  // run — including when kProbability draws from the per-shard PRNGs.
+  for (const ActionSelection selection :
+       {ActionSelection::kUcbBlend, ActionSelection::kProbability}) {
+    RLCutOptions options = Options(/*seed=*/11);
+    options.selection = selection;
+    const std::vector<DcId> reference = UninterruptedMasters(options);
+
+    const std::string path = TempPath("xthread.ckpt");
+    {
+      auto state = MakeState();
+      AutomatonPool pool(graph_.num_vertices(), topology_.num_dcs(),
+                         options);
+      RLCutTrainer trainer(options);
+      TrainerSession session;
+      session.stop_after_step = 3;
+      trainer.Train(state.get(), AllVertices(), &pool, &session);
+      const TrainerCheckpoint checkpoint =
+          CaptureCheckpoint(*state, pool, session, options.seed);
+      ASSERT_TRUE(SaveTrainerCheckpoint(checkpoint, path).ok());
+    }
+    Result<TrainerCheckpoint> loaded = LoadTrainerCheckpoint(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    std::remove(path.c_str());
+
+    for (const int resume_threads : {1, 4}) {
+      RLCutOptions resume_options = options;
+      resume_options.num_threads = resume_threads;
+      auto state = MakeState();
+      AutomatonPool pool(graph_.num_vertices(), topology_.num_dcs(),
+                         resume_options);
+      TrainerSession session;
+      ASSERT_TRUE(
+          RestoreCheckpoint(*loaded, state.get(), &pool, &session).ok());
+      RLCutTrainer trainer(resume_options);
+      ASSERT_TRUE(trainer.ValidateResume(session).ok());
+      trainer.Train(state.get(), AllVertices(), &pool, &session);
+      EXPECT_EQ(state->masters(), reference)
+          << "resume_threads=" << resume_threads
+          << " selection=" << static_cast<int>(selection);
+    }
+  }
+}
+
+TEST_F(CheckpointTest, ValidateResumeRejectsShardCountMismatch) {
+  const RLCutOptions options = Options(/*seed=*/3);
+  auto state = MakeState();
+  AutomatonPool pool(graph_.num_vertices(), topology_.num_dcs(), options);
+  RLCutTrainer trainer(options);
+  TrainerSession session;
+  session.stop_after_step = 2;
+  trainer.Train(state.get(), AllVertices(), &pool, &session);
+
+  RLCutOptions mismatched = options;
+  mismatched.num_shards = static_cast<int>(trainer.num_shards()) + 1;
+  const Status status = RLCutTrainer(mismatched).ValidateResume(session);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("shards"), std::string::npos);
+
+  // A legacy (v1) session carries no shard count; the rng-state count
+  // stands in for it, so a trainer with a matching shard count resumes.
+  TrainerSession legacy = session;
+  legacy.num_shards = 0;
+  EXPECT_TRUE(trainer.ValidateResume(legacy).ok());
 }
 
 TEST_F(CheckpointTest, ResumingFinishedRunIsANoOp) {

@@ -9,6 +9,7 @@
 //   rlcut_audit --mode=fuzz --fuzz_iters=5000 --seed=3
 //   rlcut_audit --mode=chaos --sessions=100
 //   rlcut_audit --mode=stream --sessions=100
+//   rlcut_audit --mode=shard --instances=24
 //   rlcut_audit            # everything except chaos/stream, moderate sizes
 
 #include <cstdio>
@@ -18,6 +19,7 @@
 #include "check/chaos.h"
 #include "check/differential_oracle.h"
 #include "check/fuzz.h"
+#include "check/shard_oracle.h"
 #include "check/stream_oracle.h"
 #include "common/flags.h"
 
@@ -42,9 +44,10 @@ int main(int argc, char** argv) {
   rlcut::FlagParser flags;
   flags.DefineString(
       "mode", "all",
-      "what to audit: all | oracle | corpus | fuzz | chaos | stream "
-      "(chaos trains under fault injection, stream drives full "
-      "streaming sessions; neither is part of all)");
+      "what to audit: all | oracle | corpus | fuzz | chaos | stream | "
+      "shard (chaos trains under fault injection, stream drives full "
+      "streaming sessions, shard replays the sharded-trainer "
+      "determinism lanes; none of the three is part of all)");
   flags.DefineInt("sequences", 64, "oracle: randomized move sequences");
   flags.DefineInt("moves", 64, "oracle: moves per sequence");
   flags.DefineInt("vertices", 96, "oracle: vertices per instance");
@@ -52,6 +55,7 @@ int main(int argc, char** argv) {
   flags.DefineInt("dcs", 4, "oracle: data centers");
   flags.DefineInt("fuzz_iters", 600, "fuzz: mutated inputs per loader");
   flags.DefineInt("sessions", 16, "chaos: randomized training sessions");
+  flags.DefineInt("instances", 6, "shard: problem instances");
   flags.DefineInt("seed", 1, "base RNG seed");
   if (rlcut::Status s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
@@ -64,7 +68,8 @@ int main(int argc, char** argv) {
   }
   const std::string mode = flags.GetString("mode");
   if (mode != "all" && mode != "oracle" && mode != "corpus" &&
-      mode != "fuzz" && mode != "chaos" && mode != "stream") {
+      mode != "fuzz" && mode != "chaos" && mode != "stream" &&
+      mode != "shard") {
     std::fprintf(stderr, "unknown --mode=%s\n", mode.c_str());
     return 2;
   }
@@ -110,6 +115,15 @@ int main(int argc, char** argv) {
     options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
     const rlcut::check::ChaosReport report =
         rlcut::check::RunChaos(options);
+    std::printf("%s\n", report.Summary().c_str());
+    rc |= ReportFailures(report.failures);
+  }
+  if (mode == "shard") {
+    rlcut::check::ShardOracleOptions options;
+    options.num_instances = static_cast<int>(flags.GetInt("instances"));
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    const rlcut::check::ShardOracleReport report =
+        rlcut::check::RunShardOracle(options);
     std::printf("%s\n", report.Summary().c_str());
     rc |= ReportFailures(report.failures);
   }

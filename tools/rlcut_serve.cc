@@ -343,5 +343,30 @@ int main(int argc, char** argv) {
       Percentile(apply_seconds, 0.99) * 1e3,
       static_cast<unsigned long long>(ingest_errors),
       static_cast<unsigned long long>(publish_errors));
+
+  const rlcut::StreamBufferStats& buffer_stats = buffer.stats();
+  std::printf(
+      "stream buffer: %llu accepted, %llu retired, %llu pending, "
+      "%llu duplicates dropped, %llu late\n",
+      static_cast<unsigned long long>(buffer_stats.accepted),
+      static_cast<unsigned long long>(buffer_stats.sequences_retired),
+      static_cast<unsigned long long>(buffer_stats.pending),
+      static_cast<unsigned long long>(buffer_stats.duplicates_dropped),
+      static_cast<unsigned long long>(buffer_stats.late_deferred));
+  // Dedup state is bounded by the in-flight window: every accepted
+  // sequence id must be retired (shipped in a cut) or still pending. A
+  // violation means the buffer is leaking ids — the unbounded-memory
+  // failure mode a long-lived daemon cannot tolerate.
+  if (buffer_stats.accepted !=
+      buffer_stats.sequences_retired + buffer_stats.pending) {
+    std::fprintf(stderr,
+                 "stream buffer leaked dedup state: accepted %llu != "
+                 "retired %llu + pending %llu\n",
+                 static_cast<unsigned long long>(buffer_stats.accepted),
+                 static_cast<unsigned long long>(
+                     buffer_stats.sequences_retired),
+                 static_cast<unsigned long long>(buffer_stats.pending));
+    return 1;
+  }
   return publishes > 0 ? 0 : 1;
 }

@@ -144,6 +144,10 @@ int main(int argc, char** argv) {
   flags.DefineDouble("budget_fraction", 0.4,
                      "budget as a fraction of the centralized-move cost");
   flags.DefineDouble("t_opt", 0, "RLCut time budget in seconds (0 = off)");
+  flags.DefineInt("shards", 0,
+                  "RLCut logical shard count — a checkpoint property: "
+                  "resuming requires the same value, any thread count "
+                  "(0 = default, see docs/sharding.md)");
   flags.DefineInt("theta", 0, "hybrid-cut threshold (0 = auto)");
   flags.DefineInt("seed", 1, "random seed");
   flags.DefineString("save_plan", "", "write the computed plan here");
@@ -347,6 +351,7 @@ int main(int argc, char** argv) {
     rl_options.t_opt_seconds = flags.GetDouble("t_opt");
     rl_options.budget = ctx.budget;
     rl_options.seed = ctx.seed;
+    rl_options.num_shards = static_cast<int>(flags.GetInt("shards"));
     rl_options.checkpoint_every_steps =
         static_cast<int>(flags.GetInt("checkpoint_every"));
     rl_options.checkpoint_path = flags.GetString("checkpoint_out");
@@ -359,7 +364,12 @@ int main(int argc, char** argv) {
                          config);
     state.ResetDerived(locations);  // natural partitioning
 
-    RLCutTrainer trainer(rl_options);
+    // Flag-sourced options go through the validating factory so a bad
+    // flag exits with a Status instead of crashing the process.
+    Result<std::unique_ptr<RLCutTrainer>> trainer_or =
+        RLCutTrainer::Create(rl_options);
+    if (!trainer_or.ok()) return Fail(trainer_or.status());
+    RLCutTrainer& trainer = **trainer_or;
     AutomatonPool pool(graph.num_vertices(), topology->num_dcs(), rl_options);
     TrainerSession session;
     if (!flags.GetString("resume_from").empty()) {
@@ -436,6 +446,7 @@ int main(int argc, char** argv) {
   const std::string& method = flags.GetString("method");
   PartitionerOptions options;
   options.t_opt_seconds = flags.GetDouble("t_opt");
+  options.num_shards = static_cast<int>(flags.GetInt("shards"));
   Result<std::unique_ptr<Partitioner>> partitioner =
       MakePartitionerByName(method, options);
   if (!partitioner.ok()) return Fail(partitioner.status());

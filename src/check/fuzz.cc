@@ -17,6 +17,8 @@
 #include "cloud/topology.h"
 #include "cloud/topology_schedule.h"
 #include "common/random.h"
+#include "graph/graph.h"
+#include "graph/rlg.h"
 #include "partition/plan_io.h"
 #include "rlcut/checkpoint.h"
 
@@ -379,6 +381,155 @@ std::vector<CorpusCase> NetScheduleCorpus() {
   return corpus;
 }
 
+// ---- .rlg graph corpus -----------------------------------------------
+
+// The .rlg header checksum covers bytes [0, 96); the checksum itself
+// lives at [96, 104). Mirrored from graph/rlg.h's format doc so the
+// fuzzer can surgically corrupt checksummed fields.
+constexpr size_t kRlgChecksumCoverage = 96;
+
+// Re-fixes the header checksum of a mutated .rlg file so header-field
+// mutations reach the section validators instead of dying at the gate.
+bool RefixRlgHeaderChecksum(std::string* file) {
+  if (file->size() < kRlgHeaderSize) return false;
+  const uint64_t checksum =
+      Fnv1a64(file->data(), kRlgChecksumCoverage);
+  Overwrite<uint64_t>(file, kRlgChecksumCoverage, checksum);
+  return true;
+}
+
+// Serializes a small graph through the real writer and returns the file
+// bytes (the writer only targets paths, so round-trip via scratch).
+std::string RlgBytes(bool ordered) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 3);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  builder.AddEdge(5, 0);
+  const Graph g = std::move(builder).Build();
+  const std::string path = ScratchPath();
+  Status saved;
+  if (ordered) {
+    const VertexPermutation perm = DegreeDescendingOrder(g);
+    saved = WriteRlgFile(g, &perm, {}, path);
+  } else {
+    saved = SaveRlgGraph(g, path);
+  }
+  if (!saved.ok()) return {};
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  return bytes;
+}
+
+std::vector<CorpusCase> RlgCorpus() {
+  std::vector<CorpusCase> corpus;
+  const std::string valid = RlgBytes(/*ordered=*/false);
+  const std::string ordered = RlgBytes(/*ordered=*/true);
+  corpus.push_back({"valid", valid, true});
+  corpus.push_back({"valid-ordered-orig-ids", ordered, true});
+
+  corpus.push_back({"empty-file", std::string(), false});
+  corpus.push_back({"truncated-header", valid.substr(0, 10), false});
+  corpus.push_back(
+      {"truncated-mid-header", valid.substr(0, kRlgHeaderSize - 1), false});
+  // Declared size no longer matches: every byte-level truncation of the
+  // array region must be caught before any array is dereferenced.
+  corpus.push_back(
+      {"truncated-arrays", valid.substr(0, valid.size() - 16), false});
+  {
+    std::string bad = valid;
+    bad[0] = 'X';
+    corpus.push_back({"bad-magic", bad, false});
+  }
+  {
+    std::string bad = valid;
+    Overwrite<uint32_t>(&bad, 8, 99);  // version
+    RefixRlgHeaderChecksum(&bad);
+    corpus.push_back({"bad-version", bad, false});
+  }
+  {
+    std::string bad = valid;
+    Overwrite<uint32_t>(&bad, 12, 0xfe);  // unknown flag bits
+    RefixRlgHeaderChecksum(&bad);
+    corpus.push_back({"unknown-flags", bad, false});
+  }
+  {
+    // Header bit flip without a checksum refix: the checksum gate must
+    // catch it.
+    std::string bad = valid;
+    bad[40] ^= 0x04;
+    corpus.push_back({"stale-header-checksum", bad, false});
+  }
+  {
+    // Vertex count that cannot fit VertexId; checksum valid so the
+    // explicit range check is what rejects it.
+    std::string bad = valid;
+    Overwrite<uint64_t>(&bad, 16, 0xFFFFFFFFull);
+    RefixRlgHeaderChecksum(&bad);
+    corpus.push_back({"vertex-count-overflow", bad, false});
+  }
+  {
+    // Edge count far beyond the file: section bounds must reject before
+    // any E-sized read (the .rlg analogue of the allocation bombs).
+    std::string bad = valid;
+    Overwrite<uint64_t>(&bad, 24, 1ull << 56);
+    RefixRlgHeaderChecksum(&bad);
+    corpus.push_back({"huge-edge-count", bad, false});
+  }
+  {
+    // out_targets section pointing past the end of the file.
+    std::string bad = valid;
+    Overwrite<uint64_t>(&bad, 32 + 1 * 8, 1ull << 40);
+    RefixRlgHeaderChecksum(&bad);
+    corpus.push_back({"section-offset-beyond-file", bad, false});
+  }
+  {
+    // Misaligned section offset.
+    std::string bad = valid;
+    uint64_t offset = 0;
+    std::memcpy(&offset, bad.data() + 32, sizeof(offset));
+    Overwrite<uint64_t>(&bad, 32, offset + 3);
+    RefixRlgHeaderChecksum(&bad);
+    corpus.push_back({"misaligned-section", bad, false});
+  }
+  if (!ordered.empty()) {
+    // Two vertices claiming the same original id: the orig-ids section
+    // must be validated as a bijection at open.
+    std::string bad = ordered;
+    uint64_t orig_offset = 0;
+    std::memcpy(&orig_offset, bad.data() + 32 + 6 * 8,
+                sizeof(orig_offset));
+    uint32_t first = 0;
+    std::memcpy(&first, bad.data() + orig_offset, sizeof(first));
+    Overwrite<uint32_t>(&bad, orig_offset + sizeof(uint32_t), first);
+    corpus.push_back({"orig-ids-not-bijection", bad, false});
+  }
+  {
+    // Structurally corrupt arrays behind a valid header: an out_target
+    // beyond the vertex count, caught by deep validation.
+    std::string bad = valid;
+    uint64_t targets_offset = 0;
+    std::memcpy(&targets_offset, bad.data() + 32 + 1 * 8,
+                sizeof(targets_offset));
+    Overwrite<uint32_t>(&bad, targets_offset, 0xCAFE);
+    corpus.push_back({"target-out-of-range", bad, false});
+  }
+  {
+    // Non-monotone out_offsets behind a valid header.
+    std::string bad = valid;
+    uint64_t offsets_offset = 0;
+    std::memcpy(&offsets_offset, bad.data() + 32, sizeof(offsets_offset));
+    Overwrite<uint64_t>(&bad, offsets_offset + 8, ~0ull >> 8);
+    corpus.push_back({"offsets-not-monotone", bad, false});
+  }
+  return corpus;
+}
+
 // ---- Loader execution ------------------------------------------------
 
 // The 4-DC reference environment every schedule corpus entry validates
@@ -438,6 +589,41 @@ Status LoadOnce(LoaderKind kind, const std::string& path) {
       (void)loaded->EffectiveAt(1 << 20);
       return Status::Ok();
     }
+    case LoaderKind::kRlgGraph: {
+      MmapGraph::Options options;
+      options.validate_structure = true;
+      Result<MmapGraph> loaded = MmapGraph::Open(path, options);
+      if (!loaded.ok()) return loaded.status();
+      // Round-trip: re-save the mapped graph and reload; the dual CSR
+      // must survive byte-identically in structure.
+      const std::string copy = ScratchPath();
+      const Graph& g = loaded->graph();
+      Status save = SaveRlgGraph(g, copy);
+      if (!save.ok()) return Status::Internal(save.message());
+      Result<MmapGraph> again = MmapGraph::Open(copy, options);
+      if (!again.ok()) {
+        std::remove(copy.c_str());
+        return Status::Internal("round-trip reload failed: " +
+                                again.status().message());
+      }
+      Status mismatch = Status::Ok();
+      const Graph& h = again->graph();
+      if (h.num_vertices() != g.num_vertices() ||
+          h.num_edges() != g.num_edges()) {
+        mismatch = Status::Internal("round-trip changed the graph shape");
+      } else {
+        for (EdgeId e = 0; e < g.num_edges(); ++e) {
+          if (h.EdgeSource(e) != g.EdgeSource(e) ||
+              h.EdgeTarget(e) != g.EdgeTarget(e)) {
+            mismatch = Status::Internal("round-trip changed edge " +
+                                        std::to_string(e));
+            break;
+          }
+        }
+      }
+      std::remove(copy.c_str());
+      return mismatch;
+    }
   }
   return Status::Internal("unknown loader kind");
 }
@@ -452,6 +638,8 @@ const char* LoaderName(LoaderKind kind) {
       return "plan";
     case LoaderKind::kNetSchedule:
       return "net-schedule";
+    case LoaderKind::kRlgGraph:
+      return "rlg-graph";
   }
   return "?";
 }
@@ -464,6 +652,8 @@ std::vector<CorpusCase> BuildSeedCorpus(LoaderKind kind) {
       return PlanCorpus();
     case LoaderKind::kNetSchedule:
       return NetScheduleCorpus();
+    case LoaderKind::kRlgGraph:
+      return RlgCorpus();
   }
   return {};
 }
@@ -551,10 +741,14 @@ FuzzReport RunLoaderFuzz(LoaderKind kind, int iterations, uint64_t seed) {
         }
       }
     }
-    // Half the checkpoint mutants get a valid checksum so payload
-    // mutations reach DecodePayload instead of dying at the gate.
+    // Half the checkpoint / .rlg mutants get a valid checksum so
+    // mutations reach the payload / section validators instead of dying
+    // at the checksum gate.
     if (kind == LoaderKind::kCheckpoint && rng.Bernoulli(0.5)) {
       RefixCheckpointChecksum(&bytes);
+    }
+    if (kind == LoaderKind::kRlgGraph && rng.Bernoulli(0.5)) {
+      RefixRlgHeaderChecksum(&bytes);
     }
     ++report.cases;
     // The invariant under fuzzing: a clean Status either way — never a

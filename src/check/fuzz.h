@@ -10,11 +10,12 @@
 namespace rlcut {
 namespace check {
 
-/// The three file loaders that parse untrusted bytes.
+/// The file loaders that parse untrusted bytes.
 enum class LoaderKind {
   kCheckpoint,   // LoadTrainerCheckpoint ("RLCUTCKP" binary format)
   kPlan,         // LoadPlan ("rlcut-plan v1" text format)
   kNetSchedule,  // LoadTopologySchedule ("rlcut-net-schedule v1" text)
+  kRlgGraph,     // MmapGraph::Open ("RLCUTRLG" mapped dual-CSR format)
 };
 
 const char* LoaderName(LoaderKind kind);

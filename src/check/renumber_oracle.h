@@ -1,0 +1,83 @@
+#ifndef RLCUT_CHECK_RENUMBER_ORACLE_H_
+#define RLCUT_CHECK_RENUMBER_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rlcut {
+namespace check {
+
+/// Differential oracle for vertex renumbering (graph/transform.h) and
+/// the memory-mapped .rlg store (graph/rlg.h). On small dyadic-exact
+/// instances (same discipline as check/differential_oracle.h — every
+/// constant is a small multiple of a power of two, so all additively
+/// maintained aggregates are exact and order-independent) it demands
+/// *bit-exact* agreement across four lanes:
+///
+///   * structure — the built permutation is a bijection, the reordered
+///     graph preserves per-vertex degrees and the edge multiset, and
+///     old_edge_of_new maps every reordered edge back to the original
+///     edge with mirrored endpoints;
+///   * evaluation invariance — a PartitionState built on the reordered
+///     graph with permuted attributes reports bit-identical objectives,
+///     move costs and WAN bytes, and stays bit-identical under mirrored
+///     move sequences (MoveMaster / PlaceEdge / SetMaster through the
+///     permutation), including every EvaluateMoveAll /
+///     EvaluatePlaceEdgeAll entry;
+///   * plan map-back — a plan produced on the reordered instance
+///     (trained, for hybrid-cut; randomized, for explicit placement),
+///     mapped back to original ids through the inverse permutation and
+///     old_edge_of_new, prices bit-identically on the original graph;
+///   * mmap round-trip — the reordered graph written to .rlg and
+///     reopened through MmapGraph carries the correct orig-ids section
+///     and produces bit-identical objectives through the mapped views.
+///
+/// Deliberately NOT asserted: bit-exact trainer *trajectories* across
+/// renumbering. The trainer's agent sampling breaks degree ties by
+/// vertex id, so renumbering legitimately changes batch composition and
+/// hence the trajectory. What renumbering must never change — and what
+/// this oracle pins down — is the meaning of any state or plan: every
+/// evaluation is invariant, and every published artifact maps back to
+/// original ids with an identical objective.
+struct RenumberOracleOptions {
+  /// Independent instances; graph kind, order kind and compute model
+  /// are cycled per instance.
+  int num_instances = 12;
+  VertexId num_vertices = 96;
+  uint64_t num_edges = 384;
+  int num_dcs = 4;
+  /// Mirrored mutating moves per instance.
+  int moves_per_instance = 48;
+  /// Vertices whose EvaluateMoveAll is mirrored per instance (capped at
+  /// num_vertices).
+  int evals_per_instance = 32;
+  /// Trainer steps for the map-back lane's hybrid training run.
+  int max_steps = 3;
+  uint64_t seed = 1;
+  /// Stop collecting after this many failures.
+  int max_failures = 16;
+};
+
+struct RenumberOracleReport {
+  uint64_t instances = 0;
+  uint64_t structure_checks = 0;
+  uint64_t mirrored_evals = 0;
+  uint64_t mirrored_moves = 0;
+  uint64_t mapback_checks = 0;
+  uint64_t mmap_checks = 0;
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string Summary() const;
+};
+
+/// Runs the oracle. Deterministic given options.seed.
+RenumberOracleReport RunRenumberOracle(const RenumberOracleOptions& options);
+
+}  // namespace check
+}  // namespace rlcut
+
+#endif  // RLCUT_CHECK_RENUMBER_ORACLE_H_

@@ -60,9 +60,15 @@ Graph GraphBuilder::Build() && {
     }
   }
 
+  // The accumulator is no longer needed: the in-CSR below is derived
+  // entirely from the out-CSR arrays. Freeing it here cuts peak RSS by
+  // one Edge array on large builds.
+  edges_.clear();
+  edges_.shrink_to_fit();
+
   // In-CSR carrying matching EdgeIds.
   g.in_offsets_.assign(n + 1, 0);
-  for (const Edge& e : edges_) ++g.in_offsets_[e.dst + 1];
+  for (EdgeId e = 0; e < m; ++e) ++g.in_offsets_[g.out_targets_[e] + 1];
   for (VertexId v = 0; v < n; ++v) {
     g.in_offsets_[v + 1] += g.in_offsets_[v];
   }
@@ -79,8 +85,7 @@ Graph GraphBuilder::Build() && {
     }
   }
 
-  edges_.clear();
-  edges_.shrink_to_fit();
+  g.BindViewToOwned();
   return g;
 }
 

@@ -1,42 +1,114 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
-#include <sstream>
-#include <vector>
+#include <string>
 
 namespace rlcut {
 
+namespace {
+
+// Parses one edge-list line into (src, dst). Returns false on blank or
+// comment lines; error Status on malformed or out-of-range ids.
+Status ParseEdgeLine(const std::string& line, const std::string& path,
+                     size_t line_number, bool* is_edge, uint64_t* src,
+                     uint64_t* dst) {
+  *is_edge = false;
+  const char* p = line.c_str();
+  const char* end = p + line.size();
+  auto skip_ws = [&] {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  };
+  skip_ws();
+  if (p == end || *p == '#') return Status::Ok();
+  auto parse_u64 = [&](uint64_t* out) {
+    if (p == end || *p < '0' || *p > '9') return false;
+    uint64_t value = 0;
+    while (p < end && *p >= '0' && *p <= '9') {
+      const uint64_t digit = static_cast<uint64_t>(*p - '0');
+      if (value > (UINT64_MAX - digit) / 10) return false;
+      value = value * 10 + digit;
+      ++p;
+    }
+    *out = value;
+    return true;
+  };
+  if (!parse_u64(src)) {
+    return Status::IoError(path + ":" + std::to_string(line_number) +
+                           ": malformed edge line: " + line);
+  }
+  skip_ws();
+  if (!parse_u64(dst)) {
+    return Status::IoError(path + ":" + std::to_string(line_number) +
+                           ": malformed edge line: " + line);
+  }
+  // A vertex id space of max_id + 1 must itself fit in VertexId, so the
+  // largest representable id is 0xFFFFFFFE.
+  if (*src >= 0xFFFFFFFFull || *dst >= 0xFFFFFFFFull) {
+    return Status::OutOfRange(
+        path + ":" + std::to_string(line_number) +
+        ": vertex id " + std::to_string(std::max(*src, *dst)) +
+        " does not fit 32-bit VertexId (max 4294967294)");
+  }
+  *is_edge = true;
+  return Status::Ok();
+}
+
+}  // namespace
+
 Result<Graph> LoadEdgeListFile(const std::string& path) {
+  // Two passes: the first counts edges and finds the max vertex id, the
+  // second streams edges straight into a pre-sized GraphBuilder. Peak
+  // memory is the builder's edge array alone — no separate full edge
+  // vector — at the cost of reading the file twice (page cache makes
+  // the second read cheap).
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open " + path);
   }
-  std::vector<Edge> edges;
-  VertexId max_id = 0;
+  uint64_t num_edges = 0;
+  uint64_t max_id = 0;
   std::string line;
   size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ss(line);
+    bool is_edge = false;
     uint64_t src = 0;
     uint64_t dst = 0;
-    if (!(ss >> src >> dst)) {
-      return Status::IoError(path + ":" + std::to_string(line_number) +
-                             ": malformed edge line: " + line);
-    }
-    if (src > 0xFFFFFFFFull || dst > 0xFFFFFFFFull) {
-      return Status::OutOfRange(path + ":" + std::to_string(line_number) +
-                                ": vertex id exceeds 32 bits");
-    }
-    edges.push_back(
-        {static_cast<VertexId>(src), static_cast<VertexId>(dst)});
-    max_id = std::max(max_id, static_cast<VertexId>(std::max(src, dst)));
+    RLCUT_RETURN_IF_ERROR(
+        ParseEdgeLine(line, path, line_number, &is_edge, &src, &dst));
+    if (!is_edge) continue;
+    ++num_edges;
+    max_id = std::max({max_id, src, dst});
   }
-  const VertexId n = edges.empty() ? 0 : max_id + 1;
-  GraphBuilder builder(n == 0 ? 1 : n);
-  builder.AddEdges(edges);
+
+  const VertexId n =
+      num_edges == 0 ? 1 : static_cast<VertexId>(max_id) + 1;
+  GraphBuilder builder(n);
+  builder.Reserve(num_edges);
+
+  in.clear();
+  in.seekg(0);
+  if (!in) {
+    return Status::IoError("cannot rewind " + path);
+  }
+  line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    bool is_edge = false;
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    RLCUT_RETURN_IF_ERROR(
+        ParseEdgeLine(line, path, line_number, &is_edge, &src, &dst));
+    if (!is_edge) continue;
+    builder.AddEdge(static_cast<VertexId>(src), static_cast<VertexId>(dst));
+  }
+  if (builder.num_edges() != num_edges) {
+    return Status::IoError(path + ": file changed between passes (" +
+                           std::to_string(num_edges) + " edges counted, " +
+                           std::to_string(builder.num_edges()) + " loaded)");
+  }
   return std::move(builder).Build();
 }
 

@@ -10,7 +10,10 @@ namespace rlcut {
 
 /// Loads a whitespace-separated edge-list file ("src dst" per line;
 /// '#'-prefixed lines are comments — the SNAP dataset format). Vertex ids
-/// are used as-is; the vertex count is max id + 1.
+/// are used as-is; the vertex count is max id + 1. Streams the file in
+/// two passes (count, then load into a pre-sized builder) so peak memory
+/// is one edge array. Ids ≥ 2^32 - 1 are rejected with kOutOfRange: the
+/// id space max_id + 1 must fit 32-bit VertexId.
 Result<Graph> LoadEdgeListFile(const std::string& path);
 
 /// Writes a graph as a SNAP-style edge list (one "src dst" per line).

@@ -1,0 +1,702 @@
+#include "graph/rlg.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/byte_io.h"
+#include "common/logging.h"
+
+namespace rlcut {
+
+namespace {
+
+constexpr size_t kNumSections = 7;
+constexpr size_t kSecOutOffsets = 0;
+constexpr size_t kSecOutTargets = 1;
+constexpr size_t kSecEdgeSources = 2;
+constexpr size_t kSecInOffsets = 3;
+constexpr size_t kSecInSources = 4;
+constexpr size_t kSecInEdgeIds = 5;
+constexpr size_t kSecOrigIds = 6;
+
+// Header checksum covers bytes [0, kRlgChecksumOffset).
+constexpr size_t kRlgChecksumOffset = 96;
+
+struct RlgLayout {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  bool has_orig_ids = false;
+  uint64_t section_offsets[kNumSections] = {};
+  uint64_t file_size = 0;
+};
+
+uint64_t AlignUp(uint64_t value, uint64_t align) {
+  return (value + align - 1) / align * align;
+}
+
+uint64_t SectionBytes(size_t section, uint64_t n, uint64_t m) {
+  switch (section) {
+    case kSecOutOffsets:
+    case kSecInOffsets:
+      return (n + 1) * sizeof(uint64_t);
+    case kSecOutTargets:
+    case kSecEdgeSources:
+    case kSecInSources:
+      return m * sizeof(VertexId);
+    case kSecInEdgeIds:
+      return m * sizeof(EdgeId);
+    case kSecOrigIds:
+      return n * sizeof(VertexId);
+  }
+  return 0;
+}
+
+RlgLayout ComputeLayout(uint64_t n, uint64_t m, bool has_orig_ids) {
+  RlgLayout layout;
+  layout.num_vertices = n;
+  layout.num_edges = m;
+  layout.has_orig_ids = has_orig_ids;
+  uint64_t cursor = kRlgHeaderSize;
+  for (size_t s = 0; s < kNumSections; ++s) {
+    if (s == kSecOrigIds && !has_orig_ids) continue;
+    cursor = AlignUp(cursor, kRlgSectionAlign);
+    layout.section_offsets[s] = cursor;
+    cursor += SectionBytes(s, n, m);
+  }
+  layout.file_size = cursor;
+  return layout;
+}
+
+// Serializes the 128-byte header (checksum computed over the first 96).
+void FillHeader(const RlgLayout& layout, uint8_t* out) {
+  ByteWriter writer;
+  for (const char c : kRlgMagic) writer.Write<char>(c);
+  writer.Write<uint32_t>(kRlgVersion);
+  writer.Write<uint32_t>(layout.has_orig_ids ? kRlgFlagHasOrigIds : 0u);
+  writer.Write<uint64_t>(layout.num_vertices);
+  writer.Write<uint64_t>(layout.num_edges);
+  for (const uint64_t offset : layout.section_offsets) {
+    writer.Write<uint64_t>(offset);
+  }
+  writer.Write<uint64_t>(layout.file_size);
+  RLCUT_CHECK_EQ(writer.bytes().size(), kRlgChecksumOffset);
+  const uint64_t checksum = Fnv1a64(writer.bytes());
+  writer.Write<uint64_t>(checksum);
+  std::memset(out, 0, kRlgHeaderSize);
+  std::memcpy(out, writer.bytes().data(), writer.bytes().size());
+}
+
+Status ParseHeader(const uint8_t* data, size_t size, RlgLayout* layout) {
+  if (size < kRlgHeaderSize) {
+    return Status::IoError("not an rlcut .rlg graph file (too small)");
+  }
+  const std::string header(reinterpret_cast<const char*>(data),
+                           kRlgHeaderSize);
+  ByteReader reader(header);
+  char magic[8];
+  for (char& c : magic) {
+    if (!reader.Read(&c)) return Status::IoError("truncated .rlg header");
+  }
+  if (std::memcmp(magic, kRlgMagic, sizeof(kRlgMagic)) != 0) {
+    return Status::IoError("not an rlcut .rlg graph file (bad magic)");
+  }
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  if (!reader.Read(&version) || !reader.Read(&flags)) {
+    return Status::IoError("truncated .rlg header");
+  }
+  if (version != kRlgVersion) {
+    return Status::IoError(".rlg version " + std::to_string(version) +
+                           " unsupported (expected " +
+                           std::to_string(kRlgVersion) + ")");
+  }
+  if ((flags & ~kRlgFlagHasOrigIds) != 0) {
+    return Status::IoError(".rlg header has unknown flags");
+  }
+  uint64_t declared_size = 0;
+  if (!reader.Read(&layout->num_vertices) ||
+      !reader.Read(&layout->num_edges)) {
+    return Status::IoError("truncated .rlg header");
+  }
+  for (uint64_t& offset : layout->section_offsets) {
+    if (!reader.Read(&offset)) {
+      return Status::IoError("truncated .rlg header");
+    }
+  }
+  uint64_t stored_checksum = 0;
+  if (!reader.Read(&declared_size) || !reader.Read(&stored_checksum)) {
+    return Status::IoError("truncated .rlg header");
+  }
+  const uint64_t computed =
+      Fnv1a64(header.substr(0, kRlgChecksumOffset));
+  if (computed != stored_checksum) {
+    return Status::IoError(".rlg header checksum mismatch");
+  }
+  if (declared_size != size) {
+    return Status::IoError(".rlg file truncated: header declares " +
+                           std::to_string(declared_size) + " bytes, file has " +
+                           std::to_string(size));
+  }
+  layout->has_orig_ids = (flags & kRlgFlagHasOrigIds) != 0;
+  layout->file_size = declared_size;
+
+  const uint64_t n = layout->num_vertices;
+  const uint64_t m = layout->num_edges;
+  if (n >= 0xFFFFFFFFull) {
+    return Status::IoError(".rlg vertex count " + std::to_string(n) +
+                           " does not fit 32-bit VertexId");
+  }
+  for (size_t s = 0; s < kNumSections; ++s) {
+    const uint64_t offset = layout->section_offsets[s];
+    const bool expected = s != kSecOrigIds || layout->has_orig_ids;
+    if (!expected) {
+      if (offset != 0) {
+        return Status::IoError(".rlg orig-ids offset set without flag");
+      }
+      continue;
+    }
+    const uint64_t bytes = SectionBytes(s, n, m);
+    if (offset < kRlgHeaderSize || offset % 8 != 0 || offset > size ||
+        bytes > size - offset) {
+      return Status::IoError(".rlg section " + std::to_string(s) +
+                             " out of bounds");
+    }
+  }
+  return Status::Ok();
+}
+
+// Validates the orig-ids section is a bijection on [0, n). O(n).
+Status ValidateOrigIds(const VertexId* orig_ids, uint64_t n) {
+  std::vector<uint64_t> seen((n + 63) / 64, 0);
+  for (uint64_t v = 0; v < n; ++v) {
+    const VertexId orig = orig_ids[v];
+    if (orig >= n) {
+      return Status::IoError(".rlg orig-ids entry out of range");
+    }
+    uint64_t& word = seen[orig >> 6];
+    const uint64_t bit = 1ull << (orig & 63);
+    if ((word & bit) != 0) {
+      return Status::IoError(".rlg orig-ids section is not a bijection");
+    }
+    word |= bit;
+  }
+  return Status::Ok();
+}
+
+// A writable mapping of a freshly created file, unmapped on scope exit.
+class ScopedRwMapping {
+ public:
+  static Result<ScopedRwMapping> Create(const std::string& path,
+                                        uint64_t size) {
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return Status::IoError("cannot create " + path + ": " +
+                             std::strerror(errno));
+    }
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("cannot size " + path + ": " +
+                             std::strerror(err));
+    }
+    void* base =
+        ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      return Status::IoError("cannot map " + path + ": " +
+                             std::strerror(errno));
+    }
+    return ScopedRwMapping(static_cast<uint8_t*>(base), size);
+  }
+
+  ScopedRwMapping(ScopedRwMapping&& other) noexcept
+      : base_(std::exchange(other.base_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  ScopedRwMapping& operator=(ScopedRwMapping&& other) noexcept {
+    std::swap(base_, other.base_);
+    std::swap(size_, other.size_);
+    return *this;
+  }
+  ScopedRwMapping(const ScopedRwMapping&) = delete;
+  ScopedRwMapping& operator=(const ScopedRwMapping&) = delete;
+  ~ScopedRwMapping() {
+    if (base_ != nullptr) ::munmap(base_, size_);
+  }
+
+  uint8_t* data() { return base_; }
+
+  template <typename T>
+  T* Section(uint64_t offset) {
+    return reinterpret_cast<T*>(base_ + offset);
+  }
+
+  Status Sync() {
+    if (::msync(base_, size_, MS_SYNC) != 0) {
+      return Status::IoError(std::string("msync failed: ") +
+                             std::strerror(errno));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  ScopedRwMapping(uint8_t* base, uint64_t size) : base_(base), size_(size) {}
+  uint8_t* base_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+Status RenameInto(const std::string& tmp, const std::string& path) {
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path + ": " +
+                           std::strerror(err));
+  }
+  return Status::Ok();
+}
+
+// Derives the in-CSR sections from the completed out-CSR sections, all
+// inside the output mapping. Heap: one cursor array (8 bytes/vertex).
+void FillInCsrFromOutCsr(const RlgLayout& layout, ScopedRwMapping* map) {
+  const uint64_t n = layout.num_vertices;
+  const uint64_t m = layout.num_edges;
+  const VertexId* out_targets =
+      map->Section<VertexId>(layout.section_offsets[kSecOutTargets]);
+  const VertexId* edge_sources =
+      map->Section<VertexId>(layout.section_offsets[kSecEdgeSources]);
+  uint64_t* in_offsets =
+      map->Section<uint64_t>(layout.section_offsets[kSecInOffsets]);
+  VertexId* in_sources =
+      map->Section<VertexId>(layout.section_offsets[kSecInSources]);
+  EdgeId* in_edge_ids =
+      map->Section<EdgeId>(layout.section_offsets[kSecInEdgeIds]);
+
+  std::memset(in_offsets, 0, (n + 1) * sizeof(uint64_t));
+  for (uint64_t e = 0; e < m; ++e) ++in_offsets[out_targets[e] + 1];
+  for (uint64_t v = 0; v < n; ++v) in_offsets[v + 1] += in_offsets[v];
+  std::vector<uint64_t> cursor(in_offsets, in_offsets + n);
+  for (uint64_t e = 0; e < m; ++e) {
+    const uint64_t pos = cursor[out_targets[e]]++;
+    in_sources[pos] = edge_sources[e];
+    in_edge_ids[pos] = e;
+  }
+}
+
+}  // namespace
+
+Status WriteRlgFile(const Graph& graph, const VertexPermutation* perm,
+                    std::span<const VertexId> orig_of_new,
+                    const std::string& path) {
+  const VertexId n = graph.num_vertices();
+  const uint64_t m = graph.num_edges();
+  if (perm != nullptr && perm->size() != n) {
+    return Status::InvalidArgument("permutation size mismatch");
+  }
+  if (!orig_of_new.empty() && orig_of_new.size() != n) {
+    return Status::InvalidArgument("orig_of_new size mismatch");
+  }
+  // A non-identity relabel whose caller gave no explicit orig ids still
+  // records how to get back to the input ids.
+  const bool write_orig =
+      !orig_of_new.empty() || perm != nullptr;
+  const RlgLayout layout = ComputeLayout(n, m, write_orig);
+
+  const std::string tmp = path + ".tmp";
+  auto map_result = ScopedRwMapping::Create(tmp, layout.file_size);
+  RLCUT_RETURN_IF_ERROR(map_result.status());
+  ScopedRwMapping map = std::move(map_result).value();
+
+  uint64_t* out_offsets =
+      map.Section<uint64_t>(layout.section_offsets[kSecOutOffsets]);
+  VertexId* out_targets =
+      map.Section<VertexId>(layout.section_offsets[kSecOutTargets]);
+  VertexId* edge_sources =
+      map.Section<VertexId>(layout.section_offsets[kSecEdgeSources]);
+
+  // Out-CSR grouped by new source id: purely sequential writes.
+  out_offsets[0] = 0;
+  uint64_t edge_cursor = 0;
+  for (VertexId new_src = 0; new_src < n; ++new_src) {
+    const VertexId old_src =
+        perm != nullptr ? perm->old_of_new[new_src] : new_src;
+    for (const VertexId old_dst : graph.OutNeighbors(old_src)) {
+      out_targets[edge_cursor] =
+          perm != nullptr ? perm->new_of_old[old_dst] : old_dst;
+      edge_sources[edge_cursor] = new_src;
+      ++edge_cursor;
+    }
+    out_offsets[new_src + 1] = edge_cursor;
+  }
+  RLCUT_CHECK_EQ(edge_cursor, m);
+
+  FillInCsrFromOutCsr(layout, &map);
+
+  if (write_orig) {
+    VertexId* orig_ids =
+        map.Section<VertexId>(layout.section_offsets[kSecOrigIds]);
+    for (VertexId new_id = 0; new_id < n; ++new_id) {
+      if (!orig_of_new.empty()) {
+        orig_ids[new_id] = orig_of_new[new_id];
+      } else {
+        orig_ids[new_id] = perm->old_of_new[new_id];
+      }
+    }
+  }
+
+  FillHeader(layout, map.data());
+  RLCUT_RETURN_IF_ERROR(map.Sync());
+  return RenameInto(tmp, path);
+}
+
+Status SaveRlgGraph(const Graph& graph, const std::string& path) {
+  return WriteRlgFile(graph, nullptr, {}, path);
+}
+
+Status ConvertEdgeListToRlg(const std::string& edge_list_path,
+                            const std::string& rlg_path) {
+  // Pass 1: count edges and find the max vertex id.
+  std::ifstream in(edge_list_path);
+  if (!in) {
+    return Status::IoError("cannot open " + edge_list_path);
+  }
+  uint64_t m = 0;
+  uint64_t max_id = 0;
+  std::string line;
+  size_t line_number = 0;
+  auto parse = [&](uint64_t* src, uint64_t* dst, bool* is_edge) -> Status {
+    *is_edge = false;
+    size_t pos = 0;
+    while (pos < line.size() &&
+           (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+      ++pos;
+    }
+    if (pos == line.size() || line[pos] == '#') return Status::Ok();
+    char* end = nullptr;
+    errno = 0;
+    *src = std::strtoull(line.c_str() + pos, &end, 10);
+    if (end == line.c_str() + pos || errno != 0) {
+      return Status::IoError(edge_list_path + ":" +
+                             std::to_string(line_number) +
+                             ": malformed edge line: " + line);
+    }
+    errno = 0;
+    const char* dst_start = end;
+    *dst = std::strtoull(dst_start, &end, 10);
+    if (end == dst_start || errno != 0) {
+      return Status::IoError(edge_list_path + ":" +
+                             std::to_string(line_number) +
+                             ": malformed edge line: " + line);
+    }
+    if (*src >= 0xFFFFFFFFull || *dst >= 0xFFFFFFFFull) {
+      return Status::OutOfRange(
+          edge_list_path + ":" + std::to_string(line_number) +
+          ": vertex id does not fit 32-bit VertexId (max 4294967294)");
+    }
+    *is_edge = true;
+    return Status::Ok();
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    bool is_edge = false;
+    RLCUT_RETURN_IF_ERROR(parse(&src, &dst, &is_edge));
+    if (!is_edge) continue;
+    ++m;
+    max_id = std::max({max_id, src, dst});
+  }
+  const uint64_t n = m == 0 ? 1 : max_id + 1;
+
+  const RlgLayout layout = ComputeLayout(n, m, /*has_orig_ids=*/false);
+  const std::string tmp = rlg_path + ".tmp";
+  auto map_result = ScopedRwMapping::Create(tmp, layout.file_size);
+  RLCUT_RETURN_IF_ERROR(map_result.status());
+  ScopedRwMapping map = std::move(map_result).value();
+
+  uint64_t* out_offsets =
+      map.Section<uint64_t>(layout.section_offsets[kSecOutOffsets]);
+  VertexId* out_targets =
+      map.Section<VertexId>(layout.section_offsets[kSecOutTargets]);
+  VertexId* edge_sources =
+      map.Section<VertexId>(layout.section_offsets[kSecEdgeSources]);
+
+  auto rewind = [&]() -> Status {
+    in.clear();
+    in.seekg(0);
+    if (!in) return Status::IoError("cannot rewind " + edge_list_path);
+    line_number = 0;
+    return Status::Ok();
+  };
+
+  // Pass 2: out-degree histogram straight into the mapped offsets.
+  std::memset(out_offsets, 0, (n + 1) * sizeof(uint64_t));
+  RLCUT_RETURN_IF_ERROR(rewind());
+  uint64_t counted = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    bool is_edge = false;
+    RLCUT_RETURN_IF_ERROR(parse(&src, &dst, &is_edge));
+    if (!is_edge) continue;
+    ++counted;
+    ++out_offsets[src + 1];
+  }
+  if (counted != m) {
+    return Status::IoError(edge_list_path + ": file changed between passes");
+  }
+  for (uint64_t v = 0; v < n; ++v) out_offsets[v + 1] += out_offsets[v];
+
+  // Pass 3: scatter edges through per-vertex cursors (the only heap
+  // allocation proportional to the graph: 8 bytes per vertex).
+  {
+    std::vector<uint64_t> cursor(out_offsets, out_offsets + n);
+    RLCUT_RETURN_IF_ERROR(rewind());
+    while (std::getline(in, line)) {
+      ++line_number;
+      uint64_t src = 0;
+      uint64_t dst = 0;
+      bool is_edge = false;
+      RLCUT_RETURN_IF_ERROR(parse(&src, &dst, &is_edge));
+      if (!is_edge) continue;
+      const uint64_t pos = cursor[src]++;
+      out_targets[pos] = static_cast<VertexId>(dst);
+      edge_sources[pos] = static_cast<VertexId>(src);
+    }
+  }
+
+  FillInCsrFromOutCsr(layout, &map);
+  FillHeader(layout, map.data());
+  RLCUT_RETURN_IF_ERROR(map.Sync());
+  return RenameInto(tmp, rlg_path);
+}
+
+RlgMapping::RlgMapping(uint8_t* base, size_t len)
+    : base_(base), len_(len) {}
+
+struct RlgMapping::Governor {
+  std::thread thread;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  std::atomic<uint64_t> drops{0};
+};
+
+RlgMapping::~RlgMapping() {
+  if (governor_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(governor_->mu);
+      governor_->stop = true;
+    }
+    governor_->cv.notify_all();
+    governor_->thread.join();
+  }
+  if (base_ != nullptr) ::munmap(base_, len_);
+}
+
+void RlgMapping::DropPages() const {
+  ::madvise(base_, len_, MADV_DONTNEED);
+}
+
+void RlgMapping::StartGovernor(size_t budget_bytes) {
+  RLCUT_CHECK(governor_ == nullptr);
+  governor_ = std::make_unique<Governor>();
+  Governor* gov = governor_.get();
+  gov->thread = std::thread([this, gov, budget_bytes] {
+    std::unique_lock<std::mutex> lock(gov->mu);
+    while (!gov->stop) {
+      gov->cv.wait_for(lock, std::chrono::milliseconds(10),
+                       [gov] { return gov->stop; });
+      if (gov->stop) break;
+      if (CurrentRssBytes() > budget_bytes) {
+        DropPages();
+        gov->drops.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+}
+
+uint64_t RlgMapping::governor_drops() const {
+  return governor_ == nullptr
+             ? 0
+             : governor_->drops.load(std::memory_order_relaxed);
+}
+
+Result<MmapGraph> MmapGraph::Open(const std::string& path,
+                                  const Options& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot stat " + path + ": " +
+                           std::strerror(err));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kRlgHeaderSize) {
+    ::close(fd);
+    return Status::IoError(path + " is not an rlcut .rlg graph file " +
+                           "(too small)");
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    return Status::IoError("cannot map " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto mapping = std::shared_ptr<RlgMapping>(
+      new RlgMapping(static_cast<uint8_t*>(base), size));
+  if (options.random_access) {
+    ::madvise(base, size, MADV_RANDOM);
+  }
+
+  RlgLayout layout;
+  RLCUT_RETURN_IF_ERROR(ParseHeader(mapping->data(), size, &layout));
+
+  MmapGraph result;
+  CsrView view;
+  view.num_vertices = static_cast<VertexId>(layout.num_vertices);
+  view.num_edges = layout.num_edges;
+  const uint8_t* data = mapping->data();
+  view.out_offsets = reinterpret_cast<const uint64_t*>(
+      data + layout.section_offsets[kSecOutOffsets]);
+  view.out_targets = reinterpret_cast<const VertexId*>(
+      data + layout.section_offsets[kSecOutTargets]);
+  view.edge_sources = reinterpret_cast<const VertexId*>(
+      data + layout.section_offsets[kSecEdgeSources]);
+  view.in_offsets = reinterpret_cast<const uint64_t*>(
+      data + layout.section_offsets[kSecInOffsets]);
+  view.in_sources = reinterpret_cast<const VertexId*>(
+      data + layout.section_offsets[kSecInSources]);
+  view.in_edge_ids = reinterpret_cast<const EdgeId*>(
+      data + layout.section_offsets[kSecInEdgeIds]);
+  if (layout.has_orig_ids) {
+    result.orig_ids_ = reinterpret_cast<const VertexId*>(
+        data + layout.section_offsets[kSecOrigIds]);
+    RLCUT_RETURN_IF_ERROR(
+        ValidateOrigIds(result.orig_ids_, layout.num_vertices));
+  }
+  result.graph_ = Graph::FromView(view, mapping);
+  result.mapping_ = std::move(mapping);
+
+  if (options.validate_structure) {
+    RLCUT_RETURN_IF_ERROR(result.ValidateFully());
+  }
+  if (options.budget_bytes > 0) {
+    result.mapping_->StartGovernor(options.budget_bytes);
+  }
+  return result;
+}
+
+Status MmapGraph::ValidateFully() const {
+  const Graph& g = graph_;
+  const CsrView& view = g.view();
+  const uint64_t n = view.num_vertices;
+  const uint64_t m = view.num_edges;
+  if (view.out_offsets[0] != 0 || view.in_offsets[0] != 0) {
+    return Status::IoError(".rlg offsets do not start at 0");
+  }
+  for (uint64_t v = 0; v < n; ++v) {
+    if (view.out_offsets[v + 1] < view.out_offsets[v] ||
+        view.in_offsets[v + 1] < view.in_offsets[v]) {
+      return Status::IoError(".rlg offsets not monotone");
+    }
+  }
+  if (view.out_offsets[n] != m || view.in_offsets[n] != m) {
+    return Status::IoError(".rlg offsets do not sum to edge count");
+  }
+  for (uint64_t e = 0; e < m; ++e) {
+    if (view.out_targets[e] >= n || view.edge_sources[e] >= n) {
+      return Status::IoError(".rlg edge endpoint out of range");
+    }
+  }
+  // edge_sources must agree with the out-CSR grouping.
+  for (uint64_t v = 0; v < n; ++v) {
+    for (uint64_t e = view.out_offsets[v]; e < view.out_offsets[v + 1]; ++e) {
+      if (view.edge_sources[e] != v) {
+        return Status::IoError(".rlg edge_sources inconsistent with out-CSR");
+      }
+    }
+  }
+  // The in-CSR must mirror the out-CSR's EdgeIds exactly.
+  std::vector<uint64_t> seen((m + 63) / 64, 0);
+  for (uint64_t v = 0; v < n; ++v) {
+    for (uint64_t k = view.in_offsets[v]; k < view.in_offsets[v + 1]; ++k) {
+      const EdgeId e = view.in_edge_ids[k];
+      if (e >= m) {
+        return Status::IoError(".rlg in_edge_ids entry out of range");
+      }
+      uint64_t& word = seen[e >> 6];
+      const uint64_t bit = 1ull << (e & 63);
+      if ((word & bit) != 0) {
+        return Status::IoError(".rlg in_edge_ids entry repeated");
+      }
+      word |= bit;
+      if (view.out_targets[e] != v ||
+          view.edge_sources[e] != view.in_sources[k]) {
+        return Status::IoError(".rlg in-CSR inconsistent with out-CSR");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<GraphStore> GraphStore::OpenMapped(const std::string& path,
+                                          const MmapGraph::Options& options) {
+  auto mmap_result = MmapGraph::Open(path, options);
+  RLCUT_RETURN_IF_ERROR(mmap_result.status());
+  GraphStore store;
+  store.mmap_ = std::move(mmap_result).value();
+  store.graph_ = store.mmap_->graph();
+  return store;
+}
+
+uint64_t DualCsrBytes(VertexId num_vertices, uint64_t num_edges) {
+  const uint64_t n = num_vertices;
+  const uint64_t m = num_edges;
+  return 2 * (n + 1) * sizeof(uint64_t) +       // out/in offsets
+         3 * m * sizeof(VertexId) +             // targets, sources x2
+         m * sizeof(EdgeId);                    // in_edge_ids
+}
+
+uint64_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total = 0;  // NOLINT(google-runtime-int)
+  unsigned long long resident = 0;  // NOLINT(google-runtime-int)
+  const int fields = std::fscanf(f, "%llu %llu", &total, &resident);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  return static_cast<uint64_t>(resident) *
+         static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+uint64_t PeakRssBytes() {
+  struct rusage usage {};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+}  // namespace rlcut

@@ -1,5 +1,8 @@
 #include "graph/transform.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/logging.h"
 
 namespace rlcut {
@@ -29,6 +32,165 @@ Graph EdgePrefixSubgraph(const Graph& graph, uint64_t num_edges) {
   GraphBuilder builder(graph.num_vertices());
   for (EdgeId e = 0; e < num_edges; ++e) {
     builder.AddEdge(graph.GetEdge(e));
+  }
+  return std::move(builder).Build();
+}
+
+Result<VertexOrderKind> ParseVertexOrderKind(const std::string& name) {
+  if (name == "natural") return VertexOrderKind::kNatural;
+  if (name == "degree") return VertexOrderKind::kDegree;
+  if (name == "locality") return VertexOrderKind::kLocality;
+  return Status::InvalidArgument(
+      "unknown vertex order '" + name +
+      "' (expected natural | degree | locality)");
+}
+
+const char* VertexOrderKindName(VertexOrderKind kind) {
+  switch (kind) {
+    case VertexOrderKind::kNatural:
+      return "natural";
+    case VertexOrderKind::kDegree:
+      return "degree";
+    case VertexOrderKind::kLocality:
+      return "locality";
+  }
+  return "unknown";
+}
+
+VertexPermutation IdentityOrder(VertexId n) {
+  VertexPermutation perm;
+  perm.new_of_old.resize(n);
+  std::iota(perm.new_of_old.begin(), perm.new_of_old.end(), VertexId{0});
+  perm.old_of_new = perm.new_of_old;
+  return perm;
+}
+
+namespace {
+
+// Original vertex ids sorted by total degree descending, id ascending.
+std::vector<VertexId> VerticesByDegreeDesc(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&graph](VertexId a, VertexId b) {
+                     return graph.Degree(a) > graph.Degree(b);
+                   });
+  return order;
+}
+
+VertexPermutation FromOldOfNew(std::vector<VertexId> old_of_new) {
+  VertexPermutation perm;
+  perm.new_of_old.resize(old_of_new.size());
+  for (VertexId new_id = 0; new_id < old_of_new.size(); ++new_id) {
+    perm.new_of_old[old_of_new[new_id]] = new_id;
+  }
+  perm.old_of_new = std::move(old_of_new);
+  return perm;
+}
+
+}  // namespace
+
+VertexPermutation DegreeDescendingOrder(const Graph& graph) {
+  return FromOldOfNew(VerticesByDegreeDesc(graph));
+}
+
+VertexPermutation LocalityOrder(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  const std::vector<VertexId> seeds = VerticesByDegreeDesc(graph);
+  std::vector<VertexId> old_of_new;
+  old_of_new.reserve(n);
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<VertexId> queue;  // BFS frontier, head is an index.
+  queue.reserve(n);
+  for (const VertexId seed : seeds) {
+    if (visited[seed]) continue;
+    size_t head = old_of_new.size();
+    visited[seed] = 1;
+    old_of_new.push_back(seed);
+    // BFS over the union adjacency; old_of_new doubles as the queue
+    // (vertices are appended exactly once, in visit order).
+    while (head < old_of_new.size()) {
+      const VertexId v = old_of_new[head++];
+      for (const VertexId u : graph.OutNeighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = 1;
+          old_of_new.push_back(u);
+        }
+      }
+      for (const VertexId u : graph.InNeighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = 1;
+          old_of_new.push_back(u);
+        }
+      }
+    }
+  }
+  RLCUT_CHECK_EQ(old_of_new.size(), static_cast<size_t>(n));
+  return FromOldOfNew(std::move(old_of_new));
+}
+
+VertexPermutation BuildVertexOrder(const Graph& graph, VertexOrderKind kind) {
+  switch (kind) {
+    case VertexOrderKind::kNatural:
+      return IdentityOrder(graph.num_vertices());
+    case VertexOrderKind::kDegree:
+      return DegreeDescendingOrder(graph);
+    case VertexOrderKind::kLocality:
+      return LocalityOrder(graph);
+  }
+  return IdentityOrder(graph.num_vertices());
+}
+
+Result<VertexPermutation> PermutationFromNewOfOld(
+    std::vector<VertexId> new_of_old) {
+  const size_t n = new_of_old.size();
+  std::vector<VertexId> old_of_new(n, VertexId{0});
+  std::vector<uint8_t> seen(n, 0);
+  for (size_t old_id = 0; old_id < n; ++old_id) {
+    const VertexId new_id = new_of_old[old_id];
+    if (new_id >= n) {
+      return Status::InvalidArgument(
+          "permutation entry " + std::to_string(new_id) +
+          " out of range for " + std::to_string(n) + " vertices");
+    }
+    if (seen[new_id]) {
+      return Status::InvalidArgument("permutation maps two vertices to " +
+                                     std::to_string(new_id));
+    }
+    seen[new_id] = 1;
+    old_of_new[new_id] = static_cast<VertexId>(old_id);
+  }
+  VertexPermutation perm;
+  perm.new_of_old = std::move(new_of_old);
+  perm.old_of_new = std::move(old_of_new);
+  return perm;
+}
+
+Graph ReorderVertices(const Graph& graph, const VertexPermutation& perm,
+                      std::vector<EdgeId>* old_edge_of_new) {
+  const VertexId n = graph.num_vertices();
+  RLCUT_CHECK_EQ(perm.size(), n);
+  GraphBuilder builder(n);
+  builder.Reserve(graph.num_edges());
+  if (old_edge_of_new != nullptr) {
+    old_edge_of_new->clear();
+    old_edge_of_new->reserve(graph.num_edges());
+  }
+  // Emit edges grouped by new source id in ascending order, original
+  // adjacency order within a source. GraphBuilder's counting sort is
+  // stable, so new EdgeIds are exactly the emission order below and
+  // old_edge_of_new can be recorded as we go.
+  for (VertexId new_src = 0; new_src < n; ++new_src) {
+    const VertexId old_src = perm.old_of_new[new_src];
+    const auto targets = graph.OutNeighbors(old_src);
+    const EdgeId old_begin = graph.OutEdgeBegin(old_src);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      builder.AddEdge(new_src, perm.new_of_old[targets[k]]);
+      if (old_edge_of_new != nullptr) {
+        old_edge_of_new->push_back(old_begin + k);
+      }
+    }
   }
   return std::move(builder).Build();
 }

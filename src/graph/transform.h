@@ -1,6 +1,10 @@
 #ifndef RLCUT_GRAPH_TRANSFORM_H_
 #define RLCUT_GRAPH_TRANSFORM_H_
 
+#include <string>
+#include <vector>
+
+#include "common/status.h"
 #include "graph/graph.h"
 
 namespace rlcut {
@@ -17,6 +21,83 @@ Graph Transpose(const Graph& graph);
 /// Returns the subgraph keeping only the first `num_edges` edges in
 /// EdgeId order (vertex set unchanged).
 Graph EdgePrefixSubgraph(const Graph& graph, uint64_t num_edges);
+
+/// A vertex renumbering held in both directions: new_of_old[old] is the
+/// new id of original vertex `old`, old_of_new its inverse. Training
+/// runs on renumbered ids for locality; every published artifact (plan
+/// masters, per-edge placements) is mapped back through old_of_new so
+/// plans are always in original ids.
+struct VertexPermutation {
+  std::vector<VertexId> new_of_old;
+  std::vector<VertexId> old_of_new;
+
+  VertexId size() const { return static_cast<VertexId>(new_of_old.size()); }
+};
+
+/// Which locality order to renumber a graph into before training.
+enum class VertexOrderKind {
+  kNatural,   // keep ids as loaded / generated
+  kDegree,    // total-degree descending: hubs share the leading rows
+  kLocality,  // BFS from hub seeds: neighborhoods get contiguous ids
+};
+
+/// Parses "natural" | "degree" | "locality" (as spelled in --vertex_order).
+Result<VertexOrderKind> ParseVertexOrderKind(const std::string& name);
+const char* VertexOrderKindName(VertexOrderKind kind);
+
+/// The identity permutation on n vertices.
+VertexPermutation IdentityOrder(VertexId n);
+
+/// Orders vertices by total degree (out + in) descending, original id
+/// ascending as the tie-break. On skewed graphs the hot hub rows of the
+/// partition-state count arrays then share the first cache lines.
+VertexPermutation DegreeDescendingOrder(const Graph& graph);
+
+/// Hub-seeded BFS order over the union adjacency (out + in neighbors):
+/// unvisited vertices are seeded in degree-descending order, each BFS
+/// assigns contiguous new ids in visit order, so tightly connected
+/// neighborhoods land on adjacent CSR pages. Deterministic.
+VertexPermutation LocalityOrder(const Graph& graph);
+
+/// Builds the permutation for `kind` (identity for kNatural).
+VertexPermutation BuildVertexOrder(const Graph& graph, VertexOrderKind kind);
+
+/// Validates that `new_of_old` is a bijection on [0, n) and returns it
+/// with the inverse filled in.
+Result<VertexPermutation> PermutationFromNewOfOld(
+    std::vector<VertexId> new_of_old);
+
+/// Returns the graph relabeled so original vertex v becomes
+/// perm.new_of_old[v]. Edge ids are renumbered by the rebuilt CSR
+/// (sorted by new source id, original adjacency order within a source —
+/// deterministic). If `old_edge_of_new` is non-null it receives, for
+/// each new EdgeId, the EdgeId the edge had in `graph`; per-edge
+/// artifacts computed on the reordered graph map back through it.
+Graph ReorderVertices(const Graph& graph, const VertexPermutation& perm,
+                      std::vector<EdgeId>* old_edge_of_new = nullptr);
+
+/// Reorders a per-vertex attribute array: result[new] = values[old].
+template <typename T>
+std::vector<T> PermuteVertexValues(const std::vector<T>& values,
+                                   const VertexPermutation& perm) {
+  std::vector<T> out(values.size());
+  for (VertexId old_id = 0; old_id < perm.size(); ++old_id) {
+    out[perm.new_of_old[old_id]] = values[old_id];
+  }
+  return out;
+}
+
+/// Maps a per-vertex attribute array computed on the reordered graph
+/// back to original ids: result[old] = values[new].
+template <typename T>
+std::vector<T> UnpermuteVertexValues(const std::vector<T>& values,
+                                     const VertexPermutation& perm) {
+  std::vector<T> out(values.size());
+  for (VertexId old_id = 0; old_id < perm.size(); ++old_id) {
+    out[old_id] = values[perm.new_of_old[old_id]];
+  }
+  return out;
+}
 
 }  // namespace rlcut
 

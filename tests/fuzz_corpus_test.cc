@@ -40,13 +40,16 @@ TEST_P(CorpusReplayTest, DeterministicFuzzRunIsClean) {
 INSTANTIATE_TEST_SUITE_P(AllLoaders, CorpusReplayTest,
                          ::testing::Values(LoaderKind::kCheckpoint,
                                            LoaderKind::kPlan,
-                                           LoaderKind::kNetSchedule),
+                                           LoaderKind::kNetSchedule,
+                                           LoaderKind::kRlgGraph),
                          [](const auto& info) {
                            switch (info.param) {
                              case LoaderKind::kCheckpoint:
                                return std::string("Checkpoint");
                              case LoaderKind::kPlan:
                                return std::string("Plan");
+                             case LoaderKind::kRlgGraph:
+                               return std::string("RlgGraph");
                              default:
                                return std::string("NetSchedule");
                            }

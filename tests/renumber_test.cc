@@ -1,0 +1,400 @@
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cloud/topology.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/rlg.h"
+#include "graph/transform.h"
+#include "partition/partition_state.h"
+
+namespace rlcut {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+Graph MakeTestGraph(uint64_t seed = 7) {
+  PowerLawOptions options;
+  options.num_vertices = 512;
+  options.num_edges = 4096;
+  options.seed = seed;
+  return GeneratePowerLaw(options);
+}
+
+bool IsBijection(const std::vector<VertexId>& perm) {
+  std::vector<uint8_t> seen(perm.size(), 0);
+  for (const VertexId v : perm) {
+    if (v >= perm.size() || seen[v]) return false;
+    seen[v] = 1;
+  }
+  return true;
+}
+
+std::multiset<std::pair<VertexId, VertexId>> EdgeMultiset(const Graph& g) {
+  std::multiset<std::pair<VertexId, VertexId>> edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge edge = g.GetEdge(e);
+    edges.insert({edge.src, edge.dst});
+  }
+  return edges;
+}
+
+// ---- Permutation builders ----------------------------------------------
+
+TEST(VertexOrderTest, IdentityRoundTrips) {
+  const VertexPermutation perm = IdentityOrder(16);
+  for (VertexId v = 0; v < 16; ++v) {
+    EXPECT_EQ(perm.new_of_old[v], v);
+    EXPECT_EQ(perm.old_of_new[v], v);
+  }
+}
+
+TEST(VertexOrderTest, BuildersProduceBijectionsWithExactInverses) {
+  const Graph g = MakeTestGraph();
+  for (const VertexOrderKind kind :
+       {VertexOrderKind::kNatural, VertexOrderKind::kDegree,
+        VertexOrderKind::kLocality}) {
+    const VertexPermutation perm = BuildVertexOrder(g, kind);
+    ASSERT_EQ(perm.size(), g.num_vertices());
+    EXPECT_TRUE(IsBijection(perm.new_of_old)) << VertexOrderKindName(kind);
+    EXPECT_TRUE(IsBijection(perm.old_of_new)) << VertexOrderKindName(kind);
+    // perm composed with its inverse is the identity, both ways.
+    for (VertexId v = 0; v < perm.size(); ++v) {
+      EXPECT_EQ(perm.old_of_new[perm.new_of_old[v]], v);
+      EXPECT_EQ(perm.new_of_old[perm.old_of_new[v]], v);
+    }
+  }
+}
+
+TEST(VertexOrderTest, DegreeOrderIsDegreeSorted) {
+  const Graph g = MakeTestGraph();
+  const VertexPermutation perm = DegreeDescendingOrder(g);
+  for (VertexId new_id = 0; new_id + 1 < perm.size(); ++new_id) {
+    EXPECT_GE(g.Degree(perm.old_of_new[new_id]),
+              g.Degree(perm.old_of_new[new_id + 1]));
+  }
+}
+
+TEST(VertexOrderTest, ParseNames) {
+  EXPECT_TRUE(ParseVertexOrderKind("natural").ok());
+  EXPECT_TRUE(ParseVertexOrderKind("degree").ok());
+  EXPECT_TRUE(ParseVertexOrderKind("locality").ok());
+  EXPECT_FALSE(ParseVertexOrderKind("random").ok());
+  EXPECT_STREQ(VertexOrderKindName(VertexOrderKind::kDegree), "degree");
+}
+
+TEST(VertexOrderTest, PermutationFromNewOfOldRejectsNonBijections) {
+  EXPECT_FALSE(PermutationFromNewOfOld({0, 0, 1}).ok());  // duplicate
+  EXPECT_FALSE(PermutationFromNewOfOld({0, 3, 1}).ok());  // out of range
+  auto perm = PermutationFromNewOfOld({2, 0, 1});
+  ASSERT_TRUE(perm.ok());
+  EXPECT_EQ(perm.value().old_of_new, (std::vector<VertexId>{1, 2, 0}));
+}
+
+// ---- ReorderVertices ---------------------------------------------------
+
+TEST(ReorderVerticesTest, PreservesDegreesAndEdgeMultiset) {
+  const Graph g = MakeTestGraph();
+  const VertexPermutation perm = LocalityOrder(g);
+  const Graph r = ReorderVertices(g, perm);
+  ASSERT_EQ(r.num_vertices(), g.num_vertices());
+  ASSERT_EQ(r.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(r.OutDegree(perm.new_of_old[v]), g.OutDegree(v));
+    EXPECT_EQ(r.InDegree(perm.new_of_old[v]), g.InDegree(v));
+  }
+  // The edge multiset, mapped back to original ids, is unchanged.
+  std::multiset<std::pair<VertexId, VertexId>> mapped_back;
+  for (EdgeId e = 0; e < r.num_edges(); ++e) {
+    const Edge edge = r.GetEdge(e);
+    mapped_back.insert(
+        {perm.old_of_new[edge.src], perm.old_of_new[edge.dst]});
+  }
+  EXPECT_EQ(mapped_back, EdgeMultiset(g));
+}
+
+TEST(ReorderVerticesTest, OldEdgeOfNewMapsEveryEdgeBack) {
+  const Graph g = MakeTestGraph();
+  const VertexPermutation perm = DegreeDescendingOrder(g);
+  std::vector<EdgeId> old_edge_of_new;
+  const Graph r = ReorderVertices(g, perm, &old_edge_of_new);
+  ASSERT_EQ(old_edge_of_new.size(), g.num_edges());
+  std::vector<uint8_t> seen(g.num_edges(), 0);
+  for (EdgeId new_e = 0; new_e < r.num_edges(); ++new_e) {
+    const EdgeId old_e = old_edge_of_new[new_e];
+    ASSERT_LT(old_e, g.num_edges());
+    EXPECT_FALSE(seen[old_e]);
+    seen[old_e] = 1;
+    // The mapped edge is the same edge in original coordinates.
+    EXPECT_EQ(perm.old_of_new[r.EdgeSource(new_e)], g.EdgeSource(old_e));
+    EXPECT_EQ(perm.old_of_new[r.EdgeTarget(new_e)], g.EdgeTarget(old_e));
+  }
+}
+
+TEST(ReorderVerticesTest, IdentityPermutationIsIdentityMap) {
+  const Graph g = MakeTestGraph();
+  std::vector<EdgeId> old_edge_of_new;
+  const Graph r =
+      ReorderVertices(g, IdentityOrder(g.num_vertices()), &old_edge_of_new);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(old_edge_of_new[e], e);
+    EXPECT_EQ(r.EdgeSource(e), g.EdgeSource(e));
+    EXPECT_EQ(r.EdgeTarget(e), g.EdgeTarget(e));
+  }
+}
+
+TEST(ReorderVerticesTest, PermuteAndUnpermuteVertexValuesRoundTrip) {
+  const Graph g = MakeTestGraph();
+  const VertexPermutation perm = LocalityOrder(g);
+  std::vector<DcId> values(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    values[v] = static_cast<DcId>(v % 7);
+  }
+  const std::vector<DcId> permuted = PermuteVertexValues(values, perm);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(permuted[perm.new_of_old[v]], values[v]);
+  }
+  EXPECT_EQ(UnpermuteVertexValues(permuted, perm), values);
+}
+
+// ---- Graph copy/move view binding --------------------------------------
+
+TEST(GraphViewTest, CopiesAndMovesRebindViews) {
+  const Graph g = MakeTestGraph();
+  Graph copy = g;
+  EXPECT_EQ(copy.num_edges(), g.num_edges());
+  EXPECT_NE(copy.view().out_targets, g.view().out_targets);
+  Graph moved = std::move(copy);
+  EXPECT_EQ(moved.num_edges(), g.num_edges());
+  EXPECT_EQ(EdgeMultiset(moved), EdgeMultiset(g));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(moved.OutDegree(v), g.OutDegree(v));
+  }
+}
+
+// ---- .rlg round trips --------------------------------------------------
+
+TEST(RlgTest, SaveAndOpenRoundTripsArrays) {
+  const Graph g = MakeTestGraph();
+  const std::string path = TempPath("renumber_roundtrip.rlg");
+  ASSERT_TRUE(SaveRlgGraph(g, path).ok());
+  MmapGraph::Options options;
+  options.validate_structure = true;
+  auto mapped = MmapGraph::Open(path, options);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const Graph& m = mapped.value().graph();
+  EXPECT_TRUE(m.view_backed());
+  EXPECT_FALSE(mapped.value().has_orig_ids());
+  ASSERT_EQ(m.num_vertices(), g.num_vertices());
+  ASSERT_EQ(m.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    ASSERT_EQ(m.EdgeSource(e), g.EdgeSource(e));
+    ASSERT_EQ(m.EdgeTarget(e), g.EdgeTarget(e));
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto expect_ids = g.InEdgeIds(v);
+    const auto got_ids = m.InEdgeIds(v);
+    ASSERT_EQ(std::vector<EdgeId>(got_ids.begin(), got_ids.end()),
+              std::vector<EdgeId>(expect_ids.begin(), expect_ids.end()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RlgTest, ReorderedFileCarriesOrigIds) {
+  const Graph g = MakeTestGraph();
+  const VertexPermutation perm = LocalityOrder(g);
+  const std::string path = TempPath("renumber_ordered.rlg");
+  ASSERT_TRUE(WriteRlgFile(g, &perm, {}, path).ok());
+  auto mapped = MmapGraph::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE(mapped.value().has_orig_ids());
+  const auto orig = mapped.value().orig_of_new();
+  ASSERT_EQ(orig.size(), g.num_vertices());
+  for (VertexId new_id = 0; new_id < g.num_vertices(); ++new_id) {
+    EXPECT_EQ(orig[new_id], perm.old_of_new[new_id]);
+  }
+  // The mapped graph matches an in-memory reorder exactly.
+  const Graph r = ReorderVertices(g, perm);
+  const Graph& m = mapped.value().graph();
+  for (EdgeId e = 0; e < r.num_edges(); ++e) {
+    ASSERT_EQ(m.EdgeSource(e), r.EdgeSource(e));
+    ASSERT_EQ(m.EdgeTarget(e), r.EdgeTarget(e));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RlgTest, ConvertEdgeListMatchesInMemoryLoad) {
+  const Graph g = MakeTestGraph(11);
+  const std::string edges_path = TempPath("renumber_convert.txt");
+  const std::string rlg_path = TempPath("renumber_convert.rlg");
+  ASSERT_TRUE(SaveEdgeListFile(g, edges_path).ok());
+  ASSERT_TRUE(ConvertEdgeListToRlg(edges_path, rlg_path).ok());
+  auto loaded = LoadEdgeListFile(edges_path);
+  ASSERT_TRUE(loaded.ok());
+  MmapGraph::Options options;
+  options.validate_structure = true;
+  auto mapped = MmapGraph::Open(rlg_path, options);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const Graph& a = loaded.value();
+  const Graph& b = mapped.value().graph();
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.EdgeSource(e), b.EdgeSource(e));
+    ASSERT_EQ(a.EdgeTarget(e), b.EdgeTarget(e));
+  }
+  std::remove(edges_path.c_str());
+  std::remove(rlg_path.c_str());
+}
+
+TEST(RlgTest, RejectsCorruptHeaders) {
+  const Graph g = MakeTestGraph();
+  const std::string path = TempPath("renumber_corrupt.rlg");
+  ASSERT_TRUE(SaveRlgGraph(g, path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  auto write_bytes = [&](const std::string& contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+  };
+
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] = 'X';
+  write_bytes(bad);
+  EXPECT_FALSE(MmapGraph::Open(path).ok());
+
+  // Bad version (breaks the checksum too; both are rejections).
+  bad = bytes;
+  bad[8] = 99;
+  write_bytes(bad);
+  EXPECT_FALSE(MmapGraph::Open(path).ok());
+
+  // Flipped bit inside the checksummed header region.
+  bad = bytes;
+  bad[40] ^= 0x10;
+  write_bytes(bad);
+  EXPECT_FALSE(MmapGraph::Open(path).ok());
+
+  // Truncations at several depths, including mid-header.
+  for (const size_t keep :
+       {size_t{0}, size_t{17}, kRlgHeaderSize - 1, kRlgHeaderSize,
+        bytes.size() / 2, bytes.size() - 1}) {
+    write_bytes(bytes.substr(0, keep));
+    EXPECT_FALSE(MmapGraph::Open(path).ok()) << "keep=" << keep;
+  }
+
+  // Intact file still opens.
+  write_bytes(bytes);
+  EXPECT_TRUE(MmapGraph::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+// ---- LoadEdgeListFile hardening ----------------------------------------
+
+TEST(EdgeListLoadTest, StreamsCommentsAndBlanksAndEdges) {
+  const std::string path = TempPath("renumber_edges.txt");
+  {
+    std::ofstream out(path);
+    out << "# comment\n\n  \t\n1 2\n0 1\n2 0\n";
+  }
+  auto g = LoadEdgeListFile(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value().num_vertices(), 3u);
+  EXPECT_EQ(g.value().num_edges(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListLoadTest, RejectsIdsThatOverflowVertexId) {
+  const std::string path = TempPath("renumber_overflow.txt");
+  {
+    std::ofstream out(path);
+    // 0xFFFFFFFF itself must be rejected: the id space max_id + 1 would
+    // wrap 32-bit VertexId to zero.
+    out << "0 4294967295\n";
+  }
+  auto g = LoadEdgeListFile(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kOutOfRange);
+
+  {
+    std::ofstream out(path);
+    out << "18446744073709551615 1\n";  // 2^64 - 1
+  }
+  EXPECT_FALSE(LoadEdgeListFile(path).ok());
+
+  {
+    std::ofstream out(path);
+    out << "1 notanumber\n";
+  }
+  EXPECT_FALSE(LoadEdgeListFile(path).ok());
+  std::remove(path.c_str());
+}
+
+// ---- GraphStore parity -------------------------------------------------
+
+TEST(GraphStoreTest, MappedAndInMemoryObjectivesBitExact) {
+  const Graph g = MakeTestGraph(23);
+  const std::string path = TempPath("renumber_store.rlg");
+  ASSERT_TRUE(SaveRlgGraph(g, path).ok());
+  auto store = GraphStore::OpenMapped(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE(store.value().mapped());
+
+  const Topology topology = MakeUniformTopology(4, 0.5, 2.5, 0.1);
+  Rng rng(5);
+  std::vector<DcId> locations(g.num_vertices());
+  for (auto& l : locations) {
+    l = static_cast<DcId>(rng.UniformInt(topology.num_dcs()));
+  }
+  std::vector<double> sizes(g.num_vertices(), 1e6);
+  std::vector<DcId> masters(g.num_vertices());
+  for (auto& m : masters) {
+    m = static_cast<DcId>(rng.UniformInt(topology.num_dcs()));
+  }
+  PartitionConfig config;
+  config.model = ComputeModel::kHybridCut;
+  config.theta = 100;
+  config.workload = Workload::PageRank(10);
+
+  PartitionState in_memory(&g, &topology, &locations, &sizes, config);
+  in_memory.ResetDerived(masters);
+  PartitionState mapped(&store.value().graph(), &topology, &locations,
+                        &sizes, config);
+  mapped.ResetDerived(masters);
+
+  const Objective a = in_memory.CurrentObjective();
+  const Objective b = mapped.CurrentObjective();
+  EXPECT_EQ(a.transfer_seconds, b.transfer_seconds);
+  EXPECT_EQ(a.cost_dollars, b.cost_dollars);
+  EXPECT_EQ(a.smooth_seconds, b.smooth_seconds);
+  std::remove(path.c_str());
+}
+
+TEST(RlgTest, DualCsrBytesMatchesFormatArithmetic) {
+  // 2 offset arrays (u64) + 3 id arrays (u32) + edge-id array (u64).
+  EXPECT_EQ(DualCsrBytes(10, 100),
+            2u * 11 * 8 + 3u * 100 * 4 + 100u * 8);
+}
+
+}  // namespace
+}  // namespace rlcut

@@ -10,7 +10,9 @@
 //   rlcut_audit --mode=chaos --sessions=100
 //   rlcut_audit --mode=stream --sessions=100
 //   rlcut_audit --mode=shard --instances=24
-//   rlcut_audit            # everything except chaos/stream, moderate sizes
+//   rlcut_audit --mode=renumber --instances=24
+//   rlcut_audit            # everything except chaos/stream/shard,
+//                          # moderate sizes
 
 #include <cstdio>
 #include <string>
@@ -19,6 +21,7 @@
 #include "check/chaos.h"
 #include "check/differential_oracle.h"
 #include "check/fuzz.h"
+#include "check/renumber_oracle.h"
 #include "check/shard_oracle.h"
 #include "check/stream_oracle.h"
 #include "common/flags.h"
@@ -29,6 +32,7 @@ const rlcut::check::LoaderKind kLoaders[] = {
     rlcut::check::LoaderKind::kCheckpoint,
     rlcut::check::LoaderKind::kPlan,
     rlcut::check::LoaderKind::kNetSchedule,
+    rlcut::check::LoaderKind::kRlgGraph,
 };
 
 int ReportFailures(const std::vector<std::string>& failures) {
@@ -44,10 +48,11 @@ int main(int argc, char** argv) {
   rlcut::FlagParser flags;
   flags.DefineString(
       "mode", "all",
-      "what to audit: all | oracle | corpus | fuzz | chaos | stream | "
-      "shard (chaos trains under fault injection, stream drives full "
-      "streaming sessions, shard replays the sharded-trainer "
-      "determinism lanes; none of the three is part of all)");
+      "what to audit: all | oracle | corpus | fuzz | renumber | chaos | "
+      "stream | shard (chaos trains under fault injection, stream "
+      "drives full streaming sessions, shard replays the sharded-"
+      "trainer determinism lanes; chaos/stream/shard are not part of "
+      "all)");
   flags.DefineInt("sequences", 64, "oracle: randomized move sequences");
   flags.DefineInt("moves", 64, "oracle: moves per sequence");
   flags.DefineInt("vertices", 96, "oracle: vertices per instance");
@@ -55,7 +60,8 @@ int main(int argc, char** argv) {
   flags.DefineInt("dcs", 4, "oracle: data centers");
   flags.DefineInt("fuzz_iters", 600, "fuzz: mutated inputs per loader");
   flags.DefineInt("sessions", 16, "chaos: randomized training sessions");
-  flags.DefineInt("instances", 6, "shard: problem instances");
+  flags.DefineInt("instances", 6,
+                  "shard / renumber: problem instances per lane");
   flags.DefineInt("seed", 1, "base RNG seed");
   if (rlcut::Status s = flags.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
@@ -68,8 +74,8 @@ int main(int argc, char** argv) {
   }
   const std::string mode = flags.GetString("mode");
   if (mode != "all" && mode != "oracle" && mode != "corpus" &&
-      mode != "fuzz" && mode != "chaos" && mode != "stream" &&
-      mode != "shard") {
+      mode != "fuzz" && mode != "renumber" && mode != "chaos" &&
+      mode != "stream" && mode != "shard") {
     std::fprintf(stderr, "unknown --mode=%s\n", mode.c_str());
     return 2;
   }
@@ -108,6 +114,15 @@ int main(int argc, char** argv) {
                   report.Summary().c_str());
       rc |= ReportFailures(report.failures);
     }
+  }
+  if (mode == "all" || mode == "renumber") {
+    rlcut::check::RenumberOracleOptions options;
+    options.num_instances = static_cast<int>(flags.GetInt("instances"));
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    const rlcut::check::RenumberOracleReport report =
+        rlcut::check::RunRenumberOracle(options);
+    std::printf("%s\n", report.Summary().c_str());
+    rc |= ReportFailures(report.failures);
   }
   if (mode == "chaos") {
     rlcut::check::ChaosOptions options;

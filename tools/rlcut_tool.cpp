@@ -19,13 +19,26 @@
 //       --checkpoint_every=2   # crash-consistent rotating auto-saves
 //   rlcut_tool --dataset=LJ --method=RLCut \
 //       --faults='threadpool.task_throw:prob=0.05'  # fault drill
+//   rlcut_tool --dataset=TW --method=RLCut --vertex_order=degree \
+//       --save_plan=plan.txt   # train renumbered; plan in original ids
+//   rlcut_tool --gen_vertices=1048576 --gen_edges=33554432 \
+//       --vertex_order=degree --save_rlg=tw.rlg --convert_only
+//   rlcut_tool --input_rlg=tw.rlg --method=RLCut --t_opt=30 \
+//       --mmap_budget_mb=64 --max_rss_mb=344   # out-of-core training
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <numeric>
+#include <span>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "baselines/partitioner.h"
 #include "cloud/topology.h"
@@ -35,8 +48,11 @@
 #include "common/table_writer.h"
 #include "fault/fault.h"
 #include "graph/datasets.h"
+#include "graph/generators.h"
 #include "graph/geo.h"
 #include "graph/io.h"
+#include "graph/rlg.h"
+#include "graph/transform.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "partition/metrics.h"
@@ -90,6 +106,100 @@ Result<Workload> MakeWorkloadFromFlags(const FlagParser& flags) {
                                  " (use PR, SSSP or SI)");
 }
 
+constexpr uint64_t kMiB = 1024 * 1024;
+
+// How the tool's working ids relate to the input's original ids: either
+// an in-process renumbering (--vertex_order; perm + edge map), or a
+// renumbered .rlg file's orig-ids section (vertices only — the file does
+// not record original edge ids). At most one is active.
+struct IdMapping {
+  VertexPermutation perm;               // empty = no in-process reorder
+  std::vector<EdgeId> old_edge_of_new;  // edge map for the reorder
+  std::span<const VertexId> orig_of_new;  // from a mapped .rlg file
+
+  bool active() const {
+    return !perm.new_of_old.empty() || !orig_of_new.empty();
+  }
+};
+
+// Maps a plan computed on the tool's working ids back to original input
+// ids before it is written out. Published plans are always in original
+// ids, whatever order training ran in.
+Result<PartitionPlan> PlanToOriginalIds(PartitionPlan plan,
+                                        const IdMapping& ids) {
+  if (!ids.perm.new_of_old.empty()) {
+    plan.masters = UnpermuteVertexValues(plan.masters, ids.perm);
+    if (!plan.edge_dcs.empty()) {
+      std::vector<DcId> edge_dcs(plan.edge_dcs.size());
+      for (EdgeId e = 0; e < plan.edge_dcs.size(); ++e) {
+        edge_dcs[ids.old_edge_of_new[e]] = plan.edge_dcs[e];
+      }
+      plan.edge_dcs = std::move(edge_dcs);
+    }
+    return plan;
+  }
+  if (!ids.orig_of_new.empty()) {
+    if (!plan.edge_dcs.empty()) {
+      return Status::InvalidArgument(
+          "cannot map per-edge placements back to original ids from a "
+          "renumbered .rlg file (no edge mapping is stored); re-run on "
+          "the original edge list with --vertex_order");
+    }
+    std::vector<DcId> masters(plan.masters.size());
+    for (VertexId v = 0; v < plan.masters.size(); ++v) {
+      masters[ids.orig_of_new[v]] = plan.masters[v];
+    }
+    plan.masters = std::move(masters);
+  }
+  return plan;
+}
+
+// Maps a plan written in original input ids onto the tool's working ids
+// so --load_plan evaluates correctly on a renumbered graph.
+Result<PartitionPlan> PlanToWorkingIds(PartitionPlan plan,
+                                       const IdMapping& ids,
+                                       const Graph& graph) {
+  if (!ids.active()) return plan;
+  if (plan.masters.size() != graph.num_vertices()) {
+    return Status::InvalidArgument(
+        "plan has " + std::to_string(plan.masters.size()) +
+        " masters but the graph has " +
+        std::to_string(graph.num_vertices()) + " vertices");
+  }
+  if (!ids.perm.new_of_old.empty()) {
+    plan.masters = PermuteVertexValues(plan.masters, ids.perm);
+    if (!plan.edge_dcs.empty()) {
+      std::vector<DcId> edge_dcs(plan.edge_dcs.size());
+      for (EdgeId e = 0; e < edge_dcs.size(); ++e) {
+        edge_dcs[e] = plan.edge_dcs[ids.old_edge_of_new[e]];
+      }
+      plan.edge_dcs = std::move(edge_dcs);
+    }
+    return plan;
+  }
+  if (!plan.edge_dcs.empty()) {
+    return Status::InvalidArgument(
+        "cannot map per-edge placements onto a renumbered .rlg file "
+        "(no edge mapping is stored); evaluate the plan on the "
+        "original edge list");
+  }
+  std::vector<DcId> masters(plan.masters.size());
+  for (VertexId v = 0; v < plan.masters.size(); ++v) {
+    masters[v] = plan.masters[ids.orig_of_new[v]];
+  }
+  plan.masters = std::move(masters);
+  return plan;
+}
+
+// Removes a throwaway .rlg staging file (the --graph_store=mmap path
+// without --save_rlg) on every exit path.
+struct TempFileGuard {
+  std::string path;
+  ~TempFileGuard() {
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
 void PrintPerDcTable(const PartitionState& state, std::ostream& os) {
   TableWriter table({"DC", "Masters", "Edges"});
   for (int r = 0; r < state.num_dcs(); ++r) {
@@ -136,6 +246,35 @@ int main(int argc, char** argv) {
   flags.DefineString("input", "", "SNAP edge-list file (overrides --dataset)");
   flags.DefineString("dataset", "LJ", "built-in preset: LJ/OT/UK/IT/TW");
   flags.DefineInt("scale", 2000, "preset down-scale factor");
+  flags.DefineString("input_rlg", "",
+                     "memory-mapped .rlg graph for out-of-core runs "
+                     "(overrides --input/--dataset; see docs/performance.md)");
+  flags.DefineInt("gen_vertices", 0,
+                  "generate a Chung-Lu power-law graph with this many "
+                  "vertices instead of loading (with --gen_edges)");
+  flags.DefineInt("gen_edges", 0, "edge count for --gen_vertices");
+  flags.DefineString("vertex_order", "natural",
+                     "renumber vertices before partitioning: natural, "
+                     "degree or locality; plans are still published in "
+                     "original input ids (a checkpoint property: resuming "
+                     "requires the same value)");
+  flags.DefineString("save_rlg", "",
+                     "write the loaded (and renumbered) graph as .rlg "
+                     "here, recording original ids when renumbered");
+  flags.DefineBool("convert_only", false,
+                   "exit after writing --save_rlg (bounded-memory "
+                   "converter mode; nothing is partitioned)");
+  flags.DefineString("graph_store", "memory",
+                     "memory trains on the heap-owned graph; mmap stages "
+                     "it to .rlg (--save_rlg or a temp file) and trains "
+                     "through the mapping");
+  flags.DefineInt("mmap_budget_mb", 0,
+                  "residency governor budget for mapped graphs: drop "
+                  "mapped pages whenever RSS exceeds this many MiB "
+                  "(0 = off)");
+  flags.DefineInt("max_rss_mb", 0,
+                  "fail the run if peak RSS (getrusage) exceeds this "
+                  "many MiB (0 = off)");
   flags.DefineString("method", "RLCut",
                      "partitioner name; one of: " + KnownMethods());
   flags.DefineString("workload", "PR", "traffic profile: PR, SSSP or SI");
@@ -217,19 +356,63 @@ int main(int argc, char** argv) {
   if (!flags.GetString("metrics_out").empty()) obs::SetDetailedMetrics(true);
 
   // ---- Problem construction ----------------------------------------------
-  Graph graph;
+  Result<VertexOrderKind> order_kind =
+      ParseVertexOrderKind(flags.GetString("vertex_order"));
+  if (!order_kind.ok()) return Fail(order_kind.status());
+  const std::string& graph_store_kind = flags.GetString("graph_store");
+  if (graph_store_kind != "memory" && graph_store_kind != "mmap") {
+    return Fail(Status::InvalidArgument("--graph_store must be memory or "
+                                        "mmap, got " + graph_store_kind));
+  }
+  if (flags.GetBool("convert_only") && flags.GetString("save_rlg").empty()) {
+    return Fail(
+        Status::InvalidArgument("--convert_only requires --save_rlg"));
+  }
+  MmapGraph::Options mmap_options;
+  mmap_options.budget_bytes =
+      static_cast<size_t>(flags.GetInt("mmap_budget_mb")) * kMiB;
+
+  GraphStore store;
   std::string graph_label;
-  if (!flags.GetString("input").empty()) {
+  IdMapping ids;
+  TempFileGuard temp_rlg;
+  if (!flags.GetString("input_rlg").empty()) {
+    if (*order_kind != VertexOrderKind::kNatural) {
+      return Fail(Status::InvalidArgument(
+          "--vertex_order applies when building the graph in memory; "
+          "bake the order into the file at conversion time instead "
+          "(--save_rlg --convert_only --vertex_order=...)"));
+    }
+    Result<GraphStore> mapped =
+        GraphStore::OpenMapped(flags.GetString("input_rlg"), mmap_options);
+    if (!mapped.ok()) return Fail(mapped.status());
+    store = std::move(*mapped);
+    ids.orig_of_new = store.orig_of_new();
+    graph_label = flags.GetString("input_rlg") + " (mmap)";
+  } else if (flags.GetInt("gen_vertices") > 0) {
+    PowerLawOptions gen;
+    gen.num_vertices =
+        static_cast<VertexId>(flags.GetInt("gen_vertices"));
+    gen.num_edges = static_cast<uint64_t>(flags.GetInt("gen_edges"));
+    gen.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    if (gen.num_edges == 0) {
+      return Fail(
+          Status::InvalidArgument("--gen_vertices requires --gen_edges"));
+    }
+    store = GraphStore::InMemory(GeneratePowerLaw(gen));
+    graph_label = "powerlaw(" + std::to_string(gen.num_vertices) + ", " +
+                  std::to_string(gen.num_edges) + ")";
+  } else if (!flags.GetString("input").empty()) {
     Result<Graph> loaded = LoadEdgeListFile(flags.GetString("input"));
     if (!loaded.ok()) return Fail(loaded.status());
-    graph = std::move(*loaded);
+    store = GraphStore::InMemory(std::move(*loaded));
     graph_label = flags.GetString("input");
   } else {
     Result<Dataset> dataset = ParseDataset(flags.GetString("dataset"));
     if (!dataset.ok()) return Fail(dataset.status());
-    graph = LoadDataset(*dataset,
-                        static_cast<uint64_t>(flags.GetInt("scale")),
-                        static_cast<uint64_t>(flags.GetInt("seed")));
+    store = GraphStore::InMemory(
+        LoadDataset(*dataset, static_cast<uint64_t>(flags.GetInt("scale")),
+                    static_cast<uint64_t>(flags.GetInt("seed"))));
     graph_label = DatasetName(*dataset) + " @1/" +
                   std::to_string(flags.GetInt("scale"));
   }
@@ -248,11 +431,68 @@ int main(int argc, char** argv) {
     if (!preflight.ok()) return Fail(preflight.status());
   }
 
+  // Locations and input sizes are assigned on the input-id graph and
+  // permuted alongside any renumbering, so --vertex_order changes the
+  // memory layout of the run but never the problem instance.
   GeoLocatorOptions geo;
   geo.num_dcs = topology->num_dcs();
   geo.seed = static_cast<uint64_t>(flags.GetInt("seed"));
-  std::vector<DcId> locations = AssignGeoLocations(graph, geo);
-  std::vector<double> input_sizes = AssignInputSizes(graph);
+  std::vector<DcId> locations = AssignGeoLocations(store.graph(), geo);
+  std::vector<double> input_sizes = AssignInputSizes(store.graph());
+
+  if (*order_kind != VertexOrderKind::kNatural) {
+    ids.perm = BuildVertexOrder(store.graph(), *order_kind);
+    Graph reordered =
+        ReorderVertices(store.graph(), ids.perm, &ids.old_edge_of_new);
+    store = GraphStore::InMemory(std::move(reordered));
+    locations = PermuteVertexValues(locations, ids.perm);
+    input_sizes = PermuteVertexValues(input_sizes, ids.perm);
+  }
+
+  // --save_rlg: write the working graph, recording original ids whenever
+  // the working ids differ from the input's.
+  if (!flags.GetString("save_rlg").empty()) {
+    const std::string& rlg_path = flags.GetString("save_rlg");
+    const std::span<const VertexId> orig =
+        !ids.perm.old_of_new.empty()
+            ? std::span<const VertexId>(ids.perm.old_of_new)
+            : ids.orig_of_new;
+    if (Status s = WriteRlgFile(store.graph(), nullptr, orig, rlg_path);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::cout << "Graph (" << VertexOrderKindName(*order_kind)
+              << " order) written to " << rlg_path << "\n";
+    if (flags.GetBool("convert_only")) return 0;
+  }
+
+  // --graph_store=mmap: restage the graph through a .rlg mapping so the
+  // run exercises the out-of-core path end to end. Note the in-memory
+  // build phase already counted toward peak RSS; for a true
+  // bounded-memory run convert first and reopen with --input_rlg.
+  if (graph_store_kind == "mmap" && !store.mapped()) {
+    std::string rlg_path = flags.GetString("save_rlg");
+    if (rlg_path.empty()) {
+      rlg_path = temp_rlg.path =
+          (std::filesystem::temp_directory_path() /
+           ("rlcut_tool." + std::to_string(::getpid()) + ".staging.rlg"))
+              .string();
+      const std::span<const VertexId> orig =
+          !ids.perm.old_of_new.empty()
+              ? std::span<const VertexId>(ids.perm.old_of_new)
+              : std::span<const VertexId>{};
+      if (Status s = WriteRlgFile(store.graph(), nullptr, orig, rlg_path);
+          !s.ok()) {
+        return Fail(s);
+      }
+    }
+    Result<GraphStore> mapped = GraphStore::OpenMapped(rlg_path, mmap_options);
+    if (!mapped.ok()) return Fail(mapped.status());
+    store = std::move(*mapped);
+    graph_label += " (mmap)";
+  }
+
+  const Graph& graph = store.graph();
 
   const DcId hub = topology->CheapestUploadDc();
   double centralized = 0;
@@ -305,9 +545,40 @@ int main(int argc, char** argv) {
     return Status::Ok();
   };
 
+  // Observability outputs, out-of-core accounting, and the peak-RSS
+  // gate; every successful exit path funnels through here.
+  auto finish_run = [&]() -> Status {
+    if (Status s = write_observability_outputs(); !s.ok()) return s;
+    if (store.mapped()) {
+      const MmapGraph& mapped = *store.mmap_graph();
+      std::cout << "\nMapped graph: " << mapped.mapped_bytes() / kMiB
+                << " MiB on disk vs "
+                << DualCsrBytes(graph.num_vertices(), graph.num_edges()) /
+                       kMiB
+                << " MiB in-memory dual-CSR; governor drops: "
+                << mapped.mapping()->governor_drops() << "\n";
+    }
+    const uint64_t peak = PeakRssBytes();
+    const uint64_t max_rss_mb =
+        static_cast<uint64_t>(flags.GetInt("max_rss_mb"));
+    if (max_rss_mb > 0 || store.mapped()) {
+      std::cout << "Peak RSS: " << peak / kMiB << " MiB\n";
+    }
+    if (max_rss_mb > 0 && peak > max_rss_mb * kMiB) {
+      return Status::Internal("peak RSS " + std::to_string(peak / kMiB) +
+                              " MiB exceeded --max_rss_mb=" +
+                              std::to_string(max_rss_mb));
+    }
+    return Status::Ok();
+  };
+
   // ---- Evaluate an existing plan -------------------------------------------
   if (!flags.GetString("load_plan").empty()) {
-    Result<PartitionPlan> plan = LoadPlan(flags.GetString("load_plan"));
+    Result<PartitionPlan> loaded_plan = LoadPlan(flags.GetString("load_plan"));
+    if (!loaded_plan.ok()) return Fail(loaded_plan.status());
+    // Saved plans are in original input ids; map onto the working ids.
+    Result<PartitionPlan> plan =
+        PlanToWorkingIds(std::move(*loaded_plan), ids, graph);
     if (!plan.ok()) return Fail(plan.status());
     PartitionConfig config;
     config.model = plan->model;
@@ -325,7 +596,7 @@ int main(int argc, char** argv) {
         return Fail(s);
       }
     }
-    if (Status s = write_observability_outputs(); !s.ok()) return Fail(s);
+    if (Status s = finish_run(); !s.ok()) return Fail(s);
     return 0;
   }
 
@@ -424,8 +695,9 @@ int main(int argc, char** argv) {
                 << flags.GetString("checkpoint_out") << "\n";
     }
     if (!flags.GetString("save_plan").empty()) {
-      const PartitionPlan plan = ExtractPlan(state);
-      if (Status s = SavePlan(plan, flags.GetString("save_plan")); !s.ok()) {
+      Result<PartitionPlan> plan = PlanToOriginalIds(ExtractPlan(state), ids);
+      if (!plan.ok()) return Fail(plan.status());
+      if (Status s = SavePlan(*plan, flags.GetString("save_plan")); !s.ok()) {
         return Fail(s);
       }
       std::cout << "\nPlan written to " << flags.GetString("save_plan")
@@ -438,7 +710,7 @@ int main(int argc, char** argv) {
         return Fail(s);
       }
     }
-    if (Status s = write_observability_outputs(); !s.ok()) return Fail(s);
+    if (Status s = finish_run(); !s.ok()) return Fail(s);
     return 0;
   }
 
@@ -465,8 +737,9 @@ int main(int argc, char** argv) {
   PrintPerDcTable(out->state, std::cout);
 
   if (!flags.GetString("save_plan").empty()) {
-    const PartitionPlan plan = ExtractPlan(out->state);
-    if (Status s = SavePlan(plan, flags.GetString("save_plan")); !s.ok()) {
+    Result<PartitionPlan> plan = PlanToOriginalIds(ExtractPlan(out->state), ids);
+    if (!plan.ok()) return Fail(plan.status());
+    if (Status s = SavePlan(*plan, flags.GetString("save_plan")); !s.ok()) {
       return Fail(s);
     }
     std::cout << "\nPlan written to " << flags.GetString("save_plan")
@@ -479,6 +752,6 @@ int main(int argc, char** argv) {
       return Fail(s);
     }
   }
-  if (Status s = write_observability_outputs(); !s.ok()) return Fail(s);
+  if (Status s = finish_run(); !s.ok()) return Fail(s);
   return 0;
 }

@@ -19,6 +19,9 @@
 #include "common/random.h"
 #include "graph/graph.h"
 #include "graph/rlg.h"
+#include "net/replica_service.h"
+#include "net/transport.h"
+#include "partition/plan_delta.h"
 #include "partition/plan_io.h"
 #include "rlcut/checkpoint.h"
 
@@ -530,6 +533,278 @@ std::vector<CorpusCase> RlgCorpus() {
   return corpus;
 }
 
+// ---- Net-frame corpus ------------------------------------------------
+
+// Frame wire layout, mirrored from net/transport.cc so the fuzzer can
+// build and surgically corrupt raw streams:
+//   u32 magic "RLNF" | u8 type | u32 payload size | payload |
+//   u64 FNV-1a over (type byte + payload)
+constexpr char kNetFrameMagic[4] = {'R', 'L', 'N', 'F'};
+constexpr size_t kNetFrameHeaderBytes = 9;
+constexpr size_t kNetFrameSizeOffset = 5;
+constexpr size_t kNetFrameChecksumBytes = 8;
+
+std::string NetFrame(net::FrameType type, const std::string& payload) {
+  net::Frame frame;
+  frame.type = type;
+  frame.payload = payload;
+  return net::EncodeFrame(frame);
+}
+
+// A small consistent delta/snapshot pair: 4 masters over 2 DCs.
+std::string NetDeltaPayload(uint64_t base_version) {
+  PlanDelta delta;
+  delta.base_version = base_version;
+  delta.moves.push_back({0, 0, 1});
+  delta.moves.push_back({3, 1, 0});
+  return EncodePlanDelta(delta);
+}
+
+std::string NetSnapshotPayload(uint64_t version) {
+  PlanSnapshot snapshot;
+  snapshot.version = version;
+  snapshot.num_dcs = 2;
+  snapshot.masters = {0, 1, 0, 1};
+  return EncodePlanSnapshot(snapshot);
+}
+
+// Re-fixes the per-frame checksums of a mutated stream so payload
+// mutations survive the checksum gate and reach the protocol decoders.
+// Walks complete frames from the front; stops at the first spot where
+// boundaries can no longer be trusted.
+bool RefixNetFrameChecksums(std::string* file) {
+  bool fixed = false;
+  size_t offset = 0;
+  while (file->size() - offset >= kNetFrameHeaderBytes) {
+    if (std::memcmp(file->data() + offset, kNetFrameMagic,
+                    sizeof(kNetFrameMagic)) != 0) {
+      break;
+    }
+    uint32_t payload_size = 0;
+    std::memcpy(&payload_size, file->data() + offset + kNetFrameSizeOffset,
+                sizeof(payload_size));
+    const size_t total =
+        kNetFrameHeaderBytes + payload_size + kNetFrameChecksumBytes;
+    if (payload_size > net::kMaxFramePayload ||
+        total > file->size() - offset) {
+      break;
+    }
+    const uint64_t checksum = Fnv1a64(
+        file->data() + offset + sizeof(kNetFrameMagic), 1 + payload_size);
+    Overwrite<uint64_t>(file, offset + kNetFrameHeaderBytes + payload_size,
+                        checksum);
+    fixed = true;
+    offset += total;
+  }
+  return fixed;
+}
+
+std::vector<CorpusCase> NetFrameCorpus() {
+  std::vector<CorpusCase> corpus;
+  net::HelloMsg hello;
+  hello.client_version = 3;
+  hello.client_fingerprint = 0xabcdef;
+  const std::string valid_hello =
+      NetFrame(net::FrameType::kHello, net::EncodeHello(hello));
+  corpus.push_back({"valid-hello", valid_hello, true});
+  {
+    // A full client session: handshake, resync snapshot, chained delta,
+    // liveness probe.
+    std::string stream = valid_hello;
+    stream += NetFrame(net::FrameType::kSnapshot, NetSnapshotPayload(3));
+    stream += NetFrame(net::FrameType::kDelta, NetDeltaPayload(3));
+    stream += NetFrame(net::FrameType::kPing, "");
+    corpus.push_back({"valid-client-session", stream, true});
+  }
+  {
+    // The server-side halves of the protocol.
+    net::HelloAckMsg hello_ack;
+    hello_ack.server_version = 4;
+    hello_ack.server_fingerprint = 0x1234;
+    net::AckMsg ack;
+    ack.version = 5;
+    ack.fingerprint = 0x5678;
+    net::NackMsg nack;
+    nack.server_version = 2;
+    nack.reason = "version gap";
+    std::string stream =
+        NetFrame(net::FrameType::kHelloAck, net::EncodeHelloAck(hello_ack));
+    stream += NetFrame(net::FrameType::kAck, net::EncodeAck(ack));
+    stream += NetFrame(net::FrameType::kNack, net::EncodeNack(nack));
+    stream += NetFrame(net::FrameType::kPong, "");
+    corpus.push_back({"valid-server-session", stream, true});
+  }
+  {
+    PlanDelta empty;
+    empty.base_version = 9;
+    corpus.push_back(
+        {"valid-empty-delta",
+         NetFrame(net::FrameType::kDelta, EncodePlanDelta(empty)), true});
+  }
+
+  const std::string valid_delta =
+      NetFrame(net::FrameType::kDelta, NetDeltaPayload(1));
+  corpus.push_back({"empty-file", std::string(), false});
+  corpus.push_back({"truncated-header", valid_delta.substr(0, 6), false});
+  corpus.push_back(
+      {"truncated-payload", valid_delta.substr(0, valid_delta.size() - 4),
+       false});
+  {
+    std::string bad = valid_delta;
+    bad[0] = 'X';
+    corpus.push_back({"bad-magic", bad, false});
+  }
+  {
+    // Payload bit flip without a checksum refix: the frame checksum
+    // gate must catch it.
+    std::string bad = valid_delta;
+    bad[kNetFrameHeaderBytes + 2] ^= 0x40;
+    corpus.push_back({"stale-frame-checksum", bad, false});
+  }
+  {
+    // Declared payload size beyond kMaxFramePayload: must be rejected
+    // before any payload buffer is sized.
+    std::string bad = valid_delta;
+    Overwrite<uint32_t>(&bad, kNetFrameSizeOffset, 1u << 30);
+    corpus.push_back({"oversized-declared-payload", bad, false});
+  }
+  {
+    // Checksum-valid delta claiming 2^56 moves: DecodePlanDelta's
+    // remaining-bytes bound must reject without allocating.
+    std::string payload;
+    Append<uint64_t>(&payload, 1);          // base_version
+    Append<uint64_t>(&payload, 1ull << 56);  // move count
+    corpus.push_back(
+        {"huge-delta-count", NetFrame(net::FrameType::kDelta, payload),
+         false});
+  }
+  {
+    // Checksum-valid snapshot claiming 2^56 masters.
+    std::string payload;
+    Append<uint64_t>(&payload, 7);          // version
+    Append<int32_t>(&payload, 2);           // num_dcs
+    Append<uint64_t>(&payload, 1ull << 56);  // masters count
+    corpus.push_back(
+        {"huge-snapshot-count",
+         NetFrame(net::FrameType::kSnapshot, payload), false});
+  }
+  {
+    // Delta payload with undeclared trailing bytes.
+    std::string payload = NetDeltaPayload(1);
+    Append<uint32_t>(&payload, 0xdead);
+    corpus.push_back(
+        {"delta-trailing-bytes", NetFrame(net::FrameType::kDelta, payload),
+         false});
+  }
+  corpus.push_back({"unknown-frame-type",
+                    NetFrame(static_cast<net::FrameType>(99), "??"), false});
+  corpus.push_back(
+      {"nack-truncated",
+       NetFrame(net::FrameType::kNack, std::string(4, '\0')), false});
+  corpus.push_back(
+      {"ping-with-payload", NetFrame(net::FrameType::kPing, "x"), false});
+  {
+    // Garbage after a valid frame: either bad magic or a forever-
+    // incomplete header; both must reject, not hang or accept.
+    std::string bad = valid_delta + "xyz";
+    corpus.push_back({"trailing-garbage", bad, false});
+  }
+  return corpus;
+}
+
+// Decodes a raw byte stream as replica-protocol frames: every frame
+// must parse, every payload must decode for its type, and the stream
+// must be fully consumed. Decoded payloads are round-trip re-encoded
+// (mismatch -> kInternal), and client->server frames are additionally
+// pushed through a live ReplicaServer::HandleFrame — its accept/reject
+// is protocol state, not validity, so only its crash-freedom is under
+// test here.
+Status NetFrameLoadOnce(const std::string& bytes) {
+  net::FrameDecoder decoder;
+  decoder.Feed(bytes);
+  net::ReplicaServer server;
+  net::Frame frame;
+  uint64_t frames = 0;
+  while (true) {
+    Result<bool> next = decoder.Next(&frame);
+    if (!next.ok()) return next.status();
+    if (!*next) break;
+    ++frames;
+    Status decoded;
+    std::string reencoded;
+    switch (frame.type) {
+      case net::FrameType::kHello: {
+        net::HelloMsg msg;
+        decoded = net::DecodeHello(frame.payload, &msg);
+        if (decoded.ok()) reencoded = net::EncodeHello(msg);
+        break;
+      }
+      case net::FrameType::kHelloAck: {
+        net::HelloAckMsg msg;
+        decoded = net::DecodeHelloAck(frame.payload, &msg);
+        if (decoded.ok()) reencoded = net::EncodeHelloAck(msg);
+        break;
+      }
+      case net::FrameType::kDelta: {
+        PlanDelta delta;
+        decoded = DecodePlanDelta(frame.payload, &delta);
+        if (decoded.ok()) reencoded = EncodePlanDelta(delta);
+        break;
+      }
+      case net::FrameType::kSnapshot: {
+        PlanSnapshot snapshot;
+        decoded = DecodePlanSnapshot(frame.payload, &snapshot);
+        if (decoded.ok()) reencoded = EncodePlanSnapshot(snapshot);
+        break;
+      }
+      case net::FrameType::kAck: {
+        net::AckMsg msg;
+        decoded = net::DecodeAck(frame.payload, &msg);
+        if (decoded.ok()) reencoded = net::EncodeAck(msg);
+        break;
+      }
+      case net::FrameType::kNack: {
+        net::NackMsg msg;
+        decoded = net::DecodeNack(frame.payload, &msg);
+        if (decoded.ok()) reencoded = net::EncodeNack(msg);
+        break;
+      }
+      case net::FrameType::kPing:
+      case net::FrameType::kPong:
+        if (!frame.payload.empty()) {
+          decoded = Status::InvalidArgument("ping/pong carries a payload");
+        }
+        break;
+      default:
+        decoded = Status::InvalidArgument(
+            "unknown frame type " +
+            std::to_string(static_cast<int>(frame.type)));
+        break;
+    }
+    if (!decoded.ok()) return decoded;
+    if (!reencoded.empty() && reencoded != frame.payload) {
+      return Status::Internal("frame payload did not round-trip");
+    }
+    switch (frame.type) {
+      case net::FrameType::kHello:
+      case net::FrameType::kDelta:
+      case net::FrameType::kSnapshot:
+      case net::FrameType::kPing:
+        (void)server.HandleFrame(frame);
+        break;
+      default:
+        break;
+    }
+  }
+  if (decoder.buffered() > 0) {
+    return Status::InvalidArgument("trailing bytes of an incomplete frame");
+  }
+  if (frames == 0) {
+    return Status::InvalidArgument("stream contains no frames");
+  }
+  return Status::Ok();
+}
+
 // ---- Loader execution ------------------------------------------------
 
 // The 4-DC reference environment every schedule corpus entry validates
@@ -624,6 +899,10 @@ Status LoadOnce(LoaderKind kind, const std::string& path) {
       std::remove(copy.c_str());
       return mismatch;
     }
+    case LoaderKind::kNetFrame:
+      // Frames are stream bytes, not files; RunLoaderOnBytes dispatches
+      // them before the scratch-file round-trip.
+      return NetFrameLoadOnce(std::string());
   }
   return Status::Internal("unknown loader kind");
 }
@@ -640,6 +919,8 @@ const char* LoaderName(LoaderKind kind) {
       return "net-schedule";
     case LoaderKind::kRlgGraph:
       return "rlg-graph";
+    case LoaderKind::kNetFrame:
+      return "net-frame";
   }
   return "?";
 }
@@ -654,11 +935,14 @@ std::vector<CorpusCase> BuildSeedCorpus(LoaderKind kind) {
       return NetScheduleCorpus();
     case LoaderKind::kRlgGraph:
       return RlgCorpus();
+    case LoaderKind::kNetFrame:
+      return NetFrameCorpus();
   }
   return {};
 }
 
 Status RunLoaderOnBytes(LoaderKind kind, const std::string& bytes) {
+  if (kind == LoaderKind::kNetFrame) return NetFrameLoadOnce(bytes);
   const std::string path = ScratchPath();
   if (Status s = WriteBytes(path, bytes); !s.ok()) return s;
   Status result = LoadOnce(kind, path);
@@ -749,6 +1033,9 @@ FuzzReport RunLoaderFuzz(LoaderKind kind, int iterations, uint64_t seed) {
     }
     if (kind == LoaderKind::kRlgGraph && rng.Bernoulli(0.5)) {
       RefixRlgHeaderChecksum(&bytes);
+    }
+    if (kind == LoaderKind::kNetFrame && rng.Bernoulli(0.5)) {
+      RefixNetFrameChecksums(&bytes);
     }
     ++report.cases;
     // The invariant under fuzzing: a clean Status either way — never a

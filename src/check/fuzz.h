@@ -10,12 +10,14 @@
 namespace rlcut {
 namespace check {
 
-/// The file loaders that parse untrusted bytes.
+/// The loaders that parse untrusted bytes.
 enum class LoaderKind {
   kCheckpoint,   // LoadTrainerCheckpoint ("RLCUTCKP" binary format)
   kPlan,         // LoadPlan ("rlcut-plan v1" text format)
   kNetSchedule,  // LoadTopologySchedule ("rlcut-net-schedule v1" text)
   kRlgGraph,     // MmapGraph::Open ("RLCUTRLG" mapped dual-CSR format)
+  kNetFrame,     // FrameDecoder + replica protocol payloads ("RLNF"
+                 // wire stream; bytes are fed directly, not via a file)
 };
 
 const char* LoaderName(LoaderKind kind);

@@ -1,0 +1,455 @@
+#include "check/net_oracle.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cloud/topology.h"
+#include "common/logging.h"
+#include "fault/fault.h"
+#include "graph/generators.h"
+#include "graph/geo.h"
+#include "net/replica_service.h"
+#include "net/transport.h"
+#include "partition/partition_state.h"
+#include "rlcut/trainer.h"
+
+namespace rlcut {
+namespace check {
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct Rng {
+  uint64_t state;
+  explicit Rng(uint64_t seed) : state(seed) {}
+  uint64_t Next() { return Mix64(state++); }
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+};
+
+// Same small power-law fixture as the chaos lane.
+struct Problem {
+  Topology topology;
+  Graph graph;
+  std::vector<DcId> locations;
+  std::vector<double> sizes;
+  PartitionConfig config;
+
+  Problem(const NetOracleOptions& options, uint64_t seed)
+      : topology(MakeEc2Topology(options.num_dcs, Heterogeneity::kMedium)) {
+    PowerLawOptions gen;
+    gen.num_vertices = options.num_vertices;
+    gen.num_edges = options.num_edges;
+    gen.seed = seed;
+    graph = GeneratePowerLaw(gen);
+    GeoLocatorOptions geo;
+    geo.num_dcs = options.num_dcs;
+    geo.seed = seed + 101;
+    locations = AssignGeoLocations(graph, geo);
+    sizes = AssignInputSizes(graph);
+    config.model = ComputeModel::kHybridCut;
+    config.theta = PartitionState::AutoTheta(graph);
+    config.workload = Workload::PageRank();
+  }
+
+  std::unique_ptr<PartitionState> MakeState() const {
+    auto state = std::make_unique<PartitionState>(&graph, &topology,
+                                                  &locations, &sizes, config);
+    state->ResetDerived(locations);
+    return state;
+  }
+
+  std::vector<VertexId> AllVertices() const {
+    std::vector<VertexId> all(graph.num_vertices());
+    std::iota(all.begin(), all.end(), 0u);
+    return all;
+  }
+};
+
+RLCutOptions TrainerOptions(const NetOracleOptions& options, uint64_t seed) {
+  RLCutOptions topts;
+  topts.max_steps = options.max_steps;
+  topts.batch_size = options.batch_size;
+  topts.num_threads = options.num_threads;
+  topts.seed = seed;
+  topts.agent_visit_budget =
+      static_cast<int64_t>(options.num_vertices) * 4;
+  topts.convergence_epsilon = 1e-12;
+  return topts;
+}
+
+net::ReplicaClientOptions ClientOptions(uint64_t seed) {
+  net::ReplicaClientOptions copts;
+  copts.dial_timeout_ms = 200;
+  copts.recv_timeout_ms = 100;
+  copts.heartbeat_every_pushes = 4;  // Exercise the liveness path often.
+  copts.retry.max_attempts = 5;
+  copts.retry.initial_backoff_ms = 1;
+  copts.retry.max_backoff_ms = 8;
+  copts.retry.deadline_seconds = 3;
+  copts.retry.seed = seed;
+  return copts;
+}
+
+// Hosts a ReplicaServer behind either FlakyPipe connections or a real
+// TCP listener, serving sequential connections on one background
+// thread — the in-process stand-in for the rlcut_replica worker.
+class ServerHost {
+ public:
+  explicit ServerHost(bool use_tcp) : use_tcp_(use_tcp) {
+    net::ReplicaServerOptions sopts;
+    sopts.idle_timeout_ms = 20;
+    server_ = std::make_shared<net::ReplicaServer>(sopts);
+    if (use_tcp_) {
+      Result<std::unique_ptr<net::TcpListener>> listener =
+          net::TcpListener::Listen(0);
+      RLCUT_CHECK(listener.ok())
+          << "net oracle: " << listener.status().ToString();
+      listener_ = std::move(listener.value());
+    }
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~ServerHost() {
+    stop_.store(true, std::memory_order_relaxed);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (active_ != nullptr) active_->Close();
+      if (listener_ != nullptr) listener_->Close();
+      cv_.notify_all();
+    }
+    thread_.join();
+  }
+
+  net::ReplicaClient::Connector Connector() {
+    if (use_tcp_) {
+      const std::string endpoint =
+          "127.0.0.1:" + std::to_string(listener_->port());
+      return net::ReplicaClient::TcpConnector(endpoint, 200);
+    }
+    return [this]() -> Result<std::unique_ptr<net::Transport>> {
+      // FlakyPipe dialing consults the same site DialTcp does, so
+      // connect failures are injectable on both transports.
+      if (fault::ShouldFire("net.connect_fail")) {
+        return Status::IoError("injected connect failure dialing pipe");
+      }
+      auto ends = net::FlakyPipe::CreatePair();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (stop_.load(std::memory_order_relaxed)) {
+          return Status::IoError("pipe host stopped");
+        }
+        pending_.push_back(std::move(ends.second));
+        cv_.notify_all();
+      }
+      return std::move(ends.first);
+    };
+  }
+
+  // The kill/restart lane: drop the live connection and replace the
+  // server with a fresh empty one, exactly as a worker process restart
+  // would. The client must detect the version gap and snapshot-resync.
+  void KillAndRestartServer() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (active_ != nullptr) active_->Close();
+    net::ReplicaServerOptions sopts;
+    sopts.idle_timeout_ms = 20;
+    server_ = std::make_shared<net::ReplicaServer>(sopts);
+  }
+
+  std::shared_ptr<net::ReplicaServer> server() {
+    std::unique_lock<std::mutex> lock(mu_);
+    return server_;
+  }
+
+ private:
+  void Loop() {
+    for (;;) {
+      std::unique_ptr<net::Transport> conn;
+      if (use_tcp_) {
+        if (stop_.load(std::memory_order_relaxed)) return;
+        Result<std::unique_ptr<net::Transport>> accepted =
+            listener_->Accept(20);
+        if (!accepted.ok()) continue;  // Timeout or closing listener.
+        conn = std::move(accepted.value());
+      } else {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] {
+          return stop_.load(std::memory_order_relaxed) ||
+                 !pending_.empty();
+        });
+        if (stop_.load(std::memory_order_relaxed)) return;
+        conn = std::move(pending_.front());
+        pending_.pop_front();
+      }
+      std::shared_ptr<net::ReplicaServer> server;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        server = server_;
+        active_ = conn.get();
+      }
+      // Serve to EOF; errors (injected corruption, disconnects) just
+      // end this connection — the client reconnects and resyncs.
+      server->ServeConnection(conn.get(), &stop_);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        active_ = nullptr;
+      }
+    }
+  }
+
+  const bool use_tcp_;
+  std::unique_ptr<net::TcpListener> listener_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<net::Transport>> pending_;
+  std::shared_ptr<net::ReplicaServer> server_;
+  net::Transport* active_ = nullptr;
+  std::atomic<bool> stop_{false};
+};
+
+// A pass-through sink that triggers a server kill/restart right before
+// a chosen push — the deterministic "replica died mid-run" event.
+class KillAtPushSink : public ReplicaSink {
+ public:
+  KillAtPushSink(ReplicaSink* inner, ServerHost* host, uint64_t kill_at)
+      : inner_(inner), host_(host), kill_at_(kill_at) {}
+
+  Status Begin(const PlanSnapshot& snapshot) override {
+    return inner_->Begin(snapshot);
+  }
+  Status PushDelta(const PlanDelta& delta) override {
+    if (++pushes_ == kill_at_) host_->KillAndRestartServer();
+    return inner_->PushDelta(delta);
+  }
+  Status Flush() override { return inner_->Flush(); }
+  bool degraded() const override { return inner_->degraded(); }
+  uint64_t version() const override { return inner_->version(); }
+
+ private:
+  ReplicaSink* inner_;
+  ServerHost* host_;
+  uint64_t kill_at_;
+  uint64_t pushes_ = 0;
+};
+
+// 1-3 random rules over the net.* sites. recv_timeout and disconnect
+// get bounded fire counts so a worst-case draw cannot park every
+// round-trip on its timeout for the whole session.
+fault::FaultSchedule RandomNetSchedule(uint64_t seed, Rng* rng) {
+  struct Candidate {
+    const char* site;
+    void (*fill)(fault::FaultRule*, Rng*);
+  };
+  static const Candidate kCandidates[] = {
+      {"net.connect_fail",
+       [](fault::FaultRule* r, Rng* g) {
+         r->probability = 0.1 + 0.4 * g->NextDouble();
+         r->max_fires = 1 + static_cast<int64_t>(g->Below(6));
+       }},
+      {"net.send_fail",
+       [](fault::FaultRule* r, Rng* g) {
+         r->probability = 0.05 + 0.25 * g->NextDouble();
+       }},
+      {"net.recv_timeout",
+       [](fault::FaultRule* r, Rng* g) {
+         r->probability = 0.05 + 0.25 * g->NextDouble();
+         r->max_fires = 1 + static_cast<int64_t>(g->Below(8));
+       }},
+      {"net.frame_corrupt",
+       [](fault::FaultRule* r, Rng* g) {
+         r->probability = 0.05 + 0.25 * g->NextDouble();
+         r->amount = static_cast<int64_t>(g->Below(64));
+       }},
+      {"net.disconnect",
+       [](fault::FaultRule* r, Rng* g) {
+         r->probability = 0.02 + 0.13 * g->NextDouble();
+         r->max_fires = 1 + static_cast<int64_t>(g->Below(4));
+       }},
+  };
+  constexpr size_t kNumCandidates =
+      sizeof(kCandidates) / sizeof(kCandidates[0]);
+
+  fault::FaultSchedule schedule;
+  schedule.seed = seed;
+  const size_t num_rules = 1 + rng->Below(3);
+  std::vector<bool> used(kNumCandidates, false);
+  for (size_t i = 0; i < num_rules; ++i) {
+    size_t pick = rng->Below(kNumCandidates);
+    while (used[pick]) pick = (pick + 1) % kNumCandidates;
+    used[pick] = true;
+    fault::FaultRule rule;
+    rule.site = kCandidates[pick].site;
+    kCandidates[pick].fill(&rule, rng);
+    schedule.rules.push_back(rule);
+  }
+  return schedule;
+}
+
+// One training run against a hosted server. Returns through the out
+// params; never throws (Train's net path is Status-based throughout).
+struct RunOutcome {
+  TrainResult result;
+  std::vector<DcId> trainer_masters;
+  PlanSnapshot server_state;
+  uint64_t client_version = 0;
+  uint64_t client_fingerprint = 0;
+};
+
+RunOutcome RunAgainstHost(const Problem& problem, const RLCutOptions& topts,
+                          ServerHost* host, uint64_t client_seed,
+                          uint64_t kill_at_push) {
+  RunOutcome outcome;
+  auto state = problem.MakeState();
+  AutomatonPool pool(problem.graph.num_vertices(),
+                     problem.topology.num_dcs(), topts);
+  net::ReplicaClient client(host->Connector(), ClientOptions(client_seed));
+  RLCutTrainer trainer(topts);
+  KillAtPushSink killer(&client, host, kill_at_push);
+  trainer.SetReplicaSink(kill_at_push > 0
+                             ? static_cast<ReplicaSink*>(&killer)
+                             : static_cast<ReplicaSink*>(&client));
+  outcome.result =
+      trainer.Train(state.get(), problem.AllVertices(), &pool);
+  outcome.trainer_masters = state->masters();
+  outcome.client_version = client.mirror_version();
+  outcome.client_fingerprint = client.mirror_fingerprint();
+  // Drop the client connection before sampling the server so the
+  // serving thread is not mid-apply (ServeConnection locks per frame;
+  // after Flush returned OK the server already acked the final state).
+  client.CloseConnection();
+  outcome.server_state = host->server()->snapshot();
+  return outcome;
+}
+
+bool ServerMatches(const RunOutcome& outcome) {
+  return outcome.server_state.masters == outcome.trainer_masters &&
+         outcome.server_state.version == outcome.client_version;
+}
+
+}  // namespace
+
+std::string NetOracleReport::Summary() const {
+  std::ostringstream out;
+  out << "net: " << sessions << " sessions (" << identical
+      << " bit-identical, " << fail_closed << " failed closed, "
+      << degraded_heals << " degraded-then-healed, " << kill_resyncs
+      << " kill resyncs, " << tcp_sessions << " over tcp), " << fires
+      << " injected fires, " << failures.size() << " failures";
+  return out.str();
+}
+
+NetOracleReport RunNetOracle(const NetOracleOptions& options) {
+  NetOracleReport report;
+  fault::Disarm();
+  for (int s = 0; s < options.num_sessions; ++s) {
+    const uint64_t session_seed = options.seed + static_cast<uint64_t>(s);
+    Rng rng(Mix64(session_seed) ^ 0x2e7c1);
+    const Problem problem(options, session_seed);
+    const RLCutOptions topts = TrainerOptions(options, session_seed);
+    const bool use_tcp = s % 4 == 3;
+    ++report.sessions;
+    if (use_tcp) ++report.tcp_sessions;
+
+    auto fail = [&](const std::string& message) {
+      fault::Disarm();
+      std::ostringstream out;
+      out << "session " << s << " (seed " << session_seed
+          << (use_tcp ? ", tcp" : ", pipe") << "): " << message;
+      report.failures.push_back(out.str());
+    };
+
+    // Reference: the same seeded run with no sink attached.
+    std::vector<DcId> reference;
+    {
+      auto state = problem.MakeState();
+      AutomatonPool pool(problem.graph.num_vertices(),
+                         problem.topology.num_dcs(), topts);
+      RLCutTrainer(topts).Train(state.get(), problem.AllVertices(), &pool);
+      reference = state->masters();
+    }
+
+    // Faulted lane.
+    {
+      ServerHost host(use_tcp);
+      const fault::FaultSchedule schedule =
+          RandomNetSchedule(session_seed, &rng);
+      fault::Arm(schedule);
+      RunOutcome outcome;
+      try {
+        outcome = RunAgainstHost(problem, topts, &host, session_seed,
+                                 /*kill_at_push=*/0);
+      } catch (const std::exception& e) {
+        fail(std::string("training escaped with an exception under [") +
+             schedule.ToSpec() + "]: " + e.what());
+        continue;
+      }
+      report.fires += fault::TotalFires();
+      fault::Disarm();
+      if (outcome.trainer_masters != reference) {
+        fail("sink faults perturbed the training trajectory under [" +
+             schedule.ToSpec() + "]");
+        continue;
+      }
+      if (outcome.result.replica_status.ok()) {
+        if (!ServerMatches(outcome)) {
+          fail("replica_status is OK but the remote replica diverged "
+               "(silent divergence) under [" +
+               schedule.ToSpec() + "]");
+          continue;
+        }
+        ++report.identical;
+        if (outcome.result.replica_degraded) ++report.degraded_heals;
+      } else {
+        if (outcome.result.replica_status.message().empty()) {
+          fail("fail-closed status carries no message under [" +
+               schedule.ToSpec() + "]");
+          continue;
+        }
+        ++report.fail_closed;
+      }
+    }
+
+    // Kill/restart lane: no faults armed; a mid-run server restart
+    // must be healed by snapshot resync, bit-identically.
+    if (s % 3 == 2) {
+      ServerHost host(use_tcp);
+      const uint64_t kill_at = 2 + rng.Below(4);
+      const RunOutcome outcome = RunAgainstHost(
+          problem, topts, &host, session_seed, /*kill_at_push=*/kill_at);
+      if (outcome.trainer_masters != reference) {
+        fail("kill lane perturbed the training trajectory");
+        continue;
+      }
+      if (!outcome.result.replica_status.ok()) {
+        fail("kill lane failed to resync after server restart: " +
+             outcome.result.replica_status.ToString());
+        continue;
+      }
+      if (!ServerMatches(outcome)) {
+        fail("kill lane ended with a divergent replica after resync");
+        continue;
+      }
+      ++report.kill_resyncs;
+    }
+  }
+  fault::Disarm();
+  return report;
+}
+
+}  // namespace check
+}  // namespace rlcut

@@ -1,0 +1,72 @@
+#ifndef RLCUT_CHECK_NET_ORACLE_H_
+#define RLCUT_CHECK_NET_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace rlcut {
+namespace check {
+
+/// Network chaos audit (docs/distributed.md): full training sessions
+/// feeding a remote PlanReplica through the src/net transport, under
+/// randomized fault schedules over the net.* sites (connect failures,
+/// send failures, recv timeouts, frame corruption, disconnects).
+///
+/// Every session trains the same seeded problem twice — once without a
+/// sink for the reference masters, once against a ReplicaServer behind
+/// a FlakyPipe (every 4th session: real TCP loopback) — and asserts:
+///
+///   * the trainer's own trajectory is bit-identical to the reference
+///     (the sink is write-only; no fault may leak into training), and
+///   * the run ends in one of exactly two states: the remote replica
+///     is bit-identical to the trainer's final masters with an OK
+///     replica_status (faults masked by retry/reconnect/resync), or
+///     replica_status is a clean non-OK Status (fail closed). A crash,
+///     hang, or OK-status-with-divergent-replica is a failure.
+///
+/// Every 3rd session additionally runs the kill/restart lane with no
+/// faults armed: mid-run, the server is killed and replaced by a fresh
+/// empty one (as a restarted worker process would be). The client must
+/// detect the version gap at the handshake and heal via snapshot
+/// resync to a bit-identical replica with an OK status — that lane
+/// accepts nothing weaker.
+struct NetOracleOptions {
+  int num_sessions = 16;
+  VertexId num_vertices = 192;
+  uint64_t num_edges = 1152;
+  int num_dcs = 4;
+  int max_steps = 5;
+  int batch_size = 16;
+  int num_threads = 3;
+  uint64_t seed = 1;
+};
+
+struct NetOracleReport {
+  uint64_t sessions = 0;
+  /// Faulted runs that ended OK with a bit-identical remote replica.
+  uint64_t identical = 0;
+  /// Faulted runs that failed closed with a clean non-OK status.
+  uint64_t fail_closed = 0;
+  /// Runs that reported degraded operation mid-run yet still ended
+  /// identical (the retry/resync machinery healed the link).
+  uint64_t degraded_heals = 0;
+  /// Kill/restart-lane sessions that resynced to bit-identical.
+  uint64_t kill_resyncs = 0;
+  /// Sessions driven over real TCP loopback (the rest use FlakyPipe).
+  uint64_t tcp_sessions = 0;
+  /// Total injected fires across all sessions.
+  uint64_t fires = 0;
+  std::vector<std::string> failures;
+
+  std::string Summary() const;
+};
+
+NetOracleReport RunNetOracle(const NetOracleOptions& options);
+
+}  // namespace check
+}  // namespace rlcut
+
+#endif  // RLCUT_CHECK_NET_ORACLE_H_

@@ -275,6 +275,15 @@ const std::vector<SiteInfo>& KnownSites() {
        "a streaming session rejects a micro-batch at the ingest site"},
       {"session.publish_fail",
        "a streaming session fails to publish its current plan"},
+      {"net.connect_fail", "dialing a replica endpoint fails"},
+      {"net.send_fail",
+       "a transport send reports an I/O error without delivering"},
+      {"net.recv_timeout",
+       "a transport recv returns no data within its timeout"},
+      {"net.frame_corrupt",
+       "a frame is delivered with a flipped byte (checksum catches it)"},
+      {"net.disconnect",
+       "the connection drops; subsequent sends and recvs fail"},
   };
   return kSites;
 }

@@ -1,0 +1,72 @@
+#ifndef RLCUT_NET_RETRY_H_
+#define RLCUT_NET_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace rlcut {
+namespace net {
+
+/// Shared retry/backoff policy for fallible remote (or remote-shaped)
+/// operations: bounded attempts, exponential backoff with seeded
+/// jitter, and an overall wall-clock deadline. Every retry loop in the
+/// codebase goes through this one policy so retry behavior is tuned —
+/// and tested — in exactly one place (docs/distributed.md).
+struct RetryPolicy {
+  /// Total tries including the first one. <= 0 means a single attempt.
+  int max_attempts = 8;
+  /// Backoff before the first retry, milliseconds.
+  double initial_backoff_ms = 1;
+  /// Backoff growth cap, milliseconds.
+  double max_backoff_ms = 250;
+  /// Exponential growth factor between retries.
+  double multiplier = 2.0;
+  /// Uniform jitter as a fraction of the base backoff: the actual wait
+  /// is base * (1 +/- jitter). Decorrelates clients that fail together.
+  double jitter = 0.25;
+  /// Wall-clock budget across all attempts, seconds. Once exceeded no
+  /// further retry starts (the in-flight attempt is never interrupted).
+  /// <= 0 disables the deadline.
+  double deadline_seconds = 0;
+  /// Seed for the jitter draws; (seed, op_id, attempt) fully determines
+  /// every backoff, so a seeded run replays its exact retry timeline.
+  uint64_t seed = 1;
+};
+
+/// The jittered backoff before retry `attempt` (0-based: the wait after
+/// the first failure is attempt 0) of operation `op_id`. Deterministic
+/// in (policy.seed, op_id, attempt); always within
+/// [base * (1 - jitter), base * (1 + jitter)] for
+/// base = min(initial_backoff_ms * multiplier^attempt, max_backoff_ms).
+double BackoffMs(const RetryPolicy& policy, uint64_t op_id, int attempt);
+
+/// Outcome accounting for one RetryCall, also mirrored into the default
+/// metrics registry as "retry.<what>.retries" / "retry.<what>.exhausted"
+/// counters so daemons can report retry pressure in their summaries.
+struct RetryOutcome {
+  /// Attempts actually made (>= 1).
+  int attempts = 0;
+  /// True when the call gave up (attempts or deadline exhausted).
+  bool exhausted = false;
+};
+
+/// Runs `fn` until it returns OK, sleeping the policy's backoff between
+/// attempts. On exhaustion returns the last error with the attempt
+/// count prepended to its message — a clean Status, never a throw.
+/// `what` names the operation for metrics and error messages ("connect",
+/// "serve.publish", ...). `cancel`, when non-null, aborts the backoff
+/// sleep early and stops retrying (the last error is returned).
+Status RetryCall(const RetryPolicy& policy, uint64_t op_id,
+                 const std::string& what,
+                 const std::function<Status()>& fn,
+                 const std::atomic<bool>* cancel = nullptr,
+                 RetryOutcome* outcome = nullptr);
+
+}  // namespace net
+}  // namespace rlcut
+
+#endif  // RLCUT_NET_RETRY_H_

@@ -1,0 +1,419 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/byte_io.h"
+#include "common/timer.h"
+#include "fault/fault.h"
+
+namespace rlcut {
+namespace net {
+namespace {
+
+constexpr char kFrameMagic[4] = {'R', 'L', 'N', 'F'};
+constexpr size_t kFrameHeaderBytes = 4 + 1 + 4;
+constexpr size_t kFrameChecksumBytes = 8;
+
+uint64_t FrameChecksum(FrameType type, const std::string& payload) {
+  std::string checked;
+  checked.reserve(1 + payload.size());
+  checked.push_back(static_cast<char>(type));
+  checked.append(payload);
+  return Fnv1a64(checked);
+}
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string bytes;
+  bytes.append(kFrameMagic, sizeof(kFrameMagic));
+  bytes.push_back(static_cast<char>(frame.type));
+  const uint32_t size = static_cast<uint32_t>(frame.payload.size());
+  bytes.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  bytes.append(frame.payload);
+  const uint64_t checksum = FrameChecksum(frame.type, frame.payload);
+  bytes.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return bytes;
+}
+
+Result<bool> FrameDecoder::Next(Frame* out) {
+  if (corrupt_) {
+    return Status::InvalidArgument(
+        "frame stream already corrupt; reconnect");
+  }
+  if (buffer_.size() < kFrameHeaderBytes) return false;
+  if (std::memcmp(buffer_.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    corrupt_ = true;
+    return Status::InvalidArgument("frame stream lost sync: bad magic");
+  }
+  const uint8_t type_byte = static_cast<uint8_t>(buffer_[4]);
+  uint32_t payload_size = 0;
+  std::memcpy(&payload_size, buffer_.data() + 5, sizeof(payload_size));
+  if (payload_size > kMaxFramePayload) {
+    corrupt_ = true;
+    return Status::InvalidArgument("frame declares " +
+                                   std::to_string(payload_size) +
+                                   " payload bytes, over the frame cap");
+  }
+  const size_t total =
+      kFrameHeaderBytes + payload_size + kFrameChecksumBytes;
+  if (buffer_.size() < total) return false;
+  Frame frame;
+  frame.type = static_cast<FrameType>(type_byte);
+  frame.payload.assign(buffer_, kFrameHeaderBytes, payload_size);
+  uint64_t checksum = 0;
+  std::memcpy(&checksum, buffer_.data() + kFrameHeaderBytes + payload_size,
+              sizeof(checksum));
+  if (checksum != FrameChecksum(frame.type, frame.payload)) {
+    corrupt_ = true;
+    return Status::InvalidArgument("frame checksum mismatch");
+  }
+  buffer_.erase(0, total);
+  *out = std::move(frame);
+  return true;
+}
+
+Status SendFrame(Transport* transport, const Frame& frame) {
+  std::string bytes = EncodeFrame(frame);
+  int64_t amount = 0;
+  if (fault::ShouldFire("net.frame_corrupt", &amount)) {
+    // Flip one byte in flight; the receiver's checksum — not the
+    // injector — decides what happens next. `amount` picks the byte.
+    const size_t pos = amount > 0
+                           ? static_cast<size_t>(amount) % bytes.size()
+                           : bytes.size() - 1;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0x40);
+  }
+  return transport->Send(bytes);
+}
+
+Status RecvFrame(Transport* transport, FrameDecoder* decoder,
+                 int timeout_ms, Frame* out) {
+  WallTimer timer;
+  for (;;) {
+    Result<bool> ready = decoder->Next(out);
+    if (!ready.ok()) return ready.status();
+    if (ready.value()) return Status::Ok();
+    const int elapsed_ms = static_cast<int>(timer.ElapsedMillis());
+    if (elapsed_ms >= timeout_ms) {
+      return Status::IoError("timed out waiting for a frame after " +
+                             std::to_string(timeout_ms) + " ms");
+    }
+    Result<std::string> chunk = transport->Recv(timeout_ms - elapsed_ms);
+    if (!chunk.ok()) return chunk.status();
+    decoder->Feed(chunk.value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FlakyPipe
+
+struct FlakyPipe::Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  // inbox[i] holds bytes readable by side i.
+  std::string inbox[2];
+  bool closed[2] = {false, false};
+};
+
+FlakyPipe::FlakyPipe(std::shared_ptr<Shared> shared, int side)
+    : shared_(std::move(shared)), side_(side) {}
+
+FlakyPipe::~FlakyPipe() { Close(); }
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+FlakyPipe::CreatePair() {
+  auto shared = std::make_shared<Shared>();
+  std::unique_ptr<Transport> a(new FlakyPipe(shared, 0));
+  std::unique_ptr<Transport> b(new FlakyPipe(shared, 1));
+  return {std::move(a), std::move(b)};
+}
+
+Status FlakyPipe::Send(const std::string& bytes) {
+  if (fault::ShouldFire("net.send_fail")) {
+    return Status::IoError("injected send failure");
+  }
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  if (fault::ShouldFire("net.disconnect")) {
+    shared_->closed[0] = shared_->closed[1] = true;
+    shared_->cv.notify_all();
+    return Status::IoError("injected disconnect");
+  }
+  if (shared_->closed[side_] || shared_->closed[1 - side_]) {
+    return Status::IoError("pipe closed");
+  }
+  shared_->inbox[1 - side_].append(bytes);
+  shared_->cv.notify_all();
+  return Status::Ok();
+}
+
+Result<std::string> FlakyPipe::Recv(int timeout_ms) {
+  if (fault::ShouldFire("net.recv_timeout")) {
+    return std::string();
+  }
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  if (fault::ShouldFire("net.disconnect")) {
+    shared_->closed[0] = shared_->closed[1] = true;
+    shared_->cv.notify_all();
+    return Status::IoError("injected disconnect");
+  }
+  std::string& inbox = shared_->inbox[side_];
+  shared_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return !inbox.empty() || shared_->closed[side_] ||
+           shared_->closed[1 - side_];
+  });
+  if (!inbox.empty()) {
+    std::string chunk = std::move(inbox);
+    inbox.clear();
+    return chunk;
+  }
+  if (shared_->closed[side_]) return Status::IoError("pipe closed");
+  if (shared_->closed[1 - side_]) {
+    return Status::IoError("pipe peer closed (EOF)");
+  }
+  return std::string();  // Timeout with the pipe still healthy.
+}
+
+void FlakyPipe::Close() {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  shared_->closed[side_] = true;
+  shared_->cv.notify_all();
+}
+
+bool FlakyPipe::closed() const {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  return shared_->closed[side_] || shared_->closed[1 - side_];
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+
+namespace {
+
+/// A connected TCP socket; loopback or LAN. Fault sites fire on the
+/// same operations as FlakyPipe so the chaos schedules mean the same
+/// thing on both transports.
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {}
+
+  ~TcpTransport() override { Close(); }
+
+  Status Send(const std::string& bytes) override {
+    if (fault::ShouldFire("net.send_fail")) {
+      return Status::IoError("injected send failure");
+    }
+    if (fault::ShouldFire("net.disconnect")) {
+      Close();
+      return Status::IoError("injected disconnect");
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::IoError("socket closed");
+    }
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent,
+                               bytes.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("send");
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> Recv(int timeout_ms) override {
+    if (fault::ShouldFire("net.recv_timeout")) {
+      return std::string();
+    }
+    if (fault::ShouldFire("net.disconnect")) {
+      Close();
+      return Status::IoError("injected disconnect");
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::IoError("socket closed");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) return std::string();
+      return ErrnoStatus("poll");
+    }
+    if (ready == 0) return std::string();  // Timeout, socket healthy.
+    char buffer[64 * 1024];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) return std::string();
+      return ErrnoStatus("recv");
+    }
+    if (n == 0) return Status::IoError("connection closed by peer (EOF)");
+    return std::string(buffer, static_cast<size_t>(n));
+  }
+
+  void Close() override {
+    bool expected = false;
+    if (closed_.compare_exchange_strong(expected, true)) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+    }
+  }
+
+  bool closed() const override {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  int fd_ = -1;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+Status ParseEndpoint(const std::string& endpoint, std::string* host,
+                     int* port) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return Status::InvalidArgument("endpoint must be host:port, got '" +
+                                   endpoint + "'");
+  }
+  *host = endpoint.substr(0, colon);
+  const std::string port_str = endpoint.substr(colon + 1);
+  char* end = nullptr;
+  const long value = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value < 1 || value > 65535) {
+    return Status::InvalidArgument("bad port in endpoint '" + endpoint +
+                                   "'");
+  }
+  *port = static_cast<int>(value);
+  return Status::Ok();
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status = ErrnoStatus("bind 127.0.0.1:" +
+                                      std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status status = ErrnoStatus("listen");
+    ::close(fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    const Status status = ErrnoStatus("getsockname");
+    ::close(fd);
+    return status;
+  }
+  const int bound_port = ntohs(addr.sin_port);
+  return std::unique_ptr<TcpListener>(new TcpListener(fd, bound_port));
+}
+
+Result<std::unique_ptr<Transport>> TcpListener::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::IoError("listener closed");
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    // A signal (e.g. the daemon's own SIGTERM handler) interrupting the
+    // wait is a timeout, not a listener failure.
+    if (errno == EINTR) {
+      return Status::IoError("timed out waiting for a connection (EINTR)");
+    }
+    return ErrnoStatus("poll");
+  }
+  if (ready == 0) {
+    return Status::IoError("timed out waiting for a connection after " +
+                           std::to_string(timeout_ms) + " ms");
+  }
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) return ErrnoStatus("accept");
+  const int one = 1;
+  ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Transport>(new TcpTransport(conn));
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<Transport>> DialTcp(const std::string& endpoint,
+                                           int timeout_ms) {
+  if (fault::ShouldFire("net.connect_fail")) {
+    return Status::IoError("injected connect failure dialing " + endpoint);
+  }
+  std::string host;
+  int port = 0;
+  RLCUT_RETURN_IF_ERROR(ParseEndpoint(endpoint, &host, &port));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("endpoint host must be a numeric IPv4 "
+                                   "address, got '" +
+                                   host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  // Non-blocking connect so the dial honors `timeout_ms` instead of the
+  // kernel's (much longer) default SYN timeout.
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = ErrnoStatus("connect " + endpoint);
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Transport>(new TcpTransport(fd));
+}
+
+}  // namespace net
+}  // namespace rlcut

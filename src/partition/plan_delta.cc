@@ -1,6 +1,9 @@
 #include "partition/plan_delta.h"
 
 #include <string>
+#include <utility>
+
+#include "common/byte_io.h"
 
 namespace rlcut {
 
@@ -38,6 +41,104 @@ Status PlanReplica::Apply(const PlanDelta& delta) {
   masters_ = std::move(applied);
   ++version_;
   return Status::Ok();
+}
+
+Status PlanReplica::InstallSnapshot(const PlanSnapshot& snapshot) {
+  if (snapshot.num_dcs < 1) {
+    return Status::InvalidArgument("plan snapshot has " +
+                                   std::to_string(snapshot.num_dcs) +
+                                   " data centers");
+  }
+  for (size_t v = 0; v < snapshot.masters.size(); ++v) {
+    const DcId dc = snapshot.masters[v];
+    if (dc < 0 || dc >= snapshot.num_dcs) {
+      return Status::OutOfRange("plan snapshot masters vertex " +
+                                std::to_string(v) + " at unknown DC " +
+                                std::to_string(dc));
+    }
+  }
+  masters_ = snapshot.masters;
+  num_dcs_ = snapshot.num_dcs;
+  version_ = snapshot.version;
+  return Status::Ok();
+}
+
+PlanSnapshot PlanReplica::Snapshot() const {
+  PlanSnapshot snapshot;
+  snapshot.version = version_;
+  snapshot.num_dcs = num_dcs_;
+  snapshot.masters = masters_;
+  return snapshot;
+}
+
+std::string EncodePlanDelta(const PlanDelta& delta) {
+  ByteWriter writer;
+  writer.Write<uint64_t>(delta.base_version);
+  writer.Write<uint64_t>(delta.moves.size());
+  for (const PlanMove& move : delta.moves) {
+    writer.Write<uint32_t>(move.vertex);
+    writer.Write<int32_t>(move.from);
+    writer.Write<int32_t>(move.to);
+  }
+  return writer.bytes();
+}
+
+Status DecodePlanDelta(const std::string& bytes, PlanDelta* out) {
+  ByteReader reader(bytes);
+  PlanDelta delta;
+  uint64_t count = 0;
+  if (!reader.Read(&delta.base_version) || !reader.Read(&count)) {
+    return Status::InvalidArgument("plan delta payload truncated");
+  }
+  // 12 bytes per encoded move; bound the count by the bytes actually
+  // present before any allocation (a corrupt count must not balloon).
+  constexpr size_t kMoveBytes = sizeof(uint32_t) + 2 * sizeof(int32_t);
+  if (count > reader.remaining() / kMoveBytes) {
+    return Status::InvalidArgument("plan delta declares " +
+                                   std::to_string(count) +
+                                   " moves but the payload is short");
+  }
+  delta.moves.resize(count);
+  for (PlanMove& move : delta.moves) {
+    if (!reader.Read(&move.vertex) || !reader.Read(&move.from) ||
+        !reader.Read(&move.to)) {
+      return Status::InvalidArgument("plan delta payload truncated");
+    }
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("plan delta payload has trailing bytes");
+  }
+  *out = std::move(delta);
+  return Status::Ok();
+}
+
+std::string EncodePlanSnapshot(const PlanSnapshot& snapshot) {
+  ByteWriter writer;
+  writer.Write<uint64_t>(snapshot.version);
+  writer.Write<int32_t>(snapshot.num_dcs);
+  writer.WriteVector(snapshot.masters);
+  return writer.bytes();
+}
+
+Status DecodePlanSnapshot(const std::string& bytes, PlanSnapshot* out) {
+  ByteReader reader(bytes);
+  PlanSnapshot snapshot;
+  if (!reader.Read(&snapshot.version) || !reader.Read(&snapshot.num_dcs) ||
+      !reader.ReadVector(&snapshot.masters)) {
+    return Status::InvalidArgument("plan snapshot payload truncated");
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument(
+        "plan snapshot payload has trailing bytes");
+  }
+  *out = std::move(snapshot);
+  return Status::Ok();
+}
+
+uint64_t MastersFingerprint(const std::vector<DcId>& masters) {
+  ByteWriter writer;
+  writer.WriteVector(masters);
+  return Fnv1a64(writer.bytes());
 }
 
 }  // namespace rlcut

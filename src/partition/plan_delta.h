@@ -2,6 +2,7 @@
 #define RLCUT_PARTITION_PLAN_DELTA_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -26,6 +27,31 @@ struct PlanDelta {
   std::vector<PlanMove> moves;
 };
 
+/// A versioned full copy of the masters array: the resync unit of the
+/// replica protocol. Installing a snapshot replaces the replica's whole
+/// state (masters, DC count, version) in one step, which is how a
+/// replica recovers from a version gap it cannot bridge with deltas.
+struct PlanSnapshot {
+  uint64_t version = 0;
+  int32_t num_dcs = 0;
+  std::vector<DcId> masters;
+};
+
+/// Wire codecs for deltas and snapshots (common/byte_io framing:
+/// host-endian, every decoded count bounded by the payload size before
+/// any allocation). These bytes travel inside net-transport frames on
+/// the same machine or a trusted interconnect, matching the
+/// single-machine envelope convention used by checkpoints.
+std::string EncodePlanDelta(const PlanDelta& delta);
+Status DecodePlanDelta(const std::string& bytes, PlanDelta* out);
+std::string EncodePlanSnapshot(const PlanSnapshot& snapshot);
+Status DecodePlanSnapshot(const std::string& bytes, PlanSnapshot* out);
+
+/// Order-sensitive FNV-1a over a masters array, prefixed with its size:
+/// the cheap bit-identity check two ends of a replica link exchange to
+/// detect silent divergence.
+uint64_t MastersFingerprint(const std::vector<DcId>& masters);
+
 /// A versioned snapshot of the masters array, kept in sync by applying
 /// PlanDeltas in version order (docs/sharding.md). This is the
 /// process-ready half of the sharded ownership protocol: non-owner
@@ -33,8 +59,9 @@ struct PlanDelta {
 /// owner's address space, and the owner publishes its committed moves
 /// as deltas at the sync cadence. In the threads-first runtime the
 /// trainer maintains one replica next to the authoritative
-/// PartitionState and audits that the two agree after every sync; in a
-/// process split, Apply runs on the far side of an RPC instead.
+/// PartitionState and audits that the two agree after every sync; in
+/// the process split (src/net, docs/distributed.md) Apply runs on the
+/// far side of an RPC.
 class PlanReplica {
  public:
   PlanReplica() = default;
@@ -47,14 +74,52 @@ class PlanReplica {
   /// the replica (the owner and the replica have diverged).
   Status Apply(const PlanDelta& delta);
 
+  /// Replaces the replica's entire state with `snapshot`, including its
+  /// version — the resync path after a version gap. Fails without
+  /// mutating anything if the snapshot is internally inconsistent
+  /// (num_dcs < 1 or a master outside [0, num_dcs)).
+  Status InstallSnapshot(const PlanSnapshot& snapshot);
+
+  /// The replica's current state as an installable snapshot.
+  PlanSnapshot Snapshot() const;
+
   const std::vector<DcId>& masters() const { return masters_; }
   DcId master(VertexId v) const { return masters_[v]; }
   uint64_t version() const { return version_; }
+  int num_dcs() const { return num_dcs_; }
+  uint64_t Fingerprint() const { return MastersFingerprint(masters_); }
 
  private:
   std::vector<DcId> masters_;
   int num_dcs_ = 0;
   uint64_t version_ = 0;
+};
+
+/// Where a trainer publishes its committed plan state, one delta per
+/// sync interval. The trainer's decisions never depend on the sink —
+/// it is write-only — so a sink may lag, buffer, or drop to a degraded
+/// mode without perturbing the training trajectory.
+///
+/// Contract: Begin() hands over the starting snapshot before any
+/// deltas; PushDelta() receives exactly the deltas the trainer applied
+/// to its own audit replica, in order; Flush() must either drive the
+/// far side to the pushed state (return OK) or report why it could not
+/// (non-OK) — the fail-closed signal call sites act on. degraded()
+/// reports whether the sink is currently operating in a lossy/stale
+/// mode; implementations also surface it through src/obs metrics.
+///
+/// The in-process audit replica needs no sink; the concrete network
+/// implementation is net::ReplicaClient (docs/distributed.md).
+class ReplicaSink {
+ public:
+  virtual ~ReplicaSink() = default;
+  virtual Status Begin(const PlanSnapshot& snapshot) = 0;
+  virtual Status PushDelta(const PlanDelta& delta) = 0;
+  virtual Status Flush() = 0;
+  virtual bool degraded() const = 0;
+  /// Version of the sink's intended state (the base a follow-up delta
+  /// must chain onto): advances by one per accepted PushDelta.
+  virtual uint64_t version() const = 0;
 };
 
 }  // namespace rlcut

@@ -176,10 +176,39 @@ Result<ReoptimizeResult> RLCutSession::MaybeReoptimize(
   {
     RLCutTrainer trainer(trained_once_ ? options_.incremental
                                        : options_.initial);
-    trainer.Train(state_.get(), std::move(eligible), pool_.get());
+    trainer.SetReplicaSink(replica_sink_);
+    const TrainResult trained =
+        trainer.Train(state_.get(), std::move(eligible), pool_.get());
+    if (replica_sink_ != nullptr) {
+      replica_status_ = trained.replica_status;
+      replica_degraded_ = replica_degraded_ || trained.replica_degraded;
+    }
   }
+  // The sink mirrors the trainer's final plan; the budget clamp below
+  // can revert moves after that, so capture the pre-clamp masters and
+  // ship the difference as one correction delta.
+  std::vector<DcId> pre_clamp_masters;
+  if (replica_sink_ != nullptr) pre_clamp_masters = state_->masters();
   const BudgetClampResult clamp = EnforceMigrationBudget(
       state_.get(), last_published_masters_, input_sizes_, budget);
+  if (replica_sink_ != nullptr && replica_status_.ok()) {
+    PlanDelta correction;
+    correction.base_version = replica_sink_->version();
+    const std::vector<DcId>& post_clamp = state_->masters();
+    for (size_t v = 0; v < post_clamp.size(); ++v) {
+      if (pre_clamp_masters[v] != post_clamp[v]) {
+        correction.moves.push_back(PlanMove{static_cast<VertexId>(v),
+                                            pre_clamp_masters[v],
+                                            post_clamp[v]});
+      }
+    }
+    if (!correction.moves.empty()) {
+      replica_status_ = replica_sink_->PushDelta(correction);
+      if (replica_status_.ok()) replica_status_ = replica_sink_->Flush();
+      replica_degraded_ =
+          replica_degraded_ || replica_sink_->degraded();
+    }
+  }
   trained_once_ = true;
   result.reoptimized = true;
   result.reverted_vertices = clamp.reverted;

@@ -13,6 +13,7 @@
 #include "graph/graph.h"
 #include "graph/stream.h"
 #include "partition/partition_state.h"
+#include "partition/plan_delta.h"
 #include "partition/session.h"
 #include "rlcut/automaton.h"
 #include "rlcut/options.h"
@@ -106,6 +107,20 @@ class RLCutSession : public PartitioningSession {
 
   // ---- Introspection --------------------------------------------------
 
+  // ---- Process-split replica sync (docs/distributed.md) ---------------
+
+  /// Attaches an external replica sink: every re-optimization pass
+  /// feeds it the trainer's deltas, then a post-clamp correction delta,
+  /// so the far side tracks the publishable plan. Not owned; must
+  /// outlive the session (or be detached with nullptr).
+  void SetReplicaSink(ReplicaSink* sink) { replica_sink_ = sink; }
+
+  /// Outcome of the latest pass's replica flush (OK when no sink).
+  const Status& replica_status() const { return replica_status_; }
+
+  /// True if the sink ever reported degraded operation this session.
+  bool replica_degraded() const { return replica_degraded_; }
+
   SimTime watermark() const { return watermark_; }
   uint64_t version() const { return version_; }
   uint64_t num_edges() const { return edges_.size(); }
@@ -155,6 +170,12 @@ class RLCutSession : public PartitioningSession {
   std::vector<DcId> last_published_masters_;
   MigrationBudget last_budget_;
   SimTime watermark_ = SimTime::Min();
+
+  // Process-split replica sync (not part of the checkpoint: runtime
+  // wiring, like thread count).
+  ReplicaSink* replica_sink_ = nullptr;
+  Status replica_status_;
+  bool replica_degraded_ = false;
 };
 
 }  // namespace rlcut

@@ -410,6 +410,18 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
       global_registry.GetCounter("trainer.shard_syncs");
   obs::Counter* shard_sync_moves =
       global_registry.GetCounter("trainer.shard_sync_moves");
+  // The external sink (if attached) receives the starting snapshot and
+  // then exactly the deltas the audit replica applies, in order. It is
+  // write-only: a slow, degraded, or failed sink never changes what the
+  // trainer does, only what TrainResult::replica_status reports.
+  ReplicaSink* sink =
+      options_.shard_sync_batches > 0 ? replica_sink_ : nullptr;
+  Status sink_status;
+  bool sink_degraded = false;
+  if (sink != nullptr) {
+    sink_status = sink->Begin(replica.Snapshot());
+    if (!sink_status.ok()) sink = nullptr;
+  }
   const auto sync_replica = [&] {
     sync_delta.base_version = replica.version();
     Status synced = replica.Apply(sync_delta);
@@ -417,6 +429,18 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
         << "shard delta-sync rejected: " << synced.ToString();
     shard_syncs->Increment();
     shard_sync_moves->Increment(sync_delta.moves.size());
+    if (sink != nullptr) {
+      const Status pushed = sink->PushDelta(sync_delta);
+      if (!pushed.ok()) {
+        // A push the sink's own mirror rejects is unrecoverable (the
+        // network path degrades instead of erroring); stop feeding it
+        // and surface the failure through the result.
+        if (sink_status.ok()) sink_status = pushed;
+        sink = nullptr;
+      } else {
+        sink_degraded = sink_degraded || sink->degraded();
+      }
+    }
     sync_delta.moves.clear();
     batches_since_sync = 0;
   };
@@ -968,7 +992,24 @@ TrainResult RLCutTrainer::Train(PartitionState* state,
         << "delta-synced plan replica diverged from the partition state "
            "after "
         << replica.version() << " syncs";
+  } else if (replica_sink_ != nullptr) {
+    // Delta sync disabled: hand the sink the final plan as a snapshot
+    // so it still converges to the authoritative state.
+    sink = replica_sink_;
+    sink_status = sink->Begin(
+        PlanSnapshot{replica.version(), static_cast<int32_t>(num_dcs),
+                     state->masters()});
+    if (!sink_status.ok()) sink = nullptr;
   }
+  if (sink != nullptr) {
+    // The fail-closed barrier: the sink must confirm the far side holds
+    // the final plan, or report why it cannot.
+    const Status flushed = sink->Flush();
+    if (sink_status.ok()) sink_status = flushed;
+    sink_degraded = sink_degraded || sink->degraded();
+  }
+  result.replica_status = sink_status;
+  result.replica_degraded = sink_degraded;
 
   if (session != nullptr) {
     session->started = true;

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "partition/partition_state.h"
+#include "partition/plan_delta.h"
 #include "rlcut/automaton.h"
 #include "rlcut/options.h"
 
@@ -85,6 +86,15 @@ struct TrainResult {
   bool converged = false;
   /// True if training stopped because T_opt was reached.
   bool hit_time_budget = false;
+  /// Outcome of the external replica sink, if one was attached with
+  /// SetReplicaSink: OK when the sink's Flush confirmed the far side
+  /// holds the final plan bit for bit, non-OK when it could not — the
+  /// fail-closed signal for callers that require a synced replica.
+  /// Always OK when no sink is attached.
+  Status replica_status;
+  /// True if the sink reported degraded (lossy/stale) operation at any
+  /// sync during the run.
+  bool replica_degraded = false;
 };
 
 /// The RLCut multi-agent trainer (Sec. IV-V).
@@ -162,6 +172,14 @@ class RLCutTrainer {
   size_t num_shards() const { return num_shards_; }
   const RLCutOptions& options() const { return options_; }
 
+  /// Attaches an external replica sink: Train feeds it the starting
+  /// snapshot and then every delta the in-process audit replica
+  /// applies, at the same cadence. The sink is write-only — training
+  /// decisions never read it — so a lagging or degraded sink cannot
+  /// perturb the trajectory. Not owned; must outlive Train. nullptr
+  /// detaches.
+  void SetReplicaSink(ReplicaSink* sink) { replica_sink_ = sink; }
+
  private:
   // Sampling rate for step `step` per Eq. 14, from the history so far.
   double SampleRateForStep(int step,
@@ -171,6 +189,7 @@ class RLCutTrainer {
   size_t num_threads_;
   size_t num_shards_;
   std::unique_ptr<ThreadPool> pool_;
+  ReplicaSink* replica_sink_ = nullptr;
 };
 
 }  // namespace rlcut

@@ -8,10 +8,11 @@
 //   rlcut_audit --mode=oracle --sequences=1024 --moves=32
 //   rlcut_audit --mode=fuzz --fuzz_iters=5000 --seed=3
 //   rlcut_audit --mode=chaos --sessions=100
+//   rlcut_audit --mode=net --sessions=100
 //   rlcut_audit --mode=stream --sessions=100
 //   rlcut_audit --mode=shard --instances=24
 //   rlcut_audit --mode=renumber --instances=24
-//   rlcut_audit            # everything except chaos/stream/shard,
+//   rlcut_audit            # everything except chaos/net/stream/shard,
 //                          # moderate sizes
 
 #include <cstdio>
@@ -21,6 +22,7 @@
 #include "check/chaos.h"
 #include "check/differential_oracle.h"
 #include "check/fuzz.h"
+#include "check/net_oracle.h"
 #include "check/renumber_oracle.h"
 #include "check/shard_oracle.h"
 #include "check/stream_oracle.h"
@@ -33,6 +35,7 @@ const rlcut::check::LoaderKind kLoaders[] = {
     rlcut::check::LoaderKind::kPlan,
     rlcut::check::LoaderKind::kNetSchedule,
     rlcut::check::LoaderKind::kRlgGraph,
+    rlcut::check::LoaderKind::kNetFrame,
 };
 
 int ReportFailures(const std::vector<std::string>& failures) {
@@ -49,10 +52,11 @@ int main(int argc, char** argv) {
   flags.DefineString(
       "mode", "all",
       "what to audit: all | oracle | corpus | fuzz | renumber | chaos | "
-      "stream | shard (chaos trains under fault injection, stream "
-      "drives full streaming sessions, shard replays the sharded-"
-      "trainer determinism lanes; chaos/stream/shard are not part of "
-      "all)");
+      "net | stream | shard (chaos trains under fault injection, net "
+      "drives replica sync through the transport under network chaos, "
+      "stream drives full streaming sessions, shard replays the "
+      "sharded-trainer determinism lanes; chaos/net/stream/shard are "
+      "not part of all)");
   flags.DefineInt("sequences", 64, "oracle: randomized move sequences");
   flags.DefineInt("moves", 64, "oracle: moves per sequence");
   flags.DefineInt("vertices", 96, "oracle: vertices per instance");
@@ -75,7 +79,7 @@ int main(int argc, char** argv) {
   const std::string mode = flags.GetString("mode");
   if (mode != "all" && mode != "oracle" && mode != "corpus" &&
       mode != "fuzz" && mode != "renumber" && mode != "chaos" &&
-      mode != "stream" && mode != "shard") {
+      mode != "net" && mode != "stream" && mode != "shard") {
     std::fprintf(stderr, "unknown --mode=%s\n", mode.c_str());
     return 2;
   }
@@ -130,6 +134,15 @@ int main(int argc, char** argv) {
     options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
     const rlcut::check::ChaosReport report =
         rlcut::check::RunChaos(options);
+    std::printf("%s\n", report.Summary().c_str());
+    rc |= ReportFailures(report.failures);
+  }
+  if (mode == "net") {
+    rlcut::check::NetOracleOptions options;
+    options.num_sessions = static_cast<int>(flags.GetInt("sessions"));
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    const rlcut::check::NetOracleReport report =
+        rlcut::check::RunNetOracle(options);
     std::printf("%s\n", report.Summary().c_str());
     rc |= ReportFailures(report.failures);
   }

@@ -12,14 +12,20 @@
 //   rlcut_serve --method=RLCut --budget_vertices=256 --budget_mb=64
 //   rlcut_serve --net_drift=0.3 --checkpoint=/tmp/serve.ckpt
 //   rlcut_serve --faults='session.ingest_fail:nth=3,max=2'
+//   rlcut_serve --replica_endpoint=127.0.0.1:7070   # + rlcut_replica
 //
-// SIGINT drains cleanly: the current batch finishes, a final plan is
-// published, and the summary (sustained edges/sec, p99 micro-batch
-// apply latency) is printed. Exits non-zero if no plan was published.
+// Transient ingest/publish failures are retried under the shared
+// net::RetryPolicy (bounded attempts, jittered exponential backoff);
+// retry pressure is reported in the summary. SIGINT and SIGTERM drain
+// cleanly: the current batch finishes, a final plan is published, and
+// the summary (sustained edges/sec, p99 micro-batch apply latency) is
+// printed. Exits non-zero if no plan was published, or if a replica
+// endpoint was attached and did not converge by drain time.
 
 #include <csignal>
 #include <cstdio>
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,14 +40,23 @@
 #include "graph/geo.h"
 #include "graph/stream.h"
 #include "graph/temporal.h"
+#include "net/replica_service.h"
+#include "net/retry.h"
+#include "obs/metrics.h"
 #include "partition/plan_io.h"
 #include "rlcut/session.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_interrupted = 0;
+// Mirror for the RetryCall cancel hook (std::atomic<bool> is lock-free
+// here, so storing from the handler is async-signal-safe).
+std::atomic<bool> g_cancel{false};
 
-void HandleSigint(int) { g_interrupted = 1; }
+void HandleStopSignal(int) {
+  g_interrupted = 1;
+  g_cancel.store(true, std::memory_order_relaxed);
+}
 
 double Percentile(std::vector<double> values, double q) {
   if (values.empty()) return 0;
@@ -81,6 +96,9 @@ int main(int argc, char** argv) {
   flags.DefineString("faults", "",
                      "fault schedule spec, e.g. "
                      "'session.ingest_fail:prob=0.1' (see rlcut_audit)");
+  flags.DefineString("replica_endpoint", "",
+                     "ship plan deltas to a rlcut_replica worker at "
+                     "host:port (RLCut only; see docs/distributed.md)");
   flags.DefineDouble("net_drift", 0.0,
                      "diurnal bandwidth-drift amplitude (0 disables "
                      "topology events; RLCut only)");
@@ -179,6 +197,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Optional process-split replica: every re-optimization's deltas are
+  // shipped to a rlcut_replica worker; failures degrade, never stall.
+  const std::string replica_endpoint = flags.GetString("replica_endpoint");
+  std::unique_ptr<rlcut::net::ReplicaClient> replica_client;
+  if (!replica_endpoint.empty()) {
+    if (rlcut_session == nullptr) {
+      std::fprintf(stderr, "--replica_endpoint requires --method=RLCut\n");
+      return 2;
+    }
+    rlcut::net::ReplicaClientOptions client_options;
+    client_options.retry.seed =
+        static_cast<uint64_t>(flags.GetInt("seed"));
+    replica_client = std::make_unique<rlcut::net::ReplicaClient>(
+        rlcut::net::ReplicaClient::TcpConnector(
+            replica_endpoint, client_options.dial_timeout_ms),
+        client_options);
+    rlcut_session->SetReplicaSink(replica_client.get());
+  }
+
   rlcut::MigrationBudget budget = rlcut::MigrationBudget::Unlimited();
   if (flags.GetInt("budget_vertices") > 0) {
     budget.max_vertices = static_cast<uint64_t>(
@@ -188,7 +225,8 @@ int main(int argc, char** argv) {
     budget.max_bytes = flags.GetDouble("budget_mb") * 1e6;
   }
 
-  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
 
   const std::string plan_out = flags.GetString("plan_out");
   const int reopt_every =
@@ -203,6 +241,12 @@ int main(int argc, char** argv) {
   std::vector<double> apply_seconds;
   double ingest_wall_seconds = 0;
 
+  // One shared policy for both transient-failure loops (ingest and
+  // publish); op ids keep their jitter streams decorrelated.
+  rlcut::net::RetryPolicy retry_policy;
+  retry_policy.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  uint64_t retry_op_id = 0;
+
   auto reoptimize_and_publish = [&]() -> bool {
     rlcut::Result<rlcut::ReoptimizeResult> reopt =
         session->MaybeReoptimize(budget);
@@ -211,16 +255,19 @@ int main(int argc, char** argv) {
                    reopt.status().ToString().c_str());
       return false;
     }
-    rlcut::Result<rlcut::PublishedPlan> plan = session->PublishPlan();
-    for (int retry = 0; !plan.ok() && retry < 8; ++retry) {
-      ++publish_errors;
-      std::fprintf(stderr, "publish (retrying): %s\n",
-                   plan.status().ToString().c_str());
-      plan = session->PublishPlan();
-    }
-    if (!plan.ok()) {
-      std::fprintf(stderr, "publish: %s\n",
-                   plan.status().ToString().c_str());
+    rlcut::Result<rlcut::PublishedPlan> plan(
+        rlcut::Status::Internal("never published"));
+    rlcut::net::RetryOutcome outcome;
+    const rlcut::Status published = rlcut::net::RetryCall(
+        retry_policy, ++retry_op_id, "serve.publish",
+        [&]() -> rlcut::Status {
+          plan = session->PublishPlan();
+          return plan.ok() ? rlcut::Status::Ok() : plan.status();
+        },
+        &g_cancel, &outcome);
+    publish_errors += static_cast<uint64_t>(outcome.attempts - 1);
+    if (!published.ok()) {
+      std::fprintf(stderr, "publish: %s\n", published.ToString().c_str());
       return false;
     }
     ++publishes;
@@ -280,16 +327,19 @@ int main(int argc, char** argv) {
     }
     const rlcut::MicroBatch batch = buffer.Cut(watermark);
     rlcut::WallTimer apply_timer;
-    rlcut::Result<rlcut::ApplyResult> applied = session->ApplyDelta(batch);
-    for (int retry = 0; !applied.ok() && retry < 8; ++retry) {
-      ++ingest_errors;
-      std::fprintf(stderr, "ingest (retrying): %s\n",
-                   applied.status().ToString().c_str());
-      applied = session->ApplyDelta(batch);
-    }
-    if (!applied.ok()) {
-      std::fprintf(stderr, "ingest: %s\n",
-                   applied.status().ToString().c_str());
+    rlcut::Result<rlcut::ApplyResult> applied(
+        rlcut::Status::Internal("never applied"));
+    rlcut::net::RetryOutcome outcome;
+    const rlcut::Status ingested = rlcut::net::RetryCall(
+        retry_policy, ++retry_op_id, "serve.ingest",
+        [&]() -> rlcut::Status {
+          applied = session->ApplyDelta(batch);
+          return applied.ok() ? rlcut::Status::Ok() : applied.status();
+        },
+        &g_cancel, &outcome);
+    ingest_errors += static_cast<uint64_t>(outcome.attempts - 1);
+    if (!ingested.ok()) {
+      std::fprintf(stderr, "ingest: %s\n", ingested.ToString().c_str());
       return 1;
     }
     const double elapsed = apply_timer.ElapsedSeconds();
@@ -343,6 +393,32 @@ int main(int argc, char** argv) {
       Percentile(apply_seconds, 0.99) * 1e3,
       static_cast<unsigned long long>(ingest_errors),
       static_cast<unsigned long long>(publish_errors));
+
+  // Retry pressure and replica-link health, from the shared registry
+  // (RetryCall and ReplicaClient record their counters there).
+  for (const rlcut::obs::MetricSample& sample :
+       rlcut::obs::DefaultRegistry().Snapshot()) {
+    const bool relevant = sample.name.rfind("retry.", 0) == 0 ||
+                          sample.name.rfind("net.client.", 0) == 0;
+    if (relevant && sample.value > 0) {
+      std::printf("metric %s: %.0f\n", sample.name.c_str(), sample.value);
+    }
+  }
+  if (replica_client != nullptr) {
+    const rlcut::Status replica_status = rlcut_session->replica_status();
+    std::printf(
+        "replica %s: %s%s, mirror v%llu, %llu resyncs, %llu reconnects\n",
+        replica_endpoint.c_str(),
+        replica_status.ok() ? "synced" : replica_status.ToString().c_str(),
+        rlcut_session->replica_degraded() ? " (was degraded)" : "",
+        static_cast<unsigned long long>(replica_client->mirror_version()),
+        static_cast<unsigned long long>(replica_client->resyncs()),
+        static_cast<unsigned long long>(replica_client->reconnects()));
+    replica_client->CloseConnection();
+    // Fail closed: a daemon asked to maintain a replica must not exit
+    // clean while the far side is behind.
+    if (!replica_status.ok()) return 1;
+  }
 
   const rlcut::StreamBufferStats& buffer_stats = buffer.stats();
   std::printf(

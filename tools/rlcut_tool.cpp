@@ -53,6 +53,7 @@
 #include "graph/io.h"
 #include "graph/rlg.h"
 #include "graph/transform.h"
+#include "net/replica_service.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "partition/metrics.h"
@@ -316,6 +317,11 @@ int main(int argc, char** argv) {
                      "'threadpool.task_throw:prob=0.05' "
                      "(see docs/robustness.md)");
   flags.DefineInt("fault_seed", 1, "seed for probabilistic fault triggers");
+  flags.DefineString("replica_endpoint", "",
+                     "mirror the evolving plan to a rlcut_replica worker "
+                     "at host:port while training (RLCut only; exits "
+                     "non-zero unless the replica converges — see "
+                     "docs/distributed.md)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s.ToString() << "\n" << flags.Usage(argv[0]);
     return 1;
@@ -603,15 +609,17 @@ int main(int argc, char** argv) {
   // ---- RLCut with checkpoint/resume ----------------------------------------
   // The registry API has no trainer-session surface, so the checkpoint
   // flags drive the trainer directly (same setup as RunRLCut).
+  const bool wants_replica = !flags.GetString("replica_endpoint").empty();
   const bool wants_checkpointing = !flags.GetString("checkpoint_out").empty() ||
                                    !flags.GetString("resume_from").empty() ||
                                    flags.GetInt("stop_after_step") >= 0 ||
-                                   flags.GetInt("checkpoint_every") > 0;
+                                   flags.GetInt("checkpoint_every") > 0 ||
+                                   wants_replica;
   if (wants_checkpointing) {
     if (flags.GetString("method") != "RLCut") {
       return Fail(Status::InvalidArgument(
           "--checkpoint_out/--resume_from/--stop_after_step/"
-          "--checkpoint_every require --method=RLCut"));
+          "--checkpoint_every/--replica_endpoint require --method=RLCut"));
     }
     if (flags.GetInt("checkpoint_every") > 0 &&
         flags.GetString("checkpoint_out").empty()) {
@@ -666,6 +674,21 @@ int main(int argc, char** argv) {
     }
     session.stop_after_step = static_cast<int>(flags.GetInt("stop_after_step"));
 
+    // Process-split replica: mirror every shard-sync delta to a
+    // rlcut_replica worker. Network failures degrade (training is never
+    // perturbed); convergence is checked after the run.
+    std::unique_ptr<net::ReplicaClient> replica_client;
+    if (wants_replica) {
+      net::ReplicaClientOptions client_options;
+      client_options.retry.seed = ctx.seed;
+      replica_client = std::make_unique<net::ReplicaClient>(
+          net::ReplicaClient::TcpConnector(
+              flags.GetString("replica_endpoint"),
+              client_options.dial_timeout_ms),
+          client_options);
+      trainer.SetReplicaSink(replica_client.get());
+    }
+
     std::vector<VertexId> all(graph.num_vertices());
     std::iota(all.begin(), all.end(), 0u);
     TrainResult train;
@@ -682,6 +705,25 @@ int main(int argc, char** argv) {
               << " in " << train.overhead_seconds << " s\n";
     std::cout << MakeReport(state).ToString() << "\n\n";
     PrintPerDcTable(state, std::cout);
+
+    if (replica_client != nullptr) {
+      char fingerprint[32];
+      std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
+                    static_cast<unsigned long long>(
+                        replica_client->mirror_fingerprint()));
+      std::cout << "Replica " << flags.GetString("replica_endpoint") << ": "
+                << (train.replica_status.ok()
+                        ? "synced"
+                        : train.replica_status.ToString())
+                << (train.replica_degraded ? " (was degraded mid-run)" : "")
+                << " at v" << replica_client->mirror_version()
+                << " fingerprint " << fingerprint << ", "
+                << replica_client->resyncs() << " resyncs, "
+                << replica_client->reconnects() << " reconnects\n";
+      replica_client->CloseConnection();
+      // Fail closed: the caller asked for a converged replica.
+      if (!train.replica_status.ok()) return Fail(train.replica_status);
+    }
 
     if (!flags.GetString("checkpoint_out").empty()) {
       const TrainerCheckpoint checkpoint =
